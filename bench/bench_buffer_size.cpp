@@ -1,0 +1,49 @@
+// Ablation A1: send/receive buffer size of the streaming transfer. The
+// paper fixes both at 4 KB ("the sizes of the buffers are controllable
+// system parameters"); this sweep shows the batching trade-off: tiny
+// buffers cost per-frame overhead, large ones add latency/memory but
+// plateau quickly.
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "stream/streaming_transfer.h"
+
+using namespace sqlink;
+using sqlink::bench::BenchEnv;
+
+int main(int argc, char** argv) {
+  const int64_t rows = sqlink::bench::RowsArg(argc, argv, 300000);
+  auto env = BenchEnv::Make(rows);
+  // Fix the SQL side: stream a pre-materialized table so only the
+  // transfer varies.
+  auto table = env->engine->MaterializeSql(
+      "SELECT cartid, amount, nitems, year FROM carts", "stream_src");
+  if (!table.ok()) return 1;
+
+  std::printf("=== A1: streaming send-buffer size sweep ===\n");
+  std::printf("rows: %lld (paper fixes 4096 B)\n\n",
+              static_cast<long long>((*table)->TotalRows()));
+  std::printf("%12s %12s %14s %14s\n", "buffer(B)", "time(s)", "frames",
+              "MB/s");
+
+  for (size_t buffer : {256u, 1024u, 4096u, 16384u, 65536u, 262144u}) {
+    StreamTransferOptions options;
+    options.sink.send_buffer_bytes = buffer;
+    Stopwatch watch;
+    auto result = StreamingTransfer::Run(env->engine.get(),
+                                         "SELECT * FROM stream_src", options);
+    if (!result.ok()) {
+      std::fprintf(stderr, "buffer %zu: %s\n", buffer,
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    const double seconds = watch.ElapsedSeconds();
+    const double mb = static_cast<double>(result->bytes_sent) / (1 << 20);
+    // Frames ≈ bytes / buffer (each frame flushes at the buffer size).
+    const double frames =
+        static_cast<double>(result->bytes_sent) / static_cast<double>(buffer);
+    std::printf("%12zu %12.3f %14.0f %14.1f\n", buffer, seconds, frames,
+                mb / seconds);
+  }
+  return 0;
+}

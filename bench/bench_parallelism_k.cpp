@@ -1,0 +1,44 @@
+// Ablation A2: degree of ML-side parallelism k (m = n·k InputSplits, the
+// paper's knob for the number of ML workers per SQL worker). More readers
+// per sender increase receive parallelism until the single sender per SQL
+// worker becomes the bottleneck.
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "stream/streaming_transfer.h"
+
+using namespace sqlink;
+using sqlink::bench::BenchEnv;
+
+int main(int argc, char** argv) {
+  const int64_t rows = sqlink::bench::RowsArg(argc, argv, 300000);
+  auto env = BenchEnv::Make(rows);
+  auto table = env->engine->MaterializeSql(
+      "SELECT cartid, amount, nitems, year FROM carts", "stream_src");
+  if (!table.ok()) return 1;
+
+  std::printf("=== A2: splits per SQL worker (k in m = n*k) ===\n");
+  std::printf("rows: %lld, n = %d SQL workers\n\n",
+              static_cast<long long>((*table)->TotalRows()),
+              env->engine->num_workers());
+  std::printf("%6s %10s %12s %16s\n", "k", "m", "time(s)", "rows/split");
+
+  for (int k : {1, 2, 4, 8}) {
+    StreamTransferOptions options;
+    options.splits_per_worker = k;
+    Stopwatch watch;
+    auto result = StreamingTransfer::Run(env->engine.get(),
+                                         "SELECT * FROM stream_src", options);
+    if (!result.ok()) {
+      std::fprintf(stderr, "k=%d: %s\n", k,
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    const double seconds = watch.ElapsedSeconds();
+    std::printf("%6d %10d %12.3f %16.0f\n", k, result->stats.num_splits,
+                seconds,
+                static_cast<double>(result->dataset.TotalRows()) /
+                    result->stats.num_splits);
+  }
+  return 0;
+}

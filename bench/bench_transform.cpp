@@ -1,0 +1,136 @@
+// Ablation A6: microbenchmarks of the transformation primitives —
+// recoding-map application, the three coding schemes, CSV codec and the
+// binary row codec (google-benchmark).
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "table/csv.h"
+#include "table/row_codec.h"
+#include "transform/coding.h"
+#include "transform/recode_map.h"
+
+namespace sqlink {
+namespace {
+
+Row MakeRow(Random* rng) {
+  return Row{Value::Int64(rng->UniformInt(16, 90)),
+             Value::String(rng->Bernoulli(0.5) ? "F" : "M"),
+             Value::Double(rng->NextDouble() * 500),
+             Value::String(rng->Bernoulli(0.4) ? "Yes" : "No")};
+}
+
+void BM_RecodeMapLookup(benchmark::State& state) {
+  RecodeMap map;
+  (void)map.Add("gender", "F", 1);
+  (void)map.Add("gender", "M", 2);
+  (void)map.Add("abandoned", "Yes", 1);
+  (void)map.Add("abandoned", "No", 2);
+  Random rng(7);
+  int64_t rows = 0;
+  for (auto _ : state) {
+    const std::string value = rng.Bernoulli(0.5) ? "F" : "M";
+    benchmark::DoNotOptimize(map.Code("gender", value));
+    ++rows;
+  }
+  state.SetItemsProcessed(rows);
+}
+BENCHMARK(BM_RecodeMapLookup);
+
+void BM_CodingMatrix(benchmark::State& state) {
+  const auto scheme = static_cast<CodingScheme>(state.range(0));
+  const int k = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CodingMatrix(scheme, k));
+  }
+}
+BENCHMARK(BM_CodingMatrix)
+    ->Args({static_cast<int>(CodingScheme::kDummy), 8})
+    ->Args({static_cast<int>(CodingScheme::kEffect), 8})
+    ->Args({static_cast<int>(CodingScheme::kOrthogonal), 8})
+    ->Args({static_cast<int>(CodingScheme::kOrthogonal), 64});
+
+void BM_DummyCodeRow(benchmark::State& state) {
+  // Apply a k-level dummy coding to a stream of recoded values.
+  const int k = static_cast<int>(state.range(0));
+  const auto matrix = CodingMatrix(CodingScheme::kDummy, k);
+  Random rng(11);
+  int64_t rows = 0;
+  for (auto _ : state) {
+    const int level = static_cast<int>(rng.UniformInt(1, k));
+    Row out;
+    for (double v : (*matrix)[static_cast<size_t>(level - 1)]) {
+      out.push_back(Value::Int64(static_cast<int64_t>(v)));
+    }
+    benchmark::DoNotOptimize(out);
+    ++rows;
+  }
+  state.SetItemsProcessed(rows);
+}
+BENCHMARK(BM_DummyCodeRow)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_CsvFormatRow(benchmark::State& state) {
+  CsvCodec codec;
+  Random rng(3);
+  Row row = MakeRow(&rng);
+  int64_t bytes = 0;
+  for (auto _ : state) {
+    std::string line = codec.FormatRow(row);
+    bytes += static_cast<int64_t>(line.size());
+    benchmark::DoNotOptimize(line);
+  }
+  state.SetBytesProcessed(bytes);
+}
+BENCHMARK(BM_CsvFormatRow);
+
+void BM_CsvParseRow(benchmark::State& state) {
+  CsvCodec codec;
+  Schema schema({{"age", DataType::kInt64},
+                 {"gender", DataType::kString},
+                 {"amount", DataType::kDouble},
+                 {"abandoned", DataType::kString}});
+  Random rng(3);
+  const std::string line = codec.FormatRow(MakeRow(&rng));
+  int64_t bytes = 0;
+  for (auto _ : state) {
+    auto row = codec.ParseRow(line, schema);
+    bytes += static_cast<int64_t>(line.size());
+    benchmark::DoNotOptimize(row);
+  }
+  state.SetBytesProcessed(bytes);
+}
+BENCHMARK(BM_CsvParseRow);
+
+void BM_RowCodecEncode(benchmark::State& state) {
+  Random rng(5);
+  Row row = MakeRow(&rng);
+  int64_t bytes = 0;
+  for (auto _ : state) {
+    std::string buffer;
+    RowCodec::Encode(row, &buffer);
+    bytes += static_cast<int64_t>(buffer.size());
+    benchmark::DoNotOptimize(buffer);
+  }
+  state.SetBytesProcessed(bytes);
+}
+BENCHMARK(BM_RowCodecEncode);
+
+void BM_RowCodecDecode(benchmark::State& state) {
+  Random rng(5);
+  std::string buffer;
+  RowCodec::Encode(MakeRow(&rng), &buffer);
+  int64_t bytes = 0;
+  for (auto _ : state) {
+    Decoder decoder(buffer);
+    auto row = RowCodec::Decode(&decoder);
+    bytes += static_cast<int64_t>(buffer.size());
+    benchmark::DoNotOptimize(row);
+  }
+  state.SetBytesProcessed(bytes);
+}
+BENCHMARK(BM_RowCodecDecode);
+
+}  // namespace
+}  // namespace sqlink
+
+BENCHMARK_MAIN();

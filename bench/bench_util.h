@@ -1,0 +1,74 @@
+#ifndef SQLINK_BENCH_BENCH_UTIL_H_
+#define SQLINK_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "cluster/cluster.h"
+#include "common/fs_util.h"
+#include "common/logging.h"
+#include "dfs/dfs.h"
+#include "pipeline/analytics_pipeline.h"
+#include "pipeline/datagen.h"
+#include "sql/engine.h"
+
+namespace sqlink::bench {
+
+/// Shared fixture for the figure/ablation benchmarks: a 4-node simulated
+/// cluster (matching the paper's 4 worker servers), a DFS, the SQL engine
+/// and the carts/users workload.
+struct BenchEnv {
+  std::unique_ptr<ScopedTempDir> workspace;
+  ClusterPtr cluster;
+  SqlEnginePtr engine;
+  DfsPtr dfs;
+  std::unique_ptr<AnalyticsPipeline> pipeline;
+
+  static std::unique_ptr<BenchEnv> Make(int64_t num_carts,
+                                        int num_nodes = 4) {
+    SetLogLevel(LogLevel::kError);
+    auto env = std::make_unique<BenchEnv>();
+    env->workspace = std::make_unique<ScopedTempDir>("sqlink_bench");
+    auto cluster = Cluster::Make(num_nodes, env->workspace->path());
+    if (!cluster.ok()) {
+      std::fprintf(stderr, "cluster: %s\n",
+                   cluster.status().ToString().c_str());
+      std::exit(1);
+    }
+    env->cluster = *cluster;
+    env->engine = SqlEngine::Make(env->cluster);
+    env->dfs = std::make_shared<Dfs>(env->cluster, DfsOptions{});
+    env->pipeline = std::make_unique<AnalyticsPipeline>(env->engine, env->dfs);
+
+    CartsWorkloadOptions data;
+    data.num_carts = num_carts;
+    data.num_users = std::max<int64_t>(10, num_carts / 100);
+    auto generated = GenerateCartsWorkload(env->engine.get(), data);
+    if (!generated.ok()) {
+      std::fprintf(stderr, "datagen: %s\n",
+                   generated.status().ToString().c_str());
+      std::exit(1);
+    }
+    return env;
+  }
+
+  /// The paper's transformation request over that workload.
+  static TransformRequest PaperRequest() {
+    TransformRequest request;
+    request.prep_sql = CartsPrepQuery();
+    request.recode_columns = {"gender", "abandoned"};
+    request.codings["gender"] = CodingScheme::kDummy;
+    return request;
+  }
+};
+
+/// Row-count CLI argument with a default.
+inline int64_t RowsArg(int argc, char** argv, int64_t default_rows) {
+  return argc > 1 ? std::atoll(argv[1]) : default_rows;
+}
+
+}  // namespace sqlink::bench
+
+#endif  // SQLINK_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,118 @@
+// Interactive SQL shell over the engine — handy for exploring the carts
+// warehouse and trying the In-SQL transformation UDFs by hand.
+//
+//   ./sql_shell [num_carts]
+//
+//   sqlink> SELECT gender, COUNT(*) FROM users GROUP BY gender;
+//   sqlink> EXPLAIN SELECT U.age FROM carts C JOIN users U ON C.userid = U.userid;
+//   sqlink> SELECT * FROM TABLE(recode_local_distinct((SELECT * FROM carts),
+//           'abandoned')) LIMIT 5;
+//   sqlink> \tables      \schema carts      \quit
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "cluster/cluster.h"
+#include "common/fs_util.h"
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "pipeline/datagen.h"
+#include "sql/engine.h"
+#include "table/pretty_print.h"
+#include "transform/udfs.h"
+
+namespace {
+
+using namespace sqlink;
+
+void HandleCommand(SqlEngine* engine, const std::string& line) {
+  if (line == "\\tables") {
+    for (const std::string& name : engine->catalog()->ListTables()) {
+      std::printf("  %s\n", name.c_str());
+    }
+    return;
+  }
+  if (StartsWith(line, "\\schema ")) {
+    const std::string name(TrimWhitespace(line.substr(8)));
+    auto table = engine->catalog()->GetTable(name);
+    if (!table.ok()) {
+      std::printf("%s\n", table.status().ToString().c_str());
+      return;
+    }
+    std::printf("%s (%zu rows): %s\n", (*table)->name().c_str(),
+                (*table)->TotalRows(), (*table)->schema()->ToString().c_str());
+    return;
+  }
+  std::printf("unknown command: %s (try \\tables, \\schema <t>, \\quit)\n",
+              line.c_str());
+}
+
+void RunStatement(SqlEngine* engine, const std::string& sql) {
+  if (EqualsIgnoreCase(sql.substr(0, 7), "EXPLAIN")) {
+    auto plan = engine->ExplainSql(sql.substr(7));
+    if (!plan.ok()) {
+      std::printf("%s\n", plan.status().ToString().c_str());
+      return;
+    }
+    std::printf("%s", plan->c_str());
+    return;
+  }
+  Stopwatch watch;
+  auto result = engine->ExecuteSql(sql);
+  if (!result.ok()) {
+    std::printf("%s\n", result.status().ToString().c_str());
+    return;
+  }
+  std::printf("%s", PrettyPrintTable(**result).c_str());
+  std::printf("%.3fs\n", watch.ElapsedSeconds());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SetLogLevel(LogLevel::kWarning);
+  const int64_t num_carts = argc > 1 ? std::atoll(argv[1]) : 20000;
+
+  ScopedTempDir workspace("sql_shell");
+  auto cluster = Cluster::Make(4, workspace.path());
+  if (!cluster.ok()) return 1;
+  SqlEnginePtr engine = SqlEngine::Make(*cluster);
+  if (!RegisterTransformUdfs(engine.get()).ok()) return 1;
+
+  CartsWorkloadOptions data;
+  data.num_users = num_carts / 10;
+  data.num_carts = num_carts;
+  if (!GenerateCartsWorkload(engine.get(), data).ok()) return 1;
+  std::printf("sqlink shell — tables: carts (%lld rows), users (%lld rows)\n"
+              "End statements with ';'. \\tables lists tables, \\quit exits.\n",
+              static_cast<long long>(data.num_carts),
+              static_cast<long long>(data.num_users));
+
+  std::string buffer;
+  std::string line;
+  std::printf("sqlink> ");
+  std::fflush(stdout);
+  while (std::getline(std::cin, line)) {
+    const std::string trimmed(TrimWhitespace(line));
+    if (buffer.empty() && !trimmed.empty() && trimmed[0] == '\\') {
+      if (trimmed == "\\quit" || trimmed == "\\q") break;
+      HandleCommand(engine.get(), trimmed);
+      std::printf("sqlink> ");
+      std::fflush(stdout);
+      continue;
+    }
+    buffer += line;
+    buffer += " ";
+    const std::string so_far(TrimWhitespace(buffer));
+    if (!so_far.empty() && so_far.back() == ';') {
+      RunStatement(engine.get(), so_far.substr(0, so_far.size() - 1));
+      buffer.clear();
+    }
+    std::printf(buffer.empty() ? "sqlink> " : "   ...> ");
+    std::fflush(stdout);
+  }
+  return 0;
+}

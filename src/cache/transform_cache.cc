@@ -1,0 +1,99 @@
+#include "cache/transform_cache.h"
+
+#include "common/string_util.h"
+
+namespace sqlink {
+
+bool TransformRequest::WantsRecode(const std::string& column) const {
+  for (const std::string& name : recode_columns) {
+    if (EqualsIgnoreCase(name, column)) return true;
+  }
+  return false;
+}
+
+const CodingScheme* TransformRequest::CodingFor(
+    const std::string& column) const {
+  for (const auto& [name, scheme] : codings) {
+    if (EqualsIgnoreCase(name, column)) return &scheme;
+  }
+  return nullptr;
+}
+
+Status TransformCache::PutFullResult(TransformRequest request,
+                                     std::shared_ptr<SelectStmt> prep_stmt,
+                                     RecodeMap recode_map,
+                                     std::string result_table,
+                                     SchemaPtr result_schema) {
+  if (result_table.empty() || result_schema == nullptr) {
+    return Status::InvalidArgument("full result entry needs a table");
+  }
+  auto entry = std::make_shared<TransformCacheEntry>();
+  entry->request = std::move(request);
+  entry->prep_stmt = std::move(prep_stmt);
+  entry->recode_map = std::move(recode_map);
+  entry->result_table = std::move(result_table);
+  entry->result_schema = std::move(result_schema);
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.push_back(std::move(entry));
+  return Status::OK();
+}
+
+Status TransformCache::PutRecodeMap(TransformRequest request,
+                                    std::shared_ptr<SelectStmt> prep_stmt,
+                                    RecodeMap recode_map) {
+  auto entry = std::make_shared<TransformCacheEntry>();
+  entry->request = std::move(request);
+  entry->prep_stmt = std::move(prep_stmt);
+  entry->recode_map = std::move(recode_map);
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.push_back(std::move(entry));
+  return Status::OK();
+}
+
+std::vector<std::shared_ptr<const TransformCacheEntry>>
+TransformCache::Entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_;
+}
+
+void TransformCache::RecordHit(bool full_result) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (full_result) {
+    ++full_hits_;
+  } else {
+    ++map_hits_;
+  }
+}
+
+void TransformCache::RecordMiss() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++misses_;
+}
+
+int64_t TransformCache::full_hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return full_hits_;
+}
+
+int64_t TransformCache::map_hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_hits_;
+}
+
+int64_t TransformCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+void TransformCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  full_hits_ = map_hits_ = misses_ = 0;
+}
+
+size_t TransformCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace sqlink

@@ -1,0 +1,88 @@
+#ifndef SQLINK_CACHE_TRANSFORM_CACHE_H_
+#define SQLINK_CACHE_TRANSFORM_CACHE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sql/ast.h"
+#include "table/table.h"
+#include "transform/coding.h"
+#include "transform/recode_map.h"
+
+namespace sqlink {
+
+/// What the user asked the rewriter to do (§4 input): the data-prep SQL,
+/// which categorical output columns to recode, and which of those to expand
+/// with a coding scheme.
+struct TransformRequest {
+  std::string prep_sql;
+  std::vector<std::string> recode_columns;
+  std::map<std::string, CodingScheme> codings;  // Keyed by column name.
+
+  bool WantsRecode(const std::string& column) const;
+  /// Coding scheme for a column, if any.
+  const CodingScheme* CodingFor(const std::string& column) const;
+};
+
+/// One cached transformation artifact (§5): either the fully transformed
+/// result (a materialized table) or just the intermediate recode map.
+struct TransformCacheEntry {
+  TransformRequest request;
+  std::shared_ptr<SelectStmt> prep_stmt;  // Parsed request.prep_sql.
+  RecodeMap recode_map;
+  /// Set only for fully-transformed entries: the catalog name of the
+  /// materialized table and its schema.
+  std::string result_table;
+  SchemaPtr result_schema;
+
+  bool has_full_result() const { return !result_table.empty(); }
+};
+
+/// Store of transformation artifacts keyed by their originating request.
+/// Lookup (the §5.1/§5.2 matching) lives in the rewriter; the cache is a
+/// plain synchronized store with hit/miss accounting.
+class TransformCache {
+ public:
+  TransformCache() = default;
+
+  TransformCache(const TransformCache&) = delete;
+  TransformCache& operator=(const TransformCache&) = delete;
+
+  /// Caches a fully transformed result (§5.1). The table itself lives in
+  /// the engine catalog under `result_table`.
+  Status PutFullResult(TransformRequest request,
+                       std::shared_ptr<SelectStmt> prep_stmt,
+                       RecodeMap recode_map, std::string result_table,
+                       SchemaPtr result_schema);
+
+  /// Caches an intermediate recode map (§5.2).
+  Status PutRecodeMap(TransformRequest request,
+                      std::shared_ptr<SelectStmt> prep_stmt,
+                      RecodeMap recode_map);
+
+  /// Snapshot of all entries for matching.
+  std::vector<std::shared_ptr<const TransformCacheEntry>> Entries() const;
+
+  void RecordHit(bool full_result);
+  void RecordMiss();
+  int64_t full_hits() const;
+  int64_t map_hits() const;
+  int64_t misses() const;
+
+  void Clear();
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<const TransformCacheEntry>> entries_;
+  int64_t full_hits_ = 0;
+  int64_t map_hits_ = 0;
+  int64_t misses_ = 0;
+};
+
+}  // namespace sqlink
+
+#endif  // SQLINK_CACHE_TRANSFORM_CACHE_H_

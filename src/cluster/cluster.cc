@@ -1,0 +1,33 @@
+#include "cluster/cluster.h"
+
+#include "common/fs_util.h"
+#include "common/status_macros.h"
+#include "common/string_util.h"
+
+namespace sqlink {
+
+Result<std::shared_ptr<Cluster>> Cluster::Make(int num_nodes,
+                                               const std::string& root_dir) {
+  if (num_nodes <= 0) {
+    return Status::InvalidArgument("cluster needs at least one node");
+  }
+  std::vector<std::string> node_dirs;
+  node_dirs.reserve(static_cast<size_t>(num_nodes));
+  for (int i = 0; i < num_nodes; ++i) {
+    std::string dir = root_dir + "/node" + std::to_string(i);
+    RETURN_IF_ERROR(EnsureDir(dir));
+    node_dirs.push_back(std::move(dir));
+  }
+  return std::shared_ptr<Cluster>(
+      new Cluster(num_nodes, root_dir, std::move(node_dirs)));
+}
+
+int Cluster::NodeFromHostName(const std::string& host) const {
+  if (!StartsWith(host, "node")) return -1;
+  auto id = ParseInt64(host.substr(4));
+  if (!id.ok()) return -1;
+  if (*id < 0 || *id >= num_nodes_) return -1;
+  return static_cast<int>(*id);
+}
+
+}  // namespace sqlink

@@ -1,0 +1,61 @@
+#ifndef SQLINK_CLUSTER_CLUSTER_H_
+#define SQLINK_CLUSTER_CLUSTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace sqlink {
+
+/// A simulated cluster: N nodes, each with its own local working directory
+/// (for DFS block replicas and streaming spill files) and a logical host
+/// name used for locality matching. SQL workers, ML workers and DFS
+/// datanodes are all placed on these nodes.
+///
+/// In the paper's testbed one server runs the head services and four host
+/// the HDFS DataNodes, Big SQL workers and Spark workers; here the same
+/// layout is simulated with threads pinned to node ids.
+class Cluster {
+ public:
+  /// Creates a cluster of `num_nodes` nodes rooted at `root_dir`
+  /// (node-local dirs are created eagerly).
+  static Result<std::shared_ptr<Cluster>> Make(int num_nodes,
+                                               const std::string& root_dir);
+
+  int num_nodes() const { return num_nodes_; }
+
+  /// Logical host name for locality matching, e.g. "node3".
+  std::string HostName(int node) const {
+    return "node" + std::to_string(node);
+  }
+
+  /// Resolves a host name back to a node id, or -1.
+  int NodeFromHostName(const std::string& host) const;
+
+  /// Node-local scratch directory (exists).
+  const std::string& NodeLocalDir(int node) const {
+    return node_dirs_[static_cast<size_t>(node)];
+  }
+
+  const std::string& root_dir() const { return root_dir_; }
+
+ private:
+  Cluster(int num_nodes, std::string root_dir,
+          std::vector<std::string> node_dirs)
+      : num_nodes_(num_nodes),
+        root_dir_(std::move(root_dir)),
+        node_dirs_(std::move(node_dirs)) {}
+
+  int num_nodes_;
+  std::string root_dir_;
+  std::vector<std::string> node_dirs_;
+};
+
+using ClusterPtr = std::shared_ptr<Cluster>;
+
+}  // namespace sqlink
+
+#endif  // SQLINK_CLUSTER_CLUSTER_H_

@@ -1,0 +1,118 @@
+#ifndef SQLINK_COMMON_BLOCKING_QUEUE_H_
+#define SQLINK_COMMON_BLOCKING_QUEUE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace sqlink {
+
+/// Bounded multi-producer multi-consumer blocking queue with close
+/// semantics. Used for exchange operators and streaming channels.
+///
+/// - Push blocks while the queue is full; returns false if the queue was
+///   closed (the item is dropped).
+/// - Pop blocks while the queue is empty; returns nullopt once the queue is
+///   closed *and* drained.
+template <typename T>
+class BlockingQueue {
+ public:
+  explicit BlockingQueue(size_t capacity) : capacity_(capacity) {}
+
+  BlockingQueue(const BlockingQueue&) = delete;
+  BlockingQueue& operator=(const BlockingQueue&) = delete;
+
+  /// Blocks until there is room or the queue is closed. Returns true if the
+  /// item was enqueued.
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock,
+                   [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push; returns false when full or closed.
+  bool TryPush(T item) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_ || items_.size() >= capacity_) return false;
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed and drained.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Like Pop but gives up after `timeout`. `timed_out` (optional)
+  /// distinguishes a timeout from closed-and-drained.
+  std::optional<T> PopFor(std::chrono::milliseconds timeout,
+                          bool* timed_out = nullptr) {
+    std::unique_lock<std::mutex> lock(mu_);
+    const bool ready = not_empty_.wait_for(
+        lock, timeout, [this] { return closed_ || !items_.empty(); });
+    if (timed_out != nullptr) *timed_out = !ready;
+    if (!ready || items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> TryPop() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// After Close, pushes fail and pops drain the remaining items then
+  /// return nullopt. Idempotent.
+  void Close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace sqlink
+
+#endif  // SQLINK_COMMON_BLOCKING_QUEUE_H_

@@ -1,0 +1,75 @@
+#ifndef SQLINK_COMMON_CODING_H_
+#define SQLINK_COMMON_CODING_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace sqlink {
+
+/// Little-endian fixed and varint encoders used by the streaming wire format
+/// and the spill files. Append-style encoders write into a std::string;
+/// decoders consume from a cursor over a string_view.
+
+inline void PutFixed32(std::string* dst, uint32_t value) {
+  char buf[4];
+  std::memcpy(buf, &value, 4);
+  dst->append(buf, 4);
+}
+
+inline void PutFixed64(std::string* dst, uint64_t value) {
+  char buf[8];
+  std::memcpy(buf, &value, 8);
+  dst->append(buf, 8);
+}
+
+inline void PutDouble(std::string* dst, double value) {
+  char buf[8];
+  std::memcpy(buf, &value, 8);
+  dst->append(buf, 8);
+}
+
+void PutVarint64(std::string* dst, uint64_t value);
+
+/// ZigZag-encoded signed varint.
+inline void PutVarint64Signed(std::string* dst, int64_t value) {
+  const uint64_t zigzag =
+      (static_cast<uint64_t>(value) << 1) ^ static_cast<uint64_t>(value >> 63);
+  PutVarint64(dst, zigzag);
+}
+
+/// Length-prefixed string.
+inline void PutLengthPrefixed(std::string* dst, std::string_view value) {
+  PutVarint64(dst, value.size());
+  dst->append(value.data(), value.size());
+}
+
+/// Sequential decoder over an encoded buffer. All getters return an error
+/// status on truncated input rather than reading out of bounds.
+class Decoder {
+ public:
+  explicit Decoder(std::string_view data) : data_(data) {}
+
+  Result<uint8_t> GetByte();
+  Result<uint32_t> GetFixed32();
+  Result<uint64_t> GetFixed64();
+  Result<double> GetDouble();
+  Result<uint64_t> GetVarint64();
+  Result<int64_t> GetVarint64Signed();
+  Result<std::string_view> GetLengthPrefixed();
+
+  bool AtEnd() const { return pos_ >= data_.size(); }
+  size_t remaining() const { return data_.size() - pos_; }
+  size_t position() const { return pos_; }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace sqlink
+
+#endif  // SQLINK_COMMON_CODING_H_

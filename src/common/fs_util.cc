@@ -1,0 +1,86 @@
+#include "common/fs_util.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#include "common/logging.h"
+
+namespace sqlink {
+
+namespace fs = std::filesystem;
+
+Result<std::string> MakeTempDir(const std::string& prefix) {
+  static std::atomic<uint64_t> counter{0};
+  std::error_code ec;
+  const fs::path base = fs::temp_directory_path(ec);
+  if (ec) return Status::IoError("temp_directory_path: " + ec.message());
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    const uint64_t id = counter.fetch_add(1);
+    fs::path candidate =
+        base / (prefix + "." + std::to_string(::getpid()) + "." +
+                std::to_string(id));
+    if (fs::create_directories(candidate, ec) && !ec) {
+      return candidate.string();
+    }
+  }
+  return Status::IoError("could not create temp dir with prefix " + prefix);
+}
+
+Status RemoveDirTree(const std::string& path) {
+  std::error_code ec;
+  fs::remove_all(path, ec);
+  if (ec) return Status::IoError("remove_all(" + path + "): " + ec.message());
+  return Status::OK();
+}
+
+Status EnsureDir(const std::string& path) {
+  std::error_code ec;
+  fs::create_directories(path, ec);
+  if (ec) {
+    return Status::IoError("create_directories(" + path + "): " + ec.message());
+  }
+  return Status::OK();
+}
+
+Status WriteFileAtomic(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IoError("cannot open for write: " + tmp);
+    out.write(content.data(), static_cast<std::streamsize>(content.size()));
+    if (!out) return Status::IoError("short write: " + tmp);
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) return Status::IoError("rename to " + path + ": " + ec.message());
+  return Status::OK();
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  if (in.bad()) return Status::IoError("read failed: " + path);
+  return content;
+}
+
+ScopedTempDir::ScopedTempDir(const std::string& prefix) {
+  auto dir = MakeTempDir(prefix);
+  SQLINK_CHECK(dir.ok()) << dir.status();
+  path_ = *dir;
+}
+
+ScopedTempDir::~ScopedTempDir() {
+  const Status status = RemoveDirTree(path_);
+  if (!status.ok()) {
+    LOG_WARNING() << "failed to remove temp dir " << path_ << ": " << status;
+  }
+}
+
+}  // namespace sqlink

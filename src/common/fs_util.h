@@ -1,0 +1,45 @@
+#ifndef SQLINK_COMMON_FS_UTIL_H_
+#define SQLINK_COMMON_FS_UTIL_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace sqlink {
+
+/// Creates a fresh unique directory under the system temp dir with the given
+/// prefix and returns its path.
+Result<std::string> MakeTempDir(const std::string& prefix);
+
+/// Recursively removes a directory tree; OK if it does not exist.
+Status RemoveDirTree(const std::string& path);
+
+/// Creates the directory and any missing parents.
+Status EnsureDir(const std::string& path);
+
+/// Writes the whole buffer to a file, replacing previous content.
+Status WriteFileAtomic(const std::string& path, const std::string& content);
+
+/// Reads the whole file into a string.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Scoped temp dir: created in the constructor, removed in the destructor.
+/// Aborts on creation failure (test/bench convenience).
+class ScopedTempDir {
+ public:
+  explicit ScopedTempDir(const std::string& prefix = "sqlink");
+  ~ScopedTempDir();
+
+  ScopedTempDir(const ScopedTempDir&) = delete;
+  ScopedTempDir& operator=(const ScopedTempDir&) = delete;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace sqlink
+
+#endif  // SQLINK_COMMON_FS_UTIL_H_

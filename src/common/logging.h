@@ -1,0 +1,85 @@
+#ifndef SQLINK_COMMON_LOGGING_H_
+#define SQLINK_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace sqlink {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Sets the global minimum level; messages below it are discarded.
+/// Defaults to kInfo (kWarning while running under gtest keeps output clean).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and emits it (with timestamp, level, file:line)
+/// to stderr on destruction. kFatal aborts the process after emitting.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when the level is disabled.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace sqlink
+
+#define SQLINK_LOG_IS_ON(level) \
+  (::sqlink::LogLevel::level >= ::sqlink::GetLogLevel())
+
+#define SQLINK_LOG_INTERNAL(level)                                       \
+  ::sqlink::internal::LogMessage(::sqlink::LogLevel::level, __FILE__, \
+                                 __LINE__)
+
+#define LOG_DEBUG() \
+  if (!SQLINK_LOG_IS_ON(kDebug)) ; else SQLINK_LOG_INTERNAL(kDebug)
+#define LOG_INFO() \
+  if (!SQLINK_LOG_IS_ON(kInfo)) ; else SQLINK_LOG_INTERNAL(kInfo)
+#define LOG_WARNING() \
+  if (!SQLINK_LOG_IS_ON(kWarning)) ; else SQLINK_LOG_INTERNAL(kWarning)
+#define LOG_ERROR() \
+  if (!SQLINK_LOG_IS_ON(kError)) ; else SQLINK_LOG_INTERNAL(kError)
+#define LOG_FATAL() SQLINK_LOG_INTERNAL(kFatal)
+
+/// Invariant check, enabled in all build types: databases do not ship with
+/// their assertions compiled out.
+#define SQLINK_CHECK(cond)                                    \
+  if (cond) ; else                                            \
+    LOG_FATAL() << "Check failed: " #cond " "
+
+#define SQLINK_CHECK_OK(expr)                                 \
+  do {                                                        \
+    const ::sqlink::Status _st = (expr);                      \
+    SQLINK_CHECK(_st.ok()) << _st.ToString();                 \
+  } while (0)
+
+#define SQLINK_DCHECK(cond) SQLINK_CHECK(cond)
+
+#endif  // SQLINK_COMMON_LOGGING_H_

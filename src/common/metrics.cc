@@ -1,0 +1,10 @@
+#include "common/metrics.h"
+
+namespace sqlink {
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* const registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace sqlink

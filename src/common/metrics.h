@@ -1,0 +1,54 @@
+#ifndef SQLINK_COMMON_METRICS_H_
+#define SQLINK_COMMON_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace sqlink {
+
+/// Thread-safe named counter registry. Subsystems record operational facts
+/// (bytes streamed, rows spilled, cache hits) that tests and benchmarks
+/// assert on or report.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  void Add(const std::string& name, int64_t delta) {
+    std::lock_guard<std::mutex> lock(mu_);
+    counters_[name] += delta;
+  }
+
+  void Increment(const std::string& name) { Add(name, 1); }
+
+  int64_t Get(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+
+  std::map<std::string, int64_t> Snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return counters_;
+  }
+
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    counters_.clear();
+  }
+
+  /// Process-wide registry shared by subsystems that have no natural owner.
+  static MetricsRegistry& Global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, int64_t> counters_;
+};
+
+}  // namespace sqlink
+
+#endif  // SQLINK_COMMON_METRICS_H_

@@ -1,0 +1,44 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sqlink {
+
+double Random::NextGaussian() {
+  // Box–Muller; draw until u1 is non-zero to avoid log(0).
+  double u1 = 0.0;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 0.0);
+  const double u2 = NextDouble();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+std::string Random::NextString(size_t length) {
+  std::string result(length, 'a');
+  for (char& c : result) {
+    c = static_cast<char>('a' + Uniform(26));
+  }
+  return result;
+}
+
+ZipfDistribution::ZipfDistribution(size_t n, double s) {
+  if (n == 0) n = 1;
+  cdf_.resize(n);
+  double total = 0;
+  for (size_t r = 0; r < n; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), s);
+    cdf_[r] = total;
+  }
+  for (double& v : cdf_) v /= total;
+}
+
+size_t ZipfDistribution::Sample(Random* rng) const {
+  const double u = rng->NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return it == cdf_.end() ? cdf_.size() - 1
+                          : static_cast<size_t>(it - cdf_.begin());
+}
+
+}  // namespace sqlink

@@ -1,0 +1,82 @@
+#ifndef SQLINK_COMMON_RANDOM_H_
+#define SQLINK_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sqlink {
+
+/// Deterministic, fast PRNG (xorshift128+) for synthetic data generation.
+/// Not thread-safe; give each worker its own instance seeded by worker id so
+/// generated datasets are reproducible regardless of scheduling.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 42) {
+    // SplitMix64 seeding avoids weak all-zero states.
+    uint64_t z = seed + 0x9e3779b97f4a7c15ULL;
+    for (uint64_t* s : {&s0_, &s1_}) {
+      z += 0x9e3779b97f4a7c15ULL;
+      uint64_t x = z;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+      *s = x ^ (x >> 31);
+    }
+  }
+
+  uint64_t NextUint64() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  uint64_t Uniform(uint64_t bound) { return NextUint64() % bound; }
+
+  /// Uniform integer in [lo, hi].
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextUint64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Standard normal via Box–Muller.
+  double NextGaussian();
+
+  /// Random lower-case ASCII string of the given length.
+  std::string NextString(size_t length);
+
+ private:
+  uint64_t s0_ = 0;
+  uint64_t s1_ = 0;
+};
+
+/// Zipf(s) sampler over {0, ..., n-1}: rank r is drawn with probability
+/// proportional to 1/(r+1)^s. Used to generate skewed join keys (hot
+/// users owning most carts). Precomputes the CDF once; sampling is a
+/// binary search.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(size_t n, double s);
+
+  /// Draws one rank in [0, n).
+  size_t Sample(Random* rng) const;
+
+  size_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace sqlink
+
+#endif  // SQLINK_COMMON_RANDOM_H_

@@ -1,0 +1,70 @@
+#ifndef SQLINK_COMMON_RESULT_H_
+#define SQLINK_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace sqlink {
+
+/// Holds either a value of type T or a non-OK Status. This is the return
+/// type of every fallible operation that produces a value. Accessing the
+/// value of an errored Result aborts the process (callers must check ok(),
+/// or use the ASSIGN_OR_RETURN macro).
+template <typename T>
+class Result {
+ public:
+  /// Implicit so `return value;` and `return status;` both work.
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(T value) : repr_(std::in_place_index<0>, std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(Status status) : repr_(std::in_place_index<1>, std::move(status)) {
+    if (std::get<1>(repr_).ok()) {
+      // A Result constructed from a Status must carry an error.
+      std::abort();
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return repr_.index() == 0; }
+
+  /// The status: OK if a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<1>(repr_);
+  }
+
+  const T& value() const& {
+    if (!ok()) std::abort();
+    return std::get<0>(repr_);
+  }
+  T& value() & {
+    if (!ok()) std::abort();
+    return std::get<0>(repr_);
+  }
+  T&& value() && {
+    if (!ok()) std::abort();
+    return std::get<0>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Moves the value out; the Result is left holding a moved-from value.
+  T MoveValue() { return std::get<0>(std::move(repr_)); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace sqlink
+
+#endif  // SQLINK_COMMON_RESULT_H_

@@ -1,0 +1,148 @@
+#ifndef SQLINK_COMMON_STATUS_H_
+#define SQLINK_COMMON_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace sqlink {
+
+/// Error categories used across the library. Mirrors the usual database
+/// status taxonomy (Arrow/RocksDB style): a Status is cheap to pass around,
+/// OK is represented without allocation.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kIoError = 4,
+  kNetworkError = 5,
+  kInternal = 6,
+  kUnavailable = 7,
+  kAborted = 8,
+  kOutOfRange = 9,
+  kFailedPrecondition = 10,
+  kCancelled = 11,
+  kUnimplemented = 12,
+  kDataLoss = 13,
+  kParseError = 14,
+};
+
+/// Returns the canonical lower-case name of a status code ("Invalid argument").
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Result of an operation that can fail. Functions in this library never
+/// throw; fallible operations return Status (or Result<T> when they produce a
+/// value). An OK status carries no message and no heap allocation.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : state_(code == StatusCode::kOk
+                   ? nullptr
+                   : std::make_shared<State>(code, std::move(message))) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status NetworkError(std::string msg) {
+    return Status(StatusCode::kNetworkError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const {
+    return state_ == nullptr ? StatusCode::kOk : state_->code;
+  }
+  /// The human-readable message; empty for OK.
+  const std::string& message() const {
+    static const std::string* const kEmpty = new std::string();
+    return state_ == nullptr ? *kEmpty : state_->message;
+  }
+
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsIoError() const { return code() == StatusCode::kIoError; }
+  bool IsNetworkError() const { return code() == StatusCode::kNetworkError; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+  bool IsAborted() const { return code() == StatusCode::kAborted; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsFailedPrecondition() const {
+    return code() == StatusCode::kFailedPrecondition;
+  }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+  bool IsUnimplemented() const { return code() == StatusCode::kUnimplemented; }
+  bool IsDataLoss() const { return code() == StatusCode::kDataLoss; }
+  bool IsParseError() const { return code() == StatusCode::kParseError; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  /// Returns a copy with `context + ": "` prepended to the message. Useful
+  /// when propagating errors up through layers.
+  Status WithContext(std::string_view context) const;
+
+ private:
+  struct State {
+    State(StatusCode c, std::string m) : code(c), message(std::move(m)) {}
+    StatusCode code;
+    std::string message;
+  };
+  // Shared so Status is cheap to copy; never mutated after construction.
+  std::shared_ptr<const State> state_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace sqlink
+
+#endif  // SQLINK_COMMON_STATUS_H_

@@ -1,0 +1,27 @@
+#ifndef SQLINK_COMMON_STATUS_MACROS_H_
+#define SQLINK_COMMON_STATUS_MACROS_H_
+
+#include "common/result.h"
+#include "common/status.h"
+
+/// Propagates a non-OK Status to the caller.
+#define RETURN_IF_ERROR(expr)                       \
+  do {                                              \
+    ::sqlink::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                      \
+  } while (0)
+
+#define SQLINK_CONCAT_IMPL(x, y) x##y
+#define SQLINK_CONCAT(x, y) SQLINK_CONCAT_IMPL(x, y)
+
+/// Evaluates an expression returning Result<T>; on error propagates the
+/// Status, otherwise assigns the value to `lhs` (which may be a declaration).
+#define ASSIGN_OR_RETURN(lhs, rexpr)                              \
+  ASSIGN_OR_RETURN_IMPL(SQLINK_CONCAT(_result_, __LINE__), lhs, rexpr)
+
+#define ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                          \
+  if (!tmp.ok()) return tmp.status();          \
+  lhs = std::move(tmp).MoveValue()
+
+#endif  // SQLINK_COMMON_STATUS_MACROS_H_

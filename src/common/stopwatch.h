@@ -1,0 +1,32 @@
+#ifndef SQLINK_COMMON_STOPWATCH_H_
+#define SQLINK_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace sqlink {
+
+/// Monotonic wall-clock stopwatch used for the benchmark stage breakdowns.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace sqlink
+
+#endif  // SQLINK_COMMON_STOPWATCH_H_

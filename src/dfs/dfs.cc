@@ -1,0 +1,308 @@
+#include "dfs/dfs.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include "common/fs_util.h"
+#include "common/logging.h"
+#include "common/status_macros.h"
+
+namespace sqlink {
+
+Dfs::Dfs(ClusterPtr cluster, DfsOptions options)
+    : cluster_(std::move(cluster)), options_(options) {
+  options_.replication =
+      std::max(1, std::min(options_.replication, cluster_->num_nodes()));
+  SQLINK_CHECK(options_.block_size > 0);
+  for (int i = 0; i < cluster_->num_nodes(); ++i) {
+    SQLINK_CHECK_OK(EnsureDir(cluster_->NodeLocalDir(i) + "/dfs"));
+  }
+}
+
+std::string Dfs::BlockPath(int node, uint64_t block_id) const {
+  return cluster_->NodeLocalDir(node) + "/dfs/blk_" + std::to_string(block_id);
+}
+
+Result<std::unique_ptr<DfsWriter>> Dfs::Create(const std::string& path,
+                                               int preferred_node) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (files_.count(path) > 0) {
+      return Status::AlreadyExists("dfs file exists: " + path);
+    }
+    // Reserve the name so two writers cannot race; the entry stays
+    // non-finalized (invisible to readers) until Close().
+    files_.emplace(path, FileMeta{});
+  }
+  return std::unique_ptr<DfsWriter>(new DfsWriter(this, path, preferred_node));
+}
+
+Result<std::unique_ptr<DfsReader>> Dfs::Open(const std::string& path,
+                                             int reader_node) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end() || !it->second.finalized) {
+    return Status::NotFound("dfs file not found: " + path);
+  }
+  return std::unique_ptr<DfsReader>(
+      new DfsReader(this, it->second.blocks, it->second.size, reader_node));
+}
+
+bool Dfs::Exists(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  return it != files_.end() && it->second.finalized;
+}
+
+Result<uint64_t> Dfs::FileSize(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end() || !it->second.finalized) {
+    return Status::NotFound("dfs file not found: " + path);
+  }
+  return it->second.size;
+}
+
+Result<std::vector<BlockLocation>> Dfs::GetBlockLocations(
+    const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end() || !it->second.finalized) {
+    return Status::NotFound("dfs file not found: " + path);
+  }
+  std::vector<BlockLocation> locations;
+  uint64_t offset = 0;
+  for (const BlockMeta& block : it->second.blocks) {
+    locations.push_back(BlockLocation{offset, block.length, block.nodes});
+    offset += block.length;
+  }
+  return locations;
+}
+
+std::vector<std::string> Dfs::List(const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> result;
+  const std::string dir_prefix =
+      prefix.empty() || prefix.back() == '/' ? prefix : prefix + "/";
+  for (const auto& [path, meta] : files_) {
+    if (!meta.finalized) continue;
+    if (prefix.empty() || path == prefix ||
+        path.compare(0, dir_prefix.size(), dir_prefix) == 0) {
+      result.push_back(path);
+    }
+  }
+  return result;
+}
+
+Status Dfs::Delete(const std::string& path) {
+  FileMeta meta;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = files_.find(path);
+    if (it == files_.end()) {
+      return Status::NotFound("dfs file not found: " + path);
+    }
+    meta = it->second;
+    files_.erase(it);
+  }
+  for (const BlockMeta& block : meta.blocks) {
+    for (int node : block.nodes) {
+      std::error_code ec;
+      std::filesystem::remove(BlockPath(node, block.id), ec);
+    }
+  }
+  return Status::OK();
+}
+
+Status Dfs::WriteString(const std::string& path, const std::string& content,
+                        int preferred_node) {
+  ASSIGN_OR_RETURN(std::unique_ptr<DfsWriter> writer,
+                   Create(path, preferred_node));
+  RETURN_IF_ERROR(writer->Append(content));
+  return writer->Close();
+}
+
+Result<std::string> Dfs::ReadString(const std::string& path) const {
+  ASSIGN_OR_RETURN(std::unique_ptr<DfsReader> reader, Open(path));
+  return reader->ReadAll();
+}
+
+uint64_t Dfs::TotalBytesWritten() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_written_;
+}
+
+uint64_t Dfs::TotalBytesRead() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_read_;
+}
+
+// ---------------------------------------------------------------------------
+// DfsWriter
+
+DfsWriter::DfsWriter(Dfs* dfs, std::string path, int preferred_node)
+    : dfs_(dfs), path_(std::move(path)), preferred_node_(preferred_node) {}
+
+DfsWriter::~DfsWriter() {
+  if (!closed_) {
+    const Status status = Close();
+    if (!status.ok()) {
+      LOG_WARNING() << "DfsWriter close failed for " << path_ << ": "
+                    << status;
+    }
+  }
+}
+
+Status DfsWriter::Append(std::string_view data) {
+  if (closed_) return Status::FailedPrecondition("writer already closed");
+  size_t consumed = 0;
+  while (consumed < data.size()) {
+    const uint64_t room = dfs_->options_.block_size - buffer_.size();
+    const size_t take =
+        static_cast<size_t>(std::min<uint64_t>(room, data.size() - consumed));
+    buffer_.append(data.substr(consumed, take));
+    consumed += take;
+    if (buffer_.size() >= dfs_->options_.block_size) {
+      RETURN_IF_ERROR(FlushBlock());
+    }
+  }
+  return Status::OK();
+}
+
+Status DfsWriter::FlushBlock() {
+  if (buffer_.empty()) return Status::OK();
+
+  Dfs::BlockMeta block;
+  block.length = buffer_.size();
+  {
+    std::lock_guard<std::mutex> lock(dfs_->mu_);
+    block.id = dfs_->next_block_id_++;
+    // First replica on the preferred (writing) node when given, remaining
+    // replicas round-robin across the cluster — HDFS-style placement.
+    int cursor = dfs_->next_replica_node_;
+    const int num_nodes = dfs_->cluster_->num_nodes();
+    if (preferred_node_ >= 0 && preferred_node_ < num_nodes) {
+      block.nodes.push_back(preferred_node_);
+    }
+    while (static_cast<int>(block.nodes.size()) < dfs_->options_.replication) {
+      const int candidate = cursor % num_nodes;
+      cursor++;
+      if (std::find(block.nodes.begin(), block.nodes.end(), candidate) ==
+          block.nodes.end()) {
+        block.nodes.push_back(candidate);
+      }
+    }
+    dfs_->next_replica_node_ = cursor % num_nodes;
+    dfs_->bytes_written_ += block.length * block.nodes.size();
+  }
+
+  for (int node : block.nodes) {
+    const std::string block_path = dfs_->BlockPath(node, block.id);
+    std::ofstream out(block_path, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IoError("cannot open block file " + block_path);
+    out.write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
+    if (!out) return Status::IoError("short write to " + block_path);
+  }
+
+  total_size_ += buffer_.size();
+  blocks_.push_back(std::move(block));
+  buffer_.clear();
+  return Status::OK();
+}
+
+Status DfsWriter::Close() {
+  if (closed_) return Status::OK();
+  RETURN_IF_ERROR(FlushBlock());
+  closed_ = true;
+  std::lock_guard<std::mutex> lock(dfs_->mu_);
+  auto it = dfs_->files_.find(path_);
+  if (it == dfs_->files_.end()) {
+    return Status::Internal("file entry vanished during write: " + path_);
+  }
+  it->second.blocks = std::move(blocks_);
+  it->second.size = total_size_;
+  it->second.finalized = true;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// DfsReader
+
+DfsReader::DfsReader(const Dfs* dfs, std::vector<Dfs::BlockMeta> blocks,
+                     uint64_t file_size, int reader_node)
+    : dfs_(dfs),
+      blocks_(std::move(blocks)),
+      file_size_(file_size),
+      reader_node_(reader_node) {}
+
+Status DfsReader::ReadAt(uint64_t offset, uint64_t length,
+                         std::string* out) const {
+  out->clear();
+  if (offset >= file_size_) return Status::OK();
+  length = std::min(length, file_size_ - offset);
+  out->reserve(static_cast<size_t>(length));
+
+  // Walk blocks covering [offset, offset + length).
+  uint64_t block_start = 0;
+  for (const Dfs::BlockMeta& block : blocks_) {
+    const uint64_t block_end = block_start + block.length;
+    if (block_end > offset && block_start < offset + length) {
+      const uint64_t read_begin = std::max(offset, block_start) - block_start;
+      const uint64_t read_end =
+          std::min(offset + length, block_end) - block_start;
+      // Prefer a replica on the reading node; on failure fall back to the
+      // remaining replicas (HDFS-style datanode failover).
+      std::vector<int> candidates;
+      if (reader_node_ >= 0 &&
+          std::find(block.nodes.begin(), block.nodes.end(), reader_node_) !=
+              block.nodes.end()) {
+        candidates.push_back(reader_node_);
+      }
+      for (int node : block.nodes) {
+        if (std::find(candidates.begin(), candidates.end(), node) ==
+            candidates.end()) {
+          candidates.push_back(node);
+        }
+      }
+      const size_t want = static_cast<size_t>(read_end - read_begin);
+      std::string chunk(want, '\0');
+      Status last_error =
+          Status::IoError("block has no replicas: " + std::to_string(block.id));
+      bool read_ok = false;
+      for (int node : candidates) {
+        const std::string block_path = dfs_->BlockPath(node, block.id);
+        std::ifstream in(block_path, std::ios::binary);
+        if (!in) {
+          last_error = Status::IoError("cannot open block file " + block_path);
+          continue;
+        }
+        in.seekg(static_cast<std::streamoff>(read_begin));
+        in.read(chunk.data(), static_cast<std::streamsize>(want));
+        if (in.gcount() != static_cast<std::streamsize>(want)) {
+          last_error = Status::IoError("short read from " + block_path);
+          continue;
+        }
+        read_ok = true;
+        break;
+      }
+      if (!read_ok) return last_error;
+      out->append(chunk);
+    }
+    block_start = block_end;
+    if (block_start >= offset + length) break;
+  }
+  {
+    std::lock_guard<std::mutex> lock(dfs_->mu_);
+    dfs_->bytes_read_ += out->size();
+  }
+  return Status::OK();
+}
+
+Result<std::string> DfsReader::ReadAll() const {
+  std::string content;
+  RETURN_IF_ERROR(ReadAt(0, file_size_, &content));
+  return content;
+}
+
+}  // namespace sqlink

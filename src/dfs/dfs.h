@@ -1,0 +1,168 @@
+#ifndef SQLINK_DFS_DFS_H_
+#define SQLINK_DFS_DFS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace sqlink {
+
+/// Options for the distributed filesystem simulation.
+struct DfsOptions {
+  /// Maximum bytes per block; a file is split into fixed-size blocks like
+  /// HDFS. Small default keeps multi-block code paths exercised in tests.
+  uint64_t block_size = 8 * 1024 * 1024;
+  /// Number of replicas per block (paper testbed: 3). Clamped to the number
+  /// of nodes.
+  int replication = 3;
+};
+
+/// Location metadata for one block of a file.
+struct BlockLocation {
+  uint64_t offset = 0;  ///< Byte offset of this block within the file.
+  uint64_t length = 0;  ///< Block payload size in bytes.
+  std::vector<int> nodes;  ///< Nodes holding a replica.
+};
+
+class DfsWriter;
+class DfsReader;
+
+/// A shared block-based filesystem simulating HDFS over node-local
+/// directories: a NameNode (this object's metadata map, mutex-protected) plus
+/// per-node block files. Every replica write is a real disk write, so the
+/// cost structure of materialize-to-HDFS-and-read-back — the thing the
+/// paper's streaming transfer avoids — is reproduced.
+class Dfs {
+ public:
+  Dfs(ClusterPtr cluster, DfsOptions options);
+
+  Dfs(const Dfs&) = delete;
+  Dfs& operator=(const Dfs&) = delete;
+
+  /// Creates a new file and returns a writer. `preferred_node` places the
+  /// first replica (HDFS writes the first replica on the writing node);
+  /// pass -1 for no preference. Fails if the path exists.
+  Result<std::unique_ptr<DfsWriter>> Create(const std::string& path,
+                                            int preferred_node = -1);
+
+  /// Opens a file for sequential reads. `reader_node` selects replicas for
+  /// locality accounting; pass -1 for no preference.
+  Result<std::unique_ptr<DfsReader>> Open(const std::string& path,
+                                          int reader_node = -1) const;
+
+  bool Exists(const std::string& path) const;
+  Result<uint64_t> FileSize(const std::string& path) const;
+  Result<std::vector<BlockLocation>> GetBlockLocations(
+      const std::string& path) const;
+
+  /// Paths under the directory prefix (a path "dir/a" is under "dir").
+  std::vector<std::string> List(const std::string& prefix) const;
+
+  Status Delete(const std::string& path);
+
+  /// Convenience helpers for small files.
+  Status WriteString(const std::string& path, const std::string& content,
+                     int preferred_node = -1);
+  Result<std::string> ReadString(const std::string& path) const;
+
+  /// Total bytes written to disk including replication (for benchmarks).
+  uint64_t TotalBytesWritten() const;
+  uint64_t TotalBytesRead() const;
+
+  const DfsOptions& options() const { return options_; }
+  const ClusterPtr& cluster() const { return cluster_; }
+
+ private:
+  friend class DfsWriter;
+  friend class DfsReader;
+
+  struct BlockMeta {
+    uint64_t id = 0;
+    uint64_t length = 0;
+    std::vector<int> nodes;
+  };
+  struct FileMeta {
+    std::vector<BlockMeta> blocks;
+    uint64_t size = 0;
+    bool finalized = false;
+  };
+
+  std::string BlockPath(int node, uint64_t block_id) const;
+
+  ClusterPtr cluster_;
+  DfsOptions options_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, FileMeta> files_;
+  uint64_t next_block_id_ = 0;
+  int next_replica_node_ = 0;  // Round-robin placement cursor.
+  mutable uint64_t bytes_written_ = 0;
+  mutable uint64_t bytes_read_ = 0;
+};
+
+/// Sequential writer for a new DFS file. Buffered; cuts a block whenever the
+/// buffer reaches the block size. Close() finalizes the file in the
+/// NameNode; a file never becomes visible to readers without Close().
+class DfsWriter {
+ public:
+  ~DfsWriter();
+
+  DfsWriter(const DfsWriter&) = delete;
+  DfsWriter& operator=(const DfsWriter&) = delete;
+
+  Status Append(std::string_view data);
+  Status Close();
+
+  uint64_t bytes_written() const { return total_size_; }
+
+ private:
+  friend class Dfs;
+  DfsWriter(Dfs* dfs, std::string path, int preferred_node);
+
+  Status FlushBlock();
+
+  Dfs* dfs_;
+  std::string path_;
+  int preferred_node_;
+  std::string buffer_;
+  std::vector<Dfs::BlockMeta> blocks_;
+  uint64_t total_size_ = 0;
+  bool closed_ = false;
+};
+
+/// Sequential reader over a DFS file. Supports positioned reads used by the
+/// InputFormat line reader.
+class DfsReader {
+ public:
+  /// Reads up to `length` bytes at `offset` into `out` (resized to the bytes
+  /// actually read; empty at EOF).
+  Status ReadAt(uint64_t offset, uint64_t length, std::string* out) const;
+
+  /// Reads the whole file.
+  Result<std::string> ReadAll() const;
+
+  uint64_t file_size() const { return file_size_; }
+
+ private:
+  friend class Dfs;
+  DfsReader(const Dfs* dfs, std::vector<Dfs::BlockMeta> blocks,
+            uint64_t file_size, int reader_node);
+
+  const Dfs* dfs_;
+  std::vector<Dfs::BlockMeta> blocks_;
+  uint64_t file_size_;
+  int reader_node_;
+};
+
+using DfsPtr = std::shared_ptr<Dfs>;
+
+}  // namespace sqlink
+
+#endif  // SQLINK_DFS_DFS_H_

@@ -1,0 +1,75 @@
+#include "dfs/line_reader.h"
+
+namespace sqlink {
+
+DfsLineReader::DfsLineReader(std::unique_ptr<DfsReader> reader, uint64_t start,
+                             uint64_t end, size_t io_buffer_size)
+    : reader_(std::move(reader)),
+      end_(end),
+      io_buffer_size_(io_buffer_size == 0 ? 1 : io_buffer_size),
+      position_(start),
+      consumed_(start),
+      skip_first_(start > 0),
+      buffer_file_offset_(start) {}
+
+bool DfsLineReader::Refill() {
+  if (!status_.ok()) return false;
+  buffer_file_offset_ = position_;
+  const Status status = reader_->ReadAt(position_, io_buffer_size_, &buffer_);
+  if (!status.ok()) {
+    status_ = status;
+    return false;
+  }
+  position_ += buffer_.size();
+  buffer_pos_ = 0;
+  return !buffer_.empty();
+}
+
+bool DfsLineReader::ReadLineRaw(std::string* line) {
+  line->clear();
+  for (;;) {
+    if (buffer_pos_ >= buffer_.size()) {
+      if (!Refill()) break;  // EOF or error.
+    }
+    const size_t nl = buffer_.find('\n', buffer_pos_);
+    if (nl == std::string::npos) {
+      line->append(buffer_, buffer_pos_, buffer_.size() - buffer_pos_);
+      buffer_pos_ = buffer_.size();
+    } else {
+      line->append(buffer_, buffer_pos_, nl - buffer_pos_);
+      buffer_pos_ = nl + 1;
+      return true;
+    }
+  }
+  // EOF: emit a final unterminated line if we accumulated anything.
+  return status_.ok() && !line->empty();
+}
+
+bool DfsLineReader::Next(std::string* line) {
+  if (done_ || !status_.ok()) return false;
+  if (skip_first_) {
+    // This split starts mid-file: the bytes up to the first newline belong
+    // to the previous split's last line (Hadoop TextInputFormat semantics).
+    skip_first_ = false;
+    std::string discarded;
+    if (!ReadLineRaw(&discarded)) {
+      done_ = true;
+      return false;
+    }
+  }
+  const uint64_t line_start = buffer_file_offset_ + buffer_pos_;
+  if (line_start > end_) {
+    // The line starting past `end` belongs to the next split. A line
+    // starting exactly at `end` is ours (the next split skips it).
+    done_ = true;
+    return false;
+  }
+  consumed_ = line_start;
+  if (!ReadLineRaw(line)) {
+    done_ = true;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace sqlink

@@ -1,0 +1,52 @@
+#ifndef SQLINK_DFS_LINE_READER_H_
+#define SQLINK_DFS_LINE_READER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "dfs/dfs.h"
+
+namespace sqlink {
+
+/// Reads '\n'-terminated lines from a byte range of a DFS file with Hadoop
+/// TextInputFormat split semantics: a reader whose range starts at offset > 0
+/// skips the (partial) first line — it belongs to the previous split — and a
+/// reader finishes the line that straddles its end offset. Together, readers
+/// over adjacent ranges see every line exactly once.
+class DfsLineReader {
+ public:
+  /// `start`/`end` delimit the split in bytes; `end` may exceed file size.
+  DfsLineReader(std::unique_ptr<DfsReader> reader, uint64_t start,
+                uint64_t end, size_t io_buffer_size = 256 * 1024);
+
+  /// Fetches the next line (without the trailing '\n') into `*line`.
+  /// Returns false at end of split. Errors are surfaced via status().
+  bool Next(std::string* line);
+
+  const Status& status() const { return status_; }
+
+ private:
+  /// Refills buffer_ from position_; returns false at EOF or on error.
+  bool Refill();
+
+  /// Reads the next raw line regardless of split bounds. Returns false at
+  /// EOF (with nothing accumulated) or on error.
+  bool ReadLineRaw(std::string* line);
+
+  std::unique_ptr<DfsReader> reader_;
+  uint64_t end_;
+  size_t io_buffer_size_;
+  uint64_t position_;            // Next byte to fetch from the file.
+  uint64_t consumed_;            // Start offset of the last emitted line.
+  bool skip_first_;              // Discard the partial first line once.
+  uint64_t buffer_file_offset_;  // Absolute offset of buffer_[0].
+  std::string buffer_;
+  size_t buffer_pos_ = 0;
+  bool done_ = false;
+  Status status_;
+};
+
+}  // namespace sqlink
+
+#endif  // SQLINK_DFS_LINE_READER_H_

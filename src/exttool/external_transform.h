@@ -1,0 +1,57 @@
+#ifndef SQLINK_EXTTOOL_EXTERNAL_TRANSFORM_H_
+#define SQLINK_EXTTOOL_EXTERNAL_TRANSFORM_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/result.h"
+#include "dfs/dfs.h"
+#include "ml/input_format.h"
+#include "table/schema.h"
+#include "transform/coding.h"
+#include "transform/recode_map.h"
+
+namespace sqlink {
+
+/// Stand-in for the external transformation tool of the naive baseline
+/// (the paper uses Jaql, which "has built-in functions for recoding of
+/// categorical variables and dummy coding"). It is a separate MapReduce-
+/// style job between two filesystem materializations:
+///
+///   pass 1: workers scan the DFS input splits and compute the global
+///           recode map (local distincts → merge → sorted code assignment);
+///   pass 2: workers re-scan, apply recoding + coding, and write the
+///           transformed rows back to DFS as text part files.
+///
+/// This reproduces the baseline's cost structure: one extra full read plus
+/// one extra full (replicated) write, none of it pipelined with the SQL
+/// query or the ML job.
+class ExternalTransformTool {
+ public:
+  ExternalTransformTool(DfsPtr dfs, ClusterPtr cluster)
+      : dfs_(std::move(dfs)), cluster_(std::move(cluster)) {}
+
+  struct Result_ {
+    RecodeMap recode_map;
+    SchemaPtr output_schema;
+    uint64_t rows = 0;
+    std::string output_path;
+  };
+
+  /// Transforms CSV data at `input_path` (typed by `input_schema`) into
+  /// CSV part files under `output_path`.
+  Result<Result_> Run(const std::string& input_path, SchemaPtr input_schema,
+                      const std::vector<std::string>& recode_columns,
+                      const std::map<std::string, CodingScheme>& codings,
+                      const std::string& output_path);
+
+ private:
+  DfsPtr dfs_;
+  ClusterPtr cluster_;
+};
+
+}  // namespace sqlink
+
+#endif  // SQLINK_EXTTOOL_EXTERNAL_TRANSFORM_H_

@@ -1,0 +1,37 @@
+#ifndef SQLINK_ML_CLASSIFIERS_H_
+#define SQLINK_ML_CLASSIFIERS_H_
+
+#include "common/result.h"
+#include "ml/dataset.h"
+#include "ml/sgd.h"
+
+namespace sqlink::ml {
+
+/// Linear SVM trained with distributed SGD — the algorithm of the paper's
+/// end-to-end experiment (MLlib SVMWithSGD). Labels are 0/1.
+struct SvmWithSgd {
+  static Result<SgdResult> Train(const Dataset& data,
+                                 const SgdOptions& options = {}) {
+    return RunDistributedSgd(data, HingeLoss(), options);
+  }
+};
+
+/// Logistic regression with distributed SGD. Labels are 0/1.
+struct LogisticRegressionWithSgd {
+  static Result<SgdResult> Train(const Dataset& data,
+                                 const SgdOptions& options = {}) {
+    return RunDistributedSgd(data, LogisticLoss(), options);
+  }
+};
+
+/// Least-squares linear regression with distributed SGD.
+struct LinearRegressionWithSgd {
+  static Result<SgdResult> Train(const Dataset& data,
+                                 const SgdOptions& options = {}) {
+    return RunDistributedSgd(data, SquaredLoss(), options);
+  }
+};
+
+}  // namespace sqlink::ml
+
+#endif  // SQLINK_ML_CLASSIFIERS_H_

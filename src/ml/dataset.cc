@@ -1,0 +1,64 @@
+#include "ml/dataset.h"
+
+#include "common/status_macros.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+
+namespace sqlink::ml {
+
+namespace {
+
+double NumericOrZero(const Value& value) {
+  if (value.is_null()) return 0.0;
+  auto d = value.AsDouble();
+  return d.ok() ? *d : 0.0;
+}
+
+}  // namespace
+
+Result<Dataset> Dataset::FromRows(
+    const RowDataset& rows, const std::string& label_column,
+    const std::vector<std::string>& feature_columns) {
+  ASSIGN_OR_RETURN(int label_index, rows.schema->RequireField(label_column));
+  std::vector<int> feature_indices;
+  feature_indices.reserve(feature_columns.size());
+  for (const std::string& name : feature_columns) {
+    ASSIGN_OR_RETURN(int index, rows.schema->RequireField(name));
+    const DataType type = rows.schema->field(index).type;
+    if (type == DataType::kString) {
+      return Status::InvalidArgument(
+          "feature column '" + name +
+          "' is categorical (STRING); recode it first (see In-SQL "
+          "transformations)");
+    }
+    feature_indices.push_back(index);
+  }
+
+  std::vector<std::vector<LabeledPoint>> partitions(rows.partitions.size());
+  ParallelFor(rows.partitions.size(), [&](size_t p) {
+    partitions[p].reserve(rows.partitions[p].size());
+    for (const Row& row : rows.partitions[p]) {
+      LabeledPoint point;
+      point.label = NumericOrZero(row[static_cast<size_t>(label_index)]);
+      point.features.reserve(feature_indices.size());
+      for (int f : feature_indices) {
+        point.features.push_back(NumericOrZero(row[static_cast<size_t>(f)]));
+      }
+      partitions[p].push_back(std::move(point));
+    }
+  });
+  return Dataset(std::move(partitions), feature_columns.size());
+}
+
+Result<Dataset> Dataset::FromRowsAutoFeatures(const RowDataset& rows,
+                                              const std::string& label_column) {
+  std::vector<std::string> features;
+  for (const Field& field : rows.schema->fields()) {
+    if (!EqualsIgnoreCase(field.name, label_column)) {
+      features.push_back(field.name);
+    }
+  }
+  return FromRows(rows, label_column, features);
+}
+
+}  // namespace sqlink::ml

@@ -1,0 +1,233 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+
+#include "common/thread_pool.h"
+
+namespace sqlink::ml {
+
+namespace {
+
+double Gini(size_t positives, size_t total) {
+  if (total == 0) return 0;
+  const double p = static_cast<double>(positives) / static_cast<double>(total);
+  return 2.0 * p * (1.0 - p);
+}
+
+struct SplitCandidate {
+  int feature = -1;
+  double threshold = 0;
+  double gain = 0;
+};
+
+/// Finds the best threshold split for one feature over the node's points.
+SplitCandidate BestSplitForFeature(
+    const std::vector<const LabeledPoint*>& points, int feature,
+    size_t total_positives, int max_bins) {
+  SplitCandidate best;
+  best.feature = feature;
+  const size_t n = points.size();
+
+  // Sort point indices by this feature's value.
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return points[a]->features[static_cast<size_t>(feature)] <
+           points[b]->features[static_cast<size_t>(feature)];
+  });
+
+  const double parent_impurity = Gini(total_positives, n);
+  const size_t stride = std::max<size_t>(1, n / static_cast<size_t>(max_bins));
+
+  size_t left_count = 0;
+  size_t left_positives = 0;
+  for (size_t i = 0; i + 1 < n; ++i) {
+    const LabeledPoint* point = points[order[i]];
+    ++left_count;
+    if (point->label > 0.5) ++left_positives;
+    // Only evaluate at bin edges, and never between equal feature values.
+    if (i % stride != stride - 1) continue;
+    const double here = point->features[static_cast<size_t>(feature)];
+    const double next =
+        points[order[i + 1]]->features[static_cast<size_t>(feature)];
+    if (here == next) continue;
+
+    const size_t right_count = n - left_count;
+    const size_t right_positives = total_positives - left_positives;
+    const double weighted =
+        (static_cast<double>(left_count) * Gini(left_positives, left_count) +
+         static_cast<double>(right_count) *
+             Gini(right_positives, right_count)) /
+        static_cast<double>(n);
+    const double gain = parent_impurity - weighted;
+    if (gain > best.gain) {
+      best.gain = gain;
+      best.threshold = (here + next) / 2.0;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+double DecisionTreeModel::Predict(const DenseVector& features) const {
+  const Node* node = root_.get();
+  while (node != nullptr && !node->is_leaf) {
+    node = (features[static_cast<size_t>(node->feature)] <= node->threshold)
+               ? node->left.get()
+               : node->right.get();
+  }
+  return node == nullptr ? 0 : node->prediction;
+}
+
+int DecisionTreeModel::depth() const {
+  struct Walker {
+    static int Depth(const Node* node) {
+      if (node == nullptr || node->is_leaf) return 0;
+      return 1 + std::max(Depth(node->left.get()), Depth(node->right.get()));
+    }
+  };
+  return Walker::Depth(root_.get());
+}
+
+size_t DecisionTreeModel::num_nodes() const {
+  struct Walker {
+    static size_t Count(const Node* node) {
+      if (node == nullptr) return 0;
+      return 1 + Count(node->left.get()) + Count(node->right.get());
+    }
+  };
+  return Walker::Count(root_.get());
+}
+
+namespace {
+
+std::unique_ptr<DecisionTreeModel::Node> BuildNode(
+    std::vector<const LabeledPoint*> points, int depth, size_t dimension,
+    const DecisionTreeOptions& options) {
+  auto node = std::make_unique<DecisionTreeModel::Node>();
+  size_t positives = 0;
+  for (const LabeledPoint* p : points) {
+    if (p->label > 0.5) ++positives;
+  }
+  node->prediction = positives * 2 >= points.size() ? 1.0 : 0.0;
+
+  const bool pure = positives == 0 || positives == points.size();
+  if (pure || depth >= options.max_depth ||
+      points.size() < options.min_node_size) {
+    return node;
+  }
+
+  // Split search parallelizes across features — the distributed dimension
+  // of tree building (per-feature statistics, as in MLlib's tree trainer).
+  std::vector<SplitCandidate> candidates(dimension);
+  ParallelFor(dimension, [&](size_t f) {
+    candidates[f] = BestSplitForFeature(points, static_cast<int>(f),
+                                        positives, options.max_bins);
+  });
+  SplitCandidate best;
+  for (const SplitCandidate& c : candidates) {
+    if (c.gain > best.gain) best = c;
+  }
+  if (best.feature < 0 || best.gain < options.min_gain) return node;
+
+  std::vector<const LabeledPoint*> left;
+  std::vector<const LabeledPoint*> right;
+  for (const LabeledPoint* p : points) {
+    if (p->features[static_cast<size_t>(best.feature)] <= best.threshold) {
+      left.push_back(p);
+    } else {
+      right.push_back(p);
+    }
+  }
+  if (left.empty() || right.empty()) return node;
+
+  node->is_leaf = false;
+  node->feature = best.feature;
+  node->threshold = best.threshold;
+  points.clear();
+  points.shrink_to_fit();
+  node->left = BuildNode(std::move(left), depth + 1, dimension, options);
+  node->right = BuildNode(std::move(right), depth + 1, dimension, options);
+  return node;
+}
+
+}  // namespace
+
+namespace {
+
+void EncodeNode(const DecisionTreeModel::Node* node, std::string* out) {
+  out->push_back(node->is_leaf ? 1 : 0);
+  if (node->is_leaf) {
+    PutDouble(out, node->prediction);
+    return;
+  }
+  PutVarint64Signed(out, node->feature);
+  PutDouble(out, node->threshold);
+  EncodeNode(node->left.get(), out);
+  EncodeNode(node->right.get(), out);
+}
+
+Result<std::unique_ptr<DecisionTreeModel::Node>> DecodeNode(Decoder* decoder,
+                                                            int depth) {
+  if (depth > 64) return Status::DataLoss("decision tree too deep");
+  auto leaf_flag = decoder->GetByte();
+  if (!leaf_flag.ok()) return leaf_flag.status();
+  auto node = std::make_unique<DecisionTreeModel::Node>();
+  if (*leaf_flag != 0) {
+    auto prediction = decoder->GetDouble();
+    if (!prediction.ok()) return prediction.status();
+    node->prediction = *prediction;
+    return node;
+  }
+  node->is_leaf = false;
+  auto feature = decoder->GetVarint64Signed();
+  if (!feature.ok()) return feature.status();
+  node->feature = static_cast<int>(*feature);
+  auto threshold = decoder->GetDouble();
+  if (!threshold.ok()) return threshold.status();
+  node->threshold = *threshold;
+  auto left = DecodeNode(decoder, depth + 1);
+  if (!left.ok()) return left.status();
+  node->left = std::move(*left);
+  auto right = DecodeNode(decoder, depth + 1);
+  if (!right.ok()) return right.status();
+  node->right = std::move(*right);
+  return node;
+}
+
+}  // namespace
+
+void DecisionTreeModel::Encode(std::string* out) const {
+  EncodeNode(root_.get(), out);
+}
+
+Result<DecisionTreeModel> DecisionTreeModel::Decode(Decoder* decoder) {
+  auto root = DecodeNode(decoder, 0);
+  if (!root.ok()) return root.status();
+  DecisionTreeModel model;
+  model.root_ = std::move(*root);
+  return model;
+}
+
+Result<DecisionTreeModel> DecisionTree::Train(
+    const Dataset& data, const DecisionTreeOptions& options) {
+  if (data.TotalPoints() == 0) {
+    return Status::InvalidArgument("cannot train on an empty dataset");
+  }
+  std::vector<const LabeledPoint*> points;
+  points.reserve(data.TotalPoints());
+  for (const auto& partition : data.partitions()) {
+    for (const LabeledPoint& point : partition) {
+      points.push_back(&point);
+    }
+  }
+  DecisionTreeModel model;
+  model.root_ =
+      BuildNode(std::move(points), 0, data.dimension(), options);
+  return model;
+}
+
+}  // namespace sqlink::ml

@@ -1,0 +1,58 @@
+#ifndef SQLINK_ML_DECISION_TREE_H_
+#define SQLINK_ML_DECISION_TREE_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/coding.h"
+#include "common/result.h"
+#include "ml/dataset.h"
+
+namespace sqlink::ml {
+
+struct DecisionTreeOptions {
+  int max_depth = 5;
+  size_t min_node_size = 8;      ///< Stop splitting below this many points.
+  int max_bins = 32;             ///< Candidate thresholds per feature.
+  double min_gain = 1e-7;        ///< Required Gini improvement.
+};
+
+/// Binary classification tree (CART with Gini impurity, threshold splits on
+/// numeric features). Split search parallelizes over features.
+class DecisionTreeModel {
+ public:
+  /// Tree node; exposed for tests and model inspection.
+  struct Node {
+    bool is_leaf = true;
+    double prediction = 0;   // Leaf: majority class (0/1).
+    int feature = -1;        // Split: feature index.
+    double threshold = 0;    // Goes left when feature <= threshold.
+    std::unique_ptr<Node> left;
+    std::unique_ptr<Node> right;
+  };
+
+  double Predict(const DenseVector& features) const;
+
+  int depth() const;
+  size_t num_nodes() const;
+  const Node* root() const { return root_.get(); }
+
+  /// Binary (de)serialization for model persistence (pre-order walk).
+  void Encode(std::string* out) const;
+  static Result<DecisionTreeModel> Decode(Decoder* decoder);
+
+ private:
+  friend class DecisionTree;
+
+  std::unique_ptr<Node> root_;
+};
+
+class DecisionTree {
+ public:
+  static Result<DecisionTreeModel> Train(
+      const Dataset& data, const DecisionTreeOptions& options = {});
+};
+
+}  // namespace sqlink::ml
+
+#endif  // SQLINK_ML_DECISION_TREE_H_

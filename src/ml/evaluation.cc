@@ -1,0 +1,35 @@
+#include "ml/evaluation.h"
+
+namespace sqlink::ml {
+
+double Accuracy(const Dataset& data,
+                const std::function<double(const DenseVector&)>& predict) {
+  size_t correct = 0;
+  size_t total = 0;
+  for (const auto& partition : data.partitions()) {
+    for (const LabeledPoint& point : partition) {
+      const double predicted = predict(point.features);
+      if ((predicted > 0.5) == (point.label > 0.5)) ++correct;
+      ++total;
+    }
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(correct) / static_cast<double>(total);
+}
+
+double MeanSquaredError(
+    const Dataset& data,
+    const std::function<double(const DenseVector&)>& predict) {
+  double sum = 0;
+  size_t total = 0;
+  for (const auto& partition : data.partitions()) {
+    for (const LabeledPoint& point : partition) {
+      const double diff = predict(point.features) - point.label;
+      sum += diff * diff;
+      ++total;
+    }
+  }
+  return total == 0 ? 0.0 : sum / static_cast<double>(total);
+}
+
+}  // namespace sqlink::ml

@@ -1,0 +1,22 @@
+#ifndef SQLINK_ML_EVALUATION_H_
+#define SQLINK_ML_EVALUATION_H_
+
+#include <functional>
+
+#include "ml/dataset.h"
+
+namespace sqlink::ml {
+
+/// Fraction of points whose predicted class equals the label. `predict`
+/// receives the feature vector and returns 0/1.
+double Accuracy(const Dataset& data,
+                const std::function<double(const DenseVector&)>& predict);
+
+/// Mean squared error for a regression predictor.
+double MeanSquaredError(
+    const Dataset& data,
+    const std::function<double(const DenseVector&)>& predict);
+
+}  // namespace sqlink::ml
+
+#endif  // SQLINK_ML_EVALUATION_H_

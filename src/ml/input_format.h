@@ -1,0 +1,76 @@
+#ifndef SQLINK_ML_INPUT_FORMAT_H_
+#define SQLINK_ML_INPUT_FORMAT_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/metrics.h"
+#include "common/result.h"
+#include "table/schema.h"
+#include "table/value.h"
+
+namespace sqlink::ml {
+
+/// Job-level context shared by the input format and the workers — the
+/// analogue of a Hadoop Configuration plus cluster handles.
+struct JobContext {
+  /// Requested number of ML workers. An InputFormat may override it when it
+  /// returns a different number of splits (the split count wins, as in
+  /// Hadoop: one record reader per split).
+  int requested_workers = 0;
+  ClusterPtr cluster;
+  MetricsRegistry* metrics = nullptr;
+  std::map<std::string, std::string> config;
+};
+
+/// One unit of input, consumed by exactly one ML worker — the Hadoop
+/// InputSplit contract: a description of the data plus location hints the
+/// scheduler uses to place the worker near its data.
+class InputSplit {
+ public:
+  virtual ~InputSplit() = default;
+
+  /// Host names (Cluster::HostName) where this split's data is local.
+  virtual std::vector<std::string> Locations() const = 0;
+
+  virtual std::string DebugString() const = 0;
+};
+
+using InputSplitPtr = std::shared_ptr<InputSplit>;
+
+/// Sequentially yields the typed records of one split.
+class RecordReader {
+ public:
+  virtual ~RecordReader() = default;
+
+  /// Fills `*out` and returns true, or false at end of split.
+  virtual Result<bool> Next(Row* out) = 0;
+};
+
+/// The ingestion extension point of the ML system — the generic interface
+/// the paper builds on ("any big ML system that uses Hadoop InputFormats to
+/// ingest input data"). TextFileInputFormat reads DFS files; the paper's
+/// SqlStreamInputFormat (stream module) receives rows over sockets from SQL
+/// workers instead.
+class InputFormat {
+ public:
+  virtual ~InputFormat() = default;
+
+  /// Partitions the input; called once when the job launches.
+  virtual Result<std::vector<InputSplitPtr>> GetSplits(
+      const JobContext& context) = 0;
+
+  /// Opens a reader for one split; called on the worker assigned to it.
+  virtual Result<std::unique_ptr<RecordReader>> CreateReader(
+      const JobContext& context, const InputSplit& split, int worker_id) = 0;
+
+  /// Schema of the produced records.
+  virtual SchemaPtr schema() const = 0;
+};
+
+}  // namespace sqlink::ml
+
+#endif  // SQLINK_ML_INPUT_FORMAT_H_

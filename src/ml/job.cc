@@ -1,0 +1,67 @@
+#include "ml/job.h"
+
+#include "common/logging.h"
+#include "common/status_macros.h"
+#include "common/thread_pool.h"
+
+namespace sqlink::ml {
+
+Result<IngestResult> MlJobRunner::Ingest(InputFormat* format) {
+  ASSIGN_OR_RETURN(std::vector<InputSplitPtr> splits,
+                   format->GetSplits(context_));
+  if (splits.empty()) {
+    return Status::InvalidArgument("input format produced no splits");
+  }
+  const size_t m = splits.size();
+
+  IngestResult result;
+  result.stats.num_splits = static_cast<int>(m);
+  result.dataset.schema = format->schema();
+  result.dataset.partitions.resize(m);
+
+  // Worker i consumes split i. With a cluster, count how many workers run
+  // local to their data (a worker's node is its split's first preferred
+  // location when one exists — best-effort placement).
+  if (context_.cluster != nullptr) {
+    for (const InputSplitPtr& split : splits) {
+      for (const std::string& host : split->Locations()) {
+        if (context_.cluster->NodeFromHostName(host) >= 0) {
+          ++result.stats.local_splits;
+          break;
+        }
+      }
+    }
+  }
+
+  std::vector<Status> statuses(m);
+  ParallelFor(m, [&](size_t i) {
+    auto run = [&]() -> Status {
+      ASSIGN_OR_RETURN(
+          std::unique_ptr<RecordReader> reader,
+          format->CreateReader(context_, *splits[i], static_cast<int>(i)));
+      Row row;
+      for (;;) {
+        ASSIGN_OR_RETURN(bool has, reader->Next(&row));
+        if (!has) break;
+        result.dataset.partitions[i].push_back(std::move(row));
+      }
+      return Status::OK();
+    };
+    statuses[i] = run();
+  });
+  for (const Status& status : statuses) {
+    RETURN_IF_ERROR(status);
+  }
+  result.stats.rows = result.dataset.TotalRows();
+  if (context_.metrics != nullptr) {
+    context_.metrics->Add("ml.ingest.rows",
+                          static_cast<int64_t>(result.stats.rows));
+    context_.metrics->Add("ml.ingest.splits",
+                          static_cast<int64_t>(result.stats.num_splits));
+    context_.metrics->Add("ml.ingest.local_splits",
+                          result.stats.local_splits);
+  }
+  return result;
+}
+
+}  // namespace sqlink::ml

@@ -1,0 +1,97 @@
+#include "ml/kmeans.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/random.h"
+#include "common/thread_pool.h"
+
+namespace sqlink::ml {
+
+int KMeansModel::Predict(const DenseVector& point) const {
+  int best = 0;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (size_t c = 0; c < centers.size(); ++c) {
+    const double d = SquaredDistance(point, centers[c]);
+    if (d < best_dist) {
+      best_dist = d;
+      best = static_cast<int>(c);
+    }
+  }
+  return best;
+}
+
+Result<KMeansModel> KMeans::Train(const Dataset& data,
+                                  const KMeansOptions& options) {
+  const size_t total = data.TotalPoints();
+  if (total == 0) {
+    return Status::InvalidArgument("cannot cluster an empty dataset");
+  }
+  if (options.k <= 0 || static_cast<size_t>(options.k) > total) {
+    return Status::InvalidArgument("invalid k for dataset size");
+  }
+  const size_t k = static_cast<size_t>(options.k);
+  const size_t dim = data.dimension();
+  const size_t num_parts = data.num_partitions();
+
+  // Seed centers: sample k distinct point indices.
+  KMeansModel model;
+  {
+    Random rng(options.seed);
+    std::vector<size_t> chosen;
+    while (chosen.size() < k) {
+      size_t index = rng.Uniform(total);
+      bool dup = false;
+      for (size_t c : chosen) dup = dup || c == index;
+      if (!dup) chosen.push_back(index);
+    }
+    const auto all = data.Gather();  // Seeding only; iterations stay parallel.
+    for (size_t c : chosen) model.centers.push_back(all[c].features);
+  }
+
+  struct CenterAccum {
+    std::vector<DenseVector> sums;
+    std::vector<size_t> counts;
+    double cost = 0;
+  };
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    std::vector<CenterAccum> accums(num_parts);
+    ParallelFor(num_parts, [&](size_t p) {
+      CenterAccum& accum = accums[p];
+      accum.sums.assign(k, DenseVector(dim, 0.0));
+      accum.counts.assign(k, 0);
+      for (const LabeledPoint& point : data.partitions()[p]) {
+        const int c = model.Predict(point.features);
+        Axpy(1.0, point.features, &accum.sums[static_cast<size_t>(c)]);
+        ++accum.counts[static_cast<size_t>(c)];
+        accum.cost += SquaredDistance(point.features,
+                                      model.centers[static_cast<size_t>(c)]);
+      }
+    });
+
+    std::vector<DenseVector> sums(k, DenseVector(dim, 0.0));
+    std::vector<size_t> counts(k, 0);
+    model.cost = 0;
+    for (const CenterAccum& accum : accums) {
+      for (size_t c = 0; c < k; ++c) {
+        Axpy(1.0, accum.sums[c], &sums[c]);
+        counts[c] += accum.counts[c];
+      }
+      model.cost += accum.cost;
+    }
+
+    double movement = 0;
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;  // Empty cluster keeps its center.
+      DenseVector new_center = sums[c];
+      Scale(1.0 / static_cast<double>(counts[c]), &new_center);
+      movement += SquaredDistance(new_center, model.centers[c]);
+      model.centers[c] = std::move(new_center);
+    }
+    if (movement < options.tolerance) break;
+  }
+  return model;
+}
+
+}  // namespace sqlink::ml

@@ -1,0 +1,37 @@
+#ifndef SQLINK_ML_KMEANS_H_
+#define SQLINK_ML_KMEANS_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "ml/dataset.h"
+
+namespace sqlink::ml {
+
+struct KMeansOptions {
+  int k = 2;
+  int max_iterations = 20;
+  double tolerance = 1e-6;  ///< Stop when total center movement is below.
+  uint64_t seed = 42;
+};
+
+struct KMeansModel {
+  std::vector<DenseVector> centers;
+  double cost = 0;  ///< Sum of squared distances to the nearest center.
+
+  /// Index of the nearest center.
+  int Predict(const DenseVector& point) const;
+};
+
+/// Distributed Lloyd's algorithm: each iteration, workers assign their
+/// partition's points to centers and emit per-center sums; the driver merges
+/// and recomputes centers. Labels of the dataset are ignored.
+class KMeans {
+ public:
+  static Result<KMeansModel> Train(const Dataset& data,
+                                   const KMeansOptions& options = {});
+};
+
+}  // namespace sqlink::ml
+
+#endif  // SQLINK_ML_KMEANS_H_

@@ -1,0 +1,27 @@
+#ifndef SQLINK_ML_LINEAR_MODEL_H_
+#define SQLINK_ML_LINEAR_MODEL_H_
+
+#include "ml/vector_ops.h"
+
+namespace sqlink::ml {
+
+/// Weights + intercept of a trained linear model (SVM, logistic or linear
+/// regression).
+struct LinearModel {
+  DenseVector weights;
+  double intercept = 0;
+
+  /// Raw margin w·x + b.
+  double Margin(const DenseVector& features) const {
+    return Dot(weights, features) + intercept;
+  }
+
+  /// Binary classification: 1 when the margin is positive.
+  double PredictClass(const DenseVector& features) const {
+    return Margin(features) > 0 ? 1.0 : 0.0;
+  }
+};
+
+}  // namespace sqlink::ml
+
+#endif  // SQLINK_ML_LINEAR_MODEL_H_

@@ -1,0 +1,141 @@
+#include "ml/model_io.h"
+
+#include "common/coding.h"
+#include "common/fs_util.h"
+#include "common/status_macros.h"
+
+namespace sqlink::ml {
+
+namespace {
+
+constexpr char kMagic[] = "SQML";
+
+enum class ModelType : uint8_t {
+  kLinear = 1,
+  kNaiveBayes = 2,
+  kDecisionTree = 3,
+  kKMeans = 4,
+  kScaler = 5,
+};
+
+void EncodeVector(const DenseVector& values, std::string* out) {
+  PutVarint64(out, values.size());
+  for (double v : values) PutDouble(out, v);
+}
+
+Result<DenseVector> DecodeVector(Decoder* decoder) {
+  ASSIGN_OR_RETURN(uint64_t count, decoder->GetVarint64());
+  DenseVector values;
+  values.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    ASSIGN_OR_RETURN(double v, decoder->GetDouble());
+    values.push_back(v);
+  }
+  return values;
+}
+
+Status SaveFile(ModelType type, const std::string& payload,
+                const std::string& path) {
+  std::string file(kMagic, 4);
+  file.push_back(static_cast<char>(type));
+  file += payload;
+  return WriteFileAtomic(path, file);
+}
+
+Result<std::string> LoadFile(ModelType expected, const std::string& path) {
+  ASSIGN_OR_RETURN(std::string file, ReadFileToString(path));
+  if (file.size() < 5 || file.compare(0, 4, kMagic, 4) != 0) {
+    return Status::DataLoss("not a sqlink model file: " + path);
+  }
+  if (file[4] != static_cast<char>(expected)) {
+    return Status::InvalidArgument("model type mismatch in " + path);
+  }
+  return file.substr(5);
+}
+
+}  // namespace
+
+Status SaveLinearModel(const LinearModel& model, const std::string& path) {
+  std::string payload;
+  EncodeVector(model.weights, &payload);
+  PutDouble(&payload, model.intercept);
+  return SaveFile(ModelType::kLinear, payload, path);
+}
+
+Result<LinearModel> LoadLinearModel(const std::string& path) {
+  ASSIGN_OR_RETURN(std::string payload, LoadFile(ModelType::kLinear, path));
+  Decoder decoder(payload);
+  LinearModel model;
+  ASSIGN_OR_RETURN(model.weights, DecodeVector(&decoder));
+  ASSIGN_OR_RETURN(model.intercept, decoder.GetDouble());
+  return model;
+}
+
+Status SaveNaiveBayesModel(const NaiveBayesModel& model,
+                           const std::string& path) {
+  std::string payload;
+  model.Encode(&payload);
+  return SaveFile(ModelType::kNaiveBayes, payload, path);
+}
+
+Result<NaiveBayesModel> LoadNaiveBayesModel(const std::string& path) {
+  ASSIGN_OR_RETURN(std::string payload,
+                   LoadFile(ModelType::kNaiveBayes, path));
+  Decoder decoder(payload);
+  return NaiveBayesModel::Decode(&decoder);
+}
+
+Status SaveDecisionTreeModel(const DecisionTreeModel& model,
+                             const std::string& path) {
+  std::string payload;
+  model.Encode(&payload);
+  return SaveFile(ModelType::kDecisionTree, payload, path);
+}
+
+Result<DecisionTreeModel> LoadDecisionTreeModel(const std::string& path) {
+  ASSIGN_OR_RETURN(std::string payload,
+                   LoadFile(ModelType::kDecisionTree, path));
+  Decoder decoder(payload);
+  return DecisionTreeModel::Decode(&decoder);
+}
+
+Status SaveKMeansModel(const KMeansModel& model, const std::string& path) {
+  std::string payload;
+  PutVarint64(&payload, model.centers.size());
+  for (const DenseVector& center : model.centers) {
+    EncodeVector(center, &payload);
+  }
+  PutDouble(&payload, model.cost);
+  return SaveFile(ModelType::kKMeans, payload, path);
+}
+
+Result<KMeansModel> LoadKMeansModel(const std::string& path) {
+  ASSIGN_OR_RETURN(std::string payload, LoadFile(ModelType::kKMeans, path));
+  Decoder decoder(payload);
+  KMeansModel model;
+  ASSIGN_OR_RETURN(uint64_t count, decoder.GetVarint64());
+  for (uint64_t i = 0; i < count; ++i) {
+    ASSIGN_OR_RETURN(DenseVector center, DecodeVector(&decoder));
+    model.centers.push_back(std::move(center));
+  }
+  ASSIGN_OR_RETURN(model.cost, decoder.GetDouble());
+  return model;
+}
+
+Status SaveStandardScaler(const StandardScaler& scaler,
+                          const std::string& path) {
+  std::string payload;
+  EncodeVector(scaler.means(), &payload);
+  EncodeVector(scaler.stddevs(), &payload);
+  return SaveFile(ModelType::kScaler, payload, path);
+}
+
+Result<StandardScaler> LoadStandardScaler(const std::string& path) {
+  ASSIGN_OR_RETURN(std::string payload, LoadFile(ModelType::kScaler, path));
+  Decoder decoder(payload);
+  ASSIGN_OR_RETURN(DenseVector means, DecodeVector(&decoder));
+  ASSIGN_OR_RETURN(DenseVector stddevs, DecodeVector(&decoder));
+  return StandardScaler::FromMoments(std::move(means), std::move(stddevs));
+}
+
+}  // namespace sqlink::ml

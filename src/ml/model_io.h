@@ -1,0 +1,39 @@
+#ifndef SQLINK_ML_MODEL_IO_H_
+#define SQLINK_ML_MODEL_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "ml/decision_tree.h"
+#include "ml/kmeans.h"
+#include "ml/linear_model.h"
+#include "ml/naive_bayes.h"
+#include "ml/scaler.h"
+
+namespace sqlink::ml {
+
+/// Model persistence: every trained model saves to a single binary file
+/// ("SQML" magic + type tag + payload) and loads back with type checking —
+/// so a pipeline can train once and score elsewhere. Files are written
+/// atomically.
+Status SaveLinearModel(const LinearModel& model, const std::string& path);
+Result<LinearModel> LoadLinearModel(const std::string& path);
+
+Status SaveNaiveBayesModel(const NaiveBayesModel& model,
+                           const std::string& path);
+Result<NaiveBayesModel> LoadNaiveBayesModel(const std::string& path);
+
+Status SaveDecisionTreeModel(const DecisionTreeModel& model,
+                             const std::string& path);
+Result<DecisionTreeModel> LoadDecisionTreeModel(const std::string& path);
+
+Status SaveKMeansModel(const KMeansModel& model, const std::string& path);
+Result<KMeansModel> LoadKMeansModel(const std::string& path);
+
+Status SaveStandardScaler(const StandardScaler& scaler,
+                          const std::string& path);
+Result<StandardScaler> LoadStandardScaler(const std::string& path);
+
+}  // namespace sqlink::ml
+
+#endif  // SQLINK_ML_MODEL_IO_H_

@@ -1,0 +1,165 @@
+#include "ml/naive_bayes.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/thread_pool.h"
+
+namespace sqlink::ml {
+
+namespace {
+
+struct ClassStats {
+  size_t count = 0;
+  DenseVector sum;
+  DenseVector sum_squares;
+};
+
+constexpr double kVarianceFloor = 1e-9;
+
+}  // namespace
+
+std::map<double, double> NaiveBayesModel::Scores(
+    const DenseVector& features) const {
+  std::map<double, double> scores;
+  for (size_t c = 0; c < labels_.size(); ++c) {
+    double score = log_priors_[c];
+    for (size_t f = 0; f < features.size() && f < means_[c].size(); ++f) {
+      const double var = variances_[c][f];
+      const double diff = features[f] - means_[c][f];
+      score += -0.5 * std::log(2.0 * M_PI * var) - diff * diff / (2.0 * var);
+    }
+    scores[labels_[c]] = score;
+  }
+  return scores;
+}
+
+double NaiveBayesModel::Predict(const DenseVector& features) const {
+  const auto scores = Scores(features);
+  double best_label = 0;
+  double best_score = -std::numeric_limits<double>::infinity();
+  for (const auto& [label, score] : scores) {
+    if (score > best_score) {
+      best_score = score;
+      best_label = label;
+    }
+  }
+  return best_label;
+}
+
+namespace {
+
+void EncodeVector(const DenseVector& values, std::string* out) {
+  PutVarint64(out, values.size());
+  for (double v : values) PutDouble(out, v);
+}
+
+Result<DenseVector> DecodeVector(Decoder* decoder) {
+  auto count = decoder->GetVarint64();
+  if (!count.ok()) return count.status();
+  DenseVector values;
+  values.reserve(*count);
+  for (uint64_t i = 0; i < *count; ++i) {
+    auto v = decoder->GetDouble();
+    if (!v.ok()) return v.status();
+    values.push_back(*v);
+  }
+  return values;
+}
+
+}  // namespace
+
+void NaiveBayesModel::Encode(std::string* out) const {
+  EncodeVector(labels_, out);
+  EncodeVector(log_priors_, out);
+  for (size_t c = 0; c < labels_.size(); ++c) {
+    EncodeVector(means_[c], out);
+    EncodeVector(variances_[c], out);
+  }
+}
+
+Result<NaiveBayesModel> NaiveBayesModel::Decode(Decoder* decoder) {
+  NaiveBayesModel model;
+  auto labels = DecodeVector(decoder);
+  if (!labels.ok()) return labels.status();
+  model.labels_ = std::move(*labels);
+  auto priors = DecodeVector(decoder);
+  if (!priors.ok()) return priors.status();
+  model.log_priors_ = std::move(*priors);
+  if (model.log_priors_.size() != model.labels_.size()) {
+    return Status::DataLoss("naive Bayes model: prior count mismatch");
+  }
+  for (size_t c = 0; c < model.labels_.size(); ++c) {
+    auto means = DecodeVector(decoder);
+    if (!means.ok()) return means.status();
+    model.means_.push_back(std::move(*means));
+    auto variances = DecodeVector(decoder);
+    if (!variances.ok()) return variances.status();
+    model.variances_.push_back(std::move(*variances));
+  }
+  return model;
+}
+
+Result<NaiveBayesModel> NaiveBayes::Train(const Dataset& data) {
+  if (data.TotalPoints() == 0) {
+    return Status::InvalidArgument("cannot train on an empty dataset");
+  }
+  const size_t dim = data.dimension();
+  const size_t num_parts = data.num_partitions();
+
+  // Map: per-worker per-class sufficient statistics.
+  std::vector<std::map<double, ClassStats>> worker_stats(num_parts);
+  ParallelFor(num_parts, [&](size_t p) {
+    for (const LabeledPoint& point : data.partitions()[p]) {
+      ClassStats& stats = worker_stats[p][point.label];
+      if (stats.sum.empty()) {
+        stats.sum.assign(dim, 0.0);
+        stats.sum_squares.assign(dim, 0.0);
+      }
+      ++stats.count;
+      for (size_t f = 0; f < dim; ++f) {
+        stats.sum[f] += point.features[f];
+        stats.sum_squares[f] += point.features[f] * point.features[f];
+      }
+    }
+  });
+
+  // Reduce: merge across workers.
+  std::map<double, ClassStats> merged;
+  for (const auto& worker : worker_stats) {
+    for (const auto& [label, stats] : worker) {
+      ClassStats& into = merged[label];
+      if (into.sum.empty()) {
+        into.sum.assign(dim, 0.0);
+        into.sum_squares.assign(dim, 0.0);
+      }
+      into.count += stats.count;
+      for (size_t f = 0; f < dim; ++f) {
+        into.sum[f] += stats.sum[f];
+        into.sum_squares[f] += stats.sum_squares[f];
+      }
+    }
+  }
+
+  NaiveBayesModel model;
+  const double total = static_cast<double>(data.TotalPoints());
+  for (const auto& [label, stats] : merged) {
+    model.labels_.push_back(label);
+    model.log_priors_.push_back(
+        std::log(static_cast<double>(stats.count) / total));
+    DenseVector mean(dim);
+    DenseVector variance(dim);
+    for (size_t f = 0; f < dim; ++f) {
+      mean[f] = stats.sum[f] / static_cast<double>(stats.count);
+      variance[f] = std::max(
+          kVarianceFloor,
+          stats.sum_squares[f] / static_cast<double>(stats.count) -
+              mean[f] * mean[f]);
+    }
+    model.means_.push_back(std::move(mean));
+    model.variances_.push_back(std::move(variance));
+  }
+  return model;
+}
+
+}  // namespace sqlink::ml

@@ -1,0 +1,45 @@
+#ifndef SQLINK_ML_NAIVE_BAYES_H_
+#define SQLINK_ML_NAIVE_BAYES_H_
+
+#include <map>
+#include <vector>
+
+#include "common/coding.h"
+#include "common/result.h"
+#include "ml/dataset.h"
+
+namespace sqlink::ml {
+
+/// Gaussian naive Bayes over dense numeric features. Training is
+/// distributed: each worker computes per-class count/sum/sum-of-squares for
+/// its partition; the driver merges and derives per-class means/variances.
+class NaiveBayesModel {
+ public:
+  /// Log-posterior-proportional score for each trained class.
+  std::map<double, double> Scores(const DenseVector& features) const;
+
+  /// Most probable class label.
+  double Predict(const DenseVector& features) const;
+
+  const std::vector<double>& class_labels() const { return labels_; }
+
+  /// Binary (de)serialization for model persistence.
+  void Encode(std::string* out) const;
+  static Result<NaiveBayesModel> Decode(Decoder* decoder);
+
+ private:
+  friend class NaiveBayes;
+  std::vector<double> labels_;
+  std::vector<double> log_priors_;
+  std::vector<DenseVector> means_;      // Per class.
+  std::vector<DenseVector> variances_;  // Per class, floored for stability.
+};
+
+class NaiveBayes {
+ public:
+  static Result<NaiveBayesModel> Train(const Dataset& data);
+};
+
+}  // namespace sqlink::ml
+
+#endif  // SQLINK_ML_NAIVE_BAYES_H_

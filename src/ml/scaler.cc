@@ -1,0 +1,80 @@
+#include "ml/scaler.h"
+
+#include <cmath>
+
+#include "common/thread_pool.h"
+
+namespace sqlink::ml {
+
+Result<StandardScaler> StandardScaler::Fit(const Dataset& data) {
+  if (data.TotalPoints() == 0) {
+    return Status::InvalidArgument("cannot fit scaler on empty dataset");
+  }
+  const size_t dim = data.dimension();
+  const size_t num_parts = data.num_partitions();
+
+  struct Stats {
+    DenseVector sum;
+    DenseVector sum_squares;
+    size_t count = 0;
+  };
+  std::vector<Stats> worker_stats(num_parts);
+  ParallelFor(num_parts, [&](size_t p) {
+    Stats& stats = worker_stats[p];
+    stats.sum.assign(dim, 0.0);
+    stats.sum_squares.assign(dim, 0.0);
+    for (const LabeledPoint& point : data.partitions()[p]) {
+      ++stats.count;
+      for (size_t f = 0; f < dim; ++f) {
+        stats.sum[f] += point.features[f];
+        stats.sum_squares[f] += point.features[f] * point.features[f];
+      }
+    }
+  });
+
+  DenseVector sum(dim, 0.0);
+  DenseVector sum_squares(dim, 0.0);
+  size_t count = 0;
+  for (const Stats& stats : worker_stats) {
+    count += stats.count;
+    for (size_t f = 0; f < dim; ++f) {
+      sum[f] += stats.sum[f];
+      sum_squares[f] += stats.sum_squares[f];
+    }
+  }
+
+  StandardScaler scaler;
+  scaler.means_.resize(dim);
+  scaler.stddevs_.resize(dim);
+  for (size_t f = 0; f < dim; ++f) {
+    scaler.means_[f] = sum[f] / static_cast<double>(count);
+    const double variance = std::max(
+        0.0, sum_squares[f] / static_cast<double>(count) -
+                 scaler.means_[f] * scaler.means_[f]);
+    scaler.stddevs_[f] = std::sqrt(variance);
+  }
+  return scaler;
+}
+
+void StandardScaler::Transform(Dataset* data) const {
+  ParallelFor(data->num_partitions(), [&](size_t p) {
+    for (LabeledPoint& point : data->mutable_partitions()[p]) {
+      for (size_t f = 0; f < point.features.size() && f < means_.size(); ++f) {
+        point.features[f] =
+            stddevs_[f] > 0
+                ? (point.features[f] - means_[f]) / stddevs_[f]
+                : 0.0;
+      }
+    }
+  });
+}
+
+DenseVector StandardScaler::Apply(const DenseVector& features) const {
+  DenseVector out(features.size());
+  for (size_t f = 0; f < features.size() && f < means_.size(); ++f) {
+    out[f] = stddevs_[f] > 0 ? (features[f] - means_[f]) / stddevs_[f] : 0.0;
+  }
+  return out;
+}
+
+}  // namespace sqlink::ml

@@ -1,0 +1,43 @@
+#ifndef SQLINK_ML_SCALER_H_
+#define SQLINK_ML_SCALER_H_
+
+#include "common/result.h"
+#include "ml/dataset.h"
+
+namespace sqlink::ml {
+
+/// Per-feature z-score standardization (the MLlib StandardScaler
+/// equivalent). Gradient methods on raw business features (ages, dollar
+/// amounts, 0/1 dummies) need this to converge at sane step sizes.
+class StandardScaler {
+ public:
+  /// Computes per-feature mean and standard deviation; the sufficient
+  /// statistics are accumulated per worker partition and merged.
+  static Result<StandardScaler> Fit(const Dataset& data);
+
+  /// Reconstructs a scaler from stored moments (model persistence).
+  static StandardScaler FromMoments(DenseVector means, DenseVector stddevs) {
+    StandardScaler scaler;
+    scaler.means_ = std::move(means);
+    scaler.stddevs_ = std::move(stddevs);
+    return scaler;
+  }
+
+  /// Scales every feature to (x - mean) / stddev in place. Constant
+  /// features become 0.
+  void Transform(Dataset* data) const;
+
+  /// Scales a single feature vector (applying a trained model).
+  DenseVector Apply(const DenseVector& features) const;
+
+  const DenseVector& means() const { return means_; }
+  const DenseVector& stddevs() const { return stddevs_; }
+
+ private:
+  DenseVector means_;
+  DenseVector stddevs_;
+};
+
+}  // namespace sqlink::ml
+
+#endif  // SQLINK_ML_SCALER_H_

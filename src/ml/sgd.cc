@@ -1,0 +1,122 @@
+#include "ml/sgd.h"
+
+#include <cmath>
+
+#include "common/random.h"
+#include "common/thread_pool.h"
+
+namespace sqlink::ml {
+
+double HingeLoss::AddGradient(const DenseVector& weights, double intercept,
+                              const LabeledPoint& point, DenseVector* grad,
+                              double* grad_intercept) const {
+  // y in {-1, +1} internally; input labels are 0/1.
+  const double y = point.label > 0.5 ? 1.0 : -1.0;
+  const double margin = Dot(weights, point.features) + intercept;
+  const double loss = std::max(0.0, 1.0 - y * margin);
+  if (loss > 0.0) {
+    Axpy(-y, point.features, grad);
+    *grad_intercept += -y;
+  }
+  return loss;
+}
+
+double LogisticLoss::AddGradient(const DenseVector& weights, double intercept,
+                                 const LabeledPoint& point, DenseVector* grad,
+                                 double* grad_intercept) const {
+  const double y = point.label > 0.5 ? 1.0 : 0.0;
+  const double margin = Dot(weights, point.features) + intercept;
+  const double p = 1.0 / (1.0 + std::exp(-margin));
+  const double diff = p - y;
+  Axpy(diff, point.features, grad);
+  *grad_intercept += diff;
+  // Numerically stable log-loss.
+  const double z = y > 0.5 ? margin : -margin;
+  return z > 0 ? std::log1p(std::exp(-z)) : -z + std::log1p(std::exp(z));
+}
+
+double SquaredLoss::AddGradient(const DenseVector& weights, double intercept,
+                                const LabeledPoint& point, DenseVector* grad,
+                                double* grad_intercept) const {
+  const double diff =
+      Dot(weights, point.features) + intercept - point.label;
+  Axpy(diff, point.features, grad);
+  *grad_intercept += diff;
+  return 0.5 * diff * diff;
+}
+
+Result<SgdResult> RunDistributedSgd(const Dataset& data,
+                                    const LossFunction& loss,
+                                    const SgdOptions& options) {
+  if (data.TotalPoints() == 0) {
+    return Status::InvalidArgument("cannot train on an empty dataset");
+  }
+  if (options.iterations <= 0) {
+    return Status::InvalidArgument("iterations must be positive");
+  }
+  const size_t dim = data.dimension();
+  const size_t num_parts = data.num_partitions();
+
+  SgdResult result;
+  result.model.weights.assign(dim, 0.0);
+  result.model.intercept = 0.0;
+
+  // Per-worker gradient buffers reused across iterations.
+  std::vector<DenseVector> worker_grads(num_parts, DenseVector(dim, 0.0));
+  std::vector<double> worker_intercept_grads(num_parts, 0.0);
+  std::vector<double> worker_losses(num_parts, 0.0);
+  std::vector<size_t> worker_counts(num_parts, 0);
+
+  for (int iter = 1; iter <= options.iterations; ++iter) {
+    // Map phase: each ML worker accumulates its partition's gradient.
+    ParallelFor(num_parts, [&](size_t p) {
+      DenseVector& grad = worker_grads[p];
+      std::fill(grad.begin(), grad.end(), 0.0);
+      worker_intercept_grads[p] = 0.0;
+      worker_losses[p] = 0.0;
+      worker_counts[p] = 0;
+      Random rng(options.seed + static_cast<uint64_t>(iter) * 131 +
+                 static_cast<uint64_t>(p));
+      for (const LabeledPoint& point : data.partitions()[p]) {
+        if (options.mini_batch_fraction < 1.0 &&
+            !rng.Bernoulli(options.mini_batch_fraction)) {
+          continue;
+        }
+        worker_losses[p] +=
+            loss.AddGradient(result.model.weights, result.model.intercept,
+                             point, &grad, &worker_intercept_grads[p]);
+        ++worker_counts[p];
+      }
+    });
+
+    // Reduce phase: sum gradients on the driver.
+    DenseVector total_grad(dim, 0.0);
+    double total_intercept_grad = 0.0;
+    double total_loss = 0.0;
+    size_t total_count = 0;
+    for (size_t p = 0; p < num_parts; ++p) {
+      Axpy(1.0, worker_grads[p], &total_grad);
+      total_intercept_grad += worker_intercept_grads[p];
+      total_loss += worker_losses[p];
+      total_count += worker_counts[p];
+    }
+    if (total_count == 0) continue;  // Unlucky mini-batch sample.
+
+    const double reg_loss =
+        0.5 * options.reg_param * SquaredNorm(result.model.weights);
+    result.loss_history.push_back(
+        total_loss / static_cast<double>(total_count) + reg_loss);
+
+    // Update: w -= step/sqrt(iter) * (grad/count + lambda * w).
+    const double step = options.step_size / std::sqrt(static_cast<double>(iter));
+    const double scale = step / static_cast<double>(total_count);
+    Scale(1.0 - step * options.reg_param, &result.model.weights);
+    Axpy(-scale, total_grad, &result.model.weights);
+    if (options.fit_intercept) {
+      result.model.intercept -= scale * total_intercept_grad;
+    }
+  }
+  return result;
+}
+
+}  // namespace sqlink::ml

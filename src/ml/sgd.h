@@ -1,0 +1,74 @@
+#ifndef SQLINK_ML_SGD_H_
+#define SQLINK_ML_SGD_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "ml/dataset.h"
+#include "ml/linear_model.h"
+
+namespace sqlink::ml {
+
+/// Loss functions for the distributed gradient-descent optimizer.
+/// AddGradient accumulates d(loss)/d(w,b) at (weights, intercept) for one
+/// example into (grad, grad_intercept) and returns the example's loss.
+/// Binary labels are 0/1, as in MLlib.
+class LossFunction {
+ public:
+  virtual ~LossFunction() = default;
+  virtual double AddGradient(const DenseVector& weights, double intercept,
+                             const LabeledPoint& point, DenseVector* grad,
+                             double* grad_intercept) const = 0;
+};
+
+/// Hinge loss (linear SVM) — the paper's SVMWithSGD.
+class HingeLoss final : public LossFunction {
+ public:
+  double AddGradient(const DenseVector& weights, double intercept,
+                     const LabeledPoint& point, DenseVector* grad,
+                     double* grad_intercept) const override;
+};
+
+/// Log loss (logistic regression).
+class LogisticLoss final : public LossFunction {
+ public:
+  double AddGradient(const DenseVector& weights, double intercept,
+                     const LabeledPoint& point, DenseVector* grad,
+                     double* grad_intercept) const override;
+};
+
+/// Squared loss (linear regression).
+class SquaredLoss final : public LossFunction {
+ public:
+  double AddGradient(const DenseVector& weights, double intercept,
+                     const LabeledPoint& point, DenseVector* grad,
+                     double* grad_intercept) const override;
+};
+
+struct SgdOptions {
+  int iterations = 100;
+  double step_size = 1.0;
+  double reg_param = 0.01;     ///< L2 regularization strength.
+  double mini_batch_fraction = 1.0;
+  bool fit_intercept = true;
+  uint64_t seed = 42;
+};
+
+struct SgdResult {
+  LinearModel model;
+  std::vector<double> loss_history;  ///< Mean regularized loss per iteration.
+};
+
+/// Distributed (mini-batch) gradient descent, MLlib-style: each iteration,
+/// every worker computes the gradient over (a sample of) its partition in
+/// parallel; gradients are summed on the driver and the weights updated with
+/// step size step_size/sqrt(iter). Deterministic for a fixed seed.
+Result<SgdResult> RunDistributedSgd(const Dataset& data,
+                                    const LossFunction& loss,
+                                    const SgdOptions& options);
+
+}  // namespace sqlink::ml
+
+#endif  // SQLINK_ML_SGD_H_

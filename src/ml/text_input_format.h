@@ -1,0 +1,71 @@
+#ifndef SQLINK_ML_TEXT_INPUT_FORMAT_H_
+#define SQLINK_ML_TEXT_INPUT_FORMAT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dfs/dfs.h"
+#include "ml/input_format.h"
+#include "table/csv.h"
+
+namespace sqlink::ml {
+
+/// A byte range of one DFS file, with the replica nodes of its first block
+/// as locality hints — Hadoop FileSplit semantics.
+class FileSplit final : public InputSplit {
+ public:
+  FileSplit(std::string path, uint64_t start, uint64_t end,
+            std::vector<std::string> locations)
+      : path_(std::move(path)),
+        start_(start),
+        end_(end),
+        locations_(std::move(locations)) {}
+
+  const std::string& path() const { return path_; }
+  uint64_t start() const { return start_; }
+  uint64_t end() const { return end_; }
+
+  std::vector<std::string> Locations() const override { return locations_; }
+  std::string DebugString() const override {
+    return path_ + "[" + std::to_string(start_) + "," + std::to_string(end_) +
+           ")";
+  }
+
+ private:
+  std::string path_;
+  uint64_t start_;
+  uint64_t end_;
+  std::vector<std::string> locations_;
+};
+
+/// Reads '\n'-delimited text rows from DFS files under a path prefix — the
+/// baseline ingestion path ("input for ml" reading from HDFS in Figure 3).
+/// Splits follow block boundaries so workers read mostly-local data; lines
+/// straddling a boundary belong to the split that contains their first byte
+/// (standard TextInputFormat semantics, implemented by DfsLineReader).
+class TextFileInputFormat final : public InputFormat {
+ public:
+  /// `path` is a DFS file or directory prefix; `schema` types the columns.
+  TextFileInputFormat(DfsPtr dfs, std::string path, SchemaPtr schema,
+                      char delimiter = ',');
+
+  Result<std::vector<InputSplitPtr>> GetSplits(
+      const JobContext& context) override;
+
+  Result<std::unique_ptr<RecordReader>> CreateReader(
+      const JobContext& context, const InputSplit& split,
+      int worker_id) override;
+
+  SchemaPtr schema() const override { return schema_; }
+
+ private:
+  DfsPtr dfs_;
+  std::string path_;
+  SchemaPtr schema_;
+  CsvCodec codec_;
+};
+
+}  // namespace sqlink::ml
+
+#endif  // SQLINK_ML_TEXT_INPUT_FORMAT_H_

@@ -1,0 +1,65 @@
+#include "ml/validation.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+
+namespace sqlink::ml {
+
+Result<SplitDatasets> TrainTestSplit(const Dataset& data, double test_fraction,
+                                     uint64_t seed) {
+  if (test_fraction <= 0.0 || test_fraction >= 1.0) {
+    return Status::InvalidArgument("test_fraction must be in (0, 1)");
+  }
+  const size_t parts = data.num_partitions();
+  std::vector<std::vector<LabeledPoint>> train(parts);
+  std::vector<std::vector<LabeledPoint>> test(parts);
+  for (size_t p = 0; p < parts; ++p) {
+    Random rng(seed * 1000003 + p);
+    for (const LabeledPoint& point : data.partitions()[p]) {
+      (rng.Bernoulli(test_fraction) ? test[p] : train[p]).push_back(point);
+    }
+  }
+  SplitDatasets out;
+  out.train = Dataset(std::move(train), data.dimension());
+  out.test = Dataset(std::move(test), data.dimension());
+  return out;
+}
+
+double AreaUnderRoc(const Dataset& data,
+                    const std::function<double(const DenseVector&)>& score) {
+  // Rank-sum (Mann–Whitney) formulation with midranks for ties.
+  std::vector<std::pair<double, bool>> scored;  // (score, is_positive).
+  for (const auto& partition : data.partitions()) {
+    for (const LabeledPoint& point : partition) {
+      scored.emplace_back(score(point.features), point.label > 0.5);
+    }
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  const size_t n = scored.size();
+  size_t positives = 0;
+  double positive_rank_sum = 0;
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j < n && scored[j].first == scored[i].first) ++j;
+    const double midrank = (static_cast<double>(i + 1) +
+                            static_cast<double>(j)) / 2.0;
+    for (size_t k = i; k < j; ++k) {
+      if (scored[k].second) {
+        ++positives;
+        positive_rank_sum += midrank;
+      }
+    }
+    i = j;
+  }
+  const size_t negatives = n - positives;
+  if (positives == 0 || negatives == 0) return 0.5;
+  const double u = positive_rank_sum -
+                   static_cast<double>(positives) *
+                       (static_cast<double>(positives) + 1) / 2.0;
+  return u / (static_cast<double>(positives) * static_cast<double>(negatives));
+}
+
+}  // namespace sqlink::ml

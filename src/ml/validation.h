@@ -1,0 +1,28 @@
+#ifndef SQLINK_ML_VALIDATION_H_
+#define SQLINK_ML_VALIDATION_H_
+
+#include <functional>
+
+#include "common/result.h"
+#include "ml/dataset.h"
+
+namespace sqlink::ml {
+
+struct SplitDatasets {
+  Dataset train;
+  Dataset test;
+};
+
+/// Randomly splits every partition into train/test with the given test
+/// fraction. Deterministic per seed; partitioning is preserved.
+Result<SplitDatasets> TrainTestSplit(const Dataset& data,
+                                     double test_fraction, uint64_t seed = 42);
+
+/// Area under the ROC curve for a real-valued scorer (higher score = more
+/// positive). Ties contribute half. Returns 0.5 when one class is absent.
+double AreaUnderRoc(const Dataset& data,
+                    const std::function<double(const DenseVector&)>& score);
+
+}  // namespace sqlink::ml
+
+#endif  // SQLINK_ML_VALIDATION_H_

@@ -1,0 +1,45 @@
+#ifndef SQLINK_ML_VECTOR_OPS_H_
+#define SQLINK_ML_VECTOR_OPS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace sqlink::ml {
+
+/// Dense feature vector. All algorithms operate on dense doubles — the
+/// paper's transformations (recoding + dummy coding) produce exactly this.
+using DenseVector = std::vector<double>;
+
+inline double Dot(const DenseVector& a, const DenseVector& b) {
+  double sum = 0;
+  const size_t n = a.size() < b.size() ? a.size() : b.size();
+  for (size_t i = 0; i < n; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+/// y += alpha * x
+inline void Axpy(double alpha, const DenseVector& x, DenseVector* y) {
+  for (size_t i = 0; i < x.size() && i < y->size(); ++i) {
+    (*y)[i] += alpha * x[i];
+  }
+}
+
+inline void Scale(double alpha, DenseVector* x) {
+  for (double& v : *x) v *= alpha;
+}
+
+inline double SquaredNorm(const DenseVector& x) { return Dot(x, x); }
+
+inline double SquaredDistance(const DenseVector& a, const DenseVector& b) {
+  double sum = 0;
+  const size_t n = a.size() < b.size() ? a.size() : b.size();
+  for (size_t i = 0; i < n; ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+}  // namespace sqlink::ml
+
+#endif  // SQLINK_ML_VECTOR_OPS_H_

@@ -1,0 +1,162 @@
+#include "mq/broker.h"
+
+#include <chrono>
+
+#include "common/status_macros.h"
+
+namespace sqlink {
+
+Status MessageBroker::CreateTopic(const std::string& topic,
+                                  TopicConfig config) {
+  if (config.num_partitions <= 0) {
+    return Status::InvalidArgument("topic needs at least one partition");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (topics_.count(topic) > 0) {
+    return Status::AlreadyExists("topic exists: " + topic);
+  }
+  Topic entry;
+  entry.config = config;
+  entry.partitions.resize(static_cast<size_t>(config.num_partitions));
+  topics_.emplace(topic, std::move(entry));
+  return Status::OK();
+}
+
+bool MessageBroker::HasTopic(const std::string& topic) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return topics_.count(topic) > 0;
+}
+
+Result<int> MessageBroker::NumPartitions(const std::string& topic) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = topics_.find(topic);
+  if (it == topics_.end()) return Status::NotFound("unknown topic: " + topic);
+  return static_cast<int>(it->second.partitions.size());
+}
+
+Result<MessageBroker::Partition*> MessageBroker::FindPartition(
+    const std::string& topic, int partition) {
+  auto it = topics_.find(topic);
+  if (it == topics_.end()) return Status::NotFound("unknown topic: " + topic);
+  if (partition < 0 ||
+      static_cast<size_t>(partition) >= it->second.partitions.size()) {
+    return Status::OutOfRange("partition " + std::to_string(partition) +
+                              " out of range for topic " + topic);
+  }
+  return &it->second.partitions[static_cast<size_t>(partition)];
+}
+
+Result<const MessageBroker::Partition*> MessageBroker::FindPartition(
+    const std::string& topic, int partition) const {
+  auto result = const_cast<MessageBroker*>(this)->FindPartition(topic, partition);
+  if (!result.ok()) return result.status();
+  return static_cast<const Partition*>(*result);
+}
+
+Result<int64_t> MessageBroker::Produce(const std::string& topic,
+                                       int partition, std::string payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ASSIGN_OR_RETURN(Partition * p, FindPartition(topic, partition));
+  if (p->sealed) {
+    return Status::FailedPrecondition("partition is sealed");
+  }
+  const TopicConfig& config = topics_.find(topic)->second.config;
+  p->messages.push_back(std::move(payload));
+  const int64_t offset =
+      p->base_offset + static_cast<int64_t>(p->messages.size()) - 1;
+  // Retention: drop the oldest messages beyond the cap.
+  if (config.retention_messages > 0 &&
+      p->messages.size() > config.retention_messages) {
+    const size_t drop = p->messages.size() - config.retention_messages;
+    p->messages.erase(p->messages.begin(),
+                      p->messages.begin() + static_cast<std::ptrdiff_t>(drop));
+    p->base_offset += static_cast<int64_t>(drop);
+  }
+  data_available_.notify_all();
+  return offset;
+}
+
+Status MessageBroker::SealPartition(const std::string& topic, int partition) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ASSIGN_OR_RETURN(Partition * p, FindPartition(topic, partition));
+  p->sealed = true;
+  data_available_.notify_all();
+  return Status::OK();
+}
+
+Result<MessageBroker::PollResult> MessageBroker::Poll(const std::string& topic,
+                                                      int partition,
+                                                      int64_t offset,
+                                                      size_t max_messages,
+                                                      int timeout_ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  ASSIGN_OR_RETURN(Partition * p, FindPartition(topic, partition));
+  if (offset < p->base_offset) {
+    return Status::OutOfRange(
+        "offset " + std::to_string(offset) +
+        " below retention floor " + std::to_string(p->base_offset));
+  }
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  auto end_offset = [&] {
+    return p->base_offset + static_cast<int64_t>(p->messages.size());
+  };
+  while (offset >= end_offset() && !p->sealed) {
+    if (timeout_ms <= 0 ||
+        data_available_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      break;
+    }
+  }
+  PollResult result;
+  result.sealed = p->sealed && offset >= end_offset();
+  for (int64_t o = offset;
+       o < end_offset() && result.messages.size() < max_messages; ++o) {
+    result.messages.push_back(Message{
+        o, p->messages[static_cast<size_t>(o - p->base_offset)]});
+  }
+  return result;
+}
+
+Result<int64_t> MessageBroker::BeginOffset(const std::string& topic,
+                                           int partition) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ASSIGN_OR_RETURN(const Partition* p, FindPartition(topic, partition));
+  return p->base_offset;
+}
+
+Result<int64_t> MessageBroker::EndOffset(const std::string& topic,
+                                         int partition) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ASSIGN_OR_RETURN(const Partition* p, FindPartition(topic, partition));
+  return p->base_offset + static_cast<int64_t>(p->messages.size());
+}
+
+Status MessageBroker::CommitOffset(const std::string& group,
+                                   const std::string& topic, int partition,
+                                   int64_t offset) {
+  std::lock_guard<std::mutex> lock(mu_);
+  committed_[group + "/" + topic + "/" + std::to_string(partition)] = offset;
+  return Status::OK();
+}
+
+Result<int64_t> MessageBroker::CommittedOffset(const std::string& group,
+                                               const std::string& topic,
+                                               int partition) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it =
+      committed_.find(group + "/" + topic + "/" + std::to_string(partition));
+  return it == committed_.end() ? 0 : it->second;
+}
+
+size_t MessageBroker::TotalRetainedMessages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t total = 0;
+  for (const auto& [name, topic] : topics_) {
+    for (const Partition& partition : topic.partitions) {
+      total += partition.messages.size();
+    }
+  }
+  return total;
+}
+
+}  // namespace sqlink

@@ -1,0 +1,114 @@
+#ifndef SQLINK_MQ_BROKER_H_
+#define SQLINK_MQ_BROKER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace sqlink {
+
+/// A minimal Kafka-like message broker — the paper's §8 future work
+/// ("investigate using a message passing system like Kafka to pass the
+/// data between SQL and ML workers. Kafka would guarantee at least one
+/// read, in case of failures. Kafka could also be the system to cache the
+/// data when the ML workers are not fast enough to consume the data").
+///
+/// Topics are split into numbered partitions; each partition is an
+/// append-only *retained* log of messages addressed by offset. Producers
+/// append; consumers poll from any offset, so
+///  - a slow consumer simply lags (the log buffers for it), and
+///  - a crashed consumer resumes from its last committed offset instead of
+///    forcing a full replay — at-least-once delivery.
+///
+/// The broker also stores committed offsets per (group, topic, partition),
+/// like Kafka's __consumer_offsets.
+class MessageBroker {
+ public:
+  struct TopicConfig {
+    int num_partitions = 1;
+    /// Retention cap per partition (messages); 0 = unlimited. When
+    /// exceeded, the oldest messages are dropped and their offsets become
+    /// unreadable (like Kafka retention).
+    size_t retention_messages = 0;
+  };
+
+  struct Message {
+    int64_t offset = 0;
+    std::string payload;
+  };
+
+  MessageBroker() = default;
+  MessageBroker(const MessageBroker&) = delete;
+  MessageBroker& operator=(const MessageBroker&) = delete;
+
+  Status CreateTopic(const std::string& topic, TopicConfig config);
+  bool HasTopic(const std::string& topic) const;
+  Result<int> NumPartitions(const std::string& topic) const;
+
+  /// Appends to a partition; returns the assigned offset.
+  Result<int64_t> Produce(const std::string& topic, int partition,
+                          std::string payload);
+
+  /// Marks a partition complete: consumers see end-of-partition once they
+  /// pass the last offset.
+  Status SealPartition(const std::string& topic, int partition);
+
+  /// Polls up to `max_messages` starting at `offset`. Blocks until data is
+  /// available, the partition is sealed, or `timeout_ms` elapses (0 = no
+  /// wait). An empty result with sealed=true means end of partition.
+  struct PollResult {
+    std::vector<Message> messages;
+    bool sealed = false;
+  };
+  Result<PollResult> Poll(const std::string& topic, int partition,
+                          int64_t offset, size_t max_messages,
+                          int timeout_ms);
+
+  /// First offset still retained (0 unless retention dropped messages).
+  Result<int64_t> BeginOffset(const std::string& topic, int partition) const;
+  /// One past the last appended offset.
+  Result<int64_t> EndOffset(const std::string& topic, int partition) const;
+
+  /// Consumer-group offset bookkeeping (at-least-once resume points).
+  Status CommitOffset(const std::string& group, const std::string& topic,
+                      int partition, int64_t offset);
+  /// Committed offset, or 0 when the group never committed.
+  Result<int64_t> CommittedOffset(const std::string& group,
+                                  const std::string& topic,
+                                  int partition) const;
+
+  /// Total messages currently retained across all topics.
+  size_t TotalRetainedMessages() const;
+
+ private:
+  struct Partition {
+    std::vector<std::string> messages;  // messages[i] has offset base+i.
+    int64_t base_offset = 0;            // Offset of messages.front().
+    bool sealed = false;
+  };
+  struct Topic {
+    TopicConfig config;
+    std::vector<Partition> partitions;
+  };
+
+  Result<Partition*> FindPartition(const std::string& topic, int partition);
+  Result<const Partition*> FindPartition(const std::string& topic,
+                                         int partition) const;
+
+  mutable std::mutex mu_;
+  mutable std::condition_variable data_available_;
+  std::map<std::string, Topic> topics_;
+  std::map<std::string, int64_t> committed_;  // "group/topic/partition".
+};
+
+using MessageBrokerPtr = std::shared_ptr<MessageBroker>;
+
+}  // namespace sqlink
+
+#endif  // SQLINK_MQ_BROKER_H_

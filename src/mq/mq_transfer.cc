@@ -1,0 +1,354 @@
+#include "mq/mq_transfer.h"
+
+#include <atomic>
+#include <thread>
+
+#include "common/coding.h"
+#include "common/status_macros.h"
+#include "sql/table_udf.h"
+#include "table/row_codec.h"
+
+namespace sqlink {
+
+namespace {
+
+constexpr int kPollTimeoutMs = 100;
+constexpr int kMaxIdlePolls = 600;  // 60 s of broker silence -> error.
+
+/// Encodes a batch of rows as one broker message:
+/// varint row count + concatenated encoded rows (same as a kData frame).
+class MessageBatcher {
+ public:
+  void Add(const Row& row) {
+    ++count_;
+    RowCodec::Encode(row, &body_);
+  }
+  bool empty() const { return count_ == 0; }
+  size_t bytes() const { return body_.size(); }
+  std::string Flush() {
+    std::string payload;
+    PutVarint64(&payload, count_);
+    payload += body_;
+    count_ = 0;
+    body_.clear();
+    return payload;
+  }
+
+ private:
+  uint64_t count_ = 0;
+  std::string body_;
+};
+
+Result<std::vector<Row>> DecodeMessage(const std::string& payload) {
+  Decoder decoder(payload);
+  ASSIGN_OR_RETURN(uint64_t count, decoder.GetVarint64());
+  std::vector<Row> rows;
+  rows.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    ASSIGN_OR_RETURN(Row row, RowCodec::Decode(&decoder));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+/// The publishing side: each SQL worker appends its partition's rows
+/// round-robin to its k topic partitions, then seals them.
+class MqSinkUdf final : public TableUdf {
+ public:
+  explicit MqSinkUdf(MessageBrokerPtr broker) : broker_(std::move(broker)) {}
+
+  Result<SchemaPtr> Bind(const SchemaPtr& input_schema,
+                         const std::vector<Value>& args) override {
+    if (input_schema == nullptr) {
+      return Status::InvalidArgument("mq_stream_sink needs an input relation");
+    }
+    if (args.empty() || !args[0].is_string()) {
+      return Status::InvalidArgument(
+          "mq_stream_sink(query, topic[, k, batch_bytes])");
+    }
+    topic_ = args[0].string_value();
+    if (args.size() > 1) {
+      if (!args[1].is_int64() || args[1].int64_value() <= 0) {
+        return Status::InvalidArgument("k must be a positive integer");
+      }
+      k_ = static_cast<int>(args[1].int64_value());
+    }
+    if (args.size() > 2) {
+      if (!args[2].is_int64() || args[2].int64_value() <= 0) {
+        return Status::InvalidArgument("batch_bytes must be positive");
+      }
+      batch_bytes_ = static_cast<size_t>(args[2].int64_value());
+    }
+    return Schema::Make({{"worker", DataType::kInt64},
+                         {"rows_published", DataType::kInt64},
+                         {"messages_published", DataType::kInt64}});
+  }
+
+  Status ProcessPartition(const TableUdfContext& context, RowIterator* input,
+                          RowSink* output) override {
+    // First worker creates the topic (n·k partitions); others race benignly.
+    MessageBroker::TopicConfig config;
+    config.num_partitions = context.num_workers * k_;
+    const Status created = broker_->CreateTopic(topic_, config);
+    if (!created.ok() && !created.IsAlreadyExists()) return created;
+
+    const int first_partition = context.worker_id * k_;
+    std::vector<MessageBatcher> batchers(static_cast<size_t>(k_));
+    int64_t rows = 0;
+    int64_t messages = 0;
+    auto flush = [&](int j) -> Status {
+      std::string payload = batchers[static_cast<size_t>(j)].Flush();
+      ++messages;
+      return broker_->Produce(topic_, first_partition + j, std::move(payload))
+          .status();
+    };
+
+    Row row;
+    int next = 0;
+    for (;;) {
+      ASSIGN_OR_RETURN(bool has, input->Next(&row));
+      if (!has) break;
+      MessageBatcher& batch = batchers[static_cast<size_t>(next)];
+      batch.Add(row);
+      ++rows;
+      if (batch.bytes() >= batch_bytes_) {
+        RETURN_IF_ERROR(flush(next));
+      }
+      next = (next + 1) % k_;
+    }
+    for (int j = 0; j < k_; ++j) {
+      if (!batchers[static_cast<size_t>(j)].empty()) {
+        RETURN_IF_ERROR(flush(j));
+      }
+      RETURN_IF_ERROR(broker_->SealPartition(topic_, first_partition + j));
+    }
+    return output->Push(Row{Value::Int64(context.worker_id),
+                            Value::Int64(rows), Value::Int64(messages)});
+  }
+
+ private:
+  MessageBrokerPtr broker_;
+  std::string topic_;
+  int k_ = 1;
+  size_t batch_bytes_ = 4096;
+};
+
+/// One broker partition as an InputSplit, located at its producer's node.
+class MqSplit final : public ml::InputSplit {
+ public:
+  MqSplit(int partition, std::string location)
+      : partition_(partition), location_(std::move(location)) {}
+  int partition() const { return partition_; }
+  std::vector<std::string> Locations() const override { return {location_}; }
+  std::string DebugString() const override {
+    return "mq partition " + std::to_string(partition_);
+  }
+
+ private:
+  int partition_;
+  std::string location_;
+};
+
+/// Consumes one partition from the committed offset; batch-granularity
+/// commits give at-least-once delivery with a bounded recovery tail.
+class MqRecordReader final : public ml::RecordReader {
+ public:
+  MqRecordReader(MessageBrokerPtr broker, std::string topic, int partition,
+                 MqTransferOptions options,
+                 std::shared_ptr<std::atomic<int64_t>> reread_counter)
+      : broker_(std::move(broker)),
+        topic_(std::move(topic)),
+        partition_(partition),
+        options_(std::move(options)),
+        reread_counter_(std::move(reread_counter)) {}
+
+  Result<bool> Next(Row* out) override {
+    for (;;) {
+      if (pending_index_ < pending_.size()) {
+        if (skip_ > 0) {
+          --skip_;
+          ++pending_index_;
+          continue;
+        }
+        *out = std::move(pending_[pending_index_++]);
+        ++delivered_since_commit_;
+        ++delivered_total_;
+        MaybeInjectFailure();
+        return true;
+      }
+      // Batch fully delivered: commit, then fetch the next one.
+      if (offset_ > committed_offset_) {
+        RETURN_IF_ERROR(broker_->CommitOffset(options_.consumer_group, topic_,
+                                              partition_, offset_));
+        committed_offset_ = offset_;
+        delivered_since_commit_ = 0;
+      }
+      ASSIGN_OR_RETURN(
+          MessageBroker::PollResult poll,
+          broker_->Poll(topic_, partition_, offset_, /*max_messages=*/16,
+                        kPollTimeoutMs));
+      if (poll.messages.empty()) {
+        if (poll.sealed) return false;
+        if (++idle_polls_ > kMaxIdlePolls) {
+          return Status::Unavailable("broker partition idle too long");
+        }
+        continue;
+      }
+      idle_polls_ = 0;
+      pending_.clear();
+      pending_index_ = 0;
+      for (MessageBroker::Message& message : poll.messages) {
+        if (message.offset < replay_high_water_) {
+          reread_counter_->fetch_add(1);
+        }
+        ASSIGN_OR_RETURN(std::vector<Row> rows,
+                         DecodeMessage(message.payload));
+        for (Row& row : rows) pending_.push_back(std::move(row));
+        offset_ = message.offset + 1;
+      }
+    }
+  }
+
+ private:
+  /// Simulates a consumer crash after the configured number of delivered
+  /// rows: state resets to the last committed offset; already-delivered
+  /// rows of the uncommitted tail are skipped on the replay so the dataset
+  /// stays duplicate-free (the recovery tail is what gets re-read).
+  void MaybeInjectFailure() {
+    if (injected_ || options_.fail_partition != partition_ ||
+        options_.fail_after_rows == 0 ||
+        delivered_total_ < options_.fail_after_rows) {
+      return;
+    }
+    injected_ = true;
+    replay_high_water_ = offset_;
+    pending_.clear();
+    pending_index_ = 0;
+    skip_ = delivered_since_commit_;
+    offset_ = committed_offset_;
+  }
+
+  MessageBrokerPtr broker_;
+  std::string topic_;
+  int partition_;
+  MqTransferOptions options_;
+  std::shared_ptr<std::atomic<int64_t>> reread_counter_;
+
+  std::vector<Row> pending_;
+  size_t pending_index_ = 0;
+  int64_t offset_ = 0;
+  int64_t committed_offset_ = 0;
+  uint64_t delivered_since_commit_ = 0;
+  uint64_t delivered_total_ = 0;
+  uint64_t skip_ = 0;
+  int idle_polls_ = 0;
+  bool injected_ = false;
+  int64_t replay_high_water_ = -1;
+};
+
+}  // namespace
+
+Status RegisterMqSinkUdf(SqlEngine* engine, MessageBrokerPtr broker) {
+  if (engine->table_udfs()->Contains("mq_stream_sink")) return Status::OK();
+  return engine->table_udfs()->Register(
+      "mq_stream_sink",
+      [broker] { return std::make_shared<MqSinkUdf>(broker); });
+}
+
+MqInputFormat::MqInputFormat(MessageBrokerPtr broker, std::string topic,
+                             SchemaPtr schema, MqTransferOptions options)
+    : broker_(std::move(broker)),
+      topic_(std::move(topic)),
+      schema_(std::move(schema)),
+      options_(std::move(options)),
+      reread_counter_(std::make_shared<std::atomic<int64_t>>(0)) {}
+
+Result<std::vector<ml::InputSplitPtr>> MqInputFormat::GetSplits(
+    const ml::JobContext& context) {
+  ASSIGN_OR_RETURN(int partitions, broker_->NumPartitions(topic_));
+  std::vector<ml::InputSplitPtr> splits;
+  for (int p = 0; p < partitions; ++p) {
+    // Partition p was produced by SQL worker p / k, on node p / k.
+    const int producer = p / std::max(1, options_.partitions_per_worker);
+    std::string location =
+        context.cluster != nullptr && producer < context.cluster->num_nodes()
+            ? context.cluster->HostName(producer)
+            : "node" + std::to_string(producer);
+    splits.push_back(std::make_shared<MqSplit>(p, std::move(location)));
+  }
+  return splits;
+}
+
+Result<std::unique_ptr<ml::RecordReader>> MqInputFormat::CreateReader(
+    const ml::JobContext& context, const ml::InputSplit& split,
+    int worker_id) {
+  (void)context;
+  (void)worker_id;
+  const auto* mq_split = dynamic_cast<const MqSplit*>(&split);
+  if (mq_split == nullptr) {
+    return Status::InvalidArgument("MqInputFormat needs an MqSplit");
+  }
+  return std::unique_ptr<ml::RecordReader>(
+      new MqRecordReader(broker_, topic_, mq_split->partition(), options_,
+                         reread_counter_));
+}
+
+int64_t MqInputFormat::messages_reread() const {
+  return reread_counter_->load();
+}
+
+Result<MqTransferResult> MqTransfer::Run(SqlEngine* engine,
+                                         MessageBrokerPtr broker,
+                                         const std::string& query_sql,
+                                         const MqTransferOptions& options) {
+  RETURN_IF_ERROR(RegisterMqSinkUdf(engine, broker));
+
+  static std::atomic<int> topic_counter{0};
+  const std::string topic =
+      "mqtransfer_" + std::to_string(topic_counter.fetch_add(1));
+  MessageBroker::TopicConfig config;
+  config.num_partitions =
+      engine->num_workers() * std::max(1, options.partitions_per_worker);
+  RETURN_IF_ERROR(broker->CreateTopic(topic, config));
+
+  // The consumers need the row schema up front; plan the query for it.
+  ASSIGN_OR_RETURN(PlanPtr plan, engine->Plan(query_sql));
+
+  // Ingest concurrently with publication — the broker decouples the two.
+  MqInputFormat format(broker, topic, plan->output_schema, options);
+  Result<ml::IngestResult> ingest = Status::Internal("ingest never ran");
+  std::thread consumer([&] {
+    ml::JobContext context;
+    context.cluster = engine->cluster();
+    context.metrics = engine->metrics();
+    ml::MlJobRunner runner(context);
+    ingest = runner.Ingest(&format);
+  });
+
+  const std::string sink_sql =
+      "SELECT * FROM TABLE(mq_stream_sink((" + query_sql + "), '" + topic +
+      "', " + std::to_string(options.partitions_per_worker) + ", " +
+      std::to_string(options.batch_bytes) + "))";
+  auto summary = engine->ExecuteSql(sink_sql, "mq_summary");
+  if (!summary.ok()) {
+    // Seal everything so the consumers terminate, then surface the error.
+    for (int p = 0; p < config.num_partitions; ++p) {
+      (void)broker->SealPartition(topic, p);
+    }
+    consumer.join();
+    return summary.status();
+  }
+  consumer.join();
+  RETURN_IF_ERROR(ingest.status());
+
+  MqTransferResult result;
+  result.dataset = std::move(ingest->dataset);
+  for (const Row& row : (*summary)->GatherRows()) {
+    result.rows_published += row[1].int64_value();
+    result.messages_published += row[2].int64_value();
+  }
+  result.messages_reread = format.messages_reread();
+  return result;
+}
+
+}  // namespace sqlink

@@ -1,0 +1,48 @@
+#ifndef SQLINK_PIPELINE_DATAGEN_H_
+#define SQLINK_PIPELINE_DATAGEN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "sql/engine.h"
+
+namespace sqlink {
+
+/// Synthetic shopping-cart workload generator — the paper's evaluation data
+/// ("synthetic datasets in the context of the example query scenario":
+/// a carts table joined with a users table). Row counts are configurable;
+/// the paper used 1 B carts / 10 M users on a 5-server cluster, scaled down
+/// here to laptop sizes.
+struct CartsWorkloadOptions {
+  int64_t num_users = 10000;
+  int64_t num_carts = 100000;
+  /// Fraction of users in the USA (the prep query's filter).
+  double usa_fraction = 0.7;
+  /// Abandonment base rate; the label correlates with amount, age and
+  /// gender so classifiers have signal to find.
+  double abandon_rate = 0.35;
+  /// 0 = carts reference users uniformly; > 0 = Zipf-skewed ownership
+  /// (hot users own most carts), stressing join/shuffle skew handling.
+  double zipf_skew = 0.0;
+  uint64_t seed = 42;
+};
+
+struct CartsWorkload {
+  TablePtr users;
+  TablePtr carts;
+};
+
+/// Generates users(userid, age, gender, country) and carts(cartid, userid,
+/// amount, nitems, year, abandoned) partitioned for the engine, and
+/// registers both in its catalog (replacing existing tables of the same
+/// name). Deterministic for a fixed seed.
+Result<CartsWorkload> GenerateCartsWorkload(SqlEngine* engine,
+                                            const CartsWorkloadOptions& options);
+
+/// The paper's Section 1 data-preparation query over that workload.
+std::string CartsPrepQuery();
+
+}  // namespace sqlink
+
+#endif  // SQLINK_PIPELINE_DATAGEN_H_

@@ -1,0 +1,27 @@
+#ifndef SQLINK_PIPELINE_TABLE_IO_H_
+#define SQLINK_PIPELINE_TABLE_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "dfs/dfs.h"
+#include "table/table.h"
+
+namespace sqlink {
+
+/// Writes a partitioned table to DFS as CSV part files, one per partition,
+/// each with its first replica on the partition's node (the way an MPP
+/// engine exports query results to HDFS). Returns total bytes written
+/// before replication.
+Result<uint64_t> WriteTableToDfs(Dfs* dfs, const Table& table,
+                                 const std::string& path_prefix);
+
+/// Reads CSV part files under `path_prefix` back into a table partitioned
+/// like the original export (tests and verification).
+Result<TablePtr> ReadTableFromDfs(const Dfs& dfs, const std::string& name,
+                                  SchemaPtr schema,
+                                  const std::string& path_prefix);
+
+}  // namespace sqlink
+
+#endif  // SQLINK_PIPELINE_TABLE_IO_H_

@@ -1,0 +1,191 @@
+#include "rewriter/canonical_query.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/status_macros.h"
+#include "common/string_util.h"
+
+namespace sqlink {
+
+namespace {
+
+/// Finds the unique table whose schema has `column`; errors on ambiguity.
+Result<std::string> ResolveUnqualified(
+    const std::string& column,
+    const std::map<std::string, std::string>& alias_to_table,
+    const Catalog& catalog) {
+  std::string owner;
+  std::set<std::string> seen_tables;
+  for (const auto& [alias, table_name] : alias_to_table) {
+    if (!seen_tables.insert(table_name).second) continue;
+    ASSIGN_OR_RETURN(TablePtr table, catalog.GetTable(table_name));
+    if (table->schema()->HasField(column)) {
+      if (!owner.empty() && owner != table_name) {
+        return Status::InvalidArgument("ambiguous column in cache matching: " +
+                                       column);
+      }
+      owner = table_name;
+    }
+  }
+  if (owner.empty()) {
+    return Status::NotFound("column not found in any FROM table: " + column);
+  }
+  return owner;
+}
+
+bool IsJoinCondition(const Expr& expr) {
+  return expr.kind == ExprKind::kComparison && expr.op == "=" &&
+         expr.children[0]->kind == ExprKind::kColumnRef &&
+         expr.children[1]->kind == ExprKind::kColumnRef;
+}
+
+void SortByRendering(std::vector<ExprPtr>* exprs) {
+  std::sort(exprs->begin(), exprs->end(),
+            [](const ExprPtr& a, const ExprPtr& b) {
+              return a->ToString() < b->ToString();
+            });
+}
+
+}  // namespace
+
+Result<ExprPtr> CanonicalizeExpr(
+    const ExprPtr& expr,
+    const std::map<std::string, std::string>& alias_to_table,
+    const Catalog& catalog) {
+  auto out = std::make_shared<Expr>(*expr);
+  if (out->kind == ExprKind::kColumnRef) {
+    std::string table;
+    if (!out->qualifier.empty()) {
+      auto it = alias_to_table.find(ToLowerAscii(out->qualifier));
+      if (it == alias_to_table.end()) {
+        return Status::NotFound("unknown alias: " + out->qualifier);
+      }
+      table = it->second;
+    } else {
+      ASSIGN_OR_RETURN(table,
+                       ResolveUnqualified(out->column, alias_to_table, catalog));
+    }
+    out->qualifier = table;
+    out->column = ToLowerAscii(out->column);
+    return out;
+  }
+  out->children.clear();
+  for (const ExprPtr& child : expr->children) {
+    ASSIGN_OR_RETURN(ExprPtr canonical,
+                     CanonicalizeExpr(child, alias_to_table, catalog));
+    out->children.push_back(std::move(canonical));
+  }
+  // Order symmetric-operator operands deterministically.
+  if ((out->kind == ExprKind::kComparison &&
+       (out->op == "=" || out->op == "<>")) ||
+      out->kind == ExprKind::kAnd || out->kind == ExprKind::kOr) {
+    if (out->children.size() == 2 &&
+        out->children[1]->ToString() < out->children[0]->ToString()) {
+      std::swap(out->children[0], out->children[1]);
+    }
+  }
+  return out;
+}
+
+Result<CanonicalQuery> CanonicalizeQuery(const SelectStmt& stmt,
+                                         const Catalog& catalog) {
+  if (stmt.distinct || !stmt.group_by.empty() || !stmt.order_by.empty() ||
+      stmt.limit >= 0) {
+    return Status::InvalidArgument(
+        "only plain select-project-join queries participate in caching");
+  }
+  CanonicalQuery canonical;
+  std::map<std::string, std::string> alias_to_table;  // Lower-cased.
+  for (const TableRef& ref : stmt.from) {
+    if (ref.kind != TableRef::Kind::kTable) {
+      return Status::InvalidArgument(
+          "cache matching requires base tables in FROM");
+    }
+    const std::string table = ToLowerAscii(ref.name);
+    if (!catalog.HasTable(table)) {
+      return Status::NotFound("unknown table: " + ref.name);
+    }
+    alias_to_table[ToLowerAscii(ref.BindingName())] = table;
+    canonical.tables.push_back(table);
+  }
+  std::sort(canonical.tables.begin(), canonical.tables.end());
+
+  for (const ExprPtr& conjunct : SplitConjuncts(stmt.where)) {
+    ASSIGN_OR_RETURN(ExprPtr expr,
+                     CanonicalizeExpr(conjunct, alias_to_table, catalog));
+    if (IsJoinCondition(*expr)) {
+      canonical.join_conditions.push_back(std::move(expr));
+    } else {
+      canonical.predicates.push_back(std::move(expr));
+    }
+  }
+  SortByRendering(&canonical.join_conditions);
+  SortByRendering(&canonical.predicates);
+
+  for (const SelectItem& item : stmt.items) {
+    if (item.is_star) {
+      for (const TableRef& ref : stmt.from) {
+        const std::string binding = ToLowerAscii(ref.BindingName());
+        if (!item.star_qualifier.empty() &&
+            ToLowerAscii(item.star_qualifier) != binding) {
+          continue;
+        }
+        const std::string& table = alias_to_table[binding];
+        ASSIGN_OR_RETURN(TablePtr table_ptr, catalog.GetTable(table));
+        for (const Field& field : table_ptr->schema()->fields()) {
+          canonical.projections.push_back(CanonicalQuery::Projection{
+              ToLowerAscii(field.name), table, ToLowerAscii(field.name)});
+        }
+      }
+      continue;
+    }
+    if (item.expr->kind != ExprKind::kColumnRef) {
+      return Status::InvalidArgument(
+          "cache matching requires plain column projections: " +
+          item.expr->ToString());
+    }
+    ASSIGN_OR_RETURN(ExprPtr column,
+                     CanonicalizeExpr(item.expr, alias_to_table, catalog));
+    const std::string output =
+        item.alias.empty() ? column->column : ToLowerAscii(item.alias);
+    canonical.projections.push_back(CanonicalQuery::Projection{
+        output, column->qualifier, column->column});
+  }
+  return canonical;
+}
+
+bool CanonicalQuery::SameTables(const CanonicalQuery& a,
+                                const CanonicalQuery& b) {
+  return a.tables == b.tables;
+}
+
+bool CanonicalQuery::SameJoins(const CanonicalQuery& a,
+                               const CanonicalQuery& b) {
+  if (a.join_conditions.size() != b.join_conditions.size()) return false;
+  for (size_t i = 0; i < a.join_conditions.size(); ++i) {
+    if (!ExprEquals(*a.join_conditions[i], *b.join_conditions[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+const CanonicalQuery::Projection* CanonicalQuery::FindByCanonicalRef(
+    const std::string& ref) const {
+  for (const Projection& projection : projections) {
+    if (projection.CanonicalRef() == ref) return &projection;
+  }
+  return nullptr;
+}
+
+const CanonicalQuery::Projection* CanonicalQuery::FindByOutputName(
+    const std::string& name) const {
+  const std::string lower = ToLowerAscii(name);
+  for (const Projection& projection : projections) {
+    if (projection.output_name == lower) return &projection;
+  }
+  return nullptr;
+}
+
+}  // namespace sqlink

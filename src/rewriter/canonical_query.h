@@ -1,0 +1,66 @@
+#ifndef SQLINK_REWRITER_CANONICAL_QUERY_H_
+#define SQLINK_REWRITER_CANONICAL_QUERY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/ast.h"
+#include "sql/catalog.h"
+
+namespace sqlink {
+
+/// A data-prep SELECT normalized for cache matching (§5): table aliases are
+/// replaced by table names in every column reference, stars are expanded
+/// from the catalog, join conditions (column = column) are separated from
+/// value predicates, and equality operands are ordered deterministically.
+/// Only plain SELECT-project-join queries over base tables canonicalize;
+/// anything else (aggregates, subqueries, table functions, DISTINCT) is
+/// rejected — such queries simply do not participate in caching.
+struct CanonicalQuery {
+  /// Lower-cased base-table names, sorted.
+  std::vector<std::string> tables;
+
+  /// Canonical join conditions, sorted by rendering.
+  std::vector<ExprPtr> join_conditions;
+
+  /// Canonical non-join conjuncts, sorted by rendering.
+  std::vector<ExprPtr> predicates;
+
+  /// Projected columns in select order: output name (lower-cased) and the
+  /// canonical column it came from.
+  struct Projection {
+    std::string output_name;
+    std::string table;   // Lower-cased canonical qualifier.
+    std::string column;  // Lower-cased source column name.
+
+    std::string CanonicalRef() const { return table + "." + column; }
+  };
+  std::vector<Projection> projections;
+
+  /// True if a join condition set matches (set equality by rendering).
+  static bool SameJoins(const CanonicalQuery& a, const CanonicalQuery& b);
+  static bool SameTables(const CanonicalQuery& a, const CanonicalQuery& b);
+
+  /// Projection lookup by canonical column reference; nullptr if absent.
+  const Projection* FindByCanonicalRef(const std::string& ref) const;
+  /// Projection lookup by output name; nullptr if absent.
+  const Projection* FindByOutputName(const std::string& name) const;
+};
+
+/// Canonicalizes `stmt`, resolving stars and unqualified columns against
+/// the catalog's table schemas.
+Result<CanonicalQuery> CanonicalizeQuery(const SelectStmt& stmt,
+                                         const Catalog& catalog);
+
+/// Renders an expression with alias qualifiers replaced by table names
+/// (helper shared with the matcher); unqualified refs resolve via schemas.
+Result<ExprPtr> CanonicalizeExpr(const ExprPtr& expr,
+                                 const std::map<std::string, std::string>&
+                                     alias_to_table,
+                                 const Catalog& catalog);
+
+}  // namespace sqlink
+
+#endif  // SQLINK_REWRITER_CANONICAL_QUERY_H_

@@ -1,0 +1,118 @@
+#include "rewriter/predicate_logic.h"
+
+#include "common/string_util.h"
+
+namespace sqlink {
+
+namespace {
+
+std::string FlipOp(const std::string& op) {
+  if (op == "<") return ">";
+  if (op == "<=") return ">=";
+  if (op == ">") return "<";
+  if (op == ">=") return "<=";
+  return op;  // = and <> are symmetric.
+}
+
+/// Total-order comparison consistent with the expression evaluator.
+int CompareValues(const Value& a, const Value& b) {
+  if (a == b) return 0;
+  // Cross-type numeric ordering is handled by Value::operator<.
+  return a < b ? -1 : 1;
+}
+
+bool ComparableLiterals(const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return false;
+  const bool a_num = a.is_int64() || a.is_double();
+  const bool b_num = b.is_int64() || b.is_double();
+  if (a_num && b_num) return true;
+  return a.type() == b.type();
+}
+
+}  // namespace
+
+std::string ColumnConstraint::ColumnKey() const {
+  return ToLowerAscii(qualifier) + "." + ToLowerAscii(column);
+}
+
+std::optional<ColumnConstraint> ExtractConstraint(const Expr& expr) {
+  if (expr.kind != ExprKind::kComparison) return std::nullopt;
+  const Expr& lhs = *expr.children[0];
+  const Expr& rhs = *expr.children[1];
+  ColumnConstraint constraint;
+  if (lhs.kind == ExprKind::kColumnRef && rhs.kind == ExprKind::kLiteral) {
+    constraint.qualifier = lhs.qualifier;
+    constraint.column = lhs.column;
+    constraint.op = expr.op;
+    constraint.literal = rhs.literal;
+  } else if (rhs.kind == ExprKind::kColumnRef &&
+             lhs.kind == ExprKind::kLiteral) {
+    constraint.qualifier = rhs.qualifier;
+    constraint.column = rhs.column;
+    constraint.op = FlipOp(expr.op);
+    constraint.literal = lhs.literal;
+  } else {
+    return std::nullopt;
+  }
+  if (constraint.literal.is_null()) return std::nullopt;
+  return constraint;
+}
+
+bool ConstraintImplies(const ColumnConstraint& stronger,
+                       const ColumnConstraint& weaker) {
+  if (stronger.ColumnKey() != weaker.ColumnKey()) return false;
+  if (!ComparableLiterals(stronger.literal, weaker.literal)) return false;
+  const int cmp = CompareValues(stronger.literal, weaker.literal);
+  const std::string& s = stronger.op;
+  const std::string& w = weaker.op;
+
+  if (s == "=") {
+    // x = c implies (c op2 c2).
+    if (w == "=") return cmp == 0;
+    if (w == "<>") return cmp != 0;
+    if (w == "<") return cmp < 0;
+    if (w == "<=") return cmp <= 0;
+    if (w == ">") return cmp > 0;
+    if (w == ">=") return cmp >= 0;
+    return false;
+  }
+  if (s == "<") {
+    // x < c.
+    if (w == "<") return cmp <= 0;   // c <= c2.
+    if (w == "<=") return cmp <= 0;
+    if (w == "<>") return cmp <= 0;  // All x < c differ from c2 when c2 >= c.
+    return false;
+  }
+  if (s == "<=") {
+    if (w == "<") return cmp < 0;
+    if (w == "<=") return cmp <= 0;
+    if (w == "<>") return cmp < 0;
+    return false;
+  }
+  if (s == ">") {
+    if (w == ">") return cmp >= 0;
+    if (w == ">=") return cmp >= 0;
+    if (w == "<>") return cmp >= 0;
+    return false;
+  }
+  if (s == ">=") {
+    if (w == ">") return cmp > 0;
+    if (w == ">=") return cmp >= 0;
+    if (w == "<>") return cmp > 0;
+    return false;
+  }
+  if (s == "<>") {
+    return w == "<>" && cmp == 0;
+  }
+  return false;
+}
+
+bool ConjunctImplies(const Expr& stronger, const Expr& weaker) {
+  if (ExprEquals(stronger, weaker)) return true;
+  const auto s = ExtractConstraint(stronger);
+  const auto w = ExtractConstraint(weaker);
+  if (!s.has_value() || !w.has_value()) return false;
+  return ConstraintImplies(*s, *w);
+}
+
+}  // namespace sqlink

@@ -1,0 +1,41 @@
+#ifndef SQLINK_REWRITER_PREDICATE_LOGIC_H_
+#define SQLINK_REWRITER_PREDICATE_LOGIC_H_
+
+#include <optional>
+#include <string>
+
+#include "sql/ast.h"
+#include "table/value.h"
+
+namespace sqlink {
+
+/// A single-column comparison `column op literal` extracted from a WHERE
+/// conjunct — the unit of the §5.2 "logically stronger than" test.
+struct ColumnConstraint {
+  std::string qualifier;  // Canonical (table name) or empty.
+  std::string column;
+  std::string op;  // = <> < <= > >=
+  Value literal;
+
+  /// Canonical key "qualifier.column" (lower-cased).
+  std::string ColumnKey() const;
+};
+
+/// Extracts a constraint from `col op literal` or `literal op col` (the
+/// operator is flipped for the latter). Returns nullopt for anything else.
+std::optional<ColumnConstraint> ExtractConstraint(const Expr& expr);
+
+/// Whether `stronger` logically implies `weaker` — sound, not complete:
+/// true means every row satisfying `stronger` satisfies `weaker` (e.g.
+/// a < 18 implies a <= 20, the paper's example). Both must constrain the
+/// same column; comparisons follow SQL value ordering.
+bool ConstraintImplies(const ColumnConstraint& stronger,
+                       const ColumnConstraint& weaker);
+
+/// Conjunct-level implication: structural equality, or both sides extract
+/// to constraints with ConstraintImplies.
+bool ConjunctImplies(const Expr& stronger, const Expr& weaker);
+
+}  // namespace sqlink
+
+#endif  // SQLINK_REWRITER_PREDICATE_LOGIC_H_

@@ -1,0 +1,439 @@
+#include "rewriter/query_rewriter.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+
+#include "common/status_macros.h"
+#include "common/string_util.h"
+#include "rewriter/canonical_query.h"
+#include "rewriter/predicate_logic.h"
+#include "sql/parser.h"
+#include "transform/coding.h"
+
+namespace sqlink {
+
+namespace {
+
+/// Quotes a string for embedding in SQL text.
+std::string SqlQuote(const std::string& text) {
+  std::string out = "'";
+  for (char c : text) {
+    if (c == '\'') out += "''";
+    else out.push_back(c);
+  }
+  out += "'";
+  return out;
+}
+
+/// The transformation applied to one output column.
+struct Treatment {
+  bool recoded = false;
+  std::optional<CodingScheme> coding;
+
+  bool operator==(const Treatment&) const = default;
+};
+
+Treatment TreatmentOf(const TransformRequest& request,
+                      const std::string& column) {
+  Treatment treatment;
+  treatment.recoded = request.WantsRecode(column);
+  const CodingScheme* scheme = request.CodingFor(column);
+  if (scheme != nullptr) treatment.coding = *scheme;
+  return treatment;
+}
+
+/// Collects the canonical column refs used by an expression.
+void CollectColumnRefs(const Expr& expr, std::vector<const Expr*>* refs) {
+  if (expr.kind == ExprKind::kColumnRef) {
+    refs->push_back(&expr);
+    return;
+  }
+  for (const ExprPtr& child : expr.children) {
+    CollectColumnRefs(*child, refs);
+  }
+}
+
+bool ContainsExpr(const std::vector<ExprPtr>& haystack, const Expr& needle) {
+  for (const ExprPtr& candidate : haystack) {
+    if (ExprEquals(*candidate, needle)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+QueryRewriter::QueryRewriter(SqlEnginePtr engine, TransformCache* cache)
+    : engine_(std::move(engine)), cache_(cache), transformer_(engine_) {}
+
+std::string QueryRewriter::NextMapTableName() {
+  return "recode_map_" + std::to_string(map_counter_.fetch_add(1) + 1);
+}
+
+Result<std::string> QueryRewriter::BuildTransformedSql(
+    const TransformRequest& request, const RecodeMap& map,
+    const std::string& map_table) const {
+  ASSIGN_OR_RETURN(PlanPtr plan, engine_->Plan(request.prep_sql));
+  const Schema& schema = *plan->output_schema;
+
+  // Validate the request against the prep query's output schema.
+  for (const std::string& column : request.recode_columns) {
+    ASSIGN_OR_RETURN(int index, schema.RequireField(column));
+    if (schema.field(index).type != DataType::kString) {
+      return Status::InvalidArgument("recode column is not categorical: " +
+                                     column);
+    }
+    if (map.Cardinality(schema.field(index).name) == 0) {
+      return Status::InvalidArgument("recode map lacks column: " + column);
+    }
+  }
+  for (const auto& [column, scheme] : request.codings) {
+    (void)scheme;
+    if (!request.WantsRecode(column)) {
+      return Status::InvalidArgument("coded column must also be recoded: " +
+                                     column);
+    }
+  }
+
+  // The final recoding join of §2.1: one map-table alias per categorical
+  // column, exactly the paper's
+  //   SELECT T.age, Mg.recodeVal AS gender, ... FROM T, M Mg, M Ma WHERE ...
+  std::string select_list;
+  std::string from_list = "(" + request.prep_sql + ") T";
+  std::string where;
+  int map_index = 0;
+  for (int i = 0; i < schema.num_fields(); ++i) {
+    const std::string& column = schema.field(i).name;
+    if (i > 0) select_list += ", ";
+    if (request.WantsRecode(column)) {
+      const std::string alias = "M" + std::to_string(map_index++);
+      select_list += alias + ".recodeval AS " + column;
+      from_list += ", " + map_table + " " + alias;
+      if (!where.empty()) where += " AND ";
+      where += alias + ".colname = " + SqlQuote(ToLowerAscii(column)) +
+               " AND T." + column + " = " + alias + ".colval";
+    } else {
+      select_list += "T." + column;
+    }
+  }
+  std::string sql = "SELECT " + select_list + " FROM " + from_list;
+  if (!where.empty()) sql += " WHERE " + where;
+
+  // Apply coding wrappers (§2.2), one UDF call per scheme in use.
+  for (CodingScheme scheme : {CodingScheme::kDummy, CodingScheme::kEffect,
+                              CodingScheme::kOrthogonal}) {
+    std::vector<CodedColumnSpec> specs;
+    for (int i = 0; i < schema.num_fields(); ++i) {
+      const std::string& column = schema.field(i).name;
+      const CodingScheme* wanted = request.CodingFor(column);
+      if (wanted == nullptr || *wanted != scheme) continue;
+      CodedColumnSpec spec;
+      spec.column = column;
+      ASSIGN_OR_RETURN(spec.labels, map.Labels(column));
+      spec.cardinality = static_cast<int>(spec.labels.size());
+      specs.push_back(std::move(spec));
+    }
+    if (specs.empty()) continue;
+    sql = "SELECT * FROM TABLE(" + std::string(CodingSchemeToString(scheme)) +
+          "_code((" + sql + "), " +
+          SqlQuote(FormatCodedColumnSpecs(specs)) + "))";
+  }
+  return sql;
+}
+
+Result<std::optional<std::string>> QueryRewriter::TryFullCacheRewrite(
+    const TransformRequest& request, const SelectStmt& stmt,
+    const TransformCacheEntry& entry) const {
+  if (!entry.has_full_result()) return std::optional<std::string>();
+  auto new_canonical = CanonicalizeQuery(stmt, *engine_->catalog());
+  if (!new_canonical.ok()) return std::optional<std::string>();
+  auto cached_canonical =
+      CanonicalizeQuery(*entry.prep_stmt, *engine_->catalog());
+  if (!cached_canonical.ok()) return std::optional<std::string>();
+  const CanonicalQuery& qn = *new_canonical;
+  const CanonicalQuery& qc = *cached_canonical;
+
+  // §5.1 condition 1: same tables, joins, and the cached predicates all
+  // present in the new query.
+  if (!CanonicalQuery::SameTables(qn, qc) || !CanonicalQuery::SameJoins(qn, qc)) {
+    return std::optional<std::string>();
+  }
+  for (const ExprPtr& cached_pred : qc.predicates) {
+    if (!ContainsExpr(qn.predicates, *cached_pred)) {
+      return std::optional<std::string>();
+    }
+  }
+  std::vector<ExprPtr> extras;
+  for (const ExprPtr& new_pred : qn.predicates) {
+    if (!ContainsExpr(qc.predicates, *new_pred)) extras.push_back(new_pred);
+  }
+
+  // §5.1 condition 2: projected fields subset, with matching treatments.
+  struct MappedColumn {
+    const CanonicalQuery::Projection* cached = nullptr;
+    Treatment treatment;
+  };
+  std::vector<std::pair<const CanonicalQuery::Projection*, MappedColumn>>
+      mapped;
+  for (const CanonicalQuery::Projection& projection : qn.projections) {
+    const CanonicalQuery::Projection* cached =
+        qc.FindByCanonicalRef(projection.CanonicalRef());
+    if (cached == nullptr) return std::optional<std::string>();
+    const Treatment new_treatment = TreatmentOf(request, projection.output_name);
+    const Treatment cached_treatment =
+        TreatmentOf(entry.request, cached->output_name);
+    if (new_treatment != cached_treatment) return std::optional<std::string>();
+    mapped.push_back({&projection, MappedColumn{cached, cached_treatment}});
+  }
+
+  // §5.1 condition 3: extra conjuncts only over projected cached fields;
+  // rewrite each against the transformed table's columns.
+  std::vector<std::string> rewritten_extras;
+  for (const ExprPtr& extra : extras) {
+    const auto constraint = ExtractConstraint(*extra);
+    if (constraint.has_value()) {
+      const std::string ref = ToLowerAscii(constraint->qualifier) + "." +
+                              ToLowerAscii(constraint->column);
+      const CanonicalQuery::Projection* cached = qc.FindByCanonicalRef(ref);
+      if (cached == nullptr) return std::optional<std::string>();
+      const Treatment treatment =
+          TreatmentOf(entry.request, cached->output_name);
+      if (!treatment.recoded) {
+        rewritten_extras.push_back(
+            cached->output_name + " " + constraint->op + " " +
+            Expr::MakeLiteral(constraint->literal)->ToString());
+        continue;
+      }
+      // Categorical predicate: translate the literal through the map.
+      if (!constraint->literal.is_string() ||
+          (constraint->op != "=" && constraint->op != "<>")) {
+        return std::optional<std::string>();
+      }
+      auto code = entry.recode_map.Code(cached->output_name,
+                                        constraint->literal.string_value());
+      if (!code.ok()) {
+        // Value absent from the cached data: equality selects nothing.
+        rewritten_extras.push_back(constraint->op == "=" ? "1 = 0" : "1 = 1");
+        continue;
+      }
+      if (!treatment.coding.has_value()) {
+        rewritten_extras.push_back(cached->output_name + " " +
+                                   constraint->op + " " +
+                                   std::to_string(*code));
+        continue;
+      }
+      if (*treatment.coding != CodingScheme::kDummy) {
+        // Effect/orthogonal columns do not expose per-level predicates.
+        return std::optional<std::string>();
+      }
+      auto labels = entry.recode_map.Labels(cached->output_name);
+      if (!labels.ok()) return std::optional<std::string>();
+      CodedColumnSpec spec{cached->output_name,
+                           static_cast<int>(labels->size()), *labels};
+      const std::vector<std::string> names =
+          CodedColumnNames(spec, CodingScheme::kDummy);
+      const std::string& dummy_column =
+          names[static_cast<size_t>(*code - 1)];
+      rewritten_extras.push_back(dummy_column + (constraint->op == "="
+                                                     ? " = 1"
+                                                     : " = 0"));
+      continue;
+    }
+    // General conjunct: usable only over untreated projected columns.
+    std::vector<const Expr*> refs;
+    CollectColumnRefs(*extra, &refs);
+    auto rewritten = std::make_shared<Expr>(*extra);
+    // Deep copy with qualifier rewrite.
+    std::function<Result<ExprPtr>(const Expr&)> rewrite =
+        [&](const Expr& node) -> Result<ExprPtr> {
+      auto copy = std::make_shared<Expr>(node);
+      if (copy->kind == ExprKind::kColumnRef) {
+        const std::string ref = ToLowerAscii(copy->qualifier) + "." +
+                                ToLowerAscii(copy->column);
+        const CanonicalQuery::Projection* cached = qc.FindByCanonicalRef(ref);
+        if (cached == nullptr) {
+          return Status::NotFound("column not projected by cache");
+        }
+        const Treatment treatment =
+            TreatmentOf(entry.request, cached->output_name);
+        if (treatment.recoded) {
+          return Status::InvalidArgument("treated column in complex predicate");
+        }
+        copy->qualifier.clear();
+        copy->column = cached->output_name;
+        return copy;
+      }
+      copy->children.clear();
+      for (const ExprPtr& child : node.children) {
+        ASSIGN_OR_RETURN(ExprPtr rewritten_child, rewrite(*child));
+        copy->children.push_back(std::move(rewritten_child));
+      }
+      return copy;
+    };
+    auto rewritten_expr = rewrite(*extra);
+    if (!rewritten_expr.ok()) return std::optional<std::string>();
+    rewritten_extras.push_back((*rewritten_expr)->ToString());
+  }
+
+  // Assemble the rewritten query over the materialized table — the paper's
+  //   SELECT age, amount, abandoned FROM T WHERE gender = 'F'
+  // form, with categorical predicates translated as above.
+  std::string select_list;
+  bool first = true;
+  for (const auto& [projection, column] : mapped) {
+    const std::string& cached_name = column.cached->output_name;
+    if (column.treatment.coding.has_value()) {
+      auto labels = entry.recode_map.Labels(cached_name);
+      if (!labels.ok()) return std::optional<std::string>();
+      CodedColumnSpec spec{cached_name, static_cast<int>(labels->size()),
+                           *labels};
+      for (const std::string& generated :
+           CodedColumnNames(spec, *column.treatment.coding)) {
+        if (!first) select_list += ", ";
+        first = false;
+        select_list += generated;
+      }
+      continue;
+    }
+    if (!first) select_list += ", ";
+    first = false;
+    select_list += cached_name;
+    if (cached_name != projection->output_name) {
+      select_list += " AS " + projection->output_name;
+    }
+  }
+  std::string sql = "SELECT " + select_list + " FROM " + entry.result_table;
+  if (!rewritten_extras.empty()) {
+    sql += " WHERE " + JoinStrings(rewritten_extras, " AND ");
+  }
+  return std::optional<std::string>(std::move(sql));
+}
+
+Result<std::optional<RecodeMap>> QueryRewriter::TryRecodeMapReuse(
+    const TransformRequest& request, const SelectStmt& stmt,
+    const TransformCacheEntry& entry) const {
+  auto new_canonical = CanonicalizeQuery(stmt, *engine_->catalog());
+  if (!new_canonical.ok()) return std::optional<RecodeMap>();
+  auto cached_canonical =
+      CanonicalizeQuery(*entry.prep_stmt, *engine_->catalog());
+  if (!cached_canonical.ok()) return std::optional<RecodeMap>();
+  const CanonicalQuery& qn = *new_canonical;
+  const CanonicalQuery& qc = *cached_canonical;
+
+  // §5.2 condition 1: same tables and join conditions.
+  if (!CanonicalQuery::SameTables(qn, qc) ||
+      !CanonicalQuery::SameJoins(qn, qc)) {
+    return std::optional<RecodeMap>();
+  }
+  // §5.2 condition 2: every cached predicate has a same-or-stronger
+  // counterpart (a smaller result can only shrink the distinct-value sets,
+  // so the cached map stays a valid superset). Additional conjunctive
+  // predicates (condition 4) are allowed by construction.
+  for (const ExprPtr& cached_pred : qc.predicates) {
+    bool implied = false;
+    for (const ExprPtr& new_pred : qn.predicates) {
+      if (ConjunctImplies(*new_pred, *cached_pred)) {
+        implied = true;
+        break;
+      }
+    }
+    if (!implied) return std::optional<RecodeMap>();
+  }
+  // §5.2 condition 3: requested categorical columns must map to columns the
+  // cached request recoded.
+  RecodeMap reused;
+  for (const std::string& column : request.recode_columns) {
+    const CanonicalQuery::Projection* projection =
+        qn.FindByOutputName(column);
+    if (projection == nullptr) return std::optional<RecodeMap>();
+    const CanonicalQuery::Projection* cached =
+        qc.FindByCanonicalRef(projection->CanonicalRef());
+    if (cached == nullptr ||
+        !entry.request.WantsRecode(cached->output_name)) {
+      return std::optional<RecodeMap>();
+    }
+    auto labels = entry.recode_map.Labels(cached->output_name);
+    if (!labels.ok()) return std::optional<RecodeMap>();
+    for (size_t i = 0; i < labels->size(); ++i) {
+      // Re-key the cached column's entries under the new column name.
+      const Status status = reused.Add(
+          projection->output_name, (*labels)[i], static_cast<int>(i) + 1);
+      if (!status.ok()) return std::optional<RecodeMap>();
+    }
+  }
+  return std::optional<RecodeMap>(std::move(reused));
+}
+
+Result<QueryRewriter::Rewrite> QueryRewriter::RewriteWithCache(
+    const TransformRequest& request) {
+  ASSIGN_OR_RETURN(SelectStmt stmt, ParseSelect(request.prep_sql));
+
+  if (cache_ != nullptr) {
+    // §5.1 first — a full-result hit skips query, transform and recoding.
+    for (const auto& entry : cache_->Entries()) {
+      ASSIGN_OR_RETURN(std::optional<std::string> rewritten,
+                       TryFullCacheRewrite(request, stmt, *entry));
+      if (rewritten.has_value()) {
+        cache_->RecordHit(/*full_result=*/true);
+        Rewrite rewrite;
+        rewrite.transformed_sql = std::move(*rewritten);
+        rewrite.recode_map = entry->recode_map;
+        rewrite.source = Source::kFullResultCache;
+        return rewrite;
+      }
+    }
+    // §5.2 next — reuse a recode map, skipping one of the two passes.
+    for (const auto& entry : cache_->Entries()) {
+      ASSIGN_OR_RETURN(std::optional<RecodeMap> map,
+                       TryRecodeMapReuse(request, stmt, *entry));
+      if (map.has_value()) {
+        cache_->RecordHit(/*full_result=*/false);
+        Rewrite rewrite;
+        rewrite.map_table = NextMapTableName();
+        engine_->catalog()->PutTable(map->ToTable(
+            rewrite.map_table, static_cast<size_t>(engine_->num_workers())));
+        ASSIGN_OR_RETURN(
+            rewrite.transformed_sql,
+            BuildTransformedSql(request, *map, rewrite.map_table));
+        rewrite.recode_map = std::move(*map);
+        rewrite.source = Source::kRecodeMapCache;
+        return rewrite;
+      }
+    }
+    cache_->RecordMiss();
+  }
+
+  // Cold path: the two-phase In-SQL recoding (§2.1).
+  Rewrite rewrite;
+  rewrite.map_table = NextMapTableName();
+  ASSIGN_OR_RETURN(rewrite.recode_map,
+                   transformer_.ComputeRecodeMap(request.prep_sql,
+                                                 request.recode_columns,
+                                                 rewrite.map_table));
+  ASSIGN_OR_RETURN(
+      rewrite.transformed_sql,
+      BuildTransformedSql(request, rewrite.recode_map, rewrite.map_table));
+  rewrite.source = Source::kComputed;
+  if (cache_ != nullptr) {
+    RETURN_IF_ERROR(cache_->PutRecodeMap(
+        request, std::make_shared<SelectStmt>(std::move(stmt)),
+        rewrite.recode_map));
+  }
+  return rewrite;
+}
+
+Status QueryRewriter::CacheFullResult(const TransformRequest& request,
+                                      const RecodeMap& map,
+                                      const std::string& result_table) {
+  if (cache_ == nullptr) {
+    return Status::FailedPrecondition("rewriter has no cache");
+  }
+  ASSIGN_OR_RETURN(SelectStmt stmt, ParseSelect(request.prep_sql));
+  ASSIGN_OR_RETURN(TablePtr table, engine_->catalog()->GetTable(result_table));
+  return cache_->PutFullResult(request,
+                               std::make_shared<SelectStmt>(std::move(stmt)),
+                               map, result_table, table->schema());
+}
+
+}  // namespace sqlink

@@ -1,0 +1,91 @@
+#ifndef SQLINK_REWRITER_QUERY_REWRITER_H_
+#define SQLINK_REWRITER_QUERY_REWRITER_H_
+
+#include <atomic>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "cache/transform_cache.h"
+#include "common/result.h"
+#include "sql/engine.h"
+#include "transform/recode_map.h"
+#include "transform/transformer.h"
+
+namespace sqlink {
+
+/// The query rewriter of §4: takes the user's data-prep SQL plus the
+/// requested transformations, and produces the extended query that performs
+/// them with the In-SQL UDFs — computing the recode map when needed, or
+/// reusing cached artifacts per §5:
+///
+///  - a cached *fully transformed* result is reused when the new query has
+///    the same FROM/joins/predicates, projects a subset of the cached
+///    projection, and adds only conjunctive predicates on projected fields
+///    (§5.1); the rewrite then runs against the materialized table, with
+///    categorical literals translated through the recode map (e.g.
+///    gender = 'F' becomes the dummy column gender_F = 1);
+///  - a cached *recode map* is reused when the joins match, every cached
+///    predicate has a same-or-logically-stronger counterpart, and the
+///    recoded columns are a subset of the cached ones (§5.2), skipping the
+///    first of the two recoding passes.
+class QueryRewriter {
+ public:
+  /// `cache` may be null (no caching; every request recomputes).
+  QueryRewriter(SqlEnginePtr engine, TransformCache* cache);
+
+  enum class Source { kComputed, kRecodeMapCache, kFullResultCache };
+
+  struct Rewrite {
+    /// SQL producing the transformed rows (runs on the engine).
+    std::string transformed_sql;
+    RecodeMap recode_map;
+    Source source = Source::kComputed;
+    /// Catalog name of the recode-map table backing transformed_sql
+    /// (empty for full-cache rewrites).
+    std::string map_table;
+  };
+
+  /// The full §4+§5 flow: consult the cache, compute the recode map if
+  /// needed (caching it), and emit the transformed query.
+  Result<Rewrite> RewriteWithCache(const TransformRequest& request);
+
+  /// §4 only: composes the transformed SQL from an existing map. The map
+  /// table must already be registered in the catalog.
+  Result<std::string> BuildTransformedSql(const TransformRequest& request,
+                                          const RecodeMap& map,
+                                          const std::string& map_table) const;
+
+  /// Registers a fully transformed materialized result for later §5.1
+  /// reuse. `result_table` must be registered in the engine catalog.
+  Status CacheFullResult(const TransformRequest& request,
+                         const RecodeMap& map,
+                         const std::string& result_table);
+
+  /// §5.1 matcher (exposed for tests): the rewritten SQL over the cached
+  /// table, or nullopt when the entry does not subsume the request.
+  Result<std::optional<std::string>> TryFullCacheRewrite(
+      const TransformRequest& request, const SelectStmt& stmt,
+      const TransformCacheEntry& entry) const;
+
+  /// §5.2 matcher (exposed for tests): the reusable map keyed by the new
+  /// request's column names, or nullopt.
+  Result<std::optional<RecodeMap>> TryRecodeMapReuse(
+      const TransformRequest& request, const SelectStmt& stmt,
+      const TransformCacheEntry& entry) const;
+
+  TransformCache* cache() { return cache_; }
+
+ private:
+  /// Fresh catalog name for a recode-map table.
+  std::string NextMapTableName();
+
+  SqlEnginePtr engine_;
+  TransformCache* cache_;
+  InSqlTransformer transformer_;
+  std::atomic<int> map_counter_{0};
+};
+
+}  // namespace sqlink
+
+#endif  // SQLINK_REWRITER_QUERY_REWRITER_H_

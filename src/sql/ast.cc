@@ -1,0 +1,253 @@
+#include "sql/ast.h"
+
+#include "common/string_util.h"
+
+namespace sqlink {
+
+namespace {
+
+/// Renders a literal as a SQL literal (strings quoted with '' escaping).
+std::string LiteralToSql(const Value& value) {
+  if (value.is_null()) return "NULL";
+  if (value.is_string()) {
+    std::string out = "'";
+    for (char c : value.string_value()) {
+      if (c == '\'') out += "''";
+      else out.push_back(c);
+    }
+    out += "'";
+    return out;
+  }
+  if (value.is_bool()) return value.bool_value() ? "TRUE" : "FALSE";
+  return value.ToString();
+}
+
+}  // namespace
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case ExprKind::kColumnRef:
+      return qualifier.empty() ? column : qualifier + "." + column;
+    case ExprKind::kLiteral:
+      return LiteralToSql(literal);
+    case ExprKind::kComparison:
+    case ExprKind::kArithmetic:
+      return "(" + children[0]->ToString() + " " + op + " " +
+             children[1]->ToString() + ")";
+    case ExprKind::kAnd:
+      return "(" + children[0]->ToString() + " AND " +
+             children[1]->ToString() + ")";
+    case ExprKind::kOr:
+      return "(" + children[0]->ToString() + " OR " +
+             children[1]->ToString() + ")";
+    case ExprKind::kNot:
+      return "(NOT " + children[0]->ToString() + ")";
+    case ExprKind::kIsNull:
+      return "(" + children[0]->ToString() +
+             (is_not_null ? " IS NOT NULL)" : " IS NULL)");
+    case ExprKind::kFunctionCall: {
+      std::string out = function_name + "(";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += children[i]->ToString();
+      }
+      out += ")";
+      return out;
+    }
+  }
+  return "?";
+}
+
+ExprPtr Expr::MakeColumn(std::string qualifier, std::string column) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kColumnRef;
+  e->qualifier = std::move(qualifier);
+  e->column = std::move(column);
+  return e;
+}
+
+ExprPtr Expr::MakeLiteral(Value value) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kLiteral;
+  e->literal = std::move(value);
+  return e;
+}
+
+ExprPtr Expr::MakeComparison(std::string op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kComparison;
+  e->op = std::move(op);
+  e->children = {std::move(lhs), std::move(rhs)};
+  return e;
+}
+
+ExprPtr Expr::MakeAnd(ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kAnd;
+  e->children = {std::move(lhs), std::move(rhs)};
+  return e;
+}
+
+ExprPtr Expr::MakeOr(ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kOr;
+  e->children = {std::move(lhs), std::move(rhs)};
+  return e;
+}
+
+ExprPtr Expr::MakeNot(ExprPtr operand) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kNot;
+  e->children = {std::move(operand)};
+  return e;
+}
+
+ExprPtr Expr::MakeArithmetic(std::string op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kArithmetic;
+  e->op = std::move(op);
+  e->children = {std::move(lhs), std::move(rhs)};
+  return e;
+}
+
+ExprPtr Expr::MakeCall(std::string name, std::vector<ExprPtr> args) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kFunctionCall;
+  e->function_name = std::move(name);
+  e->children = std::move(args);
+  return e;
+}
+
+ExprPtr Expr::MakeIsNull(ExprPtr operand, bool is_not_null) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kIsNull;
+  e->is_not_null = is_not_null;
+  e->children = {std::move(operand)};
+  return e;
+}
+
+bool ExprEquals(const Expr& a, const Expr& b) {
+  if (a.kind != b.kind) return false;
+  switch (a.kind) {
+    case ExprKind::kColumnRef:
+      if (!EqualsIgnoreCase(a.qualifier, b.qualifier) ||
+          !EqualsIgnoreCase(a.column, b.column)) {
+        return false;
+      }
+      break;
+    case ExprKind::kLiteral:
+      if (a.literal != b.literal) return false;
+      break;
+    case ExprKind::kComparison:
+    case ExprKind::kArithmetic:
+      if (a.op != b.op) return false;
+      break;
+    case ExprKind::kFunctionCall:
+      if (!EqualsIgnoreCase(a.function_name, b.function_name)) return false;
+      break;
+    case ExprKind::kIsNull:
+      if (a.is_not_null != b.is_not_null) return false;
+      break;
+    default:
+      break;
+  }
+  if (a.children.size() != b.children.size()) return false;
+  for (size_t i = 0; i < a.children.size(); ++i) {
+    if (!ExprEquals(*a.children[i], *b.children[i])) return false;
+  }
+  return true;
+}
+
+std::string SelectItem::ToString() const {
+  if (is_star) {
+    return star_qualifier.empty() ? "*" : star_qualifier + ".*";
+  }
+  std::string out = expr->ToString();
+  if (!alias.empty()) out += " AS " + alias;
+  return out;
+}
+
+std::string TableFuncArg::ToString() const {
+  if (subquery != nullptr) return "(" + subquery->ToString() + ")";
+  return expr->ToString();
+}
+
+std::string TableRef::ToString() const {
+  std::string out;
+  switch (kind) {
+    case Kind::kTable:
+      out = name;
+      break;
+    case Kind::kTableFunction: {
+      out = "TABLE(" + name + "(";
+      for (size_t i = 0; i < args.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += args[i].ToString();
+      }
+      out += "))";
+      break;
+    }
+    case Kind::kSubquery:
+      out = "(" + subquery->ToString() + ")";
+      break;
+  }
+  if (!alias.empty()) out += " AS " + alias;
+  return out;
+}
+
+std::string SelectStmt::ToString() const {
+  std::string out = "SELECT ";
+  if (distinct) out += "DISTINCT ";
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += items[i].ToString();
+  }
+  out += " FROM ";
+  for (size_t i = 0; i < from.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += from[i].ToString();
+  }
+  if (where != nullptr) out += " WHERE " + where->ToString();
+  if (!group_by.empty()) {
+    out += " GROUP BY ";
+    for (size_t i = 0; i < group_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += group_by[i]->ToString();
+    }
+  }
+  if (having != nullptr) out += " HAVING " + having->ToString();
+  if (!order_by.empty()) {
+    out += " ORDER BY ";
+    for (size_t i = 0; i < order_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += order_by[i].expr->ToString();
+      if (order_by[i].descending) out += " DESC";
+    }
+  }
+  if (limit >= 0) out += " LIMIT " + std::to_string(limit);
+  return out;
+}
+
+std::vector<ExprPtr> SplitConjuncts(const ExprPtr& expr) {
+  std::vector<ExprPtr> out;
+  if (expr == nullptr) return out;
+  if (expr->kind == ExprKind::kAnd) {
+    for (const ExprPtr& child : expr->children) {
+      auto sub = SplitConjuncts(child);
+      out.insert(out.end(), sub.begin(), sub.end());
+    }
+  } else {
+    out.push_back(expr);
+  }
+  return out;
+}
+
+ExprPtr CombineConjuncts(const std::vector<ExprPtr>& conjuncts) {
+  ExprPtr out;
+  for (const ExprPtr& conjunct : conjuncts) {
+    out = (out == nullptr) ? conjunct : Expr::MakeAnd(out, conjunct);
+  }
+  return out;
+}
+
+}  // namespace sqlink

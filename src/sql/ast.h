@@ -1,0 +1,139 @@
+#ifndef SQLINK_SQL_AST_H_
+#define SQLINK_SQL_AST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "table/value.h"
+
+namespace sqlink {
+
+struct SelectStmt;
+
+/// Scalar expression AST. One node type with a kind tag keeps the parser,
+/// binder and rewriter compact; every node can render itself back to SQL
+/// (the query rewriter emits SQL text, as in the paper).
+enum class ExprKind : int {
+  kColumnRef,    // [qualifier.]column
+  kLiteral,      // 'USA', 42, 3.14, TRUE, NULL
+  kComparison,   // = != <> < <= > >=
+  kAnd,
+  kOr,
+  kNot,
+  kArithmetic,   // + - * /
+  kFunctionCall, // scalar UDF / builtin
+  kIsNull,       // x IS [NOT] NULL
+};
+
+struct Expr;
+using ExprPtr = std::shared_ptr<Expr>;
+
+struct Expr {
+  ExprKind kind = ExprKind::kLiteral;
+
+  // kColumnRef.
+  std::string qualifier;  // Table alias; may be empty.
+  std::string column;
+
+  // kLiteral.
+  Value literal;
+
+  // kComparison / kArithmetic: operator text ("=", "<=", "+", ...).
+  std::string op;
+
+  // kFunctionCall.
+  std::string function_name;
+
+  // kIsNull: true for IS NOT NULL.
+  bool is_not_null = false;
+
+  // Operands: 2 for binary nodes, 1 for kNot/kIsNull, n for calls.
+  std::vector<ExprPtr> children;
+
+  /// Renders the expression as SQL.
+  std::string ToString() const;
+
+  // -- Construction helpers -------------------------------------------------
+  static ExprPtr MakeColumn(std::string qualifier, std::string column);
+  static ExprPtr MakeLiteral(Value value);
+  static ExprPtr MakeComparison(std::string op, ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr MakeAnd(ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr MakeOr(ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr MakeNot(ExprPtr operand);
+  static ExprPtr MakeArithmetic(std::string op, ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr MakeCall(std::string name, std::vector<ExprPtr> args);
+  static ExprPtr MakeIsNull(ExprPtr operand, bool is_not_null);
+};
+
+/// Structural equality of expression trees (literal values compared by
+/// value; identifiers case-insensitively). Used by the cache matchers.
+bool ExprEquals(const Expr& a, const Expr& b);
+
+/// One item of the SELECT list: an expression with an optional alias, or
+/// `*` / `alias.*`.
+struct SelectItem {
+  ExprPtr expr;        // Null when is_star.
+  std::string alias;   // Output column name; may be empty.
+  bool is_star = false;
+  std::string star_qualifier;  // For `alias.*`.
+
+  std::string ToString() const;
+};
+
+/// One argument of a table-function call: a scalar expression or a nested
+/// query (the paper's transfer/transform UDFs take the prepared query as
+/// input).
+struct TableFuncArg {
+  ExprPtr expr;  // Exactly one of expr/subquery is set.
+  std::shared_ptr<SelectStmt> subquery;
+
+  std::string ToString() const;
+};
+
+/// A FROM-clause entry: base table, TABLE(f(...)) call, or (subquery).
+struct TableRef {
+  enum class Kind : int { kTable, kTableFunction, kSubquery };
+  Kind kind = Kind::kTable;
+  std::string name;   // Table name, or function name for kTableFunction.
+  std::string alias;  // May be empty; subqueries require one.
+  std::vector<TableFuncArg> args;
+  std::shared_ptr<SelectStmt> subquery;
+
+  std::string ToString() const;
+  /// The name this relation is referenced by: alias if set, else name.
+  const std::string& BindingName() const {
+    return alias.empty() ? name : alias;
+  }
+};
+
+struct OrderItem {
+  ExprPtr expr;
+  bool descending = false;
+};
+
+/// A parsed SELECT statement.
+struct SelectStmt {
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  std::vector<TableRef> from;
+  ExprPtr where;  // May be null.
+  std::vector<ExprPtr> group_by;
+  ExprPtr having;  // May be null; aggregates must appear in the SELECT list.
+  std::vector<OrderItem> order_by;
+  int64_t limit = -1;  // -1 = none.
+
+  std::string ToString() const;
+};
+
+/// Splits a conjunction into its AND-ed factors ("a AND b AND c" → [a,b,c]).
+/// A null expression yields an empty list.
+std::vector<ExprPtr> SplitConjuncts(const ExprPtr& expr);
+
+/// Rebuilds a conjunction from factors; returns null for an empty list.
+ExprPtr CombineConjuncts(const std::vector<ExprPtr>& conjuncts);
+
+}  // namespace sqlink
+
+#endif  // SQLINK_SQL_AST_H_

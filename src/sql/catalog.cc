@@ -1,0 +1,55 @@
+#include "sql/catalog.h"
+
+#include "common/string_util.h"
+
+namespace sqlink {
+
+Status Catalog::RegisterTable(TablePtr table) {
+  const std::string key = ToLowerAscii(table->name());
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tables_.count(key) > 0) {
+    return Status::AlreadyExists("table exists: " + table->name());
+  }
+  tables_.emplace(key, std::move(table));
+  return Status::OK();
+}
+
+void Catalog::PutTable(TablePtr table) {
+  const std::string key = ToLowerAscii(table->name());
+  std::lock_guard<std::mutex> lock(mu_);
+  tables_[key] = std::move(table);
+}
+
+Result<TablePtr> Catalog::GetTable(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(ToLowerAscii(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("unknown table: " + name);
+  }
+  return it->second;
+}
+
+bool Catalog::HasTable(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tables_.count(ToLowerAscii(name)) > 0;
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tables_.erase(ToLowerAscii(name)) == 0) {
+    return Status::NotFound("unknown table: " + name);
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> Catalog::ListTables() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [key, table] : tables_) {
+    names.push_back(table->name());
+  }
+  return names;
+}
+
+}  // namespace sqlink

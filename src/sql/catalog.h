@@ -1,0 +1,39 @@
+#ifndef SQLINK_SQL_CATALOG_H_
+#define SQLINK_SQL_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "table/table.h"
+
+namespace sqlink {
+
+/// Thread-safe table registry (the engine's "NameNode for tables").
+/// Names are case-insensitive.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  Status RegisterTable(TablePtr table);
+  /// Registers or replaces.
+  void PutTable(TablePtr table);
+  Result<TablePtr> GetTable(const std::string& name) const;
+  bool HasTable(const std::string& name) const;
+  Status DropTable(const std::string& name);
+  std::vector<std::string> ListTables() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, TablePtr> tables_;  // Lower-case key.
+};
+
+}  // namespace sqlink
+
+#endif  // SQLINK_SQL_CATALOG_H_

@@ -1,0 +1,70 @@
+#include "sql/engine.h"
+
+#include "common/status_macros.h"
+
+namespace sqlink {
+
+SqlEngine::SqlEngine(ClusterPtr cluster, MetricsRegistry* metrics)
+    : cluster_(std::move(cluster)),
+      num_workers_(cluster_->num_nodes()),
+      metrics_(metrics != nullptr ? metrics : &MetricsRegistry::Global()),
+      scalar_udfs_(ScalarFunctionRegistry::WithBuiltins()) {}
+
+std::shared_ptr<SqlEngine> SqlEngine::Make(ClusterPtr cluster,
+                                           MetricsRegistry* metrics) {
+  return std::shared_ptr<SqlEngine>(new SqlEngine(std::move(cluster), metrics));
+}
+
+Result<PlanPtr> SqlEngine::Plan(const std::string& sql) {
+  ASSIGN_OR_RETURN(SelectStmt stmt, ParseSelect(sql));
+  return PlanStmt(stmt);
+}
+
+Result<PlanPtr> SqlEngine::PlanStmt(const SelectStmt& stmt) {
+  Planner planner(&catalog_, scalar_udfs_.get(), &table_udfs_, num_workers_,
+                  broadcast_threshold_rows_);
+  return planner.PlanSelect(stmt);
+}
+
+Result<std::string> SqlEngine::ExplainSql(const std::string& sql) {
+  ASSIGN_OR_RETURN(PlanPtr plan, Plan(sql));
+  return PlanTreeToString(plan);
+}
+
+Result<TablePtr> SqlEngine::ExecuteSql(const std::string& sql,
+                                       const std::string& result_name) {
+  ASSIGN_OR_RETURN(PlanPtr plan, Plan(sql));
+  return ExecutePlan(plan, result_name);
+}
+
+Result<TablePtr> SqlEngine::ExecuteStmt(const SelectStmt& stmt,
+                                        const std::string& result_name) {
+  ASSIGN_OR_RETURN(PlanPtr plan, PlanStmt(stmt));
+  return ExecutePlan(plan, result_name);
+}
+
+Result<TablePtr> SqlEngine::ExecutePlan(const PlanPtr& plan,
+                                        const std::string& result_name) {
+  Executor executor(num_workers_, cluster_, metrics_);
+  ASSIGN_OR_RETURN(PartitionedRows rows, executor.Execute(plan));
+  auto table = std::make_shared<Table>(result_name, rows.schema,
+                                       rows.partitions.size());
+  for (size_t p = 0; p < rows.partitions.size(); ++p) {
+    table->mutable_partition(p) = std::move(rows.partitions[p]);
+  }
+  return table;
+}
+
+Result<TablePtr> SqlEngine::MaterializeSql(const std::string& sql,
+                                           const std::string& table_name) {
+  ASSIGN_OR_RETURN(TablePtr table, ExecuteSql(sql, table_name));
+  catalog_.PutTable(table);
+  return table;
+}
+
+TablePtr SqlEngine::MakeTable(const std::string& name, SchemaPtr schema) const {
+  return std::make_shared<Table>(name, std::move(schema),
+                                 static_cast<size_t>(num_workers_));
+}
+
+}  // namespace sqlink

@@ -1,0 +1,95 @@
+#ifndef SQLINK_SQL_ENGINE_H_
+#define SQLINK_SQL_ENGINE_H_
+
+#include <memory>
+#include <string>
+
+#include "cluster/cluster.h"
+#include "common/metrics.h"
+#include "common/result.h"
+#include "sql/catalog.h"
+#include "sql/executor.h"
+#include "sql/parser.h"
+#include "sql/plan.h"
+#include "sql/planner.h"
+#include "sql/table_udf.h"
+#include "table/table.h"
+
+namespace sqlink {
+
+/// The "big SQL system": a partitioned, multi-worker SQL engine with UDF
+/// extensibility. One SQL worker per cluster node, as in the paper's
+/// testbed. This is the substrate the paper's In-SQL transformations and
+/// streaming-transfer UDFs plug into.
+///
+/// Typical use:
+///   auto engine = SqlEngine::Make(cluster);
+///   engine->catalog()->RegisterTable(carts);
+///   ASSIGN_OR_RETURN(auto result, engine->ExecuteSql(
+///       "SELECT U.age, U.gender, C.amount, C.abandoned "
+///       "FROM carts C, users U "
+///       "WHERE C.userid = U.userid AND U.country = 'USA'"));
+class SqlEngine {
+ public:
+  static std::shared_ptr<SqlEngine> Make(ClusterPtr cluster,
+                                         MetricsRegistry* metrics = nullptr);
+
+  /// Join-strategy knob: build sides estimated at or below this many rows
+  /// are broadcast; larger ones trigger a repartition (shuffle) join.
+  /// Exposed for tests and tuning.
+  void set_broadcast_threshold_rows(double rows) {
+    broadcast_threshold_rows_ = rows;
+  }
+  double broadcast_threshold_rows() const { return broadcast_threshold_rows_; }
+
+  /// Parses, plans and runs a SELECT; the result table is named
+  /// `result_name` (default "result") but not registered in the catalog.
+  Result<TablePtr> ExecuteSql(const std::string& sql,
+                              const std::string& result_name = "result");
+
+  /// Runs a pre-built statement/plan.
+  Result<TablePtr> ExecuteStmt(const SelectStmt& stmt,
+                               const std::string& result_name = "result");
+  Result<TablePtr> ExecutePlan(const PlanPtr& plan,
+                               const std::string& result_name = "result");
+
+  /// Plans without executing (EXPLAIN, rewriter integration, tests).
+  Result<PlanPtr> Plan(const std::string& sql);
+  Result<PlanPtr> PlanStmt(const SelectStmt& stmt);
+
+  /// The plan tree rendered as indented text (EXPLAIN).
+  Result<std::string> ExplainSql(const std::string& sql);
+
+  /// Executes and registers the result as a catalog table (materialized
+  /// view storage for the §5 caches). Replaces an existing table.
+  Result<TablePtr> MaterializeSql(const std::string& sql,
+                                  const std::string& table_name);
+
+  /// Creates an empty partitioned table shaped for this engine.
+  TablePtr MakeTable(const std::string& name, SchemaPtr schema) const;
+
+  Catalog* catalog() { return &catalog_; }
+  const Catalog* catalog() const { return &catalog_; }
+  ScalarFunctionRegistry* scalar_udfs() { return scalar_udfs_.get(); }
+  TableUdfRegistry* table_udfs() { return &table_udfs_; }
+  int num_workers() const { return num_workers_; }
+  const ClusterPtr& cluster() const { return cluster_; }
+  MetricsRegistry* metrics() const { return metrics_; }
+
+ private:
+  SqlEngine(ClusterPtr cluster, MetricsRegistry* metrics);
+
+  ClusterPtr cluster_;
+  int num_workers_;
+  MetricsRegistry* metrics_;
+  Catalog catalog_;
+  std::shared_ptr<ScalarFunctionRegistry> scalar_udfs_;
+  TableUdfRegistry table_udfs_;
+  double broadcast_threshold_rows_ = 500000;
+};
+
+using SqlEnginePtr = std::shared_ptr<SqlEngine>;
+
+}  // namespace sqlink
+
+#endif  // SQLINK_SQL_ENGINE_H_

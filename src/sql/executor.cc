@@ -1,0 +1,805 @@
+#include "sql/executor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "common/blocking_queue.h"
+#include "common/logging.h"
+#include "common/status_macros.h"
+#include "common/thread_pool.h"
+#include "sql/row_iterator.h"
+
+namespace sqlink {
+
+namespace {
+
+/// Runs fn(worker) on `n` threads; returns the first error.
+Status ParallelWorkers(int n, const std::function<Status(int)>& fn) {
+  std::vector<Status> statuses(static_cast<size_t>(n));
+  ParallelFor(static_cast<size_t>(n), [&](size_t worker) {
+    statuses[worker] = fn(static_cast<int>(worker));
+  });
+  for (const Status& status : statuses) {
+    RETURN_IF_ERROR(status);
+  }
+  return Status::OK();
+}
+
+/// Lexicographic row ordering (NULL-first per Value::operator<).
+struct RowLess {
+  bool operator()(const Row& a, const Row& b) const {
+    const size_t n = std::min(a.size(), b.size());
+    for (size_t i = 0; i < n; ++i) {
+      if (a[i] < b[i]) return true;
+      if (b[i] < a[i]) return false;
+    }
+    return a.size() < b.size();
+  }
+};
+
+bool RowKeyEquals(const Row& a, const std::vector<int>& a_keys, const Row& b,
+                  const std::vector<int>& b_keys) {
+  for (size_t i = 0; i < a_keys.size(); ++i) {
+    if (a[static_cast<size_t>(a_keys[i])] !=
+        b[static_cast<size_t>(b_keys[i])]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool HasNullKey(const Row& row, const std::vector<int>& keys) {
+  for (int k : keys) {
+    if (row[static_cast<size_t>(k)].is_null()) return true;
+  }
+  return false;
+}
+
+/// Build-side hash table of an equi join. With no keys (cross join) every
+/// row lands in one bucket.
+class JoinHashTable {
+ public:
+  JoinHashTable(std::vector<Row> rows, std::vector<int> keys)
+      : rows_(std::move(rows)), keys_(std::move(keys)) {
+    buckets_.reserve(rows_.size());
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      if (HasNullKey(rows_[i], keys_)) continue;  // NULL keys never match.
+      buckets_[HashRowKey(rows_[i], keys_)].push_back(i);
+    }
+  }
+
+  /// Invokes fn(build_row) for every build row matching the probe key.
+  template <typename Fn>
+  void Probe(const Row& probe, const std::vector<int>& probe_keys,
+             Fn&& fn) const {
+    if (HasNullKey(probe, probe_keys)) return;
+    auto it = buckets_.find(HashRowKey(probe, probe_keys));
+    if (it == buckets_.end()) return;
+    for (size_t index : it->second) {
+      if (RowKeyEquals(probe, probe_keys, rows_[index], keys_)) {
+        fn(rows_[index]);
+      }
+    }
+  }
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<Row> rows_;
+  std::vector<int> keys_;
+  std::unordered_map<size_t, std::vector<size_t>> buckets_;
+};
+
+class FilterIterator final : public RowIterator {
+ public:
+  FilterIterator(RowIteratorPtr child, BoundExprPtr predicate)
+      : child_(std::move(child)), predicate_(std::move(predicate)) {}
+
+  Result<bool> Next(Row* out) override {
+    for (;;) {
+      ASSIGN_OR_RETURN(bool has, child_->Next(out));
+      if (!has) return false;
+      ASSIGN_OR_RETURN(Value keep, predicate_->Evaluate(*out));
+      if (IsTruthy(keep)) return true;
+    }
+  }
+
+ private:
+  RowIteratorPtr child_;
+  BoundExprPtr predicate_;
+};
+
+class ProjectIterator final : public RowIterator {
+ public:
+  ProjectIterator(RowIteratorPtr child, const std::vector<BoundExprPtr>* exprs)
+      : child_(std::move(child)), exprs_(exprs) {}
+
+  Result<bool> Next(Row* out) override {
+    Row input;
+    ASSIGN_OR_RETURN(bool has, child_->Next(&input));
+    if (!has) return false;
+    out->clear();
+    out->reserve(exprs_->size());
+    for (const BoundExprPtr& expr : *exprs_) {
+      ASSIGN_OR_RETURN(Value v, expr->Evaluate(input));
+      out->push_back(std::move(v));
+    }
+    return true;
+  }
+
+ private:
+  RowIteratorPtr child_;
+  const std::vector<BoundExprPtr>* exprs_;
+};
+
+/// Probe-side pipelined hash join. Emits probe ++ build rows that satisfy
+/// the optional residual predicate.
+class HashJoinIterator final : public RowIterator {
+ public:
+  HashJoinIterator(RowIteratorPtr probe, std::shared_ptr<const JoinHashTable> table,
+                   const std::vector<int>* probe_keys, BoundExprPtr residual)
+      : probe_(std::move(probe)),
+        table_(std::move(table)),
+        probe_keys_(probe_keys),
+        residual_(std::move(residual)) {}
+
+  Result<bool> Next(Row* out) override {
+    for (;;) {
+      if (match_index_ < matches_.size()) {
+        const Row* build_row = matches_[match_index_++];
+        out->clear();
+        out->reserve(probe_row_.size() + build_row->size());
+        out->insert(out->end(), probe_row_.begin(), probe_row_.end());
+        out->insert(out->end(), build_row->begin(), build_row->end());
+        if (residual_ != nullptr) {
+          ASSIGN_OR_RETURN(Value keep, residual_->Evaluate(*out));
+          if (!IsTruthy(keep)) continue;
+        }
+        return true;
+      }
+      ASSIGN_OR_RETURN(bool has, probe_->Next(&probe_row_));
+      if (!has) return false;
+      matches_.clear();
+      match_index_ = 0;
+      table_->Probe(probe_row_, *probe_keys_,
+                    [this](const Row& build_row) {
+                      matches_.push_back(&build_row);
+                    });
+    }
+  }
+
+ private:
+  RowIteratorPtr probe_;
+  std::shared_ptr<const JoinHashTable> table_;
+  const std::vector<int>* probe_keys_;
+  BoundExprPtr residual_;
+  Row probe_row_;
+  std::vector<const Row*> matches_;
+  size_t match_index_ = 0;
+};
+
+/// Pipelines a table UDF: a pump thread runs ProcessPartition() pushing into
+/// a bounded queue that this iterator drains. Keeps UDFs with side effects
+/// (the streaming-transfer sink) overlapped with upstream query execution.
+class UdfPartitionIterator final : public RowIterator {
+ public:
+  UdfPartitionIterator(TableUdfPtr udf, TableUdfContext context,
+                       RowIteratorPtr input)
+      : udf_(std::move(udf)),
+        context_(context),
+        input_(std::move(input)),
+        queue_(kQueueCapacity) {
+    pump_ = std::thread([this] {
+      QueueSink sink(&queue_);
+      const Status status =
+          udf_->ProcessPartition(context_, input_.get(), &sink);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        // A cancelled push just means the consumer stopped early.
+        if (!status.ok() && !status.IsCancelled()) pump_status_ = status;
+      }
+      queue_.Close();
+    });
+  }
+
+  ~UdfPartitionIterator() override {
+    queue_.Close();
+    if (pump_.joinable()) pump_.join();
+  }
+
+  Result<bool> Next(Row* out) override {
+    std::optional<Row> row = queue_.Pop();
+    if (!row.has_value()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!pump_status_.ok()) return pump_status_;
+      return false;
+    }
+    *out = std::move(*row);
+    return true;
+  }
+
+ private:
+  static constexpr size_t kQueueCapacity = 4096;
+
+  class QueueSink final : public RowSink {
+   public:
+    explicit QueueSink(BlockingQueue<Row>* queue) : queue_(queue) {}
+    Status Push(Row row) override {
+      if (!queue_->Push(std::move(row))) {
+        return Status::Cancelled("downstream consumer closed");
+      }
+      return Status::OK();
+    }
+
+   private:
+    BlockingQueue<Row>* queue_;
+  };
+
+  TableUdfPtr udf_;
+  TableUdfContext context_;
+  RowIteratorPtr input_;
+  BlockingQueue<Row> queue_;
+  std::thread pump_;
+  std::mutex mu_;
+  Status pump_status_;
+};
+
+class EmptyIterator final : public RowIterator {
+ public:
+  Result<bool> Next(Row*) override { return false; }
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// PipelineState
+
+struct Executor::PipelineState {
+  struct JoinArtifact {
+    bool broadcast = true;
+    std::shared_ptr<const JoinHashTable> broadcast_table;
+    // Repartition mode: per-worker probe slices and hash tables.
+    std::vector<std::vector<Row>> probe_partitions;
+    std::vector<std::shared_ptr<const JoinHashTable>> worker_tables;
+  };
+
+  // Keyed by plan node identity.
+  std::unordered_map<const PlanNode*, JoinArtifact> joins;
+  std::unordered_map<const PlanNode*, PartitionedRows> materialized;
+  std::vector<TableUdfPtr> udfs_to_finish;
+};
+
+// ---------------------------------------------------------------------------
+// Executor
+
+Executor::Executor(int num_workers, ClusterPtr cluster,
+                   MetricsRegistry* metrics)
+    : num_workers_(num_workers),
+      cluster_(std::move(cluster)),
+      metrics_(metrics != nullptr ? metrics : &MetricsRegistry::Global()) {
+  SQLINK_CHECK(num_workers_ > 0);
+}
+
+Result<PartitionedRows> Executor::Execute(const PlanPtr& plan) {
+  switch (plan->kind) {
+    case PlanKind::kDistinct:
+      return ExecuteDistinct(plan);
+    case PlanKind::kAggregate:
+      return ExecuteAggregate(plan);
+    case PlanKind::kSort:
+      return ExecuteSort(plan);
+    case PlanKind::kLimit:
+      return ExecuteLimit(plan);
+    default:
+      return ExecutePipeline(plan);
+  }
+}
+
+std::vector<std::vector<Row>> Executor::Repartition(
+    std::vector<std::vector<Row>> input, const std::vector<int>& keys) {
+  const size_t n = static_cast<size_t>(num_workers_);
+  // Per input partition, bucket locally in parallel; then concatenate.
+  std::vector<std::vector<std::vector<Row>>> local(input.size());
+  ParallelFor(input.size(), [&](size_t p) {
+    local[p].resize(n);
+    for (Row& row : input[p]) {
+      const size_t target =
+          keys.empty() ? p % n : HashRowKey(row, keys) % n;
+      local[p][target].push_back(std::move(row));
+    }
+    input[p].clear();
+  });
+  std::vector<std::vector<Row>> output(n);
+  for (size_t target = 0; target < n; ++target) {
+    size_t total = 0;
+    for (size_t p = 0; p < local.size(); ++p) total += local[p][target].size();
+    output[target].reserve(total);
+    for (size_t p = 0; p < local.size(); ++p) {
+      auto& bucket = local[p][target];
+      std::move(bucket.begin(), bucket.end(),
+                std::back_inserter(output[target]));
+      bucket.clear();
+    }
+  }
+  return output;
+}
+
+Status Executor::Prepare(const PlanPtr& plan, PipelineState* state) {
+  switch (plan->kind) {
+    case PlanKind::kScan:
+    case PlanKind::kMaterialized:
+      return Status::OK();
+    case PlanKind::kFilter:
+    case PlanKind::kProject:
+      return Prepare(plan->children[0], state);
+    case PlanKind::kTableUdf:
+      state->udfs_to_finish.push_back(plan->udf);
+      if (!plan->children.empty()) {
+        return Prepare(plan->children[0], state);
+      }
+      return Status::OK();
+    case PlanKind::kHashJoin: {
+      PipelineState::JoinArtifact artifact;
+      artifact.broadcast = plan->broadcast_build;
+      ASSIGN_OR_RETURN(PartitionedRows build, Execute(plan->children[1]));
+      if (plan->broadcast_build) {
+        artifact.broadcast_table = std::make_shared<const JoinHashTable>(
+            build.Gather(), plan->right_keys);
+        state->joins.emplace(plan.get(), std::move(artifact));
+        return Prepare(plan->children[0], state);
+      }
+      // Repartition join: both sides materialize and shuffle by key hash.
+      ASSIGN_OR_RETURN(PartitionedRows probe, Execute(plan->children[0]));
+      artifact.probe_partitions =
+          Repartition(std::move(probe.partitions), plan->left_keys);
+      std::vector<std::vector<Row>> build_parts =
+          Repartition(std::move(build.partitions), plan->right_keys);
+      artifact.worker_tables.resize(static_cast<size_t>(num_workers_));
+      ParallelFor(static_cast<size_t>(num_workers_), [&](size_t w) {
+        artifact.worker_tables[w] = std::make_shared<const JoinHashTable>(
+            std::move(build_parts[w]), plan->right_keys);
+      });
+      state->joins.emplace(plan.get(), std::move(artifact));
+      return Status::OK();
+    }
+    default: {
+      // A blocking operator inside a pipeline: execute it fully and expose
+      // its partitions as a pipeline source.
+      ASSIGN_OR_RETURN(PartitionedRows rows, Execute(plan));
+      state->materialized.emplace(plan.get(), std::move(rows));
+      return Status::OK();
+    }
+  }
+}
+
+Result<RowIteratorPtr> Executor::BuildPipeline(const PlanPtr& plan, int worker,
+                                               PipelineState* state) {
+  // A node pre-materialized by Prepare (blocking op inside the pipeline).
+  auto materialized = state->materialized.find(plan.get());
+  if (materialized != state->materialized.end()) {
+    return RowIteratorPtr(
+        new VectorIterator(&materialized->second.partitions[worker]));
+  }
+  switch (plan->kind) {
+    case PlanKind::kScan:
+    case PlanKind::kMaterialized: {
+      if (static_cast<size_t>(worker) >= plan->table->num_partitions()) {
+        return RowIteratorPtr(new EmptyIterator());
+      }
+      return RowIteratorPtr(new VectorIterator(
+          &plan->table->partition(static_cast<size_t>(worker))));
+    }
+    case PlanKind::kFilter: {
+      ASSIGN_OR_RETURN(RowIteratorPtr child,
+                       BuildPipeline(plan->children[0], worker, state));
+      return RowIteratorPtr(
+          new FilterIterator(std::move(child), plan->predicate));
+    }
+    case PlanKind::kProject: {
+      ASSIGN_OR_RETURN(RowIteratorPtr child,
+                       BuildPipeline(plan->children[0], worker, state));
+      return RowIteratorPtr(
+          new ProjectIterator(std::move(child), &plan->projections));
+    }
+    case PlanKind::kHashJoin: {
+      auto it = state->joins.find(plan.get());
+      if (it == state->joins.end()) {
+        return Status::Internal("join not prepared");
+      }
+      PipelineState::JoinArtifact& artifact = it->second;
+      if (artifact.broadcast) {
+        ASSIGN_OR_RETURN(RowIteratorPtr probe,
+                         BuildPipeline(plan->children[0], worker, state));
+        return RowIteratorPtr(
+            new HashJoinIterator(std::move(probe), artifact.broadcast_table,
+                                 &plan->left_keys, plan->residual));
+      }
+      RowIteratorPtr probe(new VectorIterator(
+          &artifact.probe_partitions[static_cast<size_t>(worker)]));
+      return RowIteratorPtr(new HashJoinIterator(
+          std::move(probe), artifact.worker_tables[static_cast<size_t>(worker)],
+          &plan->left_keys, plan->residual));
+    }
+    case PlanKind::kTableUdf: {
+      RowIteratorPtr input;
+      if (!plan->children.empty()) {
+        ASSIGN_OR_RETURN(input,
+                         BuildPipeline(plan->children[0], worker, state));
+      }
+      TableUdfContext context;
+      context.worker_id = worker;
+      context.num_workers = num_workers_;
+      context.cluster = cluster_;
+      context.metrics = metrics_;
+      return RowIteratorPtr(
+          new UdfPartitionIterator(plan->udf, context, std::move(input)));
+    }
+    default:
+      return Status::Internal("unexpected plan kind in pipeline: " +
+                              plan->ToString());
+  }
+}
+
+Result<PartitionedRows> Executor::ExecutePipeline(const PlanPtr& plan) {
+  PipelineState state;
+  Status prepare_status = Prepare(plan, &state);
+
+  PartitionedRows output;
+  output.schema = plan->output_schema;
+  output.partitions.resize(static_cast<size_t>(num_workers_));
+
+  Status run_status = prepare_status;
+  if (run_status.ok()) {
+    run_status = ParallelWorkers(num_workers_, [&](int worker) -> Status {
+      ASSIGN_OR_RETURN(RowIteratorPtr it, BuildPipeline(plan, worker, &state));
+      std::vector<Row>& out = output.partitions[static_cast<size_t>(worker)];
+      Row row;
+      for (;;) {
+        ASSIGN_OR_RETURN(bool has, it->Next(&row));
+        if (!has) break;
+        out.push_back(std::move(row));
+      }
+      return Status::OK();
+    });
+  }
+
+  // UDF epilogue runs regardless of success so resources are released; its
+  // error surfaces only when the run itself succeeded.
+  for (const TableUdfPtr& udf : state.udfs_to_finish) {
+    const Status finish_status = udf->Finish();
+    if (run_status.ok() && !finish_status.ok()) run_status = finish_status;
+  }
+  RETURN_IF_ERROR(run_status);
+  return output;
+}
+
+Result<PartitionedRows> Executor::ExecuteDistinct(const PlanPtr& plan) {
+  ASSIGN_OR_RETURN(PartitionedRows input, Execute(plan->children[0]));
+
+  // Local dedup, shuffle by whole-row hash, final dedup per partition.
+  ParallelFor(input.partitions.size(), [&](size_t p) {
+    std::map<Row, bool, RowLess> seen;
+    for (Row& row : input.partitions[p]) {
+      seen.emplace(std::move(row), true);
+    }
+    input.partitions[p].clear();
+    for (auto& [row, unused] : seen) {
+      input.partitions[p].push_back(row);
+    }
+  });
+
+  std::vector<int> all_columns;
+  for (int i = 0; i < plan->output_schema->num_fields(); ++i) {
+    all_columns.push_back(i);
+  }
+  PartitionedRows output;
+  output.schema = plan->output_schema;
+  output.partitions = Repartition(std::move(input.partitions), all_columns);
+  ParallelFor(output.partitions.size(), [&](size_t p) {
+    std::map<Row, bool, RowLess> seen;
+    for (Row& row : output.partitions[p]) {
+      seen.emplace(std::move(row), true);
+    }
+    output.partitions[p].clear();
+    for (auto& [row, unused] : seen) {
+      output.partitions[p].push_back(row);
+    }
+  });
+  return output;
+}
+
+namespace {
+
+/// Partial aggregation state for one (group, aggregate) pair.
+struct AggState {
+  int64_t count = 0;
+  int64_t int_sum = 0;
+  double double_sum = 0;
+  Value extreme;  // MIN/MAX running value.
+};
+
+Status UpdateState(const AggregateSpec& spec, const Row& input,
+                   AggState* state) {
+  if (spec.func == AggFunc::kCountStar) {
+    ++state->count;
+    return Status::OK();
+  }
+  ASSIGN_OR_RETURN(Value v, spec.argument->Evaluate(input));
+  if (v.is_null()) return Status::OK();  // Aggregates skip NULLs.
+  switch (spec.func) {
+    case AggFunc::kCount:
+      ++state->count;
+      break;
+    case AggFunc::kSum:
+    case AggFunc::kAvg: {
+      ++state->count;
+      if (spec.output_type == DataType::kInt64 && v.is_int64()) {
+        state->int_sum += v.int64_value();
+      } else {
+        ASSIGN_OR_RETURN(double d, v.AsDouble());
+        state->double_sum += d;
+      }
+      break;
+    }
+    case AggFunc::kMin:
+      if (state->count == 0 || v < state->extreme) state->extreme = v;
+      ++state->count;
+      break;
+    case AggFunc::kMax:
+      if (state->count == 0 || state->extreme < v) state->extreme = v;
+      ++state->count;
+      break;
+    case AggFunc::kCountStar:
+      break;
+  }
+  return Status::OK();
+}
+
+void MergeState(const AggregateSpec& spec, const AggState& other,
+                AggState* state) {
+  switch (spec.func) {
+    case AggFunc::kCountStar:
+    case AggFunc::kCount:
+      state->count += other.count;
+      break;
+    case AggFunc::kSum:
+    case AggFunc::kAvg:
+      state->count += other.count;
+      state->int_sum += other.int_sum;
+      state->double_sum += other.double_sum;
+      break;
+    case AggFunc::kMin:
+      if (other.count > 0 &&
+          (state->count == 0 || other.extreme < state->extreme)) {
+        state->extreme = other.extreme;
+      }
+      state->count += other.count;
+      break;
+    case AggFunc::kMax:
+      if (other.count > 0 &&
+          (state->count == 0 || state->extreme < other.extreme)) {
+        state->extreme = other.extreme;
+      }
+      state->count += other.count;
+      break;
+  }
+}
+
+Value FinalizeState(const AggregateSpec& spec, const AggState& state) {
+  switch (spec.func) {
+    case AggFunc::kCountStar:
+    case AggFunc::kCount:
+      return Value::Int64(state.count);
+    case AggFunc::kSum:
+      if (state.count == 0) return Value::Null();
+      return spec.output_type == DataType::kInt64
+                 ? Value::Int64(state.int_sum)
+                 : Value::Double(state.double_sum +
+                                 static_cast<double>(state.int_sum));
+    case AggFunc::kAvg:
+      if (state.count == 0) return Value::Null();
+      return Value::Double(
+          (state.double_sum + static_cast<double>(state.int_sum)) /
+          static_cast<double>(state.count));
+    case AggFunc::kMin:
+    case AggFunc::kMax:
+      return state.count == 0 ? Value::Null() : state.extreme;
+  }
+  return Value::Null();
+}
+
+/// Partial-state row layout: group keys, then per aggregate
+/// (count, int_sum, double_sum, extreme).
+Row EncodePartial(const Row& key, const std::vector<AggState>& states) {
+  Row row = key;
+  for (const AggState& s : states) {
+    row.push_back(Value::Int64(s.count));
+    row.push_back(Value::Int64(s.int_sum));
+    row.push_back(Value::Double(s.double_sum));
+    row.push_back(s.extreme);
+  }
+  return row;
+}
+
+void DecodePartial(const Row& row, size_t num_keys, size_t num_aggs, Row* key,
+                   std::vector<AggState>* states) {
+  key->assign(row.begin(), row.begin() + static_cast<std::ptrdiff_t>(num_keys));
+  states->resize(num_aggs);
+  size_t pos = num_keys;
+  for (AggState& s : *states) {
+    s.count = row[pos++].int64_value();
+    s.int_sum = row[pos++].int64_value();
+    s.double_sum = row[pos++].double_value();
+    s.extreme = row[pos++];
+  }
+}
+
+}  // namespace
+
+Result<PartitionedRows> Executor::ExecuteAggregate(const PlanPtr& plan) {
+  ASSIGN_OR_RETURN(PartitionedRows input, Execute(plan->children[0]));
+  const size_t num_keys = plan->group_by.size();
+  const size_t num_aggs = plan->aggregates.size();
+
+  // Phase 1: per-worker partial aggregation.
+  std::vector<std::vector<Row>> partials(input.partitions.size());
+  Status status = ParallelWorkers(
+      static_cast<int>(input.partitions.size()), [&](int p) -> Status {
+        std::map<Row, std::vector<AggState>, RowLess> groups;
+        for (const Row& row : input.partitions[static_cast<size_t>(p)]) {
+          Row key;
+          key.reserve(num_keys);
+          for (const BoundExprPtr& expr : plan->group_by) {
+            ASSIGN_OR_RETURN(Value v, expr->Evaluate(row));
+            key.push_back(std::move(v));
+          }
+          auto [it, inserted] =
+              groups.try_emplace(std::move(key), num_aggs);
+          for (size_t a = 0; a < num_aggs; ++a) {
+            RETURN_IF_ERROR(
+                UpdateState(plan->aggregates[a], row, &it->second[a]));
+          }
+        }
+        for (const auto& [key, states] : groups) {
+          partials[static_cast<size_t>(p)].push_back(
+              EncodePartial(key, states));
+        }
+        return Status::OK();
+      });
+  RETURN_IF_ERROR(status);
+
+  // Phase 2: shuffle partials by group key and merge.
+  std::vector<int> key_columns;
+  for (size_t i = 0; i < num_keys; ++i) {
+    key_columns.push_back(static_cast<int>(i));
+  }
+  std::vector<std::vector<Row>> shuffled;
+  if (num_keys == 0) {
+    // Global aggregate: merge everything on worker 0.
+    shuffled.resize(static_cast<size_t>(num_workers_));
+    for (auto& p : partials) {
+      for (Row& row : p) shuffled[0].push_back(std::move(row));
+    }
+  } else {
+    shuffled = Repartition(std::move(partials), key_columns);
+  }
+
+  PartitionedRows output;
+  output.schema = plan->output_schema;
+  output.partitions.resize(static_cast<size_t>(num_workers_));
+  status = ParallelWorkers(num_workers_, [&](int w) -> Status {
+    std::map<Row, std::vector<AggState>, RowLess> groups;
+    Row key;
+    std::vector<AggState> states;
+    for (const Row& partial : shuffled[static_cast<size_t>(w)]) {
+      DecodePartial(partial, num_keys, num_aggs, &key, &states);
+      auto [it, inserted] = groups.try_emplace(key, num_aggs);
+      for (size_t a = 0; a < num_aggs; ++a) {
+        MergeState(plan->aggregates[a], states[a], &it->second[a]);
+      }
+    }
+    // A global aggregate over zero rows still yields one output row.
+    if (num_keys == 0 && groups.empty() && w == 0) {
+      groups.try_emplace(Row{}, num_aggs);
+    }
+    for (const auto& [group_key, group_states] : groups) {
+      Row out = group_key;
+      for (size_t a = 0; a < num_aggs; ++a) {
+        out.push_back(FinalizeState(plan->aggregates[a], group_states[a]));
+      }
+      output.partitions[static_cast<size_t>(w)].push_back(std::move(out));
+    }
+    return Status::OK();
+  });
+  RETURN_IF_ERROR(status);
+  return output;
+}
+
+Result<PartitionedRows> Executor::ExecuteSort(const PlanPtr& plan) {
+  ASSIGN_OR_RETURN(PartitionedRows input, Execute(plan->children[0]));
+  std::vector<Row> all = input.Gather();
+  std::stable_sort(all.begin(), all.end(), [&](const Row& a, const Row& b) {
+    for (size_t i = 0; i < plan->sort_keys.size(); ++i) {
+      const size_t k = static_cast<size_t>(plan->sort_keys[i]);
+      const bool desc = plan->sort_descending[i];
+      if (a[k] < b[k]) return !desc;
+      if (b[k] < a[k]) return desc;
+    }
+    return false;
+  });
+  PartitionedRows output;
+  output.schema = plan->output_schema;
+  output.partitions.resize(static_cast<size_t>(num_workers_));
+  output.partitions[0] = std::move(all);
+  return output;
+}
+
+Result<PartitionedRows> Executor::ExecuteLimit(const PlanPtr& plan) {
+  const PlanPtr& child = plan->children[0];
+  PartitionedRows output;
+  output.schema = plan->output_schema;
+  output.partitions.resize(static_cast<size_t>(num_workers_));
+
+  // Early termination: when the child is pipelinable, pull rows worker by
+  // worker and stop as soon as the limit is met, instead of computing the
+  // full child result.
+  const bool pipelinable = child->kind == PlanKind::kScan ||
+                           child->kind == PlanKind::kMaterialized ||
+                           child->kind == PlanKind::kFilter ||
+                           child->kind == PlanKind::kProject ||
+                           child->kind == PlanKind::kHashJoin ||
+                           child->kind == PlanKind::kTableUdf;
+  if (pipelinable) {
+    PipelineState state;
+    RETURN_IF_ERROR(Prepare(child, &state));
+    int64_t remaining = plan->limit;
+    Status status;
+    for (int worker = 0; worker < num_workers_ && remaining > 0 && status.ok();
+         ++worker) {
+      auto it = BuildPipeline(child, worker, &state);
+      if (!it.ok()) {
+        status = it.status();
+        break;
+      }
+      Row row;
+      while (remaining > 0) {
+        auto has = (*it)->Next(&row);
+        if (!has.ok()) {
+          status = has.status();
+          break;
+        }
+        if (!*has) break;
+        output.partitions[0].push_back(std::move(row));
+        --remaining;
+      }
+    }
+    for (const TableUdfPtr& udf : state.udfs_to_finish) {
+      // A UDF interrupted by the limit may report a cancelled epilogue;
+      // that is expected, everything else surfaces.
+      const Status finish_status = udf->Finish();
+      if (status.ok() && !finish_status.ok() &&
+          !finish_status.IsCancelled()) {
+        status = finish_status;
+      }
+    }
+    RETURN_IF_ERROR(status);
+    return output;
+  }
+
+  ASSIGN_OR_RETURN(PartitionedRows input, Execute(child));
+  int64_t remaining = plan->limit;
+  for (auto& partition : input.partitions) {
+    for (Row& row : partition) {
+      if (remaining <= 0) break;
+      output.partitions[0].push_back(std::move(row));
+      --remaining;
+    }
+  }
+  return output;
+}
+
+}  // namespace sqlink

@@ -1,0 +1,78 @@
+#ifndef SQLINK_SQL_EXECUTOR_H_
+#define SQLINK_SQL_EXECUTOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/metrics.h"
+#include "common/result.h"
+#include "sql/plan.h"
+#include "table/schema.h"
+#include "table/value.h"
+
+namespace sqlink {
+
+/// Rows of a query result, partitioned one slice per SQL worker.
+struct PartitionedRows {
+  SchemaPtr schema;
+  std::vector<std::vector<Row>> partitions;
+
+  size_t TotalRows() const {
+    size_t total = 0;
+    for (const auto& p : partitions) total += p.size();
+    return total;
+  }
+
+  /// All rows concatenated (small results/tests).
+  std::vector<Row> Gather() const {
+    std::vector<Row> all;
+    all.reserve(TotalRows());
+    for (const auto& p : partitions) {
+      all.insert(all.end(), p.begin(), p.end());
+    }
+    return all;
+  }
+};
+
+/// Parallel plan executor. Each of the n SQL workers runs a pipelined
+/// iterator chain over its partition; pipeline breakers (join builds,
+/// repartition joins, DISTINCT, aggregation, sort, limit) materialize and
+/// exchange rows between workers. Table UDFs stay pipelined: each worker
+/// pumps its UDF on a dedicated thread through a bounded queue, so a
+/// streaming-transfer UDF overlaps with the upstream query work exactly as
+/// the paper's insql+stream pipeline does.
+class Executor {
+ public:
+  Executor(int num_workers, ClusterPtr cluster, MetricsRegistry* metrics);
+
+  /// Runs the plan and returns its materialized, partitioned result.
+  Result<PartitionedRows> Execute(const PlanPtr& plan);
+
+  int num_workers() const { return num_workers_; }
+
+ private:
+  struct PipelineState;
+
+  Result<PartitionedRows> ExecutePipeline(const PlanPtr& plan);
+  Result<PartitionedRows> ExecuteDistinct(const PlanPtr& plan);
+  Result<PartitionedRows> ExecuteAggregate(const PlanPtr& plan);
+  Result<PartitionedRows> ExecuteSort(const PlanPtr& plan);
+  Result<PartitionedRows> ExecuteLimit(const PlanPtr& plan);
+
+  Status Prepare(const PlanPtr& plan, PipelineState* state);
+  Result<RowIteratorPtr> BuildPipeline(const PlanPtr& plan, int worker,
+                                       PipelineState* state);
+
+  /// Hash-partitions rows by key columns into `num_workers_` slices.
+  std::vector<std::vector<Row>> Repartition(std::vector<std::vector<Row>> input,
+                                            const std::vector<int>& keys);
+
+  int num_workers_;
+  ClusterPtr cluster_;
+  MetricsRegistry* metrics_;
+};
+
+}  // namespace sqlink
+
+#endif  // SQLINK_SQL_EXECUTOR_H_

@@ -1,0 +1,179 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace sqlink {
+
+namespace {
+
+const char* const kKeywords[] = {
+    "SELECT", "DISTINCT", "FROM",  "WHERE", "AND",    "OR",    "NOT",
+    "AS",     "GROUP",    "BY",    "ORDER", "ASC",    "DESC",  "LIMIT",
+    "JOIN",   "INNER",    "ON",    "TABLE", "NULL",   "TRUE",  "FALSE",
+    "IS",     "IN",       "BETWEEN", "HAVING"};
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+bool IsSqlKeyword(std::string_view word) {
+  for (const char* keyword : kKeywords) {
+    if (EqualsIgnoreCase(word, keyword)) return true;
+  }
+  return false;
+}
+
+Result<std::vector<Token>> Tokenize(std::string_view sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    const size_t start = i;
+    if (IsIdentStart(c)) {
+      size_t j = i + 1;
+      while (j < n && IsIdentChar(sql[j])) ++j;
+      std::string word(sql.substr(i, j - i));
+      if (IsSqlKeyword(word)) {
+        tokens.push_back({TokenType::kKeyword, ToUpperAscii(word), start});
+      } else {
+        tokens.push_back({TokenType::kIdentifier, std::move(word), start});
+      }
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t j = i;
+      bool is_double = false;
+      while (j < n && std::isdigit(static_cast<unsigned char>(sql[j]))) ++j;
+      if (j < n && sql[j] == '.') {
+        is_double = true;
+        ++j;
+        while (j < n && std::isdigit(static_cast<unsigned char>(sql[j]))) ++j;
+      }
+      if (j < n && (sql[j] == 'e' || sql[j] == 'E')) {
+        is_double = true;
+        ++j;
+        if (j < n && (sql[j] == '+' || sql[j] == '-')) ++j;
+        while (j < n && std::isdigit(static_cast<unsigned char>(sql[j]))) ++j;
+      }
+      tokens.push_back({is_double ? TokenType::kDouble : TokenType::kInteger,
+                        std::string(sql.substr(i, j - i)), start});
+      i = j;
+      continue;
+    }
+    if (c == '\'') {
+      std::string value;
+      size_t j = i + 1;
+      bool closed = false;
+      while (j < n) {
+        if (sql[j] == '\'') {
+          if (j + 1 < n && sql[j + 1] == '\'') {
+            value.push_back('\'');
+            j += 2;
+          } else {
+            closed = true;
+            ++j;
+            break;
+          }
+        } else {
+          value.push_back(sql[j]);
+          ++j;
+        }
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(start));
+      }
+      tokens.push_back({TokenType::kString, std::move(value), start});
+      i = j;
+      continue;
+    }
+    switch (c) {
+      case ',':
+        tokens.push_back({TokenType::kComma, ",", start});
+        ++i;
+        continue;
+      case '.':
+        tokens.push_back({TokenType::kDot, ".", start});
+        ++i;
+        continue;
+      case '*':
+        tokens.push_back({TokenType::kStar, "*", start});
+        ++i;
+        continue;
+      case '(':
+        tokens.push_back({TokenType::kLeftParen, "(", start});
+        ++i;
+        continue;
+      case ')':
+        tokens.push_back({TokenType::kRightParen, ")", start});
+        ++i;
+        continue;
+      case ';':
+        tokens.push_back({TokenType::kSemicolon, ";", start});
+        ++i;
+        continue;
+      case '=':
+        tokens.push_back({TokenType::kOperator, "=", start});
+        ++i;
+        continue;
+      case '<':
+        if (i + 1 < n && sql[i + 1] == '=') {
+          tokens.push_back({TokenType::kOperator, "<=", start});
+          i += 2;
+        } else if (i + 1 < n && sql[i + 1] == '>') {
+          tokens.push_back({TokenType::kOperator, "<>", start});
+          i += 2;
+        } else {
+          tokens.push_back({TokenType::kOperator, "<", start});
+          ++i;
+        }
+        continue;
+      case '>':
+        if (i + 1 < n && sql[i + 1] == '=') {
+          tokens.push_back({TokenType::kOperator, ">=", start});
+          i += 2;
+        } else {
+          tokens.push_back({TokenType::kOperator, ">", start});
+          ++i;
+        }
+        continue;
+      case '!':
+        if (i + 1 < n && sql[i + 1] == '=') {
+          tokens.push_back({TokenType::kOperator, "!=", start});
+          i += 2;
+          continue;
+        }
+        return Status::ParseError("unexpected '!' at offset " +
+                                  std::to_string(start));
+      case '+':
+      case '-':
+      case '/':
+        tokens.push_back({TokenType::kOperator, std::string(1, c), start});
+        ++i;
+        continue;
+      default:
+        return Status::ParseError("unexpected character '" +
+                                  std::string(1, c) + "' at offset " +
+                                  std::to_string(start));
+    }
+  }
+  tokens.push_back({TokenType::kEnd, "", n});
+  return tokens;
+}
+
+}  // namespace sqlink

@@ -1,0 +1,22 @@
+#ifndef SQLINK_SQL_LEXER_H_
+#define SQLINK_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/token.h"
+
+namespace sqlink {
+
+/// Tokenizes a SQL string. Keywords are recognized case-insensitively and
+/// normalized to upper case; string literals use single quotes with ''
+/// escaping. The trailing token is always kEnd.
+Result<std::vector<Token>> Tokenize(std::string_view sql);
+
+/// True if `word` is a reserved SQL keyword of this dialect.
+bool IsSqlKeyword(std::string_view word);
+
+}  // namespace sqlink
+
+#endif  // SQLINK_SQL_LEXER_H_

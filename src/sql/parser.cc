@@ -1,0 +1,441 @@
+#include "sql/parser.h"
+
+#include <utility>
+
+#include "common/status_macros.h"
+#include "common/string_util.h"
+#include "sql/lexer.h"
+
+namespace sqlink {
+
+namespace {
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<SelectStmt> ParseSelectStmt();
+  Result<ExprPtr> ParseExpr();
+
+  Status ExpectEnd() {
+    if (Check(TokenType::kSemicolon)) Advance();
+    if (!Check(TokenType::kEnd)) {
+      return ErrorHere("unexpected trailing input");
+    }
+    return Status::OK();
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool Check(TokenType type) const { return Peek().type == type; }
+  bool CheckKeyword(std::string_view keyword) const {
+    return Peek().type == TokenType::kKeyword && Peek().text == keyword;
+  }
+  bool MatchKeyword(std::string_view keyword) {
+    if (CheckKeyword(keyword)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  bool Match(TokenType type) {
+    if (Check(type)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status ErrorHere(const std::string& message) const {
+    return Status::ParseError(message + " at offset " +
+                              std::to_string(Peek().position) + " (near '" +
+                              Peek().text + "')");
+  }
+  Status ExpectKeyword(std::string_view keyword) {
+    if (!MatchKeyword(keyword)) {
+      return ErrorHere("expected " + std::string(keyword));
+    }
+    return Status::OK();
+  }
+  Status Expect(TokenType type, const std::string& what) {
+    if (!Match(type)) return ErrorHere("expected " + what);
+    return Status::OK();
+  }
+
+  Result<SelectItem> ParseSelectItem();
+  Result<TableRef> ParseTableRef();
+  Result<ExprPtr> ParseOr();
+  Result<ExprPtr> ParseAnd();
+  Result<ExprPtr> ParseNot();
+  Result<ExprPtr> ParseComparison();
+  Result<ExprPtr> ParseAdditive();
+  Result<ExprPtr> ParseMultiplicative();
+  Result<ExprPtr> ParsePrimary();
+
+  /// Parses "[AS] identifier" if present.
+  std::string ParseOptionalAlias();
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+Result<SelectStmt> Parser::ParseSelectStmt() {
+  RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+  SelectStmt stmt;
+  stmt.distinct = MatchKeyword("DISTINCT");
+  do {
+    ASSIGN_OR_RETURN(SelectItem item, ParseSelectItem());
+    stmt.items.push_back(std::move(item));
+  } while (Match(TokenType::kComma));
+
+  RETURN_IF_ERROR(ExpectKeyword("FROM"));
+  // Comma joins and explicit `[INNER] JOIN ... ON ...` mix freely; JOIN/ON
+  // desugars into the comma-join form with the ON condition conjoined into
+  // WHERE (inner-join semantics).
+  ExprPtr join_conditions;
+  {
+    ASSIGN_OR_RETURN(TableRef first, ParseTableRef());
+    stmt.from.push_back(std::move(first));
+  }
+  for (;;) {
+    if (Match(TokenType::kComma)) {
+      ASSIGN_OR_RETURN(TableRef ref, ParseTableRef());
+      stmt.from.push_back(std::move(ref));
+      continue;
+    }
+    const bool saw_inner = CheckKeyword("INNER");
+    if (saw_inner) Advance();
+    if (MatchKeyword("JOIN")) {
+      ASSIGN_OR_RETURN(TableRef ref, ParseTableRef());
+      stmt.from.push_back(std::move(ref));
+      RETURN_IF_ERROR(ExpectKeyword("ON"));
+      ASSIGN_OR_RETURN(ExprPtr condition, ParseExpr());
+      join_conditions = join_conditions == nullptr
+                            ? std::move(condition)
+                            : Expr::MakeAnd(std::move(join_conditions),
+                                            std::move(condition));
+      continue;
+    }
+    if (saw_inner) return ErrorHere("expected JOIN after INNER");
+    break;
+  }
+
+  if (MatchKeyword("WHERE")) {
+    ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+  }
+  if (join_conditions != nullptr) {
+    stmt.where = stmt.where == nullptr
+                     ? join_conditions
+                     : Expr::MakeAnd(std::move(join_conditions),
+                                     std::move(stmt.where));
+  }
+  if (MatchKeyword("GROUP")) {
+    RETURN_IF_ERROR(ExpectKeyword("BY"));
+    do {
+      ASSIGN_OR_RETURN(ExprPtr expr, ParseExpr());
+      stmt.group_by.push_back(std::move(expr));
+    } while (Match(TokenType::kComma));
+  }
+  if (MatchKeyword("HAVING")) {
+    ASSIGN_OR_RETURN(stmt.having, ParseExpr());
+  }
+  if (MatchKeyword("ORDER")) {
+    RETURN_IF_ERROR(ExpectKeyword("BY"));
+    do {
+      OrderItem item;
+      ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      if (MatchKeyword("DESC")) {
+        item.descending = true;
+      } else {
+        MatchKeyword("ASC");
+      }
+      stmt.order_by.push_back(std::move(item));
+    } while (Match(TokenType::kComma));
+  }
+  if (MatchKeyword("LIMIT")) {
+    if (!Check(TokenType::kInteger)) return ErrorHere("expected LIMIT count");
+    ASSIGN_OR_RETURN(stmt.limit, ParseInt64(Advance().text));
+  }
+  return stmt;
+}
+
+Result<SelectItem> Parser::ParseSelectItem() {
+  SelectItem item;
+  // `*` or `alias.*`.
+  if (Check(TokenType::kStar)) {
+    Advance();
+    item.is_star = true;
+    return item;
+  }
+  if (Check(TokenType::kIdentifier) &&
+      tokens_[pos_ + 1].type == TokenType::kDot &&
+      tokens_[pos_ + 2].type == TokenType::kStar) {
+    item.is_star = true;
+    item.star_qualifier = Advance().text;
+    Advance();  // '.'
+    Advance();  // '*'
+    return item;
+  }
+  ASSIGN_OR_RETURN(item.expr, ParseExpr());
+  item.alias = ParseOptionalAlias();
+  return item;
+}
+
+std::string Parser::ParseOptionalAlias() {
+  if (MatchKeyword("AS")) {
+    if (Check(TokenType::kIdentifier)) return Advance().text;
+    return "";
+  }
+  if (Check(TokenType::kIdentifier)) return Advance().text;
+  return "";
+}
+
+Result<TableRef> Parser::ParseTableRef() {
+  TableRef ref;
+  if (MatchKeyword("TABLE")) {
+    RETURN_IF_ERROR(Expect(TokenType::kLeftParen, "'(' after TABLE"));
+    if (!Check(TokenType::kIdentifier)) {
+      return ErrorHere("expected table-function name");
+    }
+    ref.kind = TableRef::Kind::kTableFunction;
+    ref.name = Advance().text;
+    RETURN_IF_ERROR(Expect(TokenType::kLeftParen, "'(' after function name"));
+    if (!Check(TokenType::kRightParen)) {
+      do {
+        TableFuncArg arg;
+        if (Check(TokenType::kLeftParen) &&
+            tokens_[pos_ + 1].type == TokenType::kKeyword &&
+            tokens_[pos_ + 1].text == "SELECT") {
+          Advance();  // '('
+          ASSIGN_OR_RETURN(SelectStmt sub, ParseSelectStmt());
+          arg.subquery = std::make_shared<SelectStmt>(std::move(sub));
+          RETURN_IF_ERROR(
+              Expect(TokenType::kRightParen, "')' closing subquery"));
+        } else {
+          ASSIGN_OR_RETURN(arg.expr, ParseExpr());
+        }
+        ref.args.push_back(std::move(arg));
+      } while (Match(TokenType::kComma));
+    }
+    RETURN_IF_ERROR(Expect(TokenType::kRightParen, "')' closing arguments"));
+    RETURN_IF_ERROR(Expect(TokenType::kRightParen, "')' closing TABLE(...)"));
+    ref.alias = ParseOptionalAlias();
+    return ref;
+  }
+  if (Check(TokenType::kLeftParen)) {
+    Advance();
+    ref.kind = TableRef::Kind::kSubquery;
+    ASSIGN_OR_RETURN(SelectStmt sub, ParseSelectStmt());
+    ref.subquery = std::make_shared<SelectStmt>(std::move(sub));
+    RETURN_IF_ERROR(Expect(TokenType::kRightParen, "')' closing subquery"));
+    ref.alias = ParseOptionalAlias();
+    if (ref.alias.empty()) {
+      return Status::ParseError("subquery in FROM requires an alias");
+    }
+    return ref;
+  }
+  if (!Check(TokenType::kIdentifier)) {
+    return ErrorHere("expected table name");
+  }
+  ref.kind = TableRef::Kind::kTable;
+  ref.name = Advance().text;
+  ref.alias = ParseOptionalAlias();
+  return ref;
+}
+
+Result<ExprPtr> Parser::ParseExpr() { return ParseOr(); }
+
+Result<ExprPtr> Parser::ParseOr() {
+  ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+  while (MatchKeyword("OR")) {
+    ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+    lhs = Expr::MakeOr(std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<ExprPtr> Parser::ParseAnd() {
+  ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot());
+  while (MatchKeyword("AND")) {
+    ASSIGN_OR_RETURN(ExprPtr rhs, ParseNot());
+    lhs = Expr::MakeAnd(std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<ExprPtr> Parser::ParseNot() {
+  if (MatchKeyword("NOT")) {
+    ASSIGN_OR_RETURN(ExprPtr operand, ParseNot());
+    return Expr::MakeNot(std::move(operand));
+  }
+  return ParseComparison();
+}
+
+Result<ExprPtr> Parser::ParseComparison() {
+  ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+  if (MatchKeyword("IS")) {
+    const bool negated = MatchKeyword("NOT");
+    RETURN_IF_ERROR(ExpectKeyword("NULL"));
+    return Expr::MakeIsNull(std::move(lhs), negated);
+  }
+  // x [NOT] IN (v1, v2, ...): desugared into OR-of-equalities (or
+  // AND-of-inequalities when negated).
+  {
+    bool negated = false;
+    if (CheckKeyword("NOT") && tokens_[pos_ + 1].type == TokenType::kKeyword &&
+        tokens_[pos_ + 1].text == "IN") {
+      Advance();
+      negated = true;
+    }
+    if (MatchKeyword("IN")) {
+      RETURN_IF_ERROR(Expect(TokenType::kLeftParen, "'(' after IN"));
+      ExprPtr combined;
+      do {
+        ASSIGN_OR_RETURN(ExprPtr item, ParseAdditive());
+        ExprPtr comparison =
+            Expr::MakeComparison(negated ? "<>" : "=", lhs, std::move(item));
+        if (combined == nullptr) {
+          combined = std::move(comparison);
+        } else if (negated) {
+          combined = Expr::MakeAnd(std::move(combined), std::move(comparison));
+        } else {
+          combined = Expr::MakeOr(std::move(combined), std::move(comparison));
+        }
+      } while (Match(TokenType::kComma));
+      RETURN_IF_ERROR(Expect(TokenType::kRightParen, "')' closing IN list"));
+      return combined;
+    }
+  }
+  if (MatchKeyword("BETWEEN")) {
+    ASSIGN_OR_RETURN(ExprPtr low, ParseAdditive());
+    RETURN_IF_ERROR(ExpectKeyword("AND"));
+    ASSIGN_OR_RETURN(ExprPtr high, ParseAdditive());
+    // Desugar: lhs >= low AND lhs <= high.
+    return Expr::MakeAnd(Expr::MakeComparison(">=", lhs, std::move(low)),
+                         Expr::MakeComparison("<=", lhs, std::move(high)));
+  }
+  if (Check(TokenType::kOperator)) {
+    const std::string op = Peek().text;
+    if (op == "=" || op == "<" || op == ">" || op == "<=" || op == ">=" ||
+        op == "<>" || op == "!=") {
+      Advance();
+      ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+      // Normalize != to <>.
+      return Expr::MakeComparison(op == "!=" ? "<>" : op, std::move(lhs),
+                                  std::move(rhs));
+    }
+  }
+  return lhs;
+}
+
+Result<ExprPtr> Parser::ParseAdditive() {
+  ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
+  while (Check(TokenType::kOperator) &&
+         (Peek().text == "+" || Peek().text == "-")) {
+    const std::string op = Advance().text;
+    ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+    lhs = Expr::MakeArithmetic(op, std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<ExprPtr> Parser::ParseMultiplicative() {
+  ASSIGN_OR_RETURN(ExprPtr lhs, ParsePrimary());
+  while ((Check(TokenType::kStar)) ||
+         (Check(TokenType::kOperator) && Peek().text == "/")) {
+    const std::string op = Check(TokenType::kStar) ? "*" : "/";
+    Advance();
+    ASSIGN_OR_RETURN(ExprPtr rhs, ParsePrimary());
+    lhs = Expr::MakeArithmetic(op, std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<ExprPtr> Parser::ParsePrimary() {
+  // Unary minus on numeric literals / expressions.
+  if (Check(TokenType::kOperator) && Peek().text == "-") {
+    Advance();
+    ASSIGN_OR_RETURN(ExprPtr operand, ParsePrimary());
+    return Expr::MakeArithmetic("-", Expr::MakeLiteral(Value::Int64(0)),
+                                std::move(operand));
+  }
+  if (Check(TokenType::kLeftParen)) {
+    Advance();
+    ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+    RETURN_IF_ERROR(Expect(TokenType::kRightParen, "')'"));
+    return inner;
+  }
+  if (Check(TokenType::kString)) {
+    return Expr::MakeLiteral(Value::String(Advance().text));
+  }
+  if (Check(TokenType::kInteger)) {
+    ASSIGN_OR_RETURN(int64_t v, ParseInt64(Advance().text));
+    return Expr::MakeLiteral(Value::Int64(v));
+  }
+  if (Check(TokenType::kDouble)) {
+    ASSIGN_OR_RETURN(double v, ParseDouble(Advance().text));
+    return Expr::MakeLiteral(Value::Double(v));
+  }
+  if (CheckKeyword("NULL")) {
+    Advance();
+    return Expr::MakeLiteral(Value::Null());
+  }
+  if (CheckKeyword("TRUE")) {
+    Advance();
+    return Expr::MakeLiteral(Value::Bool(true));
+  }
+  if (CheckKeyword("FALSE")) {
+    Advance();
+    return Expr::MakeLiteral(Value::Bool(false));
+  }
+  if (Check(TokenType::kIdentifier)) {
+    const std::string first = Advance().text;
+    // Function call: name(args) — including COUNT(*) style.
+    if (Check(TokenType::kLeftParen)) {
+      Advance();
+      std::vector<ExprPtr> args;
+      if (Check(TokenType::kStar)) {
+        // COUNT(*): encode as zero-argument call.
+        Advance();
+      } else if (!Check(TokenType::kRightParen)) {
+        do {
+          ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+          args.push_back(std::move(arg));
+        } while (Match(TokenType::kComma));
+      }
+      RETURN_IF_ERROR(Expect(TokenType::kRightParen, "')' closing call"));
+      return Expr::MakeCall(first, std::move(args));
+    }
+    // Qualified column: alias.column.
+    if (Check(TokenType::kDot)) {
+      Advance();
+      if (!Check(TokenType::kIdentifier)) {
+        return ErrorHere("expected column name after '.'");
+      }
+      return Expr::MakeColumn(first, Advance().text);
+    }
+    return Expr::MakeColumn("", first);
+  }
+  return ErrorHere("expected expression");
+}
+
+}  // namespace
+
+Result<SelectStmt> ParseSelect(const std::string& sql) {
+  ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  ASSIGN_OR_RETURN(SelectStmt stmt, parser.ParseSelectStmt());
+  RETURN_IF_ERROR(parser.ExpectEnd());
+  return stmt;
+}
+
+Result<ExprPtr> ParseExpression(const std::string& text) {
+  ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  Parser parser(std::move(tokens));
+  ASSIGN_OR_RETURN(ExprPtr expr, parser.ParseExpr());
+  RETURN_IF_ERROR(parser.ExpectEnd());
+  return expr;
+}
+
+}  // namespace sqlink

@@ -1,0 +1,31 @@
+#ifndef SQLINK_SQL_PARSER_H_
+#define SQLINK_SQL_PARSER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace sqlink {
+
+/// Parses one SELECT statement (optionally ';'-terminated).
+///
+/// Grammar (recursive descent):
+///   select    := SELECT [DISTINCT] items FROM tableref (',' tableref)*
+///                [WHERE expr] [GROUP BY expr (',' expr)*]
+///                [ORDER BY expr [DESC|ASC] (',' ...)*] [LIMIT int]
+///   tableref  := name [AS alias]
+///              | TABLE '(' name '(' arg (',' arg)* ')' ')' [AS alias]
+///              | '(' select ')' [AS alias]
+///   arg       := expr | '(' select ')'
+///   expr      := or-chain of AND-chains of NOT/comparison over
+///                additive/multiplicative arithmetic and primaries
+Result<SelectStmt> ParseSelect(const std::string& sql);
+
+/// Parses a scalar expression on its own (used by tests and the rewriter).
+Result<ExprPtr> ParseExpression(const std::string& text);
+
+}  // namespace sqlink
+
+#endif  // SQLINK_SQL_PARSER_H_

@@ -1,0 +1,54 @@
+#ifndef SQLINK_SQL_PLANNER_H_
+#define SQLINK_SQL_PLANNER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/ast.h"
+#include "sql/catalog.h"
+#include "sql/expr.h"
+#include "sql/plan.h"
+#include "sql/table_udf.h"
+
+namespace sqlink {
+
+/// Turns a parsed SELECT into an executable plan:
+///  - FROM entries become Scan / TableUdf / subquery plans;
+///  - single-relation WHERE conjuncts are pushed below joins;
+///  - comma joins become left-deep hash joins keyed on the equality
+///    conjuncts that connect the sides (broadcast when the build side is
+///    estimated small, repartition otherwise);
+///  - GROUP BY / aggregate select lists become a two-phase Aggregate;
+///  - DISTINCT / ORDER BY / LIMIT become their operators.
+class Planner {
+ public:
+  Planner(const Catalog* catalog, const ScalarFunctionRegistry* scalars,
+          const TableUdfRegistry* table_udfs, int num_partitions,
+          double broadcast_threshold_rows = 500000);
+
+  Result<PlanPtr> PlanSelect(const SelectStmt& stmt);
+
+ private:
+  struct RelationPlan {
+    PlanPtr plan;
+    NameScope scope;  // Relations in flat-row column order.
+  };
+
+  Result<RelationPlan> PlanTableRef(const TableRef& ref);
+  Result<RelationPlan> PlanFromWhere(const SelectStmt& stmt);
+
+  /// Evaluates a constant scalar expression (UDF literal arguments).
+  Result<Value> EvaluateConstant(const Expr& expr);
+
+  const Catalog* catalog_;
+  const ScalarFunctionRegistry* scalars_;
+  const TableUdfRegistry* table_udfs_;
+  int num_partitions_;
+  double broadcast_threshold_rows_;
+};
+
+}  // namespace sqlink
+
+#endif  // SQLINK_SQL_PLANNER_H_

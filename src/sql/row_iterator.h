@@ -1,0 +1,82 @@
+#ifndef SQLINK_SQL_ROW_ITERATOR_H_
+#define SQLINK_SQL_ROW_ITERATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "table/value.h"
+
+namespace sqlink {
+
+/// Pull-based row stream: the execution interface between physical
+/// operators within one worker's pipeline.
+class RowIterator {
+ public:
+  virtual ~RowIterator() = default;
+
+  /// Fills `*out` with the next row and returns true, or returns false at
+  /// end of stream. Errors propagate as statuses.
+  virtual Result<bool> Next(Row* out) = 0;
+};
+
+using RowIteratorPtr = std::unique_ptr<RowIterator>;
+
+/// Push-based row consumer (table UDF output, exchange input).
+class RowSink {
+ public:
+  virtual ~RowSink() = default;
+  virtual Status Push(Row row) = 0;
+};
+
+/// Iterates over a borrowed row vector (rows are copied out).
+class VectorIterator final : public RowIterator {
+ public:
+  explicit VectorIterator(const std::vector<Row>* rows) : rows_(rows) {}
+
+  Result<bool> Next(Row* out) override {
+    if (index_ >= rows_->size()) return false;
+    *out = (*rows_)[index_++];
+    return true;
+  }
+
+ private:
+  const std::vector<Row>* rows_;
+  size_t index_ = 0;
+};
+
+/// Iterates over an owned row vector (rows are moved out).
+class OwningVectorIterator final : public RowIterator {
+ public:
+  explicit OwningVectorIterator(std::vector<Row> rows)
+      : rows_(std::move(rows)) {}
+
+  Result<bool> Next(Row* out) override {
+    if (index_ >= rows_.size()) return false;
+    *out = std::move(rows_[index_++]);
+    return true;
+  }
+
+ private:
+  std::vector<Row> rows_;
+  size_t index_ = 0;
+};
+
+/// Collects pushed rows into a vector.
+class VectorSink final : public RowSink {
+ public:
+  Status Push(Row row) override {
+    rows_.push_back(std::move(row));
+    return Status::OK();
+  }
+
+  std::vector<Row>& rows() { return rows_; }
+  std::vector<Row> TakeRows() { return std::move(rows_); }
+
+ private:
+  std::vector<Row> rows_;
+};
+
+}  // namespace sqlink
+
+#endif  // SQLINK_SQL_ROW_ITERATOR_H_

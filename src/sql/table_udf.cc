@@ -1,0 +1,29 @@
+#include "sql/table_udf.h"
+
+#include "common/string_util.h"
+
+namespace sqlink {
+
+Status TableUdfRegistry::Register(const std::string& name,
+                                  TableUdfFactory factory) {
+  const std::string key = ToLowerAscii(name);
+  if (factories_.count(key) > 0) {
+    return Status::AlreadyExists("table UDF exists: " + name);
+  }
+  factories_.emplace(key, std::move(factory));
+  return Status::OK();
+}
+
+Result<TableUdfPtr> TableUdfRegistry::Create(const std::string& name) const {
+  auto it = factories_.find(ToLowerAscii(name));
+  if (it == factories_.end()) {
+    return Status::NotFound("unknown table UDF: " + name);
+  }
+  return it->second();
+}
+
+bool TableUdfRegistry::Contains(const std::string& name) const {
+  return factories_.count(ToLowerAscii(name)) > 0;
+}
+
+}  // namespace sqlink

@@ -1,0 +1,32 @@
+#ifndef SQLINK_SQL_TOKEN_H_
+#define SQLINK_SQL_TOKEN_H_
+
+#include <string>
+
+namespace sqlink {
+
+enum class TokenType : int {
+  kIdentifier,   // carts, U, gender
+  kKeyword,      // SELECT, FROM, ... (normalized upper-case in `text`)
+  kString,       // 'USA'
+  kInteger,      // 42
+  kDouble,       // 3.14
+  kOperator,     // = < > <= >= <> !=
+  kComma,
+  kDot,
+  kStar,
+  kLeftParen,
+  kRightParen,
+  kSemicolon,
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;   // Normalized: keywords upper-cased, strings unquoted.
+  size_t position = 0;  // Byte offset in the query, for error messages.
+};
+
+}  // namespace sqlink
+
+#endif  // SQLINK_SQL_TOKEN_H_

@@ -1,0 +1,233 @@
+#include "stream/coordinator.h"
+
+#include <chrono>
+
+#include "common/logging.h"
+#include "common/status_macros.h"
+
+namespace sqlink {
+
+Result<std::unique_ptr<StreamCoordinator>> StreamCoordinator::Start(
+    Options options) {
+  auto coordinator =
+      std::unique_ptr<StreamCoordinator>(new StreamCoordinator(options));
+  ASSIGN_OR_RETURN(coordinator->listener_, TcpListener::Listen(options.port));
+  coordinator->accept_thread_ =
+      std::thread([c = coordinator.get()] { c->AcceptLoop(); });
+  return coordinator;
+}
+
+std::string StreamCoordinator::Checkpoint() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  PutVarint64Signed(&out, expected_sql_workers_);
+  PutVarint64(&out, sql_workers_.size());
+  for (const auto& [worker_id, registration] : sql_workers_) {
+    PutLengthPrefixed(&out, registration.Encode());
+  }
+  out.push_back(splits_ready_ ? 1 : 0);
+  if (splits_ready_) {
+    PutLengthPrefixed(&out, splits_.Encode());
+  }
+  return out;
+}
+
+Result<std::unique_ptr<StreamCoordinator>> StreamCoordinator::Resume(
+    Options options, std::string_view checkpoint) {
+  auto coordinator =
+      std::unique_ptr<StreamCoordinator>(new StreamCoordinator(options));
+  {
+    Decoder decoder(checkpoint);
+    ASSIGN_OR_RETURN(int64_t expected, decoder.GetVarint64Signed());
+    coordinator->expected_sql_workers_ = static_cast<int>(expected);
+    ASSIGN_OR_RETURN(uint64_t workers, decoder.GetVarint64());
+    for (uint64_t i = 0; i < workers; ++i) {
+      ASSIGN_OR_RETURN(std::string_view encoded, decoder.GetLengthPrefixed());
+      ASSIGN_OR_RETURN(RegisterSqlMessage registration,
+                       RegisterSqlMessage::Decode(encoded));
+      coordinator->sql_workers_[registration.worker_id] = registration;
+    }
+    ASSIGN_OR_RETURN(uint8_t ready, decoder.GetByte());
+    if (ready != 0) {
+      ASSIGN_OR_RETURN(std::string_view encoded, decoder.GetLengthPrefixed());
+      ASSIGN_OR_RETURN(coordinator->splits_, SplitsMessage::Decode(encoded));
+      coordinator->splits_ready_ = true;
+    }
+  }
+  ASSIGN_OR_RETURN(coordinator->listener_, TcpListener::Listen(options.port));
+  coordinator->accept_thread_ =
+      std::thread([c = coordinator.get()] { c->AcceptLoop(); });
+  return coordinator;
+}
+
+StreamCoordinator::~StreamCoordinator() { Stop(); }
+
+void StreamCoordinator::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopped_) return;
+    stopped_ = true;
+    splits_ready_cv_.notify_all();
+  }
+  listener_.Close();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(handlers_mu_);
+    for (std::thread& handler : handlers_) {
+      if (handler.joinable()) handler.join();
+    }
+    handlers_.clear();
+  }
+  if (launcher_thread_.joinable()) launcher_thread_.join();
+}
+
+int StreamCoordinator::registered_sql_workers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(sql_workers_.size());
+}
+
+int StreamCoordinator::registered_ml_workers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return registered_ml_;
+}
+
+int StreamCoordinator::reported_failures() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return failures_;
+}
+
+void StreamCoordinator::AcceptLoop() {
+  for (;;) {
+    auto socket = listener_.Accept();
+    if (!socket.ok()) return;  // Closed.
+    std::lock_guard<std::mutex> lock(handlers_mu_);
+    handlers_.emplace_back(
+        [this, s = std::make_shared<TcpSocket>(std::move(*socket))]() mutable {
+          HandleConnection(std::move(*s));
+        });
+  }
+}
+
+void StreamCoordinator::HandleConnection(TcpSocket socket) {
+  auto frame = RecvFrame(&socket);
+  if (!frame.ok()) return;
+  Status status;
+  switch (frame->type) {
+    case FrameType::kRegisterSql:
+      status = HandleRegisterSql(&socket, *frame);
+      break;
+    case FrameType::kGetSplits:
+      status = HandleGetSplits(&socket);
+      break;
+    case FrameType::kRegisterMl:
+      status = HandleRegisterMl(&socket, *frame, /*is_failure=*/false);
+      break;
+    case FrameType::kReportFailure:
+      status = HandleRegisterMl(&socket, *frame, /*is_failure=*/true);
+      break;
+    default:
+      status = Status::InvalidArgument("unexpected control frame");
+      break;
+  }
+  if (!status.ok()) {
+    LOG_WARNING() << "coordinator handler: " << status;
+    (void)SendFrame(&socket, FrameType::kError, status.ToString());
+  }
+}
+
+Status StreamCoordinator::HandleRegisterSql(TcpSocket* socket,
+                                            const Frame& frame) {
+  ASSIGN_OR_RETURN(RegisterSqlMessage msg,
+                   RegisterSqlMessage::Decode(frame.payload));
+  bool all_registered = false;
+  std::string command;
+  std::vector<std::string> args;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (expected_sql_workers_ == 0) {
+      expected_sql_workers_ = msg.num_workers;
+    } else if (expected_sql_workers_ != msg.num_workers) {
+      return Status::InvalidArgument("inconsistent SQL worker count");
+    }
+    sql_workers_[msg.worker_id] = msg;
+    if (static_cast<int>(sql_workers_.size()) == expected_sql_workers_ &&
+        !splits_ready_) {
+      // All registered (step 1 complete): build the split table — m = n·k
+      // splits in n groups, each split located at its SQL worker's host —
+      // and launch the ML job (step 2).
+      const int k = std::max(1, options_.splits_per_worker);
+      splits_.schema = msg.schema;
+      int split_id = 0;
+      for (const auto& [worker_id, worker] : sql_workers_) {
+        for (int j = 0; j < k; ++j) {
+          splits_.splits.push_back(StreamSplitInfo{
+              split_id++, worker_id, worker.host, worker.port});
+        }
+      }
+      splits_ready_ = true;
+      command = msg.command;
+      args = msg.args;
+      all_registered = true;
+      splits_ready_cv_.notify_all();
+    }
+  }
+  if (all_registered && options_.ml_launcher) {
+    launcher_thread_ = std::thread(
+        [this, command, args] { options_.ml_launcher(command, args); });
+  }
+  // Ack carries k so the SQL worker knows how many ML connections to expect.
+  std::string payload;
+  PutVarint64(&payload,
+              static_cast<uint64_t>(std::max(1, options_.splits_per_worker)));
+  return SendFrame(socket, FrameType::kAck, payload);
+}
+
+Status StreamCoordinator::WaitForSplits() {
+  std::unique_lock<std::mutex> lock(mu_);
+  const bool ready = splits_ready_cv_.wait_for(
+      lock, std::chrono::milliseconds(options_.barrier_timeout_ms),
+      [this] { return splits_ready_ || stopped_; });
+  if (!ready) return Status::Unavailable("timed out waiting for SQL workers");
+  if (!splits_ready_) return Status::Cancelled("coordinator stopped");
+  return Status::OK();
+}
+
+Status StreamCoordinator::HandleGetSplits(TcpSocket* socket) {
+  RETURN_IF_ERROR(WaitForSplits());
+  std::string payload;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    payload = splits_.Encode();
+  }
+  return SendFrame(socket, FrameType::kSplits, payload);
+}
+
+Status StreamCoordinator::HandleRegisterMl(TcpSocket* socket,
+                                           const Frame& frame,
+                                           bool is_failure) {
+  ASSIGN_OR_RETURN(RegisterMlMessage msg,
+                   RegisterMlMessage::Decode(frame.payload));
+  RETURN_IF_ERROR(WaitForSplits());
+  MatchMessage match;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (msg.split_id < 0 ||
+        static_cast<size_t>(msg.split_id) >= splits_.splits.size()) {
+      return Status::InvalidArgument("unknown split id " +
+                                     std::to_string(msg.split_id));
+    }
+    const StreamSplitInfo& split =
+        splits_.splits[static_cast<size_t>(msg.split_id)];
+    match.host = split.host;
+    match.port = split.port;
+    if (is_failure) {
+      ++failures_;
+    } else {
+      ++registered_ml_;
+    }
+  }
+  // Step 5/6: hand the matched SQL endpoint back to the ML worker.
+  return SendFrame(socket, FrameType::kMatch, match.Encode());
+}
+
+}  // namespace sqlink

@@ -1,0 +1,112 @@
+#ifndef SQLINK_STREAM_COORDINATOR_H_
+#define SQLINK_STREAM_COORDINATOR_H_
+
+#include <condition_variable>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "stream/socket.h"
+#include "stream/wire.h"
+
+namespace sqlink {
+
+/// The long-standing coordinator service of §3 that bridges the big SQL and
+/// big ML systems:
+///
+///  1. every SQL worker registers (worker id, endpoint, ML command, schema);
+///  2. once all n have registered, the coordinator launches the ML job;
+///  3. the ML job's SqlStreamInputFormat asks it for InputSplits — it
+///     creates m = n·k splits, grouped k-per-SQL-worker, each carrying the
+///     SQL worker's host as its locality hint;
+///  4. ML workers register back; 5./6. the coordinator matches each to its
+///     SQL worker's endpoint; 7./8. the data sockets are then peer-to-peer.
+///
+/// For §6 it also answers failure reports with the endpoint to re-dial.
+class StreamCoordinator {
+ public:
+  /// Runs the job's ML side; invoked once, on a dedicated thread, when all
+  /// SQL workers have registered (paper step 2).
+  using MlLauncher = std::function<void(const std::string& command,
+                                        const std::vector<std::string>& args)>;
+
+  struct Options {
+    int port = 0;               ///< 0 = ephemeral.
+    int splits_per_worker = 1;  ///< k in m = n·k.
+    MlLauncher ml_launcher;
+    /// How long participants may wait on registration barriers.
+    int barrier_timeout_ms = 30000;
+  };
+
+  /// Starts the accept loop on a background thread.
+  static Result<std::unique_ptr<StreamCoordinator>> Start(Options options);
+
+  /// §6 coordinator resilience (the paper suggests ZooKeeper): serializes
+  /// the coordinator's durable state — registered SQL workers and the
+  /// split table — so a replacement coordinator can take over matchmaking
+  /// after a crash.
+  std::string Checkpoint() const;
+
+  /// Starts a coordinator restored from a checkpoint: the split table and
+  /// registrations are re-established, so ML workers can immediately
+  /// (re-)register and be matched without re-running the SQL side.
+  static Result<std::unique_ptr<StreamCoordinator>> Resume(
+      Options options, std::string_view checkpoint);
+
+  ~StreamCoordinator();
+
+  StreamCoordinator(const StreamCoordinator&) = delete;
+  StreamCoordinator& operator=(const StreamCoordinator&) = delete;
+
+  /// Stops the server and joins every handler. Idempotent.
+  void Stop();
+
+  int port() const { return listener_.port(); }
+  std::string host() const { return "localhost"; }
+
+  /// Observability for tests and benchmarks.
+  int registered_sql_workers() const;
+  int registered_ml_workers() const;
+  int reported_failures() const;
+
+ private:
+  explicit StreamCoordinator(Options options) : options_(std::move(options)) {}
+
+  void AcceptLoop();
+  void HandleConnection(TcpSocket socket);
+
+  Status HandleRegisterSql(TcpSocket* socket, const Frame& frame);
+  Status HandleGetSplits(TcpSocket* socket);
+  Status HandleRegisterMl(TcpSocket* socket, const Frame& frame,
+                          bool is_failure);
+
+  /// Blocks until the split table exists (all SQL workers registered).
+  Status WaitForSplits();
+
+  Options options_;
+  TcpListener listener_;
+  std::thread accept_thread_;
+  std::thread launcher_thread_;
+
+  mutable std::mutex mu_;
+  std::condition_variable splits_ready_cv_;
+  bool stopped_ = false;
+  int expected_sql_workers_ = 0;
+  std::map<int, RegisterSqlMessage> sql_workers_;
+  bool splits_ready_ = false;
+  SplitsMessage splits_;
+  int registered_ml_ = 0;
+  int failures_ = 0;
+
+  std::mutex handlers_mu_;
+  std::vector<std::thread> handlers_;
+};
+
+}  // namespace sqlink
+
+#endif  // SQLINK_STREAM_COORDINATOR_H_

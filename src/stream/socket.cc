@@ -1,0 +1,170 @@
+#include "stream/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace sqlink {
+
+namespace {
+
+std::string ErrnoMessage(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+TcpSocket::~TcpSocket() { Close(); }
+
+TcpSocket& TcpSocket::operator=(TcpSocket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Status TcpSocket::SendAll(std::string_view data) {
+  if (!valid()) return Status::NetworkError("send on closed socket");
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd_, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::NetworkError(ErrnoMessage("send"));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status TcpSocket::RecvExactly(size_t n, std::string* out) {
+  if (!valid()) return Status::NetworkError("recv on closed socket");
+  out->resize(n);
+  size_t received = 0;
+  while (received < n) {
+    const ssize_t got = ::recv(fd_, out->data() + received, n - received, 0);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return Status::NetworkError(ErrnoMessage("recv"));
+    }
+    if (got == 0) {
+      return Status::NetworkError(received == 0 ? "closed"
+                                                : "closed mid-message");
+    }
+    received += static_cast<size_t>(got);
+  }
+  return Status::OK();
+}
+
+void TcpSocket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+TcpListener::~TcpListener() { Close(); }
+
+TcpListener::TcpListener(TcpListener&& other) noexcept
+    : fd_(other.fd_), port_(other.port_) {
+  other.fd_ = -1;
+}
+
+TcpListener& TcpListener::operator=(TcpListener&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    port_ = other.port_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Result<TcpListener> TcpListener::Listen(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::NetworkError(ErrnoMessage("socket"));
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status::NetworkError(ErrnoMessage("bind"));
+  }
+  if (::listen(fd, 64) != 0) {
+    ::close(fd);
+    return Status::NetworkError(ErrnoMessage("listen"));
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd);
+    return Status::NetworkError(ErrnoMessage("getsockname"));
+  }
+  TcpListener listener;
+  listener.fd_ = fd;
+  listener.port_ = ntohs(addr.sin_port);
+  return listener;
+}
+
+Result<TcpSocket> TcpListener::Accept() {
+  if (fd_ < 0) return Status::Cancelled("listener closed");
+  for (;;) {
+    const int client = ::accept(fd_, nullptr, nullptr);
+    if (client >= 0) {
+      const int one = 1;
+      ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return TcpSocket(client);
+    }
+    if (errno == EINTR) continue;
+    if (errno == EBADF || errno == EINVAL) {
+      return Status::Cancelled("listener closed");
+    }
+    return Status::NetworkError(ErrnoMessage("accept"));
+  }
+}
+
+void TcpListener::Close() {
+  if (fd_ >= 0) {
+    // shutdown() unblocks threads stuck in accept().
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<TcpSocket> TcpConnect(const std::string& host, int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::NetworkError(ErrnoMessage("socket"));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  // The simulated cluster's node names all resolve to loopback.
+  if (host.empty() || host == "localhost" || host.rfind("node", 0) == 0) {
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  } else if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("cannot resolve host: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string message = ErrnoMessage("connect");
+    ::close(fd);
+    return Status::NetworkError(message + " (" + host + ":" +
+                                std::to_string(port) + ")");
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return TcpSocket(fd);
+}
+
+}  // namespace sqlink

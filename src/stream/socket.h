@@ -1,0 +1,73 @@
+#ifndef SQLINK_STREAM_SOCKET_H_
+#define SQLINK_STREAM_SOCKET_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+
+namespace sqlink {
+
+/// Thin RAII wrapper over a connected TCP socket with whole-buffer
+/// send/receive. Move-only. All streaming-transfer traffic (coordinator
+/// control plane and SQL→ML data plane) flows through these.
+class TcpSocket {
+ public:
+  TcpSocket() = default;
+  explicit TcpSocket(int fd) : fd_(fd) {}
+  ~TcpSocket();
+
+  TcpSocket(TcpSocket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  TcpSocket& operator=(TcpSocket&& other) noexcept;
+  TcpSocket(const TcpSocket&) = delete;
+  TcpSocket& operator=(const TcpSocket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Sends the entire buffer (loops over partial writes).
+  Status SendAll(std::string_view data);
+
+  /// Receives exactly `n` bytes into `*out` (resized). A clean remote close
+  /// before any byte yields kNetworkError with message "closed".
+  Status RecvExactly(size_t n, std::string* out);
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening TCP socket bound to 127.0.0.1 (the simulated cluster runs on
+/// loopback). Port 0 picks an ephemeral port.
+class TcpListener {
+ public:
+  static Result<TcpListener> Listen(int port);
+
+  TcpListener() = default;
+  ~TcpListener();
+  TcpListener(TcpListener&& other) noexcept;
+  TcpListener& operator=(TcpListener&& other) noexcept;
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// Blocks for the next connection. Returns kCancelled after Close().
+  Result<TcpSocket> Accept();
+
+  /// Unblocks pending Accepts.
+  void Close();
+
+  int port() const { return port_; }
+  bool valid() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+  int port_ = 0;
+};
+
+/// Connects to host:port. Only loopback/hostname resolution via IPv4.
+Result<TcpSocket> TcpConnect(const std::string& host, int port);
+
+}  // namespace sqlink
+
+#endif  // SQLINK_STREAM_SOCKET_H_

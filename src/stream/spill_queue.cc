@@ -1,0 +1,134 @@
+#include "stream/spill_queue.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/coding.h"
+#include "common/logging.h"
+
+namespace sqlink {
+
+SpillingByteQueue::SpillingByteQueue(Options options)
+    : options_(std::move(options)) {
+  SQLINK_CHECK(!options_.spill_enabled || !options_.spill_path.empty())
+      << "spill enabled without a spill path";
+}
+
+SpillingByteQueue::~SpillingByteQueue() {
+  if (spill_out_.is_open()) spill_out_.close();
+  if (spill_in_.is_open()) spill_in_.close();
+  if (!options_.spill_path.empty() && spill_written_ > 0) {
+    std::remove(options_.spill_path.c_str());
+  }
+}
+
+Status SpillingByteQueue::Push(std::string frame) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (cancelled_) return Status::Cancelled("queue cancelled");
+    if (producer_closed_) {
+      return Status::FailedPrecondition("push after CloseProducer");
+    }
+    if (!spilling_ &&
+        (memory_bytes_ + frame.size() <= options_.memory_capacity_bytes ||
+         memory_.empty())) {
+      // An oversized frame is admitted alone so progress is possible.
+      memory_bytes_ += frame.size();
+      memory_.push_back(std::move(frame));
+      consumer_cv_.notify_one();
+      return Status::OK();
+    }
+    if (options_.spill_enabled) {
+      if (!spill_out_.is_open()) {
+        spill_out_.open(options_.spill_path,
+                        std::ios::binary | std::ios::trunc);
+        if (!spill_out_) {
+          return Status::IoError("cannot open spill file " +
+                                 options_.spill_path);
+        }
+      }
+      spilling_ = true;
+      std::string record;
+      PutFixed32(&record, static_cast<uint32_t>(frame.size()));
+      record += frame;
+      spill_out_.write(record.data(),
+                       static_cast<std::streamsize>(record.size()));
+      spill_out_.flush();
+      if (!spill_out_) {
+        return Status::IoError("spill write failed: " + options_.spill_path);
+      }
+      ++spill_written_;
+      spilled_bytes_ += static_cast<int64_t>(frame.size());
+      consumer_cv_.notify_one();
+      return Status::OK();
+    }
+    // Backpressure: wait for the consumer.
+    producer_cv_.wait(lock);
+  }
+}
+
+void SpillingByteQueue::CloseProducer() {
+  std::lock_guard<std::mutex> lock(mu_);
+  producer_closed_ = true;
+  consumer_cv_.notify_all();
+}
+
+Result<std::optional<std::string>> SpillingByteQueue::Pop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (cancelled_) return Status::Cancelled("queue cancelled");
+    if (!memory_.empty()) {
+      std::string frame = std::move(memory_.front());
+      memory_.pop_front();
+      memory_bytes_ -= frame.size();
+      producer_cv_.notify_one();
+      return std::optional<std::string>(std::move(frame));
+    }
+    if (spill_read_ < spill_written_) {
+      if (!spill_in_.is_open()) {
+        spill_in_.open(options_.spill_path, std::ios::binary);
+        if (!spill_in_) {
+          return Status::IoError("cannot open spill file for read: " +
+                                 options_.spill_path);
+        }
+      }
+      char header[4];
+      spill_in_.read(header, 4);
+      uint32_t length = 0;
+      std::memcpy(&length, header, 4);
+      std::string frame(length, '\0');
+      spill_in_.read(frame.data(), static_cast<std::streamsize>(length));
+      if (!spill_in_) {
+        return Status::IoError("spill read failed: " + options_.spill_path);
+      }
+      ++spill_read_;
+      if (spill_read_ == spill_written_) {
+        // Disk backlog drained; producer may use memory again.
+        spilling_ = false;
+        producer_cv_.notify_one();
+      }
+      return std::optional<std::string>(std::move(frame));
+    }
+    if (producer_closed_) return std::optional<std::string>();
+    consumer_cv_.wait(lock);
+  }
+}
+
+void SpillingByteQueue::Cancel() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cancelled_ = true;
+  producer_cv_.notify_all();
+  consumer_cv_.notify_all();
+}
+
+int64_t SpillingByteQueue::spilled_frames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spill_written_;
+}
+
+int64_t SpillingByteQueue::spilled_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spilled_bytes_;
+}
+
+}  // namespace sqlink

@@ -1,0 +1,78 @@
+#ifndef SQLINK_STREAM_SPILL_QUEUE_H_
+#define SQLINK_STREAM_SPILL_QUEUE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <fstream>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "common/result.h"
+
+namespace sqlink {
+
+/// The per-target send buffer of a SQL worker (§3): a FIFO of encoded
+/// frames bounded by a byte budget (the paper's send-buffer size, 4 KB in
+/// its experiments). When the ML consumer is slow and the buffer fills, the
+/// producer either blocks (spill disabled — pure backpressure) or spills
+/// overflow frames to a node-local disk file so the producer and consumer
+/// stay decoupled ("we can spill it onto the local disks to synchronize the
+/// producer and consumers").
+///
+/// FIFO order is preserved across the memory/disk boundary: once spilling
+/// starts, new frames go to disk behind the spilled ones until the disk
+/// backlog is fully drained.
+class SpillingByteQueue {
+ public:
+  struct Options {
+    size_t memory_capacity_bytes = 4096;
+    bool spill_enabled = true;
+    std::string spill_path;  ///< Required when spill_enabled.
+  };
+
+  explicit SpillingByteQueue(Options options);
+  ~SpillingByteQueue();
+
+  SpillingByteQueue(const SpillingByteQueue&) = delete;
+  SpillingByteQueue& operator=(const SpillingByteQueue&) = delete;
+
+  /// Enqueues one frame. Blocks while full with spill disabled; spills
+  /// otherwise. Fails after Cancel().
+  Status Push(std::string frame);
+
+  /// Marks the producer done; pending Pops drain then end.
+  void CloseProducer();
+
+  /// Dequeues the next frame; nullopt when the producer closed and
+  /// everything (memory + spill) is drained. Blocks otherwise.
+  Result<std::optional<std::string>> Pop();
+
+  /// Unblocks all waiters with kCancelled.
+  void Cancel();
+
+  int64_t spilled_frames() const;
+  int64_t spilled_bytes() const;
+
+ private:
+  Options options_;
+  mutable std::mutex mu_;
+  std::condition_variable producer_cv_;
+  std::condition_variable consumer_cv_;
+
+  std::deque<std::string> memory_;
+  size_t memory_bytes_ = 0;
+  bool spilling_ = false;
+  int64_t spill_written_ = 0;  // Frames appended to the spill file.
+  int64_t spill_read_ = 0;     // Frames consumed from the spill file.
+  int64_t spilled_bytes_ = 0;
+  std::ofstream spill_out_;
+  std::ifstream spill_in_;
+  bool producer_closed_ = false;
+  bool cancelled_ = false;
+};
+
+}  // namespace sqlink
+
+#endif  // SQLINK_STREAM_SPILL_QUEUE_H_

@@ -1,0 +1,236 @@
+#include "stream/sql_stream_input_format.h"
+
+#include <chrono>
+#include <thread>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "common/status_macros.h"
+#include "stream/socket.h"
+#include "table/row_codec.h"
+
+namespace sqlink {
+
+namespace {
+
+/// Receives one split's row stream from its SQL worker, with optional §6
+/// recovery (reconnect + replay + skip) and fault injection.
+class StreamRecordReader final : public ml::RecordReader {
+ public:
+  StreamRecordReader(std::string coordinator_host, int coordinator_port,
+                     StreamSplitInfo split, StreamReaderOptions options,
+                     MetricsRegistry* metrics)
+      : coordinator_host_(std::move(coordinator_host)),
+        coordinator_port_(coordinator_port),
+        split_(std::move(split)),
+        options_(options),
+        metrics_(metrics) {}
+
+  Result<bool> Next(Row* out) override {
+    for (;;) {
+      if (done_) return false;
+      if (!connected_) {
+        const Status status = Connect(/*restart=*/delivered_ > 0);
+        if (!status.ok()) return status;
+      }
+      auto row = NextFromConnection(out);
+      if (row.ok()) {
+        if (!*row) {
+          done_ = true;
+          return false;
+        }
+        ++received_this_connection_;
+        // During a replay, skip rows that were already delivered before
+        // the failure.
+        if (received_this_connection_ <= skip_) continue;
+        ++delivered_;
+        // Fault injection: drop the connection once, mid-stream.
+        if (options_.fail_split == split_.split_id && !failure_injected_ &&
+            delivered_ >= options_.fail_after_rows &&
+            options_.fail_after_rows > 0) {
+          failure_injected_ = true;
+          socket_.Close();
+          connected_ = false;
+          // The injected failure hits *after* this row was delivered; the
+          // replay must skip it too.
+          const Status status = HandleFailure(
+              Status::NetworkError("injected connection failure"));
+          if (!status.ok()) return status;
+          return true;  // This row itself was delivered fine.
+        }
+        return true;
+      }
+      RETURN_IF_ERROR(HandleFailure(row.status()));
+    }
+  }
+
+ private:
+  /// Resolves the SQL endpoint (via the coordinator on reconnects) and
+  /// performs the HELLO/SCHEMA handshake.
+  Status Connect(bool restart) {
+    std::string host = split_.host;
+    int port = split_.port;
+    if (restart) {
+      // §6: report the failure; the coordinator answers with the endpoint
+      // of the (restarted) SQL worker to resume from.
+      ASSIGN_OR_RETURN(TcpSocket control,
+                       TcpConnect(coordinator_host_, coordinator_port_));
+      RegisterMlMessage report;
+      report.split_id = split_.split_id;
+      RETURN_IF_ERROR(SendFrame(&control, FrameType::kReportFailure,
+                                report.Encode()));
+      ASSIGN_OR_RETURN(Frame match_frame, RecvFrame(&control));
+      if (match_frame.type != FrameType::kMatch) {
+        return Status::NetworkError("coordinator failed to re-match: " +
+                                    match_frame.payload);
+      }
+      ASSIGN_OR_RETURN(MatchMessage match,
+                       MatchMessage::Decode(match_frame.payload));
+      host = match.host;
+      port = match.port;
+      if (metrics_ != nullptr) metrics_->Increment("stream.reconnects");
+    }
+    ASSIGN_OR_RETURN(socket_, TcpConnect(host, port));
+    HelloMessage hello;
+    hello.split_id = split_.split_id;
+    hello.restart = restart;
+    RETURN_IF_ERROR(SendFrame(&socket_, FrameType::kHello, hello.Encode()));
+    ASSIGN_OR_RETURN(Frame schema_frame, RecvFrame(&socket_));
+    if (schema_frame.type != FrameType::kSchema) {
+      return Status::NetworkError("expected schema frame");
+    }
+    connected_ = true;
+    received_this_connection_ = 0;
+    skip_ = restart ? delivered_ : 0;
+    batch_.clear();
+    batch_index_ = 0;
+    return Status::OK();
+  }
+
+  /// Next row from the live connection; false at clean end-of-stream.
+  Result<bool> NextFromConnection(Row* out) {
+    for (;;) {
+      if (batch_index_ < batch_.size()) {
+        *out = std::move(batch_[batch_index_++]);
+        return true;
+      }
+      ASSIGN_OR_RETURN(Frame frame, RecvFrame(&socket_));
+      switch (frame.type) {
+        case FrameType::kData: {
+          Decoder decoder(frame.payload);
+          ASSIGN_OR_RETURN(uint64_t count, decoder.GetVarint64());
+          batch_.clear();
+          batch_.reserve(count);
+          for (uint64_t i = 0; i < count; ++i) {
+            ASSIGN_OR_RETURN(Row row, RowCodec::Decode(&decoder));
+            batch_.push_back(std::move(row));
+          }
+          batch_index_ = 0;
+          if (metrics_ != nullptr) {
+            metrics_->Add("stream.bytes_received",
+                          static_cast<int64_t>(frame.payload.size()));
+          }
+          if (options_.consume_delay_micros_per_frame > 0) {
+            std::this_thread::sleep_for(std::chrono::microseconds(
+                options_.consume_delay_micros_per_frame));
+          }
+          break;
+        }
+        case FrameType::kEnd: {
+          Decoder decoder(frame.payload);
+          ASSIGN_OR_RETURN(uint64_t expected, decoder.GetVarint64());
+          if (expected != received_this_connection_) {
+            return Status::DataLoss(
+                "stream row count mismatch: got " +
+                std::to_string(received_this_connection_) + ", sender sent " +
+                std::to_string(expected));
+          }
+          // Confirm completion so the sender may release its retained
+          // state; a sender tears down only after this acknowledgement.
+          RETURN_IF_ERROR(SendFrame(&socket_, FrameType::kAck, ""));
+          return false;
+        }
+        case FrameType::kError:
+          return Status::Aborted("SQL worker failed: " + frame.payload);
+        default:
+          return Status::NetworkError("unexpected data frame type");
+      }
+    }
+  }
+
+  Status HandleFailure(const Status& cause) {
+    socket_.Close();
+    connected_ = false;
+    if (!options_.recovery_enabled || reconnects_ >= options_.max_reconnects) {
+      return cause;
+    }
+    ++reconnects_;
+    LOG_WARNING() << "stream split " << split_.split_id
+                  << " transfer failed (" << cause.message()
+                  << "), attempting recovery " << reconnects_;
+    return Status::OK();
+  }
+
+  std::string coordinator_host_;
+  int coordinator_port_;
+  StreamSplitInfo split_;
+  StreamReaderOptions options_;
+  MetricsRegistry* metrics_;
+
+  TcpSocket socket_;
+  bool connected_ = false;
+  bool done_ = false;
+  std::vector<Row> batch_;
+  size_t batch_index_ = 0;
+  uint64_t received_this_connection_ = 0;  // Rows pulled on this socket.
+  uint64_t skip_ = 0;                      // Replay rows to discard.
+  uint64_t delivered_ = 0;                 // Rows handed to the ML job.
+  int reconnects_ = 0;
+  bool failure_injected_ = false;
+};
+
+}  // namespace
+
+SqlStreamInputFormat::SqlStreamInputFormat(std::string coordinator_host,
+                                           int coordinator_port,
+                                           StreamReaderOptions options)
+    : coordinator_host_(std::move(coordinator_host)),
+      coordinator_port_(coordinator_port),
+      options_(options) {}
+
+Result<std::vector<ml::InputSplitPtr>> SqlStreamInputFormat::GetSplits(
+    const ml::JobContext& context) {
+  (void)context;
+  // Step 3: the customized getInputSplits contacts the coordinator.
+  ASSIGN_OR_RETURN(TcpSocket control,
+                   TcpConnect(coordinator_host_, coordinator_port_));
+  RETURN_IF_ERROR(SendFrame(&control, FrameType::kGetSplits, ""));
+  ASSIGN_OR_RETURN(Frame frame, RecvFrame(&control));
+  if (frame.type != FrameType::kSplits) {
+    return Status::NetworkError("coordinator did not return splits: " +
+                                frame.payload);
+  }
+  ASSIGN_OR_RETURN(SplitsMessage msg, SplitsMessage::Decode(frame.payload));
+  schema_ = msg.schema;
+  std::vector<ml::InputSplitPtr> splits;
+  splits.reserve(msg.splits.size());
+  for (StreamSplitInfo& info : msg.splits) {
+    splits.push_back(std::make_shared<StreamSplit>(std::move(info)));
+  }
+  return splits;
+}
+
+Result<std::unique_ptr<ml::RecordReader>> SqlStreamInputFormat::CreateReader(
+    const ml::JobContext& context, const ml::InputSplit& split,
+    int worker_id) {
+  (void)worker_id;
+  const auto* stream_split = dynamic_cast<const StreamSplit*>(&split);
+  if (stream_split == nullptr) {
+    return Status::InvalidArgument("SqlStreamInputFormat needs a StreamSplit");
+  }
+  return std::unique_ptr<ml::RecordReader>(new StreamRecordReader(
+      coordinator_host_, coordinator_port_, stream_split->info(), options_,
+      context.metrics));
+}
+
+}  // namespace sqlink

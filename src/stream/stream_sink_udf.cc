@@ -1,0 +1,414 @@
+#include "stream/stream_sink_udf.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "common/blocking_queue.h"
+#include "common/coding.h"
+#include "common/fs_util.h"
+#include "common/logging.h"
+#include "common/status_macros.h"
+#include "stream/spill_queue.h"
+#include "stream/wire.h"
+#include "table/row_codec.h"
+
+namespace sqlink {
+
+namespace {
+
+/// Encodes batches of rows into kData frame payloads:
+/// varint row count + concatenated encoded rows.
+class FrameBatcher {
+ public:
+  void Add(const Row& row) {
+    ++count_;
+    RowCodec::Encode(row, &body_);
+  }
+
+  bool empty() const { return count_ == 0; }
+  size_t bytes() const { return body_.size(); }
+
+  std::string Flush() {
+    std::string payload;
+    PutVarint64(&payload, count_);
+    payload += body_;
+    count_ = 0;
+    body_.clear();
+    return payload;
+  }
+
+ private:
+  uint64_t count_ = 0;
+  std::string body_;
+};
+
+/// Waits for the receiver's final kAck: a transfer only counts as complete
+/// once the ML worker confirms it consumed everything. Without this, a
+/// sender could tear down while the receiver still fails, leaving no
+/// endpoint for the §6 reconnect.
+Status AwaitAck(TcpSocket* socket) {
+  ASSIGN_OR_RETURN(Frame ack, RecvFrame(socket));
+  if (ack.type != FrameType::kAck) {
+    return Status::NetworkError("receiver did not acknowledge transfer");
+  }
+  return Status::OK();
+}
+
+/// Serves one already-encoded frame sequence (schema + data + end + ack) to
+/// a socket.
+Status ServeFrames(TcpSocket* socket, const Schema& schema,
+                   const std::vector<std::string>& frames, uint64_t rows) {
+  std::string schema_payload;
+  EncodeSchema(schema, &schema_payload);
+  RETURN_IF_ERROR(SendFrame(socket, FrameType::kSchema, schema_payload));
+  for (const std::string& frame : frames) {
+    RETURN_IF_ERROR(SendFrame(socket, FrameType::kData, frame));
+  }
+  std::string end_payload;
+  PutVarint64(&end_payload, rows);
+  RETURN_IF_ERROR(SendFrame(socket, FrameType::kEnd, end_payload));
+  return AwaitAck(socket);
+}
+
+}  // namespace
+
+Result<StreamSinkOptions> StreamSinkOptions::FromArgs(
+    const std::vector<Value>& args, size_t first) {
+  StreamSinkOptions options;
+  if (args.size() > first && !args[first].is_null()) {
+    if (!args[first].is_int64() || args[first].int64_value() <= 0) {
+      return Status::InvalidArgument("buffer size must be a positive integer");
+    }
+    options.send_buffer_bytes = static_cast<size_t>(args[first].int64_value());
+  }
+  if (args.size() > first + 1) {
+    if (!args[first + 1].is_int64()) {
+      return Status::InvalidArgument("spill flag must be 0 or 1");
+    }
+    options.spill_enabled = args[first + 1].int64_value() != 0;
+  }
+  if (args.size() > first + 2) {
+    if (!args[first + 2].is_int64()) {
+      return Status::InvalidArgument("resilient flag must be 0 or 1");
+    }
+    options.resilient = args[first + 2].int64_value() != 0;
+  }
+  if (args.size() > first + 3) {
+    if (!args[first + 3].is_int64() || args[first + 3].int64_value() <= 0) {
+      return Status::InvalidArgument("reconnect timeout must be positive");
+    }
+    options.reconnect_timeout_ms =
+        static_cast<int>(args[first + 3].int64_value());
+  }
+  return options;
+}
+
+SchemaPtr SqlStreamSinkUdf::SummarySchema() {
+  return Schema::Make({{"worker", DataType::kInt64},
+                       {"rows_sent", DataType::kInt64},
+                       {"bytes_sent", DataType::kInt64},
+                       {"spilled_frames", DataType::kInt64}});
+}
+
+Result<SchemaPtr> SqlStreamSinkUdf::Bind(const SchemaPtr& input_schema,
+                                         const std::vector<Value>& args) {
+  if (input_schema == nullptr) {
+    return Status::InvalidArgument("sql_stream_sink needs an input relation");
+  }
+  if (args.size() < 3 || !args[0].is_string() || !args[1].is_int64() ||
+      !args[2].is_string()) {
+    return Status::InvalidArgument(
+        "sql_stream_sink(query, host, port, command[, buffer, spill, "
+        "resilient])");
+  }
+  coordinator_host_ = args[0].string_value();
+  coordinator_port_ = static_cast<int>(args[1].int64_value());
+  command_ = args[2].string_value();
+  ASSIGN_OR_RETURN(options_, StreamSinkOptions::FromArgs(args, 3));
+  input_schema_ = input_schema;
+  return SummarySchema();
+}
+
+Status SqlStreamSinkUdf::ProcessPartition(const TableUdfContext& context,
+                                          RowIterator* input,
+                                          RowSink* output) {
+  // --- Step 1: open the data port and register with the coordinator. ---
+  ASSIGN_OR_RETURN(TcpListener listener, TcpListener::Listen(0));
+  const std::string my_host =
+      context.cluster != nullptr ? context.cluster->HostName(context.worker_id)
+                                 : "localhost";
+
+  RegisterSqlMessage registration;
+  registration.worker_id = context.worker_id;
+  registration.num_workers = context.num_workers;
+  registration.host = my_host;
+  registration.port = listener.port();
+  registration.command = command_;
+  registration.schema = input_schema_;
+  int k = 1;
+  {
+    ASSIGN_OR_RETURN(TcpSocket control,
+                     TcpConnect(coordinator_host_, coordinator_port_));
+    RETURN_IF_ERROR(SendFrame(&control, FrameType::kRegisterSql,
+                              registration.Encode()));
+    ASSIGN_OR_RETURN(Frame ack, RecvFrame(&control));
+    if (ack.type != FrameType::kAck) {
+      return Status::NetworkError("coordinator rejected registration: " +
+                                  ack.payload);
+    }
+    Decoder decoder(ack.payload);
+    ASSIGN_OR_RETURN(uint64_t splits_per_worker, decoder.GetVarint64());
+    k = static_cast<int>(splits_per_worker);
+  }
+
+  // --- Step 7: a router thread accepts data connections and hands each to
+  // its slot by HELLO split id (slot = split_id mod k within this worker's
+  // group). Reconnects (§6 restarts) arrive the same way. ---
+  struct Inbound {
+    std::shared_ptr<TcpSocket> socket;
+    bool restart = false;
+  };
+  std::vector<std::unique_ptr<BlockingQueue<Inbound>>> inboxes;
+  for (int j = 0; j < k; ++j) {
+    inboxes.push_back(std::make_unique<BlockingQueue<Inbound>>(4));
+  }
+  std::atomic<bool> router_stop{false};
+  std::thread router([&] {
+    while (!router_stop.load()) {
+      auto socket = listener.Accept();
+      if (!socket.ok()) return;  // Listener closed.
+      auto shared = std::make_shared<TcpSocket>(std::move(*socket));
+      auto hello_frame = RecvFrame(shared.get());
+      if (!hello_frame.ok() || hello_frame->type != FrameType::kHello) {
+        continue;
+      }
+      auto hello = HelloMessage::Decode(hello_frame->payload);
+      if (!hello.ok()) continue;
+      const int slot = hello->split_id % k;
+      if (slot < 0 || slot >= k) continue;
+      inboxes[static_cast<size_t>(slot)]->Push(
+          Inbound{std::move(shared), hello->restart});
+    }
+  });
+  // Always unwind the router on exit.
+  struct RouterGuard {
+    TcpListener* listener;
+    std::atomic<bool>* stop;
+    std::thread* router;
+    std::vector<std::unique_ptr<BlockingQueue<Inbound>>>* inboxes;
+    ~RouterGuard() {
+      stop->store(true);
+      listener->Close();
+      if (router->joinable()) router->join();
+      for (auto& inbox : *inboxes) inbox->Close();
+    }
+  } router_guard{&listener, &router_stop, &router, &inboxes};
+
+  const std::string scratch_dir =
+      context.cluster != nullptr
+          ? context.cluster->NodeLocalDir(context.worker_id)
+          : "/tmp";
+  int64_t rows_sent = 0;
+  int64_t bytes_sent = 0;
+  int64_t spilled_frames = 0;
+
+  if (!options_.resilient) {
+    // --- Pipelined mode (step 8): round-robin rows into per-target send
+    // buffers while sender threads drain them onto the sockets. ---
+    std::vector<std::unique_ptr<SpillingByteQueue>> queues;
+    for (int j = 0; j < k; ++j) {
+      SpillingByteQueue::Options queue_options;
+      queue_options.memory_capacity_bytes = options_.send_buffer_bytes;
+      queue_options.spill_enabled = options_.spill_enabled;
+      queue_options.spill_path = scratch_dir + "/stream_spill_w" +
+                                 std::to_string(context.worker_id) + "_t" +
+                                 std::to_string(j);
+      queues.push_back(std::make_unique<SpillingByteQueue>(queue_options));
+    }
+
+    std::vector<std::thread> senders;
+    std::vector<Status> sender_status(static_cast<size_t>(k));
+    std::vector<uint64_t> sender_rows(static_cast<size_t>(k), 0);
+    for (int j = 0; j < k; ++j) {
+      senders.emplace_back([&, j] {
+        auto run = [&]() -> Status {
+          // Bounded wait: if the ML job died before dialing in, surface an
+          // error instead of blocking the SQL pipeline forever.
+          bool timed_out = false;
+          std::optional<Inbound> conn =
+              inboxes[static_cast<size_t>(j)]->PopFor(
+                  std::chrono::milliseconds(options_.reconnect_timeout_ms),
+                  &timed_out);
+          if (timed_out) {
+            return Status::Unavailable("timed out waiting for ML worker");
+          }
+          if (!conn.has_value()) {
+            return Status::Cancelled("no ML worker connected");
+          }
+          TcpSocket* socket = conn->socket.get();
+          std::string schema_payload;
+          EncodeSchema(*input_schema_, &schema_payload);
+          RETURN_IF_ERROR(
+              SendFrame(socket, FrameType::kSchema, schema_payload));
+          for (;;) {
+            ASSIGN_OR_RETURN(std::optional<std::string> frame,
+                             queues[static_cast<size_t>(j)]->Pop());
+            if (!frame.has_value()) break;
+            RETURN_IF_ERROR(SendFrame(socket, FrameType::kData, *frame));
+          }
+          std::string end_payload;
+          PutVarint64(&end_payload, sender_rows[static_cast<size_t>(j)]);
+          RETURN_IF_ERROR(SendFrame(socket, FrameType::kEnd, end_payload));
+          return AwaitAck(socket);
+        };
+        sender_status[static_cast<size_t>(j)] = run();
+        if (!sender_status[static_cast<size_t>(j)].ok()) {
+          // Unblock the producer (§6: without resilience the whole
+          // pipeline restarts, so fail fast).
+          queues[static_cast<size_t>(j)]->Cancel();
+        }
+      });
+    }
+
+    std::vector<FrameBatcher> batchers(static_cast<size_t>(k));
+    Status produce_status;
+    Row row;
+    size_t next_target = 0;
+    for (;;) {
+      auto has = input->Next(&row);
+      if (!has.ok()) {
+        produce_status = has.status();
+        break;
+      }
+      if (!*has) break;
+      FrameBatcher& batch = batchers[next_target];
+      batch.Add(row);
+      ++sender_rows[next_target];
+      ++rows_sent;
+      if (batch.bytes() >= options_.send_buffer_bytes) {
+        std::string frame = batch.Flush();
+        bytes_sent += static_cast<int64_t>(frame.size());
+        produce_status =
+            queues[next_target]->Push(std::move(frame));
+        if (!produce_status.ok()) break;
+      }
+      next_target = (next_target + 1) % static_cast<size_t>(k);
+    }
+    if (produce_status.ok()) {
+      for (size_t j = 0; j < batchers.size(); ++j) {
+        if (batchers[j].empty()) continue;
+        std::string frame = batchers[j].Flush();
+        bytes_sent += static_cast<int64_t>(frame.size());
+        produce_status = queues[j]->Push(std::move(frame));
+        if (!produce_status.ok()) break;
+      }
+    }
+    for (auto& queue : queues) {
+      if (produce_status.ok()) {
+        queue->CloseProducer();
+      } else {
+        queue->Cancel();
+      }
+    }
+    for (std::thread& sender : senders) sender.join();
+    for (auto& queue : queues) spilled_frames += queue->spilled_frames();
+    RETURN_IF_ERROR(produce_status);
+    for (const Status& status : sender_status) {
+      RETURN_IF_ERROR(status);
+    }
+  } else {
+    // --- Resilient mode (§6): persist each target's frames to a retained
+    // node-local log first, then serve; a reconnecting ML worker replays
+    // deterministically from the log. ---
+    std::vector<std::vector<std::string>> logs(static_cast<size_t>(k));
+    std::vector<uint64_t> log_rows(static_cast<size_t>(k), 0);
+    std::vector<FrameBatcher> batchers(static_cast<size_t>(k));
+    Row row;
+    size_t next_target = 0;
+    for (;;) {
+      ASSIGN_OR_RETURN(bool has, input->Next(&row));
+      if (!has) break;
+      FrameBatcher& batch = batchers[next_target];
+      batch.Add(row);
+      ++log_rows[next_target];
+      ++rows_sent;
+      if (batch.bytes() >= options_.send_buffer_bytes) {
+        logs[next_target].push_back(batch.Flush());
+      }
+      next_target = (next_target + 1) % static_cast<size_t>(k);
+    }
+    for (size_t j = 0; j < batchers.size(); ++j) {
+      if (!batchers[j].empty()) logs[j].push_back(batchers[j].Flush());
+    }
+    // Persist the retained logs to node-local disk (the durability §6
+    // requires to survive an ML-side restart).
+    for (size_t j = 0; j < logs.size(); ++j) {
+      std::string file;
+      for (const std::string& frame : logs[j]) {
+        PutFixed32(&file, static_cast<uint32_t>(frame.size()));
+        file += frame;
+      }
+      RETURN_IF_ERROR(WriteFileAtomic(
+          scratch_dir + "/retained_w" + std::to_string(context.worker_id) +
+              "_t" + std::to_string(j),
+          file));
+    }
+
+    std::vector<std::thread> senders;
+    std::vector<Status> sender_status(static_cast<size_t>(k));
+    std::vector<int64_t> sender_bytes(static_cast<size_t>(k), 0);
+    for (int j = 0; j < k; ++j) {
+      senders.emplace_back([&, j] {
+        auto serve_once = [&](TcpSocket* socket) -> Status {
+          for (const std::string& frame : logs[static_cast<size_t>(j)]) {
+            sender_bytes[static_cast<size_t>(j)] +=
+                static_cast<int64_t>(frame.size());
+          }
+          return ServeFrames(socket, *input_schema_,
+                             logs[static_cast<size_t>(j)],
+                             log_rows[static_cast<size_t>(j)]);
+        };
+        Status status = Status::Cancelled("no ML worker connected");
+        // Serve until a transfer completes; each reconnect replays fully.
+        // A bounded wait turns a dead ML job into an error, not a hang.
+        for (;;) {
+          bool timed_out = false;
+          std::optional<Inbound> conn =
+              inboxes[static_cast<size_t>(j)]->PopFor(
+                  std::chrono::milliseconds(options_.reconnect_timeout_ms),
+                  &timed_out);
+          if (timed_out) {
+            status = Status::Unavailable(
+                "timed out waiting for ML worker (re)connection");
+            break;
+          }
+          if (!conn.has_value()) break;  // Shut down.
+          status = serve_once(conn->socket.get());
+          if (status.ok()) break;
+          LOG_WARNING() << "stream sink worker " << context.worker_id
+                        << " target " << j
+                        << " transfer failed, awaiting reconnect: " << status;
+        }
+        sender_status[static_cast<size_t>(j)] = status;
+      });
+    }
+    for (std::thread& sender : senders) sender.join();
+    for (int64_t b : sender_bytes) bytes_sent += b;
+    for (const Status& status : sender_status) {
+      RETURN_IF_ERROR(status);
+    }
+  }
+
+  return output->Push(Row{Value::Int64(context.worker_id),
+                          Value::Int64(rows_sent), Value::Int64(bytes_sent),
+                          Value::Int64(spilled_frames)});
+}
+
+Status RegisterStreamSinkUdf(SqlEngine* engine) {
+  if (engine->table_udfs()->Contains("sql_stream_sink")) return Status::OK();
+  return engine->table_udfs()->Register(
+      "sql_stream_sink", [] { return std::make_shared<SqlStreamSinkUdf>(); });
+}
+
+}  // namespace sqlink

@@ -1,0 +1,89 @@
+#include "stream/streaming_transfer.h"
+
+#include <future>
+
+#include "common/status_macros.h"
+#include "stream/coordinator.h"
+
+namespace sqlink {
+
+std::string StreamingTransfer::BuildSinkSql(const std::string& query_sql,
+                                            const std::string& coordinator_host,
+                                            int coordinator_port,
+                                            const std::string& command,
+                                            const StreamSinkOptions& sink) {
+  return "SELECT * FROM TABLE(sql_stream_sink((" + query_sql + "), '" +
+         coordinator_host + "', " + std::to_string(coordinator_port) + ", '" +
+         command + "', " + std::to_string(sink.send_buffer_bytes) + ", " +
+         (sink.spill_enabled ? "1" : "0") + ", " +
+         (sink.resilient ? "1" : "0") + ", " +
+         std::to_string(sink.reconnect_timeout_ms) + "))";
+}
+
+Result<StreamTransferResult> StreamingTransfer::Run(
+    SqlEngine* engine, const std::string& query_sql,
+    const StreamTransferOptions& options) {
+  RETURN_IF_ERROR(RegisterStreamSinkUdf(engine));
+
+  // The coordinator launches the ML ingestion when all SQL workers have
+  // registered (paper step 2). The launcher runs on the coordinator's
+  // launcher thread and fulfills the promise.
+  std::promise<Result<ml::IngestResult>> ml_promise;
+  std::future<Result<ml::IngestResult>> ml_future = ml_promise.get_future();
+
+  StreamCoordinator::Options coordinator_options;
+  coordinator_options.splits_per_worker = options.splits_per_worker;
+  int coordinator_port = 0;  // Set below; captured by reference is unsafe,
+                             // so capture a pointer to a stable location.
+  auto port_holder = std::make_shared<int>(0);
+  coordinator_options.ml_launcher =
+      [engine, port_holder, reader_options = options.reader, &ml_promise](
+          const std::string& command, const std::vector<std::string>& args) {
+        (void)command;
+        (void)args;
+        ml::JobContext context;
+        context.cluster = engine->cluster();
+        context.metrics = engine->metrics();
+        SqlStreamInputFormat format("localhost", *port_holder, reader_options);
+        ml::MlJobRunner runner(context);
+        ml_promise.set_value(runner.Ingest(&format));
+      };
+
+  ASSIGN_OR_RETURN(std::unique_ptr<StreamCoordinator> coordinator,
+                   StreamCoordinator::Start(std::move(coordinator_options)));
+  *port_holder = coordinator->port();
+  coordinator_port = coordinator->port();
+
+  const std::string sink_sql =
+      BuildSinkSql(query_sql, coordinator->host(), coordinator_port,
+                   options.command, options.sink);
+  auto sql_result = engine->ExecuteSql(sink_sql, "stream_summary");
+
+  Result<StreamTransferResult> outcome = [&]() -> Result<StreamTransferResult> {
+    if (!sql_result.ok()) {
+      // If the failure happened before every worker registered, the ML job
+      // was never launched and the future will never be fulfilled.
+      if (ml_future.wait_for(std::chrono::seconds(0)) !=
+          std::future_status::ready) {
+        return sql_result.status();
+      }
+      (void)ml_future.get();
+      return sql_result.status();
+    }
+    ASSIGN_OR_RETURN(ml::IngestResult ingest, ml_future.get());
+    StreamTransferResult result;
+    result.dataset = std::move(ingest.dataset);
+    result.stats = ingest.stats;
+    for (const Row& row : (*sql_result)->GatherRows()) {
+      result.rows_sent += row[1].int64_value();
+      result.bytes_sent += row[2].int64_value();
+      result.spilled_frames += row[3].int64_value();
+    }
+    return result;
+  }();
+
+  coordinator->Stop();
+  return outcome;
+}
+
+}  // namespace sqlink

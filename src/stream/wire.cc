@@ -1,0 +1,170 @@
+#include "stream/wire.h"
+
+#include "common/status_macros.h"
+
+namespace sqlink {
+
+Status SendFrame(TcpSocket* socket, FrameType type, std::string_view payload) {
+  std::string buffer;
+  buffer.reserve(5 + payload.size());
+  PutFixed32(&buffer, static_cast<uint32_t>(payload.size()));
+  buffer.push_back(static_cast<char>(type));
+  buffer.append(payload);
+  return socket->SendAll(buffer);
+}
+
+Result<Frame> RecvFrame(TcpSocket* socket) {
+  std::string header;
+  RETURN_IF_ERROR(socket->RecvExactly(5, &header));
+  Decoder decoder(header);
+  ASSIGN_OR_RETURN(uint32_t length, decoder.GetFixed32());
+  ASSIGN_OR_RETURN(uint8_t type, decoder.GetByte());
+  Frame frame;
+  frame.type = static_cast<FrameType>(type);
+  if (length > 0) {
+    RETURN_IF_ERROR(socket->RecvExactly(length, &frame.payload));
+  }
+  return frame;
+}
+
+void EncodeSchema(const Schema& schema, std::string* out) {
+  PutVarint64(out, static_cast<uint64_t>(schema.num_fields()));
+  for (const Field& field : schema.fields()) {
+    PutLengthPrefixed(out, field.name);
+    out->push_back(static_cast<char>(field.type));
+  }
+}
+
+Result<SchemaPtr> DecodeSchema(Decoder* decoder) {
+  ASSIGN_OR_RETURN(uint64_t count, decoder->GetVarint64());
+  std::vector<Field> fields;
+  fields.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    ASSIGN_OR_RETURN(std::string_view name, decoder->GetLengthPrefixed());
+    ASSIGN_OR_RETURN(uint8_t type, decoder->GetByte());
+    if (type > static_cast<uint8_t>(DataType::kString)) {
+      return Status::DataLoss("bad data type in schema");
+    }
+    fields.push_back(Field{std::string(name), static_cast<DataType>(type)});
+  }
+  return Schema::Make(std::move(fields));
+}
+
+std::string RegisterSqlMessage::Encode() const {
+  std::string out;
+  PutVarint64Signed(&out, worker_id);
+  PutVarint64Signed(&out, num_workers);
+  PutLengthPrefixed(&out, host);
+  PutVarint64Signed(&out, port);
+  PutLengthPrefixed(&out, command);
+  PutVarint64(&out, args.size());
+  for (const std::string& arg : args) PutLengthPrefixed(&out, arg);
+  EncodeSchema(*schema, &out);
+  return out;
+}
+
+Result<RegisterSqlMessage> RegisterSqlMessage::Decode(
+    std::string_view payload) {
+  Decoder decoder(payload);
+  RegisterSqlMessage msg;
+  ASSIGN_OR_RETURN(int64_t worker, decoder.GetVarint64Signed());
+  msg.worker_id = static_cast<int>(worker);
+  ASSIGN_OR_RETURN(int64_t total, decoder.GetVarint64Signed());
+  msg.num_workers = static_cast<int>(total);
+  ASSIGN_OR_RETURN(std::string_view host, decoder.GetLengthPrefixed());
+  msg.host = std::string(host);
+  ASSIGN_OR_RETURN(int64_t port, decoder.GetVarint64Signed());
+  msg.port = static_cast<int>(port);
+  ASSIGN_OR_RETURN(std::string_view command, decoder.GetLengthPrefixed());
+  msg.command = std::string(command);
+  ASSIGN_OR_RETURN(uint64_t num_args, decoder.GetVarint64());
+  for (uint64_t i = 0; i < num_args; ++i) {
+    ASSIGN_OR_RETURN(std::string_view arg, decoder.GetLengthPrefixed());
+    msg.args.push_back(std::string(arg));
+  }
+  ASSIGN_OR_RETURN(msg.schema, DecodeSchema(&decoder));
+  return msg;
+}
+
+std::string SplitsMessage::Encode() const {
+  std::string out;
+  EncodeSchema(*schema, &out);
+  PutVarint64(&out, splits.size());
+  for (const StreamSplitInfo& split : splits) {
+    PutVarint64Signed(&out, split.split_id);
+    PutVarint64Signed(&out, split.sql_worker);
+    PutLengthPrefixed(&out, split.host);
+    PutVarint64Signed(&out, split.port);
+  }
+  return out;
+}
+
+Result<SplitsMessage> SplitsMessage::Decode(std::string_view payload) {
+  Decoder decoder(payload);
+  SplitsMessage msg;
+  ASSIGN_OR_RETURN(msg.schema, DecodeSchema(&decoder));
+  ASSIGN_OR_RETURN(uint64_t count, decoder.GetVarint64());
+  for (uint64_t i = 0; i < count; ++i) {
+    StreamSplitInfo split;
+    ASSIGN_OR_RETURN(int64_t id, decoder.GetVarint64Signed());
+    split.split_id = static_cast<int>(id);
+    ASSIGN_OR_RETURN(int64_t worker, decoder.GetVarint64Signed());
+    split.sql_worker = static_cast<int>(worker);
+    ASSIGN_OR_RETURN(std::string_view host, decoder.GetLengthPrefixed());
+    split.host = std::string(host);
+    ASSIGN_OR_RETURN(int64_t port, decoder.GetVarint64Signed());
+    split.port = static_cast<int>(port);
+    msg.splits.push_back(std::move(split));
+  }
+  return msg;
+}
+
+std::string RegisterMlMessage::Encode() const {
+  std::string out;
+  PutVarint64Signed(&out, split_id);
+  return out;
+}
+
+Result<RegisterMlMessage> RegisterMlMessage::Decode(std::string_view payload) {
+  Decoder decoder(payload);
+  RegisterMlMessage msg;
+  ASSIGN_OR_RETURN(int64_t id, decoder.GetVarint64Signed());
+  msg.split_id = static_cast<int>(id);
+  return msg;
+}
+
+std::string MatchMessage::Encode() const {
+  std::string out;
+  PutLengthPrefixed(&out, host);
+  PutVarint64Signed(&out, port);
+  return out;
+}
+
+Result<MatchMessage> MatchMessage::Decode(std::string_view payload) {
+  Decoder decoder(payload);
+  MatchMessage msg;
+  ASSIGN_OR_RETURN(std::string_view host, decoder.GetLengthPrefixed());
+  msg.host = std::string(host);
+  ASSIGN_OR_RETURN(int64_t port, decoder.GetVarint64Signed());
+  msg.port = static_cast<int>(port);
+  return msg;
+}
+
+std::string HelloMessage::Encode() const {
+  std::string out;
+  PutVarint64Signed(&out, split_id);
+  out.push_back(restart ? 1 : 0);
+  return out;
+}
+
+Result<HelloMessage> HelloMessage::Decode(std::string_view payload) {
+  Decoder decoder(payload);
+  HelloMessage msg;
+  ASSIGN_OR_RETURN(int64_t id, decoder.GetVarint64Signed());
+  msg.split_id = static_cast<int>(id);
+  ASSIGN_OR_RETURN(uint8_t restart, decoder.GetByte());
+  msg.restart = restart != 0;
+  return msg;
+}
+
+}  // namespace sqlink

@@ -1,0 +1,112 @@
+#ifndef SQLINK_STREAM_WIRE_H_
+#define SQLINK_STREAM_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/coding.h"
+#include "common/result.h"
+#include "stream/socket.h"
+#include "table/schema.h"
+
+namespace sqlink {
+
+/// Frame types of the streaming-transfer protocol. Control frames run
+/// between participants and the coordinator; data frames flow on the
+/// SQL-worker → ML-worker sockets.
+enum class FrameType : uint8_t {
+  // Data plane.
+  kSchema = 1,  ///< First frame on a data socket: the row schema.
+  kData = 2,    ///< A batch of encoded rows.
+  kEnd = 3,     ///< Sender finished; payload = total row count (varint).
+  kError = 4,   ///< Sender failed; payload = message.
+  kHello = 5,   ///< Receiver's opening frame: split id + restart flag.
+
+  // Control plane (coordinator).
+  kRegisterSql = 10,
+  kGetSplits = 11,
+  kSplits = 12,
+  kRegisterMl = 13,
+  kMatch = 14,
+  kReportFailure = 15,
+  kAck = 16,
+  kShutdown = 17,
+};
+
+struct Frame {
+  FrameType type = FrameType::kAck;
+  std::string payload;
+};
+
+/// Wire format: fixed32 payload length, one type byte, payload bytes.
+Status SendFrame(TcpSocket* socket, FrameType type, std::string_view payload);
+Result<Frame> RecvFrame(TcpSocket* socket);
+
+/// Schema serialization for the kSchema frame and control messages.
+void EncodeSchema(const Schema& schema, std::string* out);
+Result<SchemaPtr> DecodeSchema(Decoder* decoder);
+
+// --- Control-plane messages -------------------------------------------------
+
+/// SQL worker registration (paper step 1): identity, the worker's data
+/// endpoint, the ML command to launch, and the schema of the streamed rows.
+struct RegisterSqlMessage {
+  int worker_id = 0;
+  int num_workers = 0;
+  std::string host;
+  int port = 0;
+  std::string command;
+  std::vector<std::string> args;
+  SchemaPtr schema;
+
+  std::string Encode() const;
+  static Result<RegisterSqlMessage> Decode(std::string_view payload);
+};
+
+/// One InputSplit descriptor handed to the ML job (paper step 3).
+struct StreamSplitInfo {
+  int split_id = 0;
+  int sql_worker = 0;
+  std::string host;  ///< SQL worker's host — the split's locality hint.
+  int port = 0;
+};
+
+/// Response to kGetSplits.
+struct SplitsMessage {
+  SchemaPtr schema;
+  std::vector<StreamSplitInfo> splits;
+
+  std::string Encode() const;
+  static Result<SplitsMessage> Decode(std::string_view payload);
+};
+
+/// ML worker registration (step 4) and failure reports (§6); the kMatch
+/// response carries the SQL endpoint to dial (steps 5-6).
+struct RegisterMlMessage {
+  int split_id = 0;
+
+  std::string Encode() const;
+  static Result<RegisterMlMessage> Decode(std::string_view payload);
+};
+
+struct MatchMessage {
+  std::string host;
+  int port = 0;
+
+  std::string Encode() const;
+  static Result<MatchMessage> Decode(std::string_view payload);
+};
+
+/// Data-plane opening frame from the ML worker.
+struct HelloMessage {
+  int split_id = 0;
+  bool restart = false;  ///< §6 recovery: replay from the retained log.
+
+  std::string Encode() const;
+  static Result<HelloMessage> Decode(std::string_view payload);
+};
+
+}  // namespace sqlink
+
+#endif  // SQLINK_STREAM_WIRE_H_

@@ -1,0 +1,119 @@
+#include "table/csv.h"
+
+namespace sqlink {
+
+namespace {
+
+bool NeedsQuoting(std::string_view text, char delimiter) {
+  for (char c : text) {
+    if (c == delimiter || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void CsvCodec::AppendField(std::string_view text, bool quote_empty,
+                           std::string* out) const {
+  if (text.empty()) {
+    if (quote_empty) *out += "\"\"";
+    return;
+  }
+  if (!NeedsQuoting(text, delimiter_)) {
+    out->append(text);
+    return;
+  }
+  out->push_back('"');
+  for (char c : text) {
+    if (c == '"') out->push_back('"');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+std::string CsvCodec::FormatRow(const Row& row) const {
+  std::string out;
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out.push_back(delimiter_);
+    const Value& v = row[i];
+    // Distinguish NULL (empty, unquoted) from empty string (quoted).
+    const bool quote_empty = v.is_string();
+    AppendField(v.ToString(), quote_empty && !v.is_null(), &out);
+  }
+  return out;
+}
+
+void CsvCodec::AppendRow(const Row& row, std::string* out) const {
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out->push_back(delimiter_);
+    const Value& v = row[i];
+    const bool quote_empty = v.is_string();
+    AppendField(v.ToString(), quote_empty && !v.is_null(), out);
+  }
+  out->push_back('\n');
+}
+
+Result<Row> CsvCodec::ParseRow(std::string_view line,
+                               const Schema& schema) const {
+  Row row;
+  row.reserve(static_cast<size_t>(schema.num_fields()));
+  size_t pos = 0;
+  int field_index = 0;
+  const size_t n = line.size();
+  while (field_index < schema.num_fields()) {
+    std::string field;
+    bool quoted = false;
+    if (pos < n && line[pos] == '"') {
+      quoted = true;
+      ++pos;
+      while (pos < n) {
+        if (line[pos] == '"') {
+          if (pos + 1 < n && line[pos + 1] == '"') {
+            field.push_back('"');
+            pos += 2;
+          } else {
+            ++pos;  // Closing quote.
+            break;
+          }
+        } else {
+          field.push_back(line[pos]);
+          ++pos;
+        }
+      }
+    } else {
+      const size_t next = line.find(delimiter_, pos);
+      const size_t end = (next == std::string_view::npos) ? n : next;
+      field.assign(line.substr(pos, end - pos));
+      pos = end;
+    }
+    // Consume the delimiter following this field, if any.
+    bool had_delimiter = false;
+    if (pos < n && line[pos] == delimiter_) {
+      ++pos;
+      had_delimiter = true;
+    }
+
+    const DataType type = schema.field(field_index).type;
+    if (field.empty() && quoted && type == DataType::kString) {
+      row.push_back(Value::String(""));
+    } else {
+      auto value = Value::Parse(field, type);
+      if (!value.ok()) {
+        return value.status().WithContext("field " +
+                                          schema.field(field_index).name);
+      }
+      row.push_back(std::move(*value));
+    }
+    ++field_index;
+    if (field_index < schema.num_fields() && !had_delimiter && pos >= n) {
+      return Status::ParseError("too few fields in line: " +
+                                std::string(line));
+    }
+  }
+  if (pos < n) {
+    return Status::ParseError("too many fields in line: " + std::string(line));
+  }
+  return row;
+}
+
+}  // namespace sqlink

@@ -1,0 +1,28 @@
+#ifndef SQLINK_TABLE_PRETTY_PRINT_H_
+#define SQLINK_TABLE_PRETTY_PRINT_H_
+
+#include <string>
+
+#include "table/table.h"
+
+namespace sqlink {
+
+struct PrettyPrintOptions {
+  size_t max_rows = 20;        ///< Rows shown before truncation.
+  size_t max_column_width = 32;
+};
+
+/// Renders a table as an aligned ASCII grid with a header, e.g.
+///
+///   +-----+--------+---------+
+///   | age | gender | amount  |
+///   +-----+--------+---------+
+///   |  57 | F      |  153.99 |
+///   ...
+///   (3570 rows)
+std::string PrettyPrintTable(const Table& table,
+                             const PrettyPrintOptions& options = {});
+
+}  // namespace sqlink
+
+#endif  // SQLINK_TABLE_PRETTY_PRINT_H_

@@ -1,0 +1,35 @@
+#ifndef SQLINK_TABLE_RECORD_BATCH_H_
+#define SQLINK_TABLE_RECORD_BATCH_H_
+
+#include <utility>
+#include <vector>
+
+#include "table/schema.h"
+#include "table/value.h"
+
+namespace sqlink {
+
+/// A schema plus a chunk of rows: the unit of data flowing between physical
+/// operators and over streaming channels.
+class RecordBatch {
+ public:
+  RecordBatch() = default;
+  RecordBatch(SchemaPtr schema, std::vector<Row> rows)
+      : schema_(std::move(schema)), rows_(std::move(rows)) {}
+
+  const SchemaPtr& schema() const { return schema_; }
+  const std::vector<Row>& rows() const { return rows_; }
+  std::vector<Row>& mutable_rows() { return rows_; }
+  size_t num_rows() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+
+  void Append(Row row) { rows_.push_back(std::move(row)); }
+
+ private:
+  SchemaPtr schema_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace sqlink
+
+#endif  // SQLINK_TABLE_RECORD_BATCH_H_

@@ -1,0 +1,98 @@
+#include "table/row_codec.h"
+
+namespace sqlink {
+
+namespace {
+constexpr unsigned char kTagNull = 0;
+constexpr unsigned char kTagBool = 1;
+constexpr unsigned char kTagInt64 = 2;
+constexpr unsigned char kTagDouble = 3;
+constexpr unsigned char kTagString = 4;
+}  // namespace
+
+void RowCodec::Encode(const Row& row, std::string* out) {
+  PutVarint64(out, row.size());
+  for (const Value& v : row) {
+    if (v.is_null()) {
+      out->push_back(static_cast<char>(kTagNull));
+    } else if (v.is_bool()) {
+      out->push_back(static_cast<char>(kTagBool));
+      out->push_back(v.bool_value() ? 1 : 0);
+    } else if (v.is_int64()) {
+      out->push_back(static_cast<char>(kTagInt64));
+      PutVarint64Signed(out, v.int64_value());
+    } else if (v.is_double()) {
+      out->push_back(static_cast<char>(kTagDouble));
+      PutDouble(out, v.double_value());
+    } else {
+      out->push_back(static_cast<char>(kTagString));
+      PutLengthPrefixed(out, v.string_value());
+    }
+  }
+}
+
+Result<Row> RowCodec::Decode(Decoder* decoder) {
+  auto count = decoder->GetVarint64();
+  if (!count.ok()) return count.status();
+  Row row;
+  row.reserve(*count);
+  for (uint64_t i = 0; i < *count; ++i) {
+    auto tag = decoder->GetByte();
+    if (!tag.ok()) return tag.status();
+    switch (*tag) {
+      case kTagNull:
+        row.push_back(Value::Null());
+        break;
+      case kTagBool: {
+        auto b = decoder->GetByte();
+        if (!b.ok()) return b.status();
+        row.push_back(Value::Bool(*b != 0));
+        break;
+      }
+      case kTagInt64: {
+        auto v = decoder->GetVarint64Signed();
+        if (!v.ok()) return v.status();
+        row.push_back(Value::Int64(*v));
+        break;
+      }
+      case kTagDouble: {
+        auto v = decoder->GetDouble();
+        if (!v.ok()) return v.status();
+        row.push_back(Value::Double(*v));
+        break;
+      }
+      case kTagString: {
+        auto v = decoder->GetLengthPrefixed();
+        if (!v.ok()) return v.status();
+        row.push_back(Value::String(std::string(*v)));
+        break;
+      }
+      default:
+        return Status::DataLoss("unknown value tag " + std::to_string(*tag));
+    }
+  }
+  return row;
+}
+
+std::string RowCodec::EncodeRows(const std::vector<Row>& rows) {
+  std::string out;
+  PutVarint64(&out, rows.size());
+  for (const Row& row : rows) Encode(row, &out);
+  return out;
+}
+
+Result<std::vector<Row>> RowCodec::DecodeRows(std::string_view data) {
+  Decoder decoder(data);
+  auto count = decoder.GetVarint64();
+  if (!count.ok()) return count.status();
+  std::vector<Row> rows;
+  rows.reserve(*count);
+  for (uint64_t i = 0; i < *count; ++i) {
+    auto row = Decode(&decoder);
+    if (!row.ok()) return row.status();
+    rows.push_back(std::move(*row));
+  }
+  return rows;
+}
+
+}  // namespace sqlink

@@ -1,0 +1,33 @@
+#ifndef SQLINK_TABLE_ROW_CODEC_H_
+#define SQLINK_TABLE_ROW_CODEC_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/coding.h"
+#include "common/result.h"
+#include "table/schema.h"
+#include "table/value.h"
+
+namespace sqlink {
+
+/// Compact binary row encoding used by the streaming wire format and spill
+/// files. Each value is a 1-byte tag (0 = NULL, otherwise DataType+1)
+/// followed by the payload: bool as 1 byte, int64 as signed varint, double
+/// as fixed 8 bytes, string length-prefixed.
+class RowCodec {
+ public:
+  /// Appends one encoded row (field count + values) to the buffer.
+  static void Encode(const Row& row, std::string* out);
+
+  /// Decodes one row from the cursor.
+  static Result<Row> Decode(Decoder* decoder);
+
+  /// Convenience round-trip helpers for whole batches.
+  static std::string EncodeRows(const std::vector<Row>& rows);
+  static Result<std::vector<Row>> DecodeRows(std::string_view data);
+};
+
+}  // namespace sqlink
+
+#endif  // SQLINK_TABLE_ROW_CODEC_H_

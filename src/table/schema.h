@@ -1,0 +1,59 @@
+#ifndef SQLINK_TABLE_SCHEMA_H_
+#define SQLINK_TABLE_SCHEMA_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "table/value.h"
+
+namespace sqlink {
+
+/// A named, typed column.
+struct Field {
+  std::string name;
+  DataType type = DataType::kString;
+
+  bool operator==(const Field& other) const = default;
+};
+
+/// An ordered list of fields. Column-name lookup is case-insensitive, as in
+/// SQL. Schemas are immutable once constructed and shared by pointer.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  static std::shared_ptr<const Schema> Make(std::vector<Field> fields) {
+    return std::make_shared<const Schema>(std::move(fields));
+  }
+
+  const std::vector<Field>& fields() const { return fields_; }
+  int num_fields() const { return static_cast<int>(fields_.size()); }
+  const Field& field(int i) const { return fields_[static_cast<size_t>(i)]; }
+
+  /// Index of the column with the given name (case-insensitive), or -1.
+  int FieldIndex(std::string_view name) const;
+
+  /// Like FieldIndex but errors with the schema rendered for context.
+  Result<int> RequireField(std::string_view name) const;
+
+  bool HasField(std::string_view name) const { return FieldIndex(name) >= 0; }
+
+  /// "name:TYPE, name:TYPE, ..." — diagnostics only.
+  std::string ToString() const;
+
+  bool operator==(const Schema& other) const {
+    return fields_ == other.fields_;
+  }
+
+ private:
+  std::vector<Field> fields_;
+};
+
+using SchemaPtr = std::shared_ptr<const Schema>;
+
+}  // namespace sqlink
+
+#endif  // SQLINK_TABLE_SCHEMA_H_

@@ -1,0 +1,157 @@
+#include "transform/coding.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace sqlink {
+
+std::string_view CodingSchemeToString(CodingScheme scheme) {
+  switch (scheme) {
+    case CodingScheme::kDummy:
+      return "dummy";
+    case CodingScheme::kEffect:
+      return "effect";
+    case CodingScheme::kOrthogonal:
+      return "orthogonal";
+  }
+  return "?";
+}
+
+Result<CodingScheme> CodingSchemeFromString(std::string_view name) {
+  if (EqualsIgnoreCase(name, "dummy")) return CodingScheme::kDummy;
+  if (EqualsIgnoreCase(name, "effect")) return CodingScheme::kEffect;
+  if (EqualsIgnoreCase(name, "orthogonal")) return CodingScheme::kOrthogonal;
+  return Status::InvalidArgument("unknown coding scheme: " +
+                                 std::string(name));
+}
+
+int CodingOutputColumns(CodingScheme scheme, int k) {
+  return scheme == CodingScheme::kDummy ? k : k - 1;
+}
+
+Result<std::vector<std::vector<double>>> CodingMatrix(CodingScheme scheme,
+                                                      int k) {
+  if (k < 2) {
+    return Status::InvalidArgument(
+        "coding requires at least 2 distinct values, got " +
+        std::to_string(k));
+  }
+  const size_t levels = static_cast<size_t>(k);
+  const size_t cols = static_cast<size_t>(CodingOutputColumns(scheme, k));
+  std::vector<std::vector<double>> matrix(levels,
+                                          std::vector<double>(cols, 0.0));
+  switch (scheme) {
+    case CodingScheme::kDummy:
+      for (size_t i = 0; i < levels; ++i) matrix[i][i] = 1.0;
+      return matrix;
+    case CodingScheme::kEffect:
+      for (size_t i = 0; i + 1 < levels; ++i) matrix[i][i] = 1.0;
+      for (size_t j = 0; j < cols; ++j) matrix[levels - 1][j] = -1.0;
+      return matrix;
+    case CodingScheme::kOrthogonal: {
+      // Orthogonal polynomial contrasts (R contr.poly) via the Stieltjes
+      // three-term recurrence evaluated on the grid x = 1..k. Unlike
+      // Gram-Schmidt over Vandermonde columns, the recurrence stays
+      // numerically orthonormal for large k.
+      std::vector<double> x(levels);
+      for (size_t i = 0; i < levels; ++i) x[i] = static_cast<double>(i + 1);
+      std::vector<double> p_prev(levels, 0.0);
+      std::vector<double> p_cur(levels, 1.0 / std::sqrt(static_cast<double>(levels)));
+      double b_prev = 0.0;
+      for (size_t degree = 0; degree + 1 < levels; ++degree) {
+        // q = (x - a) * p_cur - b_prev * p_prev, then normalize.
+        std::vector<double> q(levels);
+        double a = 0.0;
+        for (size_t i = 0; i < levels; ++i) a += x[i] * p_cur[i] * p_cur[i];
+        for (size_t i = 0; i < levels; ++i) {
+          q[i] = (x[i] - a) * p_cur[i] - b_prev * p_prev[i];
+        }
+        double norm = 0.0;
+        for (double v : q) norm += v * v;
+        norm = std::sqrt(norm);
+        for (double& v : q) v /= norm;
+        for (size_t i = 0; i < levels; ++i) matrix[i][degree] = q[i];
+        b_prev = norm;
+        p_prev = p_cur;
+        p_cur = std::move(q);
+      }
+      return matrix;
+    }
+  }
+  return Status::Internal("unhandled coding scheme");
+}
+
+Result<std::vector<CodedColumnSpec>> ParseCodedColumnSpecs(
+    const std::string& spec) {
+  std::vector<CodedColumnSpec> specs;
+  if (TrimWhitespace(spec).empty()) {
+    return Status::InvalidArgument("empty coded-column spec");
+  }
+  for (const std::string& part : SplitString(spec, ',')) {
+    const std::string_view trimmed = TrimWhitespace(part);
+    if (trimmed.empty()) {
+      return Status::InvalidArgument("empty entry in coded-column spec: " +
+                                     spec);
+    }
+    CodedColumnSpec entry;
+    const size_t eq = trimmed.find('=');
+    const size_t colon = trimmed.find(':');
+    if (eq != std::string_view::npos) {
+      entry.column = std::string(trimmed.substr(0, eq));
+      const std::string labels(trimmed.substr(eq + 1));
+      for (const std::string& label : SplitString(labels, '|')) {
+        entry.labels.push_back(label);
+      }
+      entry.cardinality = static_cast<int>(entry.labels.size());
+    } else if (colon != std::string_view::npos) {
+      entry.column = std::string(trimmed.substr(0, colon));
+      auto k = ParseInt64(TrimWhitespace(trimmed.substr(colon + 1)));
+      if (!k.ok()) return k.status().WithContext("coded-column spec");
+      entry.cardinality = static_cast<int>(*k);
+    } else {
+      return Status::InvalidArgument(
+          "coded-column entry needs 'col:k' or 'col=l1|l2': " +
+          std::string(trimmed));
+    }
+    if (entry.column.empty() || entry.cardinality < 2) {
+      return Status::InvalidArgument("invalid coded-column entry: " +
+                                     std::string(trimmed));
+    }
+    specs.push_back(std::move(entry));
+  }
+  return specs;
+}
+
+std::string FormatCodedColumnSpecs(const std::vector<CodedColumnSpec>& specs) {
+  std::string out;
+  for (size_t i = 0; i < specs.size(); ++i) {
+    if (i > 0) out += ",";
+    out += specs[i].column;
+    if (!specs[i].labels.empty()) {
+      out += "=";
+      out += JoinStrings(specs[i].labels, "|");
+    } else {
+      out += ":" + std::to_string(specs[i].cardinality);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> CodedColumnNames(const CodedColumnSpec& spec,
+                                          CodingScheme scheme) {
+  const int count = CodingOutputColumns(scheme, spec.cardinality);
+  std::vector<std::string> names;
+  names.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    if (!spec.labels.empty() &&
+        static_cast<size_t>(i) < spec.labels.size()) {
+      names.push_back(spec.column + "_" + spec.labels[static_cast<size_t>(i)]);
+    } else {
+      names.push_back(spec.column + "_" + std::to_string(i + 1));
+    }
+  }
+  return names;
+}
+
+}  // namespace sqlink

@@ -1,0 +1,58 @@
+#ifndef SQLINK_TRANSFORM_CODING_H_
+#define SQLINK_TRANSFORM_CODING_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace sqlink {
+
+/// Coding schemes that expand a recoded categorical variable (consecutive
+/// integers 1..K) into numeric feature columns (paper §2.2: dummy coding,
+/// with effect and orthogonal coding as the mentioned variants).
+enum class CodingScheme : int {
+  kDummy,       // K binary columns; value i sets column i (one-hot).
+  kEffect,      // K-1 columns; value i<K sets column i, value K is all -1.
+  kOrthogonal,  // K-1 orthogonal-polynomial contrast columns (doubles).
+};
+
+std::string_view CodingSchemeToString(CodingScheme scheme);
+Result<CodingScheme> CodingSchemeFromString(std::string_view name);
+
+/// Number of generated columns for a variable with `k` distinct values.
+int CodingOutputColumns(CodingScheme scheme, int k);
+
+/// The contrast matrix of a scheme for `k` levels: row (value-1) holds the
+/// generated column values for that level. Dummy/effect entries are 0/1/-1;
+/// orthogonal entries are unit-norm polynomial contrasts (as R's
+/// contr.poly).
+Result<std::vector<std::vector<double>>> CodingMatrix(CodingScheme scheme,
+                                                      int k);
+
+/// One categorical column to expand: its (recoded) name, its distinct-value
+/// count, optional level labels used to name the generated columns
+/// (Figure 1(c) names the gender columns "female"/"male").
+struct CodedColumnSpec {
+  std::string column;
+  int cardinality = 0;
+  std::vector<std::string> labels;  // Empty, or exactly `cardinality` labels.
+};
+
+/// Parses the UDF argument syntax:
+///   "gender:2,abandoned:2"        (counts only)
+///   "gender=F|M,abandoned=Yes|No" (labels; cardinality = label count)
+Result<std::vector<CodedColumnSpec>> ParseCodedColumnSpecs(
+    const std::string& spec);
+
+/// Renders specs back to the argument syntax (rewriter output).
+std::string FormatCodedColumnSpecs(const std::vector<CodedColumnSpec>& specs);
+
+/// Output column names for one spec: "<col>_<label>" when labels are given,
+/// else "<col>_<i>" with i starting at 1.
+std::vector<std::string> CodedColumnNames(const CodedColumnSpec& spec,
+                                          CodingScheme scheme);
+
+}  // namespace sqlink
+
+#endif  // SQLINK_TRANSFORM_CODING_H_

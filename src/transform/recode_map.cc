@@ -1,0 +1,110 @@
+#include "transform/recode_map.h"
+
+#include <algorithm>
+
+#include "common/status_macros.h"
+#include "common/string_util.h"
+
+namespace sqlink {
+
+SchemaPtr RecodeMap::TableSchema() {
+  return Schema::Make({{"colname", DataType::kString},
+                       {"colval", DataType::kString},
+                       {"recodeval", DataType::kInt64}});
+}
+
+Result<RecodeMap> RecodeMap::FromTable(const Table& table) {
+  if (table.schema()->num_fields() != 3) {
+    return Status::InvalidArgument("recode map table needs 3 columns, got " +
+                                   table.schema()->ToString());
+  }
+  RecodeMap map;
+  for (size_t p = 0; p < table.num_partitions(); ++p) {
+    for (const Row& row : table.partition(p)) {
+      if (row[0].is_null() || row[1].is_null() || !row[2].is_int64()) {
+        return Status::InvalidArgument("malformed recode map row");
+      }
+      RETURN_IF_ERROR(map.Add(row[0].string_value(), row[1].string_value(),
+                              static_cast<int>(row[2].int64_value())));
+    }
+  }
+  // Codes must be consecutive integers starting at 1 (SystemML-style
+  // requirement the paper calls out).
+  for (const auto& [column, values] : map.columns_) {
+    std::vector<int> codes;
+    codes.reserve(values.size());
+    for (const auto& [value, code] : values) codes.push_back(code);
+    std::sort(codes.begin(), codes.end());
+    for (size_t i = 0; i < codes.size(); ++i) {
+      if (codes[i] != static_cast<int>(i) + 1) {
+        return Status::InvalidArgument(
+            "recode codes for column '" + column +
+            "' are not consecutive from 1");
+      }
+    }
+  }
+  return map;
+}
+
+TablePtr RecodeMap::ToTable(const std::string& name,
+                            size_t num_partitions) const {
+  auto table = std::make_shared<Table>(name, TableSchema(), num_partitions);
+  for (const auto& [column, values] : columns_) {
+    for (const auto& [value, code] : values) {
+      table->AppendRow(0, Row{Value::String(column), Value::String(value),
+                              Value::Int64(code)});
+    }
+  }
+  return table;
+}
+
+Status RecodeMap::Add(const std::string& column, const std::string& value,
+                      int code) {
+  auto [it, inserted] = columns_[ToLowerAscii(column)].emplace(value, code);
+  if (!inserted) {
+    return Status::AlreadyExists("duplicate recode entry: " + column + "/" +
+                                 value);
+  }
+  return Status::OK();
+}
+
+Result<int> RecodeMap::Code(const std::string& column,
+                            const std::string& value) const {
+  auto col = columns_.find(ToLowerAscii(column));
+  if (col == columns_.end()) {
+    return Status::NotFound("column not in recode map: " + column);
+  }
+  auto val = col->second.find(value);
+  if (val == col->second.end()) {
+    return Status::NotFound("value not in recode map: " + column + "/" +
+                            value);
+  }
+  return val->second;
+}
+
+int RecodeMap::Cardinality(const std::string& column) const {
+  auto col = columns_.find(ToLowerAscii(column));
+  return col == columns_.end() ? 0 : static_cast<int>(col->second.size());
+}
+
+Result<std::vector<std::string>> RecodeMap::Labels(
+    const std::string& column) const {
+  auto col = columns_.find(ToLowerAscii(column));
+  if (col == columns_.end()) {
+    return Status::NotFound("column not in recode map: " + column);
+  }
+  std::vector<std::string> labels(col->second.size());
+  for (const auto& [value, code] : col->second) {
+    labels[static_cast<size_t>(code - 1)] = value;
+  }
+  return labels;
+}
+
+std::vector<std::string> RecodeMap::Columns() const {
+  std::vector<std::string> names;
+  names.reserve(columns_.size());
+  for (const auto& [column, values] : columns_) names.push_back(column);
+  return names;
+}
+
+}  // namespace sqlink

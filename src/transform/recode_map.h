@@ -1,0 +1,63 @@
+#ifndef SQLINK_TRANSFORM_RECODE_MAP_H_
+#define SQLINK_TRANSFORM_RECODE_MAP_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "table/schema.h"
+#include "table/table.h"
+
+namespace sqlink {
+
+/// The recode map of §2.1: per categorical column, the mapping from string
+/// value to its consecutive integer code starting at 1 (e.g.
+/// ("gender","F")→1, ("gender","M")→2). Stored in SQL as a three-column
+/// table (colname, colval, recodeval) — the representation the final
+/// recoding join consumes and the §5.2 cache stores. Column names are
+/// canonicalized to lower case; values are case-sensitive.
+class RecodeMap {
+ public:
+  RecodeMap() = default;
+
+  /// Schema of the SQL representation.
+  static SchemaPtr TableSchema();
+
+  /// Parses the (colname, colval, recodeval) rows of a map table.
+  /// Validates that each column's codes are consecutive integers from 1.
+  static Result<RecodeMap> FromTable(const Table& table);
+
+  /// Renders this map as a map table partitioned for `num_partitions`
+  /// workers (all rows on partition 0 — maps are small and broadcast).
+  TablePtr ToTable(const std::string& name, size_t num_partitions) const;
+
+  /// Adds one mapping; fails on duplicates.
+  Status Add(const std::string& column, const std::string& value, int code);
+
+  /// The code for a value, or NotFound.
+  Result<int> Code(const std::string& column, const std::string& value) const;
+
+  bool HasColumn(const std::string& column) const {
+    return columns_.count(column) > 0;
+  }
+  /// Distinct-value count of a column (0 when absent).
+  int Cardinality(const std::string& column) const;
+
+  /// Value labels of a column ordered by code (1..K).
+  Result<std::vector<std::string>> Labels(const std::string& column) const;
+
+  std::vector<std::string> Columns() const;
+
+  bool operator==(const RecodeMap& other) const {
+    return columns_ == other.columns_;
+  }
+
+ private:
+  // column -> (value -> code).
+  std::map<std::string, std::map<std::string, int>> columns_;
+};
+
+}  // namespace sqlink
+
+#endif  // SQLINK_TRANSFORM_RECODE_MAP_H_

@@ -1,0 +1,47 @@
+#ifndef SQLINK_TRANSFORM_TRANSFORMER_H_
+#define SQLINK_TRANSFORM_TRANSFORMER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sql/engine.h"
+#include "transform/recode_map.h"
+
+namespace sqlink {
+
+/// High-level driver of the In-SQL recoding (§2.1): composes and executes
+/// the UDF-based two-phase distributed algorithm on a SqlEngine.
+class InSqlTransformer {
+ public:
+  /// Registers the transform UDFs on the engine (idempotent).
+  explicit InSqlTransformer(SqlEnginePtr engine);
+
+  /// SQL of the recode-map computation: one parallel UDF scan collecting
+  /// local distincts of all columns, a global SELECT DISTINCT, and the
+  /// code-assigning UDF over the gathered sorted result.
+  static std::string BuildRecodeMapSql(const std::string& prep_query,
+                                       const std::vector<std::string>& columns);
+
+  /// Runs the two-phase algorithm; when `register_as` is non-empty the map
+  /// table is stored in the catalog under that name (cacheable, §5.2).
+  Result<RecodeMap> ComputeRecodeMap(const std::string& prep_query,
+                                     const std::vector<std::string>& columns,
+                                     const std::string& register_as = "");
+
+  /// The §2.1 alternative the paper argues against: one SELECT DISTINCT
+  /// query per column — one full pass of the data per categorical column.
+  /// Used by the recode-strategy ablation benchmark.
+  Result<RecodeMap> ComputeRecodeMapPerColumnSql(
+      const std::string& prep_query, const std::vector<std::string>& columns,
+      const std::string& register_as = "");
+
+  const SqlEnginePtr& engine() const { return engine_; }
+
+ private:
+  SqlEnginePtr engine_;
+};
+
+}  // namespace sqlink
+
+#endif  // SQLINK_TRANSFORM_TRANSFORMER_H_

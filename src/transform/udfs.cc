@@ -1,0 +1,229 @@
+#include "transform/udfs.h"
+
+#include <set>
+
+#include "common/status_macros.h"
+#include "common/string_util.h"
+
+namespace sqlink {
+
+// ---------------------------------------------------------------------------
+// RecodeLocalDistinctUdf
+
+Result<SchemaPtr> RecodeLocalDistinctUdf::Bind(const SchemaPtr& input_schema,
+                                               const std::vector<Value>& args) {
+  if (input_schema == nullptr) {
+    return Status::InvalidArgument(
+        "recode_local_distinct needs an input relation");
+  }
+  if (args.size() != 1 || !args[0].is_string()) {
+    return Status::InvalidArgument(
+        "recode_local_distinct needs a 'col1,col2' string argument");
+  }
+  for (const std::string& name : SplitString(args[0].string_value(), ',')) {
+    const std::string trimmed(TrimWhitespace(name));
+    ASSIGN_OR_RETURN(int index, input_schema->RequireField(trimmed));
+    if (input_schema->field(index).type != DataType::kString) {
+      return Status::InvalidArgument(
+          "recoding applies to categorical (STRING) columns; '" + trimmed +
+          "' is " +
+          std::string(DataTypeToString(input_schema->field(index).type)));
+    }
+    column_indices_.push_back(index);
+    // Column names are canonicalized to lower case in recode maps so the
+    // rewritten SQL's colname predicates match regardless of schema casing.
+    column_names_.push_back(ToLowerAscii(input_schema->field(index).name));
+  }
+  if (column_indices_.empty()) {
+    return Status::InvalidArgument("no columns to recode");
+  }
+  return Schema::Make(
+      {{"colname", DataType::kString}, {"colval", DataType::kString}});
+}
+
+Status RecodeLocalDistinctUdf::ProcessPartition(const TableUdfContext& context,
+                                                RowIterator* input,
+                                                RowSink* output) {
+  (void)context;
+  // One local scan computes the distinct values of *all* columns (§2.1).
+  std::vector<std::set<std::string>> seen(column_indices_.size());
+  Row row;
+  for (;;) {
+    ASSIGN_OR_RETURN(bool has, input->Next(&row));
+    if (!has) break;
+    for (size_t c = 0; c < column_indices_.size(); ++c) {
+      const Value& value = row[static_cast<size_t>(column_indices_[c])];
+      if (value.is_null()) continue;
+      if (seen[c].insert(value.string_value()).second) {
+        RETURN_IF_ERROR(output->Push(Row{Value::String(column_names_[c]),
+                                         value}));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// RecodeAssignUdf
+
+Result<SchemaPtr> RecodeAssignUdf::Bind(const SchemaPtr& input_schema,
+                                        const std::vector<Value>& args) {
+  if (!args.empty()) {
+    return Status::InvalidArgument("recode_assign takes no scalar arguments");
+  }
+  if (input_schema == nullptr || input_schema->num_fields() != 2 ||
+      input_schema->field(0).type != DataType::kString ||
+      input_schema->field(1).type != DataType::kString) {
+    return Status::InvalidArgument(
+        "recode_assign expects a (colname STRING, colval STRING) input");
+  }
+  return Schema::Make({{"colname", DataType::kString},
+                       {"colval", DataType::kString},
+                       {"recodeval", DataType::kInt64}});
+}
+
+Status RecodeAssignUdf::ProcessPartition(const TableUdfContext& context,
+                                         RowIterator* input, RowSink* output) {
+  (void)context;
+  std::map<std::string, int64_t> counters;
+  bool counted = false;
+  Row row;
+  for (;;) {
+    ASSIGN_OR_RETURN(bool has, input->Next(&row));
+    if (!has) break;
+    if (!counted) {
+      counted = true;
+      if (workers_with_data_.fetch_add(1) > 0) {
+        return Status::FailedPrecondition(
+            "recode_assign input must be gathered on one worker; add an "
+            "ORDER BY to the distinct-values query");
+      }
+    }
+    if (row[0].is_null() || row[1].is_null()) {
+      return Status::InvalidArgument("NULL in distinct-values input");
+    }
+    const int64_t code = ++counters[row[0].string_value()];
+    RETURN_IF_ERROR(
+        output->Push(Row{row[0], row[1], Value::Int64(code)}));
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// CodeApplyUdf
+
+Result<SchemaPtr> CodeApplyUdf::Bind(const SchemaPtr& input_schema,
+                                     const std::vector<Value>& args) {
+  if (input_schema == nullptr) {
+    return Status::InvalidArgument("coding UDF needs an input relation");
+  }
+  if (args.size() != 1 || !args[0].is_string()) {
+    return Status::InvalidArgument(
+        "coding UDF needs a 'col:k' / 'col=l1|l2' string argument");
+  }
+  ASSIGN_OR_RETURN(std::vector<CodedColumnSpec> specs,
+                   ParseCodedColumnSpecs(args[0].string_value()));
+
+  dispatch_.assign(static_cast<size_t>(input_schema->num_fields()), -1);
+  std::vector<Field> fields;
+  std::map<int, const CodedColumnSpec*> by_index;
+  for (const CodedColumnSpec& spec : specs) {
+    ASSIGN_OR_RETURN(int index, input_schema->RequireField(spec.column));
+    if (input_schema->field(index).type != DataType::kInt64) {
+      return Status::InvalidArgument(
+          "column '" + spec.column +
+          "' must be recoded to INT64 before coding; it is " +
+          std::string(DataTypeToString(input_schema->field(index).type)));
+    }
+    if (!by_index.emplace(index, &spec).second) {
+      return Status::InvalidArgument("column coded twice: " + spec.column);
+    }
+  }
+  const DataType generated_type = scheme_ == CodingScheme::kOrthogonal
+                                      ? DataType::kDouble
+                                      : DataType::kInt64;
+  for (int i = 0; i < input_schema->num_fields(); ++i) {
+    auto coded = by_index.find(i);
+    if (coded == by_index.end()) {
+      fields.push_back(input_schema->field(i));
+      continue;
+    }
+    const CodedColumnSpec& spec = *coded->second;
+    BoundColumn bound;
+    bound.input_index = i;
+    bound.cardinality = spec.cardinality;
+    ASSIGN_OR_RETURN(bound.matrix, CodingMatrix(scheme_, spec.cardinality));
+    dispatch_[static_cast<size_t>(i)] = static_cast<int>(coded_.size());
+    coded_.push_back(std::move(bound));
+    for (const std::string& name : CodedColumnNames(spec, scheme_)) {
+      fields.push_back(Field{name, generated_type});
+    }
+  }
+  return Schema::Make(std::move(fields));
+}
+
+Status CodeApplyUdf::ProcessPartition(const TableUdfContext& context,
+                                      RowIterator* input, RowSink* output) {
+  (void)context;
+  const DataType generated_type = scheme_ == CodingScheme::kOrthogonal
+                                      ? DataType::kDouble
+                                      : DataType::kInt64;
+  Row row;
+  for (;;) {
+    ASSIGN_OR_RETURN(bool has, input->Next(&row));
+    if (!has) break;
+    Row out;
+    for (size_t i = 0; i < row.size(); ++i) {
+      const int coded_index = dispatch_[i];
+      if (coded_index < 0) {
+        out.push_back(std::move(row[i]));
+        continue;
+      }
+      const BoundColumn& bound = coded_[static_cast<size_t>(coded_index)];
+      if (!row[i].is_int64()) {
+        return Status::InvalidArgument("coded column has non-integer value");
+      }
+      const int64_t level = row[i].int64_value();
+      if (level < 1 || level > bound.cardinality) {
+        return Status::OutOfRange(
+            "recoded value " + std::to_string(level) + " outside [1, " +
+            std::to_string(bound.cardinality) + "]");
+      }
+      for (double v : bound.matrix[static_cast<size_t>(level - 1)]) {
+        out.push_back(generated_type == DataType::kDouble
+                          ? Value::Double(v)
+                          : Value::Int64(static_cast<int64_t>(v)));
+      }
+    }
+    RETURN_IF_ERROR(output->Push(std::move(out)));
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+
+Status RegisterTransformUdfs(SqlEngine* engine) {
+  TableUdfRegistry* registry = engine->table_udfs();
+  auto register_once = [registry](const std::string& name,
+                                  TableUdfFactory factory) -> Status {
+    if (registry->Contains(name)) return Status::OK();
+    return registry->Register(name, std::move(factory));
+  };
+  RETURN_IF_ERROR(register_once("recode_local_distinct", [] {
+    return std::make_shared<RecodeLocalDistinctUdf>();
+  }));
+  RETURN_IF_ERROR(register_once(
+      "recode_assign", [] { return std::make_shared<RecodeAssignUdf>(); }));
+  RETURN_IF_ERROR(register_once("dummy_code", [] {
+    return std::make_shared<CodeApplyUdf>(CodingScheme::kDummy);
+  }));
+  RETURN_IF_ERROR(register_once("effect_code", [] {
+    return std::make_shared<CodeApplyUdf>(CodingScheme::kEffect);
+  }));
+  RETURN_IF_ERROR(register_once("orthogonal_code", [] {
+    return std::make_shared<CodeApplyUdf>(CodingScheme::kOrthogonal);
+  }));
+  return Status::OK();
+}
+
+}  // namespace sqlink

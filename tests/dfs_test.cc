@@ -1,0 +1,261 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "cluster/cluster.h"
+#include "common/fs_util.h"
+#include "dfs/dfs.h"
+#include "dfs/line_reader.h"
+
+namespace sqlink {
+namespace {
+
+class DfsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    temp_ = std::make_unique<ScopedTempDir>("dfs_test");
+    auto cluster = Cluster::Make(4, temp_->path());
+    ASSERT_TRUE(cluster.ok()) << cluster.status();
+    cluster_ = *cluster;
+    DfsOptions options;
+    options.block_size = 64;  // Tiny blocks exercise multi-block paths.
+    options.replication = 3;
+    dfs_ = std::make_shared<Dfs>(cluster_, options);
+  }
+
+  std::unique_ptr<ScopedTempDir> temp_;
+  ClusterPtr cluster_;
+  DfsPtr dfs_;
+};
+
+TEST_F(DfsTest, WriteReadRoundTrip) {
+  const std::string content = "hello distributed world";
+  ASSERT_TRUE(dfs_->WriteString("dir/f1", content).ok());
+  auto read = dfs_->ReadString("dir/f1");
+  ASSERT_TRUE(read.ok()) << read.status();
+  EXPECT_EQ(*read, content);
+  EXPECT_EQ(*dfs_->FileSize("dir/f1"), content.size());
+}
+
+TEST_F(DfsTest, MultiBlockFile) {
+  std::string content;
+  for (int i = 0; i < 100; ++i) {
+    content += "line number " + std::to_string(i) + "\n";
+  }
+  ASSERT_TRUE(dfs_->WriteString("big", content).ok());
+  EXPECT_EQ(*dfs_->ReadString("big"), content);
+  auto locations = dfs_->GetBlockLocations("big");
+  ASSERT_TRUE(locations.ok());
+  EXPECT_GT(locations->size(), 1u);
+  uint64_t offset = 0;
+  for (const BlockLocation& loc : *locations) {
+    EXPECT_EQ(loc.offset, offset);
+    EXPECT_EQ(loc.nodes.size(), 3u);  // Replication factor.
+    offset += loc.length;
+  }
+  EXPECT_EQ(offset, content.size());
+}
+
+TEST_F(DfsTest, PositionedReads) {
+  std::string content(1000, 'x');
+  for (size_t i = 0; i < content.size(); ++i) {
+    content[i] = static_cast<char>('a' + (i % 26));
+  }
+  ASSERT_TRUE(dfs_->WriteString("pos", content).ok());
+  auto reader = dfs_->Open("pos");
+  ASSERT_TRUE(reader.ok());
+  std::string chunk;
+  ASSERT_TRUE((*reader)->ReadAt(130, 200, &chunk).ok());
+  EXPECT_EQ(chunk, content.substr(130, 200));
+  // Read past EOF truncates.
+  ASSERT_TRUE((*reader)->ReadAt(950, 500, &chunk).ok());
+  EXPECT_EQ(chunk, content.substr(950));
+  // Read at EOF is empty.
+  ASSERT_TRUE((*reader)->ReadAt(1000, 10, &chunk).ok());
+  EXPECT_TRUE(chunk.empty());
+}
+
+TEST_F(DfsTest, CreateFailsOnExisting) {
+  ASSERT_TRUE(dfs_->WriteString("dup", "x").ok());
+  EXPECT_TRUE(dfs_->Create("dup").status().IsAlreadyExists());
+}
+
+TEST_F(DfsTest, UnfinalizedFileInvisible) {
+  auto writer = dfs_->Create("pending");
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)->Append("data").ok());
+  EXPECT_FALSE(dfs_->Exists("pending"));
+  EXPECT_TRUE(dfs_->Open("pending").status().IsNotFound());
+  ASSERT_TRUE((*writer)->Close().ok());
+  EXPECT_TRUE(dfs_->Exists("pending"));
+}
+
+TEST_F(DfsTest, DeleteRemovesFileAndBlocks) {
+  ASSERT_TRUE(dfs_->WriteString("gone", std::string(500, 'q')).ok());
+  ASSERT_TRUE(dfs_->Delete("gone").ok());
+  EXPECT_FALSE(dfs_->Exists("gone"));
+  EXPECT_TRUE(dfs_->Delete("gone").IsNotFound());
+  // No leftover block files.
+  size_t block_files = 0;
+  for (int n = 0; n < cluster_->num_nodes(); ++n) {
+    for (const auto& entry : std::filesystem::directory_iterator(
+             cluster_->NodeLocalDir(n) + "/dfs")) {
+      (void)entry;
+      ++block_files;
+    }
+  }
+  EXPECT_EQ(block_files, 0u);
+}
+
+TEST_F(DfsTest, ListByPrefix) {
+  ASSERT_TRUE(dfs_->WriteString("warehouse/t1", "a").ok());
+  ASSERT_TRUE(dfs_->WriteString("warehouse/t2", "b").ok());
+  ASSERT_TRUE(dfs_->WriteString("other/t3", "c").ok());
+  auto files = dfs_->List("warehouse");
+  EXPECT_EQ(files.size(), 2u);
+  EXPECT_EQ(dfs_->List("").size(), 3u);
+}
+
+TEST_F(DfsTest, PreferredNodeHoldsFirstReplica) {
+  ASSERT_TRUE(dfs_->WriteString("local", std::string(200, 'z'), 2).ok());
+  auto locations = dfs_->GetBlockLocations("local");
+  ASSERT_TRUE(locations.ok());
+  for (const BlockLocation& loc : *locations) {
+    EXPECT_EQ(loc.nodes.front(), 2);
+  }
+}
+
+TEST_F(DfsTest, BytesAccountingIncludesReplication) {
+  const std::string content(100, 'r');
+  ASSERT_TRUE(dfs_->WriteString("acct", content).ok());
+  EXPECT_EQ(dfs_->TotalBytesWritten(), 300u);  // 100 bytes x 3 replicas.
+  ASSERT_TRUE(dfs_->ReadString("acct").ok());
+  EXPECT_EQ(dfs_->TotalBytesRead(), 100u);
+}
+
+TEST_F(DfsTest, ReadFailsOverToSurvivingReplicas) {
+  const std::string content(50, 'f');  // Single block (block_size = 64).
+  ASSERT_TRUE(dfs_->WriteString("failover", content).ok());
+  auto locations = dfs_->GetBlockLocations("failover");
+  ASSERT_TRUE(locations.ok());
+  ASSERT_EQ(locations->size(), 1u);
+  const BlockLocation& block = (*locations)[0];
+  ASSERT_EQ(block.nodes.size(), 3u);
+  // Simulate datanode loss: wipe the first two replicas' nodes.
+  size_t deleted = 0;
+  for (size_t r = 0; r < 2; ++r) {
+    for (const auto& entry : std::filesystem::directory_iterator(
+             cluster_->NodeLocalDir(block.nodes[r]) + "/dfs")) {
+      std::filesystem::remove(entry.path());
+      ++deleted;
+    }
+  }
+  ASSERT_GT(deleted, 0u);
+  // The read succeeds off the remaining replica.
+  auto read = dfs_->ReadString("failover");
+  ASSERT_TRUE(read.ok()) << read.status();
+  EXPECT_EQ(*read, content);
+}
+
+TEST_F(DfsTest, ReadFailsWhenAllReplicasLost) {
+  ASSERT_TRUE(dfs_->WriteString("doomed", "payload").ok());
+  for (int n = 0; n < cluster_->num_nodes(); ++n) {
+    for (const auto& entry : std::filesystem::directory_iterator(
+             cluster_->NodeLocalDir(n) + "/dfs")) {
+      std::filesystem::remove(entry.path());
+    }
+  }
+  EXPECT_TRUE(dfs_->ReadString("doomed").status().IsIoError());
+}
+
+// --- Line reader: Hadoop TextInputFormat split semantics ---
+
+class LineReaderTest : public DfsTest {
+ protected:
+  void WriteLines(const std::string& path, int count) {
+    std::string content;
+    for (int i = 0; i < count; ++i) {
+      content += "row-" + std::to_string(i) + "\n";
+    }
+    ASSERT_TRUE(dfs_->WriteString(path, content).ok());
+    file_size_ = content.size();
+  }
+
+  std::vector<std::string> ReadRange(const std::string& path, uint64_t start,
+                                     uint64_t end, size_t buf = 7) {
+    auto reader = dfs_->Open(path);
+    EXPECT_TRUE(reader.ok());
+    DfsLineReader lines(std::move(*reader), start, end, buf);
+    std::vector<std::string> out;
+    std::string line;
+    while (lines.Next(&line)) out.push_back(line);
+    EXPECT_TRUE(lines.status().ok()) << lines.status();
+    return out;
+  }
+
+  uint64_t file_size_ = 0;
+};
+
+TEST_F(LineReaderTest, WholeFile) {
+  WriteLines("lines", 20);
+  auto lines = ReadRange("lines", 0, file_size_);
+  ASSERT_EQ(lines.size(), 20u);
+  EXPECT_EQ(lines.front(), "row-0");
+  EXPECT_EQ(lines.back(), "row-19");
+}
+
+TEST_F(LineReaderTest, SplitsCoverEachLineExactlyOnce) {
+  WriteLines("split", 50);
+  // Try many split boundaries, including ones in the middle of lines.
+  for (uint64_t boundary = 1; boundary < file_size_; boundary += 13) {
+    auto first = ReadRange("split", 0, boundary);
+    auto second = ReadRange("split", boundary, file_size_);
+    std::vector<std::string> all = first;
+    all.insert(all.end(), second.begin(), second.end());
+    ASSERT_EQ(all.size(), 50u) << "boundary=" << boundary;
+    for (int i = 0; i < 50; ++i) {
+      EXPECT_EQ(all[static_cast<size_t>(i)], "row-" + std::to_string(i))
+          << "boundary=" << boundary;
+    }
+  }
+}
+
+TEST_F(LineReaderTest, ManySplitsCoverExactlyOnce) {
+  WriteLines("multi", 101);
+  for (int num_splits : {2, 3, 7}) {
+    std::vector<std::string> all;
+    const uint64_t step = file_size_ / static_cast<uint64_t>(num_splits);
+    for (int s = 0; s < num_splits; ++s) {
+      const uint64_t start = static_cast<uint64_t>(s) * step;
+      const uint64_t end = (s == num_splits - 1)
+                               ? file_size_
+                               : (static_cast<uint64_t>(s) + 1) * step;
+      auto part = ReadRange("multi", start, end);
+      all.insert(all.end(), part.begin(), part.end());
+    }
+    ASSERT_EQ(all.size(), 101u) << num_splits << " splits";
+  }
+}
+
+TEST_F(LineReaderTest, FileWithoutTrailingNewline) {
+  ASSERT_TRUE(dfs_->WriteString("notrail", "a\nb\nc").ok());
+  auto lines = ReadRange("notrail", 0, 5);
+  EXPECT_EQ(lines, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST_F(LineReaderTest, EmptyLinesPreserved) {
+  ASSERT_TRUE(dfs_->WriteString("empties", "a\n\n\nb\n").ok());
+  auto lines = ReadRange("empties", 0, 7);
+  EXPECT_EQ(lines, (std::vector<std::string>{"a", "", "", "b"}));
+}
+
+TEST_F(LineReaderTest, EmptyFile) {
+  ASSERT_TRUE(dfs_->WriteString("empty", "").ok());
+  EXPECT_TRUE(ReadRange("empty", 0, 0).empty());
+}
+
+}  // namespace
+}  // namespace sqlink

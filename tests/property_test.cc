@@ -1,0 +1,521 @@
+// Property-based and parameterized sweeps: randomized round-trips,
+// numerical gradient checks, implication soundness against brute force,
+// and differential testing of the SQL engine against a nested-loop
+// reference evaluator.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <set>
+
+#include "cluster/cluster.h"
+#include "common/fs_util.h"
+#include "common/random.h"
+#include "ml/sgd.h"
+#include "rewriter/predicate_logic.h"
+#include "sql/engine.h"
+#include "sql/parser.h"
+#include "stream/spill_queue.h"
+#include "table/csv.h"
+#include "table/row_codec.h"
+#include "transform/coding.h"
+
+namespace sqlink {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Random value/row generators.
+
+std::string RandomNastyString(Random* rng) {
+  static const char* const kAlphabet = "ab,\"\n'\\|x ";
+  std::string out;
+  const size_t length = rng->Uniform(12);
+  for (size_t i = 0; i < length; ++i) {
+    out.push_back(kAlphabet[rng->Uniform(10)]);
+  }
+  return out;
+}
+
+Value RandomValue(Random* rng, DataType type, bool allow_null = true) {
+  if (allow_null && rng->Bernoulli(0.1)) return Value::Null();
+  switch (type) {
+    case DataType::kBool:
+      return Value::Bool(rng->Bernoulli(0.5));
+    case DataType::kInt64:
+      return Value::Int64(rng->UniformInt(-1000, 1000));
+    case DataType::kDouble:
+      return Value::Double(rng->NextGaussian() * 100);
+    case DataType::kString:
+      return Value::String(RandomNastyString(rng));
+  }
+  return Value::Null();
+}
+
+SchemaPtr RandomSchema(Random* rng) {
+  const int fields = static_cast<int>(rng->UniformInt(1, 6));
+  std::vector<Field> out;
+  for (int i = 0; i < fields; ++i) {
+    const DataType type = static_cast<DataType>(rng->UniformInt(0, 3));
+    out.push_back(Field{"c" + std::to_string(i), type});
+  }
+  return Schema::Make(std::move(out));
+}
+
+Row RandomRow(Random* rng, const Schema& schema) {
+  Row row;
+  for (const Field& field : schema.fields()) {
+    row.push_back(RandomValue(rng, field.type));
+  }
+  return row;
+}
+
+// ---------------------------------------------------------------------------
+// CSV and binary codec round trips over adversarial random rows.
+
+class CodecRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CodecRoundTripTest, CsvRoundTripsRandomRows) {
+  Random rng(GetParam());
+  CsvCodec codec;
+  for (int trial = 0; trial < 50; ++trial) {
+    SchemaPtr schema = RandomSchema(&rng);
+    const Row row = RandomRow(&rng, *schema);
+    auto parsed = codec.ParseRow(codec.FormatRow(row), *schema);
+    ASSERT_TRUE(parsed.ok())
+        << parsed.status() << " for line: " << codec.FormatRow(row);
+    // Doubles survive exactly: ToString uses %.17g.
+    EXPECT_EQ(*parsed, row);
+  }
+}
+
+TEST_P(CodecRoundTripTest, RowCodecRoundTripsRandomRows) {
+  Random rng(GetParam() * 31 + 7);
+  for (int trial = 0; trial < 50; ++trial) {
+    SchemaPtr schema = RandomSchema(&rng);
+    std::vector<Row> rows;
+    for (int i = 0; i < 20; ++i) rows.push_back(RandomRow(&rng, *schema));
+    auto decoded = RowCodec::DecodeRows(RowCodec::EncodeRows(rows));
+    ASSERT_TRUE(decoded.ok()) << decoded.status();
+    EXPECT_EQ(*decoded, rows);
+  }
+}
+
+TEST_P(CodecRoundTripTest, RowCodecRejectsEveryTruncation) {
+  Random rng(GetParam() * 101 + 13);
+  SchemaPtr schema = RandomSchema(&rng);
+  std::vector<Row> rows{RandomRow(&rng, *schema), RandomRow(&rng, *schema)};
+  const std::string encoded = RowCodec::EncodeRows(rows);
+  for (size_t cut = 0; cut < encoded.size(); ++cut) {
+    auto decoded = RowCodec::DecodeRows(encoded.substr(0, cut));
+    // Either an error, or a prefix decode must not fabricate data beyond
+    // what was encoded (row-count prefix makes short reads errors).
+    EXPECT_FALSE(decoded.ok()) << "cut=" << cut;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecRoundTripTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 11, 42, 1234));
+
+// ---------------------------------------------------------------------------
+// Coding matrices across cardinalities.
+
+class CodingMatrixPropertyTest
+    : public ::testing::TestWithParam<std::tuple<CodingScheme, int>> {};
+
+TEST_P(CodingMatrixPropertyTest, SchemeInvariantsHold) {
+  const auto [scheme, k] = GetParam();
+  auto matrix = CodingMatrix(scheme, k);
+  ASSERT_TRUE(matrix.ok());
+  const int cols = CodingOutputColumns(scheme, k);
+  ASSERT_EQ(static_cast<int>(matrix->size()), k);
+  for (const auto& row : *matrix) {
+    ASSERT_EQ(static_cast<int>(row.size()), cols);
+  }
+  switch (scheme) {
+    case CodingScheme::kDummy:
+      for (int level = 0; level < k; ++level) {
+        double sum = 0;
+        for (double v : (*matrix)[static_cast<size_t>(level)]) sum += v;
+        EXPECT_DOUBLE_EQ(sum, 1.0);  // Exactly one hot.
+        EXPECT_DOUBLE_EQ(
+            (*matrix)[static_cast<size_t>(level)][static_cast<size_t>(level)],
+            1.0);
+      }
+      break;
+    case CodingScheme::kEffect:
+      // Columns sum to zero across levels (effects sum to zero).
+      for (int c = 0; c < cols; ++c) {
+        double sum = 0;
+        for (int level = 0; level < k; ++level) {
+          sum += (*matrix)[static_cast<size_t>(level)][static_cast<size_t>(c)];
+        }
+        EXPECT_NEAR(sum, 0.0, 1e-12);
+      }
+      break;
+    case CodingScheme::kOrthogonal:
+      for (int a = 0; a < cols; ++a) {
+        double sum = 0;
+        for (int b = 0; b < cols; ++b) {
+          double dot = 0;
+          for (int level = 0; level < k; ++level) {
+            dot += (*matrix)[static_cast<size_t>(level)][static_cast<size_t>(a)] *
+                   (*matrix)[static_cast<size_t>(level)][static_cast<size_t>(b)];
+          }
+          EXPECT_NEAR(dot, a == b ? 1.0 : 0.0, 1e-8) << "k=" << k;
+        }
+        for (int level = 0; level < k; ++level) {
+          sum += (*matrix)[static_cast<size_t>(level)][static_cast<size_t>(a)];
+        }
+        EXPECT_NEAR(sum, 0.0, 1e-8);
+      }
+      break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemesAndCardinalities, CodingMatrixPropertyTest,
+    ::testing::Combine(::testing::Values(CodingScheme::kDummy,
+                                         CodingScheme::kEffect,
+                                         CodingScheme::kOrthogonal),
+                       ::testing::Values(2, 3, 4, 5, 8, 13, 21)));
+
+// ---------------------------------------------------------------------------
+// Predicate implication: soundness against brute-force evaluation.
+
+class ImplicationSoundnessTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ImplicationSoundnessTest, ImpliesNeverLies) {
+  Random rng(GetParam());
+  const std::vector<std::string> ops = {"=", "<>", "<", "<=", ">", ">="};
+  for (int trial = 0; trial < 500; ++trial) {
+    ColumnConstraint s{"", "x", ops[rng.Uniform(ops.size())],
+                       Value::Int64(rng.UniformInt(-5, 5))};
+    ColumnConstraint w{"", "x", ops[rng.Uniform(ops.size())],
+                       Value::Int64(rng.UniformInt(-5, 5))};
+    const bool implied = ConstraintImplies(s, w);
+    if (!implied) continue;  // Soundness only: true must never be wrong.
+    auto satisfies = [](const ColumnConstraint& c, int64_t x) {
+      const int64_t v = c.literal.int64_value();
+      if (c.op == "=") return x == v;
+      if (c.op == "<>") return x != v;
+      if (c.op == "<") return x < v;
+      if (c.op == "<=") return x <= v;
+      if (c.op == ">") return x > v;
+      return x >= v;
+    };
+    for (int64_t x = -10; x <= 10; ++x) {
+      if (satisfies(s, x)) {
+        EXPECT_TRUE(satisfies(w, x))
+            << "x " << s.op << " " << s.literal.ToString() << " claimed to "
+            << "imply x " << w.op << " " << w.literal.ToString()
+            << " but x=" << x << " violates it";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ImplicationSoundnessTest,
+                         ::testing::Values(7, 21, 99, 12345));
+
+// ---------------------------------------------------------------------------
+// SGD losses: analytic gradients match finite differences.
+
+class GradientCheckTest : public ::testing::TestWithParam<int> {
+ protected:
+  std::unique_ptr<ml::LossFunction> MakeLoss() const {
+    switch (GetParam()) {
+      case 0:
+        return std::make_unique<ml::HingeLoss>();
+      case 1:
+        return std::make_unique<ml::LogisticLoss>();
+      default:
+        return std::make_unique<ml::SquaredLoss>();
+    }
+  }
+};
+
+TEST_P(GradientCheckTest, AnalyticMatchesNumeric) {
+  auto loss = MakeLoss();
+  Random rng(static_cast<uint64_t>(GetParam()) + 5);
+  constexpr double kEps = 1e-6;
+  int checked = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    ml::LabeledPoint point;
+    point.label = rng.Bernoulli(0.5) ? 1.0 : 0.0;
+    ml::DenseVector weights;
+    for (int f = 0; f < 3; ++f) {
+      point.features.push_back(rng.NextGaussian());
+      weights.push_back(rng.NextGaussian() * 0.5);
+    }
+    const double intercept = rng.NextGaussian() * 0.5;
+
+    // Hinge loss is non-differentiable at margin == 1; skip near the kink.
+    if (GetParam() == 0) {
+      const double y = point.label > 0.5 ? 1.0 : -1.0;
+      const double margin = ml::Dot(weights, point.features) + intercept;
+      if (std::fabs(1.0 - y * margin) < 1e-3) continue;
+    }
+    ++checked;
+
+    ml::DenseVector grad(3, 0.0);
+    double grad_intercept = 0.0;
+    (void)loss->AddGradient(weights, intercept, point, &grad, &grad_intercept);
+
+    auto loss_at = [&](const ml::DenseVector& w, double b) {
+      ml::DenseVector scratch(3, 0.0);
+      double scratch_b = 0.0;
+      return loss->AddGradient(w, b, point, &scratch, &scratch_b);
+    };
+    for (int f = 0; f < 3; ++f) {
+      ml::DenseVector plus = weights;
+      ml::DenseVector minus = weights;
+      plus[static_cast<size_t>(f)] += kEps;
+      minus[static_cast<size_t>(f)] -= kEps;
+      const double numeric =
+          (loss_at(plus, intercept) - loss_at(minus, intercept)) / (2 * kEps);
+      EXPECT_NEAR(grad[static_cast<size_t>(f)], numeric, 1e-4)
+          << "feature " << f;
+    }
+    const double numeric_b =
+        (loss_at(weights, intercept + kEps) -
+         loss_at(weights, intercept - kEps)) /
+        (2 * kEps);
+    EXPECT_NEAR(grad_intercept, numeric_b, 1e-4);
+  }
+  EXPECT_GT(checked, 150);
+}
+
+std::string LossName(const ::testing::TestParamInfo<int>& info) {
+  switch (info.param) {
+    case 0:
+      return "Hinge";
+    case 1:
+      return "Logistic";
+    default:
+      return "Squared";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Losses, GradientCheckTest,
+                         ::testing::Values(0, 1, 2), LossName);
+
+// ---------------------------------------------------------------------------
+// Spill queue: order preserved across every capacity, with random sizes.
+
+class SpillQueueSweepTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SpillQueueSweepTest, OrderPreservedUnderRandomTraffic) {
+  ScopedTempDir temp("spill_sweep");
+  SpillingByteQueue::Options options;
+  options.memory_capacity_bytes = GetParam();
+  options.spill_enabled = true;
+  options.spill_path = temp.path() + "/spill";
+  SpillingByteQueue queue(options);
+
+  Random rng(GetParam());
+  constexpr int kFrames = 500;
+  std::thread producer([&] {
+    Random prng(GetParam() * 3 + 1);
+    for (int i = 0; i < kFrames; ++i) {
+      std::string frame = std::to_string(i) + ":" +
+                          prng.NextString(prng.Uniform(64));
+      ASSERT_TRUE(queue.Push(std::move(frame)).ok());
+      if (prng.Bernoulli(0.1)) {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+    }
+    queue.CloseProducer();
+  });
+  int expected = 0;
+  for (;;) {
+    auto frame = queue.Pop();
+    ASSERT_TRUE(frame.ok());
+    if (!frame->has_value()) break;
+    const std::string& text = **frame;
+    const int id = std::stoi(text.substr(0, text.find(':')));
+    EXPECT_EQ(id, expected++);
+    if (rng.Bernoulli(0.05)) {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  }
+  producer.join();
+  EXPECT_EQ(expected, kFrames);
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, SpillQueueSweepTest,
+                         ::testing::Values(16, 64, 256, 4096, 1 << 20));
+
+// ---------------------------------------------------------------------------
+// SQL differential testing: the parallel engine vs a nested-loop reference.
+
+class SqlDifferentialTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override {
+    temp_ = std::make_unique<ScopedTempDir>("sql_diff");
+    auto cluster = Cluster::Make(4, temp_->path());
+    ASSERT_TRUE(cluster.ok());
+    engine_ = SqlEngine::Make(*cluster);
+  }
+
+  /// Two small random tables: t1(k INT, a INT, s STRING), t2(k INT, b INT).
+  void MakeTables(Random* rng) {
+    auto s1 = Schema::Make({{"k", DataType::kInt64},
+                            {"a", DataType::kInt64},
+                            {"s", DataType::kString}});
+    t1_ = engine_->MakeTable("t1", s1);
+    const int n1 = static_cast<int>(rng->UniformInt(0, 60));
+    for (int i = 0; i < n1; ++i) {
+      t1_->AppendRow(static_cast<size_t>(i) % 4,
+                     Row{Value::Int64(rng->UniformInt(0, 9)),
+                         Value::Int64(rng->UniformInt(-20, 20)),
+                         Value::String(std::string(1, static_cast<char>(
+                                                          'a' + rng->Uniform(4))))});
+    }
+    engine_->catalog()->PutTable(t1_);
+    auto s2 =
+        Schema::Make({{"k", DataType::kInt64}, {"b", DataType::kInt64}});
+    t2_ = engine_->MakeTable("t2", s2);
+    const int n2 = static_cast<int>(rng->UniformInt(0, 40));
+    for (int i = 0; i < n2; ++i) {
+      t2_->AppendRow(static_cast<size_t>(i) % 4,
+                     Row{Value::Int64(rng->UniformInt(0, 9)),
+                         Value::Int64(rng->UniformInt(-20, 20))});
+    }
+    engine_->catalog()->PutTable(t2_);
+  }
+
+  /// Reference evaluation: nested-loop join of t1 x t2, WHERE via the same
+  /// expression evaluator over concatenated rows, then projection.
+  std::multiset<std::string> ReferenceJoin(const std::string& where,
+                                           const std::vector<std::string>& cols) {
+    NameScope scope;
+    scope.AddRelation("x", t1_->schema());
+    scope.AddRelation("y", t2_->schema());
+    auto registry = ScalarFunctionRegistry::WithBuiltins();
+    BoundExprPtr predicate;
+    if (!where.empty()) {
+      auto expr = ParseExpression(where);
+      EXPECT_TRUE(expr.ok());
+      auto bound = BindExpression(**expr, scope, *registry);
+      EXPECT_TRUE(bound.ok()) << bound.status();
+      predicate = *bound;
+    }
+    std::vector<BoundExprPtr> projections;
+    for (const std::string& col : cols) {
+      auto expr = ParseExpression(col);
+      EXPECT_TRUE(expr.ok());
+      auto bound = BindExpression(**expr, scope, *registry);
+      EXPECT_TRUE(bound.ok()) << bound.status();
+      projections.push_back(*bound);
+    }
+    std::multiset<std::string> out;
+    for (const Row& left : t1_->GatherRows()) {
+      for (const Row& right : t2_->GatherRows()) {
+        Row combined = left;
+        combined.insert(combined.end(), right.begin(), right.end());
+        if (predicate != nullptr) {
+          auto keep = predicate->Evaluate(combined);
+          EXPECT_TRUE(keep.ok());
+          if (!IsTruthy(*keep)) continue;
+        }
+        std::string rendered;
+        for (const BoundExprPtr& projection : projections) {
+          auto value = projection->Evaluate(combined);
+          EXPECT_TRUE(value.ok());
+          rendered += value->ToString();
+          rendered += "|";
+        }
+        out.insert(std::move(rendered));
+      }
+    }
+    return out;
+  }
+
+  std::multiset<std::string> EngineRows(const std::string& sql) {
+    auto result = engine_->ExecuteSql(sql);
+    EXPECT_TRUE(result.ok()) << sql << ": " << result.status();
+    std::multiset<std::string> out;
+    if (!result.ok()) return out;
+    for (const Row& row : (*result)->GatherRows()) {
+      std::string rendered;
+      for (const Value& value : row) {
+        rendered += value.ToString();
+        rendered += "|";
+      }
+      out.insert(std::move(rendered));
+    }
+    return out;
+  }
+
+  std::unique_ptr<ScopedTempDir> temp_;
+  SqlEnginePtr engine_;
+  TablePtr t1_;
+  TablePtr t2_;
+};
+
+TEST_P(SqlDifferentialTest, RandomJoinFilterQueriesMatchReference) {
+  Random rng(GetParam());
+  MakeTables(&rng);
+  const std::vector<std::string> predicates = {
+      "",
+      "x.k = y.k",
+      "x.k = y.k AND x.a > 0",
+      "x.k = y.k AND x.s = 'a'",
+      "x.a < y.b",
+      "x.k = y.k AND (x.a > 5 OR y.b < 0)",
+      "x.k = y.k AND x.a BETWEEN -5 AND 5",
+      "NOT x.s = 'b' AND x.k = y.k",
+      "x.a + y.b > 10",
+  };
+  const std::vector<std::string> cols = {"x.a", "y.b", "x.s", "x.a + y.b"};
+  for (const std::string& predicate : predicates) {
+    std::string sql = "SELECT x.a, y.b, x.s, x.a + y.b FROM t1 x, t2 y";
+    if (!predicate.empty()) sql += " WHERE " + predicate;
+    EXPECT_EQ(EngineRows(sql), ReferenceJoin(predicate, cols))
+        << "seed=" << GetParam() << " predicate: " << predicate;
+  }
+}
+
+TEST_P(SqlDifferentialTest, DistinctMatchesSetSemantics) {
+  Random rng(GetParam() * 7 + 3);
+  MakeTables(&rng);
+  auto reference = ReferenceJoin("", {"x.k", "x.s"});
+  std::set<std::string> expected(reference.begin(), reference.end());
+  auto actual = EngineRows("SELECT DISTINCT x.k, x.s FROM t1 x, t2 y");
+  std::set<std::string> actual_set(actual.begin(), actual.end());
+  EXPECT_EQ(actual.size(), actual_set.size()) << "DISTINCT left duplicates";
+  if (t2_->TotalRows() > 0) {
+    EXPECT_EQ(actual_set, expected);
+  } else {
+    EXPECT_TRUE(actual_set.empty());
+  }
+}
+
+TEST_P(SqlDifferentialTest, GroupByMatchesManualAggregation) {
+  Random rng(GetParam() * 13 + 1);
+  MakeTables(&rng);
+  std::map<int64_t, std::pair<int64_t, int64_t>> expected;  // k -> (count, sum).
+  for (const Row& row : t1_->GatherRows()) {
+    auto& [count, sum] = expected[row[0].int64_value()];
+    ++count;
+    sum += row[1].int64_value();
+  }
+  auto result = engine_->ExecuteSql(
+      "SELECT k, COUNT(*) AS c, SUM(a) AS s FROM t1 GROUP BY k");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ((*result)->TotalRows(), expected.size());
+  for (const Row& row : (*result)->GatherRows()) {
+    const auto it = expected.find(row[0].int64_value());
+    ASSERT_NE(it, expected.end());
+    EXPECT_EQ(row[1].int64_value(), it->second.first);
+    EXPECT_EQ(row[2].int64_value(), it->second.second);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SqlDifferentialTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55,
+                                           89));
+
+}  // namespace
+}  // namespace sqlink

@@ -1,0 +1,492 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cache/transform_cache.h"
+#include "cluster/cluster.h"
+#include "common/fs_util.h"
+#include "common/random.h"
+#include "rewriter/canonical_query.h"
+#include "rewriter/predicate_logic.h"
+#include "rewriter/query_rewriter.h"
+#include "sql/engine.h"
+#include "sql/parser.h"
+#include "transform/udfs.h"
+
+namespace sqlink {
+namespace {
+
+// --- Predicate implication (§5.2 "logically stronger") ---
+
+bool Implies(const std::string& stronger, const std::string& weaker) {
+  auto s = ParseExpression(stronger);
+  auto w = ParseExpression(weaker);
+  EXPECT_TRUE(s.ok() && w.ok());
+  return ConjunctImplies(**s, **w);
+}
+
+TEST(PredicateLogicTest, PaperExample) {
+  // "a < 18 is logically stronger than a <= 20".
+  EXPECT_TRUE(Implies("a < 18", "a <= 20"));
+  EXPECT_FALSE(Implies("a <= 20", "a < 18"));
+}
+
+TEST(PredicateLogicTest, EqualityImpliesRanges) {
+  EXPECT_TRUE(Implies("a = 5", "a <= 5"));
+  EXPECT_TRUE(Implies("a = 5", "a >= 5"));
+  EXPECT_TRUE(Implies("a = 5", "a < 6"));
+  EXPECT_TRUE(Implies("a = 5", "a <> 6"));
+  EXPECT_FALSE(Implies("a = 5", "a <> 5"));
+  EXPECT_FALSE(Implies("a = 5", "a > 5"));
+}
+
+TEST(PredicateLogicTest, RangeLogic) {
+  EXPECT_TRUE(Implies("a < 5", "a < 5"));
+  EXPECT_TRUE(Implies("a < 5", "a <= 5"));
+  EXPECT_FALSE(Implies("a <= 5", "a < 5"));
+  EXPECT_TRUE(Implies("a > 10", "a > 5"));
+  EXPECT_TRUE(Implies("a >= 10", "a > 9"));
+  EXPECT_FALSE(Implies("a >= 10", "a > 10"));
+  EXPECT_TRUE(Implies("a < 5", "a <> 7"));
+  EXPECT_FALSE(Implies("a < 5", "a <> 3"));
+}
+
+TEST(PredicateLogicTest, DifferentColumnsNeverImply) {
+  EXPECT_FALSE(Implies("a < 5", "b < 10"));
+  EXPECT_FALSE(Implies("t.a < 5", "u.a < 10"));
+}
+
+TEST(PredicateLogicTest, StringEquality) {
+  EXPECT_TRUE(Implies("country = 'USA'", "country = 'USA'"));
+  EXPECT_FALSE(Implies("country = 'USA'", "country = 'CA'"));
+  EXPECT_TRUE(Implies("country = 'USA'", "country <> 'CA'"));
+}
+
+TEST(PredicateLogicTest, FlippedOperandOrder) {
+  EXPECT_TRUE(Implies("18 > a", "a <= 20"));  // 18 > a  ==  a < 18.
+  auto c = ExtractConstraint(**ParseExpression("5 <= x"));
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->op, ">=");
+  EXPECT_EQ(c->column, "x");
+}
+
+TEST(PredicateLogicTest, NonConstraintsExtractNothing) {
+  EXPECT_FALSE(ExtractConstraint(**ParseExpression("a = b")).has_value());
+  EXPECT_FALSE(ExtractConstraint(**ParseExpression("a + 1 < 5")).has_value());
+  EXPECT_FALSE(
+      ExtractConstraint(**ParseExpression("a < 5 AND b < 3")).has_value());
+}
+
+TEST(PredicateLogicTest, StructuralEqualityFallback) {
+  // Complex but identical conjuncts imply each other.
+  EXPECT_TRUE(Implies("a + b < 5", "a + b < 5"));
+  EXPECT_FALSE(Implies("a + b < 5", "a + b < 6"));  // Not a constraint.
+}
+
+// --- Engine-backed fixture with the paper's carts/users scenario ---
+
+class RewriterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    temp_ = std::make_unique<ScopedTempDir>("rewriter_test");
+    auto cluster = Cluster::Make(4, temp_->path());
+    ASSERT_TRUE(cluster.ok());
+    engine_ = SqlEngine::Make(*cluster);
+    ASSERT_TRUE(RegisterTransformUdfs(engine_.get()).ok());
+
+    auto users_schema = Schema::Make({{"userid", DataType::kInt64},
+                                      {"age", DataType::kInt64},
+                                      {"gender", DataType::kString},
+                                      {"country", DataType::kString}});
+    auto users = engine_->MakeTable("users", users_schema);
+    Random rng(31);
+    for (int64_t id = 0; id < 200; ++id) {
+      users->AppendRow(
+          static_cast<size_t>(id) % 4,
+          Row{Value::Int64(id), Value::Int64(rng.UniformInt(18, 80)),
+              Value::String(rng.Bernoulli(0.5) ? "F" : "M"),
+              Value::String(rng.Bernoulli(0.7) ? "USA" : "CA")});
+    }
+    ASSERT_TRUE(engine_->catalog()->RegisterTable(users).ok());
+
+    auto carts_schema = Schema::Make({{"cartid", DataType::kInt64},
+                                      {"userid", DataType::kInt64},
+                                      {"amount", DataType::kDouble},
+                                      {"nitems", DataType::kInt64},
+                                      {"year", DataType::kInt64},
+                                      {"abandoned", DataType::kString}});
+    auto carts = engine_->MakeTable("carts", carts_schema);
+    for (int64_t id = 0; id < 1000; ++id) {
+      carts->AppendRow(
+          static_cast<size_t>(id) % 4,
+          Row{Value::Int64(id), Value::Int64(rng.UniformInt(0, 199)),
+              Value::Double(rng.NextDouble() * 400),
+              Value::Int64(rng.UniformInt(1, 12)),
+              Value::Int64(rng.UniformInt(2013, 2015)),
+              Value::String(rng.Bernoulli(0.4) ? "Yes" : "No")});
+    }
+    ASSERT_TRUE(engine_->catalog()->RegisterTable(carts).ok());
+  }
+
+  /// The paper's Section 1 data-prep query.
+  static std::string PrepQuery() {
+    return "SELECT U.age, U.gender, C.amount, C.abandoned "
+           "FROM carts C, users U "
+           "WHERE C.userid = U.userid AND U.country = 'USA'";
+  }
+
+  static TransformRequest PaperRequest() {
+    TransformRequest request;
+    request.prep_sql = PrepQuery();
+    request.recode_columns = {"gender", "abandoned"};
+    request.codings["gender"] = CodingScheme::kDummy;
+    return request;
+  }
+
+  std::unique_ptr<ScopedTempDir> temp_;
+  SqlEnginePtr engine_;
+};
+
+TEST_F(RewriterTest, CanonicalizationNormalizesAliases) {
+  auto a = ParseSelect(PrepQuery());
+  auto b = ParseSelect(
+      "SELECT X.age, X.gender, Y.amount, Y.abandoned FROM carts Y, users X "
+      "WHERE Y.userid = X.userid AND X.country = 'USA'");
+  ASSERT_TRUE(a.ok() && b.ok());
+  auto ca = CanonicalizeQuery(*a, *engine_->catalog());
+  auto cb = CanonicalizeQuery(*b, *engine_->catalog());
+  ASSERT_TRUE(ca.ok()) << ca.status();
+  ASSERT_TRUE(cb.ok()) << cb.status();
+  EXPECT_TRUE(CanonicalQuery::SameTables(*ca, *cb));
+  EXPECT_TRUE(CanonicalQuery::SameJoins(*ca, *cb));
+  ASSERT_EQ(ca->predicates.size(), 1u);
+  EXPECT_TRUE(ExprEquals(*ca->predicates[0], *cb->predicates[0]));
+  EXPECT_EQ(ca->projections[0].CanonicalRef(), "users.age");
+}
+
+TEST_F(RewriterTest, CanonicalizationRejectsNonSpjQueries) {
+  auto agg = ParseSelect("SELECT COUNT(*) FROM carts GROUP BY year");
+  ASSERT_TRUE(agg.ok());
+  EXPECT_FALSE(CanonicalizeQuery(*agg, *engine_->catalog()).ok());
+  auto distinct = ParseSelect("SELECT DISTINCT gender FROM users");
+  ASSERT_TRUE(distinct.ok());
+  EXPECT_FALSE(CanonicalizeQuery(*distinct, *engine_->catalog()).ok());
+}
+
+TEST_F(RewriterTest, BuildTransformedSqlMatchesPaperShape) {
+  QueryRewriter rewriter(engine_, nullptr);
+  auto rewrite = rewriter.RewriteWithCache(PaperRequest());
+  ASSERT_TRUE(rewrite.ok()) << rewrite.status();
+  EXPECT_EQ(rewrite->source, QueryRewriter::Source::kComputed);
+  // The rewritten SQL joins through the recode map and wraps dummy coding.
+  EXPECT_NE(rewrite->transformed_sql.find("recodeval AS gender"),
+            std::string::npos);
+  EXPECT_NE(rewrite->transformed_sql.find("dummy_code"), std::string::npos);
+
+  // Execute it: output schema has gender expanded to gender_F, gender_M.
+  auto result = engine_->ExecuteSql(rewrite->transformed_sql);
+  ASSERT_TRUE(result.ok()) << result.status();
+  const Schema& schema = *(*result)->schema();
+  EXPECT_GE(schema.FieldIndex("gender_F"), 0);
+  EXPECT_GE(schema.FieldIndex("gender_M"), 0);
+  EXPECT_GE(schema.FieldIndex("abandoned"), 0);
+  EXPECT_EQ(schema.field(*schema.RequireField("abandoned")).type,
+            DataType::kInt64);
+
+  // Row count equals the raw prep query's.
+  auto raw = engine_->ExecuteSql(PrepQuery());
+  ASSERT_TRUE(raw.ok());
+  EXPECT_EQ((*result)->TotalRows(), (*raw)->TotalRows());
+}
+
+TEST_F(RewriterTest, TransformedValuesAgreeWithMap) {
+  QueryRewriter rewriter(engine_, nullptr);
+  TransformRequest request;
+  request.prep_sql = PrepQuery();
+  request.recode_columns = {"abandoned"};
+  auto rewrite = rewriter.RewriteWithCache(request);
+  ASSERT_TRUE(rewrite.ok()) << rewrite.status();
+  auto result = engine_->ExecuteSql(rewrite->transformed_sql);
+  ASSERT_TRUE(result.ok()) << result.status();
+  // 'No' < 'Yes' alphabetically -> No=1, Yes=2.
+  EXPECT_EQ(*rewrite->recode_map.Code("abandoned", "No"), 1);
+  EXPECT_EQ(*rewrite->recode_map.Code("abandoned", "Yes"), 2);
+  for (const Row& row : (*result)->GatherRows()) {
+    const int64_t code = row[3].int64_value();
+    EXPECT_TRUE(code == 1 || code == 2);
+  }
+}
+
+TEST_F(RewriterTest, RecodeMapCacheHitOnPaperSecondQuery) {
+  TransformCache cache;
+  QueryRewriter rewriter(engine_, &cache);
+  auto first = rewriter.RewriteWithCache(PaperRequest());
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_EQ(first->source, QueryRewriter::Source::kComputed);
+  EXPECT_EQ(cache.misses(), 1);
+
+  // The paper's §5.2 follow-up query: extra projected column nItems, an
+  // extra predicate on a new field (year), same joins and predicates.
+  TransformRequest second;
+  second.prep_sql =
+      "SELECT U.age, U.gender, C.amount, C.nItems, C.abandoned "
+      "FROM carts C, users U "
+      "WHERE C.userid = U.userid AND U.country = 'USA' AND C.year = 2014";
+  second.recode_columns = {"gender", "abandoned"};
+  auto rewrite = rewriter.RewriteWithCache(second);
+  ASSERT_TRUE(rewrite.ok()) << rewrite.status();
+  EXPECT_EQ(rewrite->source, QueryRewriter::Source::kRecodeMapCache);
+  EXPECT_EQ(cache.map_hits(), 1);
+
+  // Reused map must equal a freshly computed one.
+  InSqlTransformer transformer(engine_);
+  auto fresh =
+      transformer.ComputeRecodeMap(second.prep_sql, {"gender", "abandoned"});
+  ASSERT_TRUE(fresh.ok());
+  // Cached map may be a superset; every fresh entry must agree.
+  for (const std::string& column : fresh->Columns()) {
+    auto labels = fresh->Labels(column);
+    ASSERT_TRUE(labels.ok());
+    for (const std::string& label : *labels) {
+      EXPECT_EQ(*rewrite->recode_map.Code(column, label),
+                *fresh->Code(column, label));
+    }
+  }
+  // And executing the rewritten SQL works.
+  auto result = engine_->ExecuteSql(rewrite->transformed_sql);
+  ASSERT_TRUE(result.ok()) << result.status();
+}
+
+TEST_F(RewriterTest, StrongerPredicateStillHitsMapCache) {
+  TransformCache cache;
+  QueryRewriter rewriter(engine_, &cache);
+  TransformRequest first;
+  first.prep_sql =
+      "SELECT U.gender, U.age FROM users U WHERE U.age <= 60";
+  first.recode_columns = {"gender"};
+  ASSERT_TRUE(rewriter.RewriteWithCache(first).ok());
+
+  TransformRequest second;
+  second.prep_sql =
+      "SELECT U.gender, U.age FROM users U WHERE U.age < 40";
+  second.recode_columns = {"gender"};
+  auto rewrite = rewriter.RewriteWithCache(second);
+  ASSERT_TRUE(rewrite.ok()) << rewrite.status();
+  EXPECT_EQ(rewrite->source, QueryRewriter::Source::kRecodeMapCache);
+}
+
+TEST_F(RewriterTest, WeakerPredicateMissesMapCache) {
+  TransformCache cache;
+  QueryRewriter rewriter(engine_, &cache);
+  TransformRequest first;
+  first.prep_sql = "SELECT U.gender, U.age FROM users U WHERE U.age < 40";
+  first.recode_columns = {"gender"};
+  ASSERT_TRUE(rewriter.RewriteWithCache(first).ok());
+
+  TransformRequest second;
+  second.prep_sql = "SELECT U.gender, U.age FROM users U WHERE U.age <= 60";
+  second.recode_columns = {"gender"};
+  auto rewrite = rewriter.RewriteWithCache(second);
+  ASSERT_TRUE(rewrite.ok());
+  // A weaker predicate may surface unseen categories: must recompute.
+  EXPECT_EQ(rewrite->source, QueryRewriter::Source::kComputed);
+  EXPECT_EQ(cache.misses(), 2);
+}
+
+TEST_F(RewriterTest, DifferentJoinsMissCache) {
+  TransformCache cache;
+  QueryRewriter rewriter(engine_, &cache);
+  ASSERT_TRUE(rewriter.RewriteWithCache(PaperRequest()).ok());
+
+  TransformRequest other;
+  other.prep_sql =
+      "SELECT U.gender FROM users U WHERE U.country = 'USA'";  // No join.
+  other.recode_columns = {"gender"};
+  auto rewrite = rewriter.RewriteWithCache(other);
+  ASSERT_TRUE(rewrite.ok());
+  EXPECT_EQ(rewrite->source, QueryRewriter::Source::kComputed);
+}
+
+TEST_F(RewriterTest, FullResultCacheHitOnPaperSubsetQuery) {
+  TransformCache cache;
+  QueryRewriter rewriter(engine_, &cache);
+  auto first = rewriter.RewriteWithCache(PaperRequest());
+  ASSERT_TRUE(first.ok()) << first.status();
+  // Materialize the transformed result and register it for §5.1 reuse.
+  auto table =
+      engine_->MaterializeSql(first->transformed_sql, "transformed_cache");
+  ASSERT_TRUE(table.ok()) << table.status();
+  ASSERT_TRUE(rewriter
+                  .CacheFullResult(PaperRequest(), first->recode_map,
+                                   "transformed_cache")
+                  .ok());
+
+  // The paper's §5.1 follow-up: subset projection plus a predicate on a
+  // projected categorical field.
+  TransformRequest second;
+  second.prep_sql =
+      "SELECT U.age, C.amount, C.abandoned FROM carts C, users U "
+      "WHERE C.userid = U.userid AND U.country = 'USA' AND U.gender = 'F'";
+  second.recode_columns = {"abandoned"};
+  auto rewrite = rewriter.RewriteWithCache(second);
+  ASSERT_TRUE(rewrite.ok()) << rewrite.status();
+  EXPECT_EQ(rewrite->source, QueryRewriter::Source::kFullResultCache);
+  EXPECT_NE(rewrite->transformed_sql.find("transformed_cache"),
+            std::string::npos);
+  // gender was dummy-coded in the cache; the predicate becomes gender_F = 1.
+  EXPECT_NE(rewrite->transformed_sql.find("gender_F = 1"), std::string::npos)
+      << rewrite->transformed_sql;
+
+  // Correctness: rewritten result equals computing from scratch.
+  auto from_cache = engine_->ExecuteSql(rewrite->transformed_sql);
+  ASSERT_TRUE(from_cache.ok()) << from_cache.status();
+  QueryRewriter cold(engine_, nullptr);
+  auto recomputed = cold.RewriteWithCache(second);
+  ASSERT_TRUE(recomputed.ok());
+  auto direct = engine_->ExecuteSql(recomputed->transformed_sql);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ((*from_cache)->TotalRows(), (*direct)->TotalRows());
+}
+
+TEST_F(RewriterTest, FullCacheMissWhenProjectingUnCachedColumn) {
+  TransformCache cache;
+  QueryRewriter rewriter(engine_, &cache);
+  auto first = rewriter.RewriteWithCache(PaperRequest());
+  ASSERT_TRUE(first.ok());
+  auto table =
+      engine_->MaterializeSql(first->transformed_sql, "transformed_cache2");
+  ASSERT_TRUE(table.ok());
+  ASSERT_TRUE(rewriter
+                  .CacheFullResult(PaperRequest(), first->recode_map,
+                                   "transformed_cache2")
+                  .ok());
+
+  // nItems was not projected by the cached query (the paper notes this
+  // follow-up cannot use the full cache).
+  TransformRequest second;
+  second.prep_sql =
+      "SELECT U.age, U.gender, C.amount, C.nItems, C.abandoned "
+      "FROM carts C, users U "
+      "WHERE C.userid = U.userid AND U.country = 'USA' AND C.year = 2014";
+  second.recode_columns = {"gender", "abandoned"};
+  auto rewrite = rewriter.RewriteWithCache(second);
+  ASSERT_TRUE(rewrite.ok());
+  EXPECT_NE(rewrite->source, QueryRewriter::Source::kFullResultCache);
+  // But it does hit the recode-map cache (§5.2), as the paper describes.
+  EXPECT_EQ(rewrite->source, QueryRewriter::Source::kRecodeMapCache);
+}
+
+TEST_F(RewriterTest, FullCacheMissOnExtraPredicateOverUnprojectedField) {
+  TransformCache cache;
+  QueryRewriter rewriter(engine_, &cache);
+  auto first = rewriter.RewriteWithCache(PaperRequest());
+  ASSERT_TRUE(first.ok());
+  auto table =
+      engine_->MaterializeSql(first->transformed_sql, "transformed_cache3");
+  ASSERT_TRUE(table.ok());
+  ASSERT_TRUE(rewriter
+                  .CacheFullResult(PaperRequest(), first->recode_map,
+                                   "transformed_cache3")
+                  .ok());
+  TransformRequest second;
+  // year is not projected by the cached query -> §5.1 condition 3 fails.
+  second.prep_sql =
+      "SELECT U.age, C.amount FROM carts C, users U "
+      "WHERE C.userid = U.userid AND U.country = 'USA' AND C.year = 2014";
+  auto rewrite = rewriter.RewriteWithCache(second);
+  ASSERT_TRUE(rewrite.ok());
+  EXPECT_NE(rewrite->source, QueryRewriter::Source::kFullResultCache);
+}
+
+TEST_F(RewriterTest, CacheMatchesAcrossDifferentAliases) {
+  // §5 matching is alias-insensitive: the follow-up query renames both
+  // tables and flips equality operand order, yet still hits the cache.
+  TransformCache cache;
+  QueryRewriter rewriter(engine_, &cache);
+  ASSERT_TRUE(rewriter.RewriteWithCache(PaperRequest()).ok());
+
+  TransformRequest renamed;
+  renamed.prep_sql =
+      "SELECT B.age, B.gender, A.amount, A.abandoned "
+      "FROM carts A, users B "
+      "WHERE B.userid = A.userid AND B.country = 'USA'";
+  renamed.recode_columns = {"gender", "abandoned"};
+  renamed.codings["gender"] = CodingScheme::kDummy;
+  auto rewrite = rewriter.RewriteWithCache(renamed);
+  ASSERT_TRUE(rewrite.ok()) << rewrite.status();
+  EXPECT_EQ(rewrite->source, QueryRewriter::Source::kRecodeMapCache);
+}
+
+TEST_F(RewriterTest, PredicateOrderIrrelevantForMatching) {
+  TransformCache cache;
+  QueryRewriter rewriter(engine_, &cache);
+  TransformRequest first;
+  first.prep_sql =
+      "SELECT U.gender FROM users U WHERE U.age > 20 AND U.country = 'USA'";
+  first.recode_columns = {"gender"};
+  ASSERT_TRUE(rewriter.RewriteWithCache(first).ok());
+
+  TransformRequest reordered;
+  reordered.prep_sql =
+      "SELECT U.gender FROM users U WHERE U.country = 'USA' AND U.age > 20";
+  reordered.recode_columns = {"gender"};
+  auto rewrite = rewriter.RewriteWithCache(reordered);
+  ASSERT_TRUE(rewrite.ok());
+  EXPECT_EQ(rewrite->source, QueryRewriter::Source::kRecodeMapCache);
+}
+
+TEST_F(RewriterTest, DifferentCodingSchemeStillReusesRecodeMap) {
+  // §5.2 reuse is about the map, not the coding: asking for effect coding
+  // after a dummy-coded run still skips the recoding pass.
+  TransformCache cache;
+  QueryRewriter rewriter(engine_, &cache);
+  ASSERT_TRUE(rewriter.RewriteWithCache(PaperRequest()).ok());
+
+  TransformRequest effect = PaperRequest();
+  effect.codings["gender"] = CodingScheme::kEffect;
+  auto rewrite = rewriter.RewriteWithCache(effect);
+  ASSERT_TRUE(rewrite.ok()) << rewrite.status();
+  EXPECT_EQ(rewrite->source, QueryRewriter::Source::kRecodeMapCache);
+  EXPECT_NE(rewrite->transformed_sql.find("effect_code"), std::string::npos);
+  auto result = engine_->ExecuteSql(rewrite->transformed_sql);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_GE((*result)->schema()->FieldIndex("gender_F"), 0);
+  EXPECT_EQ((*result)->schema()->FieldIndex("gender_M"), -1);
+}
+
+TEST_F(RewriterTest, FullCacheMissWhenCodingDiffers) {
+  // §5.1 requires identical treatments: a cached dummy-coded result cannot
+  // serve an effect-coding request (the stored columns differ).
+  TransformCache cache;
+  QueryRewriter rewriter(engine_, &cache);
+  auto first = rewriter.RewriteWithCache(PaperRequest());
+  ASSERT_TRUE(first.ok());
+  auto table =
+      engine_->MaterializeSql(first->transformed_sql, "cache_coded");
+  ASSERT_TRUE(table.ok());
+  ASSERT_TRUE(
+      rewriter.CacheFullResult(PaperRequest(), first->recode_map, "cache_coded")
+          .ok());
+
+  TransformRequest effect = PaperRequest();
+  effect.codings["gender"] = CodingScheme::kEffect;
+  auto rewrite = rewriter.RewriteWithCache(effect);
+  ASSERT_TRUE(rewrite.ok());
+  EXPECT_NE(rewrite->source, QueryRewriter::Source::kFullResultCache);
+}
+
+TEST_F(RewriterTest, CacheStatsAccumulate) {
+  TransformCache cache;
+  QueryRewriter rewriter(engine_, &cache);
+  ASSERT_TRUE(rewriter.RewriteWithCache(PaperRequest()).ok());
+  ASSERT_TRUE(rewriter.RewriteWithCache(PaperRequest()).ok());
+  EXPECT_EQ(cache.misses(), 1);
+  EXPECT_EQ(cache.map_hits(), 1);
+  EXPECT_EQ(cache.size(), 1u);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.map_hits(), 0);
+}
+
+}  // namespace
+}  // namespace sqlink

@@ -1,0 +1,541 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+
+#include "cluster/cluster.h"
+#include "common/fs_util.h"
+#include "common/status_macros.h"
+#include "sql/engine.h"
+
+namespace sqlink {
+namespace {
+
+/// Sorts rows for order-insensitive comparison.
+std::vector<Row> Sorted(std::vector<Row> rows) {
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    for (size_t i = 0; i < std::min(a.size(), b.size()); ++i) {
+      if (a[i] < b[i]) return true;
+      if (b[i] < a[i]) return false;
+    }
+    return a.size() < b.size();
+  });
+  return rows;
+}
+
+class SqlEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    temp_ = std::make_unique<ScopedTempDir>("sql_test");
+    auto cluster = Cluster::Make(4, temp_->path());
+    ASSERT_TRUE(cluster.ok());
+    engine_ = SqlEngine::Make(*cluster);
+
+    // The paper's running example: carts and users.
+    auto users_schema = Schema::Make({{"userid", DataType::kInt64},
+                                      {"age", DataType::kInt64},
+                                      {"gender", DataType::kString},
+                                      {"country", DataType::kString}});
+    auto users = engine_->MakeTable("users", users_schema);
+    AddUser(users.get(), 1, 57, "F", "USA");
+    AddUser(users.get(), 2, 40, "M", "USA");
+    AddUser(users.get(), 3, 35, "F", "CA");
+    AddUser(users.get(), 4, 22, "M", "USA");
+    AddUser(users.get(), 5, 61, "F", "USA");
+    ASSERT_TRUE(engine_->catalog()->RegisterTable(users).ok());
+
+    auto carts_schema = Schema::Make({{"cartid", DataType::kInt64},
+                                      {"userid", DataType::kInt64},
+                                      {"amount", DataType::kDouble},
+                                      {"abandoned", DataType::kString}});
+    auto carts = engine_->MakeTable("carts", carts_schema);
+    AddCart(carts.get(), 100, 1, 153.99, "Yes");
+    AddCart(carts.get(), 101, 2, 99.50, "Yes");
+    AddCart(carts.get(), 102, 3, 75.25, "No");
+    AddCart(carts.get(), 103, 4, 12.00, "No");
+    AddCart(carts.get(), 104, 1, 300.00, "No");
+    AddCart(carts.get(), 105, 9, 1.00, "Yes");  // No matching user.
+    ASSERT_TRUE(engine_->catalog()->RegisterTable(carts).ok());
+  }
+
+  void AddUser(Table* t, int64_t id, int64_t age, const std::string& gender,
+               const std::string& country) {
+    t->AppendRow(static_cast<size_t>(id) % t->num_partitions(),
+                 Row{Value::Int64(id), Value::Int64(age),
+                     Value::String(gender), Value::String(country)});
+  }
+
+  void AddCart(Table* t, int64_t cart, int64_t user, double amount,
+               const std::string& abandoned) {
+    t->AppendRow(static_cast<size_t>(cart) % t->num_partitions(),
+                 Row{Value::Int64(cart), Value::Int64(user),
+                     Value::Double(amount), Value::String(abandoned)});
+  }
+
+  std::vector<Row> Run(const std::string& sql) {
+    auto result = engine_->ExecuteSql(sql);
+    EXPECT_TRUE(result.ok()) << sql << " -> " << result.status();
+    if (!result.ok()) return {};
+    return (*result)->GatherRows();
+  }
+
+  std::unique_ptr<ScopedTempDir> temp_;
+  SqlEnginePtr engine_;
+};
+
+TEST_F(SqlEngineTest, SelectStarSingleTable) {
+  EXPECT_EQ(Run("SELECT * FROM users").size(), 5u);
+}
+
+TEST_F(SqlEngineTest, FilterPushdown) {
+  auto rows = Run("SELECT userid FROM users WHERE country = 'USA'");
+  EXPECT_EQ(rows.size(), 4u);
+}
+
+TEST_F(SqlEngineTest, PaperExampleJoin) {
+  auto rows = Run(
+      "SELECT U.age, U.gender, C.amount, C.abandoned "
+      "FROM carts C, users U "
+      "WHERE C.userid = U.userid AND U.country = 'USA'");
+  // Carts 100,101,103,104 belong to USA users; 102 is CA; 105 dangles.
+  ASSERT_EQ(rows.size(), 4u);
+  for (const Row& row : rows) {
+    EXPECT_EQ(row.size(), 4u);
+    EXPECT_TRUE(row[0].is_int64());
+    EXPECT_TRUE(row[1].is_string());
+  }
+}
+
+TEST_F(SqlEngineTest, JoinOrderIndependent) {
+  auto a = Sorted(Run(
+      "SELECT U.userid, C.cartid FROM carts C, users U "
+      "WHERE C.userid = U.userid"));
+  auto b = Sorted(Run(
+      "SELECT U.userid, C.cartid FROM users U, carts C "
+      "WHERE U.userid = C.userid"));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), 5u);
+}
+
+TEST_F(SqlEngineTest, ProjectionExpressions) {
+  auto rows = Run(
+      "SELECT amount * 2 AS dbl, UPPER(abandoned) AS ab FROM carts "
+      "WHERE cartid = 100");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(rows[0][0].double_value(), 307.98);
+  EXPECT_EQ(rows[0][1], Value::String("YES"));
+}
+
+TEST_F(SqlEngineTest, DistinctGlobal) {
+  auto rows = Run("SELECT DISTINCT gender FROM users");
+  EXPECT_EQ(rows.size(), 2u);
+  auto rows2 = Run("SELECT DISTINCT gender, country FROM users");
+  EXPECT_EQ(rows2.size(), 3u);  // (F,USA), (M,USA), (F,CA).
+}
+
+TEST_F(SqlEngineTest, AggregateGroupBy) {
+  auto rows = Sorted(Run(
+      "SELECT gender, COUNT(*) AS n, MIN(age) AS young FROM users "
+      "GROUP BY gender"));
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0], Value::String("F"));
+  EXPECT_EQ(rows[0][1], Value::Int64(3));
+  EXPECT_EQ(rows[0][2], Value::Int64(35));
+  EXPECT_EQ(rows[1][0], Value::String("M"));
+  EXPECT_EQ(rows[1][1], Value::Int64(2));
+}
+
+TEST_F(SqlEngineTest, GlobalAggregates) {
+  auto rows = Run(
+      "SELECT COUNT(*), SUM(amount), AVG(amount), MAX(amount) FROM carts");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], Value::Int64(6));
+  EXPECT_NEAR(rows[0][1].double_value(), 641.74, 1e-9);
+  EXPECT_NEAR(rows[0][2].double_value(), 641.74 / 6, 1e-9);
+  EXPECT_DOUBLE_EQ(rows[0][3].double_value(), 300.0);
+}
+
+TEST_F(SqlEngineTest, GlobalAggregateOnEmptyInput) {
+  auto rows = Run("SELECT COUNT(*) FROM users WHERE age > 1000");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], Value::Int64(0));
+}
+
+TEST_F(SqlEngineTest, OrderByAndLimit) {
+  auto rows = Run("SELECT cartid, amount FROM carts ORDER BY amount DESC");
+  ASSERT_EQ(rows.size(), 6u);
+  EXPECT_EQ(rows[0][0], Value::Int64(104));
+  EXPECT_EQ(rows[5][0], Value::Int64(105));
+  auto limited = Run(
+      "SELECT cartid FROM carts ORDER BY amount DESC LIMIT 2");
+  ASSERT_EQ(limited.size(), 2u);
+  EXPECT_EQ(limited[0][0], Value::Int64(104));
+  EXPECT_EQ(limited[1][0], Value::Int64(100));
+}
+
+TEST_F(SqlEngineTest, SubqueryInFrom) {
+  auto rows = Run(
+      "SELECT big.cartid FROM "
+      "(SELECT cartid, amount FROM carts WHERE amount > 90) big "
+      "WHERE big.amount < 200");
+  ASSERT_EQ(rows.size(), 2u);  // 100 (153.99) and 101 (99.50).
+}
+
+TEST_F(SqlEngineTest, BetweenAndOr) {
+  auto rows = Run(
+      "SELECT userid FROM users WHERE age BETWEEN 30 AND 60 "
+      "AND (gender = 'F' OR country = 'USA')");
+  EXPECT_EQ(rows.size(), 3u);  // Users 1 (57,F), 2 (40,M,USA), 3 (35,F).
+}
+
+TEST_F(SqlEngineTest, NullSemanticsInFilters) {
+  auto t = engine_->MakeTable(
+      "nully", Schema::Make({{"x", DataType::kInt64}}));
+  t->AppendRow(0, Row{Value::Int64(1)});
+  t->AppendRow(1, Row{Value::Null()});
+  t->AppendRow(2, Row{Value::Int64(3)});
+  ASSERT_TRUE(engine_->catalog()->RegisterTable(t).ok());
+  // NULL comparisons are not TRUE -> row dropped.
+  EXPECT_EQ(Run("SELECT x FROM nully WHERE x > 0").size(), 2u);
+  EXPECT_EQ(Run("SELECT x FROM nully WHERE x IS NULL").size(), 1u);
+  EXPECT_EQ(Run("SELECT x FROM nully WHERE x IS NOT NULL").size(), 2u);
+  // NULL join keys never match.
+  EXPECT_EQ(Run("SELECT a.x FROM nully a, nully b WHERE a.x = b.x").size(),
+            2u);
+}
+
+TEST_F(SqlEngineTest, AmbiguousColumnRejected) {
+  auto status =
+      engine_->ExecuteSql("SELECT userid FROM carts C, users U").status();
+  EXPECT_FALSE(status.ok());
+}
+
+TEST_F(SqlEngineTest, UnknownTableAndColumnErrors) {
+  EXPECT_TRUE(
+      engine_->ExecuteSql("SELECT x FROM ghost").status().IsNotFound());
+  EXPECT_FALSE(engine_->ExecuteSql("SELECT ghost FROM users").ok());
+}
+
+TEST_F(SqlEngineTest, CrossJoinWithoutKeys) {
+  auto rows = Run("SELECT U.userid, C.cartid FROM users U, carts C");
+  EXPECT_EQ(rows.size(), 30u);
+}
+
+TEST_F(SqlEngineTest, RepartitionJoinMatchesBroadcast) {
+  // Run the same join through both strategies: broadcast (default
+  // threshold) and repartition (threshold forced to zero). Results must
+  // agree row-for-row.
+  const std::string sql =
+      "SELECT U.userid, C.cartid, C.amount FROM carts C, users U "
+      "WHERE C.userid = U.userid AND U.country = 'USA'";
+  auto broadcast = Sorted(Run(sql));
+  EXPECT_NE(PlanTreeToString(*engine_->Plan(sql)).find("[broadcast]"),
+            std::string::npos);
+
+  engine_->set_broadcast_threshold_rows(0);
+  EXPECT_NE(PlanTreeToString(*engine_->Plan(sql)).find("[repartition]"),
+            std::string::npos);
+  auto repartition = Sorted(Run(sql));
+  engine_->set_broadcast_threshold_rows(500000);
+
+  EXPECT_EQ(broadcast, repartition);
+  EXPECT_EQ(broadcast.size(), 4u);
+}
+
+TEST_F(SqlEngineTest, RepartitionJoinMultiKeyAndNulls) {
+  auto t = engine_->MakeTable("pairs",
+                              Schema::Make({{"x", DataType::kInt64},
+                                            {"y", DataType::kString}}));
+  t->AppendRow(0, Row{Value::Int64(1), Value::String("a")});
+  t->AppendRow(1, Row{Value::Int64(1), Value::String("b")});
+  t->AppendRow(2, Row{Value::Int64(2), Value::String("a")});
+  t->AppendRow(3, Row{Value::Null(), Value::String("a")});
+  ASSERT_TRUE(engine_->catalog()->RegisterTable(t).ok());
+  const std::string sql =
+      "SELECT l.x FROM pairs l, pairs r WHERE l.x = r.x AND l.y = r.y";
+  auto broadcast = Sorted(Run(sql));
+  engine_->set_broadcast_threshold_rows(0);
+  auto repartition = Sorted(Run(sql));
+  engine_->set_broadcast_threshold_rows(500000);
+  EXPECT_EQ(broadcast, repartition);
+  EXPECT_EQ(broadcast.size(), 3u);  // NULL keys never match themselves.
+}
+
+TEST_F(SqlEngineTest, ExplicitInnerJoinSyntax) {
+  auto comma = Sorted(Run(
+      "SELECT U.age, C.amount FROM carts C, users U "
+      "WHERE C.userid = U.userid AND U.country = 'USA'"));
+  auto join = Sorted(Run(
+      "SELECT U.age, C.amount FROM carts C JOIN users U "
+      "ON C.userid = U.userid WHERE U.country = 'USA'"));
+  auto inner = Sorted(Run(
+      "SELECT U.age, C.amount FROM carts C INNER JOIN users U "
+      "ON C.userid = U.userid WHERE U.country = 'USA'"));
+  EXPECT_EQ(comma, join);
+  EXPECT_EQ(comma, inner);
+  EXPECT_EQ(comma.size(), 4u);
+}
+
+TEST_F(SqlEngineTest, ChainedExplicitJoins) {
+  auto t = engine_->MakeTable("countries",
+                              Schema::Make({{"code", DataType::kString},
+                                            {"name", DataType::kString}}));
+  t->AppendRow(0, Row{Value::String("USA"), Value::String("United States")});
+  t->AppendRow(1, Row{Value::String("CA"), Value::String("Canada")});
+  ASSERT_TRUE(engine_->catalog()->RegisterTable(t).ok());
+  auto rows = Run(
+      "SELECT N.name, C.amount FROM carts C "
+      "JOIN users U ON C.userid = U.userid "
+      "JOIN countries N ON U.country = N.code "
+      "WHERE U.age > 30");
+  EXPECT_EQ(rows.size(), 4u);  // Users 1, 2, 3, 5 have carts; 4 is 22.
+}
+
+TEST_F(SqlEngineTest, InnerWithoutJoinRejected) {
+  EXPECT_FALSE(
+      engine_->ExecuteSql("SELECT * FROM carts INNER users").ok());
+}
+
+TEST_F(SqlEngineTest, MaterializeRegistersResult) {
+  auto table = engine_->MaterializeSql(
+      "SELECT userid, age FROM users WHERE country = 'USA'", "usa_users");
+  ASSERT_TRUE(table.ok());
+  auto rows = Run("SELECT * FROM usa_users WHERE age > 30");
+  EXPECT_EQ(rows.size(), 3u);
+}
+
+TEST_F(SqlEngineTest, ScalarFunctionsInPredicates) {
+  auto rows = Run("SELECT userid FROM users WHERE LOWER(country) = 'usa'");
+  EXPECT_EQ(rows.size(), 4u);
+  auto rows2 = Run("SELECT LENGTH(country) AS l FROM users WHERE userid = 3");
+  ASSERT_EQ(rows2.size(), 1u);
+  EXPECT_EQ(rows2[0][0], Value::Int64(2));
+}
+
+TEST_F(SqlEngineTest, CustomScalarUdf) {
+  ASSERT_TRUE(engine_
+                  ->scalar_udfs()
+                  ->Register(ScalarFunction{
+                      "double_it",
+                      [](const std::vector<DataType>& args) -> Result<DataType> {
+                        if (args.size() != 1) {
+                          return Status::InvalidArgument("double_it(x)");
+                        }
+                        return args[0];
+                      },
+                      [](const std::vector<Value>& args) -> Result<Value> {
+                        if (args[0].is_null()) return Value::Null();
+                        return Value::Int64(args[0].int64_value() * 2);
+                      }})
+                  .ok());
+  auto rows = Run("SELECT double_it(age) FROM users WHERE userid = 1");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], Value::Int64(114));
+}
+
+/// A test table UDF: emits (worker_id, row_count) per partition — verifies
+/// parallel per-partition execution and UDF plumbing.
+class PartitionCounterUdf final : public TableUdf {
+ public:
+  Result<SchemaPtr> Bind(const SchemaPtr& input_schema,
+                         const std::vector<Value>& args) override {
+    if (input_schema == nullptr) {
+      return Status::InvalidArgument("needs an input relation");
+    }
+    if (!args.empty()) return Status::InvalidArgument("takes no args");
+    return Schema::Make(
+        {{"worker", DataType::kInt64}, {"cnt", DataType::kInt64}});
+  }
+
+  Status ProcessPartition(const TableUdfContext& context, RowIterator* input,
+                          RowSink* output) override {
+    int64_t count = 0;
+    Row row;
+    for (;;) {
+      auto has = input->Next(&row);
+      RETURN_IF_ERROR(has.status());
+      if (!*has) break;
+      ++count;
+    }
+    return output->Push(
+        Row{Value::Int64(context.worker_id), Value::Int64(count)});
+  }
+};
+
+TEST_F(SqlEngineTest, TableUdfRunsPerWorker) {
+  ASSERT_TRUE(engine_->table_udfs()
+                  ->Register("partition_counter",
+                             [] { return std::make_shared<PartitionCounterUdf>(); })
+                  .ok());
+  auto rows = Run(
+      "SELECT * FROM TABLE(partition_counter((SELECT * FROM carts)))");
+  ASSERT_EQ(rows.size(), 4u);  // One row per SQL worker.
+  int64_t total = 0;
+  std::set<int64_t> workers;
+  for (const Row& row : rows) {
+    workers.insert(row[0].int64_value());
+    total += row[1].int64_value();
+  }
+  EXPECT_EQ(total, 6);
+  EXPECT_EQ(workers.size(), 4u);
+}
+
+TEST_F(SqlEngineTest, TableUdfWithBareTableName) {
+  ASSERT_TRUE(engine_->table_udfs()
+                  ->Register("partition_counter2",
+                             [] { return std::make_shared<PartitionCounterUdf>(); })
+                  .ok());
+  auto rows = Run("SELECT * FROM TABLE(partition_counter2(carts))");
+  EXPECT_EQ(rows.size(), 4u);
+}
+
+TEST_F(SqlEngineTest, PlanRendering) {
+  auto plan = engine_->Plan(
+      "SELECT U.age FROM carts C, users U "
+      "WHERE C.userid = U.userid AND U.country = 'USA'");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  const std::string tree = PlanTreeToString(*plan);
+  EXPECT_NE(tree.find("HashJoin"), std::string::npos);
+  EXPECT_NE(tree.find("Filter"), std::string::npos);  // Pushed-down filter.
+  EXPECT_NE(tree.find("Scan(carts)"), std::string::npos);
+}
+
+TEST_F(SqlEngineTest, OrderByMultipleKeysMixedDirections) {
+  auto rows = Run(
+      "SELECT abandoned, amount FROM carts ORDER BY abandoned ASC, "
+      "amount DESC");
+  ASSERT_EQ(rows.size(), 6u);
+  // 'No' group first (amount descending within), then 'Yes'.
+  EXPECT_EQ(rows[0][0], Value::String("No"));
+  EXPECT_DOUBLE_EQ(rows[0][1].double_value(), 300.0);
+  EXPECT_EQ(rows[1][0], Value::String("No"));
+  EXPECT_DOUBLE_EQ(rows[1][1].double_value(), 75.25);
+  EXPECT_EQ(rows[3][0], Value::String("Yes"));
+  EXPECT_DOUBLE_EQ(rows[3][1].double_value(), 153.99);
+}
+
+TEST_F(SqlEngineTest, OrderByOrdinalPosition) {
+  auto rows = Run("SELECT userid, age FROM users ORDER BY 2 DESC LIMIT 1");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][1], Value::Int64(61));  // Oldest user.
+}
+
+TEST_F(SqlEngineTest, CastFunctions) {
+  auto rows = Run(
+      "SELECT CAST_STRING(age), CAST_DOUBLE(age), CAST_INT64(amount) "
+      "FROM carts C, users U WHERE C.userid = U.userid AND cartid = 100");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], Value::String("57"));
+  EXPECT_DOUBLE_EQ(rows[0][1].double_value(), 57.0);
+  EXPECT_EQ(rows[0][2], Value::Int64(153));
+  // String -> number casts parse strictly.
+  auto bad = engine_->ExecuteSql(
+      "SELECT CAST_INT64(gender) FROM users WHERE userid = 1");
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST_F(SqlEngineTest, ScalarFunctionErrorsPropagateFromWorkers) {
+  // Division by zero inside a projection surfaces as a status, not a crash.
+  auto status =
+      engine_->ExecuteSql("SELECT amount / (cartid - cartid) FROM carts")
+          .status();
+  EXPECT_TRUE(status.IsInvalidArgument());
+  EXPECT_NE(status.message().find("division by zero"), std::string::npos);
+}
+
+TEST_F(SqlEngineTest, MinMaxOnStrings) {
+  auto rows = Run("SELECT MIN(gender), MAX(country) FROM users");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], Value::String("F"));
+  EXPECT_EQ(rows[0][1], Value::String("USA"));
+  // SUM over strings is rejected at planning time.
+  EXPECT_TRUE(engine_->ExecuteSql("SELECT SUM(gender) FROM users")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(SqlEngineTest, GlobalAggregateWithHaving) {
+  auto some = Run("SELECT COUNT(*) AS n FROM carts HAVING COUNT(*) > 3");
+  ASSERT_EQ(some.size(), 1u);
+  EXPECT_EQ(some[0][0], Value::Int64(6));
+  auto none = Run("SELECT COUNT(*) AS n FROM carts HAVING COUNT(*) > 100");
+  EXPECT_EQ(none.size(), 0u);
+}
+
+TEST_F(SqlEngineTest, InListDesugarsToDisjunction) {
+  auto rows = Run("SELECT userid FROM users WHERE country IN ('USA', 'MX')");
+  EXPECT_EQ(rows.size(), 4u);
+  auto none = Run("SELECT userid FROM users WHERE country IN ('MX', 'BR')");
+  EXPECT_EQ(none.size(), 0u);
+  auto negated =
+      Run("SELECT userid FROM users WHERE country NOT IN ('USA')");
+  EXPECT_EQ(negated.size(), 1u);  // Only the CA user.
+  auto numeric = Run("SELECT userid FROM users WHERE userid IN (1, 3, 5)");
+  EXPECT_EQ(numeric.size(), 3u);
+}
+
+TEST_F(SqlEngineTest, HavingFiltersGroups) {
+  auto rows = Sorted(Run(
+      "SELECT userid, COUNT(*) AS n FROM carts GROUP BY userid "
+      "HAVING COUNT(*) > 1"));
+  // Only user 1 has two carts (100, 104).
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], Value::Int64(1));
+  EXPECT_EQ(rows[0][1], Value::Int64(2));
+}
+
+TEST_F(SqlEngineTest, HavingOnGroupKeyAndAggregate) {
+  auto rows = Run(
+      "SELECT gender, MAX(age) AS oldest FROM users GROUP BY gender "
+      "HAVING gender = 'F' AND MAX(age) > 50");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], Value::String("F"));
+  EXPECT_EQ(rows[0][1], Value::Int64(61));
+}
+
+TEST_F(SqlEngineTest, HavingAggregateMissingFromSelectRejected) {
+  auto status = engine_
+                    ->ExecuteSql(
+                        "SELECT gender FROM users GROUP BY gender "
+                        "HAVING SUM(age) > 10")
+                    .status();
+  EXPECT_TRUE(status.IsInvalidArgument());
+  EXPECT_NE(status.message().find("SELECT list"), std::string::npos);
+}
+
+TEST_F(SqlEngineTest, ExplainRendersPlanTree) {
+  auto explain = engine_->ExplainSql(
+      "SELECT U.age FROM carts C, users U WHERE C.userid = U.userid "
+      "ORDER BY age LIMIT 3");
+  ASSERT_TRUE(explain.ok());
+  EXPECT_NE(explain->find("Limit(3)"), std::string::npos);
+  EXPECT_NE(explain->find("Sort"), std::string::npos);
+  EXPECT_NE(explain->find("HashJoin[broadcast]"), std::string::npos);
+}
+
+TEST_F(SqlEngineTest, LimitWithoutSortTerminatesEarly) {
+  // Early termination: LIMIT over a pipelined scan must not depend on
+  // total table size for correctness, and output respects the limit.
+  auto rows = Run("SELECT cartid FROM carts LIMIT 2");
+  EXPECT_EQ(rows.size(), 2u);
+  auto all = Run("SELECT cartid FROM carts LIMIT 100");
+  EXPECT_EQ(all.size(), 6u);  // Fewer rows than the limit.
+  auto zero = Run("SELECT cartid FROM carts LIMIT 0");
+  EXPECT_EQ(zero.size(), 0u);
+  auto joined =
+      Run("SELECT U.age FROM carts C, users U WHERE C.userid = U.userid "
+          "LIMIT 3");
+  EXPECT_EQ(joined.size(), 3u);
+}
+
+TEST_F(SqlEngineTest, CatalogOperations) {
+  EXPECT_TRUE(engine_->catalog()->HasTable("CARTS"));  // Case-insensitive.
+  EXPECT_EQ(engine_->catalog()->ListTables().size(), 2u);
+  EXPECT_TRUE(engine_->catalog()->DropTable("carts").ok());
+  EXPECT_FALSE(engine_->catalog()->HasTable("carts"));
+  EXPECT_TRUE(engine_->catalog()->DropTable("carts").IsNotFound());
+}
+
+}  // namespace
+}  // namespace sqlink

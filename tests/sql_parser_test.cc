@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include "sql/ast.h"
+#include "sql/lexer.h"
+#include "sql/parser.h"
+
+namespace sqlink {
+namespace {
+
+TEST(LexerTest, TokenizesTheExampleQuery) {
+  auto tokens = Tokenize(
+      "SELECT U.age, U.gender, C.amount, C.abandoned "
+      "FROM carts C, users U "
+      "WHERE C.userid=U.userid AND U.country='USA'");
+  ASSERT_TRUE(tokens.ok()) << tokens.status();
+  EXPECT_EQ(tokens->front().type, TokenType::kKeyword);
+  EXPECT_EQ(tokens->front().text, "SELECT");
+  EXPECT_EQ(tokens->back().type, TokenType::kEnd);
+}
+
+TEST(LexerTest, StringEscapes) {
+  auto tokens = Tokenize("'it''s'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kString);
+  EXPECT_EQ((*tokens)[0].text, "it's");
+}
+
+TEST(LexerTest, UnterminatedStringErrors) {
+  EXPECT_TRUE(Tokenize("SELECT 'oops").status().IsParseError());
+}
+
+TEST(LexerTest, NumbersAndOperators) {
+  auto tokens = Tokenize("1 2.5 1e3 <= >= <> != = < >");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kInteger);
+  EXPECT_EQ((*tokens)[1].type, TokenType::kDouble);
+  EXPECT_EQ((*tokens)[2].type, TokenType::kDouble);
+  EXPECT_EQ((*tokens)[3].text, "<=");
+  EXPECT_EQ((*tokens)[4].text, ">=");
+  EXPECT_EQ((*tokens)[5].text, "<>");
+  EXPECT_EQ((*tokens)[6].text, "!=");
+}
+
+TEST(LexerTest, KeywordsCaseInsensitive) {
+  auto tokens = Tokenize("select From wHeRe");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "SELECT");
+  EXPECT_EQ((*tokens)[1].text, "FROM");
+  EXPECT_EQ((*tokens)[2].text, "WHERE");
+}
+
+TEST(ParserTest, ExampleQueryShape) {
+  auto stmt = ParseSelect(
+      "SELECT U.age, U.gender, C.amount, C.abandoned "
+      "FROM carts C, users U "
+      "WHERE C.userid = U.userid AND U.country = 'USA'");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  EXPECT_EQ(stmt->items.size(), 4u);
+  EXPECT_EQ(stmt->from.size(), 2u);
+  EXPECT_EQ(stmt->from[0].name, "carts");
+  EXPECT_EQ(stmt->from[0].alias, "C");
+  ASSERT_NE(stmt->where, nullptr);
+  EXPECT_EQ(SplitConjuncts(stmt->where).size(), 2u);
+}
+
+TEST(ParserTest, DistinctAndAliases) {
+  auto stmt = ParseSelect(
+      "SELECT DISTINCT colName, colVal AS v FROM locals");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  EXPECT_TRUE(stmt->distinct);
+  EXPECT_EQ(stmt->items[1].alias, "v");
+}
+
+TEST(ParserTest, StarVariants) {
+  auto stmt = ParseSelect("SELECT *, t.* FROM t");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  EXPECT_TRUE(stmt->items[0].is_star);
+  EXPECT_TRUE(stmt->items[0].star_qualifier.empty());
+  EXPECT_TRUE(stmt->items[1].is_star);
+  EXPECT_EQ(stmt->items[1].star_qualifier, "t");
+}
+
+TEST(ParserTest, GroupOrderLimit) {
+  auto stmt = ParseSelect(
+      "SELECT gender, COUNT(*) AS n FROM users GROUP BY gender "
+      "ORDER BY n DESC LIMIT 10");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  EXPECT_EQ(stmt->group_by.size(), 1u);
+  ASSERT_EQ(stmt->order_by.size(), 1u);
+  EXPECT_TRUE(stmt->order_by[0].descending);
+  EXPECT_EQ(stmt->limit, 10);
+}
+
+TEST(ParserTest, TableFunctionWithSubqueryArg) {
+  auto stmt = ParseSelect(
+      "SELECT * FROM TABLE(recode_local_distinct("
+      "(SELECT gender, abandoned FROM carts), 'gender,abandoned'))");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  ASSERT_EQ(stmt->from.size(), 1u);
+  EXPECT_EQ(stmt->from[0].kind, TableRef::Kind::kTableFunction);
+  EXPECT_EQ(stmt->from[0].name, "recode_local_distinct");
+  ASSERT_EQ(stmt->from[0].args.size(), 2u);
+  EXPECT_NE(stmt->from[0].args[0].subquery, nullptr);
+  EXPECT_NE(stmt->from[0].args[1].expr, nullptr);
+}
+
+TEST(ParserTest, SubqueryInFromRequiresAlias) {
+  EXPECT_TRUE(
+      ParseSelect("SELECT * FROM (SELECT a FROM t)").status().IsParseError());
+  EXPECT_TRUE(ParseSelect("SELECT * FROM (SELECT a FROM t) sub").ok());
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  auto expr = ParseExpression("a = 1 AND b = 2 OR c = 3");
+  ASSERT_TRUE(expr.ok());
+  // OR binds loosest.
+  EXPECT_EQ((*expr)->kind, ExprKind::kOr);
+  auto arith = ParseExpression("1 + 2 * 3");
+  ASSERT_TRUE(arith.ok());
+  EXPECT_EQ((*arith)->kind, ExprKind::kArithmetic);
+  EXPECT_EQ((*arith)->op, "+");
+  EXPECT_EQ((*arith)->children[1]->op, "*");
+}
+
+TEST(ParserTest, BetweenDesugarsToConjunction) {
+  auto expr = ParseExpression("age BETWEEN 18 AND 65");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_EQ((*expr)->kind, ExprKind::kAnd);
+  EXPECT_EQ((*expr)->children[0]->op, ">=");
+  EXPECT_EQ((*expr)->children[1]->op, "<=");
+}
+
+TEST(ParserTest, IsNullForms) {
+  auto e1 = ParseExpression("x IS NULL");
+  ASSERT_TRUE(e1.ok());
+  EXPECT_EQ((*e1)->kind, ExprKind::kIsNull);
+  EXPECT_FALSE((*e1)->is_not_null);
+  auto e2 = ParseExpression("x IS NOT NULL");
+  ASSERT_TRUE(e2.ok());
+  EXPECT_TRUE((*e2)->is_not_null);
+}
+
+TEST(ParserTest, InListDesugaring) {
+  auto expr = ParseExpression("x IN ('a', 'b', 'c')");
+  ASSERT_TRUE(expr.ok()) << expr.status();
+  // OR of equalities.
+  EXPECT_EQ((*expr)->kind, ExprKind::kOr);
+  auto negated = ParseExpression("x NOT IN (1, 2)");
+  ASSERT_TRUE(negated.ok());
+  EXPECT_EQ((*negated)->kind, ExprKind::kAnd);
+  EXPECT_EQ((*negated)->children[0]->op, "<>");
+  auto single = ParseExpression("x IN (5)");
+  ASSERT_TRUE(single.ok());
+  EXPECT_EQ((*single)->kind, ExprKind::kComparison);
+  EXPECT_TRUE(ParseExpression("x IN ()").status().IsParseError());
+}
+
+TEST(ParserTest, HavingClause) {
+  auto stmt = ParseSelect(
+      "SELECT gender, COUNT(*) FROM users GROUP BY gender "
+      "HAVING COUNT(*) > 2");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  ASSERT_NE(stmt->having, nullptr);
+  EXPECT_EQ(stmt->having->op, ">");
+  // Renders back and reparses.
+  auto again = ParseSelect(stmt->ToString());
+  ASSERT_TRUE(again.ok()) << stmt->ToString();
+  EXPECT_NE(again->having, nullptr);
+}
+
+TEST(ParserTest, ExplicitJoinSyntax) {
+  auto stmt = ParseSelect(
+      "SELECT a.x FROM t1 a JOIN t2 b ON a.k = b.k "
+      "INNER JOIN t3 c ON b.k = c.k WHERE a.x > 0");
+  ASSERT_TRUE(stmt.ok()) << stmt.status();
+  EXPECT_EQ(stmt->from.size(), 3u);
+  // ON conditions merged into WHERE as conjuncts.
+  EXPECT_EQ(SplitConjuncts(stmt->where).size(), 3u);
+}
+
+TEST(ParserTest, NotEqualsNormalized) {
+  auto expr = ParseExpression("a != 5");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_EQ((*expr)->op, "<>");
+}
+
+TEST(ParserTest, TrailingGarbageRejected) {
+  EXPECT_TRUE(ParseSelect("SELECT a FROM t garbage garbage")
+                  .status()
+                  .IsParseError());
+}
+
+TEST(ParserTest, SemicolonAccepted) {
+  EXPECT_TRUE(ParseSelect("SELECT a FROM t;").ok());
+}
+
+TEST(AstTest, ToStringRoundTripsThroughParser) {
+  const std::string queries[] = {
+      "SELECT U.age, U.gender FROM carts C, users U WHERE C.userid = "
+      "U.userid AND U.country = 'USA'",
+      "SELECT DISTINCT colname, colval FROM locals ORDER BY colname LIMIT 5",
+      "SELECT gender, COUNT(*) AS n FROM users GROUP BY gender",
+      "SELECT * FROM TABLE(dummy_code((SELECT a FROM t), 'gender', 2))",
+  };
+  for (const std::string& q : queries) {
+    auto stmt1 = ParseSelect(q);
+    ASSERT_TRUE(stmt1.ok()) << q << ": " << stmt1.status();
+    const std::string rendered = stmt1->ToString();
+    auto stmt2 = ParseSelect(rendered);
+    ASSERT_TRUE(stmt2.ok()) << rendered << ": " << stmt2.status();
+    EXPECT_EQ(rendered, stmt2->ToString());
+  }
+}
+
+TEST(AstTest, ExprEqualsStructural) {
+  auto a = ParseExpression("U.country = 'USA' AND age < 30");
+  auto b = ParseExpression("u.COUNTRY = 'USA' AND age < 30");
+  auto c = ParseExpression("U.country = 'usa' AND age < 30");
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_TRUE(ExprEquals(**a, **b));   // Identifiers case-insensitive.
+  EXPECT_FALSE(ExprEquals(**a, **c));  // Literals case-sensitive.
+}
+
+TEST(AstTest, SplitAndCombineConjuncts) {
+  auto expr = ParseExpression("a = 1 AND b = 2 AND c = 3");
+  ASSERT_TRUE(expr.ok());
+  auto conjuncts = SplitConjuncts(*expr);
+  EXPECT_EQ(conjuncts.size(), 3u);
+  auto combined = CombineConjuncts(conjuncts);
+  EXPECT_EQ(SplitConjuncts(combined).size(), 3u);
+  EXPECT_EQ(CombineConjuncts({}), nullptr);
+  EXPECT_TRUE(SplitConjuncts(nullptr).empty());
+}
+
+TEST(AstTest, LiteralRenderingEscapesQuotes) {
+  auto expr = Expr::MakeLiteral(Value::String("it's"));
+  EXPECT_EQ(expr->ToString(), "'it''s'");
+}
+
+}  // namespace
+}  // namespace sqlink

@@ -1,0 +1,593 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <thread>
+
+#include "cluster/cluster.h"
+#include "common/fs_util.h"
+#include "common/random.h"
+#include "sql/engine.h"
+#include "stream/coordinator.h"
+#include "stream/socket.h"
+#include "stream/spill_queue.h"
+#include "stream/streaming_transfer.h"
+#include "stream/wire.h"
+
+namespace sqlink {
+namespace {
+
+// --- Sockets and wire format ---
+
+TEST(SocketTest, RoundTripOverLoopback) {
+  auto listener = TcpListener::Listen(0);
+  ASSERT_TRUE(listener.ok()) << listener.status();
+  std::thread server([&] {
+    auto conn = listener->Accept();
+    ASSERT_TRUE(conn.ok());
+    std::string data;
+    ASSERT_TRUE(conn->RecvExactly(5, &data).ok());
+    EXPECT_EQ(data, "hello");
+    ASSERT_TRUE(conn->SendAll("world!").ok());
+  });
+  auto client = TcpConnect("localhost", listener->port());
+  ASSERT_TRUE(client.ok()) << client.status();
+  ASSERT_TRUE(client->SendAll("hello").ok());
+  std::string reply;
+  ASSERT_TRUE(client->RecvExactly(6, &reply).ok());
+  EXPECT_EQ(reply, "world!");
+  server.join();
+}
+
+TEST(SocketTest, NodeHostnamesResolveToLoopback) {
+  auto listener = TcpListener::Listen(0);
+  ASSERT_TRUE(listener.ok());
+  std::thread server([&] { (void)listener->Accept(); });
+  auto client = TcpConnect("node2", listener->port());
+  EXPECT_TRUE(client.ok()) << client.status();
+  server.join();
+}
+
+TEST(SocketTest, RecvOnClosedPeerReportsClosed) {
+  auto listener = TcpListener::Listen(0);
+  ASSERT_TRUE(listener.ok());
+  std::thread server([&] {
+    auto conn = listener->Accept();
+    // Close immediately.
+  });
+  auto client = TcpConnect("localhost", listener->port());
+  ASSERT_TRUE(client.ok());
+  server.join();
+  std::string data;
+  auto status = client->RecvExactly(1, &data);
+  EXPECT_TRUE(status.IsNetworkError());
+}
+
+TEST(WireTest, FrameRoundTrip) {
+  auto listener = TcpListener::Listen(0);
+  ASSERT_TRUE(listener.ok());
+  std::thread server([&] {
+    auto conn = listener->Accept();
+    ASSERT_TRUE(conn.ok());
+    auto frame = RecvFrame(&*conn);
+    ASSERT_TRUE(frame.ok());
+    EXPECT_EQ(frame->type, FrameType::kData);
+    EXPECT_EQ(frame->payload, "payload-bytes");
+    ASSERT_TRUE(SendFrame(&*conn, FrameType::kEnd, "").ok());
+  });
+  auto client = TcpConnect("localhost", listener->port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(SendFrame(&*client, FrameType::kData, "payload-bytes").ok());
+  auto end = RecvFrame(&*client);
+  ASSERT_TRUE(end.ok());
+  EXPECT_EQ(end->type, FrameType::kEnd);
+  EXPECT_TRUE(end->payload.empty());
+  server.join();
+}
+
+TEST(WireTest, SchemaSerializationRoundTrip) {
+  Schema schema({{"age", DataType::kInt64},
+                 {"gender", DataType::kString},
+                 {"amount", DataType::kDouble},
+                 {"flag", DataType::kBool}});
+  std::string encoded;
+  EncodeSchema(schema, &encoded);
+  Decoder decoder(encoded);
+  auto decoded = DecodeSchema(&decoder);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(**decoded, schema);
+}
+
+TEST(WireTest, ControlMessagesRoundTrip) {
+  RegisterSqlMessage reg;
+  reg.worker_id = 2;
+  reg.num_workers = 4;
+  reg.host = "node2";
+  reg.port = 12345;
+  reg.command = "svm";
+  reg.args = {"--iterations", "10"};
+  reg.schema = Schema::Make({{"x", DataType::kDouble}});
+  auto reg2 = RegisterSqlMessage::Decode(reg.Encode());
+  ASSERT_TRUE(reg2.ok());
+  EXPECT_EQ(reg2->worker_id, 2);
+  EXPECT_EQ(reg2->args, reg.args);
+  EXPECT_EQ(*reg2->schema, *reg.schema);
+
+  SplitsMessage splits;
+  splits.schema = reg.schema;
+  splits.splits = {{0, 0, "node0", 1111}, {1, 0, "node0", 1111},
+                   {2, 1, "node1", 2222}};
+  auto splits2 = SplitsMessage::Decode(splits.Encode());
+  ASSERT_TRUE(splits2.ok());
+  ASSERT_EQ(splits2->splits.size(), 3u);
+  EXPECT_EQ(splits2->splits[2].host, "node1");
+
+  HelloMessage hello{7, true};
+  auto hello2 = HelloMessage::Decode(hello.Encode());
+  ASSERT_TRUE(hello2.ok());
+  EXPECT_EQ(hello2->split_id, 7);
+  EXPECT_TRUE(hello2->restart);
+}
+
+// --- Spill queue ---
+
+class SpillQueueTest : public ::testing::Test {
+ protected:
+  ScopedTempDir temp_{"spill_test"};
+};
+
+TEST_F(SpillQueueTest, FifoWithinMemory) {
+  SpillingByteQueue::Options options;
+  options.memory_capacity_bytes = 1 << 20;
+  options.spill_enabled = false;
+  SpillingByteQueue queue(options);
+  ASSERT_TRUE(queue.Push("a").ok());
+  ASSERT_TRUE(queue.Push("bb").ok());
+  queue.CloseProducer();
+  EXPECT_EQ(**queue.Pop(), "a");
+  EXPECT_EQ(**queue.Pop(), "bb");
+  EXPECT_FALSE(queue.Pop()->has_value());
+}
+
+TEST_F(SpillQueueTest, SpillsWhenFullAndPreservesOrder) {
+  SpillingByteQueue::Options options;
+  options.memory_capacity_bytes = 32;
+  options.spill_enabled = true;
+  options.spill_path = temp_.path() + "/spill";
+  SpillingByteQueue queue(options);
+  // Fill memory then overflow to disk with nobody consuming.
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(queue.Push("frame-" + std::to_string(i)).ok());
+  }
+  EXPECT_GT(queue.spilled_frames(), 0);
+  queue.CloseProducer();
+  for (int i = 0; i < 50; ++i) {
+    auto frame = queue.Pop();
+    ASSERT_TRUE(frame.ok());
+    ASSERT_TRUE(frame->has_value());
+    EXPECT_EQ(**frame, "frame-" + std::to_string(i));
+  }
+  EXPECT_FALSE(queue.Pop()->has_value());
+}
+
+TEST_F(SpillQueueTest, ResumesMemoryAfterSpillDrained) {
+  SpillingByteQueue::Options options;
+  options.memory_capacity_bytes = 16;
+  options.spill_enabled = true;
+  options.spill_path = temp_.path() + "/spill2";
+  SpillingByteQueue queue(options);
+  ASSERT_TRUE(queue.Push(std::string(10, 'a')).ok());
+  ASSERT_TRUE(queue.Push(std::string(10, 'b')).ok());  // Spills.
+  EXPECT_EQ(queue.spilled_frames(), 1);
+  EXPECT_EQ((*queue.Pop())->front(), 'a');
+  EXPECT_EQ((*queue.Pop())->front(), 'b');  // From disk.
+  // Spill drained: memory path is used again.
+  ASSERT_TRUE(queue.Push(std::string(10, 'c')).ok());
+  EXPECT_EQ(queue.spilled_frames(), 1);
+  EXPECT_EQ((*queue.Pop())->front(), 'c');
+}
+
+TEST_F(SpillQueueTest, BackpressureBlocksProducerUntilPop) {
+  SpillingByteQueue::Options options;
+  options.memory_capacity_bytes = 8;
+  options.spill_enabled = false;
+  SpillingByteQueue queue(options);
+  ASSERT_TRUE(queue.Push(std::string(8, 'x')).ok());
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    ASSERT_TRUE(queue.Push(std::string(8, 'y')).ok());
+    pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(pushed.load());  // Blocked: no room, no spill.
+  EXPECT_TRUE(queue.Pop()->has_value());
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+}
+
+TEST_F(SpillQueueTest, CancelUnblocksBothSides) {
+  SpillingByteQueue::Options options;
+  options.memory_capacity_bytes = 4;
+  options.spill_enabled = false;
+  SpillingByteQueue queue(options);
+  std::thread consumer([&] {
+    auto result = queue.Pop();
+    EXPECT_TRUE(result.status().IsCancelled());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.Cancel();
+  consumer.join();
+  EXPECT_TRUE(queue.Push("x").IsCancelled());
+}
+
+TEST_F(SpillQueueTest, ConcurrentProducerConsumerWithSpill) {
+  SpillingByteQueue::Options options;
+  options.memory_capacity_bytes = 64;
+  options.spill_enabled = true;
+  options.spill_path = temp_.path() + "/spill3";
+  SpillingByteQueue queue(options);
+  constexpr int kFrames = 2000;
+  std::thread producer([&] {
+    for (int i = 0; i < kFrames; ++i) {
+      ASSERT_TRUE(queue.Push("frame-" + std::to_string(i)).ok());
+    }
+    queue.CloseProducer();
+  });
+  int count = 0;
+  for (;;) {
+    auto frame = queue.Pop();
+    ASSERT_TRUE(frame.ok());
+    if (!frame->has_value()) break;
+    EXPECT_EQ(**frame, "frame-" + std::to_string(count));
+    ++count;
+  }
+  producer.join();
+  EXPECT_EQ(count, kFrames);
+}
+
+// --- End-to-end streaming transfer ---
+
+class StreamingTransferTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    temp_ = std::make_unique<ScopedTempDir>("stream_test");
+    auto cluster = Cluster::Make(4, temp_->path());
+    ASSERT_TRUE(cluster.ok());
+    engine_ = SqlEngine::Make(*cluster);
+
+    auto schema = Schema::Make({{"id", DataType::kInt64},
+                                {"feature", DataType::kDouble},
+                                {"label", DataType::kInt64}});
+    auto table = engine_->MakeTable("points", schema);
+    Random rng(23);
+    for (int64_t i = 0; i < 1000; ++i) {
+      table->AppendRow(
+          static_cast<size_t>(i) % 4,
+          Row{Value::Int64(i), Value::Double(rng.NextDouble()),
+              Value::Int64(i % 2)});
+    }
+    ASSERT_TRUE(engine_->catalog()->RegisterTable(table).ok());
+  }
+
+  std::unique_ptr<ScopedTempDir> temp_;
+  SqlEnginePtr engine_;
+};
+
+TEST_F(StreamingTransferTest, DeliversEveryRowExactlyOnce) {
+  auto result =
+      StreamingTransfer::Run(engine_.get(), "SELECT * FROM points");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->dataset.TotalRows(), 1000u);
+  EXPECT_EQ(result->rows_sent, 1000);
+  EXPECT_GT(result->bytes_sent, 0);
+  EXPECT_EQ(result->stats.num_splits, 4);  // k=1, n=4.
+  std::set<int64_t> ids;
+  for (const auto& partition : result->dataset.partitions) {
+    for (const Row& row : partition) {
+      EXPECT_TRUE(ids.insert(row[0].int64_value()).second);
+    }
+  }
+  EXPECT_EQ(ids.size(), 1000u);
+  // Schema crossed the wire.
+  EXPECT_EQ(result->dataset.schema->ToString(),
+            "id:INT64, feature:DOUBLE, label:INT64");
+}
+
+TEST_F(StreamingTransferTest, FilteredQueryStreamsFilteredRows) {
+  auto result = StreamingTransfer::Run(
+      engine_.get(), "SELECT id, label FROM points WHERE id < 100");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->dataset.TotalRows(), 100u);
+  EXPECT_EQ(result->dataset.schema->num_fields(), 2);
+}
+
+TEST_F(StreamingTransferTest, MultipleSplitsPerWorker) {
+  StreamTransferOptions options;
+  options.splits_per_worker = 3;  // m = 12 ML workers.
+  auto result =
+      StreamingTransfer::Run(engine_.get(), "SELECT * FROM points", options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->stats.num_splits, 12);
+  EXPECT_EQ(result->dataset.TotalRows(), 1000u);
+  // Round-robin keeps split sizes balanced.
+  for (const auto& partition : result->dataset.partitions) {
+    EXPECT_GT(partition.size(), 0u);
+  }
+}
+
+TEST_F(StreamingTransferTest, TinyBufferForcesManyFrames) {
+  StreamTransferOptions options;
+  options.sink.send_buffer_bytes = 64;
+  auto result =
+      StreamingTransfer::Run(engine_.get(), "SELECT * FROM points", options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->dataset.TotalRows(), 1000u);
+}
+
+TEST_F(StreamingTransferTest, ResilientModeDeliversSameData) {
+  StreamTransferOptions options;
+  options.sink.resilient = true;
+  auto result =
+      StreamingTransfer::Run(engine_.get(), "SELECT * FROM points", options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->dataset.TotalRows(), 1000u);
+}
+
+TEST_F(StreamingTransferTest, RecoversFromInjectedFailure) {
+  StreamTransferOptions options;
+  options.sink.resilient = true;      // SQL side retains a replayable log.
+  options.reader.recovery_enabled = true;
+  options.reader.fail_split = 1;      // This reader drops its connection...
+  options.reader.fail_after_rows = 50;  // ...after 50 delivered rows.
+  auto result =
+      StreamingTransfer::Run(engine_.get(), "SELECT * FROM points", options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  // Despite the mid-stream failure, exactly-once delivery holds.
+  EXPECT_EQ(result->dataset.TotalRows(), 1000u);
+  std::set<int64_t> ids;
+  for (const auto& partition : result->dataset.partitions) {
+    for (const Row& row : partition) {
+      EXPECT_TRUE(ids.insert(row[0].int64_value()).second)
+          << "duplicate row " << row[0].int64_value();
+    }
+  }
+  EXPECT_EQ(ids.size(), 1000u);
+  EXPECT_GT(engine_->metrics()->Get("stream.reconnects"), 0);
+}
+
+TEST_F(StreamingTransferTest, RecoversWithMultipleSplitsPerWorker) {
+  // k = 2 and a failure on a non-first split of a worker: the slot routing
+  // (split_id mod k) must deliver the reconnect to the right sender.
+  StreamTransferOptions options;
+  options.splits_per_worker = 2;
+  options.sink.resilient = true;
+  options.reader.recovery_enabled = true;
+  options.reader.fail_split = 5;  // Worker 2, slot 1.
+  options.reader.fail_after_rows = 30;
+  auto result =
+      StreamingTransfer::Run(engine_.get(), "SELECT * FROM points", options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->dataset.TotalRows(), 1000u);
+  std::set<int64_t> ids;
+  for (const auto& partition : result->dataset.partitions) {
+    for (const Row& row : partition) {
+      EXPECT_TRUE(ids.insert(row[0].int64_value()).second);
+    }
+  }
+  EXPECT_EQ(ids.size(), 1000u);
+}
+
+TEST_F(StreamingTransferTest, ReaderGivesUpAfterMaxReconnects) {
+  StreamTransferOptions options;
+  options.sink.resilient = true;
+  options.sink.reconnect_timeout_ms = 300;  // Keep the failing run fast.
+  options.reader.recovery_enabled = true;
+  options.reader.max_reconnects = 0;  // Recovery enabled but exhausted.
+  options.reader.fail_split = 0;
+  options.reader.fail_after_rows = 10;
+  auto result =
+      StreamingTransfer::Run(engine_.get(), "SELECT * FROM points", options);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(StreamingTransferTest, FailureWithoutRecoveryFailsThePipeline) {
+  StreamTransferOptions options;
+  options.reader.recovery_enabled = false;
+  options.reader.fail_split = 0;
+  options.reader.fail_after_rows = 10;
+  auto result =
+      StreamingTransfer::Run(engine_.get(), "SELECT * FROM points", options);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(StreamingTransferTest, BadQuerySurfacesSqlError) {
+  auto result =
+      StreamingTransfer::Run(engine_.get(), "SELECT nope FROM missing");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(StreamingTransferTest, SinkSqlRendersRoundTrippableQuery) {
+  StreamSinkOptions sink;
+  const std::string sql = StreamingTransfer::BuildSinkSql(
+      "SELECT * FROM points", "localhost", 9999, "svm", sink);
+  auto stmt = ParseSelect(sql);
+  ASSERT_TRUE(stmt.ok()) << sql << ": " << stmt.status();
+  EXPECT_EQ(stmt->from[0].kind, TableRef::Kind::kTableFunction);
+  EXPECT_EQ(stmt->from[0].name, "sql_stream_sink");
+}
+
+// --- Coordinator-level behaviours ---
+
+TEST(CoordinatorTest, SplitsGroupedPerSqlWorker) {
+  StreamCoordinator::Options options;
+  options.splits_per_worker = 2;
+  auto coordinator = StreamCoordinator::Start(std::move(options));
+  ASSERT_TRUE(coordinator.ok());
+
+  auto schema = Schema::Make({{"x", DataType::kInt64}});
+  // Register two fake SQL workers.
+  for (int w = 0; w < 2; ++w) {
+    auto control = TcpConnect("localhost", (*coordinator)->port());
+    ASSERT_TRUE(control.ok());
+    RegisterSqlMessage reg;
+    reg.worker_id = w;
+    reg.num_workers = 2;
+    reg.host = "node" + std::to_string(w);
+    reg.port = 5000 + w;
+    reg.command = "test";
+    reg.schema = schema;
+    ASSERT_TRUE(
+        SendFrame(&*control, FrameType::kRegisterSql, reg.Encode()).ok());
+    auto ack = RecvFrame(&*control);
+    ASSERT_TRUE(ack.ok());
+    EXPECT_EQ(ack->type, FrameType::kAck);
+  }
+  // Fetch splits like an ML job would.
+  auto control = TcpConnect("localhost", (*coordinator)->port());
+  ASSERT_TRUE(control.ok());
+  ASSERT_TRUE(SendFrame(&*control, FrameType::kGetSplits, "").ok());
+  auto frame = RecvFrame(&*control);
+  ASSERT_TRUE(frame.ok());
+  ASSERT_EQ(frame->type, FrameType::kSplits);
+  auto splits = SplitsMessage::Decode(frame->payload);
+  ASSERT_TRUE(splits.ok());
+  ASSERT_EQ(splits->splits.size(), 4u);  // m = n*k = 2*2.
+  // Grouped: splits 0,1 -> worker 0; splits 2,3 -> worker 1.
+  EXPECT_EQ(splits->splits[0].sql_worker, 0);
+  EXPECT_EQ(splits->splits[1].sql_worker, 0);
+  EXPECT_EQ(splits->splits[2].sql_worker, 1);
+  EXPECT_EQ(splits->splits[3].sql_worker, 1);
+  // Locality: each split advertises its SQL worker's host.
+  EXPECT_EQ(splits->splits[0].host, "node0");
+  EXPECT_EQ(splits->splits[3].host, "node1");
+  EXPECT_EQ((*coordinator)->registered_sql_workers(), 2);
+  (*coordinator)->Stop();
+}
+
+TEST(CoordinatorTest, MatchmakingReturnsSqlEndpoint) {
+  StreamCoordinator::Options options;
+  auto coordinator = StreamCoordinator::Start(std::move(options));
+  ASSERT_TRUE(coordinator.ok());
+  {
+    auto control = TcpConnect("localhost", (*coordinator)->port());
+    ASSERT_TRUE(control.ok());
+    RegisterSqlMessage reg;
+    reg.worker_id = 0;
+    reg.num_workers = 1;
+    reg.host = "node0";
+    reg.port = 7777;
+    reg.command = "test";
+    reg.schema = Schema::Make({{"x", DataType::kInt64}});
+    ASSERT_TRUE(
+        SendFrame(&*control, FrameType::kRegisterSql, reg.Encode()).ok());
+    ASSERT_TRUE(RecvFrame(&*control).ok());
+  }
+  auto control = TcpConnect("localhost", (*coordinator)->port());
+  ASSERT_TRUE(control.ok());
+  RegisterMlMessage reg_ml;
+  reg_ml.split_id = 0;
+  ASSERT_TRUE(
+      SendFrame(&*control, FrameType::kRegisterMl, reg_ml.Encode()).ok());
+  auto match_frame = RecvFrame(&*control);
+  ASSERT_TRUE(match_frame.ok());
+  ASSERT_EQ(match_frame->type, FrameType::kMatch);
+  auto match = MatchMessage::Decode(match_frame->payload);
+  ASSERT_TRUE(match.ok());
+  EXPECT_EQ(match->host, "node0");
+  EXPECT_EQ(match->port, 7777);
+  EXPECT_EQ((*coordinator)->registered_ml_workers(), 1);
+}
+
+TEST(CoordinatorTest, CheckpointResumeServesMatchmaking) {
+  // §6: the coordinator itself must be resilient (the paper suggests
+  // ZooKeeper). Simulate a failover: checkpoint after SQL registration,
+  // kill the coordinator, resume a replacement from the checkpoint, and
+  // verify an ML worker can still register and be matched.
+  std::string checkpoint;
+  {
+    StreamCoordinator::Options options;
+    options.splits_per_worker = 2;
+    auto coordinator = StreamCoordinator::Start(std::move(options));
+    ASSERT_TRUE(coordinator.ok());
+    auto control = TcpConnect("localhost", (*coordinator)->port());
+    ASSERT_TRUE(control.ok());
+    RegisterSqlMessage reg;
+    reg.worker_id = 0;
+    reg.num_workers = 1;
+    reg.host = "node0";
+    reg.port = 4242;
+    reg.command = "svm";
+    reg.schema = Schema::Make({{"x", DataType::kInt64}});
+    ASSERT_TRUE(
+        SendFrame(&*control, FrameType::kRegisterSql, reg.Encode()).ok());
+    ASSERT_TRUE(RecvFrame(&*control).ok());
+    checkpoint = (*coordinator)->Checkpoint();
+    (*coordinator)->Stop();  // The "crash".
+  }
+  StreamCoordinator::Options options;
+  options.splits_per_worker = 2;
+  auto resumed = StreamCoordinator::Resume(std::move(options), checkpoint);
+  ASSERT_TRUE(resumed.ok()) << resumed.status();
+
+  // Splits survive the failover.
+  auto control = TcpConnect("localhost", (*resumed)->port());
+  ASSERT_TRUE(control.ok());
+  ASSERT_TRUE(SendFrame(&*control, FrameType::kGetSplits, "").ok());
+  auto frame = RecvFrame(&*control);
+  ASSERT_TRUE(frame.ok());
+  ASSERT_EQ(frame->type, FrameType::kSplits);
+  auto splits = SplitsMessage::Decode(frame->payload);
+  ASSERT_TRUE(splits.ok());
+  EXPECT_EQ(splits->splits.size(), 2u);
+
+  // Matchmaking works against the resumed coordinator.
+  auto ml_control = TcpConnect("localhost", (*resumed)->port());
+  ASSERT_TRUE(ml_control.ok());
+  RegisterMlMessage reg_ml;
+  reg_ml.split_id = 1;
+  ASSERT_TRUE(
+      SendFrame(&*ml_control, FrameType::kRegisterMl, reg_ml.Encode()).ok());
+  auto match_frame = RecvFrame(&*ml_control);
+  ASSERT_TRUE(match_frame.ok());
+  ASSERT_EQ(match_frame->type, FrameType::kMatch);
+  auto match = MatchMessage::Decode(match_frame->payload);
+  ASSERT_TRUE(match.ok());
+  EXPECT_EQ(match->port, 4242);
+}
+
+TEST(CoordinatorTest, ResumeRejectsCorruptCheckpoint) {
+  StreamCoordinator::Options options;
+  EXPECT_FALSE(StreamCoordinator::Resume(std::move(options), "garbage").ok());
+}
+
+TEST(CoordinatorTest, UnknownSplitRejected) {
+  StreamCoordinator::Options options;
+  options.barrier_timeout_ms = 500;
+  auto coordinator = StreamCoordinator::Start(std::move(options));
+  ASSERT_TRUE(coordinator.ok());
+  {
+    auto control = TcpConnect("localhost", (*coordinator)->port());
+    ASSERT_TRUE(control.ok());
+    RegisterSqlMessage reg;
+    reg.worker_id = 0;
+    reg.num_workers = 1;
+    reg.host = "node0";
+    reg.port = 1;
+    reg.command = "t";
+    reg.schema = Schema::Make({{"x", DataType::kInt64}});
+    ASSERT_TRUE(
+        SendFrame(&*control, FrameType::kRegisterSql, reg.Encode()).ok());
+    ASSERT_TRUE(RecvFrame(&*control).ok());
+  }
+  auto control = TcpConnect("localhost", (*coordinator)->port());
+  ASSERT_TRUE(control.ok());
+  RegisterMlMessage bad;
+  bad.split_id = 99;
+  ASSERT_TRUE(SendFrame(&*control, FrameType::kRegisterMl, bad.Encode()).ok());
+  auto reply = RecvFrame(&*control);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->type, FrameType::kError);
+}
+
+}  // namespace
+}  // namespace sqlink

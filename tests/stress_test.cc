@@ -1,0 +1,153 @@
+// Concurrency and endurance tests: shared-engine query concurrency,
+// concurrent DFS traffic, repeated streaming transfers (socket/thread
+// cleanup), and concurrent transformation runs.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include "cluster/cluster.h"
+#include "common/fs_util.h"
+#include "common/random.h"
+#include "dfs/dfs.h"
+#include "pipeline/datagen.h"
+#include "sql/engine.h"
+#include "stream/streaming_transfer.h"
+#include "transform/transformer.h"
+
+namespace sqlink {
+namespace {
+
+class StressTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    temp_ = std::make_unique<ScopedTempDir>("stress_test");
+    auto cluster = Cluster::Make(4, temp_->path());
+    ASSERT_TRUE(cluster.ok());
+    cluster_ = *cluster;
+    engine_ = SqlEngine::Make(cluster_);
+    CartsWorkloadOptions data;
+    data.num_users = 300;
+    data.num_carts = 3000;
+    ASSERT_TRUE(GenerateCartsWorkload(engine_.get(), data).ok());
+  }
+
+  std::unique_ptr<ScopedTempDir> temp_;
+  ClusterPtr cluster_;
+  SqlEnginePtr engine_;
+};
+
+TEST_F(StressTest, ConcurrentQueriesOnSharedEngine) {
+  constexpr int kThreads = 8;
+  constexpr int kQueriesPerThread = 10;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const std::string queries[] = {
+          "SELECT COUNT(*) FROM carts",
+          "SELECT gender, COUNT(*) FROM users GROUP BY gender",
+          "SELECT U.age, C.amount FROM carts C, users U "
+          "WHERE C.userid = U.userid AND U.country = 'USA'",
+          "SELECT DISTINCT abandoned FROM carts",
+      };
+      for (int q = 0; q < kQueriesPerThread; ++q) {
+        auto result = engine_->ExecuteSql(queries[(t + q) % 4]);
+        if (!result.ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST_F(StressTest, ConcurrentCatalogMutations) {
+  constexpr int kThreads = 6;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 20; ++i) {
+        const std::string name =
+            "scratch_" + std::to_string(t) + "_" + std::to_string(i);
+        auto table = engine_->MaterializeSql(
+            "SELECT userid FROM users WHERE userid < " + std::to_string(i),
+            name);
+        if (!table.ok() || !engine_->catalog()->DropTable(name).ok()) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST_F(StressTest, ConcurrentDfsReadersAndWriters) {
+  DfsOptions options;
+  options.block_size = 1024;
+  auto dfs = std::make_shared<Dfs>(cluster_, options);
+  constexpr int kThreads = 8;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Random rng(static_cast<uint64_t>(t));
+      for (int i = 0; i < 15; ++i) {
+        const std::string path =
+            "stress/" + std::to_string(t) + "/" + std::to_string(i);
+        const std::string content = rng.NextString(3000 + rng.Uniform(3000));
+        if (!dfs->WriteString(path, content).ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        auto read = dfs->ReadString(path);
+        if (!read.ok() || *read != content) failures.fetch_add(1);
+        if (i % 3 == 0 && !dfs->Delete(path).ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST_F(StressTest, RepeatedStreamingTransfersCleanUp) {
+  // Back-to-back transfers must not leak ports, threads or coordinator
+  // state (each run starts/stops its own coordinator).
+  for (int run = 0; run < 10; ++run) {
+    StreamTransferOptions options;
+    options.splits_per_worker = 1 + run % 3;
+    auto result = StreamingTransfer::Run(
+        engine_.get(), "SELECT cartid, amount FROM carts", options);
+    ASSERT_TRUE(result.ok()) << "run " << run << ": " << result.status();
+    ASSERT_EQ(result->dataset.TotalRows(), 3000u) << "run " << run;
+  }
+}
+
+TEST_F(StressTest, ConcurrentRecodeMapComputations) {
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      InSqlTransformer transformer(engine_);
+      for (int i = 0; i < 5; ++i) {
+        auto map = transformer.ComputeRecodeMap(
+            "SELECT gender, abandoned FROM carts C, users U "
+            "WHERE C.userid = U.userid",
+            {"gender", "abandoned"});
+        if (!map.ok() || map->Cardinality("gender") != 2 ||
+            map->Cardinality("abandoned") != 2) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace sqlink

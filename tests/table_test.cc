@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include "table/csv.h"
+#include "table/pretty_print.h"
+#include "table/record_batch.h"
+#include "table/row_codec.h"
+#include "table/schema.h"
+#include "table/table.h"
+#include "table/value.h"
+
+namespace sqlink {
+namespace {
+
+TEST(ValueTest, NullBasics) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.ToString(), "");
+  EXPECT_EQ(v, Value::Null());
+}
+
+TEST(ValueTest, TypedAccessors) {
+  EXPECT_EQ(Value::Int64(7).int64_value(), 7);
+  EXPECT_DOUBLE_EQ(Value::Double(2.5).double_value(), 2.5);
+  EXPECT_EQ(Value::String("hi").string_value(), "hi");
+  EXPECT_TRUE(Value::Bool(true).bool_value());
+  EXPECT_EQ(Value::Int64(7).type(), DataType::kInt64);
+}
+
+TEST(ValueTest, AsDoubleWidens) {
+  EXPECT_DOUBLE_EQ(*Value::Int64(3).AsDouble(), 3.0);
+  EXPECT_DOUBLE_EQ(*Value::Double(3.5).AsDouble(), 3.5);
+  EXPECT_TRUE(Value::String("x").AsDouble().status().IsInvalidArgument());
+}
+
+TEST(ValueTest, OrderingNullFirst) {
+  EXPECT_TRUE(Value::Null() < Value::Int64(0));
+  EXPECT_TRUE(Value::Int64(1) < Value::Int64(2));
+  EXPECT_TRUE(Value::String("a") < Value::String("b"));
+  // Cross-numeric comparison is numeric.
+  EXPECT_TRUE(Value::Int64(1) < Value::Double(1.5));
+  EXPECT_TRUE(Value::Double(0.5) < Value::Int64(1));
+}
+
+TEST(ValueTest, ParseByType) {
+  EXPECT_EQ(*Value::Parse("42", DataType::kInt64), Value::Int64(42));
+  EXPECT_EQ(*Value::Parse("2.5", DataType::kDouble), Value::Double(2.5));
+  EXPECT_EQ(*Value::Parse("hi", DataType::kString), Value::String("hi"));
+  EXPECT_EQ(*Value::Parse("true", DataType::kBool), Value::Bool(true));
+  EXPECT_EQ(*Value::Parse("", DataType::kInt64), Value::Null());
+  EXPECT_TRUE(Value::Parse("xyz", DataType::kInt64).status().IsParseError());
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::String("abc").Hash(), Value::String("abc").Hash());
+  EXPECT_EQ(Value::Int64(5).Hash(), Value::Int64(5).Hash());
+}
+
+TEST(DataTypeTest, NamesRoundTrip) {
+  for (DataType t : {DataType::kBool, DataType::kInt64, DataType::kDouble,
+                     DataType::kString}) {
+    auto parsed = DataTypeFromString(DataTypeToString(t));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, t);
+  }
+  EXPECT_EQ(*DataTypeFromString("varchar"), DataType::kString);
+  EXPECT_EQ(*DataTypeFromString("bigint"), DataType::kInt64);
+  EXPECT_TRUE(DataTypeFromString("blob").status().IsParseError());
+}
+
+TEST(SchemaTest, LookupCaseInsensitive) {
+  Schema schema({{"age", DataType::kInt64}, {"Gender", DataType::kString}});
+  EXPECT_EQ(schema.FieldIndex("AGE"), 0);
+  EXPECT_EQ(schema.FieldIndex("gender"), 1);
+  EXPECT_EQ(schema.FieldIndex("height"), -1);
+  EXPECT_TRUE(schema.RequireField("height").status().IsNotFound());
+  EXPECT_EQ(*schema.RequireField("gender"), 1);
+}
+
+TEST(SchemaTest, ToStringRendersTypes) {
+  Schema schema({{"a", DataType::kInt64}, {"b", DataType::kDouble}});
+  EXPECT_EQ(schema.ToString(), "a:INT64, b:DOUBLE");
+}
+
+TEST(TableTest, PartitionedAppendAndGather) {
+  auto schema = Schema::Make({{"x", DataType::kInt64}});
+  Table table("t", schema, 4);
+  for (int i = 0; i < 10; ++i) {
+    table.AppendRow(static_cast<size_t>(i % 4), Row{Value::Int64(i)});
+  }
+  EXPECT_EQ(table.TotalRows(), 10u);
+  EXPECT_EQ(table.partition(0).size(), 3u);
+  EXPECT_EQ(table.GatherRows().size(), 10u);
+}
+
+TEST(CsvTest, SimpleRoundTrip) {
+  CsvCodec codec;
+  Schema schema({{"age", DataType::kInt64},
+                 {"gender", DataType::kString},
+                 {"amount", DataType::kDouble}});
+  Row row{Value::Int64(57), Value::String("F"), Value::Double(123.75)};
+  const std::string line = codec.FormatRow(row);
+  auto parsed = codec.ParseRow(line, schema);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(*parsed, row);
+}
+
+TEST(CsvTest, QuotingDelimiterAndQuotes) {
+  CsvCodec codec;
+  Schema schema({{"s", DataType::kString}});
+  for (const std::string s :
+       {"a,b", "say \"hi\"", "line1\nline2", "trailing,", ",,"}) {
+    Row row{Value::String(s)};
+    auto parsed = codec.ParseRow(codec.FormatRow(row), schema);
+    ASSERT_TRUE(parsed.ok()) << parsed.status();
+    EXPECT_EQ(*parsed, row) << "for string: " << s;
+  }
+}
+
+TEST(CsvTest, NullVsEmptyString) {
+  CsvCodec codec;
+  Schema schema({{"a", DataType::kString}, {"b", DataType::kString}});
+  Row row{Value::Null(), Value::String("")};
+  const std::string line = codec.FormatRow(row);
+  EXPECT_EQ(line, ",\"\"");
+  auto parsed = codec.ParseRow(line, schema);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE((*parsed)[0].is_null());
+  EXPECT_EQ((*parsed)[1], Value::String(""));
+}
+
+TEST(CsvTest, FieldCountMismatchErrors) {
+  CsvCodec codec;
+  Schema schema({{"a", DataType::kInt64}, {"b", DataType::kInt64}});
+  EXPECT_TRUE(codec.ParseRow("1", schema).status().IsParseError());
+  EXPECT_TRUE(codec.ParseRow("1,2,3", schema).status().IsParseError());
+}
+
+TEST(CsvTest, TypeErrorsSurfaceFieldName) {
+  CsvCodec codec;
+  Schema schema({{"age", DataType::kInt64}});
+  auto status = codec.ParseRow("abc", schema).status();
+  EXPECT_TRUE(status.IsParseError());
+  EXPECT_NE(status.message().find("age"), std::string::npos);
+}
+
+TEST(CsvTest, AppendRowMatchesFormatRow) {
+  CsvCodec codec;
+  Row row{Value::Int64(1), Value::String("x,y")};
+  std::string buf;
+  codec.AppendRow(row, &buf);
+  EXPECT_EQ(buf, codec.FormatRow(row) + "\n");
+}
+
+TEST(RowCodecTest, AllTypesRoundTrip) {
+  std::vector<Row> rows;
+  rows.push_back(Row{Value::Null(), Value::Bool(true), Value::Int64(-42),
+                     Value::Double(3.25), Value::String("hello")});
+  rows.push_back(Row{});
+  rows.push_back(Row{Value::String(std::string(10000, 'z'))});
+  const std::string encoded = RowCodec::EncodeRows(rows);
+  auto decoded = RowCodec::DecodeRows(encoded);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(*decoded, rows);
+}
+
+TEST(RowCodecTest, TruncationDetected) {
+  std::vector<Row> rows{Row{Value::String("abcdefgh")}};
+  const std::string encoded = RowCodec::EncodeRows(rows);
+  auto decoded = RowCodec::DecodeRows(encoded.substr(0, encoded.size() - 3));
+  EXPECT_TRUE(decoded.status().IsDataLoss());
+}
+
+TEST(RowCodecTest, HashRowKeySelectsColumns) {
+  Row a{Value::Int64(1), Value::String("x"), Value::Int64(2)};
+  Row b{Value::Int64(9), Value::String("x"), Value::Int64(2)};
+  const std::vector<int> keys{1, 2};
+  EXPECT_EQ(HashRowKey(a, keys), HashRowKey(b, keys));
+}
+
+TEST(PrettyPrintTest, AlignedGridWithTruncation) {
+  auto schema = Schema::Make({{"id", DataType::kInt64},
+                              {"name", DataType::kString},
+                              {"amount", DataType::kDouble}});
+  Table table("t", schema, 2);
+  table.AppendRow(0, Row{Value::Int64(1), Value::String("alice"),
+                         Value::Double(10.5)});
+  table.AppendRow(1, Row{Value::Int64(22), Value::Null(), Value::Double(3.0)});
+  const std::string out = PrettyPrintTable(table);
+  EXPECT_NE(out.find("| id | name  | amount |"), std::string::npos) << out;
+  EXPECT_NE(out.find("alice"), std::string::npos);
+  EXPECT_NE(out.find("NULL"), std::string::npos);
+  EXPECT_NE(out.find("(2 rows)"), std::string::npos);
+}
+
+TEST(PrettyPrintTest, RowLimitNoted) {
+  auto schema = Schema::Make({{"x", DataType::kInt64}});
+  Table table("t", schema, 1);
+  for (int i = 0; i < 50; ++i) table.AppendRow(0, Row{Value::Int64(i)});
+  PrettyPrintOptions options;
+  options.max_rows = 5;
+  const std::string out = PrettyPrintTable(table, options);
+  EXPECT_NE(out.find("(50 rows, showing first 5)"), std::string::npos) << out;
+}
+
+TEST(PrettyPrintTest, LongStringsTruncated) {
+  auto schema = Schema::Make({{"s", DataType::kString}});
+  Table table("t", schema, 1);
+  table.AppendRow(0, Row{Value::String(std::string(100, 'z'))});
+  PrettyPrintOptions options;
+  options.max_column_width = 10;
+  const std::string out = PrettyPrintTable(table, options);
+  EXPECT_NE(out.find("zzzzzzz..."), std::string::npos) << out;
+}
+
+TEST(RecordBatchTest, AppendAndRead) {
+  auto schema = Schema::Make({{"x", DataType::kInt64}});
+  RecordBatch batch(schema, {});
+  batch.Append(Row{Value::Int64(1)});
+  batch.Append(Row{Value::Int64(2)});
+  EXPECT_EQ(batch.num_rows(), 2u);
+  EXPECT_EQ(batch.rows()[1][0], Value::Int64(2));
+}
+
+}  // namespace
+}  // namespace sqlink
