@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_locality.cpp" "bench/CMakeFiles/bench_locality.dir/bench_locality.cpp.o" "gcc" "bench/CMakeFiles/bench_locality.dir/bench_locality.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pipeline/CMakeFiles/sqlink_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/rewriter/CMakeFiles/sqlink_rewriter.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/sqlink_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/sqlink_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/exttool/CMakeFiles/sqlink_exttool.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/sqlink_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/sqlink_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/sqlink_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/sqlink_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/sqlink_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/sqlink_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sqlink_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_parallelism_k.dir/bench_parallelism_k.cpp.o"
+  "CMakeFiles/bench_parallelism_k.dir/bench_parallelism_k.cpp.o.d"
+  "bench_parallelism_k"
+  "bench_parallelism_k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_parallelism_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_recode_strategies.dir/bench_recode_strategies.cpp.o"
+  "CMakeFiles/bench_recode_strategies.dir/bench_recode_strategies.cpp.o.d"
+  "bench_recode_strategies"
+  "bench_recode_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_recode_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

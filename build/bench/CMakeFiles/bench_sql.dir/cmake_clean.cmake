@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sql.dir/bench_sql.cpp.o"
+  "CMakeFiles/bench_sql.dir/bench_sql.cpp.o.d"
+  "bench_sql"
+  "bench_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

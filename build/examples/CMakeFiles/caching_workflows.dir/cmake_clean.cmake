@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/caching_workflows.dir/caching_workflows.cpp.o"
+  "CMakeFiles/caching_workflows.dir/caching_workflows.cpp.o.d"
+  "caching_workflows"
+  "caching_workflows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/caching_workflows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cart_abandonment.dir/cart_abandonment.cpp.o"
+  "CMakeFiles/cart_abandonment.dir/cart_abandonment.cpp.o.d"
+  "cart_abandonment"
+  "cart_abandonment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cart_abandonment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("cluster")
+subdirs("table")
+subdirs("dfs")
+subdirs("sql")
+subdirs("ml")
+subdirs("transform")
+subdirs("stream")
+subdirs("mq")
+subdirs("rewriter")
+subdirs("cache")
+subdirs("exttool")
+subdirs("pipeline")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlink_cache.dir/transform_cache.cc.o"
+  "CMakeFiles/sqlink_cache.dir/transform_cache.cc.o.d"
+  "libsqlink_cache.a"
+  "libsqlink_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlink_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlink_cluster.dir/cluster.cc.o"
+  "CMakeFiles/sqlink_cluster.dir/cluster.cc.o.d"
+  "libsqlink_cluster.a"
+  "libsqlink_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlink_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlink_common.dir/coding.cc.o"
+  "CMakeFiles/sqlink_common.dir/coding.cc.o.d"
+  "CMakeFiles/sqlink_common.dir/fs_util.cc.o"
+  "CMakeFiles/sqlink_common.dir/fs_util.cc.o.d"
+  "CMakeFiles/sqlink_common.dir/logging.cc.o"
+  "CMakeFiles/sqlink_common.dir/logging.cc.o.d"
+  "CMakeFiles/sqlink_common.dir/metrics.cc.o"
+  "CMakeFiles/sqlink_common.dir/metrics.cc.o.d"
+  "CMakeFiles/sqlink_common.dir/random.cc.o"
+  "CMakeFiles/sqlink_common.dir/random.cc.o.d"
+  "CMakeFiles/sqlink_common.dir/status.cc.o"
+  "CMakeFiles/sqlink_common.dir/status.cc.o.d"
+  "CMakeFiles/sqlink_common.dir/string_util.cc.o"
+  "CMakeFiles/sqlink_common.dir/string_util.cc.o.d"
+  "CMakeFiles/sqlink_common.dir/thread_pool.cc.o"
+  "CMakeFiles/sqlink_common.dir/thread_pool.cc.o.d"
+  "libsqlink_common.a"
+  "libsqlink_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlink_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

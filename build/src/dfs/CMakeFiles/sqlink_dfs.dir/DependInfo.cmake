@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dfs/dfs.cc" "src/dfs/CMakeFiles/sqlink_dfs.dir/dfs.cc.o" "gcc" "src/dfs/CMakeFiles/sqlink_dfs.dir/dfs.cc.o.d"
+  "/root/repo/src/dfs/line_reader.cc" "src/dfs/CMakeFiles/sqlink_dfs.dir/line_reader.cc.o" "gcc" "src/dfs/CMakeFiles/sqlink_dfs.dir/line_reader.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sqlink_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/sqlink_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

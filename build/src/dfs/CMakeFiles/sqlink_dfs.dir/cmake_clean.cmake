@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlink_dfs.dir/dfs.cc.o"
+  "CMakeFiles/sqlink_dfs.dir/dfs.cc.o.d"
+  "CMakeFiles/sqlink_dfs.dir/line_reader.cc.o"
+  "CMakeFiles/sqlink_dfs.dir/line_reader.cc.o.d"
+  "libsqlink_dfs.a"
+  "libsqlink_dfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlink_dfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsqlink_dfs.a"
+)

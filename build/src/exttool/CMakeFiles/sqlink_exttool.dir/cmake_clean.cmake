@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlink_exttool.dir/external_transform.cc.o"
+  "CMakeFiles/sqlink_exttool.dir/external_transform.cc.o.d"
+  "libsqlink_exttool.a"
+  "libsqlink_exttool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlink_exttool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/dataset.cc" "src/ml/CMakeFiles/sqlink_ml.dir/dataset.cc.o" "gcc" "src/ml/CMakeFiles/sqlink_ml.dir/dataset.cc.o.d"
+  "/root/repo/src/ml/decision_tree.cc" "src/ml/CMakeFiles/sqlink_ml.dir/decision_tree.cc.o" "gcc" "src/ml/CMakeFiles/sqlink_ml.dir/decision_tree.cc.o.d"
+  "/root/repo/src/ml/evaluation.cc" "src/ml/CMakeFiles/sqlink_ml.dir/evaluation.cc.o" "gcc" "src/ml/CMakeFiles/sqlink_ml.dir/evaluation.cc.o.d"
+  "/root/repo/src/ml/job.cc" "src/ml/CMakeFiles/sqlink_ml.dir/job.cc.o" "gcc" "src/ml/CMakeFiles/sqlink_ml.dir/job.cc.o.d"
+  "/root/repo/src/ml/kmeans.cc" "src/ml/CMakeFiles/sqlink_ml.dir/kmeans.cc.o" "gcc" "src/ml/CMakeFiles/sqlink_ml.dir/kmeans.cc.o.d"
+  "/root/repo/src/ml/model_io.cc" "src/ml/CMakeFiles/sqlink_ml.dir/model_io.cc.o" "gcc" "src/ml/CMakeFiles/sqlink_ml.dir/model_io.cc.o.d"
+  "/root/repo/src/ml/naive_bayes.cc" "src/ml/CMakeFiles/sqlink_ml.dir/naive_bayes.cc.o" "gcc" "src/ml/CMakeFiles/sqlink_ml.dir/naive_bayes.cc.o.d"
+  "/root/repo/src/ml/scaler.cc" "src/ml/CMakeFiles/sqlink_ml.dir/scaler.cc.o" "gcc" "src/ml/CMakeFiles/sqlink_ml.dir/scaler.cc.o.d"
+  "/root/repo/src/ml/sgd.cc" "src/ml/CMakeFiles/sqlink_ml.dir/sgd.cc.o" "gcc" "src/ml/CMakeFiles/sqlink_ml.dir/sgd.cc.o.d"
+  "/root/repo/src/ml/text_input_format.cc" "src/ml/CMakeFiles/sqlink_ml.dir/text_input_format.cc.o" "gcc" "src/ml/CMakeFiles/sqlink_ml.dir/text_input_format.cc.o.d"
+  "/root/repo/src/ml/validation.cc" "src/ml/CMakeFiles/sqlink_ml.dir/validation.cc.o" "gcc" "src/ml/CMakeFiles/sqlink_ml.dir/validation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sqlink_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/sqlink_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/sqlink_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/sqlink_table.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlink_ml.dir/dataset.cc.o"
+  "CMakeFiles/sqlink_ml.dir/dataset.cc.o.d"
+  "CMakeFiles/sqlink_ml.dir/decision_tree.cc.o"
+  "CMakeFiles/sqlink_ml.dir/decision_tree.cc.o.d"
+  "CMakeFiles/sqlink_ml.dir/evaluation.cc.o"
+  "CMakeFiles/sqlink_ml.dir/evaluation.cc.o.d"
+  "CMakeFiles/sqlink_ml.dir/job.cc.o"
+  "CMakeFiles/sqlink_ml.dir/job.cc.o.d"
+  "CMakeFiles/sqlink_ml.dir/kmeans.cc.o"
+  "CMakeFiles/sqlink_ml.dir/kmeans.cc.o.d"
+  "CMakeFiles/sqlink_ml.dir/model_io.cc.o"
+  "CMakeFiles/sqlink_ml.dir/model_io.cc.o.d"
+  "CMakeFiles/sqlink_ml.dir/naive_bayes.cc.o"
+  "CMakeFiles/sqlink_ml.dir/naive_bayes.cc.o.d"
+  "CMakeFiles/sqlink_ml.dir/scaler.cc.o"
+  "CMakeFiles/sqlink_ml.dir/scaler.cc.o.d"
+  "CMakeFiles/sqlink_ml.dir/sgd.cc.o"
+  "CMakeFiles/sqlink_ml.dir/sgd.cc.o.d"
+  "CMakeFiles/sqlink_ml.dir/text_input_format.cc.o"
+  "CMakeFiles/sqlink_ml.dir/text_input_format.cc.o.d"
+  "CMakeFiles/sqlink_ml.dir/validation.cc.o"
+  "CMakeFiles/sqlink_ml.dir/validation.cc.o.d"
+  "libsqlink_ml.a"
+  "libsqlink_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlink_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

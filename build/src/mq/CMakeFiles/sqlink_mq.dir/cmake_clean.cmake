@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlink_mq.dir/broker.cc.o"
+  "CMakeFiles/sqlink_mq.dir/broker.cc.o.d"
+  "CMakeFiles/sqlink_mq.dir/mq_transfer.cc.o"
+  "CMakeFiles/sqlink_mq.dir/mq_transfer.cc.o.d"
+  "libsqlink_mq.a"
+  "libsqlink_mq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlink_mq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

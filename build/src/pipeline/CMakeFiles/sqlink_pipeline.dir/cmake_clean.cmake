@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlink_pipeline.dir/analytics_pipeline.cc.o"
+  "CMakeFiles/sqlink_pipeline.dir/analytics_pipeline.cc.o.d"
+  "CMakeFiles/sqlink_pipeline.dir/datagen.cc.o"
+  "CMakeFiles/sqlink_pipeline.dir/datagen.cc.o.d"
+  "CMakeFiles/sqlink_pipeline.dir/table_io.cc.o"
+  "CMakeFiles/sqlink_pipeline.dir/table_io.cc.o.d"
+  "libsqlink_pipeline.a"
+  "libsqlink_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlink_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlink_rewriter.dir/canonical_query.cc.o"
+  "CMakeFiles/sqlink_rewriter.dir/canonical_query.cc.o.d"
+  "CMakeFiles/sqlink_rewriter.dir/predicate_logic.cc.o"
+  "CMakeFiles/sqlink_rewriter.dir/predicate_logic.cc.o.d"
+  "CMakeFiles/sqlink_rewriter.dir/query_rewriter.cc.o"
+  "CMakeFiles/sqlink_rewriter.dir/query_rewriter.cc.o.d"
+  "libsqlink_rewriter.a"
+  "libsqlink_rewriter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlink_rewriter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sql/ast.cc" "src/sql/CMakeFiles/sqlink_sql.dir/ast.cc.o" "gcc" "src/sql/CMakeFiles/sqlink_sql.dir/ast.cc.o.d"
+  "/root/repo/src/sql/catalog.cc" "src/sql/CMakeFiles/sqlink_sql.dir/catalog.cc.o" "gcc" "src/sql/CMakeFiles/sqlink_sql.dir/catalog.cc.o.d"
+  "/root/repo/src/sql/engine.cc" "src/sql/CMakeFiles/sqlink_sql.dir/engine.cc.o" "gcc" "src/sql/CMakeFiles/sqlink_sql.dir/engine.cc.o.d"
+  "/root/repo/src/sql/executor.cc" "src/sql/CMakeFiles/sqlink_sql.dir/executor.cc.o" "gcc" "src/sql/CMakeFiles/sqlink_sql.dir/executor.cc.o.d"
+  "/root/repo/src/sql/expr.cc" "src/sql/CMakeFiles/sqlink_sql.dir/expr.cc.o" "gcc" "src/sql/CMakeFiles/sqlink_sql.dir/expr.cc.o.d"
+  "/root/repo/src/sql/lexer.cc" "src/sql/CMakeFiles/sqlink_sql.dir/lexer.cc.o" "gcc" "src/sql/CMakeFiles/sqlink_sql.dir/lexer.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/sql/CMakeFiles/sqlink_sql.dir/parser.cc.o" "gcc" "src/sql/CMakeFiles/sqlink_sql.dir/parser.cc.o.d"
+  "/root/repo/src/sql/plan.cc" "src/sql/CMakeFiles/sqlink_sql.dir/plan.cc.o" "gcc" "src/sql/CMakeFiles/sqlink_sql.dir/plan.cc.o.d"
+  "/root/repo/src/sql/planner.cc" "src/sql/CMakeFiles/sqlink_sql.dir/planner.cc.o" "gcc" "src/sql/CMakeFiles/sqlink_sql.dir/planner.cc.o.d"
+  "/root/repo/src/sql/table_udf.cc" "src/sql/CMakeFiles/sqlink_sql.dir/table_udf.cc.o" "gcc" "src/sql/CMakeFiles/sqlink_sql.dir/table_udf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sqlink_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/sqlink_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/sqlink_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

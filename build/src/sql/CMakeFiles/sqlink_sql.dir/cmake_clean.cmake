@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlink_sql.dir/ast.cc.o"
+  "CMakeFiles/sqlink_sql.dir/ast.cc.o.d"
+  "CMakeFiles/sqlink_sql.dir/catalog.cc.o"
+  "CMakeFiles/sqlink_sql.dir/catalog.cc.o.d"
+  "CMakeFiles/sqlink_sql.dir/engine.cc.o"
+  "CMakeFiles/sqlink_sql.dir/engine.cc.o.d"
+  "CMakeFiles/sqlink_sql.dir/executor.cc.o"
+  "CMakeFiles/sqlink_sql.dir/executor.cc.o.d"
+  "CMakeFiles/sqlink_sql.dir/expr.cc.o"
+  "CMakeFiles/sqlink_sql.dir/expr.cc.o.d"
+  "CMakeFiles/sqlink_sql.dir/lexer.cc.o"
+  "CMakeFiles/sqlink_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/sqlink_sql.dir/parser.cc.o"
+  "CMakeFiles/sqlink_sql.dir/parser.cc.o.d"
+  "CMakeFiles/sqlink_sql.dir/plan.cc.o"
+  "CMakeFiles/sqlink_sql.dir/plan.cc.o.d"
+  "CMakeFiles/sqlink_sql.dir/planner.cc.o"
+  "CMakeFiles/sqlink_sql.dir/planner.cc.o.d"
+  "CMakeFiles/sqlink_sql.dir/table_udf.cc.o"
+  "CMakeFiles/sqlink_sql.dir/table_udf.cc.o.d"
+  "libsqlink_sql.a"
+  "libsqlink_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlink_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

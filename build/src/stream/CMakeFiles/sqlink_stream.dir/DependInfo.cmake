@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stream/coordinator.cc" "src/stream/CMakeFiles/sqlink_stream.dir/coordinator.cc.o" "gcc" "src/stream/CMakeFiles/sqlink_stream.dir/coordinator.cc.o.d"
+  "/root/repo/src/stream/socket.cc" "src/stream/CMakeFiles/sqlink_stream.dir/socket.cc.o" "gcc" "src/stream/CMakeFiles/sqlink_stream.dir/socket.cc.o.d"
+  "/root/repo/src/stream/spill_queue.cc" "src/stream/CMakeFiles/sqlink_stream.dir/spill_queue.cc.o" "gcc" "src/stream/CMakeFiles/sqlink_stream.dir/spill_queue.cc.o.d"
+  "/root/repo/src/stream/sql_stream_input_format.cc" "src/stream/CMakeFiles/sqlink_stream.dir/sql_stream_input_format.cc.o" "gcc" "src/stream/CMakeFiles/sqlink_stream.dir/sql_stream_input_format.cc.o.d"
+  "/root/repo/src/stream/stream_sink_udf.cc" "src/stream/CMakeFiles/sqlink_stream.dir/stream_sink_udf.cc.o" "gcc" "src/stream/CMakeFiles/sqlink_stream.dir/stream_sink_udf.cc.o.d"
+  "/root/repo/src/stream/streaming_transfer.cc" "src/stream/CMakeFiles/sqlink_stream.dir/streaming_transfer.cc.o" "gcc" "src/stream/CMakeFiles/sqlink_stream.dir/streaming_transfer.cc.o.d"
+  "/root/repo/src/stream/wire.cc" "src/stream/CMakeFiles/sqlink_stream.dir/wire.cc.o" "gcc" "src/stream/CMakeFiles/sqlink_stream.dir/wire.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sql/CMakeFiles/sqlink_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/sqlink_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/sqlink_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/sqlink_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/sqlink_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sqlink_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlink_stream.dir/coordinator.cc.o"
+  "CMakeFiles/sqlink_stream.dir/coordinator.cc.o.d"
+  "CMakeFiles/sqlink_stream.dir/socket.cc.o"
+  "CMakeFiles/sqlink_stream.dir/socket.cc.o.d"
+  "CMakeFiles/sqlink_stream.dir/spill_queue.cc.o"
+  "CMakeFiles/sqlink_stream.dir/spill_queue.cc.o.d"
+  "CMakeFiles/sqlink_stream.dir/sql_stream_input_format.cc.o"
+  "CMakeFiles/sqlink_stream.dir/sql_stream_input_format.cc.o.d"
+  "CMakeFiles/sqlink_stream.dir/stream_sink_udf.cc.o"
+  "CMakeFiles/sqlink_stream.dir/stream_sink_udf.cc.o.d"
+  "CMakeFiles/sqlink_stream.dir/streaming_transfer.cc.o"
+  "CMakeFiles/sqlink_stream.dir/streaming_transfer.cc.o.d"
+  "CMakeFiles/sqlink_stream.dir/wire.cc.o"
+  "CMakeFiles/sqlink_stream.dir/wire.cc.o.d"
+  "libsqlink_stream.a"
+  "libsqlink_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlink_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/table/csv.cc" "src/table/CMakeFiles/sqlink_table.dir/csv.cc.o" "gcc" "src/table/CMakeFiles/sqlink_table.dir/csv.cc.o.d"
+  "/root/repo/src/table/pretty_print.cc" "src/table/CMakeFiles/sqlink_table.dir/pretty_print.cc.o" "gcc" "src/table/CMakeFiles/sqlink_table.dir/pretty_print.cc.o.d"
+  "/root/repo/src/table/row_codec.cc" "src/table/CMakeFiles/sqlink_table.dir/row_codec.cc.o" "gcc" "src/table/CMakeFiles/sqlink_table.dir/row_codec.cc.o.d"
+  "/root/repo/src/table/schema.cc" "src/table/CMakeFiles/sqlink_table.dir/schema.cc.o" "gcc" "src/table/CMakeFiles/sqlink_table.dir/schema.cc.o.d"
+  "/root/repo/src/table/value.cc" "src/table/CMakeFiles/sqlink_table.dir/value.cc.o" "gcc" "src/table/CMakeFiles/sqlink_table.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sqlink_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

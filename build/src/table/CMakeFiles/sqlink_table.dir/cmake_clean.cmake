@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlink_table.dir/csv.cc.o"
+  "CMakeFiles/sqlink_table.dir/csv.cc.o.d"
+  "CMakeFiles/sqlink_table.dir/pretty_print.cc.o"
+  "CMakeFiles/sqlink_table.dir/pretty_print.cc.o.d"
+  "CMakeFiles/sqlink_table.dir/row_codec.cc.o"
+  "CMakeFiles/sqlink_table.dir/row_codec.cc.o.d"
+  "CMakeFiles/sqlink_table.dir/schema.cc.o"
+  "CMakeFiles/sqlink_table.dir/schema.cc.o.d"
+  "CMakeFiles/sqlink_table.dir/value.cc.o"
+  "CMakeFiles/sqlink_table.dir/value.cc.o.d"
+  "libsqlink_table.a"
+  "libsqlink_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlink_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

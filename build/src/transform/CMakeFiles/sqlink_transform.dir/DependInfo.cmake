@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transform/coding.cc" "src/transform/CMakeFiles/sqlink_transform.dir/coding.cc.o" "gcc" "src/transform/CMakeFiles/sqlink_transform.dir/coding.cc.o.d"
+  "/root/repo/src/transform/recode_map.cc" "src/transform/CMakeFiles/sqlink_transform.dir/recode_map.cc.o" "gcc" "src/transform/CMakeFiles/sqlink_transform.dir/recode_map.cc.o.d"
+  "/root/repo/src/transform/transformer.cc" "src/transform/CMakeFiles/sqlink_transform.dir/transformer.cc.o" "gcc" "src/transform/CMakeFiles/sqlink_transform.dir/transformer.cc.o.d"
+  "/root/repo/src/transform/udfs.cc" "src/transform/CMakeFiles/sqlink_transform.dir/udfs.cc.o" "gcc" "src/transform/CMakeFiles/sqlink_transform.dir/udfs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sql/CMakeFiles/sqlink_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/sqlink_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/sqlink_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sqlink_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlink_transform.dir/coding.cc.o"
+  "CMakeFiles/sqlink_transform.dir/coding.cc.o.d"
+  "CMakeFiles/sqlink_transform.dir/recode_map.cc.o"
+  "CMakeFiles/sqlink_transform.dir/recode_map.cc.o.d"
+  "CMakeFiles/sqlink_transform.dir/transformer.cc.o"
+  "CMakeFiles/sqlink_transform.dir/transformer.cc.o.d"
+  "CMakeFiles/sqlink_transform.dir/udfs.cc.o"
+  "CMakeFiles/sqlink_transform.dir/udfs.cc.o.d"
+  "libsqlink_transform.a"
+  "libsqlink_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlink_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
