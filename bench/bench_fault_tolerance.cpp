@@ -5,7 +5,11 @@
 //   resilient + failure — one ML worker drops its connection mid-stream
 //                         and recovers by replaying from the retained log.
 
+#include <optional>
+#include <string>
+
 #include "bench_util.h"
+#include "common/failpoint.h"
 #include "common/stopwatch.h"
 #include "stream/streaming_transfer.h"
 
@@ -28,9 +32,11 @@ int main(int argc, char** argv) {
     StreamTransferOptions options;
     options.sink.resilient = resilient;
     options.reader.recovery_enabled = resilient;
+    std::optional<ScopedFailpoint> fault;
     if (inject) {
-      options.reader.fail_split = 1;
-      options.reader.fail_after_rows = expected / 16;
+      fault.emplace("stream.reader.row.split1",
+                    "after(" + std::to_string(expected / 16 - 1) +
+                        "):error(1)");
     }
     Stopwatch watch;
     auto result = StreamingTransfer::Run(env->engine.get(),

@@ -5,7 +5,10 @@
 //     replays the whole stream from the retained log, while the broker
 //     resumes from the last committed offset (bounded recovery tail).
 
+#include <string>
+
 #include "bench_util.h"
+#include "common/failpoint.h"
 #include "common/stopwatch.h"
 #include "mq/mq_transfer.h"
 #include "stream/streaming_transfer.h"
@@ -49,8 +52,9 @@ int main(int argc, char** argv) {
     StreamTransferOptions options;
     options.sink.resilient = true;
     options.reader.recovery_enabled = true;
-    options.reader.fail_split = 1;
-    options.reader.fail_after_rows = expected / 16;
+    ScopedFailpoint fault(
+        "stream.reader.row.split1",
+        "after(" + std::to_string(expected / 16 - 1) + "):error(1)");
     Stopwatch watch;
     auto direct = StreamingTransfer::Run(env->engine.get(),
                                          "SELECT * FROM src", options);
@@ -61,8 +65,9 @@ int main(int argc, char** argv) {
   }
   {
     MqTransferOptions options;
-    options.fail_partition = 1;
-    options.fail_after_rows = expected / 16;
+    ScopedFailpoint fault(
+        "mq.reader.crash.p1",
+        "after(" + std::to_string(expected / 16 - 1) + "):error(1)");
     Stopwatch watch;
     auto mq = MqTransfer::Run(env->engine.get(), broker, "SELECT * FROM src",
                               options);

@@ -10,6 +10,7 @@
 #include <set>
 
 #include "cluster/cluster.h"
+#include "common/failpoint.h"
 #include "common/fs_util.h"
 #include "common/logging.h"
 #include "common/random.h"
@@ -59,8 +60,7 @@ int Run(int64_t rows) {
     StreamTransferOptions options;
     options.sink.resilient = true;
     options.reader.recovery_enabled = true;
-    options.reader.fail_split = 2;
-    options.reader.fail_after_rows = 100;
+    ScopedFailpoint fault("stream.reader.row.split2", "after(99):error(1)");
     auto result = StreamingTransfer::Run(engine.get(), query, options);
     if (!result.ok()) {
       std::fprintf(stderr, "resilient transfer: %s\n",

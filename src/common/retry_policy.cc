@@ -1,0 +1,41 @@
+#include "common/retry_policy.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sqlink {
+
+std::optional<std::chrono::milliseconds> RetryPolicy::NextDelay() {
+  if (exhausted_) return std::nullopt;
+  if (options_.max_attempts > 0 && attempts_ >= options_.max_attempts) {
+    exhausted_ = true;
+    return std::nullopt;
+  }
+  const int64_t remaining =
+      static_cast<int64_t>(options_.deadline_ms) - total_delay_ms_;
+  if (remaining <= 0) {
+    exhausted_ = true;
+    return std::nullopt;
+  }
+  double base = static_cast<double>(std::max(1, options_.initial_delay_ms)) *
+                std::pow(std::max(1.0, options_.multiplier), attempts_);
+  base = std::min(base, static_cast<double>(std::max(1, options_.max_delay_ms)));
+  double factor = 1.0;
+  if (options_.jitter > 0.0) {
+    factor += options_.jitter * (2.0 * rng_.NextDouble() - 1.0);
+  }
+  int64_t delay_ms = std::llround(base * factor);
+  delay_ms = std::clamp<int64_t>(delay_ms, 1, remaining);
+  ++attempts_;
+  total_delay_ms_ += delay_ms;
+  return std::chrono::milliseconds(delay_ms);
+}
+
+bool RetryPolicy::Backoff() {
+  const auto delay = NextDelay();
+  if (!delay.has_value()) return false;
+  std::this_thread::sleep_for(*delay);
+  return true;
+}
+
+}  // namespace sqlink

@@ -1,0 +1,85 @@
+#ifndef SQLINK_COMMON_RETRY_POLICY_H_
+#define SQLINK_COMMON_RETRY_POLICY_H_
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include "common/random.h"
+#include "common/result.h"
+
+namespace sqlink {
+
+namespace retry_internal {
+inline const Status& ToStatus(const Status& status) { return status; }
+template <typename T>
+Status ToStatus(const Result<T>& result) {
+  return result.status();
+}
+}  // namespace retry_internal
+
+/// Deadline-capped exponential backoff with seeded jitter — the one retry
+/// discipline shared by every transfer-layer reconnect loop (sink
+/// registration, ML-worker waits, reader dials). Delay i has base
+/// min(initial * multiplier^i, max), multiplied by a jitter factor uniform
+/// in [1-jitter, 1+jitter]; delays are clamped so their sum never exceeds
+/// the deadline. For a fixed seed the delay sequence is fully deterministic.
+class RetryPolicy {
+ public:
+  struct Options {
+    int initial_delay_ms = 10;
+    int max_delay_ms = 1000;
+    double multiplier = 2.0;
+    double jitter = 0.2;      ///< Fraction of the base; 0 disables jitter.
+    int deadline_ms = 30000;  ///< Budget for the *sum* of all delays.
+    int max_attempts = 0;     ///< 0 = bounded by the deadline only.
+    uint64_t seed = 0;        ///< Seeds the jitter RNG.
+  };
+
+  explicit RetryPolicy(Options options)
+      : options_(options), rng_(options.seed) {}
+
+  /// The backoff to wait before the next retry, or nullopt once the policy
+  /// is exhausted (attempt cap reached or delay budget spent). Exhaustion is
+  /// permanent. Never sleeps.
+  std::optional<std::chrono::milliseconds> NextDelay();
+
+  /// NextDelay() plus the actual sleep; false when exhausted.
+  bool Backoff();
+
+  int attempts() const { return attempts_; }
+  /// Total backoff handed out so far.
+  int64_t total_delay_ms() const { return total_delay_ms_; }
+
+  /// Runs `op` (returning Status or Result<T>) until it succeeds, fails
+  /// non-transiently, or the policy is exhausted; returns the last outcome.
+  /// `retryable` decides which errors are worth another attempt.
+  template <typename Op, typename Retryable = bool (*)(const Status&)>
+  auto Run(Op&& op, Retryable retryable = &RetryPolicy::IsTransient)
+      -> decltype(op()) {
+    for (;;) {
+      auto outcome = op();
+      const Status status = retry_internal::ToStatus(outcome);
+      if (status.ok() || !retryable(status)) return outcome;
+      if (!Backoff()) return outcome;
+    }
+  }
+
+  /// Default transience test: connectivity-shaped failures.
+  static bool IsTransient(const Status& status) {
+    return status.IsNetworkError() || status.IsUnavailable();
+  }
+
+ private:
+  Options options_;
+  Random rng_;
+  int attempts_ = 0;
+  int64_t total_delay_ms_ = 0;
+  bool exhausted_ = false;
+};
+
+}  // namespace sqlink
+
+#endif  // SQLINK_COMMON_RETRY_POLICY_H_

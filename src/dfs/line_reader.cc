@@ -1,5 +1,7 @@
 #include "dfs/line_reader.h"
 
+#include "common/failpoint.h"
+
 namespace sqlink {
 
 DfsLineReader::DfsLineReader(std::unique_ptr<DfsReader> reader, uint64_t start,
@@ -14,6 +16,10 @@ DfsLineReader::DfsLineReader(std::unique_ptr<DfsReader> reader, uint64_t start,
 
 bool DfsLineReader::Refill() {
   if (!status_.ok()) return false;
+  if (SQLINK_FAILPOINT("dfs.line_reader.read") != FailpointOutcome::kNone) {
+    status_ = Status::IoError("failpoint: injected read error");
+    return false;
+  }
   buffer_file_offset_ = position_;
   const Status status = reader_->ReadAt(position_, io_buffer_size_, &buffer_);
   if (!status.ok()) {

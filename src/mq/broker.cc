@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "common/failpoint.h"
 #include "common/status_macros.h"
 
 namespace sqlink {
@@ -55,6 +56,9 @@ Result<const MessageBroker::Partition*> MessageBroker::FindPartition(
 
 Result<int64_t> MessageBroker::Produce(const std::string& topic,
                                        int partition, std::string payload) {
+  if (SQLINK_FAILPOINT("mq.broker.produce") != FailpointOutcome::kNone) {
+    return Status::Unavailable("failpoint: injected produce error");
+  }
   std::lock_guard<std::mutex> lock(mu_);
   ASSIGN_OR_RETURN(Partition * p, FindPartition(topic, partition));
   if (p->sealed) {
@@ -89,6 +93,9 @@ Result<MessageBroker::PollResult> MessageBroker::Poll(const std::string& topic,
                                                       int64_t offset,
                                                       size_t max_messages,
                                                       int timeout_ms) {
+  if (SQLINK_FAILPOINT("mq.broker.poll") != FailpointOutcome::kNone) {
+    return Status::Unavailable("failpoint: injected poll error");
+  }
   std::unique_lock<std::mutex> lock(mu_);
   ASSIGN_OR_RETURN(Partition * p, FindPartition(topic, partition));
   if (offset < p->base_offset) {

@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "common/coding.h"
+#include "common/failpoint.h"
 #include "common/status_macros.h"
 #include "sql/table_udf.h"
 #include "table/row_codec.h"
@@ -159,6 +160,7 @@ class MqRecordReader final : public ml::RecordReader {
       : broker_(std::move(broker)),
         topic_(std::move(topic)),
         partition_(partition),
+        crash_failpoint_name_("mq.reader.crash.p" + std::to_string(partition)),
         options_(std::move(options)),
         reread_counter_(std::move(reread_counter)) {}
 
@@ -172,7 +174,6 @@ class MqRecordReader final : public ml::RecordReader {
         }
         *out = std::move(pending_[pending_index_++]);
         ++delivered_since_commit_;
-        ++delivered_total_;
         MaybeInjectFailure();
         return true;
       }
@@ -210,17 +211,15 @@ class MqRecordReader final : public ml::RecordReader {
   }
 
  private:
-  /// Simulates a consumer crash after the configured number of delivered
-  /// rows: state resets to the last committed offset; already-delivered
-  /// rows of the uncommitted tail are skipped on the replay so the dataset
-  /// stays duplicate-free (the recovery tail is what gets re-read).
+  /// Simulates a consumer crash when the per-partition failpoint
+  /// ("mq.reader.crash.p<ID>", evaluated once per delivered row) fires:
+  /// state resets to the last committed offset; already-delivered rows of
+  /// the uncommitted tail are skipped on the replay so the dataset stays
+  /// duplicate-free (the recovery tail is what gets re-read).
   void MaybeInjectFailure() {
-    if (injected_ || options_.fail_partition != partition_ ||
-        options_.fail_after_rows == 0 ||
-        delivered_total_ < options_.fail_after_rows) {
+    if (SQLINK_FAILPOINT(crash_failpoint_name_) == FailpointOutcome::kNone) {
       return;
     }
-    injected_ = true;
     replay_high_water_ = offset_;
     pending_.clear();
     pending_index_ = 0;
@@ -231,6 +230,7 @@ class MqRecordReader final : public ml::RecordReader {
   MessageBrokerPtr broker_;
   std::string topic_;
   int partition_;
+  const std::string crash_failpoint_name_;
   MqTransferOptions options_;
   std::shared_ptr<std::atomic<int64_t>> reread_counter_;
 
@@ -239,10 +239,8 @@ class MqRecordReader final : public ml::RecordReader {
   int64_t offset_ = 0;
   int64_t committed_offset_ = 0;
   uint64_t delivered_since_commit_ = 0;
-  uint64_t delivered_total_ = 0;
   uint64_t skip_ = 0;
   int idle_polls_ = 0;
-  bool injected_ = false;
   int64_t replay_high_water_ = -1;
 };
 

@@ -18,16 +18,14 @@ namespace sqlink {
 /// only the uncommitted tail instead of replaying the whole stream (the
 /// "at least one read" guarantee), and a slow consumer simply lags against
 /// the broker's retained log.
+/// Fault injection lives in the failpoint registry (common/failpoint.h):
+/// arm "mq.reader.crash.p<ID>" to make partition ID's consumer "crash"
+/// after a delivered row and resume from its last committed offset, or
+/// "mq.broker.produce" / "mq.broker.poll" for broker-side faults.
 struct MqTransferOptions {
   int partitions_per_worker = 1;  ///< k; topic has n·k partitions.
   size_t batch_bytes = 4096;      ///< Frame batching, as the socket path.
   std::string consumer_group = "ml-ingest";
-
-  /// Fault injection: the consumer of `fail_partition` "crashes" once
-  /// after delivering `fail_after_rows` rows, then resumes from its last
-  /// committed offset.
-  int fail_partition = -1;
-  uint64_t fail_after_rows = 0;
 };
 
 struct MqTransferResult {

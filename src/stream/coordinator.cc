@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/status_macros.h"
 
@@ -137,6 +138,13 @@ void StreamCoordinator::HandleConnection(TcpSocket socket) {
 
 Status StreamCoordinator::HandleRegisterSql(TcpSocket* socket,
                                             const Frame& frame) {
+  if (SQLINK_FAILPOINT("coordinator.register_sql") != FailpointOutcome::kNone) {
+    // Drop the registration on the floor: the worker sees a dead connection
+    // and must retry. Re-registration is idempotent (map overwrite), so this
+    // models a coordinator that crashed after reading the request.
+    socket->Close();
+    return Status::OK();
+  }
   ASSIGN_OR_RETURN(RegisterSqlMessage msg,
                    RegisterSqlMessage::Decode(frame.payload));
   bool all_registered = false;
@@ -193,6 +201,10 @@ Status StreamCoordinator::WaitForSplits() {
 }
 
 Status StreamCoordinator::HandleGetSplits(TcpSocket* socket) {
+  if (SQLINK_FAILPOINT("coordinator.get_splits") != FailpointOutcome::kNone) {
+    socket->Close();
+    return Status::OK();
+  }
   RETURN_IF_ERROR(WaitForSplits());
   std::string payload;
   {
@@ -205,6 +217,10 @@ Status StreamCoordinator::HandleGetSplits(TcpSocket* socket) {
 Status StreamCoordinator::HandleRegisterMl(TcpSocket* socket,
                                            const Frame& frame,
                                            bool is_failure) {
+  if (SQLINK_FAILPOINT("coordinator.match") != FailpointOutcome::kNone) {
+    socket->Close();
+    return Status::OK();
+  }
   ASSIGN_OR_RETURN(RegisterMlMessage msg,
                    RegisterMlMessage::Decode(frame.payload));
   RETURN_IF_ERROR(WaitForSplits());

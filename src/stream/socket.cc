@@ -9,6 +9,8 @@
 #include <cerrno>
 #include <cstring>
 
+#include "common/failpoint.h"
+
 namespace sqlink {
 
 namespace {
@@ -32,6 +34,15 @@ TcpSocket& TcpSocket::operator=(TcpSocket&& other) noexcept {
 
 Status TcpSocket::SendAll(std::string_view data) {
   if (!valid()) return Status::NetworkError("send on closed socket");
+  switch (SQLINK_FAILPOINT("stream.socket.send")) {
+    case FailpointOutcome::kNone:
+      break;
+    case FailpointOutcome::kError:
+      return Status::NetworkError("failpoint: injected send error");
+    case FailpointOutcome::kClose:
+      Close();
+      return Status::NetworkError("failpoint: send socket closed");
+  }
   size_t sent = 0;
   while (sent < data.size()) {
     const ssize_t n =
@@ -47,6 +58,15 @@ Status TcpSocket::SendAll(std::string_view data) {
 
 Status TcpSocket::RecvExactly(size_t n, std::string* out) {
   if (!valid()) return Status::NetworkError("recv on closed socket");
+  switch (SQLINK_FAILPOINT("stream.socket.recv")) {
+    case FailpointOutcome::kNone:
+      break;
+    case FailpointOutcome::kError:
+      return Status::NetworkError("failpoint: injected recv error");
+    case FailpointOutcome::kClose:
+      Close();
+      return Status::NetworkError("failpoint: recv socket closed");
+  }
   out->resize(n);
   size_t received = 0;
   while (received < n) {
@@ -119,6 +139,9 @@ Result<TcpListener> TcpListener::Listen(int port) {
 
 Result<TcpSocket> TcpListener::Accept() {
   if (fd_ < 0) return Status::Cancelled("listener closed");
+  if (SQLINK_FAILPOINT("stream.socket.accept") != FailpointOutcome::kNone) {
+    return Status::NetworkError("failpoint: injected accept error");
+  }
   for (;;) {
     const int client = ::accept(fd_, nullptr, nullptr);
     if (client >= 0) {
@@ -144,6 +167,10 @@ void TcpListener::Close() {
 }
 
 Result<TcpSocket> TcpConnect(const std::string& host, int port) {
+  if (SQLINK_FAILPOINT("stream.socket.connect") != FailpointOutcome::kNone) {
+    return Status::NetworkError("failpoint: injected connect error (" + host +
+                                ":" + std::to_string(port) + ")");
+  }
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return Status::NetworkError(ErrnoMessage("socket"));
   sockaddr_in addr{};

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/coding.h"
+#include "common/failpoint.h"
 #include "common/logging.h"
 
 namespace sqlink {
@@ -38,7 +39,11 @@ Status SpillingByteQueue::Push(std::string frame) {
       consumer_cv_.notify_one();
       return Status::OK();
     }
-    if (options_.spill_enabled) {
+    if (options_.spill_enabled &&
+        SQLINK_FAILPOINT("stream.spill.write") == FailpointOutcome::kNone) {
+      // An injected spill failure is evaluated before any bytes reach disk,
+      // so the queue can degrade to backpressure instead of corrupting the
+      // spill file; genuine write failures below still fail hard.
       if (!spill_out_.is_open()) {
         spill_out_.open(options_.spill_path,
                         std::ios::binary | std::ios::trunc);
@@ -85,6 +90,9 @@ Result<std::optional<std::string>> SpillingByteQueue::Pop() {
       return std::optional<std::string>(std::move(frame));
     }
     if (spill_read_ < spill_written_) {
+      if (SQLINK_FAILPOINT("stream.spill.read") != FailpointOutcome::kNone) {
+        return Status::IoError("failpoint: injected spill read error");
+      }
       if (!spill_in_.is_open()) {
         spill_in_.open(options_.spill_path, std::ios::binary);
         if (!spill_in_) {

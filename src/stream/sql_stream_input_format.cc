@@ -3,8 +3,10 @@
 #include <chrono>
 #include <thread>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "common/retry_policy.h"
 #include "common/status_macros.h"
 #include "stream/socket.h"
 #include "table/row_codec.h"
@@ -12,6 +14,14 @@
 namespace sqlink {
 
 namespace {
+
+RetryPolicy::Options ReconnectBackoffOptions(int split_id) {
+  RetryPolicy::Options options;
+  options.initial_delay_ms = 5;
+  options.max_delay_ms = 200;
+  options.seed = static_cast<uint64_t>(split_id);
+  return options;
+}
 
 /// Receives one split's row stream from its SQL worker, with optional §6
 /// recovery (reconnect + replay + skip) and fault injection.
@@ -23,15 +33,25 @@ class StreamRecordReader final : public ml::RecordReader {
       : coordinator_host_(std::move(coordinator_host)),
         coordinator_port_(coordinator_port),
         split_(std::move(split)),
+        // Precomputed so the per-row failpoint probe costs one atomic load
+        // (the macro skips the name expression when nothing is armed).
+        row_failpoint_name_("stream.reader.row.split" +
+                            std::to_string(split_.split_id)),
         options_(options),
-        metrics_(metrics) {}
+        metrics_(metrics),
+        reconnect_backoff_(ReconnectBackoffOptions(split_.split_id)) {}
 
   Result<bool> Next(Row* out) override {
     for (;;) {
       if (done_) return false;
       if (!connected_) {
         const Status status = Connect(/*restart=*/delivered_ > 0);
-        if (!status.ok()) return status;
+        if (!status.ok()) {
+          // A failed dial is recoverable like a broken transfer: it counts
+          // against max_reconnects instead of failing the reader outright.
+          RETURN_IF_ERROR(HandleFailure(status));
+          continue;
+        }
       }
       auto row = NextFromConnection(out);
       if (row.ok()) {
@@ -44,19 +64,15 @@ class StreamRecordReader final : public ml::RecordReader {
         // the failure.
         if (received_this_connection_ <= skip_) continue;
         ++delivered_;
-        // Fault injection: drop the connection once, mid-stream.
-        if (options_.fail_split == split_.split_id && !failure_injected_ &&
-            delivered_ >= options_.fail_after_rows &&
-            options_.fail_after_rows > 0) {
-          failure_injected_ = true;
+        // Fault injection: drop the connection mid-stream. The failpoint
+        // fires *after* this row was delivered, so the replay must skip it
+        // too; the row itself is handed to the ML job normally.
+        if (SQLINK_FAILPOINT(row_failpoint_name_) != FailpointOutcome::kNone) {
           socket_.Close();
           connected_ = false;
-          // The injected failure hits *after* this row was delivered; the
-          // replay must skip it too.
           const Status status = HandleFailure(
               Status::NetworkError("injected connection failure"));
           if (!status.ok()) return status;
-          return true;  // This row itself was delivered fine.
         }
         return true;
       }
@@ -68,6 +84,9 @@ class StreamRecordReader final : public ml::RecordReader {
   /// Resolves the SQL endpoint (via the coordinator on reconnects) and
   /// performs the HELLO/SCHEMA handshake.
   Status Connect(bool restart) {
+    if (SQLINK_FAILPOINT("stream.reader.connect") != FailpointOutcome::kNone) {
+      return Status::NetworkError("failpoint: injected reader connect error");
+    }
     std::string host = split_.host;
     int port = split_.port;
     if (restart) {
@@ -117,6 +136,10 @@ class StreamRecordReader final : public ml::RecordReader {
       ASSIGN_OR_RETURN(Frame frame, RecvFrame(&socket_));
       switch (frame.type) {
         case FrameType::kData: {
+          if (SQLINK_FAILPOINT("stream.reader.frame") !=
+              FailpointOutcome::kNone) {
+            return Status::NetworkError("failpoint: injected frame error");
+          }
           Decoder decoder(frame.payload);
           ASSIGN_OR_RETURN(uint64_t count, decoder.GetVarint64());
           batch_.clear();
@@ -168,12 +191,18 @@ class StreamRecordReader final : public ml::RecordReader {
     LOG_WARNING() << "stream split " << split_.split_id
                   << " transfer failed (" << cause.message()
                   << "), attempting recovery " << reconnects_;
+    if (!reconnect_backoff_.Backoff()) {
+      // The backoff deadline bounds total recovery time even when
+      // max_reconnects would allow further attempts.
+      return cause;
+    }
     return Status::OK();
   }
 
   std::string coordinator_host_;
   int coordinator_port_;
   StreamSplitInfo split_;
+  const std::string row_failpoint_name_;
   StreamReaderOptions options_;
   MetricsRegistry* metrics_;
 
@@ -186,7 +215,7 @@ class StreamRecordReader final : public ml::RecordReader {
   uint64_t skip_ = 0;                      // Replay rows to discard.
   uint64_t delivered_ = 0;                 // Rows handed to the ML job.
   int reconnects_ = 0;
-  bool failure_injected_ = false;
+  RetryPolicy reconnect_backoff_;
 };
 
 }  // namespace
@@ -201,16 +230,23 @@ SqlStreamInputFormat::SqlStreamInputFormat(std::string coordinator_host,
 Result<std::vector<ml::InputSplitPtr>> SqlStreamInputFormat::GetSplits(
     const ml::JobContext& context) {
   (void)context;
-  // Step 3: the customized getInputSplits contacts the coordinator.
-  ASSIGN_OR_RETURN(TcpSocket control,
-                   TcpConnect(coordinator_host_, coordinator_port_));
-  RETURN_IF_ERROR(SendFrame(&control, FrameType::kGetSplits, ""));
-  ASSIGN_OR_RETURN(Frame frame, RecvFrame(&control));
-  if (frame.type != FrameType::kSplits) {
-    return Status::NetworkError("coordinator did not return splits: " +
-                                frame.payload);
-  }
-  ASSIGN_OR_RETURN(SplitsMessage msg, SplitsMessage::Decode(frame.payload));
+  // Step 3: the customized getInputSplits contacts the coordinator. The
+  // exchange is read-only on the coordinator, so dropped control
+  // connections are simply retried with backoff.
+  RetryPolicy retry(RetryPolicy::Options{});
+  Result<SplitsMessage> exchange = retry.Run([&]() -> Result<SplitsMessage> {
+    ASSIGN_OR_RETURN(TcpSocket control,
+                     TcpConnect(coordinator_host_, coordinator_port_));
+    RETURN_IF_ERROR(SendFrame(&control, FrameType::kGetSplits, ""));
+    ASSIGN_OR_RETURN(Frame frame, RecvFrame(&control));
+    if (frame.type != FrameType::kSplits) {
+      return Status::NetworkError("coordinator did not return splits: " +
+                                  frame.payload);
+    }
+    return SplitsMessage::Decode(frame.payload);
+  });
+  if (!exchange.ok()) return exchange.status();
+  SplitsMessage msg = exchange.MoveValue();
   schema_ = msg.schema;
   std::vector<ml::InputSplitPtr> splits;
   splits.reserve(msg.splits.size());

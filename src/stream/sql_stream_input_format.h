@@ -10,18 +10,17 @@
 
 namespace sqlink {
 
-/// Failure injection and recovery knobs (§6 experiments/tests).
+/// Recovery knobs (§6 experiments/tests). Fault injection lives in the
+/// failpoint registry (common/failpoint.h): arm
+/// "stream.reader.row.split<ID>" to drop split ID's connection after a
+/// delivered row, or "stream.reader.frame" / "stream.reader.connect" for
+/// frame- and dial-level faults.
 struct StreamReaderOptions {
   /// §6 recovery: on a broken connection, report the failure to the
   /// coordinator, re-dial the matched SQL worker with restart=1, and skip
   /// the rows already delivered from the replay.
   bool recovery_enabled = false;
   int max_reconnects = 3;
-
-  /// Test/benchmark fault injection: the reader of `fail_split` drops its
-  /// connection once after delivering `fail_after_rows` rows.
-  int fail_split = -1;
-  uint64_t fail_after_rows = 0;
 
   /// Benchmark knob: sleep this long after each received data frame,
   /// simulating a slow ML consumer (drives the spill/backpressure study).

@@ -6,8 +6,10 @@
 
 #include "common/blocking_queue.h"
 #include "common/coding.h"
+#include "common/failpoint.h"
 #include "common/fs_util.h"
 #include "common/logging.h"
+#include "common/retry_policy.h"
 #include "common/status_macros.h"
 #include "stream/spill_queue.h"
 #include "stream/wire.h"
@@ -148,18 +150,32 @@ Status SqlStreamSinkUdf::ProcessPartition(const TableUdfContext& context,
   registration.schema = input_schema_;
   int k = 1;
   {
-    ASSIGN_OR_RETURN(TcpSocket control,
-                     TcpConnect(coordinator_host_, coordinator_port_));
-    RETURN_IF_ERROR(SendFrame(&control, FrameType::kRegisterSql,
-                              registration.Encode()));
-    ASSIGN_OR_RETURN(Frame ack, RecvFrame(&control));
-    if (ack.type != FrameType::kAck) {
-      return Status::NetworkError("coordinator rejected registration: " +
-                                  ack.payload);
-    }
-    Decoder decoder(ack.payload);
-    ASSIGN_OR_RETURN(uint64_t splits_per_worker, decoder.GetVarint64());
-    k = static_cast<int>(splits_per_worker);
+    // Registration is idempotent on the coordinator, so transient failures
+    // (dropped control connections, injected faults) are retried with
+    // backoff rather than restarting the whole SQL task.
+    RetryPolicy::Options retry_options;
+    retry_options.deadline_ms = options_.reconnect_timeout_ms;
+    retry_options.seed = static_cast<uint64_t>(context.worker_id);
+    RetryPolicy retry(retry_options);
+    Result<int> splits_per_worker = retry.Run([&]() -> Result<int> {
+      if (SQLINK_FAILPOINT("stream.sink.register") != FailpointOutcome::kNone) {
+        return Status::NetworkError("failpoint: injected registration error");
+      }
+      ASSIGN_OR_RETURN(TcpSocket control,
+                       TcpConnect(coordinator_host_, coordinator_port_));
+      RETURN_IF_ERROR(SendFrame(&control, FrameType::kRegisterSql,
+                                registration.Encode()));
+      ASSIGN_OR_RETURN(Frame ack, RecvFrame(&control));
+      if (ack.type != FrameType::kAck) {
+        return Status::NetworkError("coordinator rejected registration: " +
+                                    ack.payload);
+      }
+      Decoder decoder(ack.payload);
+      ASSIGN_OR_RETURN(uint64_t splits, decoder.GetVarint64());
+      return static_cast<int>(splits);
+    });
+    if (!splits_per_worker.ok()) return splits_per_worker.status();
+    k = *splits_per_worker;
   }
 
   // --- Step 7: a router thread accepts data connections and hands each to
@@ -205,6 +221,27 @@ Status SqlStreamSinkUdf::ProcessPartition(const TableUdfContext& context,
     }
   } router_guard{&listener, &router_stop, &router, &inboxes};
 
+  // Waits for a data connection on `inbox`, pacing the poll with a backoff
+  // policy so the total wait across reconnect attempts is deadline-capped
+  // rather than one fixed-length block per attempt. Leaves `out` empty when
+  // the inbox closes (shutdown).
+  auto wait_for_inbound = [](BlockingQueue<Inbound>* inbox,
+                             RetryPolicy* policy,
+                             std::optional<Inbound>* out) -> Status {
+    for (;;) {
+      const auto slice = policy->NextDelay();
+      if (!slice.has_value()) {
+        return Status::Unavailable("timed out waiting for ML worker");
+      }
+      bool timed_out = false;
+      *out = inbox->PopFor(*slice, &timed_out);
+      if (!timed_out) return Status::OK();
+    }
+  };
+  RetryPolicy::Options inbound_wait_options;
+  inbound_wait_options.deadline_ms = options_.reconnect_timeout_ms;
+  inbound_wait_options.jitter = 0.0;
+
   const std::string scratch_dir =
       context.cluster != nullptr
           ? context.cluster->NodeLocalDir(context.worker_id)
@@ -235,14 +272,10 @@ Status SqlStreamSinkUdf::ProcessPartition(const TableUdfContext& context,
         auto run = [&]() -> Status {
           // Bounded wait: if the ML job died before dialing in, surface an
           // error instead of blocking the SQL pipeline forever.
-          bool timed_out = false;
-          std::optional<Inbound> conn =
-              inboxes[static_cast<size_t>(j)]->PopFor(
-                  std::chrono::milliseconds(options_.reconnect_timeout_ms),
-                  &timed_out);
-          if (timed_out) {
-            return Status::Unavailable("timed out waiting for ML worker");
-          }
+          RetryPolicy wait_policy(inbound_wait_options);
+          std::optional<Inbound> conn;
+          RETURN_IF_ERROR(wait_for_inbound(inboxes[static_cast<size_t>(j)].get(),
+                                           &wait_policy, &conn));
           if (!conn.has_value()) {
             return Status::Cancelled("no ML worker connected");
           }
@@ -371,16 +404,15 @@ Status SqlStreamSinkUdf::ProcessPartition(const TableUdfContext& context,
         };
         Status status = Status::Cancelled("no ML worker connected");
         // Serve until a transfer completes; each reconnect replays fully.
-        // A bounded wait turns a dead ML job into an error, not a hang.
+        // The shared policy caps the *total* time spent awaiting
+        // (re)connections, so a dead ML job becomes an error, not a hang.
+        RetryPolicy wait_policy(inbound_wait_options);
         for (;;) {
-          bool timed_out = false;
-          std::optional<Inbound> conn =
-              inboxes[static_cast<size_t>(j)]->PopFor(
-                  std::chrono::milliseconds(options_.reconnect_timeout_ms),
-                  &timed_out);
-          if (timed_out) {
-            status = Status::Unavailable(
-                "timed out waiting for ML worker (re)connection");
+          std::optional<Inbound> conn;
+          const Status wait = wait_for_inbound(
+              inboxes[static_cast<size_t>(j)].get(), &wait_policy, &conn);
+          if (!wait.ok()) {
+            status = wait;
             break;
           }
           if (!conn.has_value()) break;  // Shut down.

@@ -1,5 +1,6 @@
 #include "stream/wire.h"
 
+#include "common/failpoint.h"
 #include "common/status_macros.h"
 
 namespace sqlink {
@@ -10,10 +11,37 @@ Status SendFrame(TcpSocket* socket, FrameType type, std::string_view payload) {
   PutFixed32(&buffer, static_cast<uint32_t>(payload.size()));
   buffer.push_back(static_cast<char>(type));
   buffer.append(payload);
+  FailpointOutcome outcome = SQLINK_FAILPOINT("stream.wire.send_frame");
+  if (outcome == FailpointOutcome::kNone && type == FrameType::kData) {
+    outcome = SQLINK_FAILPOINT("stream.wire.send_data");
+  }
+  switch (outcome) {
+    case FailpointOutcome::kNone:
+      break;
+    case FailpointOutcome::kError:
+      return Status::NetworkError("failpoint: injected frame send error");
+    case FailpointOutcome::kClose: {
+      // Ship only half the frame before dropping the connection, so the
+      // receiver observes a mid-frame disconnect rather than a clean EOF.
+      const std::string_view half(buffer.data(), buffer.size() / 2);
+      (void)socket->SendAll(half);
+      socket->Close();
+      return Status::NetworkError("failpoint: connection dropped mid-frame");
+    }
+  }
   return socket->SendAll(buffer);
 }
 
 Result<Frame> RecvFrame(TcpSocket* socket) {
+  switch (SQLINK_FAILPOINT("stream.wire.recv_frame")) {
+    case FailpointOutcome::kNone:
+      break;
+    case FailpointOutcome::kError:
+      return Status::NetworkError("failpoint: injected frame recv error");
+    case FailpointOutcome::kClose:
+      socket->Close();
+      return Status::NetworkError("failpoint: recv connection closed");
+  }
   std::string header;
   RETURN_IF_ERROR(socket->RecvExactly(5, &header));
   Decoder decoder(header);

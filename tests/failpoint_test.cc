@@ -1,0 +1,234 @@
+#include "common/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+
+namespace sqlink {
+namespace {
+
+/// Each test disarms everything it armed; the fixture guarantees it even on
+/// assertion failure so tests stay independent within one process.
+class FailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FailpointRegistry::Global().ClearAll(); }
+
+  FailpointRegistry& registry() { return FailpointRegistry::Global(); }
+};
+
+TEST_F(FailpointTest, UnarmedPointIsFreeAndInert) {
+  EXPECT_FALSE(FailpointRegistry::AnyActive());
+  EXPECT_EQ(SQLINK_FAILPOINT("never.configured"), FailpointOutcome::kNone);
+  // An unarmed evaluation does not even count hits (the fast path skips the
+  // registry entirely).
+  EXPECT_EQ(registry().Hits("never.configured"), 0);
+}
+
+TEST_F(FailpointTest, OneShotErrorFiresExactlyOnce) {
+  ASSERT_TRUE(registry().Configure("pt.oneshot", "error(1)").ok());
+  EXPECT_TRUE(FailpointRegistry::AnyActive());
+  EXPECT_EQ(SQLINK_FAILPOINT("pt.oneshot"), FailpointOutcome::kError);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(SQLINK_FAILPOINT("pt.oneshot"), FailpointOutcome::kNone);
+  }
+  EXPECT_EQ(registry().Hits("pt.oneshot"), 11);
+  EXPECT_EQ(registry().Fires("pt.oneshot"), 1);
+}
+
+TEST_F(FailpointTest, AfterSkipsLeadingHits) {
+  ASSERT_TRUE(registry().Configure("pt.after", "after(4):error(1)").ok());
+  for (int hit = 1; hit <= 10; ++hit) {
+    const FailpointOutcome outcome = SQLINK_FAILPOINT("pt.after");
+    EXPECT_EQ(outcome, hit == 5 ? FailpointOutcome::kError
+                                : FailpointOutcome::kNone)
+        << "hit " << hit;
+  }
+}
+
+TEST_F(FailpointTest, EveryNthFiresPeriodically) {
+  ASSERT_TRUE(registry().Configure("pt.every", "every(3):close").ok());
+  std::vector<int> fired_hits;
+  for (int hit = 1; hit <= 12; ++hit) {
+    if (SQLINK_FAILPOINT("pt.every") == FailpointOutcome::kClose) {
+      fired_hits.push_back(hit);
+    }
+  }
+  EXPECT_EQ(fired_hits, (std::vector<int>{3, 6, 9, 12}));
+}
+
+TEST_F(FailpointTest, FireBudgetCapsTotalFires) {
+  ASSERT_TRUE(registry().Configure("pt.budget", "every(2):error(3)").ok());
+  int fires = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (SQLINK_FAILPOINT("pt.budget") == FailpointOutcome::kError) ++fires;
+  }
+  EXPECT_EQ(fires, 3);
+  EXPECT_EQ(registry().Fires("pt.budget"), 3);
+}
+
+TEST_F(FailpointTest, SeededProbabilityIsDeterministic) {
+  auto schedule = [&](const std::string& spec) {
+    EXPECT_TRUE(registry().Configure("pt.prob", spec).ok());
+    std::vector<bool> fired;
+    for (int i = 0; i < 500; ++i) {
+      fired.push_back(SQLINK_FAILPOINT("pt.prob") == FailpointOutcome::kError);
+    }
+    registry().Clear("pt.prob");
+    return fired;
+  };
+  const std::vector<bool> run1 = schedule("prob(0.3,42):error");
+  const std::vector<bool> run2 = schedule("prob(0.3,42):error");
+  const std::vector<bool> other_seed = schedule("prob(0.3,7):error");
+  // Same seed -> the exact same injected-fault schedule; a different seed
+  // diverges (with overwhelming probability over 500 draws).
+  EXPECT_EQ(run1, run2);
+  EXPECT_NE(run1, other_seed);
+  const int fires = static_cast<int>(std::count(run1.begin(), run1.end(), true));
+  EXPECT_GT(fires, 100);  // ~150 expected.
+  EXPECT_LT(fires, 200);
+}
+
+TEST_F(FailpointTest, DelayActionSleepsInPlace) {
+  ASSERT_TRUE(registry().Configure("pt.delay", "delay(30,1)").ok());
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(SQLINK_FAILPOINT("pt.delay"), FailpointOutcome::kNone);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            25);
+  // Budget spent: the second evaluation must not sleep.
+  const auto start2 = std::chrono::steady_clock::now();
+  EXPECT_EQ(SQLINK_FAILPOINT("pt.delay"), FailpointOutcome::kNone);
+  const auto elapsed2 = std::chrono::steady_clock::now() - start2;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed2)
+                .count(),
+            25);
+}
+
+TEST_F(FailpointTest, EnvStyleConfigStringArmsMultiplePoints) {
+  ASSERT_TRUE(registry()
+                  .ConfigureFromString(
+                      "pt.a=error(1), pt.b = every(2):close , pt.c=off")
+                  .ok());
+  EXPECT_EQ(SQLINK_FAILPOINT("pt.a"), FailpointOutcome::kError);
+  EXPECT_EQ(SQLINK_FAILPOINT("pt.b"), FailpointOutcome::kNone);
+  EXPECT_EQ(SQLINK_FAILPOINT("pt.b"), FailpointOutcome::kClose);
+  EXPECT_EQ(SQLINK_FAILPOINT("pt.c"), FailpointOutcome::kNone);
+}
+
+TEST_F(FailpointTest, ConfigStringRejectsMalformedEntries) {
+  EXPECT_FALSE(registry().ConfigureFromString("missing-equals").ok());
+  EXPECT_FALSE(registry().ConfigureFromString("pt.x=bogus").ok());
+  EXPECT_FALSE(registry().ConfigureFromString("=error(1)").ok());
+}
+
+TEST_F(FailpointTest, ParseSpecAcceptsFullGrammar) {
+  auto spec =
+      FailpointRegistry::ParseSpec("after(9):every(2):prob(0.5,7):delay(12,3)");
+  ASSERT_TRUE(spec.ok()) << spec.status();
+  EXPECT_EQ(spec->action, FailpointSpec::Action::kDelay);
+  EXPECT_EQ(spec->delay_ms, 12);
+  EXPECT_EQ(spec->max_fires, 3);
+  EXPECT_EQ(spec->skip_hits, 9);
+  EXPECT_EQ(spec->every_nth, 2);
+  EXPECT_DOUBLE_EQ(spec->probability, 0.5);
+  EXPECT_EQ(spec->seed, 7u);
+
+  auto bare = FailpointRegistry::ParseSpec("close");
+  ASSERT_TRUE(bare.ok());
+  EXPECT_EQ(bare->action, FailpointSpec::Action::kClose);
+  EXPECT_EQ(bare->max_fires, -1);  // Unlimited.
+}
+
+TEST_F(FailpointTest, ParseSpecRejectsBadInput) {
+  const char* bad[] = {
+      "",          "bogus",          "error(x)",     "error(1",
+      "prob(2):error", "after(-1):error", "delay()",  "every(0):error",
+      "off(1)",    "after(1,2):error", "unknown(3):error",
+  };
+  for (const char* spec : bad) {
+    EXPECT_FALSE(FailpointRegistry::ParseSpec(spec).ok()) << spec;
+  }
+}
+
+TEST_F(FailpointTest, OffAndClearDisarm) {
+  ASSERT_TRUE(registry().Configure("pt.off", "error").ok());
+  ASSERT_TRUE(registry().Configure("pt.off", "off").ok());
+  EXPECT_EQ(SQLINK_FAILPOINT("pt.off"), FailpointOutcome::kNone);
+  EXPECT_FALSE(FailpointRegistry::AnyActive());
+
+  ASSERT_TRUE(registry().Configure("pt.clear", "error").ok());
+  registry().Clear("pt.clear");
+  EXPECT_EQ(SQLINK_FAILPOINT("pt.clear"), FailpointOutcome::kNone);
+  EXPECT_FALSE(FailpointRegistry::AnyActive());
+}
+
+TEST_F(FailpointTest, ReconfigureResetsCounters) {
+  ASSERT_TRUE(registry().Configure("pt.re", "error(1)").ok());
+  EXPECT_EQ(SQLINK_FAILPOINT("pt.re"), FailpointOutcome::kError);
+  ASSERT_TRUE(registry().Configure("pt.re", "error(1)").ok());
+  EXPECT_EQ(registry().Hits("pt.re"), 0);
+  // A fresh one-shot budget: it fires again.
+  EXPECT_EQ(SQLINK_FAILPOINT("pt.re"), FailpointOutcome::kError);
+}
+
+TEST_F(FailpointTest, ScopedFailpointDisarmsOnDestruction) {
+  {
+    ScopedFailpoint scoped("pt.scoped", "error");
+    ASSERT_TRUE(scoped.status().ok());
+    EXPECT_EQ(SQLINK_FAILPOINT("pt.scoped"), FailpointOutcome::kError);
+    EXPECT_EQ(scoped.hits(), 1);
+    EXPECT_EQ(scoped.fires(), 1);
+  }
+  EXPECT_FALSE(FailpointRegistry::AnyActive());
+  EXPECT_EQ(SQLINK_FAILPOINT("pt.scoped"), FailpointOutcome::kNone);
+}
+
+TEST_F(FailpointTest, ConcurrentTriggeringIsExactlyCounted) {
+  constexpr int kThreads = 8;
+  constexpr int kEvalsPerThread = 250;
+  constexpr int kBudget = 100;
+  ASSERT_TRUE(registry()
+                  .Configure("pt.mt", "error(" + std::to_string(kBudget) + ")")
+                  .ok());
+  std::atomic<int> observed_fires{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kEvalsPerThread; ++i) {
+        if (SQLINK_FAILPOINT("pt.mt") == FailpointOutcome::kError) {
+          observed_fires.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  // The budget is enforced atomically: exactly kBudget fires across all
+  // threads, and every evaluation was counted.
+  EXPECT_EQ(observed_fires.load(), kBudget);
+  EXPECT_EQ(registry().Fires("pt.mt"), kBudget);
+  EXPECT_EQ(registry().Hits("pt.mt"), kThreads * kEvalsPerThread);
+}
+
+TEST_F(FailpointTest, HitAndFireCountersExportedAsMetrics) {
+  const int64_t hits_before =
+      MetricsRegistry::Global().Get("failpoint.pt.metrics.hits");
+  const int64_t fired_before =
+      MetricsRegistry::Global().Get("failpoint.pt.metrics.fired");
+  ASSERT_TRUE(registry().Configure("pt.metrics", "every(2):error").ok());
+  for (int i = 0; i < 6; ++i) (void)SQLINK_FAILPOINT("pt.metrics");
+  EXPECT_EQ(MetricsRegistry::Global().Get("failpoint.pt.metrics.hits"),
+            hits_before + 6);
+  EXPECT_EQ(MetricsRegistry::Global().Get("failpoint.pt.metrics.fired"),
+            fired_before + 3);
+}
+
+}  // namespace
+}  // namespace sqlink

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "cluster/cluster.h"
+#include "common/failpoint.h"
 #include "common/fs_util.h"
 #include "common/random.h"
 #include "common/coding.h"
@@ -182,8 +183,9 @@ TEST_F(MqTransferTest, MultiplePartitionsPerWorker) {
 TEST_F(MqTransferTest, ConsumerCrashResumesFromCommittedOffset) {
   MqTransferOptions options;
   options.batch_bytes = 256;  // Many small messages -> small recovery tail.
-  options.fail_partition = 1;
-  options.fail_after_rows = 120;
+  // Partition 1's consumer "crashes" once, after 120 delivered rows.
+  ScopedFailpoint fault("mq.reader.crash.p1", "after(119):error(1)");
+  ASSERT_TRUE(fault.status().ok()) << fault.status();
   auto result = MqTransfer::Run(engine_.get(), broker_,
                                 "SELECT * FROM events", options);
   ASSERT_TRUE(result.ok()) << result.status();

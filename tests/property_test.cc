@@ -12,6 +12,7 @@
 #include "cluster/cluster.h"
 #include "common/fs_util.h"
 #include "common/random.h"
+#include "common/retry_policy.h"
 #include "ml/sgd.h"
 #include "rewriter/predicate_logic.h"
 #include "sql/engine.h"
@@ -345,6 +346,113 @@ TEST_P(SpillQueueSweepTest, OrderPreservedUnderRandomTraffic) {
 
 INSTANTIATE_TEST_SUITE_P(Capacities, SpillQueueSweepTest,
                          ::testing::Values(16, 64, 256, 4096, 1 << 20));
+
+// ---------------------------------------------------------------------------
+// RetryPolicy: backoff schedule invariants over random configurations.
+// NextDelay() never sleeps, so these sweeps run the full schedule instantly.
+
+class RetryPolicyPropertyTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  /// A random but sane configuration derived from the test seed.
+  static RetryPolicy::Options RandomOptions(Random* rng) {
+    RetryPolicy::Options options;
+    options.initial_delay_ms = rng->UniformInt(1, 50);
+    options.max_delay_ms =
+        options.initial_delay_ms + rng->UniformInt(0, 1000);
+    options.multiplier = 1.0 + rng->NextDouble() * 3.0;
+    options.jitter = rng->NextDouble() * 0.5;
+    options.deadline_ms = rng->UniformInt(1, 5000);
+    options.max_attempts = 0;  // Deadline-bounded.
+    options.seed = rng->NextUint64();
+    return options;
+  }
+
+  static std::vector<int64_t> DrainSchedule(RetryPolicy* policy) {
+    std::vector<int64_t> delays;
+    while (auto delay = policy->NextDelay()) {
+      delays.push_back(delay->count());
+      if (delays.size() >= 100000u) {
+        ADD_FAILURE() << "schedule failed to terminate";
+        break;
+      }
+    }
+    return delays;
+  }
+};
+
+TEST_P(RetryPolicyPropertyTest, DelaysAreMonotoneAndCappedWithoutJitter) {
+  Random rng(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    RetryPolicy::Options options = RandomOptions(&rng);
+    options.jitter = 0.0;  // Pure exponential: strict monotonicity holds.
+    RetryPolicy policy(options);
+    const std::vector<int64_t> delays = DrainSchedule(&policy);
+    ASSERT_FALSE(delays.empty());
+    for (size_t i = 0; i < delays.size(); ++i) {
+      EXPECT_GE(delays[i], 1);
+      EXPECT_LE(delays[i], std::max<int64_t>(1, options.max_delay_ms));
+      // Nondecreasing until the deadline clamp shrinks the final delay.
+      if (i > 0 && i + 1 < delays.size()) {
+        EXPECT_GE(delays[i], delays[i - 1]) << "attempt " << i;
+      }
+    }
+  }
+}
+
+TEST_P(RetryPolicyPropertyTest, TotalDelayRespectsDeadline) {
+  Random rng(GetParam() * 17 + 5);
+  for (int trial = 0; trial < 50; ++trial) {
+    const RetryPolicy::Options options = RandomOptions(&rng);
+    RetryPolicy policy(options);
+    const std::vector<int64_t> delays = DrainSchedule(&policy);
+    int64_t total = 0;
+    for (const int64_t delay : delays) total += delay;
+    // The schedule spends the whole budget and not a millisecond more.
+    EXPECT_LE(total, options.deadline_ms);
+    EXPECT_EQ(total, policy.total_delay_ms());
+    EXPECT_EQ(static_cast<int>(delays.size()), policy.attempts());
+    // Exhaustion is permanent.
+    EXPECT_FALSE(policy.NextDelay().has_value());
+    EXPECT_FALSE(policy.NextDelay().has_value());
+  }
+}
+
+TEST_P(RetryPolicyPropertyTest, FixedSeedReproducesJitterExactly) {
+  Random rng(GetParam() * 101 + 13);
+  for (int trial = 0; trial < 20; ++trial) {
+    RetryPolicy::Options options = RandomOptions(&rng);
+    options.jitter = 0.25;
+    RetryPolicy a(options);
+    RetryPolicy b(options);
+    const std::vector<int64_t> schedule_a = DrainSchedule(&a);
+    const std::vector<int64_t> schedule_b = DrainSchedule(&b);
+    EXPECT_EQ(schedule_a, schedule_b);
+
+    options.seed += 1;
+    RetryPolicy c(options);
+    const std::vector<int64_t> schedule_c = DrainSchedule(&c);
+    // A different seed produces a different jitter pattern whenever the
+    // schedule is long enough for jitter to matter.
+    if (schedule_a.size() >= 4) {
+      EXPECT_NE(schedule_a, schedule_c) << "seed " << options.seed;
+    }
+  }
+}
+
+TEST_P(RetryPolicyPropertyTest, MaxAttemptsCapsTheSchedule) {
+  Random rng(GetParam() * 31 + 7);
+  for (int trial = 0; trial < 50; ++trial) {
+    RetryPolicy::Options options = RandomOptions(&rng);
+    options.deadline_ms = 1000000000;  // Effectively unbounded (~11 days).
+    options.max_attempts = static_cast<int>(rng.UniformInt(1, 8));
+    RetryPolicy policy(options);
+    const std::vector<int64_t> delays = DrainSchedule(&policy);
+    EXPECT_EQ(static_cast<int>(delays.size()), options.max_attempts);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RetryPolicyPropertyTest,
+                         ::testing::Values(1, 2, 3, 7, 42, 1234));
 
 // ---------------------------------------------------------------------------
 // SQL differential testing: the parallel engine vs a nested-loop reference.

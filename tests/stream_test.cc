@@ -5,7 +5,9 @@
 #include <thread>
 
 #include "cluster/cluster.h"
+#include "common/failpoint.h"
 #include "common/fs_util.h"
+#include "common/metrics.h"
 #include "common/random.h"
 #include "sql/engine.h"
 #include "stream/coordinator.h"
@@ -335,10 +337,11 @@ TEST_F(StreamingTransferTest, ResilientModeDeliversSameData) {
 
 TEST_F(StreamingTransferTest, RecoversFromInjectedFailure) {
   StreamTransferOptions options;
-  options.sink.resilient = true;      // SQL side retains a replayable log.
+  options.sink.resilient = true;  // SQL side retains a replayable log.
   options.reader.recovery_enabled = true;
-  options.reader.fail_split = 1;      // This reader drops its connection...
-  options.reader.fail_after_rows = 50;  // ...after 50 delivered rows.
+  // Split 1's reader drops its connection once, after 50 delivered rows.
+  ScopedFailpoint fault("stream.reader.row.split1", "after(49):error(1)");
+  ASSERT_TRUE(fault.status().ok()) << fault.status();
   auto result =
       StreamingTransfer::Run(engine_.get(), "SELECT * FROM points", options);
   ASSERT_TRUE(result.ok()) << result.status();
@@ -353,6 +356,10 @@ TEST_F(StreamingTransferTest, RecoversFromInjectedFailure) {
   }
   EXPECT_EQ(ids.size(), 1000u);
   EXPECT_GT(engine_->metrics()->Get("stream.reconnects"), 0);
+  EXPECT_EQ(fault.fires(), 1);
+  EXPECT_EQ(MetricsRegistry::Global().Get(
+                "failpoint.stream.reader.row.split1.fired"),
+            1);
 }
 
 TEST_F(StreamingTransferTest, RecoversWithMultipleSplitsPerWorker) {
@@ -362,8 +369,9 @@ TEST_F(StreamingTransferTest, RecoversWithMultipleSplitsPerWorker) {
   options.splits_per_worker = 2;
   options.sink.resilient = true;
   options.reader.recovery_enabled = true;
-  options.reader.fail_split = 5;  // Worker 2, slot 1.
-  options.reader.fail_after_rows = 30;
+  // Split 5 = worker 2, slot 1: fails once after 30 delivered rows.
+  ScopedFailpoint fault("stream.reader.row.split5", "after(29):error(1)");
+  ASSERT_TRUE(fault.status().ok()) << fault.status();
   auto result =
       StreamingTransfer::Run(engine_.get(), "SELECT * FROM points", options);
   ASSERT_TRUE(result.ok()) << result.status();
@@ -383,8 +391,7 @@ TEST_F(StreamingTransferTest, ReaderGivesUpAfterMaxReconnects) {
   options.sink.reconnect_timeout_ms = 300;  // Keep the failing run fast.
   options.reader.recovery_enabled = true;
   options.reader.max_reconnects = 0;  // Recovery enabled but exhausted.
-  options.reader.fail_split = 0;
-  options.reader.fail_after_rows = 10;
+  ScopedFailpoint fault("stream.reader.row.split0", "after(9):error(1)");
   auto result =
       StreamingTransfer::Run(engine_.get(), "SELECT * FROM points", options);
   EXPECT_FALSE(result.ok());
@@ -393,8 +400,7 @@ TEST_F(StreamingTransferTest, ReaderGivesUpAfterMaxReconnects) {
 TEST_F(StreamingTransferTest, FailureWithoutRecoveryFailsThePipeline) {
   StreamTransferOptions options;
   options.reader.recovery_enabled = false;
-  options.reader.fail_split = 0;
-  options.reader.fail_after_rows = 10;
+  ScopedFailpoint fault("stream.reader.row.split0", "after(9):error(1)");
   auto result =
       StreamingTransfer::Run(engine_.get(), "SELECT * FROM points", options);
   EXPECT_FALSE(result.ok());
@@ -553,6 +559,23 @@ TEST(CoordinatorTest, CheckpointResumeServesMatchmaking) {
   auto match = MatchMessage::Decode(match_frame->payload);
   ASSERT_TRUE(match.ok());
   EXPECT_EQ(match->port, 4242);
+}
+
+TEST(CoordinatorTest, BarrierTimesOutWithoutFullRegistration) {
+  StreamCoordinator::Options options;
+  options.barrier_timeout_ms = 200;
+  auto coordinator = StreamCoordinator::Start(std::move(options));
+  ASSERT_TRUE(coordinator.ok());
+  // No SQL worker ever registers, so the splits barrier cannot complete;
+  // a GetSplits request must fail after barrier_timeout_ms, not hang.
+  auto control = TcpConnect("localhost", (*coordinator)->port());
+  ASSERT_TRUE(control.ok());
+  ASSERT_TRUE(SendFrame(&*control, FrameType::kGetSplits, "").ok());
+  auto reply = RecvFrame(&*control);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->type, FrameType::kError);
+  EXPECT_NE(reply->payload.find("timed out"), std::string::npos)
+      << reply->payload;
 }
 
 TEST(CoordinatorTest, ResumeRejectsCorruptCheckpoint) {
