@@ -44,6 +44,12 @@ int main(int argc, char** argv) {
         static_cast<double>(result->bytes_sent) / static_cast<double>(buffer);
     std::printf("%12zu %12.3f %14.0f %14.1f\n", buffer, seconds, frames,
                 mb / seconds);
+    sqlink::bench::BenchJsonLine("buffer_size")
+        .Param("rows", rows)
+        .Param("buffer_bytes", static_cast<int64_t>(buffer))
+        .Param("bytes_sent", result->bytes_sent)
+        .Emit(seconds * 1000.0);
+    MetricsRegistry::Global().Reset();  // Per-size metric deltas.
   }
   return 0;
 }

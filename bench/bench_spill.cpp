@@ -46,6 +46,12 @@ int main(int argc, char** argv) {
                 spill ? "spill" : "backpressure", watch.ElapsedSeconds(),
                 static_cast<long long>(result->spilled_frames),
                 spill ? "(node-local disk)" : "-");
+    sqlink::bench::BenchJsonLine("spill")
+        .Param("rows", rows)
+        .Param("mode", spill ? "spill" : "backpressure")
+        .Param("spilled_frames", result->spilled_frames)
+        .Emit(watch.ElapsedSeconds() * 1000.0);
+    MetricsRegistry::Global().Reset();  // Per-mode metric deltas.
   }
   return 0;
 }

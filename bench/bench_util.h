@@ -3,12 +3,16 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "cluster/cluster.h"
 #include "common/fs_util.h"
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "dfs/dfs.h"
 #include "pipeline/analytics_pipeline.h"
 #include "pipeline/datagen.h"
@@ -68,6 +72,81 @@ struct BenchEnv {
 inline int64_t RowsArg(int argc, char** argv, int64_t default_rows) {
   return argc > 1 ? std::atoll(argv[1]) : default_rows;
 }
+
+/// Machine-readable benchmark output: one JSON line per measured run with
+/// the benchmark name, its parameters, wall time, and a full snapshot of
+/// the global metrics registry (counters, gauges, histogram percentiles).
+///
+/// Controlled by SQLINK_BENCH_JSON: unset → disabled; "-" → stdout;
+/// anything else → append to that path. The human-readable table output of
+/// each binary is unaffected, so sweeps stay greppable *and* plottable.
+class BenchJsonLine {
+ public:
+  explicit BenchJsonLine(std::string name) : name_(std::move(name)) {}
+
+  BenchJsonLine& Param(const std::string& key, int64_t value) {
+    params_.emplace_back(key, std::to_string(value));
+    return *this;
+  }
+  BenchJsonLine& Param(const std::string& key, double value) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.3f", value);
+    params_.emplace_back(key, buffer);
+    return *this;
+  }
+  BenchJsonLine& Param(const std::string& key, const std::string& value) {
+    params_.emplace_back(key, "\"" + Escape(value) + "\"");
+    return *this;
+  }
+  // Without this, a string literal would bind to the bool overload.
+  BenchJsonLine& Param(const std::string& key, const char* value) {
+    return Param(key, std::string(value));
+  }
+  BenchJsonLine& Param(const std::string& key, bool value) {
+    params_.emplace_back(key, value ? "true" : "false");
+    return *this;
+  }
+
+  /// Writes the line (no-op when SQLINK_BENCH_JSON is unset). Call once per
+  /// measured configuration, after the run, so the metrics snapshot reflects
+  /// that run (pair with MetricsRegistry::Global().Reset() between runs for
+  /// per-run deltas).
+  void Emit(double wall_ms) const {
+    const char* dest = std::getenv("SQLINK_BENCH_JSON");
+    if (dest == nullptr || *dest == '\0') return;
+    std::string line = "{\"bench\":\"" + Escape(name_) + "\",\"params\":{";
+    for (size_t i = 0; i < params_.size(); ++i) {
+      if (i > 0) line += ',';
+      line += "\"" + Escape(params_[i].first) + "\":" + params_[i].second;
+    }
+    char wall[64];
+    std::snprintf(wall, sizeof(wall), "%.3f", wall_ms);
+    line += "},\"wall_ms\":";
+    line += wall;
+    line += ",\"metrics\":" + MetricsRegistry::Global().ToJson() + "}\n";
+    if (std::string(dest) == "-") {
+      std::fputs(line.c_str(), stdout);
+      std::fflush(stdout);
+      return;
+    }
+    std::ofstream out(dest, std::ios::app);
+    if (out) out << line;
+  }
+
+ private:
+  static std::string Escape(const std::string& in) {
+    std::string out;
+    out.reserve(in.size());
+    for (char c : in) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  }
+
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> params_;
+};
 
 }  // namespace sqlink::bench
 

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Two-stage CI entry point: fast unit suite first, fault-injection chaos
+# suite second, so a broken build fails in seconds instead of after the
+# slow chaos runs. Optional third stage rebuilds with a sanitizer.
+#
+# Usage:
+#   ci/run_tests.sh                 # configure + build + unit + chaos
+#   SQLINK_SANITIZE=thread ci/run_tests.sh   # also run a TSan pass
+#
+# Environment:
+#   BUILD_DIR        build directory (default: build)
+#   SQLINK_SANITIZE  thread|address|undefined — adds a sanitizer stage in
+#                    a separate build dir (${BUILD_DIR}-${SQLINK_SANITIZE})
+#   CTEST_PARALLEL   parallel test jobs (default: nproc)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+JOBS="${CTEST_PARALLEL:-$(nproc)}"
+
+run_suites() {
+  local dir="$1"
+  echo "==> [${dir}] stage 1: unit suite"
+  (cd "${dir}" && ctest -L unit --output-on-failure -j "${JOBS}")
+  echo "==> [${dir}] stage 2: chaos suite"
+  (cd "${dir}" && ctest -L chaos --output-on-failure -j "${JOBS}")
+}
+
+echo "==> configure + build (${BUILD_DIR})"
+cmake -B "${BUILD_DIR}" -S .
+cmake --build "${BUILD_DIR}" -j "${JOBS}"
+run_suites "${BUILD_DIR}"
+
+if [[ -n "${SQLINK_SANITIZE:-}" ]]; then
+  SAN_DIR="${BUILD_DIR}-${SQLINK_SANITIZE}"
+  echo "==> stage 3: sanitizer pass (-fsanitize=${SQLINK_SANITIZE})"
+  cmake -B "${SAN_DIR}" -S . -DSQLINK_SANITIZE="${SQLINK_SANITIZE}"
+  cmake --build "${SAN_DIR}" -j "${JOBS}"
+  run_suites "${SAN_DIR}"
+fi
+
+echo "==> all stages passed"

@@ -1,9 +1,235 @@
 #include "common/metrics.h"
 
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
 namespace sqlink {
 
+namespace {
+
+/// JSON number formatting for percentile estimates: fixed two decimals is
+/// plenty for latency values and keeps the dumps diffable.
+std::string JsonDouble(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.2f", value);
+  return buffer;
+}
+
+void AppendJsonString(const std::string& text, std::string* out) {
+  out->push_back('"');
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out->append(buffer);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+double Histogram::Snapshot::Percentile(double quantile) const {
+  if (count <= 0) return 0.0;
+  if (quantile <= 0.0) return static_cast<double>(min);
+  if (quantile >= 1.0) return static_cast<double>(max);
+  const double target = quantile * static_cast<double>(count);
+  int64_t cumulative = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    const int64_t in_bucket = buckets[static_cast<size_t>(i)];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) >= target) {
+      // Interpolate linearly inside the bucket, clamped to the observed
+      // extrema so a single-bucket distribution reports sensible values.
+      double lower = i == 0 ? 0.0 : static_cast<double>(BucketUpperBound(i - 1));
+      double upper = static_cast<double>(BucketUpperBound(i));
+      lower = std::max(lower, static_cast<double>(min));
+      upper = std::min(upper, static_cast<double>(max));
+      if (upper < lower) upper = lower;
+      const double fraction =
+          (target - static_cast<double>(cumulative)) / static_cast<double>(in_bucket);
+      return lower + fraction * (upper - lower);
+    }
+    cumulative += in_bucket;
+  }
+  return static_cast<double>(max);
+}
+
+int64_t Histogram::BucketUpperBound(int index) {
+  if (index >= kNumBounds) return INT64_MAX;
+  return int64_t{1} << index;
+}
+
+Histogram::Snapshot Histogram::GetSnapshot() const {
+  Snapshot snapshot;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    snapshot.buckets[static_cast<size_t>(i)] =
+        buckets_[static_cast<size_t>(i)].load(std::memory_order_relaxed);
+    snapshot.count += snapshot.buckets[static_cast<size_t>(i)];
+  }
+  snapshot.sum = sum_.load(std::memory_order_relaxed);
+  const int64_t min = min_.load(std::memory_order_relaxed);
+  const int64_t max = max_.load(std::memory_order_relaxed);
+  snapshot.min = snapshot.count == 0 ? 0 : min;
+  snapshot.max = snapshot.count == 0 ? 0 : max;
+  snapshot.p50 = snapshot.Percentile(0.50);
+  snapshot.p95 = snapshot.Percentile(0.95);
+  snapshot.p99 = snapshot.Percentile(0.99);
+  return snapshot;
+}
+
+void Histogram::Reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(INT64_MAX, std::memory_order_relaxed);
+  max_.store(INT64_MIN, std::memory_order_relaxed);
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+int64_t MetricsRegistry::Get(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->value();
+}
+
+std::map<std::string, int64_t> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, int64_t> out;
+  for (const auto& [name, counter] : counters_) out[name] = counter->value();
+  for (const auto& [name, gauge] : gauges_) out[name] = gauge->value();
+  return out;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonString(name, &out);
+    out.push_back(':');
+    out += std::to_string(counter->value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonString(name, &out);
+    out += ":{\"value\":" + std::to_string(gauge->value()) +
+           ",\"max\":" + std::to_string(gauge->max_value()) + "}";
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    const Histogram::Snapshot s = histogram->GetSnapshot();
+    if (!first) out.push_back(',');
+    first = false;
+    AppendJsonString(name, &out);
+    out += ":{\"count\":" + std::to_string(s.count) +
+           ",\"sum\":" + std::to_string(s.sum) +
+           ",\"min\":" + std::to_string(s.min) +
+           ",\"max\":" + std::to_string(s.max) + ",\"p50\":" + JsonDouble(s.p50) +
+           ",\"p95\":" + JsonDouble(s.p95) + ",\"p99\":" + JsonDouble(s.p99) +
+           "}";
+  }
+  out += "}}";
+  return out;
+}
+
+std::string MetricsRegistry::ToText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  size_t width = 0;
+  for (const auto& [name, unused] : counters_) width = std::max(width, name.size());
+  for (const auto& [name, unused] : gauges_) width = std::max(width, name.size());
+  for (const auto& [name, unused] : histograms_) width = std::max(width, name.size());
+  auto pad = [&](const std::string& name) {
+    out << name << std::string(width - name.size() + 2, ' ');
+  };
+  for (const auto& [name, counter] : counters_) {
+    pad(name);
+    out << counter->value() << "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    pad(name);
+    out << gauge->value() << " (max " << gauge->max_value() << ")\n";
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    const Histogram::Snapshot s = histogram->GetSnapshot();
+    pad(name);
+    out << "count=" << s.count << " min=" << s.min << " max=" << s.max
+        << " p50=" << JsonDouble(s.p50) << " p95=" << JsonDouble(s.p95)
+        << " p99=" << JsonDouble(s.p99) << "\n";
+  }
+  return out.str();
+}
+
+bool MetricsRegistry::WriteJson(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << ToJson() << "\n";
+  return static_cast<bool>(out);
+}
+
+bool MetricsRegistry::DumpIfConfigured() const {
+  const char* path = std::getenv("SQLINK_METRICS_DUMP");
+  if (path == nullptr || *path == '\0') return false;
+  return WriteJson(path);
+}
+
 MetricsRegistry& MetricsRegistry::Global() {
-  static MetricsRegistry* const registry = new MetricsRegistry();
+  static MetricsRegistry* const registry = [] {
+    auto* r = new MetricsRegistry();
+    const char* path = std::getenv("SQLINK_METRICS_DUMP");
+    if (path != nullptr && *path != '\0') {
+      std::atexit([] { MetricsRegistry::Global().DumpIfConfigured(); });
+    }
+    return r;
+  }();
   return *registry;
 }
 

@@ -1,0 +1,275 @@
+#include "common/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+namespace sqlink {
+
+namespace {
+
+/// The thread's open span, or {0,0} when none. A *suppressed* open span
+/// (unsampled trace) is {0, 1}: "a span is open, record nothing beneath it"
+/// — without the sentinel every child of an unsampled root would re-roll the
+/// sampling die and start its own trace.
+thread_local TraceContext tls_current;
+
+constexpr TraceContext kSuppressed{0, 1};
+
+bool IsOpen(const TraceContext& context) {
+  return context.trace_id != 0 || context.span_id != 0;
+}
+
+void AppendJsonString(const std::string& text, std::string* out) {
+  out->push_back('"');
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out->append(buffer);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+Tracer::Tracer() : sample_rng_state_(0x9e3779b97f4a7c15ull) {
+  const char* env = std::getenv("SQLINK_TRACE");
+  if (env != nullptr && *env != '\0') {
+    const std::string value(env);
+    if (value.rfind("json:", 0) == 0) {
+      sink_path_ = value.substr(5);
+      enabled_.store(true, std::memory_order_relaxed);
+    } else if (value == "on" || value == "1") {
+      enabled_.store(true, std::memory_order_relaxed);
+    }
+  }
+  const char* sample = std::getenv("SQLINK_TRACE_SAMPLE");
+  if (sample != nullptr && *sample != '\0') {
+    char* end = nullptr;
+    const double p = std::strtod(sample, &end);
+    if (end != sample && *end == '\0' && p >= 0.0 && p <= 1.0) {
+      sample_probability_ = p;
+    }
+  }
+  if (!sink_path_.empty()) {
+    std::atexit([] { Tracer::Global().FlushToConfiguredSink(); });
+  }
+}
+
+Tracer& Tracer::Global() {
+  static Tracer* const tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::set_sample_probability(double probability) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sample_probability_ = probability < 0.0   ? 0.0
+                        : probability > 1.0 ? 1.0
+                                            : probability;
+}
+
+double Tracer::sample_probability() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sample_probability_;
+}
+
+TraceContext Tracer::CurrentContext() {
+  return tls_current.valid() ? tls_current : TraceContext{};
+}
+
+TraceContext Tracer::SetAmbientContext(TraceContext context) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TraceContext previous = ambient_;
+  ambient_ = context;
+  return previous;
+}
+
+TraceContext Tracer::ambient_context() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ambient_;
+}
+
+void Tracer::Record(SpanRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.push_back(std::move(record));
+}
+
+std::vector<SpanRecord> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+size_t Tracer::span_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+void Tracer::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.clear();
+  ambient_ = TraceContext{};
+}
+
+std::string Tracer::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "[";
+  bool first_span = true;
+  for (const SpanRecord& span : spans_) {
+    if (!first_span) out.push_back(',');
+    first_span = false;
+    out += "{\"name\":";
+    AppendJsonString(span.name, &out);
+    // Ids as strings: uint64 does not survive a double-typed JSON reader.
+    out += ",\"trace_id\":\"" + std::to_string(span.trace_id) +
+           "\",\"span_id\":\"" + std::to_string(span.span_id) +
+           "\",\"parent_span_id\":\"" + std::to_string(span.parent_span_id) +
+           "\",\"start_micros\":" + std::to_string(span.start_micros) +
+           ",\"duration_micros\":" + std::to_string(span.duration_micros) +
+           ",\"error\":" + (span.error ? "true" : "false");
+    if (!span.attributes.empty()) {
+      out += ",\"attributes\":{";
+      bool first_attr = true;
+      for (const auto& [key, value] : span.attributes) {
+        if (!first_attr) out.push_back(',');
+        first_attr = false;
+        AppendJsonString(key, &out);
+        out.push_back(':');
+        out += std::to_string(value);
+      }
+      out.push_back('}');
+    }
+    out.push_back('}');
+  }
+  out.push_back(']');
+  return out;
+}
+
+bool Tracer::WriteJson(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << ToJson() << "\n";
+  return static_cast<bool>(out);
+}
+
+bool Tracer::FlushToConfiguredSink() const {
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    path = sink_path_;
+  }
+  if (path.empty()) return false;
+  return WriteJson(path);
+}
+
+uint64_t Tracer::NextTraceId() {
+  uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  return id == 0 ? next_id_.fetch_add(1, std::memory_order_relaxed) : id;
+}
+
+uint64_t Tracer::NextSpanId() { return NextTraceId(); }
+
+bool Tracer::SampleNewTrace() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sample_probability_ >= 1.0) return true;
+  if (sample_probability_ <= 0.0) return false;
+  // xorshift64: cheap, deterministic per process.
+  uint64_t x = sample_rng_state_;
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  sample_rng_state_ = x;
+  return static_cast<double>(x >> 11) * 0x1.0p-53 < sample_probability_;
+}
+
+int64_t Tracer::NowMicros() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point process_start = Clock::now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                               process_start)
+      .count();
+}
+
+TraceSpan::TraceSpan(std::string name) { Start(std::move(name), nullptr); }
+
+TraceSpan::TraceSpan(std::string name, const TraceContext& parent) {
+  Start(std::move(name), &parent);
+}
+
+void TraceSpan::Start(std::string name, const TraceContext* explicit_parent) {
+  Tracer& tracer = Tracer::Global();
+  if (!tracer.enabled()) return;
+
+  TraceContext parent;
+  bool parent_suppressed = false;
+  if (explicit_parent != nullptr && explicit_parent->valid()) {
+    parent = *explicit_parent;
+  } else if (IsOpen(tls_current)) {
+    if (tls_current.valid()) {
+      parent = tls_current;
+    } else {
+      parent_suppressed = true;
+    }
+  } else if (tracer.ambient_context().valid()) {
+    parent = tracer.ambient_context();
+  }
+
+  if (parent_suppressed) {
+    context_ = kSuppressed;
+  } else if (parent.valid()) {
+    context_ = TraceContext{parent.trace_id, tracer.NextSpanId()};
+    record_.parent_span_id = parent.span_id;
+    recording_ = true;
+  } else if (tracer.SampleNewTrace()) {
+    context_ = TraceContext{tracer.NextTraceId(), tracer.NextSpanId()};
+    recording_ = true;
+  } else {
+    context_ = kSuppressed;
+  }
+
+  previous_current_ = tls_current;
+  tls_current = context_;
+  pushed_ = true;
+
+  if (recording_) {
+    record_.name = std::move(name);
+    record_.trace_id = context_.trace_id;
+    record_.span_id = context_.span_id;
+    record_.start_micros = Tracer::NowMicros();
+    record_.error = false;
+  }
+}
+
+void TraceSpan::AddAttribute(std::string key, int64_t value) {
+  if (!recording_ || ended_) return;
+  record_.attributes.emplace_back(std::move(key), value);
+}
+
+void TraceSpan::SetError() {
+  if (recording_ && !ended_) record_.error = true;
+}
+
+void TraceSpan::End() {
+  if (ended_) return;
+  ended_ = true;
+  if (pushed_) tls_current = previous_current_;
+  if (!recording_) return;
+  record_.duration_micros = Tracer::NowMicros() - record_.start_micros;
+  Tracer::Global().Record(std::move(record_));
+}
+
+}  // namespace sqlink

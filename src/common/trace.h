@@ -1,0 +1,165 @@
+#ifndef SQLINK_COMMON_TRACE_H_
+#define SQLINK_COMMON_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sqlink {
+
+/// Identity of one span inside one trace. A zero trace id means "no trace"
+/// (tracing disabled, or the trace was not sampled); spans parented to an
+/// invalid context start a fresh trace.
+///
+/// The context travels across the wire protocol in every frame header
+/// (16 bytes: fixed64 trace id + fixed64 span id), so one query's trace
+/// follows SQL worker → coordinator → SQLStreamInputFormat → ML worker.
+struct TraceContext {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+
+  bool valid() const { return trace_id != 0; }
+};
+
+/// One finished span as recorded by the tracer.
+struct SpanRecord {
+  std::string name;
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;  ///< 0 for a root span.
+  int64_t start_micros = 0;     ///< Steady-clock micros since process start.
+  int64_t duration_micros = 0;
+  bool error = false;
+  /// Small integer attributes (split id, rows, bytes, ...).
+  std::vector<std::pair<std::string, int64_t>> attributes;
+};
+
+/// Span-based tracer with explicit parent/child span ids and a per-thread
+/// current-span context. Off by default: an unstarted span costs one relaxed
+/// atomic load. Enable programmatically (tests) or via the environment:
+///
+///   SQLINK_TRACE=json:<path>   enable + write all finished spans to <path>
+///                              as a JSON array at process exit
+///   SQLINK_TRACE=on            enable, in-memory only (Snapshot/ToJson)
+///   SQLINK_TRACE_SAMPLE=<p>    sample only fraction p of new traces
+///                              (decided once per trace at its root span)
+class Tracer {
+ public:
+  /// The process tracer; first use parses the environment knobs.
+  static Tracer& Global();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+
+  /// Root-sampling probability in [0,1]; applied when a root span starts a
+  /// new trace. Unsampled traces produce invalid contexts and record nothing.
+  void set_sample_probability(double probability);
+  double sample_probability() const;
+
+  /// The calling thread's current span context (invalid when no span is
+  /// open on this thread).
+  static TraceContext CurrentContext();
+
+  /// Process-wide fallback parent: when a thread has no current span, new
+  /// spans parent here instead of starting fresh traces. Lets one logical
+  /// operation (e.g. a streaming transfer) own every span its worker
+  /// threads create. Returns the previous ambient context.
+  TraceContext SetAmbientContext(TraceContext context);
+  TraceContext ambient_context() const;
+
+  void Record(SpanRecord record);
+
+  std::vector<SpanRecord> Snapshot() const;
+  size_t span_count() const;
+  void Reset();
+
+  /// All finished spans as a JSON array (one object per span).
+  std::string ToJson() const;
+  /// Writes ToJson() to `path`; false on I/O failure.
+  bool WriteJson(const std::string& path) const;
+  /// Writes to the SQLINK_TRACE=json:<path> sink, if one was configured.
+  bool FlushToConfiguredSink() const;
+
+  /// Fresh nonzero ids.
+  uint64_t NextTraceId();
+  uint64_t NextSpanId();
+  /// Rolls the per-trace sampling die.
+  bool SampleNewTrace();
+
+  /// Steady-clock micros since process start (span timestamps).
+  static int64_t NowMicros();
+
+ private:
+  Tracer();
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> next_id_{1};
+  mutable std::mutex mu_;
+  double sample_probability_ = 1.0;
+  uint64_t sample_rng_state_;
+  TraceContext ambient_;
+  std::vector<SpanRecord> spans_;
+  std::string sink_path_;  ///< From SQLINK_TRACE=json:<path>; may be empty.
+};
+
+/// RAII span. On construction picks its parent — explicit remote context if
+/// given, else the thread's current span, else the ambient context, else it
+/// roots a new (possibly unsampled) trace — and becomes the thread's current
+/// span. On destruction (or End()) it restores the previous current span and
+/// records itself. All of this is skipped when the tracer is disabled.
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string name);
+  /// Continues a trace received from elsewhere (another thread or the wire).
+  TraceSpan(std::string name, const TraceContext& parent);
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  ~TraceSpan() { End(); }
+
+  /// This span's context — what call sites put on the wire.
+  const TraceContext& context() const { return context_; }
+  bool recording() const { return recording_; }
+
+  void AddAttribute(std::string key, int64_t value);
+  void SetError();
+
+  /// Finishes early (idempotent).
+  void End();
+
+ private:
+  void Start(std::string name, const TraceContext* explicit_parent);
+
+  TraceContext context_;
+  TraceContext previous_current_;
+  SpanRecord record_;
+  bool recording_ = false;
+  bool pushed_ = false;  ///< This span installed itself as thread-current.
+  bool ended_ = false;
+};
+
+/// RAII ambient-context installer: every span started on a thread with no
+/// open span parents to `context` until this object is destroyed.
+class ScopedAmbientTrace {
+ public:
+  explicit ScopedAmbientTrace(const TraceContext& context)
+      : previous_(Tracer::Global().SetAmbientContext(context)) {}
+  ~ScopedAmbientTrace() { Tracer::Global().SetAmbientContext(previous_); }
+
+  ScopedAmbientTrace(const ScopedAmbientTrace&) = delete;
+  ScopedAmbientTrace& operator=(const ScopedAmbientTrace&) = delete;
+
+ private:
+  TraceContext previous_;
+};
+
+}  // namespace sqlink
+
+#endif  // SQLINK_COMMON_TRACE_H_
+

@@ -2,11 +2,15 @@
 
 #include "common/logging.h"
 #include "common/status_macros.h"
+#include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 
 namespace sqlink::ml {
 
 Result<IngestResult> MlJobRunner::Ingest(InputFormat* format) {
+  TraceSpan ingest_span("ml.ingest");
+  const TraceContext ingest_ctx = ingest_span.context();
   ASSIGN_OR_RETURN(std::vector<InputSplitPtr> splits,
                    format->GetSplits(context_));
   if (splits.empty()) {
@@ -33,8 +37,18 @@ Result<IngestResult> MlJobRunner::Ingest(InputFormat* format) {
     }
   }
 
+  Histogram* const split_micros =
+      context_.metrics != nullptr
+          ? context_.metrics->GetHistogram("ml.ingest.split_micros")
+          : nullptr;
   std::vector<Status> statuses(m);
   ParallelFor(m, [&](size_t i) {
+    // Pool threads have no open span; parent the per-split read ("one ML
+    // iteration" of the ingest phase) to the ingest span explicitly. The
+    // reader it wraps is destroyed before the span ends (LIFO nesting).
+    TraceSpan split_span("ml.ingest.split", ingest_ctx);
+    split_span.AddAttribute("split", static_cast<int64_t>(i));
+    Stopwatch timer;
     auto run = [&]() -> Status {
       ASSIGN_OR_RETURN(
           std::unique_ptr<RecordReader> reader,
@@ -48,6 +62,10 @@ Result<IngestResult> MlJobRunner::Ingest(InputFormat* format) {
       return Status::OK();
     };
     statuses[i] = run();
+    if (!statuses[i].ok()) split_span.SetError();
+    split_span.AddAttribute(
+        "rows", static_cast<int64_t>(result.dataset.partitions[i].size()));
+    if (split_micros != nullptr) split_micros->Record(timer.ElapsedMicros());
   });
   for (const Status& status : statuses) {
     RETURN_IF_ERROR(status);

@@ -3,8 +3,11 @@
 #include <cmath>
 #include <limits>
 
+#include "common/metrics.h"
 #include "common/random.h"
+#include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 
 namespace sqlink::ml {
 
@@ -55,7 +58,16 @@ Result<KMeansModel> KMeans::Train(const Dataset& data,
     double cost = 0;
   };
 
+  TraceSpan train_span("ml.train.kmeans");
+  train_span.AddAttribute("k", options.k);
+  train_span.AddAttribute("partitions", static_cast<int64_t>(num_parts));
+  Histogram* const iteration_micros =
+      MetricsRegistry::Global().GetHistogram("ml.train.iteration_micros");
+  Counter* const iterations_run =
+      MetricsRegistry::Global().GetCounter("ml.train.iterations");
+
   for (int iter = 0; iter < options.max_iterations; ++iter) {
+    Stopwatch iter_timer;
     std::vector<CenterAccum> accums(num_parts);
     ParallelFor(num_parts, [&](size_t p) {
       CenterAccum& accum = accums[p];
@@ -89,6 +101,8 @@ Result<KMeansModel> KMeans::Train(const Dataset& data,
       movement += SquaredDistance(new_center, model.centers[c]);
       model.centers[c] = std::move(new_center);
     }
+    iteration_micros->Record(iter_timer.ElapsedMicros());
+    iterations_run->Increment();
     if (movement < options.tolerance) break;
   }
   return model;

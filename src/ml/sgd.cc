@@ -2,8 +2,11 @@
 
 #include <cmath>
 
+#include "common/metrics.h"
 #include "common/random.h"
+#include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 
 namespace sqlink::ml {
 
@@ -67,7 +70,16 @@ Result<SgdResult> RunDistributedSgd(const Dataset& data,
   std::vector<double> worker_losses(num_parts, 0.0);
   std::vector<size_t> worker_counts(num_parts, 0);
 
+  TraceSpan train_span("ml.train.sgd");
+  train_span.AddAttribute("iterations", options.iterations);
+  train_span.AddAttribute("partitions", static_cast<int64_t>(num_parts));
+  Histogram* const iteration_micros =
+      MetricsRegistry::Global().GetHistogram("ml.train.iteration_micros");
+  Counter* const iterations_run =
+      MetricsRegistry::Global().GetCounter("ml.train.iterations");
+
   for (int iter = 1; iter <= options.iterations; ++iter) {
+    Stopwatch iter_timer;
     // Map phase: each ML worker accumulates its partition's gradient.
     ParallelFor(num_parts, [&](size_t p) {
       DenseVector& grad = worker_grads[p];
@@ -100,7 +112,11 @@ Result<SgdResult> RunDistributedSgd(const Dataset& data,
       total_loss += worker_losses[p];
       total_count += worker_counts[p];
     }
-    if (total_count == 0) continue;  // Unlucky mini-batch sample.
+    if (total_count == 0) {  // Unlucky mini-batch sample.
+      iteration_micros->Record(iter_timer.ElapsedMicros());
+      iterations_run->Increment();
+      continue;
+    }
 
     const double reg_loss =
         0.5 * options.reg_param * SquaredNorm(result.model.weights);
@@ -115,6 +131,8 @@ Result<SgdResult> RunDistributedSgd(const Dataset& data,
     if (options.fit_intercept) {
       result.model.intercept -= scale * total_intercept_grad;
     }
+    iteration_micros->Record(iter_timer.ElapsedMicros());
+    iterations_run->Increment();
   }
   return result;
 }

@@ -3,9 +3,44 @@
 #include <chrono>
 
 #include "common/failpoint.h"
+#include "common/metrics.h"
 #include "common/status_macros.h"
+#include "common/stopwatch.h"
 
 namespace sqlink {
+
+namespace {
+
+/// Process-wide broker instruments, resolved once. Retained messages is a
+/// gauge so chaos tests can watch retention evictions drive it back down.
+struct BrokerMetrics {
+  Counter* produced;
+  Counter* polled;
+  Counter* retention_dropped;
+  Gauge* retained;
+  Histogram* poll_wait_micros;
+
+  static BrokerMetrics& Get() {
+    static BrokerMetrics m{
+        MetricsRegistry::Global().GetCounter("mq.broker.messages_produced"),
+        MetricsRegistry::Global().GetCounter("mq.broker.messages_polled"),
+        MetricsRegistry::Global().GetCounter("mq.broker.retention_dropped"),
+        MetricsRegistry::Global().GetGauge("mq.broker.retained_messages"),
+        MetricsRegistry::Global().GetHistogram("mq.broker.poll_wait_micros")};
+    return m;
+  }
+};
+
+}  // namespace
+
+MessageBroker::~MessageBroker() {
+  // Undo this broker's contribution to the shared retained-messages gauge so
+  // short-lived brokers (tests, per-transfer instances) don't leave it high.
+  const size_t retained = TotalRetainedMessages();
+  if (retained > 0) {
+    BrokerMetrics::Get().retained->Add(-static_cast<int64_t>(retained));
+  }
+}
 
 Status MessageBroker::CreateTopic(const std::string& topic,
                                   TopicConfig config) {
@@ -68,6 +103,9 @@ Result<int64_t> MessageBroker::Produce(const std::string& topic,
   p->messages.push_back(std::move(payload));
   const int64_t offset =
       p->base_offset + static_cast<int64_t>(p->messages.size()) - 1;
+  BrokerMetrics& metrics = BrokerMetrics::Get();
+  metrics.produced->Increment();
+  metrics.retained->Increment();
   // Retention: drop the oldest messages beyond the cap.
   if (config.retention_messages > 0 &&
       p->messages.size() > config.retention_messages) {
@@ -75,6 +113,8 @@ Result<int64_t> MessageBroker::Produce(const std::string& topic,
     p->messages.erase(p->messages.begin(),
                       p->messages.begin() + static_cast<std::ptrdiff_t>(drop));
     p->base_offset += static_cast<int64_t>(drop);
+    metrics.retention_dropped->Add(static_cast<int64_t>(drop));
+    metrics.retained->Add(-static_cast<int64_t>(drop));
   }
   data_available_.notify_all();
   return offset;
@@ -96,6 +136,7 @@ Result<MessageBroker::PollResult> MessageBroker::Poll(const std::string& topic,
   if (SQLINK_FAILPOINT("mq.broker.poll") != FailpointOutcome::kNone) {
     return Status::Unavailable("failpoint: injected poll error");
   }
+  Stopwatch wait_timer;
   std::unique_lock<std::mutex> lock(mu_);
   ASSIGN_OR_RETURN(Partition * p, FindPartition(topic, partition));
   if (offset < p->base_offset) {
@@ -121,6 +162,9 @@ Result<MessageBroker::PollResult> MessageBroker::Poll(const std::string& topic,
     result.messages.push_back(Message{
         o, p->messages[static_cast<size_t>(o - p->base_offset)]});
   }
+  BrokerMetrics& metrics = BrokerMetrics::Get();
+  metrics.polled->Add(static_cast<int64_t>(result.messages.size()));
+  metrics.poll_wait_micros->Record(wait_timer.ElapsedMicros());
   return result;
 }
 

@@ -44,6 +44,7 @@ class MessageBroker {
   };
 
   MessageBroker() = default;
+  ~MessageBroker();
   MessageBroker(const MessageBroker&) = delete;
   MessageBroker& operator=(const MessageBroker&) = delete;
 

@@ -6,6 +6,7 @@
 #include "common/coding.h"
 #include "common/failpoint.h"
 #include "common/status_macros.h"
+#include "common/trace.h"
 #include "sql/table_udf.h"
 #include "table/row_codec.h"
 
@@ -94,6 +95,8 @@ class MqSinkUdf final : public TableUdf {
     if (!created.ok() && !created.IsAlreadyExists()) return created;
 
     const int first_partition = context.worker_id * k_;
+    TraceSpan span("mq.sink.partition");
+    span.AddAttribute("worker", context.worker_id);
     std::vector<MessageBatcher> batchers(static_cast<size_t>(k_));
     int64_t rows = 0;
     int64_t messages = 0;
@@ -123,6 +126,8 @@ class MqSinkUdf final : public TableUdf {
       }
       RETURN_IF_ERROR(broker_->SealPartition(topic_, first_partition + j));
     }
+    span.AddAttribute("rows_published", rows);
+    span.AddAttribute("messages_published", messages);
     return output->Push(Row{Value::Int64(context.worker_id),
                             Value::Int64(rows), Value::Int64(messages)});
   }
@@ -300,6 +305,11 @@ Result<MqTransferResult> MqTransfer::Run(SqlEngine* engine,
                                          const std::string& query_sql,
                                          const MqTransferOptions& options) {
   RETURN_IF_ERROR(RegisterMqSinkUdf(engine, broker));
+
+  // Root span of the broker-mediated transfer; ambient so the publishing
+  // SQL workers and the consumer thread all land in one trace.
+  TraceSpan transfer_span("mq.transfer");
+  ScopedAmbientTrace ambient(transfer_span.context());
 
   static std::atomic<int> topic_counter{0};
   const std::string topic =

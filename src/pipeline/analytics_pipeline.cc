@@ -3,6 +3,7 @@
 #include "common/logging.h"
 #include "common/status_macros.h"
 #include "common/stopwatch.h"
+#include "common/trace.h"
 #include "exttool/external_transform.h"
 #include "ml/job.h"
 #include "ml/text_input_format.h"
@@ -53,14 +54,22 @@ Result<PipelineResult> AnalyticsPipeline::PrepareNaive(
   const std::string scratch = NextScratchDir(options.scratch_path);
   const uint64_t dfs_bytes_before = dfs_->TotalBytesWritten();
   Stopwatch total;
+  TraceSpan pipeline_span("pipeline.prepare");
+  pipeline_span.AddAttribute("approach", 0);  // kNaive
+  ScopedAmbientTrace ambient(pipeline_span.context());
 
   // Stage "prep": run the SQL query and materialize its result on DFS.
   Stopwatch prep;
-  ASSIGN_OR_RETURN(TablePtr prep_table,
-                   engine_->ExecuteSql(request.prep_sql, "prep_result"));
-  ASSIGN_OR_RETURN(uint64_t unused_bytes,
-                   WriteTableToDfs(dfs_.get(), *prep_table, scratch + "/prep"));
-  (void)unused_bytes;
+  TablePtr prep_table;
+  {
+    TraceSpan stage("pipeline.prep");
+    ASSIGN_OR_RETURN(prep_table,
+                     engine_->ExecuteSql(request.prep_sql, "prep_result"));
+    ASSIGN_OR_RETURN(
+        uint64_t unused_bytes,
+        WriteTableToDfs(dfs_.get(), *prep_table, scratch + "/prep"));
+    (void)unused_bytes;
+  }
   result.timings.prep_seconds = prep.ElapsedSeconds();
 
   // Stage "trsfm": the external tool (Jaql stand-in) — a separate job with
@@ -69,10 +78,14 @@ Result<PipelineResult> AnalyticsPipeline::PrepareNaive(
   ExternalTransformTool tool(dfs_, engine_->cluster());
   std::map<std::string, CodingScheme> codings(request.codings.begin(),
                                               request.codings.end());
-  ASSIGN_OR_RETURN(ExternalTransformTool::Result_ transformed,
-                   tool.Run(scratch + "/prep", prep_table->schema(),
-                            request.recode_columns, codings,
-                            scratch + "/transformed"));
+  ExternalTransformTool::Result_ transformed;
+  {
+    TraceSpan stage("pipeline.transform");
+    ASSIGN_OR_RETURN(transformed,
+                     tool.Run(scratch + "/prep", prep_table->schema(),
+                              request.recode_columns, codings,
+                              scratch + "/transformed"));
+  }
   result.timings.transform_seconds = transform.ElapsedSeconds();
   result.recode_map = transformed.recode_map;
 
@@ -85,7 +98,11 @@ Result<PipelineResult> AnalyticsPipeline::PrepareNaive(
   context.cluster = engine_->cluster();
   context.metrics = engine_->metrics();
   ml::MlJobRunner runner(context);
-  ASSIGN_OR_RETURN(ml::IngestResult ingest, runner.Ingest(&format));
+  ml::IngestResult ingest;
+  {
+    TraceSpan stage("pipeline.ml_input");
+    ASSIGN_OR_RETURN(ingest, runner.Ingest(&format));
+  }
   result.timings.ml_input_seconds = input.ElapsedSeconds();
 
   result.dataset = std::move(ingest.dataset);
@@ -102,6 +119,9 @@ Result<PipelineResult> AnalyticsPipeline::PrepareInSql(
   const std::string scratch = NextScratchDir(options.scratch_path);
   const uint64_t dfs_bytes_before = dfs_->TotalBytesWritten();
   Stopwatch total;
+  TraceSpan pipeline_span("pipeline.prepare");
+  pipeline_span.AddAttribute("approach", streaming ? 2 : 1);  // kInSql[Stream]
+  ScopedAmbientTrace ambient(pipeline_span.context());
 
   // Rewrite (§4), consulting the caches (§5) when enabled.
   Stopwatch prep_transform;
@@ -128,7 +148,10 @@ Result<PipelineResult> AnalyticsPipeline::PrepareInSql(
   }
 
   if (streaming) {
-    // insql+stream: prep + trsfm + ML input fully pipelined, no DFS.
+    // insql+stream: prep + trsfm + ML input fully pipelined, no DFS. The
+    // transfer's own root span ("stream.transfer") parents here through the
+    // ambient context.
+    TraceSpan stage("pipeline.stream_transfer");
     ASSIGN_OR_RETURN(
         StreamTransferResult transfer,
         StreamingTransfer::Run(engine_.get(), transformed_sql, options.stream));
@@ -142,12 +165,16 @@ Result<PipelineResult> AnalyticsPipeline::PrepareInSql(
 
   // insql: pipeline query+transform inside the engine, materialize once on
   // DFS, then the ML job reads it back.
-  ASSIGN_OR_RETURN(TablePtr transformed,
-                   engine_->ExecuteSql(transformed_sql, "transformed"));
-  ASSIGN_OR_RETURN(uint64_t unused_bytes,
-                   WriteTableToDfs(dfs_.get(), *transformed,
-                                   scratch + "/transformed"));
-  (void)unused_bytes;
+  TablePtr transformed;
+  {
+    TraceSpan stage("pipeline.prep_transform");
+    ASSIGN_OR_RETURN(transformed,
+                     engine_->ExecuteSql(transformed_sql, "transformed"));
+    ASSIGN_OR_RETURN(uint64_t unused_bytes,
+                     WriteTableToDfs(dfs_.get(), *transformed,
+                                     scratch + "/transformed"));
+    (void)unused_bytes;
+  }
   result.timings.prep_transform_seconds = prep_transform.ElapsedSeconds();
 
   Stopwatch input;
@@ -157,7 +184,11 @@ Result<PipelineResult> AnalyticsPipeline::PrepareInSql(
   context.cluster = engine_->cluster();
   context.metrics = engine_->metrics();
   ml::MlJobRunner runner(context);
-  ASSIGN_OR_RETURN(ml::IngestResult ingest, runner.Ingest(&format));
+  ml::IngestResult ingest;
+  {
+    TraceSpan stage("pipeline.ml_input");
+    ASSIGN_OR_RETURN(ingest, runner.Ingest(&format));
+  }
   result.timings.ml_input_seconds = input.ElapsedSeconds();
 
   result.dataset = std::move(ingest.dataset);

@@ -10,7 +10,9 @@
 #include "common/blocking_queue.h"
 #include "common/logging.h"
 #include "common/status_macros.h"
+#include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "sql/row_iterator.h"
 
 namespace sqlink {
@@ -445,6 +447,9 @@ Result<RowIteratorPtr> Executor::BuildPipeline(const PlanPtr& plan, int worker,
 }
 
 Result<PartitionedRows> Executor::ExecutePipeline(const PlanPtr& plan) {
+  TraceSpan span("sql.execute");
+  span.AddAttribute("workers", num_workers_);
+  Stopwatch timer;
   PipelineState state;
   Status prepare_status = Prepare(plan, &state);
 
@@ -473,7 +478,16 @@ Result<PartitionedRows> Executor::ExecutePipeline(const PlanPtr& plan) {
     const Status finish_status = udf->Finish();
     if (run_status.ok() && !finish_status.ok()) run_status = finish_status;
   }
+  int64_t rows_emitted = 0;
+  for (const std::vector<Row>& partition : output.partitions) {
+    rows_emitted += static_cast<int64_t>(partition.size());
+  }
+  span.AddAttribute("rows", rows_emitted);
+  metrics_->GetHistogram("sql.executor.pipeline_micros")
+      ->Record(timer.ElapsedMicros());
+  if (!run_status.ok()) span.SetError();
   RETURN_IF_ERROR(run_status);
+  metrics_->GetCounter("sql.executor.rows_emitted")->Add(rows_emitted);
   return output;
 }
 

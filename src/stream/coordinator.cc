@@ -4,9 +4,31 @@
 
 #include "common/failpoint.h"
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/status_macros.h"
+#include "common/stopwatch.h"
+#include "common/trace.h"
 
 namespace sqlink {
+
+namespace {
+
+const char* HandlerSpanName(FrameType type) {
+  switch (type) {
+    case FrameType::kRegisterSql:
+      return "coordinator.register_sql";
+    case FrameType::kGetSplits:
+      return "coordinator.get_splits";
+    case FrameType::kRegisterMl:
+      return "coordinator.match";
+    case FrameType::kReportFailure:
+      return "coordinator.rematch";
+    default:
+      return "coordinator.unknown";
+  }
+}
+
+}  // namespace
 
 Result<std::unique_ptr<StreamCoordinator>> StreamCoordinator::Start(
     Options options) {
@@ -112,25 +134,38 @@ void StreamCoordinator::AcceptLoop() {
 void StreamCoordinator::HandleConnection(TcpSocket socket) {
   auto frame = RecvFrame(&socket);
   if (!frame.ok()) return;
+  // The handler span continues the trace carried in the frame header: its
+  // parent is the remote caller's span, so one query's trace crosses the
+  // control plane.
+  TraceSpan span(HandlerSpanName(frame->type), frame->trace);
+  Stopwatch timer;
   Status status;
   switch (frame->type) {
     case FrameType::kRegisterSql:
       status = HandleRegisterSql(&socket, *frame);
+      MetricsRegistry::Global().Increment("coordinator.register_sql.count");
       break;
     case FrameType::kGetSplits:
       status = HandleGetSplits(&socket);
+      MetricsRegistry::Global().Increment("coordinator.get_splits.count");
       break;
     case FrameType::kRegisterMl:
       status = HandleRegisterMl(&socket, *frame, /*is_failure=*/false);
+      MetricsRegistry::Global().Increment("coordinator.match.count");
       break;
     case FrameType::kReportFailure:
       status = HandleRegisterMl(&socket, *frame, /*is_failure=*/true);
+      MetricsRegistry::Global().Increment("coordinator.rematch.count");
       break;
     default:
       status = Status::InvalidArgument("unexpected control frame");
       break;
   }
+  MetricsRegistry::Global()
+      .GetHistogram("coordinator.handler_micros")
+      ->Record(timer.ElapsedMicros());
   if (!status.ok()) {
+    span.SetError();
     LOG_WARNING() << "coordinator handler: " << status;
     (void)SendFrame(&socket, FrameType::kError, status.ToString());
   }
@@ -191,10 +226,14 @@ Status StreamCoordinator::HandleRegisterSql(TcpSocket* socket,
 }
 
 Status StreamCoordinator::WaitForSplits() {
+  static Histogram* const barrier_wait =
+      MetricsRegistry::Global().GetHistogram("coordinator.barrier_wait_micros");
+  Stopwatch timer;
   std::unique_lock<std::mutex> lock(mu_);
   const bool ready = splits_ready_cv_.wait_for(
       lock, std::chrono::milliseconds(options_.barrier_timeout_ms),
       [this] { return splits_ready_ || stopped_; });
+  barrier_wait->Record(timer.ElapsedMicros());
   if (!ready) return Status::Unavailable("timed out waiting for SQL workers");
   if (!splits_ready_) return Status::Cancelled("coordinator stopped");
   return Status::OK();

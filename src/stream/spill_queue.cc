@@ -6,16 +6,38 @@
 #include "common/coding.h"
 #include "common/failpoint.h"
 #include "common/logging.h"
+#include "common/stopwatch.h"
+#include "common/trace.h"
 
 namespace sqlink {
 
 SpillingByteQueue::SpillingByteQueue(Options options)
-    : options_(std::move(options)) {
+    : options_(std::move(options)),
+      depth_frames_(
+          MetricsRegistry::Global().GetGauge("stream.spill.queue_depth_frames")),
+      depth_bytes_(
+          MetricsRegistry::Global().GetGauge("stream.spill.queue_depth_bytes")),
+      spill_frames_total_(
+          MetricsRegistry::Global().GetCounter("stream.spill.spilled_frames")),
+      spill_bytes_total_(
+          MetricsRegistry::Global().GetCounter("stream.spill.spilled_bytes")),
+      drain_frames_total_(
+          MetricsRegistry::Global().GetCounter("stream.spill.drained_frames")),
+      spill_write_micros_(
+          MetricsRegistry::Global().GetHistogram("stream.spill.write_micros")),
+      spill_read_micros_(
+          MetricsRegistry::Global().GetHistogram("stream.spill.read_micros")) {
   SQLINK_CHECK(!options_.spill_enabled || !options_.spill_path.empty())
       << "spill enabled without a spill path";
 }
 
 SpillingByteQueue::~SpillingByteQueue() {
+  // Undo this queue's contribution to the shared depth gauges for anything
+  // still enqueued (cancelled or abandoned mid-stream).
+  const int64_t live_frames = static_cast<int64_t>(memory_.size()) +
+                              (spill_written_ - spill_read_);
+  if (live_frames > 0) depth_frames_->Add(-live_frames);
+  if (memory_bytes_ > 0) depth_bytes_->Add(-static_cast<int64_t>(memory_bytes_));
   if (spill_out_.is_open()) spill_out_.close();
   if (spill_in_.is_open()) spill_in_.close();
   if (!options_.spill_path.empty() && spill_written_ > 0) {
@@ -35,6 +57,8 @@ Status SpillingByteQueue::Push(std::string frame) {
          memory_.empty())) {
       // An oversized frame is admitted alone so progress is possible.
       memory_bytes_ += frame.size();
+      depth_frames_->Increment();
+      depth_bytes_->Add(static_cast<int64_t>(frame.size()));
       memory_.push_back(std::move(frame));
       consumer_cv_.notify_one();
       return Status::OK();
@@ -53,6 +77,8 @@ Status SpillingByteQueue::Push(std::string frame) {
         }
       }
       spilling_ = true;
+      TraceSpan span("spill.write");
+      Stopwatch timer;
       std::string record;
       PutFixed32(&record, static_cast<uint32_t>(frame.size()));
       record += frame;
@@ -60,10 +86,16 @@ Status SpillingByteQueue::Push(std::string frame) {
                        static_cast<std::streamsize>(record.size()));
       spill_out_.flush();
       if (!spill_out_) {
+        span.SetError();
         return Status::IoError("spill write failed: " + options_.spill_path);
       }
       ++spill_written_;
       spilled_bytes_ += static_cast<int64_t>(frame.size());
+      spill_write_micros_->Record(timer.ElapsedMicros());
+      spill_frames_total_->Increment();
+      spill_bytes_total_->Add(static_cast<int64_t>(frame.size()));
+      depth_frames_->Increment();
+      span.AddAttribute("bytes", static_cast<int64_t>(frame.size()));
       consumer_cv_.notify_one();
       return Status::OK();
     }
@@ -86,6 +118,8 @@ Result<std::optional<std::string>> SpillingByteQueue::Pop() {
       std::string frame = std::move(memory_.front());
       memory_.pop_front();
       memory_bytes_ -= frame.size();
+      depth_frames_->Decrement();
+      depth_bytes_->Add(-static_cast<int64_t>(frame.size()));
       producer_cv_.notify_one();
       return std::optional<std::string>(std::move(frame));
     }
@@ -100,6 +134,8 @@ Result<std::optional<std::string>> SpillingByteQueue::Pop() {
                                  options_.spill_path);
         }
       }
+      TraceSpan span("spill.drain");
+      Stopwatch timer;
       char header[4];
       spill_in_.read(header, 4);
       uint32_t length = 0;
@@ -107,9 +143,14 @@ Result<std::optional<std::string>> SpillingByteQueue::Pop() {
       std::string frame(length, '\0');
       spill_in_.read(frame.data(), static_cast<std::streamsize>(length));
       if (!spill_in_) {
+        span.SetError();
         return Status::IoError("spill read failed: " + options_.spill_path);
       }
       ++spill_read_;
+      spill_read_micros_->Record(timer.ElapsedMicros());
+      drain_frames_total_->Increment();
+      depth_frames_->Decrement();
+      span.AddAttribute("bytes", static_cast<int64_t>(length));
       if (spill_read_ == spill_written_) {
         // Disk backlog drained; producer may use memory again.
         spilling_ = false;

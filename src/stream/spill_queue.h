@@ -9,6 +9,7 @@
 #include <optional>
 #include <string>
 
+#include "common/metrics.h"
 #include "common/result.h"
 
 namespace sqlink {
@@ -71,6 +72,16 @@ class SpillingByteQueue {
   std::ifstream spill_in_;
   bool producer_closed_ = false;
   bool cancelled_ = false;
+
+  // Shared instrument handles (resolved once in the constructor; all
+  // SpillingByteQueues aggregate into the same global instruments).
+  Gauge* depth_frames_;   ///< Live frames held (memory + undrained spill).
+  Gauge* depth_bytes_;    ///< Live bytes held in memory.
+  Counter* spill_frames_total_;
+  Counter* spill_bytes_total_;
+  Counter* drain_frames_total_;
+  Histogram* spill_write_micros_;
+  Histogram* spill_read_micros_;
 };
 
 }  // namespace sqlink

@@ -1,6 +1,7 @@
 #include "stream/sql_stream_input_format.h"
 
 #include <chrono>
+#include <optional>
 #include <thread>
 
 #include "common/failpoint.h"
@@ -8,6 +9,7 @@
 #include "common/metrics.h"
 #include "common/retry_policy.h"
 #include "common/status_macros.h"
+#include "common/trace.h"
 #include "stream/socket.h"
 #include "table/row_codec.h"
 
@@ -39,7 +41,15 @@ class StreamRecordReader final : public ml::RecordReader {
                             std::to_string(split_.split_id)),
         options_(options),
         metrics_(metrics),
+        bytes_received_(metrics != nullptr
+                            ? metrics->GetCounter("stream.bytes_received")
+                            : nullptr),
+        rows_delivered_(metrics != nullptr
+                            ? metrics->GetCounter("stream.reader.rows_delivered")
+                            : nullptr),
         reconnect_backoff_(ReconnectBackoffOptions(split_.split_id)) {}
+
+  ~StreamRecordReader() override { CloseStreamSpan(/*error=*/false); }
 
   Result<bool> Next(Row* out) override {
     for (;;) {
@@ -57,6 +67,7 @@ class StreamRecordReader final : public ml::RecordReader {
       if (row.ok()) {
         if (!*row) {
           done_ = true;
+          CloseStreamSpan(/*error=*/false);
           return false;
         }
         ++received_this_connection_;
@@ -64,6 +75,7 @@ class StreamRecordReader final : public ml::RecordReader {
         // the failure.
         if (received_this_connection_ <= skip_) continue;
         ++delivered_;
+        if (rows_delivered_ != nullptr) rows_delivered_->Increment();
         // Fault injection: drop the connection mid-stream. The failpoint
         // fires *after* this row was delivered, so the replay must skip it
         // too; the row itself is handed to the ML job normally.
@@ -118,6 +130,12 @@ class StreamRecordReader final : public ml::RecordReader {
     if (schema_frame.type != FrameType::kSchema) {
       return Status::NetworkError("expected schema frame");
     }
+    // The per-connection span parents to the *sender's* span carried in the
+    // schema frame header: the SQL worker's trace continues on the ML side.
+    CloseStreamSpan(/*error=*/false);
+    stream_span_.emplace("reader.stream", schema_frame.trace);
+    stream_span_->AddAttribute("split", split_.split_id);
+    stream_span_->AddAttribute("restart", restart ? 1 : 0);
     connected_ = true;
     received_this_connection_ = 0;
     skip_ = restart ? delivered_ : 0;
@@ -149,9 +167,8 @@ class StreamRecordReader final : public ml::RecordReader {
             batch_.push_back(std::move(row));
           }
           batch_index_ = 0;
-          if (metrics_ != nullptr) {
-            metrics_->Add("stream.bytes_received",
-                          static_cast<int64_t>(frame.payload.size()));
+          if (bytes_received_ != nullptr) {
+            bytes_received_->Add(static_cast<int64_t>(frame.payload.size()));
           }
           if (options_.consume_delay_micros_per_frame > 0) {
             std::this_thread::sleep_for(std::chrono::microseconds(
@@ -181,9 +198,19 @@ class StreamRecordReader final : public ml::RecordReader {
     }
   }
 
+  /// Finishes the per-connection span, stamping the delivered-row count.
+  void CloseStreamSpan(bool error) {
+    if (!stream_span_.has_value()) return;
+    stream_span_->AddAttribute("rows_delivered",
+                               static_cast<int64_t>(delivered_));
+    if (error) stream_span_->SetError();
+    stream_span_.reset();
+  }
+
   Status HandleFailure(const Status& cause) {
     socket_.Close();
     connected_ = false;
+    CloseStreamSpan(/*error=*/true);
     if (!options_.recovery_enabled || reconnects_ >= options_.max_reconnects) {
       return cause;
     }
@@ -205,6 +232,9 @@ class StreamRecordReader final : public ml::RecordReader {
   const std::string row_failpoint_name_;
   StreamReaderOptions options_;
   MetricsRegistry* metrics_;
+  Counter* bytes_received_;
+  Counter* rows_delivered_;
+  std::optional<TraceSpan> stream_span_;
 
   TcpSocket socket_;
   bool connected_ = false;
@@ -233,6 +263,7 @@ Result<std::vector<ml::InputSplitPtr>> SqlStreamInputFormat::GetSplits(
   // Step 3: the customized getInputSplits contacts the coordinator. The
   // exchange is read-only on the coordinator, so dropped control
   // connections are simply retried with backoff.
+  TraceSpan span("reader.get_splits");
   RetryPolicy retry(RetryPolicy::Options{});
   Result<SplitsMessage> exchange = retry.Run([&]() -> Result<SplitsMessage> {
     ASSIGN_OR_RETURN(TcpSocket control,

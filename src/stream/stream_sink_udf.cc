@@ -9,8 +9,10 @@
 #include "common/failpoint.h"
 #include "common/fs_util.h"
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/retry_policy.h"
 #include "common/status_macros.h"
+#include "common/trace.h"
 #include "stream/spill_queue.h"
 #include "stream/wire.h"
 #include "table/row_codec.h"
@@ -135,6 +137,13 @@ Result<SchemaPtr> SqlStreamSinkUdf::Bind(const SchemaPtr& input_schema,
 Status SqlStreamSinkUdf::ProcessPartition(const TableUdfContext& context,
                                           RowIterator* input,
                                           RowSink* output) {
+  // Per-partition root of the SQL side of the trace. Every frame this
+  // worker sends (registration, schema, data) carries a descendant of this
+  // span, so the coordinator and the ML reader join the same trace.
+  TraceSpan partition_span("sink.partition");
+  partition_span.AddAttribute("worker", context.worker_id);
+  const TraceContext partition_ctx = partition_span.context();
+
   // --- Step 1: open the data port and register with the coordinator. ---
   ASSIGN_OR_RETURN(TcpListener listener, TcpListener::Listen(0));
   const std::string my_host =
@@ -150,6 +159,7 @@ Status SqlStreamSinkUdf::ProcessPartition(const TableUdfContext& context,
   registration.schema = input_schema_;
   int k = 1;
   {
+    TraceSpan register_span("sink.register");
     // Registration is idempotent on the coordinator, so transient failures
     // (dropped control connections, injected faults) are retried with
     // backoff rather than restarting the whole SQL task.
@@ -269,6 +279,10 @@ Status SqlStreamSinkUdf::ProcessPartition(const TableUdfContext& context,
     std::vector<uint64_t> sender_rows(static_cast<size_t>(k), 0);
     for (int j = 0; j < k; ++j) {
       senders.emplace_back([&, j] {
+        // The sender runs on its own thread, so it parents to the partition
+        // span explicitly; frames it sends inherit this span's context.
+        TraceSpan send_span("sink.send", partition_ctx);
+        send_span.AddAttribute("target", j);
         auto run = [&]() -> Status {
           // Bounded wait: if the ML job died before dialing in, surface an
           // error instead of blocking the SQL pipeline forever.
@@ -297,10 +311,13 @@ Status SqlStreamSinkUdf::ProcessPartition(const TableUdfContext& context,
         };
         sender_status[static_cast<size_t>(j)] = run();
         if (!sender_status[static_cast<size_t>(j)].ok()) {
+          send_span.SetError();
           // Unblock the producer (§6: without resilience the whole
           // pipeline restarts, so fail fast).
           queues[static_cast<size_t>(j)]->Cancel();
         }
+        send_span.AddAttribute(
+            "rows", static_cast<int64_t>(sender_rows[static_cast<size_t>(j)]));
       });
     }
 
@@ -393,6 +410,8 @@ Status SqlStreamSinkUdf::ProcessPartition(const TableUdfContext& context,
     std::vector<int64_t> sender_bytes(static_cast<size_t>(k), 0);
     for (int j = 0; j < k; ++j) {
       senders.emplace_back([&, j] {
+        TraceSpan send_span("sink.send", partition_ctx);
+        send_span.AddAttribute("target", j);
         auto serve_once = [&](TcpSocket* socket) -> Status {
           for (const std::string& frame : logs[static_cast<size_t>(j)]) {
             sender_bytes[static_cast<size_t>(j)] +=
@@ -422,6 +441,7 @@ Status SqlStreamSinkUdf::ProcessPartition(const TableUdfContext& context,
                         << " target " << j
                         << " transfer failed, awaiting reconnect: " << status;
         }
+        if (!status.ok()) send_span.SetError();
         sender_status[static_cast<size_t>(j)] = status;
       });
     }
@@ -432,6 +452,15 @@ Status SqlStreamSinkUdf::ProcessPartition(const TableUdfContext& context,
     }
   }
 
+  static Counter* const rows_counter =
+      MetricsRegistry::Global().GetCounter("stream.sink.rows_sent");
+  static Counter* const bytes_counter =
+      MetricsRegistry::Global().GetCounter("stream.sink.bytes_sent");
+  rows_counter->Add(rows_sent);
+  bytes_counter->Add(bytes_sent);
+  partition_span.AddAttribute("rows_sent", rows_sent);
+  partition_span.AddAttribute("bytes_sent", bytes_sent);
+  partition_span.AddAttribute("spilled_frames", spilled_frames);
   return output->Push(Row{Value::Int64(context.worker_id),
                           Value::Int64(rows_sent), Value::Int64(bytes_sent),
                           Value::Int64(spilled_frames)});

@@ -3,6 +3,7 @@
 #include <future>
 
 #include "common/status_macros.h"
+#include "common/trace.h"
 #include "stream/coordinator.h"
 
 namespace sqlink {
@@ -24,6 +25,14 @@ Result<StreamTransferResult> StreamingTransfer::Run(
     SqlEngine* engine, const std::string& query_sql,
     const StreamTransferOptions& options) {
   RETURN_IF_ERROR(RegisterStreamSinkUdf(engine));
+
+  // Root span of the whole transfer. Installing it as the ambient context
+  // means every span created on a thread with no open span — SQL executor
+  // workers running the sink UDF, the coordinator's ML-launcher thread, the
+  // ML ingest workers — parents here, so the run yields ONE trace covering
+  // registration → split fetch → socket transfer → spill → ML ingest.
+  TraceSpan transfer_span("stream.transfer");
+  ScopedAmbientTrace ambient(transfer_span.context());
 
   // The coordinator launches the ML ingestion when all SQL workers have
   // registered (paper step 2). The launcher runs on the coordinator's

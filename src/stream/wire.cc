@@ -1,15 +1,52 @@
 #include "stream/wire.h"
 
 #include "common/failpoint.h"
+#include "common/metrics.h"
 #include "common/status_macros.h"
+#include "common/stopwatch.h"
 
 namespace sqlink {
 
+namespace {
+
+/// Per-instrument handles resolved once (satisfying the hot-path contract:
+/// no registry lock per frame).
+struct WireMetrics {
+  Counter* frames_sent;
+  Counter* frames_received;
+  Counter* bytes_sent;
+  Counter* bytes_received;
+  Histogram* send_micros;
+  Histogram* recv_micros;
+
+  static const WireMetrics& Get() {
+    static const WireMetrics metrics = [] {
+      MetricsRegistry& registry = MetricsRegistry::Global();
+      return WireMetrics{registry.GetCounter("stream.wire.frames_sent"),
+                         registry.GetCounter("stream.wire.frames_received"),
+                         registry.GetCounter("stream.wire.bytes_sent"),
+                         registry.GetCounter("stream.wire.bytes_received"),
+                         registry.GetHistogram("stream.wire.send_frame_micros"),
+                         registry.GetHistogram("stream.wire.recv_frame_micros")};
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
+
 Status SendFrame(TcpSocket* socket, FrameType type, std::string_view payload) {
+  return SendFrame(socket, type, payload, Tracer::CurrentContext());
+}
+
+Status SendFrame(TcpSocket* socket, FrameType type, std::string_view payload,
+                 const TraceContext& trace) {
   std::string buffer;
-  buffer.reserve(5 + payload.size());
+  buffer.reserve(kFrameHeaderBytes + payload.size());
   PutFixed32(&buffer, static_cast<uint32_t>(payload.size()));
   buffer.push_back(static_cast<char>(type));
+  PutFixed64(&buffer, trace.trace_id);
+  PutFixed64(&buffer, trace.span_id);
   buffer.append(payload);
   FailpointOutcome outcome = SQLINK_FAILPOINT("stream.wire.send_frame");
   if (outcome == FailpointOutcome::kNone && type == FrameType::kData) {
@@ -29,7 +66,15 @@ Status SendFrame(TcpSocket* socket, FrameType type, std::string_view payload) {
       return Status::NetworkError("failpoint: connection dropped mid-frame");
     }
   }
-  return socket->SendAll(buffer);
+  const WireMetrics& metrics = WireMetrics::Get();
+  Stopwatch timer;
+  const Status status = socket->SendAll(buffer);
+  if (status.ok()) {
+    metrics.send_micros->Record(timer.ElapsedMicros());
+    metrics.frames_sent->Increment();
+    metrics.bytes_sent->Add(static_cast<int64_t>(buffer.size()));
+  }
+  return status;
 }
 
 Result<Frame> RecvFrame(TcpSocket* socket) {
@@ -42,16 +87,24 @@ Result<Frame> RecvFrame(TcpSocket* socket) {
       socket->Close();
       return Status::NetworkError("failpoint: recv connection closed");
   }
+  const WireMetrics& metrics = WireMetrics::Get();
+  Stopwatch timer;
   std::string header;
-  RETURN_IF_ERROR(socket->RecvExactly(5, &header));
+  RETURN_IF_ERROR(socket->RecvExactly(kFrameHeaderBytes, &header));
   Decoder decoder(header);
   ASSIGN_OR_RETURN(uint32_t length, decoder.GetFixed32());
   ASSIGN_OR_RETURN(uint8_t type, decoder.GetByte());
   Frame frame;
   frame.type = static_cast<FrameType>(type);
+  ASSIGN_OR_RETURN(frame.trace.trace_id, decoder.GetFixed64());
+  ASSIGN_OR_RETURN(frame.trace.span_id, decoder.GetFixed64());
   if (length > 0) {
     RETURN_IF_ERROR(socket->RecvExactly(length, &frame.payload));
   }
+  metrics.recv_micros->Record(timer.ElapsedMicros());
+  metrics.frames_received->Increment();
+  metrics.bytes_received->Add(
+      static_cast<int64_t>(kFrameHeaderBytes + frame.payload.size()));
   return frame;
 }
 

@@ -7,6 +7,7 @@
 
 #include "common/coding.h"
 #include "common/result.h"
+#include "common/trace.h"
 #include "stream/socket.h"
 #include "table/schema.h"
 
@@ -37,11 +38,24 @@ enum class FrameType : uint8_t {
 struct Frame {
   FrameType type = FrameType::kAck;
   std::string payload;
+  /// Trace context propagated in the frame header (invalid when the sender
+  /// was not tracing). Receivers parent their handler spans here so one
+  /// query's trace crosses the wire.
+  TraceContext trace;
 };
 
-/// Wire format: fixed32 payload length, one type byte, payload bytes.
+/// Wire format: fixed32 payload length, one type byte, fixed64 trace id,
+/// fixed64 span id, payload bytes. The trace fields are zero when tracing is
+/// off; SendFrame stamps the calling thread's current span automatically.
 Status SendFrame(TcpSocket* socket, FrameType type, std::string_view payload);
+/// As above with an explicit trace context (senders relaying a span owned by
+/// another thread).
+Status SendFrame(TcpSocket* socket, FrameType type, std::string_view payload,
+                 const TraceContext& trace);
 Result<Frame> RecvFrame(TcpSocket* socket);
+
+/// Size in bytes of the fixed frame header.
+inline constexpr size_t kFrameHeaderBytes = 4 + 1 + 8 + 8;
 
 /// Schema serialization for the kSchema frame and control messages.
 void EncodeSchema(const Schema& schema, std::string* out);

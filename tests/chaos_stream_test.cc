@@ -15,6 +15,7 @@
 #include "cluster/cluster.h"
 #include "common/failpoint.h"
 #include "common/fs_util.h"
+#include "common/metrics.h"
 #include "common/random.h"
 #include "sql/engine.h"
 #include "stream/streaming_transfer.h"
@@ -103,6 +104,43 @@ TEST_F(ChaosStreamTest, SpillDiskErrorFallsBackToBackpressure) {
   EXPECT_EQ(result->dataset.TotalRows(), 1000u);
   EXPECT_GT(fault.hits(), 0);            // The spill path was exercised...
   EXPECT_EQ(result->spilled_frames, 0);  // ...but nothing reached disk.
+}
+
+TEST_F(ChaosStreamTest, SpillMetricsAccountForEveryFrame) {
+  MetricsRegistry::Global().Reset();
+  StreamTransferOptions options;
+  options.sink.spill_enabled = true;
+  options.sink.send_buffer_bytes = 128;  // Tiny buffer: overflow is certain.
+  options.reader.consume_delay_micros_per_frame = 500;  // Slow consumer.
+  auto result =
+      StreamingTransfer::Run(engine_.get(), "SELECT * FROM points", options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->dataset.TotalRows(), 1000u);
+  ASSERT_GT(result->spilled_frames, 0);
+
+  // The observability layer must agree with the transfer's own accounting:
+  // every spilled frame was counted, timed, and eventually drained, and the
+  // depth gauge came back to zero (high-water mark shows the backlog).
+  MetricsRegistry& metrics = MetricsRegistry::Global();
+  const int64_t spilled =
+      metrics.GetCounter("stream.spill.spilled_frames")->value();
+  EXPECT_EQ(spilled, result->spilled_frames);
+  EXPECT_EQ(metrics.GetCounter("stream.spill.drained_frames")->value(),
+            spilled);
+  EXPECT_EQ(metrics.GetHistogram("stream.spill.write_micros")->count(),
+            spilled);
+  EXPECT_EQ(metrics.GetHistogram("stream.spill.read_micros")->count(),
+            spilled);
+  Gauge* depth = metrics.GetGauge("stream.spill.queue_depth_frames");
+  EXPECT_EQ(depth->value(), 0);
+  EXPECT_GT(depth->max_value(), 0);
+  EXPECT_EQ(metrics.GetGauge("stream.spill.queue_depth_bytes")->value(), 0);
+  EXPECT_GT(metrics.GetCounter("stream.spill.spilled_bytes")->value(), 0);
+
+  // Wire traffic of the run is visible too.
+  EXPECT_GT(metrics.GetCounter("stream.wire.frames_sent")->value(), 0);
+  EXPECT_GT(metrics.GetCounter("stream.wire.bytes_received")->value(), 0);
+  EXPECT_GT(metrics.GetHistogram("stream.wire.send_frame_micros")->count(), 0);
 }
 
 TEST_F(ChaosStreamTest, SlowConsumerDelayCompletes) {

@@ -9,6 +9,7 @@
 #include "common/fs_util.h"
 #include "common/metrics.h"
 #include "common/random.h"
+#include "common/trace.h"
 #include "sql/engine.h"
 #include "stream/coordinator.h"
 #include "stream/socket.h"
@@ -420,6 +421,65 @@ TEST_F(StreamingTransferTest, SinkSqlRendersRoundTrippableQuery) {
   ASSERT_TRUE(stmt.ok()) << sql << ": " << stmt.status();
   EXPECT_EQ(stmt->from[0].kind, TableRef::Kind::kTableFunction);
   EXPECT_EQ(stmt->from[0].name, "sql_stream_sink");
+}
+
+TEST_F(StreamingTransferTest, OneTraceCoversSinkCoordinatorReaderAndIngest) {
+  Tracer::Global().Reset();
+  Tracer::Global().set_sample_probability(1.0);
+  Tracer::Global().set_enabled(true);
+  auto result = StreamingTransfer::Run(engine_.get(), "SELECT * FROM points");
+  Tracer::Global().set_enabled(false);
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  const std::vector<SpanRecord> spans = Tracer::Global().Snapshot();
+  auto find = [&spans](const std::string& name) -> const SpanRecord* {
+    for (const SpanRecord& span : spans) {
+      if (span.name == name) return &span;
+    }
+    return nullptr;
+  };
+  const SpanRecord* root = find("stream.transfer");
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->parent_span_id, 0u);
+
+  // Every stage of the pipeline — SQL executor, sink UDF, coordinator
+  // handlers, ML split fetch, per-connection reader streams, ML ingest —
+  // lands in the root's trace: the end-to-end invariant the wire-header
+  // propagation plus ambient context exist for.
+  for (const char* name :
+       {"sql.execute", "sink.partition", "sink.register", "sink.send",
+        "coordinator.register_sql", "coordinator.get_splits",
+        "reader.get_splits", "reader.stream", "ml.ingest",
+        "ml.ingest.split"}) {
+    const SpanRecord* span = find(name);
+    ASSERT_NE(span, nullptr) << name << " span missing";
+    EXPECT_EQ(span->trace_id, root->trace_id) << name;
+    EXPECT_NE(span->parent_span_id, 0u) << name;
+    EXPECT_FALSE(span->error) << name;
+  }
+
+  // Cross-wire link: each reader.stream span's parent is the sink-side span
+  // that sent the schema frame (a span of the same trace, recorded on the
+  // SQL-worker thread).
+  const SpanRecord* reader_stream = find("reader.stream");
+  bool parent_found = false;
+  for (const SpanRecord& span : spans) {
+    if (span.span_id == reader_stream->parent_span_id) {
+      parent_found = true;
+      EXPECT_EQ(span.trace_id, root->trace_id);
+    }
+  }
+  EXPECT_TRUE(parent_found) << "reader.stream parent span not recorded";
+
+  // Thread-crossing link: per-split ingest spans are children of ml.ingest.
+  const SpanRecord* ingest = find("ml.ingest");
+  int split_spans = 0;
+  for (const SpanRecord& span : spans) {
+    if (span.name != "ml.ingest.split") continue;
+    ++split_spans;
+    EXPECT_EQ(span.parent_span_id, ingest->span_id);
+  }
+  EXPECT_EQ(split_spans, 4);  // One per split (k=1, n=4).
 }
 
 // --- Coordinator-level behaviours ---

@@ -1,0 +1,270 @@
+// Tests for the span tracer: parent/child ids, thread-local nesting,
+// explicit cross-thread parents, the ambient-context fallback, sampling
+// (including suppression of children of unsampled roots), JSON output, and
+// trace-context propagation through the wire frame header.
+
+#include "common/trace.h"
+
+#include <algorithm>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "stream/socket.h"
+#include "stream/wire.h"
+
+namespace sqlink {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::Global().Reset();
+    Tracer::Global().set_sample_probability(1.0);
+    Tracer::Global().set_enabled(true);
+  }
+
+  void TearDown() override {
+    Tracer::Global().set_enabled(false);
+    Tracer::Global().set_sample_probability(1.0);
+    Tracer::Global().Reset();
+  }
+
+  static const SpanRecord* Find(const std::vector<SpanRecord>& spans,
+                                const std::string& name) {
+    auto it = std::find_if(
+        spans.begin(), spans.end(),
+        [&name](const SpanRecord& span) { return span.name == name; });
+    return it == spans.end() ? nullptr : &*it;
+  }
+};
+
+TEST_F(TraceTest, DisabledTracerRecordsNothing) {
+  Tracer::Global().set_enabled(false);
+  {
+    TraceSpan span("noop");
+    EXPECT_FALSE(span.recording());
+    EXPECT_FALSE(span.context().valid());
+    EXPECT_FALSE(Tracer::CurrentContext().valid());
+  }
+  EXPECT_EQ(Tracer::Global().span_count(), 0u);
+}
+
+TEST_F(TraceTest, RootSpanGetsFreshIdsAndRecordsOnEnd) {
+  {
+    TraceSpan span("root");
+    EXPECT_TRUE(span.recording());
+    EXPECT_TRUE(span.context().valid());
+    EXPECT_NE(span.context().span_id, 0u);
+    // While open, the span is the thread's current context.
+    EXPECT_EQ(Tracer::CurrentContext().trace_id, span.context().trace_id);
+    EXPECT_EQ(Tracer::CurrentContext().span_id, span.context().span_id);
+    EXPECT_EQ(Tracer::Global().span_count(), 0u);  // Not recorded yet.
+  }
+  EXPECT_FALSE(Tracer::CurrentContext().valid());
+  const auto spans = Tracer::Global().Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "root");
+  EXPECT_EQ(spans[0].parent_span_id, 0u);  // Root.
+  EXPECT_FALSE(spans[0].error);
+}
+
+TEST_F(TraceTest, NestedSpansShareTraceAndLinkParents) {
+  uint64_t outer_span_id = 0;
+  uint64_t trace_id = 0;
+  {
+    TraceSpan outer("outer");
+    outer_span_id = outer.context().span_id;
+    trace_id = outer.context().trace_id;
+    {
+      TraceSpan inner("inner");
+      EXPECT_EQ(inner.context().trace_id, trace_id);
+      EXPECT_NE(inner.context().span_id, outer_span_id);
+      // The stack pops back to the outer span when the inner one ends.
+    }
+    EXPECT_EQ(Tracer::CurrentContext().span_id, outer_span_id);
+  }
+  const auto spans = Tracer::Global().Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  const SpanRecord* outer = Find(spans, "outer");
+  const SpanRecord* inner = Find(spans, "inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->trace_id, outer->trace_id);
+  EXPECT_EQ(inner->parent_span_id, outer->span_id);
+  EXPECT_EQ(outer->parent_span_id, 0u);
+}
+
+TEST_F(TraceTest, ExplicitParentCrossesThreads) {
+  TraceContext root_ctx;
+  {
+    TraceSpan root("root");
+    root_ctx = root.context();
+    std::thread worker([root_ctx] {
+      // A pool thread has no open span; the explicit parent continues the
+      // root's trace.
+      TraceSpan child("worker", root_ctx);
+      EXPECT_EQ(child.context().trace_id, root_ctx.trace_id);
+    });
+    worker.join();
+  }
+  const auto spans = Tracer::Global().Snapshot();
+  const SpanRecord* child = Find(spans, "worker");
+  ASSERT_NE(child, nullptr);
+  EXPECT_EQ(child->trace_id, root_ctx.trace_id);
+  EXPECT_EQ(child->parent_span_id, root_ctx.span_id);
+}
+
+TEST_F(TraceTest, AmbientContextParentsSpanlessThreads) {
+  TraceSpan root("ambient_root");
+  ScopedAmbientTrace ambient(root.context());
+  const TraceContext root_ctx = root.context();
+  std::thread worker([] { TraceSpan span("ambient_child"); });
+  worker.join();
+  root.End();
+  const auto spans = Tracer::Global().Snapshot();
+  const SpanRecord* child = Find(spans, "ambient_child");
+  ASSERT_NE(child, nullptr);
+  EXPECT_EQ(child->trace_id, root_ctx.trace_id);
+  EXPECT_EQ(child->parent_span_id, root_ctx.span_id);
+}
+
+TEST_F(TraceTest, ThreadCurrentSpanWinsOverAmbient) {
+  TraceSpan root("root");
+  ScopedAmbientTrace ambient(root.context());
+  TraceSpan local("local");
+  TraceSpan child("child");
+  child.End();
+  local.End();
+  root.End();
+  const auto spans = Tracer::Global().Snapshot();
+  const SpanRecord* local_record = Find(spans, "local");
+  const SpanRecord* child_record = Find(spans, "child");
+  ASSERT_NE(local_record, nullptr);
+  ASSERT_NE(child_record, nullptr);
+  EXPECT_EQ(child_record->parent_span_id, local_record->span_id);
+}
+
+TEST_F(TraceTest, ZeroSamplingSuppressesRootAndDescendants) {
+  Tracer::Global().set_sample_probability(0.0);
+  {
+    TraceSpan root("unsampled_root");
+    EXPECT_FALSE(root.recording());
+    // Children must not re-roll the die into a fresh trace.
+    TraceSpan child("unsampled_child");
+    EXPECT_FALSE(child.recording());
+    EXPECT_FALSE(child.context().valid());
+    child.End();
+  }
+  EXPECT_EQ(Tracer::Global().span_count(), 0u);
+
+  // A later, fully sampled trace is unaffected.
+  Tracer::Global().set_sample_probability(1.0);
+  TraceSpan ok("sampled");
+  EXPECT_TRUE(ok.recording());
+}
+
+TEST_F(TraceTest, AttributesAndErrorLandInRecord) {
+  {
+    TraceSpan span("attributed");
+    span.AddAttribute("rows", 42);
+    span.AddAttribute("bytes", 1024);
+    span.SetError();
+  }
+  const auto spans = Tracer::Global().Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_TRUE(spans[0].error);
+  ASSERT_EQ(spans[0].attributes.size(), 2u);
+  EXPECT_EQ(spans[0].attributes[0].first, "rows");
+  EXPECT_EQ(spans[0].attributes[0].second, 42);
+}
+
+TEST_F(TraceTest, EndIsIdempotent) {
+  TraceSpan span("once");
+  span.End();
+  span.End();
+  EXPECT_EQ(Tracer::Global().span_count(), 1u);
+}
+
+TEST_F(TraceTest, JsonListsSpansWithStringIds) {
+  {
+    TraceSpan span("json_span");
+    span.AddAttribute("split", 3);
+  }
+  const std::string json = Tracer::Global().ToJson();
+  EXPECT_NE(json.find("\"name\":\"json_span\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"trace_id\":\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"split\":3"), std::string::npos) << json;
+}
+
+// --- Wire propagation -------------------------------------------------------
+
+TEST_F(TraceTest, FrameHeaderCarriesCurrentSpanAcrossTheWire) {
+  auto listener = TcpListener::Listen(0);
+  ASSERT_TRUE(listener.ok());
+  const int port = listener->port();
+
+  TraceContext sender_ctx;
+  std::thread sender([&sender_ctx, port] {
+    auto socket = TcpConnect("localhost", port);
+    ASSERT_TRUE(socket.ok());
+    TraceSpan span("wire_sender");
+    sender_ctx = span.context();
+    // The 3-arg SendFrame stamps the calling thread's current span.
+    ASSERT_TRUE(SendFrame(&*socket, FrameType::kAck, "ping").ok());
+    // The 4-arg overload relays an explicit context.
+    TraceContext relayed{sender_ctx.trace_id, 9999};
+    ASSERT_TRUE(
+        SendFrame(&*socket, FrameType::kAck, "relay", relayed).ok());
+  });
+
+  auto accepted = listener->Accept();
+  ASSERT_TRUE(accepted.ok());
+  auto frame = RecvFrame(&*accepted);
+  ASSERT_TRUE(frame.ok());
+  sender.join();
+
+  EXPECT_EQ(frame->payload, "ping");
+  EXPECT_TRUE(frame->trace.valid());
+  EXPECT_EQ(frame->trace.trace_id, sender_ctx.trace_id);
+  EXPECT_EQ(frame->trace.span_id, sender_ctx.span_id);
+
+  auto relay_frame = RecvFrame(&*accepted);
+  ASSERT_TRUE(relay_frame.ok());
+  EXPECT_EQ(relay_frame->trace.trace_id, sender_ctx.trace_id);
+  EXPECT_EQ(relay_frame->trace.span_id, 9999u);
+
+  // A receiver-side handler span parented to the frame context joins the
+  // sender's trace — the cross-process link the coordinator relies on.
+  {
+    TraceSpan handler("wire_receiver", frame->trace);
+    EXPECT_EQ(handler.context().trace_id, sender_ctx.trace_id);
+  }
+  const auto spans = Tracer::Global().Snapshot();
+  const SpanRecord* receiver = Find(spans, "wire_receiver");
+  ASSERT_NE(receiver, nullptr);
+  EXPECT_EQ(receiver->parent_span_id, sender_ctx.span_id);
+}
+
+TEST_F(TraceTest, DisabledTracerSendsZeroTraceFields) {
+  Tracer::Global().set_enabled(false);
+  auto listener = TcpListener::Listen(0);
+  ASSERT_TRUE(listener.ok());
+  const int port = listener->port();
+  std::thread sender([port] {
+    auto socket = TcpConnect("localhost", port);
+    ASSERT_TRUE(socket.ok());
+    TraceSpan span("dark");
+    ASSERT_TRUE(SendFrame(&*socket, FrameType::kAck, "x").ok());
+  });
+  auto accepted = listener->Accept();
+  ASSERT_TRUE(accepted.ok());
+  auto frame = RecvFrame(&*accepted);
+  sender.join();
+  ASSERT_TRUE(frame.ok());
+  EXPECT_FALSE(frame->trace.valid());
+  EXPECT_EQ(frame->trace.span_id, 0u);
+}
+
+}  // namespace
+}  // namespace sqlink
