@@ -1,16 +1,20 @@
 #!/usr/bin/env bash
-# Two-stage CI entry point: fast unit suite first, fault-injection chaos
-# suite second, so a broken build fails in seconds instead of after the
-# slow chaos runs. Optional third stage rebuilds with a sanitizer.
+# Three-stage CI entry point: fast unit suite first, fault-injection chaos
+# suite second (so a broken build fails in seconds instead of after the
+# slow chaos runs), then a ThreadSanitizer rebuild of both suites — the
+# coordinator reaper, heartbeat senders, and replay machinery are
+# concurrent, so every run is race-checked.
 #
 # Usage:
-#   ci/run_tests.sh                 # configure + build + unit + chaos
-#   SQLINK_SANITIZE=thread ci/run_tests.sh   # also run a TSan pass
+#   ci/run_tests.sh                 # build + unit + chaos + TSan pass
+#   SQLINK_SANITIZE=address ci/run_tests.sh   # swap TSan for ASan
+#   SQLINK_SANITIZE=none ci/run_tests.sh      # skip the sanitizer stage
 #
 # Environment:
 #   BUILD_DIR        build directory (default: build)
-#   SQLINK_SANITIZE  thread|address|undefined — adds a sanitizer stage in
-#                    a separate build dir (${BUILD_DIR}-${SQLINK_SANITIZE})
+#   SQLINK_SANITIZE  thread|address|undefined|none — sanitizer for stage 3,
+#                    in a separate build dir (${BUILD_DIR}-${SQLINK_SANITIZE});
+#                    defaults to thread, "none" disables the stage
 #   CTEST_PARALLEL   parallel test jobs (default: nproc)
 
 set -euo pipefail
@@ -18,6 +22,7 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR="${BUILD_DIR:-build}"
 JOBS="${CTEST_PARALLEL:-$(nproc)}"
+SQLINK_SANITIZE="${SQLINK_SANITIZE:-thread}"
 
 run_suites() {
   local dir="$1"
@@ -32,7 +37,7 @@ cmake -B "${BUILD_DIR}" -S .
 cmake --build "${BUILD_DIR}" -j "${JOBS}"
 run_suites "${BUILD_DIR}"
 
-if [[ -n "${SQLINK_SANITIZE:-}" ]]; then
+if [[ "${SQLINK_SANITIZE}" != "none" ]]; then
   SAN_DIR="${BUILD_DIR}-${SQLINK_SANITIZE}"
   echo "==> stage 3: sanitizer pass (-fsanitize=${SQLINK_SANITIZE})"
   cmake -B "${SAN_DIR}" -S . -DSQLINK_SANITIZE="${SQLINK_SANITIZE}"

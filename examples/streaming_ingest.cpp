@@ -1,7 +1,9 @@
 // Streaming ingest internals (§3): drives the coordinator / sink /
 // SqlStreamInputFormat machinery directly — useful when embedding the
 // transfer layer without the full pipeline — and demonstrates §6 fault
-// tolerance by injecting a mid-stream connection failure and recovering.
+// tolerance by injecting a mid-stream connection failure and recovering,
+// then §8 recovery by killing a reader outright and letting the
+// coordinator reassign its split to a replacement.
 //
 //   ./streaming_ingest [rows]
 
@@ -79,6 +81,40 @@ int Run(int64_t rows) {
                 result->dataset.TotalRows(), duplicates,
                 static_cast<long long>(
                     engine->metrics()->Get("stream.reconnects")));
+  }
+
+  // Split reassignment (§8): readers and the sink lease their work via
+  // heartbeats. One ML reader is killed outright mid-split — no local
+  // reconnect — so the coordinator releases its lease and hands the split
+  // to a replacement reader, which resumes from the sink's replay window.
+  {
+    StreamTransferOptions options;
+    options.sink.resilient = true;
+    options.sink.heartbeat_ms = 20;
+    options.reader.heartbeat_ms = 20;
+    options.reader.recovery_enabled = true;
+    ScopedFailpoint fault("stream.reader.kill.split1", "after(99):error(1)");
+    auto result = StreamingTransfer::Run(engine.get(), query, options);
+    if (!result.ok()) {
+      std::fprintf(stderr, "recovery transfer: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::set<int64_t> ids;
+    size_t duplicates = 0;
+    for (const auto& partition : result->dataset.partitions) {
+      for (const Row& row : partition) {
+        if (!ids.insert(row[0].int64_value()).second) ++duplicates;
+      }
+    }
+    std::printf(
+        "recovery run with killed reader: %zu rows delivered, "
+        "%zu duplicates, %lld splits reassigned, %lld frames replayed\n",
+        result->dataset.TotalRows(), duplicates,
+        static_cast<long long>(
+            engine->metrics()->Get("transfer.splits_reassigned")),
+        static_cast<long long>(
+            engine->metrics()->Get("transfer.frames_replayed")));
   }
   return 0;
 }

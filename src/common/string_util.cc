@@ -111,6 +111,13 @@ Result<double> ParseDouble(std::string_view text) {
   return value;
 }
 
+int64_t EnvInt64(const char* name, int64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  Result<int64_t> parsed = ParseInt64(value);
+  return parsed.ok() ? *parsed : fallback;
+}
+
 std::string FormatBytes(uint64_t bytes) {
   static const char* const kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB"};
   double value = static_cast<double>(bytes);

@@ -34,6 +34,10 @@ bool EqualsIgnoreCase(std::string_view a, std::string_view b);
 Result<int64_t> ParseInt64(std::string_view text);
 Result<double> ParseDouble(std::string_view text);
 
+/// Integer environment knob: the variable's value when set and parseable,
+/// `fallback` otherwise (used for SQLINK_HEARTBEAT_MS-style defaults).
+int64_t EnvInt64(const char* name, int64_t fallback);
+
 /// Human-readable byte count, e.g. "1.5 MiB".
 std::string FormatBytes(uint64_t bytes);
 

@@ -46,8 +46,27 @@ class RecordReader {
  public:
   virtual ~RecordReader() = default;
 
+  /// Establishes the split's source before the first Next. Streaming readers
+  /// negotiate their resume point here; file readers need nothing, so the
+  /// default is a no-op (Next must lazily open when Open was never called).
+  virtual Status Open() { return Status::OK(); }
+
+  /// Rows of this split that an earlier, failed reader already applied —
+  /// valid after Open. The runner truncates the split's partial partition
+  /// buffer to this count before consuming, turning the transport's
+  /// at-least-once replay into exactly-once apply.
+  virtual uint64_t resume_row_count() const { return 0; }
+
   /// Fills `*out` and returns true, or false at end of split.
   virtual Result<bool> Next(Row* out) = 0;
+};
+
+/// A split handed back by the coordinator after its original reader died.
+/// `index` is the split's position in the GetSplits result — the partition
+/// the replacement reader must resume.
+struct ReassignedSplit {
+  InputSplitPtr split;  ///< Null when nothing is pending reassignment.
+  int index = -1;
 };
 
 /// The ingestion extension point of the ML system — the generic interface
@@ -69,6 +88,25 @@ class InputFormat {
 
   /// Schema of the produced records.
   virtual SchemaPtr schema() const = 0;
+
+  // --- §6 failure recovery (optional) ---------------------------------------
+  // A format backed by a fault-tolerant transport can hand a dead worker's
+  // split to a survivor. File formats don't need any of this.
+
+  /// Whether splits of this format can be reacquired after a reader death.
+  virtual bool SupportsReassignment() const { return false; }
+
+  /// Polls for a split whose reader was declared dead. A null `split` means
+  /// none is pending *right now* (the caller should back off and re-poll); a
+  /// typed error (e.g. kAborted) means the transfer is over and the job must
+  /// surface it.
+  virtual Result<ReassignedSplit> AcquireReassigned() {
+    return ReassignedSplit{};
+  }
+
+  /// Broadcasts a job-side abort so upstream producers stop waiting for
+  /// readers that will never come. Best-effort.
+  virtual void AbortTransfer(const Status& status) { (void)status; }
 };
 
 }  // namespace sqlink::ml

@@ -1,12 +1,49 @@
 #include "ml/job.h"
 
 #include "common/logging.h"
+#include "common/retry_policy.h"
 #include "common/status_macros.h"
 #include "common/stopwatch.h"
+#include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
 
 namespace sqlink::ml {
+
+namespace {
+
+/// Consumes one split into `partition`, truncating it first to the reader's
+/// negotiated resume point (rows an earlier incarnation already applied and
+/// the transport will not re-deliver).
+Status ReadSplit(InputFormat* format, const JobContext& context,
+                 const InputSplit& split, int index,
+                 std::vector<Row>* partition) {
+  ASSIGN_OR_RETURN(std::unique_ptr<RecordReader> reader,
+                   format->CreateReader(context, split, index));
+  RETURN_IF_ERROR(reader->Open());
+  const uint64_t resume_rows = reader->resume_row_count();
+  if (partition->size() > resume_rows) {
+    // The dead reader got further than its last ack; the suffix will be
+    // replayed, so drop it to keep apply exactly-once.
+    partition->resize(resume_rows);
+  } else if (partition->size() < resume_rows) {
+    // Rows were acknowledged but never reached this buffer — replay cannot
+    // reproduce them.
+    return Status::DataLoss(
+        "split " + std::to_string(index) + " resumes at row " +
+        std::to_string(resume_rows) + " but only " +
+        std::to_string(partition->size()) + " rows were applied");
+  }
+  Row row;
+  for (;;) {
+    ASSIGN_OR_RETURN(bool has, reader->Next(&row));
+    if (!has) break;
+    partition->push_back(std::move(row));
+  }
+  return Status::OK();
+}
+
+}  // namespace
 
 Result<IngestResult> MlJobRunner::Ingest(InputFormat* format) {
   TraceSpan ingest_span("ml.ingest");
@@ -49,24 +86,76 @@ Result<IngestResult> MlJobRunner::Ingest(InputFormat* format) {
     TraceSpan split_span("ml.ingest.split", ingest_ctx);
     split_span.AddAttribute("split", static_cast<int64_t>(i));
     Stopwatch timer;
-    auto run = [&]() -> Status {
-      ASSIGN_OR_RETURN(
-          std::unique_ptr<RecordReader> reader,
-          format->CreateReader(context_, *splits[i], static_cast<int>(i)));
-      Row row;
-      for (;;) {
-        ASSIGN_OR_RETURN(bool has, reader->Next(&row));
-        if (!has) break;
-        result.dataset.partitions[i].push_back(std::move(row));
-      }
-      return Status::OK();
-    };
-    statuses[i] = run();
+    statuses[i] = ReadSplit(format, context_, *splits[i], static_cast<int>(i),
+                            &result.dataset.partitions[i]);
     if (!statuses[i].ok()) split_span.SetError();
     split_span.AddAttribute(
         "rows", static_cast<int64_t>(result.dataset.partitions[i].size()));
     if (split_micros != nullptr) split_micros->Record(timer.ElapsedMicros());
   });
+
+  // --- §6 split reassignment: failed splits are re-pulled from their
+  // producers' replay windows by replacement readers. Sequential, and only
+  // after every original reader has unwound: a fenced ("zombie") reader must
+  // have stopped touching its partition before a replacement resumes it. ---
+  size_t failed = 0;
+  for (const Status& status : statuses) {
+    if (!status.ok()) ++failed;
+  }
+  if (failed > 0 && format->SupportsReassignment()) {
+    RetryPolicy::Options poll_options;
+    poll_options.initial_delay_ms = 5;
+    poll_options.max_delay_ms = 100;
+    poll_options.jitter = 0.0;
+    poll_options.deadline_ms = static_cast<int>(EnvInt64(
+        "SQLINK_RECOVERY_DEADLINE_MS", 30000));
+    if (auto it = context_.config.find("recovery_deadline_ms");
+        it != context_.config.end()) {
+      if (Result<int64_t> ms = ParseInt64(it->second); ms.ok()) {
+        poll_options.deadline_ms = static_cast<int>(*ms);
+      }
+    }
+    RetryPolicy poll(poll_options);
+    while (failed > 0) {
+      Result<ReassignedSplit> acquired = format->AcquireReassigned();
+      if (!acquired.ok()) return acquired.status();  // Typed abort.
+      if (acquired->split == nullptr) {
+        // Nothing reassignable yet — the coordinator may still be waiting
+        // out a lease. Deadline-capped backoff, then give up loudly so
+        // every participant stops waiting.
+        if (!poll.Backoff()) {
+          Status timeout = Status::Aborted(
+              "split recovery timed out with " + std::to_string(failed) +
+              " split(s) unrecovered");
+          format->AbortTransfer(timeout);
+          return timeout;
+        }
+        continue;
+      }
+      const auto idx = static_cast<size_t>(acquired->index);
+      if (idx >= m) {
+        return Status::Internal("reassigned split index out of range");
+      }
+      TraceSpan recover_span("recover_split", ingest_ctx);
+      recover_span.AddAttribute("split", static_cast<int64_t>(idx));
+      const bool was_failed = !statuses[idx].ok();
+      statuses[idx] = ReadSplit(format, context_, *acquired->split,
+                                static_cast<int>(idx),
+                                &result.dataset.partitions[idx]);
+      if (statuses[idx].ok()) {
+        if (was_failed) --failed;
+        ++result.stats.recovered_splits;
+        if (context_.metrics != nullptr) {
+          context_.metrics->Increment("ml.ingest.recovered_splits");
+        }
+      } else {
+        recover_span.SetError();
+        if (!was_failed) ++failed;
+        LOG_WARNING() << "reassigned split " << idx
+                      << " failed again: " << statuses[idx];
+      }
+    }
+  }
   for (const Status& status : statuses) {
     RETURN_IF_ERROR(status);
   }

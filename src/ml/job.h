@@ -17,6 +17,8 @@ struct IngestStats {
   size_t rows = 0;
   /// Splits whose worker landed on a node holding the data (locality hit).
   int local_splits = 0;
+  /// Splits re-read by a replacement reader after their original died (§6).
+  int recovered_splits = 0;
 };
 
 struct IngestResult {

@@ -1,5 +1,6 @@
 #include "stream/coordinator.h"
 
+#include <algorithm>
 #include <chrono>
 
 #include "common/failpoint.h"
@@ -8,6 +9,7 @@
 #include "common/status_macros.h"
 #include "common/stopwatch.h"
 #include "common/trace.h"
+#include "stream/heartbeat.h"
 
 namespace sqlink {
 
@@ -23,9 +25,33 @@ const char* HandlerSpanName(FrameType type) {
       return "coordinator.match";
     case FrameType::kReportFailure:
       return "coordinator.rematch";
+    case FrameType::kHeartbeat:
+      return "coordinator.heartbeat";
+    case FrameType::kAcquireSplit:
+      return "coordinator.acquire_split";
+    case FrameType::kCompleteSplit:
+      return "coordinator.complete_split";
+    case FrameType::kAbortQuery:
+      return "coordinator.abort_query";
     default:
       return "coordinator.unknown";
   }
+}
+
+const char* SplitStateName(SplitState state) {
+  switch (state) {
+    case SplitState::kUnassigned:
+      return "unassigned";
+    case SplitState::kAssigned:
+      return "assigned";
+    case SplitState::kSuspect:
+      return "suspect";
+    case SplitState::kReassignable:
+      return "reassignable";
+    case SplitState::kCompleted:
+      return "completed";
+  }
+  return "?";
 }
 
 }  // namespace
@@ -37,6 +63,10 @@ Result<std::unique_ptr<StreamCoordinator>> StreamCoordinator::Start(
   ASSIGN_OR_RETURN(coordinator->listener_, TcpListener::Listen(options.port));
   coordinator->accept_thread_ =
       std::thread([c = coordinator.get()] { c->AcceptLoop(); });
+  if (options.heartbeat_timeout_ms > 0) {
+    coordinator->reaper_thread_ =
+        std::thread([c = coordinator.get()] { c->ReaperLoop(); });
+  }
   return coordinator;
 }
 
@@ -75,11 +105,20 @@ Result<std::unique_ptr<StreamCoordinator>> StreamCoordinator::Resume(
       ASSIGN_OR_RETURN(std::string_view encoded, decoder.GetLengthPrefixed());
       ASSIGN_OR_RETURN(coordinator->splits_, SplitsMessage::Decode(encoded));
       coordinator->splits_ready_ = true;
+      coordinator->split_runtime_.resize(coordinator->splits_.splits.size());
+      for (size_t i = 0; i < coordinator->splits_.splits.size(); ++i) {
+        coordinator->split_runtime_[i].epoch =
+            coordinator->splits_.splits[i].epoch;
+      }
     }
   }
   ASSIGN_OR_RETURN(coordinator->listener_, TcpListener::Listen(options.port));
   coordinator->accept_thread_ =
       std::thread([c = coordinator.get()] { c->AcceptLoop(); });
+  if (options.heartbeat_timeout_ms > 0) {
+    coordinator->reaper_thread_ =
+        std::thread([c = coordinator.get()] { c->ReaperLoop(); });
+  }
   return coordinator;
 }
 
@@ -91,17 +130,44 @@ void StreamCoordinator::Stop() {
     if (stopped_) return;
     stopped_ = true;
     splits_ready_cv_.notify_all();
+    reaper_cv_.notify_all();
   }
   listener_.Close();
   if (accept_thread_.joinable()) accept_thread_.join();
+  if (reaper_thread_.joinable()) reaper_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(handlers_mu_);
+    // Persistent heartbeat connections keep handlers parked in RecvFrame;
+    // shutting the sockets down unblocks them so the joins below finish.
+    for (const std::weak_ptr<TcpSocket>& weak : handler_sockets_) {
+      if (auto socket = weak.lock()) socket->ShutdownBoth();
+    }
+  }
   {
     std::lock_guard<std::mutex> lock(handlers_mu_);
     for (std::thread& handler : handlers_) {
       if (handler.joinable()) handler.join();
     }
     handlers_.clear();
+    handler_sockets_.clear();
   }
   if (launcher_thread_.joinable()) launcher_thread_.join();
+}
+
+void StreamCoordinator::Abort(Status status) {
+  std::lock_guard<std::mutex> lock(mu_);
+  AbortLocked(std::move(status));
+}
+
+void StreamCoordinator::AbortLocked(Status status) {
+  if (aborted_) return;
+  aborted_ = true;
+  abort_status_ = status.ok() ? Status::Aborted("query aborted") : status;
+  LOG_ERROR() << "coordinator aborting query: " << abort_status_;
+  MetricsRegistry::Global().Increment("coordinator.aborts");
+  // Wake barrier waiters so GetSplits/matchmaking surface the abort instead
+  // of timing out.
+  splits_ready_cv_.notify_all();
 }
 
 int StreamCoordinator::registered_sql_workers() const {
@@ -119,56 +185,152 @@ int StreamCoordinator::reported_failures() const {
   return failures_;
 }
 
+int StreamCoordinator::splits_reassigned() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return splits_reassigned_;
+}
+
+bool StreamCoordinator::aborted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return aborted_;
+}
+
 void StreamCoordinator::AcceptLoop() {
   for (;;) {
     auto socket = listener_.Accept();
     if (!socket.ok()) return;  // Closed.
     std::lock_guard<std::mutex> lock(handlers_mu_);
+    auto shared = std::make_shared<TcpSocket>(std::move(*socket));
+    handler_sockets_.push_back(shared);
     handlers_.emplace_back(
-        [this, s = std::make_shared<TcpSocket>(std::move(*socket))]() mutable {
-          HandleConnection(std::move(*s));
-        });
+        [this, s = std::move(shared)] { HandleConnection(s.get()); });
   }
 }
 
-void StreamCoordinator::HandleConnection(TcpSocket socket) {
-  auto frame = RecvFrame(&socket);
-  if (!frame.ok()) return;
-  // The handler span continues the trace carried in the frame header: its
-  // parent is the remote caller's span, so one query's trace crosses the
-  // control plane.
-  TraceSpan span(HandlerSpanName(frame->type), frame->trace);
-  Stopwatch timer;
-  Status status;
-  switch (frame->type) {
-    case FrameType::kRegisterSql:
-      status = HandleRegisterSql(&socket, *frame);
-      MetricsRegistry::Global().Increment("coordinator.register_sql.count");
-      break;
-    case FrameType::kGetSplits:
-      status = HandleGetSplits(&socket);
-      MetricsRegistry::Global().Increment("coordinator.get_splits.count");
-      break;
-    case FrameType::kRegisterMl:
-      status = HandleRegisterMl(&socket, *frame, /*is_failure=*/false);
-      MetricsRegistry::Global().Increment("coordinator.match.count");
-      break;
-    case FrameType::kReportFailure:
-      status = HandleRegisterMl(&socket, *frame, /*is_failure=*/true);
-      MetricsRegistry::Global().Increment("coordinator.rematch.count");
-      break;
-    default:
-      status = Status::InvalidArgument("unexpected control frame");
-      break;
+void StreamCoordinator::HandleConnection(TcpSocket* socket) {
+  // A connection carries a sequence of control frames: one-shot clients
+  // (registration, split fetch, matchmaking) send a single frame and close;
+  // heartbeat senders keep theirs open for the whole transfer.
+  for (;;) {
+    auto frame = RecvFrame(socket);
+    if (!frame.ok()) return;  // Peer closed (or Stop shut us down).
+    // The handler span continues the trace carried in the frame header: its
+    // parent is the remote caller's span, so one query's trace crosses the
+    // control plane.
+    TraceSpan span(HandlerSpanName(frame->type), frame->trace);
+    Stopwatch timer;
+    Status status;
+    switch (frame->type) {
+      case FrameType::kRegisterSql:
+        status = HandleRegisterSql(socket, *frame);
+        MetricsRegistry::Global().Increment("coordinator.register_sql.count");
+        break;
+      case FrameType::kGetSplits:
+        status = HandleGetSplits(socket);
+        MetricsRegistry::Global().Increment("coordinator.get_splits.count");
+        break;
+      case FrameType::kRegisterMl:
+        status = HandleRegisterMl(socket, *frame, /*is_failure=*/false);
+        MetricsRegistry::Global().Increment("coordinator.match.count");
+        break;
+      case FrameType::kReportFailure:
+        status = HandleRegisterMl(socket, *frame, /*is_failure=*/true);
+        MetricsRegistry::Global().Increment("coordinator.rematch.count");
+        break;
+      case FrameType::kHeartbeat:
+        status = HandleHeartbeat(socket, *frame);
+        break;
+      case FrameType::kAcquireSplit:
+        status = HandleAcquireSplit(socket, *frame);
+        break;
+      case FrameType::kCompleteSplit:
+        status = HandleCompleteSplit(socket, *frame);
+        break;
+      case FrameType::kAbortQuery:
+        status = HandleAbortQuery(socket, *frame);
+        break;
+      default:
+        status = Status::InvalidArgument("unexpected control frame");
+        break;
+    }
+    MetricsRegistry::Global()
+        .GetHistogram("coordinator.handler_micros")
+        ->Record(timer.ElapsedMicros());
+    if (!status.ok()) {
+      span.SetError();
+      LOG_WARNING() << "coordinator handler: " << status;
+      (void)SendFrame(socket, FrameType::kError, EncodeStatus(status));
+    }
   }
-  MetricsRegistry::Global()
-      .GetHistogram("coordinator.handler_micros")
-      ->Record(timer.ElapsedMicros());
-  if (!status.ok()) {
-    span.SetError();
-    LOG_WARNING() << "coordinator handler: " << status;
-    (void)SendFrame(&socket, FrameType::kError, status.ToString());
+}
+
+void StreamCoordinator::ReaperLoop() {
+  const auto ttl = std::chrono::milliseconds(options_.heartbeat_timeout_ms);
+  const auto grace = ttl / 2;
+  const auto tick =
+      std::max(ttl / 4, std::chrono::milliseconds::zero()) +
+      std::chrono::milliseconds(1);
+  Counter* const missed =
+      MetricsRegistry::Global().GetCounter("transfer.heartbeat_missed");
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stopped_) {
+    reaper_cv_.wait_for(lock, tick, [this] { return stopped_; });
+    if (stopped_) return;
+    const auto now = std::chrono::steady_clock::now();
+    // Reader leases drive the split state machine.
+    for (size_t i = 0; i < split_runtime_.size(); ++i) {
+      SplitRuntime& rt = split_runtime_[i];
+      if (!rt.leased || now <= rt.deadline) continue;
+      if (rt.state == SplitState::kAssigned) {
+        rt.state = SplitState::kSuspect;
+        rt.deadline = now + grace;
+        missed->Increment();
+        LOG_WARNING() << "split " << i << " reader missed its heartbeat "
+                      << "deadline; suspect (epoch " << rt.epoch << ")";
+      } else if (rt.state == SplitState::kSuspect) {
+        ReleaseSplitLocked(i, "heartbeat timeout");
+      }
+    }
+    // A sink holds the only copy of its partition's stream — losing one is
+    // unrecoverable, so the query aborts.
+    for (auto it = sink_leases_.begin(); it != sink_leases_.end();) {
+      SinkLease& lease = it->second;
+      if (now <= lease.deadline) {
+        ++it;
+        continue;
+      }
+      if (!lease.suspect) {
+        lease.suspect = true;
+        lease.deadline = now + grace;
+        missed->Increment();
+        LOG_WARNING() << "sql worker " << it->first
+                      << " missed its heartbeat deadline; suspect";
+        ++it;
+        continue;
+      }
+      AbortLocked(Status::Aborted("sql worker " + std::to_string(it->first) +
+                                  " lost (heartbeat timeout)"));
+      it = sink_leases_.erase(it);
+    }
   }
+}
+
+void StreamCoordinator::ReleaseSplitLocked(size_t i, const std::string& reason) {
+  SplitRuntime& rt = split_runtime_[i];
+  rt.leased = false;
+  ++rt.epoch;  // Fence the previous owner immediately.
+  ++rt.reassignments;
+  if (rt.reassignments > options_.max_split_reassignments) {
+    AbortLocked(Status::Aborted(
+        "split " + std::to_string(i) + " exhausted its reassignment budget (" +
+        std::to_string(options_.max_split_reassignments) + "): " + reason));
+    return;
+  }
+  rt.state = SplitState::kReassignable;
+  LOG_WARNING() << "split " << i << " released (" << reason
+                << "); reassignable at epoch " << rt.epoch << " (budget "
+                << rt.reassignments << "/"
+                << options_.max_split_reassignments << ")";
 }
 
 Status StreamCoordinator::HandleRegisterSql(TcpSocket* socket,
@@ -207,6 +369,7 @@ Status StreamCoordinator::HandleRegisterSql(TcpSocket* socket,
               split_id++, worker_id, worker.host, worker.port});
         }
       }
+      split_runtime_.assign(splits_.splits.size(), SplitRuntime{});
       splits_ready_ = true;
       command = msg.command;
       args = msg.args;
@@ -232,8 +395,9 @@ Status StreamCoordinator::WaitForSplits() {
   std::unique_lock<std::mutex> lock(mu_);
   const bool ready = splits_ready_cv_.wait_for(
       lock, std::chrono::milliseconds(options_.barrier_timeout_ms),
-      [this] { return splits_ready_ || stopped_; });
+      [this] { return splits_ready_ || stopped_ || aborted_; });
   barrier_wait->Record(timer.ElapsedMicros());
+  if (aborted_) return abort_status_;
   if (!ready) return Status::Unavailable("timed out waiting for SQL workers");
   if (!splits_ready_) return Status::Cancelled("coordinator stopped");
   return Status::OK();
@@ -248,6 +412,7 @@ Status StreamCoordinator::HandleGetSplits(TcpSocket* socket) {
   std::string payload;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (aborted_) return abort_status_;
     payload = splits_.Encode();
   }
   return SendFrame(socket, FrameType::kSplits, payload);
@@ -266,6 +431,7 @@ Status StreamCoordinator::HandleRegisterMl(TcpSocket* socket,
   MatchMessage match;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (aborted_) return abort_status_;
     if (msg.split_id < 0 ||
         static_cast<size_t>(msg.split_id) >= splits_.splits.size()) {
       return Status::InvalidArgument("unknown split id " +
@@ -283,6 +449,127 @@ Status StreamCoordinator::HandleRegisterMl(TcpSocket* socket,
   }
   // Step 5/6: hand the matched SQL endpoint back to the ML worker.
   return SendFrame(socket, FrameType::kMatch, match.Encode());
+}
+
+Status StreamCoordinator::HandleHeartbeat(TcpSocket* socket,
+                                          const Frame& frame) {
+  ASSIGN_OR_RETURN(HeartbeatMessage msg,
+                   HeartbeatMessage::Decode(frame.payload));
+  const auto ttl = std::chrono::milliseconds(
+      options_.heartbeat_timeout_ms > 0 ? options_.heartbeat_timeout_ms
+                                        : 3000);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (aborted_) return abort_status_;
+  const auto now = std::chrono::steady_clock::now();
+  if (msg.role == HeartbeatMessage::kSink) {
+    if (msg.bye != HeartbeatMessage::kAlive) {
+      sink_leases_.erase(msg.id);
+    } else {
+      sink_leases_[msg.id] = SinkLease{now + ttl, /*suspect=*/false};
+    }
+    return SendFrame(socket, FrameType::kAck, "");
+  }
+  // Reader lease for one split.
+  if (!splits_ready_ || msg.id < 0 ||
+      static_cast<size_t>(msg.id) >= split_runtime_.size()) {
+    return Status::InvalidArgument("heartbeat for unknown split " +
+                                   std::to_string(msg.id));
+  }
+  SplitRuntime& rt = split_runtime_[static_cast<size_t>(msg.id)];
+  if (rt.state == SplitState::kCompleted) {
+    return SendFrame(socket, FrameType::kAck, "");
+  }
+  if (msg.epoch < rt.epoch) {
+    // A fenced ("zombie") owner: its lease lapsed and the split moved on.
+    return Status::Cancelled("lease revoked: split " + std::to_string(msg.id) +
+                             " now at epoch " + std::to_string(rt.epoch) +
+                             " (" + SplitStateName(rt.state) + ")");
+  }
+  if (msg.bye == HeartbeatMessage::kFailed) {
+    ReleaseSplitLocked(static_cast<size_t>(msg.id), "reader reported failure");
+    if (aborted_) return abort_status_;
+    return SendFrame(socket, FrameType::kAck, "");
+  }
+  if (msg.bye == HeartbeatMessage::kCompleted) {
+    rt.leased = false;  // kCompleteSplit marks the state; just drop the lease.
+    return SendFrame(socket, FrameType::kAck, "");
+  }
+  rt.state = SplitState::kAssigned;  // Also recovers a kSuspect lease.
+  rt.leased = true;
+  rt.deadline = now + ttl;
+  rt.applied_seq = msg.applied_seq;
+  return SendFrame(socket, FrameType::kAck, "");
+}
+
+Status StreamCoordinator::HandleAcquireSplit(TcpSocket* socket,
+                                             const Frame& frame) {
+  RETURN_IF_ERROR(WaitForSplits());
+  SplitGrantMessage grant;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (aborted_) return abort_status_;
+    for (size_t i = 0; i < split_runtime_.size(); ++i) {
+      SplitRuntime& rt = split_runtime_[i];
+      if (rt.state != SplitState::kReassignable) continue;
+      // Hand the split to the caller with a generous first deadline: the
+      // replacement still has to dial the SQL worker before its first beat.
+      rt.state = SplitState::kAssigned;
+      rt.leased = true;
+      rt.deadline = std::chrono::steady_clock::now() +
+                    2 * std::chrono::milliseconds(
+                            options_.heartbeat_timeout_ms > 0
+                                ? options_.heartbeat_timeout_ms
+                                : 3000);
+      ++splits_reassigned_;
+      grant.granted = true;
+      grant.split = splits_.splits[i];
+      grant.split.epoch = rt.epoch;
+      TraceSpan span("recover_split", frame.trace);
+      span.AddAttribute("split", static_cast<int64_t>(i));
+      span.AddAttribute("epoch", rt.epoch);
+      MetricsRegistry::Global()
+          .GetCounter("transfer.splits_reassigned")
+          ->Increment();
+      LOG_INFO() << "split " << i << " reassigned at epoch " << rt.epoch;
+      break;
+    }
+  }
+  return SendFrame(socket, FrameType::kSplitGrant, grant.Encode());
+}
+
+Status StreamCoordinator::HandleCompleteSplit(TcpSocket* socket,
+                                              const Frame& frame) {
+  ASSIGN_OR_RETURN(CompleteSplitMessage msg,
+                   CompleteSplitMessage::Decode(frame.payload));
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!splits_ready_ || msg.split_id < 0 ||
+      static_cast<size_t>(msg.split_id) >= split_runtime_.size()) {
+    return Status::InvalidArgument("completion for unknown split " +
+                                   std::to_string(msg.split_id));
+  }
+  SplitRuntime& rt = split_runtime_[static_cast<size_t>(msg.split_id)];
+  if (msg.epoch < rt.epoch && rt.state != SplitState::kCompleted) {
+    // A fenced owner finished the whole stream before noticing revocation.
+    // Its rows were all applied (recovery is sequential: no replacement ran
+    // concurrently), so the completion is accepted — rejecting it would
+    // strand a Reassignable split whose producer has already torn down.
+    LOG_WARNING() << "accepting completion of split " << msg.split_id
+                  << " from fenced epoch " << msg.epoch << " (current "
+                  << rt.epoch << ")";
+  }
+  rt.state = SplitState::kCompleted;
+  rt.leased = false;
+  rt.applied_seq = std::max(rt.applied_seq, msg.rows);
+  return SendFrame(socket, FrameType::kAck, "");
+}
+
+Status StreamCoordinator::HandleAbortQuery(TcpSocket* socket,
+                                           const Frame& frame) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    AbortLocked(DecodeStatusPayload(frame.payload));
+  }
+  return SendFrame(socket, FrameType::kAck, "");
 }
 
 }  // namespace sqlink

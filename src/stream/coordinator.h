@@ -1,6 +1,7 @@
 #ifndef SQLINK_STREAM_COORDINATOR_H_
 #define SQLINK_STREAM_COORDINATOR_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <functional>
 #include <map>
@@ -16,6 +17,25 @@
 
 namespace sqlink {
 
+/// Lifecycle of one split's consumption, driven by reader heartbeats and
+/// the reaper:
+///
+///   kUnassigned --first heartbeat--> kAssigned --missed deadline-->
+///   kSuspect --grace expired--> kReassignable --kAcquireSplit-->
+///   kAssigned (epoch+1) ... --kCompleteSplit--> kCompleted
+///
+/// A kSuspect split returns to kAssigned if a beat arrives in time. Every
+/// transition to kReassignable bumps the lease epoch, fencing the previous
+/// owner, and spends one unit of the reassignment budget; an exhausted
+/// budget aborts the query.
+enum class SplitState {
+  kUnassigned,
+  kAssigned,
+  kSuspect,
+  kReassignable,
+  kCompleted,
+};
+
 /// The long-standing coordinator service of §3 that bridges the big SQL and
 /// big ML systems:
 ///
@@ -27,7 +47,13 @@ namespace sqlink {
 ///  4. ML workers register back; 5./6. the coordinator matches each to its
 ///     SQL worker's endpoint; 7./8. the data sockets are then peer-to-peer.
 ///
-/// For §6 it also answers failure reports with the endpoint to re-dial.
+/// For §6 it also answers failure reports with the endpoint to re-dial, and
+/// — when heartbeats are enabled — tracks participant liveness: readers and
+/// sinks renew leases on their control connections, a reaper expires the
+/// leases of silent participants (SplitState machine above), expired
+/// readers' splits are handed to surviving readers via kAcquireSplit, and a
+/// dead sink or exhausted reassignment budget aborts the whole query with a
+/// typed Status broadcast through every heartbeat reply.
 class StreamCoordinator {
  public:
   /// Runs the job's ML side; invoked once, on a dedicated thread, when all
@@ -41,6 +67,13 @@ class StreamCoordinator {
     MlLauncher ml_launcher;
     /// How long participants may wait on registration barriers.
     int barrier_timeout_ms = 30000;
+    /// Lease TTL: a participant whose last beat is older than this turns
+    /// kSuspect; after another TTL/2 of silence it is declared dead. 0
+    /// disables liveness tracking (no reaper thread).
+    int heartbeat_timeout_ms = 0;
+    /// How many times one split may be handed to a replacement reader
+    /// before the coordinator gives up and aborts the query.
+    int max_split_reassignments = 3;
   };
 
   /// Starts the accept loop on a background thread.
@@ -66,6 +99,10 @@ class StreamCoordinator {
   /// Stops the server and joins every handler. Idempotent.
   void Stop();
 
+  /// Aborts the query: every subsequent heartbeat, split fetch, and acquire
+  /// gets `status` as a typed error, so all participants drain and exit.
+  void Abort(Status status);
+
   int port() const { return listener_.port(); }
   std::string host() const { return "localhost"; }
 
@@ -73,38 +110,76 @@ class StreamCoordinator {
   int registered_sql_workers() const;
   int registered_ml_workers() const;
   int reported_failures() const;
+  int splits_reassigned() const;
+  bool aborted() const;
 
  private:
+  /// Per-split liveness bookkeeping (beside the static StreamSplitInfo).
+  struct SplitRuntime {
+    SplitState state = SplitState::kUnassigned;
+    int64_t epoch = 1;
+    int reassignments = 0;
+    bool leased = false;
+    std::chrono::steady_clock::time_point deadline;
+    uint64_t applied_seq = 0;  ///< Reader progress (observability).
+  };
+  struct SinkLease {
+    std::chrono::steady_clock::time_point deadline;
+    bool suspect = false;
+  };
+
   explicit StreamCoordinator(Options options) : options_(std::move(options)) {}
 
   void AcceptLoop();
-  void HandleConnection(TcpSocket socket);
+  void HandleConnection(TcpSocket* socket);
+  void ReaperLoop();
 
   Status HandleRegisterSql(TcpSocket* socket, const Frame& frame);
   Status HandleGetSplits(TcpSocket* socket);
   Status HandleRegisterMl(TcpSocket* socket, const Frame& frame,
                           bool is_failure);
+  Status HandleHeartbeat(TcpSocket* socket, const Frame& frame);
+  Status HandleAcquireSplit(TcpSocket* socket, const Frame& frame);
+  Status HandleCompleteSplit(TcpSocket* socket, const Frame& frame);
+  Status HandleAbortQuery(TcpSocket* socket, const Frame& frame);
 
   /// Blocks until the split table exists (all SQL workers registered).
   Status WaitForSplits();
+
+  /// Declares split `i`'s current owner gone: bumps the epoch (fencing),
+  /// spends reassignment budget, and either parks the split as
+  /// kReassignable or aborts the query. Requires mu_.
+  void ReleaseSplitLocked(size_t i, const std::string& reason);
+  /// Requires mu_.
+  void AbortLocked(Status status);
 
   Options options_;
   TcpListener listener_;
   std::thread accept_thread_;
   std::thread launcher_thread_;
+  std::thread reaper_thread_;
 
   mutable std::mutex mu_;
   std::condition_variable splits_ready_cv_;
+  std::condition_variable reaper_cv_;
   bool stopped_ = false;
   int expected_sql_workers_ = 0;
   std::map<int, RegisterSqlMessage> sql_workers_;
   bool splits_ready_ = false;
   SplitsMessage splits_;
+  std::vector<SplitRuntime> split_runtime_;  ///< Parallel to splits_.splits.
+  std::map<int, SinkLease> sink_leases_;
   int registered_ml_ = 0;
   int failures_ = 0;
+  int splits_reassigned_ = 0;
+  bool aborted_ = false;
+  Status abort_status_;
 
   std::mutex handlers_mu_;
   std::vector<std::thread> handlers_;
+  /// Live handler sockets; Stop() shuts them down to unblock handler
+  /// threads parked in RecvFrame on persistent heartbeat connections.
+  std::vector<std::weak_ptr<TcpSocket>> handler_sockets_;
 };
 
 }  // namespace sqlink

@@ -1,0 +1,123 @@
+#include "stream/heartbeat.h"
+
+#include <chrono>
+
+#include "common/failpoint.h"
+#include "common/logging.h"
+#include "common/status_macros.h"
+
+namespace sqlink {
+
+HeartbeatSender::HeartbeatSender(Options options)
+    : options_(std::move(options)) {}
+
+HeartbeatSender::~HeartbeatSender() { Stop(HeartbeatMessage::kAlive); }
+
+void HeartbeatSender::Start() {
+  if (!enabled() || thread_.joinable()) return;
+  thread_ = std::thread([this] { Loop(); });
+}
+
+Status HeartbeatSender::status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return status_;
+}
+
+void HeartbeatSender::MarkRevoked(Status status) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (revoked_.load(std::memory_order_relaxed)) return;
+    status_ = std::move(status);
+  }
+  revoked_.store(true, std::memory_order_release);
+  if (options_.on_revoked) options_.on_revoked();
+}
+
+Status HeartbeatSender::BeatOnce(uint8_t bye) {
+  if (!control_.valid()) {
+    ASSIGN_OR_RETURN(
+        control_,
+        TcpConnect(options_.coordinator_host, options_.coordinator_port));
+  }
+  HeartbeatMessage beat;
+  beat.role = options_.role;
+  beat.id = options_.id;
+  beat.epoch = options_.epoch;
+  beat.applied_seq = applied_seq_.load(std::memory_order_relaxed);
+  beat.bye = bye;
+  Status sent = SendFrame(&control_, FrameType::kHeartbeat, beat.Encode());
+  if (!sent.ok()) {
+    control_.Close();
+    return sent;
+  }
+  auto reply = RecvFrame(&control_);
+  if (!reply.ok()) {
+    control_.Close();
+    return reply.status();
+  }
+  if (reply->type == FrameType::kError) {
+    // Fenced or aborted: a typed, permanent loss — not a transport blip.
+    MarkRevoked(DecodeStatusPayload(reply->payload));
+    return Status::OK();
+  }
+  if (reply->type != FrameType::kAck) {
+    control_.Close();
+    return Status::NetworkError("unexpected heartbeat reply");
+  }
+  return Status::OK();
+}
+
+void HeartbeatSender::Loop() {
+  using Clock = std::chrono::steady_clock;
+  const auto interval = std::chrono::milliseconds(options_.interval_ms);
+  const auto ttl = interval * kLeaseIntervals;
+  Clock::time_point last_ok = Clock::now();
+  // The first beat goes out immediately: it is what creates the lease on
+  // the coordinator, so liveness tracking starts with the attempt.
+  for (;;) {
+    if (revoked()) return;
+    if (!options_.failpoint_name.empty()) {
+      // Delay specs stall the beat right here, simulating a participant
+      // that froze long enough for its lease to lapse.
+      (void)SQLINK_FAILPOINT(options_.failpoint_name);
+    }
+    const Status status = BeatOnce(HeartbeatMessage::kAlive);
+    if (revoked()) return;
+    const Clock::time_point now = Clock::now();
+    if (status.ok()) {
+      last_ok = now;
+    } else if (now - last_ok > ttl) {
+      // Self-fence: the coordinator has not confirmed this lease within the
+      // TTL, so it may already have handed the split to a replacement. Stop
+      // before the replacement starts applying rows.
+      MarkRevoked(Status::Unavailable(
+          "lease expired: no coordinator ack within " +
+          std::to_string(ttl.count()) + "ms (" + status.message() + ")"));
+      return;
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait_for(lock, interval, [this] { return stop_; });
+    if (stop_) return;
+  }
+}
+
+void HeartbeatSender::Stop(uint8_t bye) {
+  if (!enabled()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return;
+    stop_ = true;
+    cv_.notify_all();
+  }
+  if (thread_.joinable()) thread_.join();
+  if (bye != HeartbeatMessage::kAlive && !revoked()) {
+    // Best-effort farewell so the coordinator acts now, not at TTL expiry.
+    const Status status = BeatOnce(bye);
+    if (!status.ok()) {
+      LOG_WARNING() << "heartbeat bye failed (lease will expire): " << status;
+    }
+  }
+  control_.Close();
+}
+
+}  // namespace sqlink

@@ -1,0 +1,92 @@
+#include "stream/replay_window.h"
+
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "common/status_macros.h"
+
+namespace sqlink {
+
+ReplayWindow::ReplayWindow(Options options)
+    : options_(std::move(options)),
+      spill_(options_.spill_path.empty() ? std::string()
+                                         : options_.spill_path + ".spill") {
+  SQLINK_CHECK(!options_.spill_enabled || !options_.spill_path.empty())
+      << "replay window spill enabled without a spill path";
+}
+
+Status ReplayWindow::Append(uint64_t seq, uint64_t rows, std::string frame) {
+  if (seq != last_seq_ + 1) {
+    return Status::Internal("replay window appended out of order: seq " +
+                            std::to_string(seq) + " after " +
+                            std::to_string(last_seq_));
+  }
+  last_seq_ = seq;
+  Entry entry;
+  entry.seq = seq;
+  entry.rows = rows;
+  entry.bytes = frame.size();
+  entry.frame = std::move(frame);
+  memory_bytes_ += entry.bytes;
+  entries_.push_back(std::move(entry));
+  return EnforceBudget();
+}
+
+Status ReplayWindow::EnforceBudget() {
+  if (!options_.spill_enabled) return Status::OK();
+  for (Entry& entry : entries_) {
+    if (memory_bytes_ <= options_.memory_capacity_bytes) break;
+    if (!entry.in_memory) continue;
+    ASSIGN_OR_RETURN(entry.spill_offset, spill_.Append(entry.frame));
+    entry.in_memory = false;
+    memory_bytes_ -= entry.bytes;
+    entry.frame.clear();
+    entry.frame.shrink_to_fit();
+    ++spilled_frames_;
+    MetricsRegistry::Global()
+        .GetCounter("stream.replay_window.spilled_frames")
+        ->Increment();
+  }
+  return Status::OK();
+}
+
+void ReplayWindow::Ack(uint64_t acked) {
+  while (!entries_.empty() && entries_.front().seq <= acked) {
+    const Entry& front = entries_.front();
+    acked_rows_ += front.rows;
+    if (front.in_memory) memory_bytes_ -= front.bytes;
+    acked_seq_ = front.seq;
+    entries_.pop_front();
+  }
+  if (acked > acked_seq_ && acked <= last_seq_) acked_seq_ = acked;
+}
+
+Status ReplayWindow::Replay(
+    uint64_t from, const std::function<Status(uint64_t, uint64_t,
+                                              const std::string&)>& fn) {
+  for (const Entry& entry : entries_) {
+    if (entry.seq <= from) continue;
+    if (entry.in_memory) {
+      RETURN_IF_ERROR(fn(entry.seq, entry.rows, entry.frame));
+    } else {
+      ASSIGN_OR_RETURN(std::string frame, spill_.ReadAt(entry.spill_offset));
+      RETURN_IF_ERROR(fn(entry.seq, entry.rows, frame));
+    }
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> ReplayWindow::RowsThrough(uint64_t seq) const {
+  if (seq < acked_seq_) {
+    return Status::Internal("resume point " + std::to_string(seq) +
+                            " precedes acked frame " +
+                            std::to_string(acked_seq_));
+  }
+  uint64_t rows = acked_rows_;
+  for (const Entry& entry : entries_) {
+    if (entry.seq > seq) break;
+    rows += entry.rows;
+  }
+  return rows;
+}
+
+}  // namespace sqlink

@@ -1,0 +1,90 @@
+#ifndef SQLINK_STREAM_REPLAY_WINDOW_H_
+#define SQLINK_STREAM_REPLAY_WINDOW_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "common/result.h"
+#include "stream/spill_queue.h"
+
+namespace sqlink {
+
+/// The sink side of at-least-once delivery (§6): every sent data frame is
+/// retained, keyed by its per-channel sequence number, until the reader's
+/// cumulative ack releases it. A reconnecting or replacement reader resumes
+/// from any sequence at or above the last ack; duplicates on the reader side
+/// are dropped by sequence number, so delivery is at-least-once but apply is
+/// exactly-once.
+///
+/// The in-memory footprint is bounded by `memory_capacity_bytes`
+/// (SQLINK_REPLAY_WINDOW_BYTES): when unacked frames exceed the budget the
+/// oldest ones overflow to a node-local SpillFile — the same spill
+/// machinery the send queue uses — and are read back only on replay. With
+/// spill disabled the window grows unbounded (retention can't be dropped
+/// without losing the recovery guarantee).
+///
+/// Not thread-safe: a window belongs to exactly one sender thread, which
+/// appends, acks, and replays in its own loop.
+class ReplayWindow {
+ public:
+  struct Options {
+    size_t memory_capacity_bytes = 1 << 20;
+    bool spill_enabled = true;
+    std::string spill_path;  ///< Required when spill_enabled.
+  };
+
+  explicit ReplayWindow(Options options);
+
+  ReplayWindow(const ReplayWindow&) = delete;
+  ReplayWindow& operator=(const ReplayWindow&) = delete;
+
+  /// Retains frame `seq` (must be last_seq()+1; sequences start at 1)
+  /// holding `rows` rows.
+  Status Append(uint64_t seq, uint64_t rows, std::string frame);
+
+  /// Cumulative ack: releases every frame with sequence <= `acked`.
+  void Ack(uint64_t acked);
+
+  /// Replays the retained frames with sequence > `from`, oldest first.
+  Status Replay(uint64_t from,
+                const std::function<Status(uint64_t seq, uint64_t rows,
+                                           const std::string& frame)>& fn);
+
+  /// Rows contained in frames [1, seq]; `seq` must be between acked_seq()
+  /// and last_seq() — the truncation point a resuming reader's runner needs.
+  Result<uint64_t> RowsThrough(uint64_t seq) const;
+
+  uint64_t acked_seq() const { return acked_seq_; }
+  uint64_t last_seq() const { return last_seq_; }
+  /// Bytes of retained frames currently held in memory.
+  size_t memory_bytes() const { return memory_bytes_; }
+  int64_t spilled_frames() const { return spilled_frames_; }
+
+ private:
+  struct Entry {
+    uint64_t seq = 0;
+    uint64_t rows = 0;
+    size_t bytes = 0;
+    bool in_memory = true;
+    uint64_t spill_offset = 0;  ///< Valid when !in_memory.
+    std::string frame;          ///< Empty when spilled.
+  };
+
+  /// Moves the oldest in-memory entries to disk until within budget.
+  Status EnforceBudget();
+
+  Options options_;
+  SpillFile spill_;
+  std::deque<Entry> entries_;   ///< Unacked frames, ascending seq.
+  uint64_t acked_seq_ = 0;      ///< All frames <= this were applied.
+  uint64_t last_seq_ = 0;
+  uint64_t acked_rows_ = 0;     ///< Rows in frames [1, acked_seq_].
+  size_t memory_bytes_ = 0;
+  int64_t spilled_frames_ = 0;
+};
+
+}  // namespace sqlink
+
+#endif  // SQLINK_STREAM_REPLAY_WINDOW_H_

@@ -6,6 +6,8 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <csignal>
+
 #include <cerrno>
 #include <cstring>
 
@@ -17,6 +19,28 @@ namespace {
 
 std::string ErrnoMessage(const char* what) {
   return std::string(what) + ": " + std::strerror(errno);
+}
+
+/// A peer that died mid-transfer shows up as ECONNRESET (or EPIPE when
+/// MSG_NOSIGNAL suppressed the signal). Name the condition so recovery code
+/// can match on "connection reset" instead of a raw strerror string.
+Status PeerError(const char* what) {
+  if (errno == ECONNRESET || errno == EPIPE) {
+    return Status::NetworkError(std::string(what) +
+                                ": connection reset by peer");
+  }
+  return Status::NetworkError(ErrnoMessage(what));
+}
+
+/// MSG_NOSIGNAL covers send(); ignore SIGPIPE process-wide as well so a
+/// write on a reset connection via any other path can never kill the
+/// process. Installed once, on first socket use.
+void IgnoreSigpipeOnce() {
+  static const bool installed = [] {
+    std::signal(SIGPIPE, SIG_IGN);
+    return true;
+  }();
+  (void)installed;
 }
 
 }  // namespace
@@ -43,13 +67,14 @@ Status TcpSocket::SendAll(std::string_view data) {
       Close();
       return Status::NetworkError("failpoint: send socket closed");
   }
+  IgnoreSigpipeOnce();
   size_t sent = 0;
   while (sent < data.size()) {
     const ssize_t n =
         ::send(fd_, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
-      return Status::NetworkError(ErrnoMessage("send"));
+      return PeerError("send");
     }
     sent += static_cast<size_t>(n);
   }
@@ -73,7 +98,7 @@ Status TcpSocket::RecvExactly(size_t n, std::string* out) {
     const ssize_t got = ::recv(fd_, out->data() + received, n - received, 0);
     if (got < 0) {
       if (errno == EINTR) continue;
-      return Status::NetworkError(ErrnoMessage("recv"));
+      return PeerError("recv");
     }
     if (got == 0) {
       return Status::NetworkError(received == 0 ? "closed"
@@ -82,6 +107,35 @@ Status TcpSocket::RecvExactly(size_t n, std::string* out) {
     received += static_cast<size_t>(got);
   }
   return Status::OK();
+}
+
+Result<size_t> TcpSocket::TryRecv(size_t max, std::string* out, bool* eof) {
+  if (!valid()) return Status::NetworkError("recv on closed socket");
+  const size_t base = out->size();
+  out->resize(base + max);
+  for (;;) {
+    const ssize_t got = ::recv(fd_, out->data() + base, max, MSG_DONTWAIT);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      out->resize(base);
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return size_t{0};
+      return PeerError("recv");
+    }
+    if (got == 0) {
+      out->resize(base);
+      if (eof != nullptr) {
+        *eof = true;
+        return size_t{0};
+      }
+      return Status::NetworkError("closed");
+    }
+    out->resize(base + static_cast<size_t>(got));
+    return static_cast<size_t>(got);
+  }
+}
+
+void TcpSocket::ShutdownBoth() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
 }
 
 void TcpSocket::Close() {
@@ -94,16 +148,15 @@ void TcpSocket::Close() {
 TcpListener::~TcpListener() { Close(); }
 
 TcpListener::TcpListener(TcpListener&& other) noexcept
-    : fd_(other.fd_), port_(other.port_) {
-  other.fd_ = -1;
-}
+    : fd_(other.fd_.exchange(-1, std::memory_order_acq_rel)),
+      port_(other.port_) {}
 
 TcpListener& TcpListener::operator=(TcpListener&& other) noexcept {
   if (this != &other) {
     Close();
-    fd_ = other.fd_;
+    fd_.store(other.fd_.exchange(-1, std::memory_order_acq_rel),
+              std::memory_order_release);
     port_ = other.port_;
-    other.fd_ = -1;
   }
   return *this;
 }
@@ -132,18 +185,21 @@ Result<TcpListener> TcpListener::Listen(int port) {
     return Status::NetworkError(ErrnoMessage("getsockname"));
   }
   TcpListener listener;
-  listener.fd_ = fd;
+  listener.fd_.store(fd, std::memory_order_release);
   listener.port_ = ntohs(addr.sin_port);
   return listener;
 }
 
 Result<TcpSocket> TcpListener::Accept() {
-  if (fd_ < 0) return Status::Cancelled("listener closed");
+  // One load per call: a concurrent Close() swaps the slot to -1 and closes
+  // the fd, waking this accept with EBADF/EINVAL below.
+  const int fd = fd_.load(std::memory_order_acquire);
+  if (fd < 0) return Status::Cancelled("listener closed");
   if (SQLINK_FAILPOINT("stream.socket.accept") != FailpointOutcome::kNone) {
     return Status::NetworkError("failpoint: injected accept error");
   }
   for (;;) {
-    const int client = ::accept(fd_, nullptr, nullptr);
+    const int client = ::accept(fd, nullptr, nullptr);
     if (client >= 0) {
       const int one = 1;
       ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
@@ -158,11 +214,11 @@ Result<TcpSocket> TcpListener::Accept() {
 }
 
 void TcpListener::Close() {
-  if (fd_ >= 0) {
+  const int fd = fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) {
     // shutdown() unblocks threads stuck in accept().
-    ::shutdown(fd_, SHUT_RDWR);
-    ::close(fd_);
-    fd_ = -1;
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
   }
 }
 

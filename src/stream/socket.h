@@ -1,6 +1,7 @@
 #ifndef SQLINK_STREAM_SOCKET_H_
 #define SQLINK_STREAM_SOCKET_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 
@@ -25,12 +26,25 @@ class TcpSocket {
   bool valid() const { return fd_ >= 0; }
   int fd() const { return fd_; }
 
-  /// Sends the entire buffer (loops over partial writes).
+  /// Sends the entire buffer (loops over partial writes and EINTR; SIGPIPE
+  /// is suppressed so a dead peer surfaces as a Status, not a signal).
   Status SendAll(std::string_view data);
 
   /// Receives exactly `n` bytes into `*out` (resized). A clean remote close
   /// before any byte yields kNetworkError with message "closed".
   Status RecvExactly(size_t n, std::string* out);
+
+  /// Non-blocking receive of up to `max` bytes appended to `*out`. Returns
+  /// the byte count: 0 when nothing is pending. A clean remote close sets
+  /// `*eof` (when provided) and returns 0 so the caller can finish parsing
+  /// bytes it already buffered; without `eof` — and for resets always — it
+  /// yields kNetworkError. Used by senders draining acks between frames.
+  Result<size_t> TryRecv(size_t max, std::string* out, bool* eof = nullptr);
+
+  /// Half-closes both directions, unblocking a peer thread stuck in
+  /// RecvExactly on this socket without racing its reads (the fd stays
+  /// valid until Close).
+  void ShutdownBoth();
 
   void Close();
 
@@ -54,14 +68,17 @@ class TcpListener {
   /// Blocks for the next connection. Returns kCancelled after Close().
   Result<TcpSocket> Accept();
 
-  /// Unblocks pending Accepts.
+  /// Unblocks pending Accepts. Safe to call from another thread while an
+  /// Accept is blocked (the usual shutdown pattern) — the fd slot is
+  /// atomic, and the blocked accept(2) wakes with an error it maps to
+  /// kCancelled.
   void Close();
 
   int port() const { return port_; }
-  bool valid() const { return fd_ >= 0; }
+  bool valid() const { return fd_.load(std::memory_order_acquire) >= 0; }
 
  private:
-  int fd_ = -1;
+  std::atomic<int> fd_{-1};
   int port_ = 0;
 };
 

@@ -11,8 +11,61 @@
 
 namespace sqlink {
 
+Result<uint64_t> SpillFile::Append(std::string_view record) {
+  if (!out_.is_open()) {
+    out_.open(path_, std::ios::binary | std::ios::trunc);
+    if (!out_) {
+      return Status::IoError("cannot open spill file " + path_);
+    }
+    created_ = true;
+  }
+  std::string framed;
+  PutFixed32(&framed, static_cast<uint32_t>(record.size()));
+  framed += record;
+  out_.write(framed.data(), static_cast<std::streamsize>(framed.size()));
+  out_.flush();
+  if (!out_) {
+    return Status::IoError("spill write failed: " + path_);
+  }
+  const uint64_t offset = write_offset_;
+  write_offset_ += framed.size();
+  return offset;
+}
+
+Result<std::string> SpillFile::ReadAt(uint64_t offset) {
+  if (!in_.is_open()) {
+    in_.open(path_, std::ios::binary);
+    if (!in_) {
+      return Status::IoError("cannot open spill file for read: " + path_);
+    }
+  }
+  in_.clear();
+  in_.seekg(static_cast<std::streamoff>(offset));
+  char header[4];
+  in_.read(header, 4);
+  uint32_t length = 0;
+  std::memcpy(&length, header, 4);
+  std::string record(length, '\0');
+  in_.read(record.data(), static_cast<std::streamsize>(length));
+  if (!in_) {
+    return Status::IoError("spill read failed: " + path_);
+  }
+  return record;
+}
+
+void SpillFile::Remove() {
+  if (out_.is_open()) out_.close();
+  if (in_.is_open()) in_.close();
+  if (created_) {
+    std::remove(path_.c_str());
+    created_ = false;
+  }
+}
+
 SpillingByteQueue::SpillingByteQueue(Options options)
     : options_(std::move(options)),
+      spill_(options_.spill_path.empty() ? std::string()
+                                         : options_.spill_path + ".spill"),
       depth_frames_(
           MetricsRegistry::Global().GetGauge("stream.spill.queue_depth_frames")),
       depth_bytes_(
@@ -33,16 +86,12 @@ SpillingByteQueue::SpillingByteQueue(Options options)
 
 SpillingByteQueue::~SpillingByteQueue() {
   // Undo this queue's contribution to the shared depth gauges for anything
-  // still enqueued (cancelled or abandoned mid-stream).
+  // still enqueued (cancelled or abandoned mid-stream). The SpillFile
+  // member deletes its backing file unconditionally.
   const int64_t live_frames = static_cast<int64_t>(memory_.size()) +
                               (spill_written_ - spill_read_);
   if (live_frames > 0) depth_frames_->Add(-live_frames);
   if (memory_bytes_ > 0) depth_bytes_->Add(-static_cast<int64_t>(memory_bytes_));
-  if (spill_out_.is_open()) spill_out_.close();
-  if (spill_in_.is_open()) spill_in_.close();
-  if (!options_.spill_path.empty() && spill_written_ > 0) {
-    std::remove(options_.spill_path.c_str());
-  }
 }
 
 Status SpillingByteQueue::Push(std::string frame) {
@@ -68,26 +117,13 @@ Status SpillingByteQueue::Push(std::string frame) {
       // An injected spill failure is evaluated before any bytes reach disk,
       // so the queue can degrade to backpressure instead of corrupting the
       // spill file; genuine write failures below still fail hard.
-      if (!spill_out_.is_open()) {
-        spill_out_.open(options_.spill_path,
-                        std::ios::binary | std::ios::trunc);
-        if (!spill_out_) {
-          return Status::IoError("cannot open spill file " +
-                                 options_.spill_path);
-        }
-      }
       spilling_ = true;
       TraceSpan span("spill.write");
       Stopwatch timer;
-      std::string record;
-      PutFixed32(&record, static_cast<uint32_t>(frame.size()));
-      record += frame;
-      spill_out_.write(record.data(),
-                       static_cast<std::streamsize>(record.size()));
-      spill_out_.flush();
-      if (!spill_out_) {
+      auto appended = spill_.Append(frame);
+      if (!appended.ok()) {
         span.SetError();
-        return Status::IoError("spill write failed: " + options_.spill_path);
+        return appended.status();
       }
       ++spill_written_;
       spilled_bytes_ += static_cast<int64_t>(frame.size());
@@ -127,36 +163,25 @@ Result<std::optional<std::string>> SpillingByteQueue::Pop() {
       if (SQLINK_FAILPOINT("stream.spill.read") != FailpointOutcome::kNone) {
         return Status::IoError("failpoint: injected spill read error");
       }
-      if (!spill_in_.is_open()) {
-        spill_in_.open(options_.spill_path, std::ios::binary);
-        if (!spill_in_) {
-          return Status::IoError("cannot open spill file for read: " +
-                                 options_.spill_path);
-        }
-      }
       TraceSpan span("spill.drain");
       Stopwatch timer;
-      char header[4];
-      spill_in_.read(header, 4);
-      uint32_t length = 0;
-      std::memcpy(&length, header, 4);
-      std::string frame(length, '\0');
-      spill_in_.read(frame.data(), static_cast<std::streamsize>(length));
-      if (!spill_in_) {
+      auto frame = spill_.ReadAt(spill_read_offset_);
+      if (!frame.ok()) {
         span.SetError();
-        return Status::IoError("spill read failed: " + options_.spill_path);
+        return frame.status();
       }
+      spill_read_offset_ = SpillFile::NextOffset(spill_read_offset_, *frame);
       ++spill_read_;
       spill_read_micros_->Record(timer.ElapsedMicros());
       drain_frames_total_->Increment();
       depth_frames_->Decrement();
-      span.AddAttribute("bytes", static_cast<int64_t>(length));
+      span.AddAttribute("bytes", static_cast<int64_t>(frame->size()));
       if (spill_read_ == spill_written_) {
         // Disk backlog drained; producer may use memory again.
         spilling_ = false;
         producer_cv_.notify_one();
       }
-      return std::optional<std::string>(std::move(frame));
+      return std::optional<std::string>(std::move(*frame));
     }
     if (producer_closed_) return std::optional<std::string>();
     consumer_cv_.wait(lock);
@@ -166,6 +191,9 @@ Result<std::optional<std::string>> SpillingByteQueue::Pop() {
 void SpillingByteQueue::Cancel() {
   std::lock_guard<std::mutex> lock(mu_);
   cancelled_ = true;
+  // Drop the disk backlog immediately: an aborted query must not leave
+  // .spill files for the operator to clean up.
+  spill_.Remove();
   producer_cv_.notify_all();
   consumer_cv_.notify_all();
 }

@@ -14,6 +14,47 @@
 
 namespace sqlink {
 
+/// Append-only disk file of length-prefixed records — the shared spill
+/// mechanism of the send queue and the replay window. The file is created
+/// lazily on the first Append and is ALWAYS removed once the SpillFile is
+/// destroyed (or explicitly Remove()d), including when an abort struck
+/// between creating the file and completing the first record — the leak the
+/// old inline implementation had. Not thread-safe; callers hold their own
+/// locks.
+class SpillFile {
+ public:
+  explicit SpillFile(std::string path) : path_(std::move(path)) {}
+  ~SpillFile() { Remove(); }
+
+  SpillFile(const SpillFile&) = delete;
+  SpillFile& operator=(const SpillFile&) = delete;
+
+  /// Appends one fixed32-length-prefixed record, returning its offset for
+  /// ReadAt. The file is flushed so a concurrent ReadAt sees the record.
+  Result<uint64_t> Append(std::string_view record);
+
+  /// Reads back the record at `offset` (a value returned by Append).
+  Result<std::string> ReadAt(uint64_t offset);
+
+  /// The offset one past `offset`'s record — the next sequential record.
+  static uint64_t NextOffset(uint64_t offset, const std::string& record) {
+    return offset + 4 + record.size();
+  }
+
+  /// Closes and deletes the backing file if it was ever created. Idempotent.
+  void Remove();
+
+  const std::string& path() const { return path_; }
+  bool created() const { return created_; }
+
+ private:
+  std::string path_;
+  bool created_ = false;
+  uint64_t write_offset_ = 0;
+  std::ofstream out_;
+  std::ifstream in_;
+};
+
 /// The per-target send buffer of a SQL worker (§3): a FIFO of encoded
 /// frames bounded by a byte budget (the paper's send-buffer size, 4 KB in
 /// its experiments). When the ML consumer is slow and the buffer fills, the
@@ -50,7 +91,8 @@ class SpillingByteQueue {
   /// everything (memory + spill) is drained. Blocks otherwise.
   Result<std::optional<std::string>> Pop();
 
-  /// Unblocks all waiters with kCancelled.
+  /// Unblocks all waiters with kCancelled and deletes the spill file (an
+  /// aborted transfer must leave no .spill files behind).
   void Cancel();
 
   int64_t spilled_frames() const;
@@ -68,8 +110,8 @@ class SpillingByteQueue {
   int64_t spill_written_ = 0;  // Frames appended to the spill file.
   int64_t spill_read_ = 0;     // Frames consumed from the spill file.
   int64_t spilled_bytes_ = 0;
-  std::ofstream spill_out_;
-  std::ifstream spill_in_;
+  SpillFile spill_;
+  uint64_t spill_read_offset_ = 0;
   bool producer_closed_ = false;
   bool cancelled_ = false;
 

@@ -1,5 +1,6 @@
 #include "stream/sql_stream_input_format.h"
 
+#include <algorithm>
 #include <chrono>
 #include <optional>
 #include <thread>
@@ -10,6 +11,7 @@
 #include "common/retry_policy.h"
 #include "common/status_macros.h"
 #include "common/trace.h"
+#include "stream/heartbeat.h"
 #include "stream/socket.h"
 #include "table/row_codec.h"
 
@@ -26,7 +28,15 @@ RetryPolicy::Options ReconnectBackoffOptions(int split_id) {
 }
 
 /// Receives one split's row stream from its SQL worker, with optional §6
-/// recovery (reconnect + replay + skip) and fault injection.
+/// recovery (reconnect + sequence-numbered replay + dedupe), liveness
+/// heartbeats, and fault injection.
+///
+/// Exactly-once apply protocol: every kData frame carries a monotonic
+/// sequence number. The reader acknowledges frame N (cumulative kDataAck)
+/// only after every row of N has been handed to the ML job, drops frames
+/// with seq <= last applied as duplicates, and treats a sequence gap as a
+/// transport failure. On reconnect it offers its last applied sequence in
+/// HELLO; the sink replays exactly the unseen suffix.
 class StreamRecordReader final : public ml::RecordReader {
  public:
   StreamRecordReader(std::string coordinator_host, int coordinator_port,
@@ -39,6 +49,8 @@ class StreamRecordReader final : public ml::RecordReader {
         // (the macro skips the name expression when nothing is armed).
         row_failpoint_name_("stream.reader.row.split" +
                             std::to_string(split_.split_id)),
+        kill_failpoint_name_("stream.reader.kill.split" +
+                             std::to_string(split_.split_id)),
         options_(options),
         metrics_(metrics),
         bytes_received_(metrics != nullptr
@@ -47,21 +59,59 @@ class StreamRecordReader final : public ml::RecordReader {
         rows_delivered_(metrics != nullptr
                             ? metrics->GetCounter("stream.reader.rows_delivered")
                             : nullptr),
-        reconnect_backoff_(ReconnectBackoffOptions(split_.split_id)) {}
+        frames_deduped_(
+            MetricsRegistry::Global().GetCounter("transfer.frames_deduped")),
+        reconnect_backoff_(ReconnectBackoffOptions(split_.split_id)) {
+    if (options_.heartbeat_ms > 0) {
+      HeartbeatSender::Options beat;
+      beat.coordinator_host = coordinator_host_;
+      beat.coordinator_port = coordinator_port_;
+      beat.interval_ms = options_.heartbeat_ms;
+      beat.role = HeartbeatMessage::kReader;
+      beat.id = split_.split_id;
+      beat.epoch = split_.epoch;
+      beat.failpoint_name = "stream.reader.heartbeat.split" +
+                            std::to_string(split_.split_id);
+      heartbeat_ = std::make_unique<HeartbeatSender>(std::move(beat));
+    }
+  }
 
-  ~StreamRecordReader() override { CloseStreamSpan(/*error=*/false); }
+  ~StreamRecordReader() override {
+    CloseStreamSpan(/*error=*/!done_);
+    socket_.Close();
+    if (heartbeat_ != nullptr) {
+      // A reader that dies without completing releases its lease for
+      // immediate reassignment instead of waiting out the TTL.
+      heartbeat_->Stop(done_ ? HeartbeatMessage::kCompleted
+                             : HeartbeatMessage::kFailed);
+    }
+  }
+
+  Status Open() override {
+    if (heartbeat_ != nullptr) heartbeat_->Start();
+    if (connected_ || done_) return Status::OK();
+    for (;;) {
+      const Status status = Connect(/*restart=*/ever_connected_);
+      if (status.ok()) return Status::OK();
+      RETURN_IF_ERROR(HandleFailure(status));
+    }
+  }
+
+  uint64_t resume_row_count() const override { return resume_rows_; }
 
   Result<bool> Next(Row* out) override {
     for (;;) {
       if (done_) return false;
+      if (heartbeat_ != nullptr && heartbeat_->revoked()) {
+        // Fenced or aborted: stop applying *now* — a replacement reader may
+        // be about to resume this partition.
+        socket_.Close();
+        connected_ = false;
+        return heartbeat_->status();
+      }
       if (!connected_) {
-        const Status status = Connect(/*restart=*/delivered_ > 0);
-        if (!status.ok()) {
-          // A failed dial is recoverable like a broken transfer: it counts
-          // against max_reconnects instead of failing the reader outright.
-          RETURN_IF_ERROR(HandleFailure(status));
-          continue;
-        }
+        RETURN_IF_ERROR(Open());
+        continue;
       }
       auto row = NextFromConnection(out);
       if (row.ok()) {
@@ -70,15 +120,19 @@ class StreamRecordReader final : public ml::RecordReader {
           CloseStreamSpan(/*error=*/false);
           return false;
         }
-        ++received_this_connection_;
-        // During a replay, skip rows that were already delivered before
-        // the failure.
-        if (received_this_connection_ <= skip_) continue;
         ++delivered_;
         if (rows_delivered_ != nullptr) rows_delivered_->Increment();
-        // Fault injection: drop the connection mid-stream. The failpoint
-        // fires *after* this row was delivered, so the replay must skip it
-        // too; the row itself is handed to the ML job normally.
+        // Fault injection. "row": drop the connection after this row and
+        // recover locally. "kill": the reader dies mid-split — no local
+        // recovery; its split must be reassigned to a survivor.
+        if (SQLINK_FAILPOINT(kill_failpoint_name_) != FailpointOutcome::kNone) {
+          socket_.Close();
+          connected_ = false;
+          if (heartbeat_ != nullptr) {
+            heartbeat_->Stop(HeartbeatMessage::kFailed);
+          }
+          return Status::Unavailable("failpoint: reader killed mid-split");
+        }
         if (SQLINK_FAILPOINT(row_failpoint_name_) != FailpointOutcome::kNone) {
           socket_.Close();
           connected_ = false;
@@ -94,7 +148,7 @@ class StreamRecordReader final : public ml::RecordReader {
 
  private:
   /// Resolves the SQL endpoint (via the coordinator on reconnects) and
-  /// performs the HELLO/SCHEMA handshake.
+  /// performs the HELLO / RESUME / SCHEMA handshake.
   Status Connect(bool restart) {
     if (SQLINK_FAILPOINT("stream.reader.connect") != FailpointOutcome::kNone) {
       return Status::NetworkError("failpoint: injected reader connect error");
@@ -125,7 +179,36 @@ class StreamRecordReader final : public ml::RecordReader {
     HelloMessage hello;
     hello.split_id = split_.split_id;
     hello.restart = restart;
+    // A reader that held this connection before resumes from its own
+    // applied position; a fresh one (first connect, or a replacement after
+    // reassignment) lets the sink decide from its cumulative ack.
+    hello.resume_seq =
+        ever_connected_ ? static_cast<int64_t>(last_applied_seq_) : -1;
     RETURN_IF_ERROR(SendFrame(&socket_, FrameType::kHello, hello.Encode()));
+
+    ASSIGN_OR_RETURN(Frame resume_frame, RecvFrame(&socket_));
+    if (resume_frame.type != FrameType::kResume) {
+      if (resume_frame.type == FrameType::kError) {
+        return DecodeStatusPayload(resume_frame.payload);
+      }
+      return Status::NetworkError("expected resume frame");
+    }
+    ASSIGN_OR_RETURN(ResumeMessage resume,
+                     ResumeMessage::Decode(resume_frame.payload));
+    if (!ever_connected_) {
+      // Inherit the channel position: rows [1, resume_rows] were applied by
+      // a previous incarnation and stay in the partition buffer (the runner
+      // truncates it to exactly this count).
+      last_applied_seq_ = resume.resume_seq;
+      applied_rows_ = resume.resume_rows;
+      resume_rows_ = resume.resume_rows;
+    } else if (resume.resume_seq > last_applied_seq_) {
+      return Status::DataLoss("sink resumed at frame " +
+                              std::to_string(resume.resume_seq) +
+                              " but reader applied only through " +
+                              std::to_string(last_applied_seq_));
+    }
+
     ASSIGN_OR_RETURN(Frame schema_frame, RecvFrame(&socket_));
     if (schema_frame.type != FrameType::kSchema) {
       return Status::NetworkError("expected schema frame");
@@ -136,11 +219,34 @@ class StreamRecordReader final : public ml::RecordReader {
     stream_span_.emplace("reader.stream", schema_frame.trace);
     stream_span_->AddAttribute("split", split_.split_id);
     stream_span_->AddAttribute("restart", restart ? 1 : 0);
+    stream_span_->AddAttribute("resume_seq",
+                               static_cast<int64_t>(last_applied_seq_));
     connected_ = true;
-    received_this_connection_ = 0;
-    skip_ = restart ? delivered_ : 0;
+    ever_connected_ = true;
+    if (batch_pending_) {
+      // The connection dropped while batch_ was only partially handed to
+      // the ML job. Those delivered rows stay in the partition, and the
+      // frame was never committed or acked, so the sink will replay it;
+      // remember the delivered prefix so the replay skips exactly it.
+      skip_seq_ = batch_seq_;
+      skip_rows_ = batch_index_;
+    }
     batch_.clear();
     batch_index_ = 0;
+    batch_pending_ = false;
+    pending_ack_ = false;
+    return Status::OK();
+  }
+
+  /// Acknowledges the last fully-consumed frame. Called only once every row
+  /// of that frame has been returned from Next — i.e. applied by the ML job
+  /// — so the sink never trims a frame whose rows could still be lost.
+  Status FlushAck() {
+    if (!pending_ack_) return Status::OK();
+    pending_ack_ = false;
+    RETURN_IF_ERROR(SendFrame(&socket_, FrameType::kDataAck, "",
+                              last_applied_seq_));
+    if (heartbeat_ != nullptr) heartbeat_->set_applied_seq(last_applied_seq_);
     return Status::OK();
   }
 
@@ -151,12 +257,36 @@ class StreamRecordReader final : public ml::RecordReader {
         *out = std::move(batch_[batch_index_++]);
         return true;
       }
+      if (batch_pending_) {
+        // Every row of the staged frame has been handed to the ML job:
+        // only now does the durable cursor advance. Committing at decode
+        // time instead would make a reconnect resume past rows that were
+        // decoded but never delivered.
+        last_applied_seq_ = batch_seq_;
+        applied_rows_ += batch_.size();
+        batch_pending_ = false;
+        pending_ack_ = true;
+      }
+      RETURN_IF_ERROR(FlushAck());
       ASSIGN_OR_RETURN(Frame frame, RecvFrame(&socket_));
       switch (frame.type) {
         case FrameType::kData: {
           if (SQLINK_FAILPOINT("stream.reader.frame") !=
               FailpointOutcome::kNone) {
             return Status::NetworkError("failpoint: injected frame error");
+          }
+          if (frame.seq <= last_applied_seq_) {
+            // At-least-once delivery: a replayed frame this reader already
+            // applied. Drop it whole; re-ack so the sink can trim.
+            frames_deduped_->Increment();
+            pending_ack_ = true;
+            continue;
+          }
+          if (frame.seq != last_applied_seq_ + 1) {
+            return Status::NetworkError(
+                "sequence gap: expected frame " +
+                std::to_string(last_applied_seq_ + 1) + ", got " +
+                std::to_string(frame.seq));
           }
           Decoder decoder(frame.payload);
           ASSIGN_OR_RETURN(uint64_t count, decoder.GetVarint64());
@@ -167,6 +297,16 @@ class StreamRecordReader final : public ml::RecordReader {
             batch_.push_back(std::move(row));
           }
           batch_index_ = 0;
+          if (frame.seq == skip_seq_ && skip_rows_ > 0) {
+            // Replay of the frame that was in flight when the previous
+            // connection dropped: its first skip_rows_ rows already reached
+            // the partition, so deliver only the tail.
+            batch_index_ = std::min<size_t>(skip_rows_, batch_.size());
+          }
+          skip_seq_ = 0;
+          skip_rows_ = 0;
+          batch_seq_ = frame.seq;
+          batch_pending_ = true;
           if (bytes_received_ != nullptr) {
             bytes_received_->Add(static_cast<int64_t>(frame.payload.size()));
           }
@@ -177,25 +317,51 @@ class StreamRecordReader final : public ml::RecordReader {
           break;
         }
         case FrameType::kEnd: {
+          if (frame.seq != last_applied_seq_) {
+            return Status::NetworkError(
+                "sequence gap at end of stream: sender closed at frame " +
+                std::to_string(frame.seq) + ", reader applied through " +
+                std::to_string(last_applied_seq_));
+          }
           Decoder decoder(frame.payload);
           ASSIGN_OR_RETURN(uint64_t expected, decoder.GetVarint64());
-          if (expected != received_this_connection_) {
+          if (expected != applied_rows_) {
             return Status::DataLoss(
-                "stream row count mismatch: got " +
-                std::to_string(received_this_connection_) + ", sender sent " +
+                "stream row count mismatch: applied " +
+                std::to_string(applied_rows_) + ", sender sent " +
                 std::to_string(expected));
+          }
+          if (heartbeat_ != nullptr && heartbeat_->revoked()) {
+            // Fenced during the finale: do NOT confirm — the sink must keep
+            // its window for the replacement reader.
+            return heartbeat_->status();
           }
           // Confirm completion so the sender may release its retained
           // state; a sender tears down only after this acknowledgement.
           RETURN_IF_ERROR(SendFrame(&socket_, FrameType::kAck, ""));
+          RETURN_IF_ERROR(CompleteSplit());
           return false;
         }
         case FrameType::kError:
-          return Status::Aborted("SQL worker failed: " + frame.payload);
+          return DecodeStatusPayload(frame.payload);
         default:
           return Status::NetworkError("unexpected data frame type");
       }
     }
+  }
+
+  /// Tells the coordinator the split is fully applied (lease bookkeeping).
+  Status CompleteSplit() {
+    if (heartbeat_ == nullptr) return Status::OK();
+    auto control = TcpConnect(coordinator_host_, coordinator_port_);
+    if (!control.ok()) return Status::OK();  // Best-effort.
+    CompleteSplitMessage msg;
+    msg.split_id = split_.split_id;
+    msg.epoch = split_.epoch;
+    msg.rows = applied_rows_;
+    (void)SendFrame(&*control, FrameType::kCompleteSplit, msg.Encode());
+    (void)RecvFrame(&*control);
+    return Status::OK();
   }
 
   /// Finishes the per-connection span, stamping the delivered-row count.
@@ -211,6 +377,9 @@ class StreamRecordReader final : public ml::RecordReader {
     socket_.Close();
     connected_ = false;
     CloseStreamSpan(/*error=*/true);
+    if (heartbeat_ != nullptr && heartbeat_->revoked()) {
+      return heartbeat_->status();
+    }
     if (!options_.recovery_enabled || reconnects_ >= options_.max_reconnects) {
       return cause;
     }
@@ -230,20 +399,30 @@ class StreamRecordReader final : public ml::RecordReader {
   int coordinator_port_;
   StreamSplitInfo split_;
   const std::string row_failpoint_name_;
+  const std::string kill_failpoint_name_;
   StreamReaderOptions options_;
   MetricsRegistry* metrics_;
   Counter* bytes_received_;
   Counter* rows_delivered_;
+  Counter* frames_deduped_;
   std::optional<TraceSpan> stream_span_;
+  std::unique_ptr<HeartbeatSender> heartbeat_;
 
   TcpSocket socket_;
   bool connected_ = false;
+  bool ever_connected_ = false;
   bool done_ = false;
   std::vector<Row> batch_;
   size_t batch_index_ = 0;
-  uint64_t received_this_connection_ = 0;  // Rows pulled on this socket.
-  uint64_t skip_ = 0;                      // Replay rows to discard.
-  uint64_t delivered_ = 0;                 // Rows handed to the ML job.
+  uint64_t batch_seq_ = 0;         // Frame the staged batch_ decoded from.
+  bool batch_pending_ = false;     // batch_ decoded but not fully delivered.
+  uint64_t skip_seq_ = 0;          // Frame whose replay skips a prefix of
+  uint64_t skip_rows_ = 0;         // skip_rows_ already-delivered rows.
+  bool pending_ack_ = false;       // last_applied_seq_ not yet acked.
+  uint64_t last_applied_seq_ = 0;  // Highest frame fully handed to the job.
+  uint64_t applied_rows_ = 0;      // Rows in frames [1, last_applied_seq_].
+  uint64_t resume_rows_ = 0;       // Partition truncation point (Open).
+  uint64_t delivered_ = 0;         // Rows handed to the ML job by *this* reader.
   int reconnects_ = 0;
   RetryPolicy reconnect_backoff_;
 };
@@ -298,6 +477,38 @@ Result<std::unique_ptr<ml::RecordReader>> SqlStreamInputFormat::CreateReader(
   return std::unique_ptr<ml::RecordReader>(new StreamRecordReader(
       coordinator_host_, coordinator_port_, stream_split->info(), options_,
       context.metrics));
+}
+
+bool SqlStreamInputFormat::SupportsReassignment() const {
+  return options_.heartbeat_ms > 0;
+}
+
+Result<ml::ReassignedSplit> SqlStreamInputFormat::AcquireReassigned() {
+  ASSIGN_OR_RETURN(TcpSocket control,
+                   TcpConnect(coordinator_host_, coordinator_port_));
+  RETURN_IF_ERROR(SendFrame(&control, FrameType::kAcquireSplit, ""));
+  ASSIGN_OR_RETURN(Frame frame, RecvFrame(&control));
+  if (frame.type == FrameType::kError) {
+    return DecodeStatusPayload(frame.payload);
+  }
+  if (frame.type != FrameType::kSplitGrant) {
+    return Status::NetworkError("coordinator did not answer split acquire");
+  }
+  ASSIGN_OR_RETURN(SplitGrantMessage grant,
+                   SplitGrantMessage::Decode(frame.payload));
+  ml::ReassignedSplit result;
+  if (grant.granted) {
+    result.index = grant.split.split_id;
+    result.split = std::make_shared<StreamSplit>(std::move(grant.split));
+  }
+  return result;
+}
+
+void SqlStreamInputFormat::AbortTransfer(const Status& status) {
+  auto control = TcpConnect(coordinator_host_, coordinator_port_);
+  if (!control.ok()) return;
+  (void)SendFrame(&*control, FrameType::kAbortQuery, EncodeStatus(status));
+  (void)RecvFrame(&*control);
 }
 
 }  // namespace sqlink

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/string_util.h"
 #include "ml/input_format.h"
 #include "stream/wire.h"
 
@@ -13,14 +14,21 @@ namespace sqlink {
 /// Recovery knobs (§6 experiments/tests). Fault injection lives in the
 /// failpoint registry (common/failpoint.h): arm
 /// "stream.reader.row.split<ID>" to drop split ID's connection after a
-/// delivered row, or "stream.reader.frame" / "stream.reader.connect" for
-/// frame- and dial-level faults.
+/// delivered row, "stream.reader.kill.split<ID>" to kill the reader
+/// mid-split (no local recovery — the split must be reassigned),
+/// "stream.reader.heartbeat.split<ID>" with a delay spec to stall lease
+/// renewal, or "stream.reader.frame" / "stream.reader.connect" for frame-
+/// and dial-level faults.
 struct StreamReaderOptions {
   /// §6 recovery: on a broken connection, report the failure to the
-  /// coordinator, re-dial the matched SQL worker with restart=1, and skip
-  /// the rows already delivered from the replay.
+  /// coordinator, re-dial the matched SQL worker, and resume from the last
+  /// applied frame sequence (replayed duplicates are dropped by sequence).
   bool recovery_enabled = false;
   int max_reconnects = 3;
+
+  /// Reader lease renewal interval; <= 0 disables heartbeats and split
+  /// reassignment.
+  int heartbeat_ms = static_cast<int>(EnvInt64("SQLINK_HEARTBEAT_MS", 0));
 
   /// Benchmark knob: sleep this long after each received data frame,
   /// simulating a slow ML consumer (drives the spill/backpressure study).
@@ -47,6 +55,13 @@ class SqlStreamInputFormat final : public ml::InputFormat {
 
   /// Known after GetSplits (the coordinator forwards the SQL-side schema).
   SchemaPtr schema() const override { return schema_; }
+
+  /// §6 reassignment (requires heartbeats): surviving workers poll the
+  /// coordinator for splits whose reader was declared dead and resume them
+  /// from the sink's replay window.
+  bool SupportsReassignment() const override;
+  Result<ml::ReassignedSplit> AcquireReassigned() override;
+  void AbortTransfer(const Status& status) override;
 
  private:
   std::string coordinator_host_;

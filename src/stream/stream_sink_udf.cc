@@ -1,7 +1,9 @@
 #include "stream/stream_sink_udf.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <optional>
 #include <thread>
 
 #include "common/blocking_queue.h"
@@ -13,6 +15,8 @@
 #include "common/retry_policy.h"
 #include "common/status_macros.h"
 #include "common/trace.h"
+#include "stream/heartbeat.h"
+#include "stream/replay_window.h"
 #include "stream/spill_queue.h"
 #include "stream/wire.h"
 #include "table/row_codec.h"
@@ -47,33 +51,89 @@ class FrameBatcher {
   std::string body_;
 };
 
-/// Waits for the receiver's final kAck: a transfer only counts as complete
-/// once the ML worker confirms it consumed everything. Without this, a
-/// sender could tear down while the receiver still fails, leaving no
-/// endpoint for the §6 reconnect.
-Status AwaitAck(TcpSocket* socket) {
-  ASSIGN_OR_RETURN(Frame ack, RecvFrame(socket));
-  if (ack.type != FrameType::kAck) {
-    return Status::NetworkError("receiver did not acknowledge transfer");
-  }
-  return Status::OK();
+/// Row count of a kData frame payload (its leading varint).
+Result<uint64_t> FrameRowCount(const std::string& frame) {
+  Decoder decoder(frame);
+  return decoder.GetVarint64();
 }
 
-/// Serves one already-encoded frame sequence (schema + data + end + ack) to
-/// a socket.
-Status ServeFrames(TcpSocket* socket, const Schema& schema,
-                   const std::vector<std::string>& frames, uint64_t rows) {
-  std::string schema_payload;
-  EncodeSchema(schema, &schema_payload);
-  RETURN_IF_ERROR(SendFrame(socket, FrameType::kSchema, schema_payload));
-  for (const std::string& frame : frames) {
-    RETURN_IF_ERROR(SendFrame(socket, FrameType::kData, frame));
+/// The reader-to-sink half of one data connection: cumulative kDataAck
+/// frames and the final kAck arrive interleaved with (and independent of)
+/// the outbound data stream, so the sender drains them from a byte buffer —
+/// non-blocking between sends, blocking only when waiting for the finale.
+class AckChannel {
+ public:
+  explicit AckChannel(TcpSocket* socket) : socket_(socket) {}
+
+  /// Applies every cumulative ack currently readable without blocking.
+  /// A kError frame surfaces as its decoded typed status. A clean peer
+  /// close is NOT an error here: buffered acks are still applied, and the
+  /// send path discovers the closed connection on its next write.
+  Status Poll(ReplayWindow* window) {
+    for (;;) {
+      RETURN_IF_ERROR(DrainBuffered(window, /*final_ack=*/nullptr));
+      if (peer_closed_) return Status::OK();
+      ASSIGN_OR_RETURN(size_t n,
+                       socket_->TryRecv(64 * 1024, &buffer_, &peer_closed_));
+      if (n == 0 && !peer_closed_) return Status::OK();
+    }
   }
-  std::string end_payload;
-  PutVarint64(&end_payload, rows);
-  RETURN_IF_ERROR(SendFrame(socket, FrameType::kEnd, end_payload));
-  return AwaitAck(socket);
-}
+
+  /// Blocks until the reader's final kAck, applying kDataAcks on the way.
+  /// The reader may close immediately after sending the finale, so EOF only
+  /// fails the wait once everything already received has been parsed.
+  Status AwaitFinalAck(ReplayWindow* window) {
+    for (;;) {
+      bool done = false;
+      RETURN_IF_ERROR(DrainBuffered(window, &done));
+      if (done) return Status::OK();
+      if (peer_closed_) {
+        return Status::NetworkError("connection closed before final ack");
+      }
+      // Need more bytes: block for at least one, then drain the rest.
+      std::string chunk;
+      const Status blocked = socket_->RecvExactly(1, &chunk);
+      if (!blocked.ok()) {
+        peer_closed_ = true;
+        continue;  // Nothing new can land; fail via the check above.
+      }
+      buffer_ += chunk;
+      for (;;) {
+        ASSIGN_OR_RETURN(size_t n,
+                         socket_->TryRecv(64 * 1024, &buffer_, &peer_closed_));
+        if (n == 0) break;
+      }
+    }
+  }
+
+ private:
+  Status DrainBuffered(ReplayWindow* window, bool* final_ack) {
+    Frame frame;
+    for (;;) {
+      ASSIGN_OR_RETURN(bool complete, ExtractFrame(&buffer_, &frame));
+      if (!complete) return Status::OK();
+      switch (frame.type) {
+        case FrameType::kDataAck:
+          window->Ack(frame.seq);
+          break;
+        case FrameType::kAck:
+          if (final_ack != nullptr) {
+            *final_ack = true;
+            return Status::OK();
+          }
+          return Status::NetworkError("unexpected final ack mid-stream");
+        case FrameType::kError:
+          return DecodeStatusPayload(frame.payload);
+        default:
+          return Status::NetworkError("unexpected frame on ack channel");
+      }
+    }
+  }
+
+  TcpSocket* socket_;
+  std::string buffer_;
+  bool peer_closed_ = false;
+};
 
 }  // namespace
 
@@ -104,6 +164,19 @@ Result<StreamSinkOptions> StreamSinkOptions::FromArgs(
     }
     options.reconnect_timeout_ms =
         static_cast<int>(args[first + 3].int64_value());
+  }
+  if (args.size() > first + 4) {
+    if (!args[first + 4].is_int64()) {
+      return Status::InvalidArgument("heartbeat interval must be an integer");
+    }
+    options.heartbeat_ms = static_cast<int>(args[first + 4].int64_value());
+  }
+  if (args.size() > first + 5) {
+    if (!args[first + 5].is_int64() || args[first + 5].int64_value() <= 0) {
+      return Status::InvalidArgument("replay window must be positive");
+    }
+    options.replay_window_bytes =
+        static_cast<size_t>(args[first + 5].int64_value());
   }
   return options;
 }
@@ -190,10 +263,10 @@ Status SqlStreamSinkUdf::ProcessPartition(const TableUdfContext& context,
 
   // --- Step 7: a router thread accepts data connections and hands each to
   // its slot by HELLO split id (slot = split_id mod k within this worker's
-  // group). Reconnects (§6 restarts) arrive the same way. ---
+  // group). Reconnects and §6 replacement readers arrive the same way. ---
   struct Inbound {
     std::shared_ptr<TcpSocket> socket;
-    bool restart = false;
+    int64_t resume_seq = -1;  ///< From HELLO: -1 = "sink decides".
   };
   std::vector<std::unique_ptr<BlockingQueue<Inbound>>> inboxes;
   for (int j = 0; j < k; ++j) {
@@ -214,7 +287,7 @@ Status SqlStreamSinkUdf::ProcessPartition(const TableUdfContext& context,
       const int slot = hello->split_id % k;
       if (slot < 0 || slot >= k) continue;
       inboxes[static_cast<size_t>(slot)]->Push(
-          Inbound{std::move(shared), hello->restart});
+          Inbound{std::move(shared), hello->resume_seq});
     }
   });
   // Always unwind the router on exit.
@@ -260,197 +333,223 @@ Status SqlStreamSinkUdf::ProcessPartition(const TableUdfContext& context,
   int64_t bytes_sent = 0;
   int64_t spilled_frames = 0;
 
-  if (!options_.resilient) {
-    // --- Pipelined mode (step 8): round-robin rows into per-target send
-    // buffers while sender threads drain them onto the sockets. ---
-    std::vector<std::unique_ptr<SpillingByteQueue>> queues;
-    for (int j = 0; j < k; ++j) {
-      SpillingByteQueue::Options queue_options;
-      queue_options.memory_capacity_bytes = options_.send_buffer_bytes;
-      queue_options.spill_enabled = options_.spill_enabled;
-      queue_options.spill_path = scratch_dir + "/stream_spill_w" +
-                                 std::to_string(context.worker_id) + "_t" +
-                                 std::to_string(j);
-      queues.push_back(std::make_unique<SpillingByteQueue>(queue_options));
-    }
+  // --- Step 8: round-robin rows into per-target send buffers while sender
+  // threads drain them onto the sockets. Each sender retains sent frames in
+  // a replay window until the reader's cumulative ack releases them. ---
+  std::vector<std::unique_ptr<SpillingByteQueue>> queues;
+  for (int j = 0; j < k; ++j) {
+    SpillingByteQueue::Options queue_options;
+    queue_options.memory_capacity_bytes = options_.send_buffer_bytes;
+    queue_options.spill_enabled = options_.spill_enabled;
+    queue_options.spill_path = scratch_dir + "/stream_spill_w" +
+                               std::to_string(context.worker_id) + "_t" +
+                               std::to_string(j);
+    queues.push_back(std::make_unique<SpillingByteQueue>(queue_options));
+  }
 
-    std::vector<std::thread> senders;
-    std::vector<Status> sender_status(static_cast<size_t>(k));
-    std::vector<uint64_t> sender_rows(static_cast<size_t>(k), 0);
-    for (int j = 0; j < k; ++j) {
-      senders.emplace_back([&, j] {
-        // The sender runs on its own thread, so it parents to the partition
-        // span explicitly; frames it sends inherit this span's context.
-        TraceSpan send_span("sink.send", partition_ctx);
-        send_span.AddAttribute("target", j);
-        auto run = [&]() -> Status {
-          // Bounded wait: if the ML job died before dialing in, surface an
-          // error instead of blocking the SQL pipeline forever.
-          RetryPolicy wait_policy(inbound_wait_options);
+  // Sink lease: one heartbeat per SQL worker. Revocation means the
+  // coordinator aborted the query (or fenced this sink) — cancel the send
+  // queues so producer and senders unwind promptly with a typed status.
+  HeartbeatSender::Options beat_options;
+  beat_options.coordinator_host = coordinator_host_;
+  beat_options.coordinator_port = coordinator_port_;
+  beat_options.interval_ms = options_.heartbeat_ms;
+  beat_options.role = HeartbeatMessage::kSink;
+  beat_options.id = context.worker_id;
+  beat_options.on_revoked = [&queues, &inboxes] {
+    for (auto& queue : queues) queue->Cancel();
+    // A sender parked waiting for a (re)connect must wake too: an aborted
+    // query has no replacement reader coming, so sleeping out the full
+    // reconnect window would stall the drain.
+    for (auto& inbox : inboxes) inbox->Close();
+  };
+  HeartbeatSender heartbeat(beat_options);
+  heartbeat.Start();
+
+  static Counter* const replayed_counter =
+      MetricsRegistry::Global().GetCounter("transfer.frames_replayed");
+
+  std::vector<std::thread> senders;
+  std::vector<Status> sender_status(static_cast<size_t>(k));
+  for (int j = 0; j < k; ++j) {
+    senders.emplace_back([&, j] {
+      // The sender runs on its own thread, so it parents to the partition
+      // span explicitly; frames it sends inherit this span's context.
+      TraceSpan send_span("sink.send", partition_ctx);
+      send_span.AddAttribute("target", j);
+      SpillingByteQueue* queue = queues[static_cast<size_t>(j)].get();
+
+      ReplayWindow::Options window_options;
+      window_options.memory_capacity_bytes = options_.replay_window_bytes;
+      window_options.spill_enabled = options_.spill_enabled;
+      window_options.spill_path = scratch_dir + "/stream_replay_w" +
+                                  std::to_string(context.worker_id) + "_t" +
+                                  std::to_string(j);
+      ReplayWindow window(window_options);
+      bool input_done = false;  ///< The send queue has been fully drained.
+
+      // Serves one (re)connection: answer HELLO with the resume point,
+      // replay the unacked suffix, then stream live frames until the input
+      // is exhausted and the reader's final ack lands.
+      auto serve = [&](const Inbound& conn) -> Status {
+        TcpSocket* socket = conn.socket.get();
+        AckChannel acks(socket);
+
+        uint64_t resume = conn.resume_seq < 0
+                              ? window.acked_seq()
+                              : static_cast<uint64_t>(conn.resume_seq);
+        // The window forgets acked frames, and never holds future ones.
+        resume = std::max(resume, window.acked_seq());
+        resume = std::min(resume, window.last_seq());
+        ASSIGN_OR_RETURN(uint64_t resume_rows, window.RowsThrough(resume));
+        ResumeMessage resume_msg;
+        resume_msg.resume_seq = resume;
+        resume_msg.resume_rows = resume_rows;
+        RETURN_IF_ERROR(
+            SendFrame(socket, FrameType::kResume, resume_msg.Encode()));
+
+        std::string schema_payload;
+        EncodeSchema(*input_schema_, &schema_payload);
+        RETURN_IF_ERROR(SendFrame(socket, FrameType::kSchema, schema_payload));
+
+        RETURN_IF_ERROR(window.Replay(
+            resume, [&](uint64_t seq, uint64_t rows, const std::string& frame)
+                        -> Status {
+              (void)rows;
+              RETURN_IF_ERROR(
+                  SendFrame(socket, FrameType::kData, frame, seq));
+              replayed_counter->Increment();
+              return Status::OK();
+            }));
+
+        while (!input_done) {
+          RETURN_IF_ERROR(acks.Poll(&window));
+          ASSIGN_OR_RETURN(std::optional<std::string> frame, queue->Pop());
+          if (!frame.has_value()) {
+            input_done = true;
+            break;
+          }
+          ASSIGN_OR_RETURN(uint64_t rows, FrameRowCount(*frame));
+          const uint64_t seq = window.last_seq() + 1;
+          // Retain before sending: a frame that dies on the wire must
+          // already be replayable.
+          RETURN_IF_ERROR(window.Append(seq, rows, *frame));
+          RETURN_IF_ERROR(SendFrame(socket, FrameType::kData, *frame, seq));
+        }
+
+        // kEnd carries the last data sequence so the reader can detect a
+        // gap, and the channel's total row count for validation.
+        ASSIGN_OR_RETURN(uint64_t total_rows,
+                         window.RowsThrough(window.last_seq()));
+        std::string end_payload;
+        PutVarint64(&end_payload, total_rows);
+        RETURN_IF_ERROR(SendFrame(socket, FrameType::kEnd, end_payload,
+                                  window.last_seq()));
+        return acks.AwaitFinalAck(&window);
+      };
+
+      auto run = [&]() -> Status {
+        // Bounded wait shared across every (re)connect: a dead ML job
+        // becomes an error, not a hang.
+        RetryPolicy wait_policy(inbound_wait_options);
+        Status status = Status::Cancelled("no ML worker connected");
+        for (;;) {
           std::optional<Inbound> conn;
-          RETURN_IF_ERROR(wait_for_inbound(inboxes[static_cast<size_t>(j)].get(),
-                                           &wait_policy, &conn));
+          RETURN_IF_ERROR(wait_for_inbound(
+              inboxes[static_cast<size_t>(j)].get(), &wait_policy, &conn));
           if (!conn.has_value()) {
             return Status::Cancelled("no ML worker connected");
           }
-          TcpSocket* socket = conn->socket.get();
-          std::string schema_payload;
-          EncodeSchema(*input_schema_, &schema_payload);
-          RETURN_IF_ERROR(
-              SendFrame(socket, FrameType::kSchema, schema_payload));
-          for (;;) {
-            ASSIGN_OR_RETURN(std::optional<std::string> frame,
-                             queues[static_cast<size_t>(j)]->Pop());
-            if (!frame.has_value()) break;
-            RETURN_IF_ERROR(SendFrame(socket, FrameType::kData, *frame));
+          status = serve(*conn);
+          if (status.ok()) return status;
+          if (heartbeat.revoked()) return heartbeat.status();
+          if (!options_.resilient || !RetryPolicy::IsTransient(status)) {
+            return status;
           }
-          std::string end_payload;
-          PutVarint64(&end_payload, sender_rows[static_cast<size_t>(j)]);
-          RETURN_IF_ERROR(SendFrame(socket, FrameType::kEnd, end_payload));
-          return AwaitAck(socket);
-        };
-        sender_status[static_cast<size_t>(j)] = run();
-        if (!sender_status[static_cast<size_t>(j)].ok()) {
-          send_span.SetError();
-          // Unblock the producer (§6: without resilience the whole
-          // pipeline restarts, so fail fast).
-          queues[static_cast<size_t>(j)]->Cancel();
-        }
-        send_span.AddAttribute(
-            "rows", static_cast<int64_t>(sender_rows[static_cast<size_t>(j)]));
-      });
-    }
-
-    std::vector<FrameBatcher> batchers(static_cast<size_t>(k));
-    Status produce_status;
-    Row row;
-    size_t next_target = 0;
-    for (;;) {
-      auto has = input->Next(&row);
-      if (!has.ok()) {
-        produce_status = has.status();
-        break;
-      }
-      if (!*has) break;
-      FrameBatcher& batch = batchers[next_target];
-      batch.Add(row);
-      ++sender_rows[next_target];
-      ++rows_sent;
-      if (batch.bytes() >= options_.send_buffer_bytes) {
-        std::string frame = batch.Flush();
-        bytes_sent += static_cast<int64_t>(frame.size());
-        produce_status =
-            queues[next_target]->Push(std::move(frame));
-        if (!produce_status.ok()) break;
-      }
-      next_target = (next_target + 1) % static_cast<size_t>(k);
-    }
-    if (produce_status.ok()) {
-      for (size_t j = 0; j < batchers.size(); ++j) {
-        if (batchers[j].empty()) continue;
-        std::string frame = batchers[j].Flush();
-        bytes_sent += static_cast<int64_t>(frame.size());
-        produce_status = queues[j]->Push(std::move(frame));
-        if (!produce_status.ok()) break;
-      }
-    }
-    for (auto& queue : queues) {
-      if (produce_status.ok()) {
-        queue->CloseProducer();
-      } else {
-        queue->Cancel();
-      }
-    }
-    for (std::thread& sender : senders) sender.join();
-    for (auto& queue : queues) spilled_frames += queue->spilled_frames();
-    RETURN_IF_ERROR(produce_status);
-    for (const Status& status : sender_status) {
-      RETURN_IF_ERROR(status);
-    }
-  } else {
-    // --- Resilient mode (§6): persist each target's frames to a retained
-    // node-local log first, then serve; a reconnecting ML worker replays
-    // deterministically from the log. ---
-    std::vector<std::vector<std::string>> logs(static_cast<size_t>(k));
-    std::vector<uint64_t> log_rows(static_cast<size_t>(k), 0);
-    std::vector<FrameBatcher> batchers(static_cast<size_t>(k));
-    Row row;
-    size_t next_target = 0;
-    for (;;) {
-      ASSIGN_OR_RETURN(bool has, input->Next(&row));
-      if (!has) break;
-      FrameBatcher& batch = batchers[next_target];
-      batch.Add(row);
-      ++log_rows[next_target];
-      ++rows_sent;
-      if (batch.bytes() >= options_.send_buffer_bytes) {
-        logs[next_target].push_back(batch.Flush());
-      }
-      next_target = (next_target + 1) % static_cast<size_t>(k);
-    }
-    for (size_t j = 0; j < batchers.size(); ++j) {
-      if (!batchers[j].empty()) logs[j].push_back(batchers[j].Flush());
-    }
-    // Persist the retained logs to node-local disk (the durability §6
-    // requires to survive an ML-side restart).
-    for (size_t j = 0; j < logs.size(); ++j) {
-      std::string file;
-      for (const std::string& frame : logs[j]) {
-        PutFixed32(&file, static_cast<uint32_t>(frame.size()));
-        file += frame;
-      }
-      RETURN_IF_ERROR(WriteFileAtomic(
-          scratch_dir + "/retained_w" + std::to_string(context.worker_id) +
-              "_t" + std::to_string(j),
-          file));
-    }
-
-    std::vector<std::thread> senders;
-    std::vector<Status> sender_status(static_cast<size_t>(k));
-    std::vector<int64_t> sender_bytes(static_cast<size_t>(k), 0);
-    for (int j = 0; j < k; ++j) {
-      senders.emplace_back([&, j] {
-        TraceSpan send_span("sink.send", partition_ctx);
-        send_span.AddAttribute("target", j);
-        auto serve_once = [&](TcpSocket* socket) -> Status {
-          for (const std::string& frame : logs[static_cast<size_t>(j)]) {
-            sender_bytes[static_cast<size_t>(j)] +=
-                static_cast<int64_t>(frame.size());
-          }
-          return ServeFrames(socket, *input_schema_,
-                             logs[static_cast<size_t>(j)],
-                             log_rows[static_cast<size_t>(j)]);
-        };
-        Status status = Status::Cancelled("no ML worker connected");
-        // Serve until a transfer completes; each reconnect replays fully.
-        // The shared policy caps the *total* time spent awaiting
-        // (re)connections, so a dead ML job becomes an error, not a hang.
-        RetryPolicy wait_policy(inbound_wait_options);
-        for (;;) {
-          std::optional<Inbound> conn;
-          const Status wait = wait_for_inbound(
-              inboxes[static_cast<size_t>(j)].get(), &wait_policy, &conn);
-          if (!wait.ok()) {
-            status = wait;
-            break;
-          }
-          if (!conn.has_value()) break;  // Shut down.
-          status = serve_once(conn->socket.get());
-          if (status.ok()) break;
           LOG_WARNING() << "stream sink worker " << context.worker_id
                         << " target " << j
                         << " transfer failed, awaiting reconnect: " << status;
         }
-        if (!status.ok()) send_span.SetError();
-        sender_status[static_cast<size_t>(j)] = status;
-      });
+      };
+      Status status = run();
+      if (heartbeat.revoked()) status = heartbeat.status();
+      sender_status[static_cast<size_t>(j)] = status;
+      if (!status.ok()) {
+        send_span.SetError();
+        // Unblock the producer so the SQL side fails fast instead of
+        // filling a queue nobody drains.
+        queue->Cancel();
+      }
+      send_span.AddAttribute("replay_spilled", window.spilled_frames());
+    });
+  }
+
+  std::vector<FrameBatcher> batchers(static_cast<size_t>(k));
+  Status produce_status;
+  Row row;
+  size_t next_target = 0;
+  for (;;) {
+    auto has = input->Next(&row);
+    if (!has.ok()) {
+      produce_status = has.status();
+      break;
     }
-    for (std::thread& sender : senders) sender.join();
-    for (int64_t b : sender_bytes) bytes_sent += b;
-    for (const Status& status : sender_status) {
-      RETURN_IF_ERROR(status);
+    if (!*has) break;
+    FrameBatcher& batch = batchers[next_target];
+    batch.Add(row);
+    ++rows_sent;
+    if (batch.bytes() >= options_.send_buffer_bytes) {
+      std::string frame = batch.Flush();
+      bytes_sent += static_cast<int64_t>(frame.size());
+      produce_status = queues[next_target]->Push(std::move(frame));
+      if (!produce_status.ok()) break;
+    }
+    next_target = (next_target + 1) % static_cast<size_t>(k);
+  }
+  if (produce_status.ok()) {
+    for (size_t j = 0; j < batchers.size(); ++j) {
+      if (batchers[j].empty()) continue;
+      std::string frame = batchers[j].Flush();
+      bytes_sent += static_cast<int64_t>(frame.size());
+      produce_status = queues[j]->Push(std::move(frame));
+      if (!produce_status.ok()) break;
     }
   }
+  for (auto& queue : queues) {
+    if (produce_status.ok()) {
+      queue->CloseProducer();
+    } else {
+      queue->Cancel();
+    }
+  }
+  for (std::thread& sender : senders) sender.join();
+  for (auto& queue : queues) spilled_frames += queue->spilled_frames();
+
+  Status transfer_status = produce_status;
+  if (transfer_status.ok()) {
+    for (const Status& status : sender_status) {
+      if (!status.ok()) {
+        transfer_status = status;
+        break;
+      }
+    }
+  }
+  if (heartbeat.revoked()) transfer_status = heartbeat.status();
+  if (!transfer_status.ok()) {
+    // The SQL side is done for: broadcast the abort so readers and the
+    // runner drain promptly instead of waiting out lease TTLs.
+    heartbeat.Stop(HeartbeatMessage::kAlive);
+    if (options_.heartbeat_ms > 0 && !heartbeat.revoked()) {
+      auto control = TcpConnect(coordinator_host_, coordinator_port_);
+      if (control.ok()) {
+        (void)SendFrame(&*control, FrameType::kAbortQuery,
+                        EncodeStatus(transfer_status));
+        (void)RecvFrame(&*control);
+      }
+    }
+    return transfer_status;
+  }
+  heartbeat.Stop(HeartbeatMessage::kCompleted);
 
   static Counter* const rows_counter =
       MetricsRegistry::Global().GetCounter("stream.sink.rows_sent");

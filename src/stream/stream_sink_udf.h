@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/string_util.h"
 #include "sql/engine.h"
 #include "sql/table_udf.h"
 
@@ -15,13 +16,20 @@ namespace sqlink {
 struct StreamSinkOptions {
   size_t send_buffer_bytes = 4096;  ///< Paper experiments use 4 KB.
   bool spill_enabled = true;        ///< Spill to local disk when a consumer lags.
-  bool resilient = false;           ///< §6: retain a replayable log per target.
+  bool resilient = false;           ///< §6: serve reconnecting/replacement readers.
   /// How long a sender waits for an ML worker to (re)connect before giving
   /// up. Short values keep failure tests fast.
   int reconnect_timeout_ms = 30000;
+  /// Sink lease renewal interval; <= 0 disables heartbeats — the
+  /// coordinator then cannot detect a dead SQL worker.
+  int heartbeat_ms = static_cast<int>(EnvInt64("SQLINK_HEARTBEAT_MS", 0));
+  /// In-memory budget of each sender's replay window; unacked frames beyond
+  /// it spill to disk.
+  size_t replay_window_bytes = static_cast<size_t>(
+      EnvInt64("SQLINK_REPLAY_WINDOW_BYTES", 1 << 20));
 
-  /// Parses the optional trailing UDF arguments
-  /// (buffer_bytes, spill 0/1, resilient 0/1, reconnect_timeout_ms).
+  /// Parses the optional trailing UDF arguments (buffer_bytes, spill 0/1,
+  /// resilient 0/1, reconnect_timeout_ms, heartbeat_ms, replay_window_bytes).
   static Result<StreamSinkOptions> FromArgs(const std::vector<Value>& args,
                                             size_t first);
 };
@@ -35,11 +43,15 @@ struct StreamSinkOptions {
 /// SQL:
 ///   SELECT * FROM TABLE(sql_stream_sink((<query>),
 ///       '<coordinator_host>', <coordinator_port>, '<ml_command>'
-///       [, <buffer_bytes>, <spill 0/1>, <resilient 0/1>]))
+///       [, <buffer_bytes>, <spill 0/1>, <resilient 0/1>,
+///          <reconnect_timeout_ms>, <heartbeat_ms>, <replay_window_bytes>]))
 ///
-/// In resilient mode every target's frames are first persisted to a
-/// node-local retained log, then served from it; a reconnecting ML worker
-/// (HELLO restart=1) gets a full deterministic replay (§6).
+/// Every data frame carries a per-channel sequence number and is retained
+/// in a bounded replay window until the reader's cumulative ack releases it
+/// (§6). In resilient mode a sender whose connection drops waits for a
+/// reconnecting — or coordinator-appointed replacement — reader, answers
+/// its HELLO with the resume point, and replays only the unacked suffix:
+/// at-least-once delivery, exactly-once apply.
 class SqlStreamSinkUdf final : public TableUdf {
  public:
   SqlStreamSinkUdf() = default;

@@ -1,10 +1,12 @@
 #include "stream/streaming_transfer.h"
 
+#include <algorithm>
 #include <future>
 
 #include "common/status_macros.h"
 #include "common/trace.h"
 #include "stream/coordinator.h"
+#include "stream/heartbeat.h"
 
 namespace sqlink {
 
@@ -18,7 +20,9 @@ std::string StreamingTransfer::BuildSinkSql(const std::string& query_sql,
          command + "', " + std::to_string(sink.send_buffer_bytes) + ", " +
          (sink.spill_enabled ? "1" : "0") + ", " +
          (sink.resilient ? "1" : "0") + ", " +
-         std::to_string(sink.reconnect_timeout_ms) + "))";
+         std::to_string(sink.reconnect_timeout_ms) + ", " +
+         std::to_string(sink.heartbeat_ms) + ", " +
+         std::to_string(sink.replay_window_bytes) + "))";
 }
 
 Result<StreamTransferResult> StreamingTransfer::Run(
@@ -42,6 +46,13 @@ Result<StreamTransferResult> StreamingTransfer::Run(
 
   StreamCoordinator::Options coordinator_options;
   coordinator_options.splits_per_worker = options.splits_per_worker;
+  // Liveness tracking follows the heartbeat knob: the lease TTL is a fixed
+  // multiple of the participants' renewal interval (see DESIGN.md §8).
+  const int heartbeat_ms =
+      std::max(options.sink.heartbeat_ms, options.reader.heartbeat_ms);
+  coordinator_options.heartbeat_timeout_ms =
+      heartbeat_ms > 0 ? heartbeat_ms * HeartbeatSender::kLeaseIntervals : 0;
+  coordinator_options.max_split_reassignments = options.max_split_reassignments;
   int coordinator_port = 0;  // Set below; captured by reference is unsafe,
                              // so capture a pointer to a stable location.
   auto port_holder = std::make_shared<int>(0);

@@ -15,6 +15,9 @@ struct StreamTransferOptions {
   int splits_per_worker = 1;
   StreamSinkOptions sink;
   StreamReaderOptions reader;
+  /// §6: how many times one split may be handed to a replacement reader
+  /// before the coordinator aborts the query.
+  int max_split_reassignments = 3;
   /// Command string passed through the coordinator to the ML launcher (the
   /// paper's "command and arguments to invoke the desired ML algorithm").
   std::string command = "ingest";

@@ -35,18 +35,41 @@ struct WireMetrics {
 
 }  // namespace
 
+namespace {
+
+Status SendFrameImpl(TcpSocket* socket, FrameType type,
+                     std::string_view payload, uint64_t seq,
+                     const TraceContext& trace);
+
+}  // namespace
+
 Status SendFrame(TcpSocket* socket, FrameType type, std::string_view payload) {
-  return SendFrame(socket, type, payload, Tracer::CurrentContext());
+  return SendFrameImpl(socket, type, payload, /*seq=*/0,
+                       Tracer::CurrentContext());
 }
 
 Status SendFrame(TcpSocket* socket, FrameType type, std::string_view payload,
                  const TraceContext& trace) {
+  return SendFrameImpl(socket, type, payload, /*seq=*/0, trace);
+}
+
+Status SendFrame(TcpSocket* socket, FrameType type, std::string_view payload,
+                 uint64_t seq) {
+  return SendFrameImpl(socket, type, payload, seq, Tracer::CurrentContext());
+}
+
+namespace {
+
+Status SendFrameImpl(TcpSocket* socket, FrameType type,
+                     std::string_view payload, uint64_t seq,
+                     const TraceContext& trace) {
   std::string buffer;
   buffer.reserve(kFrameHeaderBytes + payload.size());
   PutFixed32(&buffer, static_cast<uint32_t>(payload.size()));
   buffer.push_back(static_cast<char>(type));
   PutFixed64(&buffer, trace.trace_id);
   PutFixed64(&buffer, trace.span_id);
+  PutFixed64(&buffer, seq);
   buffer.append(payload);
   FailpointOutcome outcome = SQLINK_FAILPOINT("stream.wire.send_frame");
   if (outcome == FailpointOutcome::kNone && type == FrameType::kData) {
@@ -77,6 +100,8 @@ Status SendFrame(TcpSocket* socket, FrameType type, std::string_view payload,
   return status;
 }
 
+}  // namespace
+
 Result<Frame> RecvFrame(TcpSocket* socket) {
   switch (SQLINK_FAILPOINT("stream.wire.recv_frame")) {
     case FailpointOutcome::kNone:
@@ -98,6 +123,7 @@ Result<Frame> RecvFrame(TcpSocket* socket) {
   frame.type = static_cast<FrameType>(type);
   ASSIGN_OR_RETURN(frame.trace.trace_id, decoder.GetFixed64());
   ASSIGN_OR_RETURN(frame.trace.span_id, decoder.GetFixed64());
+  ASSIGN_OR_RETURN(frame.seq, decoder.GetFixed64());
   if (length > 0) {
     RETURN_IF_ERROR(socket->RecvExactly(length, &frame.payload));
   }
@@ -106,6 +132,54 @@ Result<Frame> RecvFrame(TcpSocket* socket) {
   metrics.bytes_received->Add(
       static_cast<int64_t>(kFrameHeaderBytes + frame.payload.size()));
   return frame;
+}
+
+Result<bool> ExtractFrame(std::string* buffer, Frame* frame) {
+  if (buffer->size() < kFrameHeaderBytes) return false;
+  Decoder decoder(*buffer);
+  ASSIGN_OR_RETURN(uint32_t length, decoder.GetFixed32());
+  ASSIGN_OR_RETURN(uint8_t type, decoder.GetByte());
+  if (buffer->size() < kFrameHeaderBytes + length) return false;
+  frame->type = static_cast<FrameType>(type);
+  ASSIGN_OR_RETURN(frame->trace.trace_id, decoder.GetFixed64());
+  ASSIGN_OR_RETURN(frame->trace.span_id, decoder.GetFixed64());
+  ASSIGN_OR_RETURN(frame->seq, decoder.GetFixed64());
+  frame->payload.assign(*buffer, kFrameHeaderBytes, length);
+  buffer->erase(0, kFrameHeaderBytes + length);
+  return true;
+}
+
+namespace {
+/// Marker byte so a typed-status payload is distinguishable from the legacy
+/// free-text error payloads still emitted by older call sites.
+constexpr uint8_t kStatusPayloadTag = 0xF5;
+}  // namespace
+
+std::string EncodeStatus(const Status& status) {
+  std::string out;
+  out.push_back(static_cast<char>(kStatusPayloadTag));
+  PutVarint64(&out, static_cast<uint64_t>(status.code()));
+  PutLengthPrefixed(&out, status.message());
+  return out;
+}
+
+Status DecodeStatusPayload(std::string_view payload) {
+  auto fallback = [&] {
+    return Status::NetworkError("peer failed: " + std::string(payload));
+  };
+  if (payload.empty() ||
+      static_cast<uint8_t>(payload.front()) != kStatusPayloadTag) {
+    return fallback();
+  }
+  Decoder decoder(payload.substr(1));
+  auto code = decoder.GetVarint64();
+  if (!code.ok() || *code == 0 ||
+      *code > static_cast<uint64_t>(StatusCode::kParseError)) {
+    return fallback();
+  }
+  auto message = decoder.GetLengthPrefixed();
+  if (!message.ok()) return fallback();
+  return Status(static_cast<StatusCode>(*code), std::string(*message));
 }
 
 void EncodeSchema(const Schema& schema, std::string* out) {
@@ -176,6 +250,7 @@ std::string SplitsMessage::Encode() const {
     PutVarint64Signed(&out, split.sql_worker);
     PutLengthPrefixed(&out, split.host);
     PutVarint64Signed(&out, split.port);
+    PutVarint64Signed(&out, split.epoch);
   }
   return out;
 }
@@ -195,6 +270,7 @@ Result<SplitsMessage> SplitsMessage::Decode(std::string_view payload) {
     split.host = std::string(host);
     ASSIGN_OR_RETURN(int64_t port, decoder.GetVarint64Signed());
     split.port = static_cast<int>(port);
+    ASSIGN_OR_RETURN(split.epoch, decoder.GetVarint64Signed());
     msg.splits.push_back(std::move(split));
   }
   return msg;
@@ -235,6 +311,7 @@ std::string HelloMessage::Encode() const {
   std::string out;
   PutVarint64Signed(&out, split_id);
   out.push_back(restart ? 1 : 0);
+  PutVarint64Signed(&out, resume_seq);
   return out;
 }
 
@@ -245,6 +322,95 @@ Result<HelloMessage> HelloMessage::Decode(std::string_view payload) {
   msg.split_id = static_cast<int>(id);
   ASSIGN_OR_RETURN(uint8_t restart, decoder.GetByte());
   msg.restart = restart != 0;
+  ASSIGN_OR_RETURN(msg.resume_seq, decoder.GetVarint64Signed());
+  return msg;
+}
+
+std::string HeartbeatMessage::Encode() const {
+  std::string out;
+  out.push_back(static_cast<char>(role));
+  PutVarint64Signed(&out, id);
+  PutVarint64Signed(&out, epoch);
+  PutVarint64(&out, applied_seq);
+  out.push_back(static_cast<char>(bye));
+  return out;
+}
+
+Result<HeartbeatMessage> HeartbeatMessage::Decode(std::string_view payload) {
+  Decoder decoder(payload);
+  HeartbeatMessage msg;
+  ASSIGN_OR_RETURN(msg.role, decoder.GetByte());
+  ASSIGN_OR_RETURN(int64_t id, decoder.GetVarint64Signed());
+  msg.id = static_cast<int>(id);
+  ASSIGN_OR_RETURN(msg.epoch, decoder.GetVarint64Signed());
+  ASSIGN_OR_RETURN(msg.applied_seq, decoder.GetVarint64());
+  ASSIGN_OR_RETURN(msg.bye, decoder.GetByte());
+  return msg;
+}
+
+std::string ResumeMessage::Encode() const {
+  std::string out;
+  PutVarint64(&out, resume_seq);
+  PutVarint64(&out, resume_rows);
+  return out;
+}
+
+Result<ResumeMessage> ResumeMessage::Decode(std::string_view payload) {
+  Decoder decoder(payload);
+  ResumeMessage msg;
+  ASSIGN_OR_RETURN(msg.resume_seq, decoder.GetVarint64());
+  ASSIGN_OR_RETURN(msg.resume_rows, decoder.GetVarint64());
+  return msg;
+}
+
+std::string SplitGrantMessage::Encode() const {
+  std::string out;
+  out.push_back(granted ? 1 : 0);
+  if (granted) {
+    PutVarint64Signed(&out, split.split_id);
+    PutVarint64Signed(&out, split.sql_worker);
+    PutLengthPrefixed(&out, split.host);
+    PutVarint64Signed(&out, split.port);
+    PutVarint64Signed(&out, split.epoch);
+  }
+  return out;
+}
+
+Result<SplitGrantMessage> SplitGrantMessage::Decode(std::string_view payload) {
+  Decoder decoder(payload);
+  SplitGrantMessage msg;
+  ASSIGN_OR_RETURN(uint8_t granted, decoder.GetByte());
+  msg.granted = granted != 0;
+  if (msg.granted) {
+    ASSIGN_OR_RETURN(int64_t id, decoder.GetVarint64Signed());
+    msg.split.split_id = static_cast<int>(id);
+    ASSIGN_OR_RETURN(int64_t worker, decoder.GetVarint64Signed());
+    msg.split.sql_worker = static_cast<int>(worker);
+    ASSIGN_OR_RETURN(std::string_view host, decoder.GetLengthPrefixed());
+    msg.split.host = std::string(host);
+    ASSIGN_OR_RETURN(int64_t port, decoder.GetVarint64Signed());
+    msg.split.port = static_cast<int>(port);
+    ASSIGN_OR_RETURN(msg.split.epoch, decoder.GetVarint64Signed());
+  }
+  return msg;
+}
+
+std::string CompleteSplitMessage::Encode() const {
+  std::string out;
+  PutVarint64Signed(&out, split_id);
+  PutVarint64Signed(&out, epoch);
+  PutVarint64(&out, rows);
+  return out;
+}
+
+Result<CompleteSplitMessage> CompleteSplitMessage::Decode(
+    std::string_view payload) {
+  Decoder decoder(payload);
+  CompleteSplitMessage msg;
+  ASSIGN_OR_RETURN(int64_t id, decoder.GetVarint64Signed());
+  msg.split_id = static_cast<int>(id);
+  ASSIGN_OR_RETURN(msg.epoch, decoder.GetVarint64Signed());
+  ASSIGN_OR_RETURN(msg.rows, decoder.GetVarint64());
   return msg;
 }
 

@@ -33,11 +33,23 @@ enum class FrameType : uint8_t {
   kReportFailure = 15,
   kAck = 16,
   kShutdown = 17,
+
+  // Recovery plane (liveness + at-least-once replay).
+  kHeartbeat = 18,      ///< Lease renewal from a sink or reader.
+  kAcquireSplit = 19,   ///< Runner asks for a Reassignable split.
+  kSplitGrant = 20,     ///< Reply: a reassigned split (or none pending).
+  kCompleteSplit = 21,  ///< Reader confirms a split fully applied.
+  kDataAck = 22,        ///< Cumulative ack: header seq = last applied frame.
+  kResume = 23,         ///< Sink → reader: replay start point after HELLO.
+  kAbortQuery = 24,     ///< Broadcast abort; payload = encoded Status.
 };
 
 struct Frame {
   FrameType type = FrameType::kAck;
   std::string payload;
+  /// Per-channel monotonic sequence number (kData/kEnd frames and kDataAck
+  /// cumulative acks); zero on frames that don't take part in replay.
+  uint64_t seq = 0;
   /// Trace context propagated in the frame header (invalid when the sender
   /// was not tracing). Receivers parent their handler spans here so one
   /// query's trace crosses the wire.
@@ -45,17 +57,36 @@ struct Frame {
 };
 
 /// Wire format: fixed32 payload length, one type byte, fixed64 trace id,
-/// fixed64 span id, payload bytes. The trace fields are zero when tracing is
-/// off; SendFrame stamps the calling thread's current span automatically.
+/// fixed64 span id, fixed64 sequence number, payload bytes. The trace fields
+/// are zero when tracing is off; SendFrame stamps the calling thread's
+/// current span automatically.
 Status SendFrame(TcpSocket* socket, FrameType type, std::string_view payload);
 /// As above with an explicit trace context (senders relaying a span owned by
 /// another thread).
 Status SendFrame(TcpSocket* socket, FrameType type, std::string_view payload,
                  const TraceContext& trace);
+/// As above with an explicit sequence number (data frames and acks).
+Status SendFrame(TcpSocket* socket, FrameType type, std::string_view payload,
+                 uint64_t seq);
 Result<Frame> RecvFrame(TcpSocket* socket);
 
 /// Size in bytes of the fixed frame header.
-inline constexpr size_t kFrameHeaderBytes = 4 + 1 + 8 + 8;
+inline constexpr size_t kFrameHeaderBytes = 4 + 1 + 8 + 8 + 8;
+
+/// Extracts one complete frame from the front of `*buffer` (bytes gathered
+/// out-of-band, e.g. with TcpSocket::TryRecv). Returns true and erases the
+/// consumed prefix when a full frame was buffered; false when more bytes are
+/// needed. Used by data senders draining cumulative acks between frames
+/// without blocking the send path.
+Result<bool> ExtractFrame(std::string* buffer, Frame* frame);
+
+/// Typed-Status payload for kError / kAbortQuery frames: the code survives
+/// the wire, so "aborted" stays IsAborted() on the far side instead of
+/// collapsing into a string.
+std::string EncodeStatus(const Status& status);
+/// Decodes an EncodeStatus payload; free-text payloads (legacy senders,
+/// foreign peers) degrade to kNetworkError with the text as message.
+Status DecodeStatusPayload(std::string_view payload);
 
 /// Schema serialization for the kSchema frame and control messages.
 void EncodeSchema(const Schema& schema, std::string* out);
@@ -84,6 +115,10 @@ struct StreamSplitInfo {
   int sql_worker = 0;
   std::string host;  ///< SQL worker's host — the split's locality hint.
   int port = 0;
+  /// Lease epoch the consumer must present in heartbeats. Bumped by the
+  /// coordinator on every reassignment so a revoked ("zombie") reader is
+  /// fenced off by its stale epoch.
+  int64_t epoch = 1;
 };
 
 /// Response to kGetSplits.
@@ -116,9 +151,64 @@ struct MatchMessage {
 struct HelloMessage {
   int split_id = 0;
   bool restart = false;  ///< §6 recovery: replay from the retained log.
+  /// Highest frame sequence number this reader already applied; the sink
+  /// replays everything after it. -1 = "resume from your last cumulative
+  /// ack" — sent by fresh and replacement readers, which own no local
+  /// progress and inherit whatever the sink knows was applied.
+  int64_t resume_seq = -1;
 
   std::string Encode() const;
   static Result<HelloMessage> Decode(std::string_view payload);
+};
+
+/// Lease renewal sent on a participant's control connection every
+/// heartbeat interval. `id` is the split id for readers and the SQL worker
+/// id for sinks.
+struct HeartbeatMessage {
+  enum Role : uint8_t { kSink = 0, kReader = 1 };
+  enum Bye : uint8_t { kAlive = 0, kCompleted = 1, kFailed = 2 };
+
+  uint8_t role = kSink;
+  int id = 0;
+  int64_t epoch = 1;        ///< Reader lease epoch (fencing).
+  uint64_t applied_seq = 0; ///< Reader progress (observability).
+  uint8_t bye = kAlive;     ///< Final beat: drop (kCompleted) or release
+                            ///< for reassignment (kFailed).
+
+  std::string Encode() const;
+  static Result<HeartbeatMessage> Decode(std::string_view payload);
+};
+
+/// Sink → reader reply to HELLO: where the stream resumes. The reader's
+/// runner truncates its partition buffer to `resume_rows` before applying
+/// replayed frames, so at-least-once delivery stays exactly-once apply.
+struct ResumeMessage {
+  uint64_t resume_seq = 0;   ///< Replay starts after this frame.
+  uint64_t resume_rows = 0;  ///< Rows contained in frames 1..resume_seq.
+
+  std::string Encode() const;
+  static Result<ResumeMessage> Decode(std::string_view payload);
+};
+
+/// Reply to kAcquireSplit: a Reassignable split handed to a surviving
+/// reader, or "none pending right now".
+struct SplitGrantMessage {
+  bool granted = false;
+  StreamSplitInfo split;  ///< Valid when granted; split.epoch is the fenced
+                          ///< lease epoch the replacement must heartbeat.
+
+  std::string Encode() const;
+  static Result<SplitGrantMessage> Decode(std::string_view payload);
+};
+
+/// Reader → coordinator: the split's stream was fully applied.
+struct CompleteSplitMessage {
+  int split_id = 0;
+  int64_t epoch = 1;
+  uint64_t rows = 0;
+
+  std::string Encode() const;
+  static Result<CompleteSplitMessage> Decode(std::string_view payload);
 };
 
 }  // namespace sqlink

@@ -9,19 +9,35 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <memory>
 #include <set>
+#include <string>
 
 #include "cluster/cluster.h"
 #include "common/failpoint.h"
 #include "common/fs_util.h"
 #include "common/metrics.h"
 #include "common/random.h"
+#include "common/stopwatch.h"
 #include "sql/engine.h"
 #include "stream/streaming_transfer.h"
 
 namespace sqlink {
 namespace {
+
+/// Number of .spill files anywhere under `root` — a finished or aborted
+/// transfer must leave zero behind.
+int CountSpillFiles(const std::string& root) {
+  int count = 0;
+  for (const auto& entry :
+       std::filesystem::recursive_directory_iterator(root)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".spill") {
+      ++count;
+    }
+  }
+  return count;
+}
 
 class ChaosStreamTest : public ::testing::Test {
  protected:
@@ -141,6 +157,80 @@ TEST_F(ChaosStreamTest, SpillMetricsAccountForEveryFrame) {
   EXPECT_GT(metrics.GetCounter("stream.wire.frames_sent")->value(), 0);
   EXPECT_GT(metrics.GetCounter("stream.wire.bytes_received")->value(), 0);
   EXPECT_GT(metrics.GetHistogram("stream.wire.send_frame_micros")->count(), 0);
+}
+
+TEST_F(ChaosStreamTest, KilledReaderSplitIsReassigned) {
+  MetricsRegistry::Global().Reset();
+  StreamTransferOptions options;
+  options.sink.resilient = true;
+  options.sink.send_buffer_bytes = 256;  // Many frames per split.
+  options.sink.heartbeat_ms = 20;
+  options.reader.heartbeat_ms = 20;  // Enables split reassignment.
+  options.reader.recovery_enabled = true;
+  // One of the four readers dies outright after 100 delivered rows — no
+  // local reconnect. Its released lease must hand the split to a
+  // replacement reader, which resumes from the sink's replay window with
+  // the partially-applied partition truncated back to the last ack.
+  ScopedFailpoint fault("stream.reader.kill.split1", "after(99):error(1)");
+  ASSERT_TRUE(fault.status().ok()) << fault.status();
+  ExpectCompleteTransfer(options);
+  EXPECT_EQ(fault.fires(), 1);
+  MetricsRegistry& metrics = MetricsRegistry::Global();
+  EXPECT_GE(metrics.Get("transfer.splits_reassigned"), 1);
+  EXPECT_GE(metrics.Get("transfer.frames_replayed"), 1);
+  EXPECT_EQ(CountSpillFiles(temp_->path()), 0);
+}
+
+TEST_F(ChaosStreamTest, DelayedHeartbeatReassignsTheSplit) {
+  MetricsRegistry::Global().Reset();
+  StreamTransferOptions options;
+  options.sink.resilient = true;
+  options.sink.send_buffer_bytes = 256;
+  options.sink.heartbeat_ms = 10;
+  options.reader.heartbeat_ms = 10;  // Lease TTL = 30 ms.
+  options.reader.recovery_enabled = true;
+  // Pace consumption (~20 ms per frame) so every split is still mid-stream
+  // while the lease drama plays out.
+  options.reader.consume_delay_micros_per_frame = 20000;
+  // Split 2's reader freezes one lease renewal far past the TTL + grace.
+  // The reaper marks it Suspect then Reassignable; when the late renewal
+  // finally lands, the reader learns it was fenced, stops applying, and a
+  // replacement finishes the split — exactly once.
+  ScopedFailpoint fault("stream.reader.heartbeat.split2",
+                        "after(2):delay(150,1)");
+  ASSERT_TRUE(fault.status().ok()) << fault.status();
+  ExpectCompleteTransfer(options);
+  EXPECT_EQ(fault.fires(), 1);
+  MetricsRegistry& metrics = MetricsRegistry::Global();
+  EXPECT_GE(metrics.Get("transfer.heartbeat_missed"), 1);
+  EXPECT_GE(metrics.Get("transfer.splits_reassigned"), 1);
+}
+
+TEST_F(ChaosStreamTest, ExhaustedReassignmentAbortsWithTypedStatus) {
+  StreamTransferOptions options;
+  options.sink.resilient = true;
+  options.sink.spill_enabled = true;
+  options.sink.send_buffer_bytes = 128;  // Dead reader ⇒ spill builds up.
+  options.sink.reconnect_timeout_ms = 5000;
+  options.sink.heartbeat_ms = 20;
+  options.reader.heartbeat_ms = 20;
+  options.reader.recovery_enabled = true;
+  options.max_split_reassignments = 1;
+  // Split 1's reader dies after 10 rows — and so does its replacement. The
+  // second release exhausts the budget: the coordinator broadcasts an
+  // abort, every participant unwinds promptly (no waiting out the full
+  // reconnect window), the error is a typed Aborted, and no spill file
+  // survives anywhere under the scratch tree.
+  ScopedFailpoint fault("stream.reader.kill.split1", "after(9):error(2)");
+  ASSERT_TRUE(fault.status().ok()) << fault.status();
+  Stopwatch timer;
+  auto result =
+      StreamingTransfer::Run(engine_.get(), "SELECT * FROM points", options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsAborted()) << result.status();
+  EXPECT_EQ(fault.fires(), 2);
+  EXPECT_LT(timer.ElapsedMicros(), 4000 * 1000);  // Abort, not timeout.
+  EXPECT_EQ(CountSpillFiles(temp_->path()), 0);
 }
 
 TEST_F(ChaosStreamTest, SlowConsumerDelayCompletes) {

@@ -6,8 +6,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <map>
 #include <memory>
 #include <set>
+#include <utility>
 
 #include "cluster/cluster.h"
 #include "common/fs_util.h"
@@ -17,6 +19,7 @@
 #include "rewriter/predicate_logic.h"
 #include "sql/engine.h"
 #include "sql/parser.h"
+#include "stream/replay_window.h"
 #include "stream/spill_queue.h"
 #include "table/csv.h"
 #include "table/row_codec.h"
@@ -346,6 +349,70 @@ TEST_P(SpillQueueSweepTest, OrderPreservedUnderRandomTraffic) {
 
 INSTANTIATE_TEST_SUITE_P(Capacities, SpillQueueSweepTest,
                          ::testing::Values(16, 64, 256, 4096, 1 << 20));
+
+// ---------------------------------------------------------------------------
+// Replay window: under an arbitrary interleaving of appends and cumulative
+// acks, (a) the in-memory footprint never exceeds the byte budget — excess
+// retention overflows to the spill file — and (b) replaying from the ack
+// always reproduces exactly the unacked suffix, in order, byte for byte.
+
+class ReplayWindowPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ReplayWindowPropertyTest, MemoryBoundHoldsUnderRandomTraffic) {
+  Random rng(GetParam() * 7919 + 11);
+  ScopedTempDir temp("replay_window_prop");
+  ReplayWindow::Options options;
+  options.memory_capacity_bytes = 1 + rng.Uniform(2048);
+  options.spill_enabled = true;
+  options.spill_path = temp.path() + "/window";
+  ReplayWindow window(options);
+
+  std::map<uint64_t, std::pair<uint64_t, std::string>> retained;  // seq→frame
+  uint64_t next_seq = 1;
+  uint64_t acked = 0;
+  for (int op = 0; op < 400; ++op) {
+    if (rng.Bernoulli(0.7)) {
+      // Frame sizes straddle the budget: some runs append single frames
+      // larger than the whole window, which must spill immediately.
+      std::string frame =
+          rng.NextString(1 + rng.Uniform(options.memory_capacity_bytes + 64));
+      const uint64_t rows = 1 + rng.Uniform(100);
+      ASSERT_TRUE(window.Append(next_seq, rows, frame).ok());
+      retained[next_seq] = {rows, std::move(frame)};
+      ++next_seq;
+    } else {
+      acked += rng.Uniform(next_seq - acked);  // Never past the last frame.
+      window.Ack(acked);
+      retained.erase(retained.begin(), retained.lower_bound(acked + 1));
+    }
+    ASSERT_LE(window.memory_bytes(), options.memory_capacity_bytes)
+        << "after op " << op << " (seq " << next_seq << ", acked " << acked
+        << ")";
+  }
+
+  auto it = retained.begin();
+  uint64_t replay_rows = 0;
+  ASSERT_TRUE(window
+                  .Replay(acked,
+                          [&](uint64_t seq, uint64_t rows,
+                              const std::string& frame) {
+                            EXPECT_NE(it, retained.end());
+                            EXPECT_EQ(seq, it->first);
+                            EXPECT_EQ(rows, it->second.first);
+                            EXPECT_EQ(frame, it->second.second);
+                            replay_rows += rows;
+                            ++it;
+                            return Status::OK();
+                          })
+                  .ok());
+  EXPECT_EQ(it, retained.end());
+  ASSERT_TRUE(window.RowsThrough(window.last_seq()).ok());
+  EXPECT_EQ(*window.RowsThrough(window.last_seq()),
+            *window.RowsThrough(acked) + replay_rows);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReplayWindowPropertyTest,
+                         ::testing::Range<uint64_t>(0, 8));
 
 // ---------------------------------------------------------------------------
 // RetryPolicy: backoff schedule invariants over random configurations.

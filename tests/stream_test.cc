@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <memory>
 #include <set>
 #include <thread>
@@ -12,6 +13,7 @@
 #include "common/trace.h"
 #include "sql/engine.h"
 #include "stream/coordinator.h"
+#include "stream/replay_window.h"
 #include "stream/socket.h"
 #include "stream/spill_queue.h"
 #include "stream/streaming_transfer.h"
@@ -246,6 +248,100 @@ TEST_F(SpillQueueTest, ConcurrentProducerConsumerWithSpill) {
   }
   producer.join();
   EXPECT_EQ(count, kFrames);
+}
+
+TEST_F(SpillQueueTest, AbortLeavesNoSpillFilesBehind) {
+  SpillingByteQueue::Options options;
+  options.memory_capacity_bytes = 32;
+  options.spill_enabled = true;
+  options.spill_path = temp_.path() + "/abort_spill";
+  {
+    SpillingByteQueue queue(options);
+    for (int i = 0; i < 16; ++i) {
+      ASSERT_TRUE(queue.Push(std::string(24, 'x')).ok());
+    }
+    ASSERT_GT(queue.spilled_frames(), 0);
+    EXPECT_TRUE(std::filesystem::exists(options.spill_path + ".spill"));
+    // Abort mid-drain: nothing was ever popped, yet Cancel must delete the
+    // on-disk backlog immediately, not wait for process exit.
+    queue.Cancel();
+    EXPECT_FALSE(std::filesystem::exists(options.spill_path + ".spill"));
+  }
+  EXPECT_TRUE(std::filesystem::is_empty(temp_.path()));
+}
+
+TEST_F(SpillQueueTest, DestructorLeavesNoSpillFilesBehind) {
+  SpillingByteQueue::Options options;
+  options.memory_capacity_bytes = 32;
+  options.spill_enabled = true;
+  options.spill_path = temp_.path() + "/drop_spill";
+  {
+    SpillingByteQueue queue(options);
+    for (int i = 0; i < 16; ++i) {
+      ASSERT_TRUE(queue.Push(std::string(24, 'x')).ok());
+    }
+    ASSERT_GT(queue.spilled_frames(), 0);
+    // No Cancel, no drain: destruction alone must clean the scratch dir.
+  }
+  EXPECT_TRUE(std::filesystem::is_empty(temp_.path()));
+}
+
+// --- Replay window ---
+
+class ReplayWindowTest : public ::testing::Test {
+ protected:
+  ScopedTempDir temp_{"replay_window_test"};
+};
+
+TEST_F(ReplayWindowTest, ReplaysUnackedSuffixAcrossSpill) {
+  ReplayWindow::Options options;
+  options.memory_capacity_bytes = 16;  // Force the older frames to disk.
+  options.spill_enabled = true;
+  options.spill_path = temp_.path() + "/window";
+  ReplayWindow window(options);
+  for (uint64_t seq = 1; seq <= 6; ++seq) {
+    ASSERT_TRUE(
+        window.Append(seq, /*rows=*/seq, "frame" + std::to_string(seq)).ok());
+  }
+  EXPECT_GT(window.spilled_frames(), 0);
+  window.Ack(2);
+  EXPECT_EQ(window.acked_seq(), 2u);
+  EXPECT_EQ(*window.RowsThrough(2), 3u);   // 1 + 2
+  EXPECT_EQ(*window.RowsThrough(6), 21u);  // 1 + ... + 6
+  // A reader resuming from frame 3 gets exactly 4, 5, 6 — in order, with
+  // content intact whether the frame lived in memory or on disk.
+  std::vector<uint64_t> seqs;
+  std::vector<std::string> frames;
+  ASSERT_TRUE(window
+                  .Replay(3,
+                          [&](uint64_t seq, uint64_t rows,
+                              const std::string& frame) {
+                            (void)rows;
+                            seqs.push_back(seq);
+                            frames.push_back(frame);
+                            return Status::OK();
+                          })
+                  .ok());
+  EXPECT_EQ(seqs, (std::vector<uint64_t>{4, 5, 6}));
+  EXPECT_EQ(frames, (std::vector<std::string>{"frame4", "frame5", "frame6"}));
+  window.Ack(6);
+  EXPECT_EQ(window.memory_bytes(), 0u);
+}
+
+TEST_F(ReplayWindowTest, DestructionRemovesSpillFile) {
+  {
+    ReplayWindow::Options options;
+    options.memory_capacity_bytes = 8;
+    options.spill_enabled = true;
+    options.spill_path = temp_.path() + "/window";
+    ReplayWindow window(options);
+    for (uint64_t seq = 1; seq <= 8; ++seq) {
+      ASSERT_TRUE(window.Append(seq, 1, std::string(64, 'w')).ok());
+    }
+    ASSERT_GT(window.spilled_frames(), 0);
+    // Never acked, never replayed: an aborted transfer drops the window.
+  }
+  EXPECT_TRUE(std::filesystem::is_empty(temp_.path()));
 }
 
 // --- End-to-end streaming transfer ---
