@@ -1,136 +1,203 @@
-// Ablation A6: microbenchmarks of the transformation primitives —
-// recoding-map application, the three coding schemes, CSV codec and the
-// binary row codec (google-benchmark).
+// Ablation A6: the §2 transformation hot path, row-at-a-time versus the
+// vectorized columnar kernels.
+//
+// Both paths apply the same work to the same data: recode three categorical
+// columns through the RecodeMap (gender k=2, abandoned k=2, city k=64), then
+// dummy-code gender and abandoned into contrast columns — the paper's §2
+// workload shape. The row path is the pre-columnar implementation —
+// one boxed Value per cell, one map lookup per row per column. The columnar
+// path runs RecodeColumnKernel (one lookup per *distinct* value, then an
+// integer gather) and ApplyCodingKernel over ColumnBatch vectors.
+//
+// With SQLINK_BENCH_JSON set, one JSON line per mode is emitted; --check
+// exits non-zero when the columnar path fails to beat the row path.
 
-#include <benchmark/benchmark.h>
+#include <cstring>
+#include <string>
+#include <vector>
 
+#include "bench_util.h"
 #include "common/random.h"
-#include "table/csv.h"
-#include "table/row_codec.h"
+#include "common/stopwatch.h"
+#include "table/column_batch.h"
 #include "transform/coding.h"
+#include "transform/kernels.h"
 #include "transform/recode_map.h"
 
-namespace sqlink {
+using namespace sqlink;
+
 namespace {
 
-Row MakeRow(Random* rng) {
-  return Row{Value::Int64(rng->UniformInt(16, 90)),
-             Value::String(rng->Bernoulli(0.5) ? "F" : "M"),
-             Value::Double(rng->NextDouble() * 500),
-             Value::String(rng->Bernoulli(0.4) ? "Yes" : "No")};
-}
+constexpr int kCityCardinality = 64;
 
-void BM_RecodeMapLookup(benchmark::State& state) {
+struct Workload {
+  SchemaPtr schema;
+  std::vector<Row> rows;
+  ColumnBatch batch;
   RecodeMap map;
-  (void)map.Add("gender", "F", 1);
-  (void)map.Add("gender", "M", 2);
-  (void)map.Add("abandoned", "Yes", 1);
-  (void)map.Add("abandoned", "No", 2);
-  Random rng(7);
-  int64_t rows = 0;
-  for (auto _ : state) {
-    const std::string value = rng.Bernoulli(0.5) ? "F" : "M";
-    benchmark::DoNotOptimize(map.Code("gender", value));
-    ++rows;
-  }
-  state.SetItemsProcessed(rows);
-}
-BENCHMARK(BM_RecodeMapLookup);
+  std::vector<std::vector<double>> gender_matrix;
+  std::vector<std::vector<double>> abandoned_matrix;
+};
 
-void BM_CodingMatrix(benchmark::State& state) {
-  const auto scheme = static_cast<CodingScheme>(state.range(0));
-  const int k = static_cast<int>(state.range(1));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(CodingMatrix(scheme, k));
+Workload MakeWorkload(int64_t num_rows) {
+  Workload w;
+  w.schema = Schema::Make({{"gender", DataType::kString},
+                           {"abandoned", DataType::kString},
+                           {"city", DataType::kString},
+                           {"amount", DataType::kDouble}});
+  (void)w.map.Add("gender", "F", 1);
+  (void)w.map.Add("gender", "M", 2);
+  (void)w.map.Add("abandoned", "Yes", 1);
+  (void)w.map.Add("abandoned", "No", 2);
+  std::vector<std::string> cities;
+  for (int i = 0; i < kCityCardinality; ++i) {
+    cities.push_back("city-" + std::to_string(i));
+    (void)w.map.Add("city", cities.back(), i + 1);
   }
-}
-BENCHMARK(BM_CodingMatrix)
-    ->Args({static_cast<int>(CodingScheme::kDummy), 8})
-    ->Args({static_cast<int>(CodingScheme::kEffect), 8})
-    ->Args({static_cast<int>(CodingScheme::kOrthogonal), 8})
-    ->Args({static_cast<int>(CodingScheme::kOrthogonal), 64});
 
-void BM_DummyCodeRow(benchmark::State& state) {
-  // Apply a k-level dummy coding to a stream of recoded values.
-  const int k = static_cast<int>(state.range(0));
-  const auto matrix = CodingMatrix(CodingScheme::kDummy, k);
-  Random rng(11);
-  int64_t rows = 0;
-  for (auto _ : state) {
-    const int level = static_cast<int>(rng.UniformInt(1, k));
+  Random rng(19);
+  w.rows.reserve(static_cast<size_t>(num_rows));
+  for (int64_t i = 0; i < num_rows; ++i) {
+    w.rows.push_back(
+        Row{Value::String(rng.Bernoulli(0.5) ? "F" : "M"),
+            Value::String(rng.Bernoulli(0.4) ? "Yes" : "No"),
+            Value::String(cities[static_cast<size_t>(
+                rng.UniformInt(0, kCityCardinality - 1))]),
+            Value::Double(rng.NextDouble() * 500)});
+  }
+  auto batch = ColumnBatch::FromRows(w.schema, w.rows);
+  if (!batch.ok()) {
+    std::fprintf(stderr, "batch: %s\n", batch.status().ToString().c_str());
+    std::exit(1);
+  }
+  w.batch = std::move(*batch);
+  w.gender_matrix = *CodingMatrix(CodingScheme::kDummy, 2);
+  w.abandoned_matrix = *CodingMatrix(CodingScheme::kDummy, 2);
+  return w;
+}
+
+/// The pre-columnar path: per row, per column, a string-keyed map lookup
+/// producing a boxed Value, then per-row contrast expansion.
+int64_t RunRowPath(const Workload& w) {
+  static const std::string kCols[] = {"gender", "abandoned", "city"};
+  int64_t checksum = 0;
+  for (const Row& row : w.rows) {
     Row out;
-    for (double v : (*matrix)[static_cast<size_t>(level - 1)]) {
+    out.reserve(3 + 2 + 2);
+    int gender_code = 0;
+    int abandoned_code = 0;
+    for (int c = 0; c < 3; ++c) {
+      auto code = w.map.Code(kCols[c], row[static_cast<size_t>(c)].string_value());
+      if (!code.ok()) std::exit(1);
+      if (c == 0) gender_code = *code;
+      if (c == 1) abandoned_code = *code;
+      out.push_back(Value::Int64(*code));
+    }
+    for (double v : w.gender_matrix[static_cast<size_t>(gender_code - 1)]) {
       out.push_back(Value::Int64(static_cast<int64_t>(v)));
     }
-    benchmark::DoNotOptimize(out);
-    ++rows;
+    for (double v : w.abandoned_matrix[static_cast<size_t>(abandoned_code - 1)]) {
+      out.push_back(Value::Int64(static_cast<int64_t>(v)));
+    }
+    checksum += out[2].int64_value() + out.back().int64_value();
   }
-  state.SetItemsProcessed(rows);
+  return checksum;
 }
-BENCHMARK(BM_DummyCodeRow)->Arg(2)->Arg(8)->Arg(32);
 
-void BM_CsvFormatRow(benchmark::State& state) {
-  CsvCodec codec;
-  Random rng(3);
-  Row row = MakeRow(&rng);
-  int64_t bytes = 0;
-  for (auto _ : state) {
-    std::string line = codec.FormatRow(row);
-    bytes += static_cast<int64_t>(line.size());
-    benchmark::DoNotOptimize(line);
+/// The columnar path: translate-table recode + typed-vector contrast gather.
+int64_t RunColumnarPath(const Workload& w) {
+  static const std::string kCols[] = {"gender", "abandoned", "city"};
+  const size_t rows = w.batch.num_rows();
+  std::vector<Column> recoded(3);
+  for (int c = 0; c < 3; ++c) {
+    const RecodeMap::ColumnDict* dict = w.map.FindColumn(kCols[c]);
+    Status status =
+        RecodeColumnKernel(w.batch.column(static_cast<size_t>(c)), rows,
+                           kCols[c], *dict, &recoded[static_cast<size_t>(c)]);
+    if (!status.ok()) std::exit(1);
   }
-  state.SetBytesProcessed(bytes);
+  std::vector<Column> gender_cols;
+  std::vector<Column> abandoned_cols;
+  if (!ApplyCodingKernel(recoded[0], rows, 2, w.gender_matrix,
+                         DataType::kInt64, &gender_cols)
+           .ok() ||
+      !ApplyCodingKernel(recoded[1], rows, 2, w.abandoned_matrix,
+                         DataType::kInt64, &abandoned_cols)
+           .ok()) {
+    std::exit(1);
+  }
+  int64_t checksum = 0;
+  for (size_t r = 0; r < rows; ++r) {
+    checksum += recoded[2].ints[r] + abandoned_cols.back().ints[r];
+  }
+  return checksum;
 }
-BENCHMARK(BM_CsvFormatRow);
 
-void BM_CsvParseRow(benchmark::State& state) {
-  CsvCodec codec;
-  Schema schema({{"age", DataType::kInt64},
-                 {"gender", DataType::kString},
-                 {"amount", DataType::kDouble},
-                 {"abandoned", DataType::kString}});
-  Random rng(3);
-  const std::string line = codec.FormatRow(MakeRow(&rng));
-  int64_t bytes = 0;
-  for (auto _ : state) {
-    auto row = codec.ParseRow(line, schema);
-    bytes += static_cast<int64_t>(line.size());
-    benchmark::DoNotOptimize(row);
+/// Best-of-three wall milliseconds.
+template <typename Fn>
+double TimeBest(Fn&& fn, int64_t* checksum) {
+  double best_ms = 1e18;
+  for (int rep = 0; rep < 3; ++rep) {
+    Stopwatch watch;
+    *checksum = fn();
+    best_ms = std::min(best_ms, watch.ElapsedSeconds() * 1000.0);
   }
-  state.SetBytesProcessed(bytes);
+  return best_ms;
 }
-BENCHMARK(BM_CsvParseRow);
-
-void BM_RowCodecEncode(benchmark::State& state) {
-  Random rng(5);
-  Row row = MakeRow(&rng);
-  int64_t bytes = 0;
-  for (auto _ : state) {
-    std::string buffer;
-    RowCodec::Encode(row, &buffer);
-    bytes += static_cast<int64_t>(buffer.size());
-    benchmark::DoNotOptimize(buffer);
-  }
-  state.SetBytesProcessed(bytes);
-}
-BENCHMARK(BM_RowCodecEncode);
-
-void BM_RowCodecDecode(benchmark::State& state) {
-  Random rng(5);
-  std::string buffer;
-  RowCodec::Encode(MakeRow(&rng), &buffer);
-  int64_t bytes = 0;
-  for (auto _ : state) {
-    Decoder decoder(buffer);
-    auto row = RowCodec::Decode(&decoder);
-    bytes += static_cast<int64_t>(buffer.size());
-    benchmark::DoNotOptimize(row);
-  }
-  state.SetBytesProcessed(bytes);
-}
-BENCHMARK(BM_RowCodecDecode);
 
 }  // namespace
-}  // namespace sqlink
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool check = false;
+  int64_t num_rows = 1000000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0) {
+      check = true;
+    } else {
+      num_rows = std::atoll(argv[i]);
+    }
+  }
+
+  Workload w = MakeWorkload(num_rows);
+  std::printf(
+      "=== Transform hot path: recode x3 (city k=%d) + dummy-code x2 ===\n",
+      kCityCardinality);
+  std::printf("rows: %lld\n\n", static_cast<long long>(num_rows));
+  std::printf("%-10s %12s %16s\n", "mode", "wall(ms)", "rows/sec");
+
+  int64_t row_sum = 0;
+  int64_t col_sum = 0;
+  const double row_ms = TimeBest([&] { return RunRowPath(w); }, &row_sum);
+  const double col_ms = TimeBest([&] { return RunColumnarPath(w); }, &col_sum);
+  if (row_sum != col_sum) {
+    std::fprintf(stderr, "checksum mismatch: row %lld vs columnar %lld\n",
+                 static_cast<long long>(row_sum),
+                 static_cast<long long>(col_sum));
+    return 1;
+  }
+
+  const double row_rate = static_cast<double>(num_rows) / row_ms * 1000.0;
+  const double col_rate = static_cast<double>(num_rows) / col_ms * 1000.0;
+  std::printf("%-10s %12.3f %16.0f\n", "row", row_ms, row_rate);
+  std::printf("%-10s %12.3f %16.0f\n", "columnar", col_ms, col_rate);
+  const double speedup = row_ms / col_ms;
+  std::printf("\ncolumnar speedup: %.2fx\n", speedup);
+
+  sqlink::bench::BenchJsonLine("transform.recode_dummy")
+      .Param("mode", "row")
+      .Param("rows", num_rows)
+      .Param("rows_per_sec", row_rate)
+      .Emit(row_ms);
+  sqlink::bench::BenchJsonLine("transform.recode_dummy")
+      .Param("mode", "columnar")
+      .Param("rows", num_rows)
+      .Param("rows_per_sec", col_rate)
+      .Param("speedup", speedup)
+      .Emit(col_ms);
+
+  if (check && speedup < 1.0) {
+    std::fprintf(stderr, "CHECK FAILED: columnar slower than row path\n");
+    return 2;
+  }
+  return 0;
+}

@@ -37,6 +37,22 @@ cmake -B "${BUILD_DIR}" -S .
 cmake --build "${BUILD_DIR}" -j "${JOBS}"
 run_suites "${BUILD_DIR}"
 
+# The columnar hot path (SQLINK_COLUMNAR, default on) must be a pure
+# optimization: the whole suite reruns with the row path forced.
+echo "==> [${BUILD_DIR}] row-path suite (SQLINK_COLUMNAR=off)"
+(cd "${BUILD_DIR}" &&
+ SQLINK_COLUMNAR=off ctest -L 'unit|chaos' --output-on-failure -j "${JOBS}")
+
+# Bench smoke: the default build is Release, so the row-vs-columnar micro
+# benches run here directly. --check fails the stage if the columnar path
+# is ever slower than the row path; the JSON series lands in BENCH_pr4.json.
+echo "==> [${BUILD_DIR}] bench smoke (row vs columnar)"
+cmake --build "${BUILD_DIR}" -j "${JOBS}" --target bench_transform bench_ingest
+BENCH_JSON="$(pwd)/BENCH_pr4.json"
+rm -f "${BENCH_JSON}"
+SQLINK_BENCH_JSON="${BENCH_JSON}" "${BUILD_DIR}/bench/bench_transform" 1000000 --check
+SQLINK_BENCH_JSON="${BENCH_JSON}" "${BUILD_DIR}/bench/bench_ingest" 400000 --check
+
 if [[ "${SQLINK_SANITIZE}" != "none" ]]; then
   SAN_DIR="${BUILD_DIR}-${SQLINK_SANITIZE}"
   echo "==> stage 3: sanitizer pass (-fsanitize=${SQLINK_SANITIZE})"

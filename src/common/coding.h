@@ -47,6 +47,16 @@ inline void PutLengthPrefixed(std::string* dst, std::string_view value) {
   dst->append(value.data(), value.size());
 }
 
+/// In-place little-endian stores for callers encoding into a fixed stack
+/// buffer (frame headers) instead of an append-style string.
+inline void EncodeFixed32(char* dst, uint32_t value) {
+  std::memcpy(dst, &value, 4);
+}
+
+inline void EncodeFixed64(char* dst, uint64_t value) {
+  std::memcpy(dst, &value, 8);
+}
+
 /// Sequential decoder over an encoded buffer. All getters return an error
 /// status on truncated input rather than reading out of bounds.
 class Decoder {
@@ -60,6 +70,17 @@ class Decoder {
   Result<uint64_t> GetVarint64();
   Result<int64_t> GetVarint64Signed();
   Result<std::string_view> GetLengthPrefixed();
+
+  /// The next `n` raw bytes as a view into the underlying buffer (columnar
+  /// value blobs); errors on truncated input.
+  Result<std::string_view> GetRaw(size_t n) {
+    if (remaining() < n) {
+      return Status::DataLoss("truncated raw bytes");
+    }
+    const std::string_view out = data_.substr(pos_, n);
+    pos_ += n;
+    return out;
+  }
 
   bool AtEnd() const { return pos_ >= data_.size(); }
   size_t remaining() const { return data_.size() - pos_; }

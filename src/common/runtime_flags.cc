@@ -1,0 +1,35 @@
+#include "common/runtime_flags.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <string_view>
+
+namespace sqlink {
+
+namespace {
+
+/// -1 = no override (use the environment); 0/1 = forced by a test.
+std::atomic<int> g_columnar_override{-1};
+
+bool ColumnarFromEnv() {
+  const char* value = std::getenv("SQLINK_COLUMNAR");
+  if (value == nullptr || *value == '\0') return true;
+  const std::string_view v(value);
+  return !(v == "off" || v == "0" || v == "false" || v == "no");
+}
+
+}  // namespace
+
+bool ColumnarEnabled() {
+  const int forced = g_columnar_override.load(std::memory_order_relaxed);
+  if (forced >= 0) return forced != 0;
+  static const bool from_env = ColumnarFromEnv();
+  return from_env;
+}
+
+void SetColumnarEnabledForTest(int enabled) {
+  g_columnar_override.store(enabled < 0 ? -1 : (enabled != 0 ? 1 : 0),
+                            std::memory_order_relaxed);
+}
+
+}  // namespace sqlink

@@ -1,0 +1,21 @@
+#ifndef SQLINK_COMMON_RUNTIME_FLAGS_H_
+#define SQLINK_COMMON_RUNTIME_FLAGS_H_
+
+namespace sqlink {
+
+/// Whether the columnar hot path is enabled (SQLINK_COLUMNAR=on|off,
+/// default on). Gates the sink's columnar frame encoding, the vectorized
+/// transform kernels, and the columnar ML ingest; the row path stays as the
+/// fallback and the two are wire-interoperable per channel (a sink picks one
+/// encoding per query, readers understand both).
+///
+/// The environment is read once; tests flip the mode in-process with
+/// SetColumnarEnabledForTest.
+bool ColumnarEnabled();
+
+/// Test hook: 1 = force on, 0 = force off, -1 = back to the environment.
+void SetColumnarEnabledForTest(int enabled);
+
+}  // namespace sqlink
+
+#endif  // SQLINK_COMMON_RUNTIME_FLAGS_H_

@@ -1,0 +1,71 @@
+#include "common/string_dict.h"
+
+namespace sqlink {
+
+namespace {
+constexpr size_t kInitialSlots = 16;
+}  // namespace
+
+uint64_t StringDict::Hash(std::string_view value) {
+  // FNV-1a: cheap, decent dispersion for short categorical labels.
+  uint64_t h = 1469598103934665603ull;
+  for (const char c : value) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+void StringDict::Rehash(size_t new_slot_count) {
+  slots_.assign(new_slot_count, -1);
+  mask_ = new_slot_count - 1;
+  const int32_t n = size();
+  for (int32_t id = 0; id < n; ++id) {
+    size_t slot = Hash((*this)[id]) & mask_;
+    while (slots_[slot] >= 0) slot = (slot + 1) & mask_;
+    slots_[slot] = id;
+  }
+}
+
+int32_t StringDict::Find(std::string_view value) const {
+  if (slots_.empty()) return -1;
+  size_t slot = Hash(value) & mask_;
+  for (;;) {
+    const int32_t id = slots_[slot];
+    if (id < 0) return -1;
+    if ((*this)[id] == value) return id;
+    slot = (slot + 1) & mask_;
+  }
+}
+
+int32_t StringDict::GetOrAdd(std::string_view value) {
+  if (slots_.empty()) {
+    Rehash(kInitialSlots);
+    offsets_.push_back(0);
+  }
+  size_t slot = Hash(value) & mask_;
+  for (;;) {
+    const int32_t id = slots_[slot];
+    if (id < 0) break;
+    if ((*this)[id] == value) return id;
+    slot = (slot + 1) & mask_;
+  }
+  const int32_t id = size();
+  heap_.append(value.data(), value.size());
+  offsets_.push_back(static_cast<uint32_t>(heap_.size()));
+  slots_[slot] = id;
+  // Keep the load factor under ~0.7 so probes stay short.
+  if (static_cast<size_t>(id) + 1 >= slots_.size() - slots_.size() / 4) {
+    Rehash(slots_.size() * 2);
+  }
+  return id;
+}
+
+void StringDict::Clear() {
+  heap_.clear();
+  offsets_.clear();
+  slots_.clear();
+  mask_ = 0;
+}
+
+}  // namespace sqlink

@@ -1,0 +1,68 @@
+#ifndef SQLINK_COMMON_STRING_DICT_H_
+#define SQLINK_COMMON_STRING_DICT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sqlink {
+
+/// Append-only string dictionary with contiguous storage: every distinct
+/// string gets a dense id in insertion order, the bytes live back-to-back in
+/// one heap buffer, and lookups go through an open-addressing index — one
+/// hash, a short linear probe, no per-entry allocation and no tree walk.
+///
+/// This is the building block for the columnar hot path: recode maps index
+/// their labels with it (O(1) value→code), the distinct-value scan of the
+/// two-phase recode build deduplicates with it, and the wire encoder uses it
+/// as the per-channel dictionary for string columns.
+///
+/// Not thread-safe; callers own synchronization (one dictionary per thread
+/// or an external mutex).
+class StringDict {
+ public:
+  StringDict() = default;
+
+  /// Id of `value`, inserting it with the next dense id when absent.
+  int32_t GetOrAdd(std::string_view value);
+
+  /// Id of `value`, or -1 when absent. Never allocates.
+  int32_t Find(std::string_view value) const;
+
+  /// The string with dense id `id` (0 <= id < size()).
+  std::string_view operator[](int32_t id) const {
+    const auto i = static_cast<size_t>(id);
+    return std::string_view(heap_).substr(offsets_[i],
+                                          offsets_[i + 1] - offsets_[i]);
+  }
+
+  int32_t size() const {
+    return offsets_.empty() ? 0 : static_cast<int32_t>(offsets_.size()) - 1;
+  }
+  bool empty() const { return offsets_.size() <= 1; }
+
+  /// Bytes of string content held (capacity planning / metrics).
+  size_t heap_bytes() const { return heap_.size(); }
+
+  /// Drops all entries but keeps allocated capacity for reuse.
+  void Clear();
+
+ private:
+  static uint64_t Hash(std::string_view value);
+  void Rehash(size_t new_slot_count);
+
+  /// Entry byte ranges: entry i spans heap_[offsets_[i], offsets_[i+1]).
+  /// One trailing sentinel offset, so size() == offsets_.size() - 1; an
+  /// empty dictionary has offsets_ == {} until first use.
+  std::string heap_;
+  std::vector<uint32_t> offsets_;
+  /// Open-addressing slots holding entry ids (-1 = empty), linear probing,
+  /// power-of-two sized.
+  std::vector<int32_t> slots_;
+  size_t mask_ = 0;
+};
+
+}  // namespace sqlink
+
+#endif  // SQLINK_COMMON_STRING_DICT_H_

@@ -12,6 +12,26 @@ namespace sqlink::ml {
 
 namespace {
 
+size_t PartitionRows(const std::vector<Row>& partition) {
+  return partition.size();
+}
+size_t PartitionRows(const ColumnBatch& partition) {
+  return partition.num_rows();
+}
+
+/// Resume-point reconciliation shared by both partition shapes: the
+/// partition holds `have` rows, the reader negotiated `resume_rows`.
+/// Returns an error when acknowledged rows never reached the buffer.
+Status CheckResume(int index, size_t have, uint64_t resume_rows) {
+  if (have >= resume_rows) return Status::OK();
+  // Rows were acknowledged but never reached this buffer — replay cannot
+  // reproduce them.
+  return Status::DataLoss(
+      "split " + std::to_string(index) + " resumes at row " +
+      std::to_string(resume_rows) + " but only " + std::to_string(have) +
+      " rows were applied");
+}
+
 /// Consumes one split into `partition`, truncating it first to the reader's
 /// negotiated resume point (rows an earlier incarnation already applied and
 /// the transport will not re-deliver).
@@ -22,17 +42,11 @@ Status ReadSplit(InputFormat* format, const JobContext& context,
                    format->CreateReader(context, split, index));
   RETURN_IF_ERROR(reader->Open());
   const uint64_t resume_rows = reader->resume_row_count();
+  RETURN_IF_ERROR(CheckResume(index, partition->size(), resume_rows));
   if (partition->size() > resume_rows) {
     // The dead reader got further than its last ack; the suffix will be
     // replayed, so drop it to keep apply exactly-once.
     partition->resize(resume_rows);
-  } else if (partition->size() < resume_rows) {
-    // Rows were acknowledged but never reached this buffer — replay cannot
-    // reproduce them.
-    return Status::DataLoss(
-        "split " + std::to_string(index) + " resumes at row " +
-        std::to_string(resume_rows) + " but only " +
-        std::to_string(partition->size()) + " rows were applied");
   }
   Row row;
   for (;;) {
@@ -43,31 +57,66 @@ Status ReadSplit(InputFormat* format, const JobContext& context,
   return Status::OK();
 }
 
-}  // namespace
+/// Columnar ReadSplit: whole decoded frames are appended when the reader
+/// supports batch delivery; otherwise rows are appended one at a time into
+/// the same typed vectors.
+Status ReadSplitColumns(InputFormat* format, const JobContext& context,
+                        const InputSplit& split, int index,
+                        ColumnBatch* partition) {
+  if (partition->schema() == nullptr) partition->Reset(format->schema());
+  ASSIGN_OR_RETURN(std::unique_ptr<RecordReader> reader,
+                   format->CreateReader(context, split, index));
+  RETURN_IF_ERROR(reader->Open());
+  const uint64_t resume_rows = reader->resume_row_count();
+  RETURN_IF_ERROR(CheckResume(index, partition->num_rows(), resume_rows));
+  partition->Truncate(resume_rows);
+  if (reader->SupportsBatches()) {
+    ColumnBatch batch;
+    for (;;) {
+      ASSIGN_OR_RETURN(bool has, reader->NextBatch(&batch));
+      if (!has) break;
+      RETURN_IF_ERROR(partition->AppendBatch(batch));
+    }
+  } else {
+    Row row;
+    for (;;) {
+      ASSIGN_OR_RETURN(bool has, reader->Next(&row));
+      if (!has) break;
+      RETURN_IF_ERROR(partition->AppendRow(row));
+    }
+  }
+  return Status::OK();
+}
 
-Result<IngestResult> MlJobRunner::Ingest(InputFormat* format) {
+/// The ingest phase shared by both partition shapes: GetSplits → parallel
+/// read → §6 reassignment → stats. `read_split` consumes one split into one
+/// partition, honoring the reader's resume point.
+template <typename Partition, typename ReadFn>
+Result<IngestStats> RunIngestPhases(InputFormat* format,
+                                    const JobContext& context,
+                                    std::vector<Partition>* partitions,
+                                    ReadFn read_split) {
   TraceSpan ingest_span("ml.ingest");
   const TraceContext ingest_ctx = ingest_span.context();
   ASSIGN_OR_RETURN(std::vector<InputSplitPtr> splits,
-                   format->GetSplits(context_));
+                   format->GetSplits(context));
   if (splits.empty()) {
     return Status::InvalidArgument("input format produced no splits");
   }
   const size_t m = splits.size();
 
-  IngestResult result;
-  result.stats.num_splits = static_cast<int>(m);
-  result.dataset.schema = format->schema();
-  result.dataset.partitions.resize(m);
+  IngestStats stats;
+  stats.num_splits = static_cast<int>(m);
+  partitions->resize(m);
 
   // Worker i consumes split i. With a cluster, count how many workers run
   // local to their data (a worker's node is its split's first preferred
   // location when one exists — best-effort placement).
-  if (context_.cluster != nullptr) {
+  if (context.cluster != nullptr) {
     for (const InputSplitPtr& split : splits) {
       for (const std::string& host : split->Locations()) {
-        if (context_.cluster->NodeFromHostName(host) >= 0) {
-          ++result.stats.local_splits;
+        if (context.cluster->NodeFromHostName(host) >= 0) {
+          ++stats.local_splits;
           break;
         }
       }
@@ -75,8 +124,8 @@ Result<IngestResult> MlJobRunner::Ingest(InputFormat* format) {
   }
 
   Histogram* const split_micros =
-      context_.metrics != nullptr
-          ? context_.metrics->GetHistogram("ml.ingest.split_micros")
+      context.metrics != nullptr
+          ? context.metrics->GetHistogram("ml.ingest.split_micros")
           : nullptr;
   std::vector<Status> statuses(m);
   ParallelFor(m, [&](size_t i) {
@@ -86,11 +135,11 @@ Result<IngestResult> MlJobRunner::Ingest(InputFormat* format) {
     TraceSpan split_span("ml.ingest.split", ingest_ctx);
     split_span.AddAttribute("split", static_cast<int64_t>(i));
     Stopwatch timer;
-    statuses[i] = ReadSplit(format, context_, *splits[i], static_cast<int>(i),
-                            &result.dataset.partitions[i]);
+    statuses[i] = read_split(format, context, *splits[i], static_cast<int>(i),
+                             &(*partitions)[i]);
     if (!statuses[i].ok()) split_span.SetError();
     split_span.AddAttribute(
-        "rows", static_cast<int64_t>(result.dataset.partitions[i].size()));
+        "rows", static_cast<int64_t>(PartitionRows((*partitions)[i])));
     if (split_micros != nullptr) split_micros->Record(timer.ElapsedMicros());
   });
 
@@ -109,8 +158,8 @@ Result<IngestResult> MlJobRunner::Ingest(InputFormat* format) {
     poll_options.jitter = 0.0;
     poll_options.deadline_ms = static_cast<int>(EnvInt64(
         "SQLINK_RECOVERY_DEADLINE_MS", 30000));
-    if (auto it = context_.config.find("recovery_deadline_ms");
-        it != context_.config.end()) {
+    if (auto it = context.config.find("recovery_deadline_ms");
+        it != context.config.end()) {
       if (Result<int64_t> ms = ParseInt64(it->second); ms.ok()) {
         poll_options.deadline_ms = static_cast<int>(*ms);
       }
@@ -139,14 +188,13 @@ Result<IngestResult> MlJobRunner::Ingest(InputFormat* format) {
       TraceSpan recover_span("recover_split", ingest_ctx);
       recover_span.AddAttribute("split", static_cast<int64_t>(idx));
       const bool was_failed = !statuses[idx].ok();
-      statuses[idx] = ReadSplit(format, context_, *acquired->split,
-                                static_cast<int>(idx),
-                                &result.dataset.partitions[idx]);
+      statuses[idx] = read_split(format, context, *acquired->split,
+                                 static_cast<int>(idx), &(*partitions)[idx]);
       if (statuses[idx].ok()) {
         if (was_failed) --failed;
-        ++result.stats.recovered_splits;
-        if (context_.metrics != nullptr) {
-          context_.metrics->Increment("ml.ingest.recovered_splits");
+        ++stats.recovered_splits;
+        if (context.metrics != nullptr) {
+          context.metrics->Increment("ml.ingest.recovered_splits");
         }
       } else {
         recover_span.SetError();
@@ -159,15 +207,36 @@ Result<IngestResult> MlJobRunner::Ingest(InputFormat* format) {
   for (const Status& status : statuses) {
     RETURN_IF_ERROR(status);
   }
-  result.stats.rows = result.dataset.TotalRows();
-  if (context_.metrics != nullptr) {
-    context_.metrics->Add("ml.ingest.rows",
-                          static_cast<int64_t>(result.stats.rows));
-    context_.metrics->Add("ml.ingest.splits",
-                          static_cast<int64_t>(result.stats.num_splits));
-    context_.metrics->Add("ml.ingest.local_splits",
-                          result.stats.local_splits);
+  for (const Partition& partition : *partitions) {
+    stats.rows += PartitionRows(partition);
   }
+  if (context.metrics != nullptr) {
+    context.metrics->Add("ml.ingest.rows", static_cast<int64_t>(stats.rows));
+    context.metrics->Add("ml.ingest.splits",
+                         static_cast<int64_t>(stats.num_splits));
+    context.metrics->Add("ml.ingest.local_splits", stats.local_splits);
+  }
+  return stats;
+}
+
+}  // namespace
+
+Result<IngestResult> MlJobRunner::Ingest(InputFormat* format) {
+  IngestResult result;
+  ASSIGN_OR_RETURN(result.stats,
+                   RunIngestPhases(format, context_,
+                                   &result.dataset.partitions, ReadSplit));
+  result.dataset.schema = format->schema();
+  return result;
+}
+
+Result<ColumnIngestResult> MlJobRunner::IngestColumns(InputFormat* format) {
+  ColumnIngestResult result;
+  ASSIGN_OR_RETURN(
+      result.stats,
+      RunIngestPhases(format, context_, &result.dataset.partitions,
+                      ReadSplitColumns));
+  result.dataset.schema = format->schema();
   return result;
 }
 

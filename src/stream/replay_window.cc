@@ -3,6 +3,7 @@
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/status_macros.h"
+#include "stream/wire.h"
 
 namespace sqlink {
 
@@ -51,9 +52,14 @@ Status ReplayWindow::EnforceBudget() {
 
 void ReplayWindow::Ack(uint64_t acked) {
   while (!entries_.empty() && entries_.front().seq <= acked) {
-    const Entry& front = entries_.front();
+    Entry& front = entries_.front();
     acked_rows_ += front.rows;
-    if (front.in_memory) memory_bytes_ -= front.bytes;
+    if (front.in_memory) {
+      memory_bytes_ -= front.bytes;
+      if (options_.buffer_pool != nullptr) {
+        options_.buffer_pool->Release(std::move(front.frame));
+      }
+    }
     acked_seq_ = front.seq;
     entries_.pop_front();
   }

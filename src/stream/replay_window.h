@@ -11,6 +11,8 @@
 
 namespace sqlink {
 
+class FrameBufferPool;
+
 /// The sink side of at-least-once delivery (§6): every sent data frame is
 /// retained, keyed by its per-channel sequence number, until the reader's
 /// cumulative ack releases it. A reconnecting or replacement reader resumes
@@ -33,6 +35,9 @@ class ReplayWindow {
     size_t memory_capacity_bytes = 1 << 20;
     bool spill_enabled = true;
     std::string spill_path;  ///< Required when spill_enabled.
+    /// When set, acked frame buffers are returned here instead of freed, so
+    /// the sender's next Acquire reuses them.
+    FrameBufferPool* buffer_pool = nullptr;
   };
 
   explicit ReplayWindow(Options options);

@@ -4,6 +4,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <csignal>
@@ -77,6 +78,51 @@ Status TcpSocket::SendAll(std::string_view data) {
       return PeerError("send");
     }
     sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status TcpSocket::SendAllV(std::string_view a, std::string_view b) {
+  if (!valid()) return Status::NetworkError("send on closed socket");
+  switch (SQLINK_FAILPOINT("stream.socket.send")) {
+    case FailpointOutcome::kNone:
+      break;
+    case FailpointOutcome::kError:
+      return Status::NetworkError("failpoint: injected send error");
+    case FailpointOutcome::kClose:
+      Close();
+      return Status::NetworkError("failpoint: send socket closed");
+  }
+  IgnoreSigpipeOnce();
+  iovec iov[2];
+  iov[0].iov_base = const_cast<char*>(a.data());
+  iov[0].iov_len = a.size();
+  iov[1].iov_base = const_cast<char*>(b.data());
+  iov[1].iov_len = b.size();
+  size_t first = 0;
+  while (first < 2) {
+    if (iov[first].iov_len == 0) {
+      ++first;
+      continue;
+    }
+    msghdr msg{};
+    msg.msg_iov = &iov[first];
+    msg.msg_iovlen = 2 - first;
+    const ssize_t n = ::sendmsg(fd_, &msg, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return PeerError("send");
+    }
+    size_t advanced = static_cast<size_t>(n);
+    while (first < 2 && advanced >= iov[first].iov_len) {
+      advanced -= iov[first].iov_len;
+      iov[first].iov_len = 0;
+      ++first;
+    }
+    if (first < 2 && advanced > 0) {
+      iov[first].iov_base = static_cast<char*>(iov[first].iov_base) + advanced;
+      iov[first].iov_len -= advanced;
+    }
   }
   return Status::OK();
 }

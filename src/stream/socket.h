@@ -30,6 +30,11 @@ class TcpSocket {
   /// is suppressed so a dead peer surfaces as a Status, not a signal).
   Status SendAll(std::string_view data);
 
+  /// Scatter-gather send of two buffers back-to-back (frame header +
+  /// payload) via sendmsg, avoiding the concatenation copy. Same partial
+  /// write/EINTR/failpoint semantics as SendAll.
+  Status SendAllV(std::string_view a, std::string_view b);
+
   /// Receives exactly `n` bytes into `*out` (resized). A clean remote close
   /// before any byte yields kNetworkError with message "closed".
   Status RecvExactly(size_t n, std::string* out);

@@ -9,10 +9,12 @@
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/retry_policy.h"
+#include "common/runtime_flags.h"
 #include "common/status_macros.h"
 #include "common/trace.h"
 #include "stream/heartbeat.h"
 #include "stream/socket.h"
+#include "table/column_batch.h"
 #include "table/row_codec.h"
 
 namespace sqlink {
@@ -122,31 +124,70 @@ class StreamRecordReader final : public ml::RecordReader {
         }
         ++delivered_;
         if (rows_delivered_ != nullptr) rows_delivered_->Increment();
-        // Fault injection. "row": drop the connection after this row and
-        // recover locally. "kill": the reader dies mid-split — no local
-        // recovery; its split must be reassigned to a survivor.
-        if (SQLINK_FAILPOINT(kill_failpoint_name_) != FailpointOutcome::kNone) {
-          socket_.Close();
-          connected_ = false;
-          if (heartbeat_ != nullptr) {
-            heartbeat_->Stop(HeartbeatMessage::kFailed);
-          }
-          return Status::Unavailable("failpoint: reader killed mid-split");
-        }
-        if (SQLINK_FAILPOINT(row_failpoint_name_) != FailpointOutcome::kNone) {
-          socket_.Close();
-          connected_ = false;
-          const Status status = HandleFailure(
-              Status::NetworkError("injected connection failure"));
-          if (!status.ok()) return status;
-        }
+        RETURN_IF_ERROR(ProbeDeliveryFailpoints());
         return true;
       }
       RETURN_IF_ERROR(HandleFailure(row.status()));
     }
   }
 
+  /// Whole-batch delivery is worthwhile only when the sink streams columnar
+  /// frames (same process-wide knob on both sides); with row frames the
+  /// conversion would just move the boxing cost around.
+  bool SupportsBatches() const override { return ColumnarEnabled(); }
+
+  Result<bool> NextBatch(ColumnBatch* out) override {
+    for (;;) {
+      if (done_) return false;
+      if (heartbeat_ != nullptr && heartbeat_->revoked()) {
+        socket_.Close();
+        connected_ = false;
+        return heartbeat_->status();
+      }
+      if (!connected_) {
+        RETURN_IF_ERROR(Open());
+        continue;
+      }
+      auto batch = NextBatchFromConnection(out);
+      if (batch.ok()) {
+        if (!*batch) {
+          done_ = true;
+          CloseStreamSpan(/*error=*/false);
+          return false;
+        }
+        delivered_ += out->num_rows();
+        if (rows_delivered_ != nullptr) {
+          rows_delivered_->Add(static_cast<int64_t>(out->num_rows()));
+        }
+        RETURN_IF_ERROR(ProbeDeliveryFailpoints());
+        return true;
+      }
+      RETURN_IF_ERROR(HandleFailure(batch.status()));
+    }
+  }
+
  private:
+  /// Fault injection after a delivery. "row": drop the connection and
+  /// recover locally. "kill": the reader dies mid-split — no local recovery;
+  /// its split must be reassigned to a survivor.
+  Status ProbeDeliveryFailpoints() {
+    if (SQLINK_FAILPOINT(kill_failpoint_name_) != FailpointOutcome::kNone) {
+      socket_.Close();
+      connected_ = false;
+      if (heartbeat_ != nullptr) {
+        heartbeat_->Stop(HeartbeatMessage::kFailed);
+      }
+      return Status::Unavailable("failpoint: reader killed mid-split");
+    }
+    if (SQLINK_FAILPOINT(row_failpoint_name_) != FailpointOutcome::kNone) {
+      socket_.Close();
+      connected_ = false;
+      RETURN_IF_ERROR(
+          HandleFailure(Status::NetworkError("injected connection failure")));
+    }
+    return Status::OK();
+  }
+
   /// Resolves the SQL endpoint (via the coordinator on reconnects) and
   /// performs the HELLO / RESUME / SCHEMA handshake.
   Status Connect(bool restart) {
@@ -213,6 +254,9 @@ class StreamRecordReader final : public ml::RecordReader {
     if (schema_frame.type != FrameType::kSchema) {
       return Status::NetworkError("expected schema frame");
     }
+    Decoder schema_decoder(schema_frame.payload);
+    ASSIGN_OR_RETURN(schema_, DecodeSchema(&schema_decoder));
+    if (!col_batch_.has_value()) col_batch_.emplace(schema_);
     // The per-connection span parents to the *sender's* span carried in the
     // schema frame header: the SQL worker's trace continues on the ML side.
     CloseStreamSpan(/*error=*/false);
@@ -224,14 +268,17 @@ class StreamRecordReader final : public ml::RecordReader {
     connected_ = true;
     ever_connected_ = true;
     if (batch_pending_) {
-      // The connection dropped while batch_ was only partially handed to
-      // the ML job. Those delivered rows stay in the partition, and the
-      // frame was never committed or acked, so the sink will replay it;
-      // remember the delivered prefix so the replay skips exactly it.
+      // The connection dropped while the staged frame was only partially
+      // handed to the ML job. Those delivered rows stay in the partition,
+      // and the frame was never committed or acked, so the sink will replay
+      // it; remember the delivered prefix so the replay skips exactly it.
       skip_seq_ = batch_seq_;
       skip_rows_ = batch_index_;
     }
     batch_.clear();
+    col_batch_->Clear();
+    staged_size_ = 0;
+    staged_columnar_ = false;
     batch_index_ = 0;
     batch_pending_ = false;
     pending_ack_ = false;
@@ -253,77 +300,135 @@ class StreamRecordReader final : public ml::RecordReader {
   /// Next row from the live connection; false at clean end-of-stream.
   Result<bool> NextFromConnection(Row* out) {
     for (;;) {
-      if (batch_index_ < batch_.size()) {
-        *out = std::move(batch_[batch_index_++]);
+      if (batch_index_ < staged_size_) {
+        if (staged_columnar_) {
+          col_batch_->EmitRow(batch_index_++, out);
+        } else {
+          *out = std::move(batch_[batch_index_++]);
+        }
         return true;
       }
-      if (batch_pending_) {
-        // Every row of the staged frame has been handed to the ML job:
-        // only now does the durable cursor advance. Committing at decode
-        // time instead would make a reconnect resume past rows that were
-        // decoded but never delivered.
-        last_applied_seq_ = batch_seq_;
-        applied_rows_ += batch_.size();
-        batch_pending_ = false;
-        pending_ack_ = true;
+      ASSIGN_OR_RETURN(bool live, AdvanceToStagedFrame());
+      if (!live) return false;
+    }
+  }
+
+  /// The undelivered remainder of the staged frame as one columnar batch;
+  /// false at clean end-of-stream. The common case — a whole columnar frame
+  /// not yet touched — moves the decoded batch out without copying.
+  Result<bool> NextBatchFromConnection(ColumnBatch* out) {
+    for (;;) {
+      if (batch_index_ < staged_size_) {
+        if (staged_columnar_ && batch_index_ == 0) {
+          *out = std::move(*col_batch_);
+          col_batch_->Reset(schema_);
+        } else if (staged_columnar_) {
+          *out = col_batch_->Slice(batch_index_);
+        } else {
+          ColumnBatch converted(schema_);
+          converted.Reserve(staged_size_ - batch_index_);
+          for (size_t r = batch_index_; r < staged_size_; ++r) {
+            RETURN_IF_ERROR(converted.AppendRow(batch_[r]));
+          }
+          *out = std::move(converted);
+        }
+        batch_index_ = staged_size_;
+        return true;
       }
-      RETURN_IF_ERROR(FlushAck());
-      ASSIGN_OR_RETURN(Frame frame, RecvFrame(&socket_));
-      switch (frame.type) {
-        case FrameType::kData: {
+      ASSIGN_OR_RETURN(bool live, AdvanceToStagedFrame());
+      if (!live) return false;
+    }
+  }
+
+  /// Commits the fully-delivered staged frame, acknowledges it, and
+  /// receives until the next data frame is staged. Returns false at clean
+  /// end-of-stream.
+  Result<bool> AdvanceToStagedFrame() {
+    if (batch_pending_) {
+      // Every row of the staged frame has been handed to the ML job: only
+      // now does the durable cursor advance. Committing at decode time
+      // instead would make a reconnect resume past rows that were decoded
+      // but never delivered.
+      last_applied_seq_ = batch_seq_;
+      applied_rows_ += staged_size_;
+      batch_pending_ = false;
+      pending_ack_ = true;
+    }
+    RETURN_IF_ERROR(FlushAck());
+    for (;;) {
+      RETURN_IF_ERROR(RecvFrameInto(&socket_, &frame_, &recv_scratch_));
+      switch (frame_.type) {
+        case FrameType::kData:
+        case FrameType::kColData: {
           if (SQLINK_FAILPOINT("stream.reader.frame") !=
               FailpointOutcome::kNone) {
             return Status::NetworkError("failpoint: injected frame error");
           }
-          if (frame.seq <= last_applied_seq_) {
+          if (frame_.seq <= last_applied_seq_) {
             // At-least-once delivery: a replayed frame this reader already
             // applied. Drop it whole; re-ack so the sink can trim.
             frames_deduped_->Increment();
             pending_ack_ = true;
+            RETURN_IF_ERROR(FlushAck());
             continue;
           }
-          if (frame.seq != last_applied_seq_ + 1) {
+          if (frame_.seq != last_applied_seq_ + 1) {
             return Status::NetworkError(
                 "sequence gap: expected frame " +
                 std::to_string(last_applied_seq_ + 1) + ", got " +
-                std::to_string(frame.seq));
+                std::to_string(frame_.seq));
           }
-          Decoder decoder(frame.payload);
-          ASSIGN_OR_RETURN(uint64_t count, decoder.GetVarint64());
-          batch_.clear();
-          batch_.reserve(count);
-          for (uint64_t i = 0; i < count; ++i) {
-            ASSIGN_OR_RETURN(Row row, RowCodec::Decode(&decoder));
-            batch_.push_back(std::move(row));
+          if (frame_.type == FrameType::kData) {
+            Decoder decoder(frame_.payload);
+            ASSIGN_OR_RETURN(uint64_t count, decoder.GetVarint64());
+            batch_.clear();
+            batch_.reserve(count);
+            for (uint64_t i = 0; i < count; ++i) {
+              ASSIGN_OR_RETURN(Row row, RowCodec::Decode(&decoder));
+              batch_.push_back(std::move(row));
+            }
+            staged_size_ = batch_.size();
+            staged_columnar_ = false;
+          } else {
+            RETURN_IF_ERROR(col_decoder_.DecodeBatch(frame_.payload, schema_,
+                                                     &*col_batch_));
+            staged_size_ = col_batch_->num_rows();
+            staged_columnar_ = true;
           }
           batch_index_ = 0;
-          if (frame.seq == skip_seq_ && skip_rows_ > 0) {
+          if (frame_.seq == skip_seq_ && skip_rows_ > 0) {
             // Replay of the frame that was in flight when the previous
             // connection dropped: its first skip_rows_ rows already reached
             // the partition, so deliver only the tail.
-            batch_index_ = std::min<size_t>(skip_rows_, batch_.size());
+            batch_index_ = std::min<size_t>(skip_rows_, staged_size_);
           }
           skip_seq_ = 0;
           skip_rows_ = 0;
-          batch_seq_ = frame.seq;
+          batch_seq_ = frame_.seq;
           batch_pending_ = true;
           if (bytes_received_ != nullptr) {
-            bytes_received_->Add(static_cast<int64_t>(frame.payload.size()));
+            bytes_received_->Add(static_cast<int64_t>(frame_.payload.size()));
           }
           if (options_.consume_delay_micros_per_frame > 0) {
             std::this_thread::sleep_for(std::chrono::microseconds(
                 options_.consume_delay_micros_per_frame));
           }
-          break;
+          return true;
         }
+        case FrameType::kDictPage:
+          // Carries no sequence number: a (re)connect preamble that brings
+          // this channel's dictionaries up to the sink's current state so
+          // replayed delta frames resolve.
+          RETURN_IF_ERROR(col_decoder_.ApplySnapshot(frame_.payload, schema_));
+          continue;
         case FrameType::kEnd: {
-          if (frame.seq != last_applied_seq_) {
+          if (frame_.seq != last_applied_seq_) {
             return Status::NetworkError(
                 "sequence gap at end of stream: sender closed at frame " +
-                std::to_string(frame.seq) + ", reader applied through " +
+                std::to_string(frame_.seq) + ", reader applied through " +
                 std::to_string(last_applied_seq_));
           }
-          Decoder decoder(frame.payload);
+          Decoder decoder(frame_.payload);
           ASSIGN_OR_RETURN(uint64_t expected, decoder.GetVarint64());
           if (expected != applied_rows_) {
             return Status::DataLoss(
@@ -343,7 +448,7 @@ class StreamRecordReader final : public ml::RecordReader {
           return false;
         }
         case FrameType::kError:
-          return DecodeStatusPayload(frame.payload);
+          return DecodeStatusPayload(frame_.payload);
         default:
           return Status::NetworkError("unexpected data frame type");
       }
@@ -412,10 +517,18 @@ class StreamRecordReader final : public ml::RecordReader {
   bool connected_ = false;
   bool ever_connected_ = false;
   bool done_ = false;
-  std::vector<Row> batch_;
-  size_t batch_index_ = 0;
-  uint64_t batch_seq_ = 0;         // Frame the staged batch_ decoded from.
-  bool batch_pending_ = false;     // batch_ decoded but not fully delivered.
+  SchemaPtr schema_;               // Decoded from the kSchema frame.
+  Frame frame_;                    // Receive scratch reused across frames.
+  std::string recv_scratch_;       // Header scratch for RecvFrameInto.
+  ColumnarChannelDecoder col_decoder_;
+  std::optional<ColumnBatch> col_batch_;  // Staged kColData frame (Connect
+                                          // creates it with the schema).
+  std::vector<Row> batch_;         // Staged kData frame.
+  bool staged_columnar_ = false;   // Which staging buffer holds the frame.
+  size_t staged_size_ = 0;         // Rows in the staged frame.
+  size_t batch_index_ = 0;         // Next staged row to deliver.
+  uint64_t batch_seq_ = 0;         // Frame the staged rows decoded from.
+  bool batch_pending_ = false;     // Staged but not fully delivered.
   uint64_t skip_seq_ = 0;          // Frame whose replay skips a prefix of
   uint64_t skip_rows_ = 0;         // skip_rows_ already-delivered rows.
   bool pending_ack_ = false;       // last_applied_seq_ not yet acked.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <memory>
 #include <optional>
 #include <thread>
 
@@ -13,32 +14,50 @@
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/retry_policy.h"
+#include "common/runtime_flags.h"
 #include "common/status_macros.h"
 #include "common/trace.h"
 #include "stream/heartbeat.h"
 #include "stream/replay_window.h"
 #include "stream/spill_queue.h"
 #include "stream/wire.h"
+#include "table/column_batch.h"
 #include "table/row_codec.h"
 
 namespace sqlink {
 
 namespace {
 
-/// Encodes batches of rows into kData frame payloads:
-/// varint row count + concatenated encoded rows.
+/// Accumulates rows and renders data-frame payloads. Both encodings lead
+/// with a varint row count, so FrameRowCount and the replay window treat
+/// them uniformly.
 class FrameBatcher {
  public:
-  void Add(const Row& row) {
+  virtual ~FrameBatcher() = default;
+  virtual Status Add(const Row& row) = 0;
+  virtual bool empty() const = 0;
+  /// Approximate payload bytes accumulated (flush threshold).
+  virtual size_t bytes() const = 0;
+  /// Renders and resets. The returned buffer comes from the frame pool.
+  virtual Result<std::string> Flush() = 0;
+};
+
+/// Row encoding (kData): varint row count + concatenated RowCodec rows.
+class RowFrameBatcher final : public FrameBatcher {
+ public:
+  explicit RowFrameBatcher(FrameBufferPool* pool) : pool_(pool) {}
+
+  Status Add(const Row& row) override {
     ++count_;
     RowCodec::Encode(row, &body_);
+    return Status::OK();
   }
 
-  bool empty() const { return count_ == 0; }
-  size_t bytes() const { return body_.size(); }
+  bool empty() const override { return count_ == 0; }
+  size_t bytes() const override { return body_.size(); }
 
-  std::string Flush() {
-    std::string payload;
+  Result<std::string> Flush() override {
+    std::string payload = pool_->Acquire();
     PutVarint64(&payload, count_);
     payload += body_;
     count_ = 0;
@@ -47,11 +66,39 @@ class FrameBatcher {
   }
 
  private:
+  FrameBufferPool* pool_;
   uint64_t count_ = 0;
   std::string body_;
 };
 
-/// Row count of a kData frame payload (its leading varint).
+/// Columnar encoding (kColData): rows accumulate in typed vectors and are
+/// rendered column-contiguously by the channel encoder on flush.
+class ColumnarFrameBatcher final : public FrameBatcher {
+ public:
+  ColumnarFrameBatcher(SchemaPtr schema, ColumnarChannelEncoder* encoder,
+                       FrameBufferPool* pool)
+      : batch_(std::move(schema)), encoder_(encoder), pool_(pool) {}
+
+  Status Add(const Row& row) override { return batch_.AppendRow(row); }
+
+  bool empty() const override { return batch_.empty(); }
+  size_t bytes() const override { return batch_.ByteSize(); }
+
+  Result<std::string> Flush() override {
+    std::string payload = pool_->Acquire();
+    RETURN_IF_ERROR(encoder_->EncodeBatch(batch_, &payload));
+    batch_.Clear();
+    return payload;
+  }
+
+ private:
+  ColumnBatch batch_;
+  ColumnarChannelEncoder* encoder_;
+  FrameBufferPool* pool_;
+};
+
+/// Row count of a data frame payload (its leading varint — shared by the
+/// row and columnar encodings).
 Result<uint64_t> FrameRowCount(const std::string& frame) {
   Decoder decoder(frame);
   return decoder.GetVarint64();
@@ -108,30 +155,47 @@ class AckChannel {
 
  private:
   Status DrainBuffered(ReplayWindow* window, bool* final_ack) {
-    Frame frame;
-    for (;;) {
-      ASSIGN_OR_RETURN(bool complete, ExtractFrame(&buffer_, &frame));
-      if (!complete) return Status::OK();
-      switch (frame.type) {
+    // A single erase after the loop: the cursor walks complete frames in
+    // place instead of shifting the buffer once per frame.
+    size_t cursor = 0;
+    Status status = Status::OK();
+    bool done = false;
+    while (!done) {
+      Result<bool> complete = ExtractFrame(buffer_, &cursor, &frame_);
+      if (!complete.ok()) {
+        status = complete.status();
+        break;
+      }
+      if (!*complete) break;
+      switch (frame_.type) {
         case FrameType::kDataAck:
-          window->Ack(frame.seq);
+          window->Ack(frame_.seq);
           break;
         case FrameType::kAck:
           if (final_ack != nullptr) {
             *final_ack = true;
-            return Status::OK();
+          } else {
+            status = Status::NetworkError("unexpected final ack mid-stream");
           }
-          return Status::NetworkError("unexpected final ack mid-stream");
+          done = true;
+          break;
         case FrameType::kError:
-          return DecodeStatusPayload(frame.payload);
+          status = DecodeStatusPayload(frame_.payload);
+          done = true;
+          break;
         default:
-          return Status::NetworkError("unexpected frame on ack channel");
+          status = Status::NetworkError("unexpected frame on ack channel");
+          done = true;
+          break;
       }
     }
+    buffer_.erase(0, cursor);
+    return status;
   }
 
   TcpSocket* socket_;
   std::string buffer_;
+  Frame frame_;  ///< Scratch reused across drains.
   bool peer_closed_ = false;
 };
 
@@ -333,6 +397,23 @@ Status SqlStreamSinkUdf::ProcessPartition(const TableUdfContext& context,
   int64_t bytes_sent = 0;
   int64_t spilled_frames = 0;
 
+  // Columnar mode is fixed for the transfer's lifetime: every data frame on
+  // a channel uses one encoding, so live and replayed frames always agree.
+  const bool columnar = ColumnarEnabled();
+  const FrameType data_frame_type =
+      columnar ? FrameType::kColData : FrameType::kData;
+  FrameBufferPool* const frame_pool = FrameBufferPool::Global();
+  // One dictionary set per target channel, shared by the producer-side
+  // batcher (which appends entries while encoding deltas) and the sender
+  // (which snapshots it into a kDictPage on every (re)connect).
+  std::vector<std::unique_ptr<ColumnarChannelEncoder>> encoders;
+  if (columnar) {
+    for (int j = 0; j < k; ++j) {
+      encoders.push_back(
+          std::make_unique<ColumnarChannelEncoder>(input_schema_));
+    }
+  }
+
   // --- Step 8: round-robin rows into per-target send buffers while sender
   // threads drain them onto the sockets. Each sender retains sent frames in
   // a replay window until the reader's cumulative ack releases them. ---
@@ -385,6 +466,7 @@ Status SqlStreamSinkUdf::ProcessPartition(const TableUdfContext& context,
       window_options.spill_path = scratch_dir + "/stream_replay_w" +
                                   std::to_string(context.worker_id) + "_t" +
                                   std::to_string(j);
+      window_options.buffer_pool = frame_pool;
       ReplayWindow window(window_options);
       bool input_done = false;  ///< The send queue has been fully drained.
 
@@ -412,12 +494,20 @@ Status SqlStreamSinkUdf::ProcessPartition(const TableUdfContext& context,
         EncodeSchema(*input_schema_, &schema_payload);
         RETURN_IF_ERROR(SendFrame(socket, FrameType::kSchema, schema_payload));
 
+        if (columnar) {
+          // Full dictionary snapshot on every (re)connect: replayed delta
+          // frames then only re-append entries the reader already has,
+          // which the decoder skips, so replay stays idempotent.
+          RETURN_IF_ERROR(
+              SendFrame(socket, FrameType::kDictPage,
+                        encoders[static_cast<size_t>(j)]->SnapshotDicts()));
+        }
+
         RETURN_IF_ERROR(window.Replay(
             resume, [&](uint64_t seq, uint64_t rows, const std::string& frame)
                         -> Status {
               (void)rows;
-              RETURN_IF_ERROR(
-                  SendFrame(socket, FrameType::kData, frame, seq));
+              RETURN_IF_ERROR(SendFrame(socket, data_frame_type, frame, seq));
               replayed_counter->Increment();
               return Status::OK();
             }));
@@ -432,9 +522,14 @@ Status SqlStreamSinkUdf::ProcessPartition(const TableUdfContext& context,
           ASSIGN_OR_RETURN(uint64_t rows, FrameRowCount(*frame));
           const uint64_t seq = window.last_seq() + 1;
           // Retain before sending: a frame that dies on the wire must
-          // already be replayable.
-          RETURN_IF_ERROR(window.Append(seq, rows, *frame));
-          RETURN_IF_ERROR(SendFrame(socket, FrameType::kData, *frame, seq));
+          // already be replayable. The retained copy lives in a pooled
+          // buffer that Ack() recycles; the popped frame goes back to the
+          // pool once it is on the wire.
+          std::string retained = frame_pool->Acquire();
+          retained.assign(*frame);
+          RETURN_IF_ERROR(window.Append(seq, rows, std::move(retained)));
+          RETURN_IF_ERROR(SendFrame(socket, data_frame_type, *frame, seq));
+          frame_pool->Release(std::move(*frame));
         }
 
         // kEnd carries the last data sequence so the reader can detect a
@@ -484,7 +579,15 @@ Status SqlStreamSinkUdf::ProcessPartition(const TableUdfContext& context,
     });
   }
 
-  std::vector<FrameBatcher> batchers(static_cast<size_t>(k));
+  std::vector<std::unique_ptr<FrameBatcher>> batchers;
+  for (int j = 0; j < k; ++j) {
+    if (columnar) {
+      batchers.push_back(std::make_unique<ColumnarFrameBatcher>(
+          input_schema_, encoders[static_cast<size_t>(j)].get(), frame_pool));
+    } else {
+      batchers.push_back(std::make_unique<RowFrameBatcher>(frame_pool));
+    }
+  }
   Status produce_status;
   Row row;
   size_t next_target = 0;
@@ -495,23 +598,32 @@ Status SqlStreamSinkUdf::ProcessPartition(const TableUdfContext& context,
       break;
     }
     if (!*has) break;
-    FrameBatcher& batch = batchers[next_target];
-    batch.Add(row);
+    FrameBatcher& batch = *batchers[next_target];
+    produce_status = batch.Add(row);
+    if (!produce_status.ok()) break;
     ++rows_sent;
     if (batch.bytes() >= options_.send_buffer_bytes) {
-      std::string frame = batch.Flush();
-      bytes_sent += static_cast<int64_t>(frame.size());
-      produce_status = queues[next_target]->Push(std::move(frame));
+      Result<std::string> frame = batch.Flush();
+      if (!frame.ok()) {
+        produce_status = frame.status();
+        break;
+      }
+      bytes_sent += static_cast<int64_t>(frame->size());
+      produce_status = queues[next_target]->Push(std::move(*frame));
       if (!produce_status.ok()) break;
     }
     next_target = (next_target + 1) % static_cast<size_t>(k);
   }
   if (produce_status.ok()) {
     for (size_t j = 0; j < batchers.size(); ++j) {
-      if (batchers[j].empty()) continue;
-      std::string frame = batchers[j].Flush();
-      bytes_sent += static_cast<int64_t>(frame.size());
-      produce_status = queues[j]->Push(std::move(frame));
+      if (batchers[j]->empty()) continue;
+      Result<std::string> frame = batchers[j]->Flush();
+      if (!frame.ok()) {
+        produce_status = frame.status();
+        break;
+      }
+      bytes_sent += static_cast<int64_t>(frame->size());
+      produce_status = queues[j]->Push(std::move(*frame));
       if (!produce_status.ok()) break;
     }
   }

@@ -25,9 +25,15 @@ std::string StreamingTransfer::BuildSinkSql(const std::string& query_sql,
          std::to_string(sink.replay_window_bytes) + "))";
 }
 
-Result<StreamTransferResult> StreamingTransfer::Run(
-    SqlEngine* engine, const std::string& query_sql,
-    const StreamTransferOptions& options) {
+namespace {
+
+/// The transfer flow is identical for row and columnar materialization;
+/// only the ingest call and the result's dataset shape differ.
+template <typename TransferResultT, typename IngestResultT, typename IngestFn>
+Result<TransferResultT> RunTransfer(SqlEngine* engine,
+                                    const std::string& query_sql,
+                                    const StreamTransferOptions& options,
+                                    IngestFn ingest) {
   RETURN_IF_ERROR(RegisterStreamSinkUdf(engine));
 
   // Root span of the whole transfer. Installing it as the ambient context
@@ -41,8 +47,8 @@ Result<StreamTransferResult> StreamingTransfer::Run(
   // The coordinator launches the ML ingestion when all SQL workers have
   // registered (paper step 2). The launcher runs on the coordinator's
   // launcher thread and fulfills the promise.
-  std::promise<Result<ml::IngestResult>> ml_promise;
-  std::future<Result<ml::IngestResult>> ml_future = ml_promise.get_future();
+  std::promise<Result<IngestResultT>> ml_promise;
+  std::future<Result<IngestResultT>> ml_future = ml_promise.get_future();
 
   StreamCoordinator::Options coordinator_options;
   coordinator_options.splits_per_worker = options.splits_per_worker;
@@ -57,8 +63,9 @@ Result<StreamTransferResult> StreamingTransfer::Run(
                              // so capture a pointer to a stable location.
   auto port_holder = std::make_shared<int>(0);
   coordinator_options.ml_launcher =
-      [engine, port_holder, reader_options = options.reader, &ml_promise](
-          const std::string& command, const std::vector<std::string>& args) {
+      [engine, port_holder, reader_options = options.reader, &ml_promise,
+       ingest](const std::string& command,
+               const std::vector<std::string>& args) {
         (void)command;
         (void)args;
         ml::JobContext context;
@@ -66,7 +73,7 @@ Result<StreamTransferResult> StreamingTransfer::Run(
         context.metrics = engine->metrics();
         SqlStreamInputFormat format("localhost", *port_holder, reader_options);
         ml::MlJobRunner runner(context);
-        ml_promise.set_value(runner.Ingest(&format));
+        ml_promise.set_value(ingest(&runner, &format));
       };
 
   ASSIGN_OR_RETURN(std::unique_ptr<StreamCoordinator> coordinator,
@@ -74,12 +81,12 @@ Result<StreamTransferResult> StreamingTransfer::Run(
   *port_holder = coordinator->port();
   coordinator_port = coordinator->port();
 
-  const std::string sink_sql =
-      BuildSinkSql(query_sql, coordinator->host(), coordinator_port,
-                   options.command, options.sink);
+  const std::string sink_sql = StreamingTransfer::BuildSinkSql(
+      query_sql, coordinator->host(), coordinator_port, options.command,
+      options.sink);
   auto sql_result = engine->ExecuteSql(sink_sql, "stream_summary");
 
-  Result<StreamTransferResult> outcome = [&]() -> Result<StreamTransferResult> {
+  Result<TransferResultT> outcome = [&]() -> Result<TransferResultT> {
     if (!sql_result.ok()) {
       // If the failure happened before every worker registered, the ML job
       // was never launched and the future will never be fulfilled.
@@ -90,10 +97,10 @@ Result<StreamTransferResult> StreamingTransfer::Run(
       (void)ml_future.get();
       return sql_result.status();
     }
-    ASSIGN_OR_RETURN(ml::IngestResult ingest, ml_future.get());
-    StreamTransferResult result;
-    result.dataset = std::move(ingest.dataset);
-    result.stats = ingest.stats;
+    ASSIGN_OR_RETURN(IngestResultT ingested, ml_future.get());
+    TransferResultT result;
+    result.dataset = std::move(ingested.dataset);
+    result.stats = ingested.stats;
     for (const Row& row : (*sql_result)->GatherRows()) {
       result.rows_sent += row[1].int64_value();
       result.bytes_sent += row[2].int64_value();
@@ -104,6 +111,28 @@ Result<StreamTransferResult> StreamingTransfer::Run(
 
   coordinator->Stop();
   return outcome;
+}
+
+}  // namespace
+
+Result<StreamTransferResult> StreamingTransfer::Run(
+    SqlEngine* engine, const std::string& query_sql,
+    const StreamTransferOptions& options) {
+  return RunTransfer<StreamTransferResult, ml::IngestResult>(
+      engine, query_sql, options,
+      [](ml::MlJobRunner* runner, ml::InputFormat* format) {
+        return runner->Ingest(format);
+      });
+}
+
+Result<ColumnTransferResult> StreamingTransfer::RunToColumns(
+    SqlEngine* engine, const std::string& query_sql,
+    const StreamTransferOptions& options) {
+  return RunTransfer<ColumnTransferResult, ml::ColumnIngestResult>(
+      engine, query_sql, options,
+      [](ml::MlJobRunner* runner, ml::InputFormat* format) {
+        return runner->IngestColumns(format);
+      });
 }
 
 }  // namespace sqlink

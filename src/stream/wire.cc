@@ -1,5 +1,7 @@
 #include "stream/wire.h"
 
+#include <cstring>
+
 #include "common/failpoint.h"
 #include "common/metrics.h"
 #include "common/status_macros.h"
@@ -16,6 +18,8 @@ struct WireMetrics {
   Counter* frames_received;
   Counter* bytes_sent;
   Counter* bytes_received;
+  Counter* frames_pooled;
+  Counter* pool_miss;
   Histogram* send_micros;
   Histogram* recv_micros;
 
@@ -26,6 +30,8 @@ struct WireMetrics {
                          registry.GetCounter("stream.wire.frames_received"),
                          registry.GetCounter("stream.wire.bytes_sent"),
                          registry.GetCounter("stream.wire.bytes_received"),
+                         registry.GetCounter("stream.wire.frames_pooled"),
+                         registry.GetCounter("stream.wire.pool_miss"),
                          registry.GetHistogram("stream.wire.send_frame_micros"),
                          registry.GetHistogram("stream.wire.recv_frame_micros")};
     }();
@@ -63,16 +69,18 @@ namespace {
 Status SendFrameImpl(TcpSocket* socket, FrameType type,
                      std::string_view payload, uint64_t seq,
                      const TraceContext& trace) {
-  std::string buffer;
-  buffer.reserve(kFrameHeaderBytes + payload.size());
-  PutFixed32(&buffer, static_cast<uint32_t>(payload.size()));
-  buffer.push_back(static_cast<char>(type));
-  PutFixed64(&buffer, trace.trace_id);
-  PutFixed64(&buffer, trace.span_id);
-  PutFixed64(&buffer, seq);
-  buffer.append(payload);
+  // Header on the stack + scatter-gather send: the steady-state data path
+  // never concatenates header and payload into a heap buffer.
+  char header[kFrameHeaderBytes];
+  EncodeFixed32(header, static_cast<uint32_t>(payload.size()));
+  header[4] = static_cast<char>(type);
+  EncodeFixed64(header + 5, trace.trace_id);
+  EncodeFixed64(header + 13, trace.span_id);
+  EncodeFixed64(header + 21, seq);
+  const std::string_view header_view(header, kFrameHeaderBytes);
   FailpointOutcome outcome = SQLINK_FAILPOINT("stream.wire.send_frame");
-  if (outcome == FailpointOutcome::kNone && type == FrameType::kData) {
+  if (outcome == FailpointOutcome::kNone &&
+      (type == FrameType::kData || type == FrameType::kColData)) {
     outcome = SQLINK_FAILPOINT("stream.wire.send_data");
   }
   switch (outcome) {
@@ -83,26 +91,32 @@ Status SendFrameImpl(TcpSocket* socket, FrameType type,
     case FailpointOutcome::kClose: {
       // Ship only half the frame before dropping the connection, so the
       // receiver observes a mid-frame disconnect rather than a clean EOF.
-      const std::string_view half(buffer.data(), buffer.size() / 2);
-      (void)socket->SendAll(half);
+      const size_t half = (kFrameHeaderBytes + payload.size()) / 2;
+      if (half <= kFrameHeaderBytes) {
+        (void)socket->SendAll(header_view.substr(0, half));
+      } else {
+        (void)socket->SendAllV(header_view,
+                               payload.substr(0, half - kFrameHeaderBytes));
+      }
       socket->Close();
       return Status::NetworkError("failpoint: connection dropped mid-frame");
     }
   }
   const WireMetrics& metrics = WireMetrics::Get();
   Stopwatch timer;
-  const Status status = socket->SendAll(buffer);
+  const Status status = socket->SendAllV(header_view, payload);
   if (status.ok()) {
     metrics.send_micros->Record(timer.ElapsedMicros());
     metrics.frames_sent->Increment();
-    metrics.bytes_sent->Add(static_cast<int64_t>(buffer.size()));
+    metrics.bytes_sent->Add(
+        static_cast<int64_t>(kFrameHeaderBytes + payload.size()));
   }
   return status;
 }
 
 }  // namespace
 
-Result<Frame> RecvFrame(TcpSocket* socket) {
+Status RecvFrameInto(TcpSocket* socket, Frame* frame, std::string* scratch) {
   switch (SQLINK_FAILPOINT("stream.wire.recv_frame")) {
     case FailpointOutcome::kNone:
       break;
@@ -114,39 +128,294 @@ Result<Frame> RecvFrame(TcpSocket* socket) {
   }
   const WireMetrics& metrics = WireMetrics::Get();
   Stopwatch timer;
-  std::string header;
-  RETURN_IF_ERROR(socket->RecvExactly(kFrameHeaderBytes, &header));
-  Decoder decoder(header);
+  RETURN_IF_ERROR(socket->RecvExactly(kFrameHeaderBytes, scratch));
+  Decoder decoder(*scratch);
   ASSIGN_OR_RETURN(uint32_t length, decoder.GetFixed32());
   ASSIGN_OR_RETURN(uint8_t type, decoder.GetByte());
-  Frame frame;
-  frame.type = static_cast<FrameType>(type);
-  ASSIGN_OR_RETURN(frame.trace.trace_id, decoder.GetFixed64());
-  ASSIGN_OR_RETURN(frame.trace.span_id, decoder.GetFixed64());
-  ASSIGN_OR_RETURN(frame.seq, decoder.GetFixed64());
-  if (length > 0) {
-    RETURN_IF_ERROR(socket->RecvExactly(length, &frame.payload));
-  }
-  metrics.recv_micros->Record(timer.ElapsedMicros());
-  metrics.frames_received->Increment();
-  metrics.bytes_received->Add(
-      static_cast<int64_t>(kFrameHeaderBytes + frame.payload.size()));
-  return frame;
-}
-
-Result<bool> ExtractFrame(std::string* buffer, Frame* frame) {
-  if (buffer->size() < kFrameHeaderBytes) return false;
-  Decoder decoder(*buffer);
-  ASSIGN_OR_RETURN(uint32_t length, decoder.GetFixed32());
-  ASSIGN_OR_RETURN(uint8_t type, decoder.GetByte());
-  if (buffer->size() < kFrameHeaderBytes + length) return false;
   frame->type = static_cast<FrameType>(type);
   ASSIGN_OR_RETURN(frame->trace.trace_id, decoder.GetFixed64());
   ASSIGN_OR_RETURN(frame->trace.span_id, decoder.GetFixed64());
   ASSIGN_OR_RETURN(frame->seq, decoder.GetFixed64());
-  frame->payload.assign(*buffer, kFrameHeaderBytes, length);
-  buffer->erase(0, kFrameHeaderBytes + length);
+  frame->payload.clear();
+  if (length > 0) {
+    RETURN_IF_ERROR(socket->RecvExactly(length, &frame->payload));
+  }
+  metrics.recv_micros->Record(timer.ElapsedMicros());
+  metrics.frames_received->Increment();
+  metrics.bytes_received->Add(
+      static_cast<int64_t>(kFrameHeaderBytes + frame->payload.size()));
+  return Status::OK();
+}
+
+Result<Frame> RecvFrame(TcpSocket* socket) {
+  Frame frame;
+  std::string scratch;
+  RETURN_IF_ERROR(RecvFrameInto(socket, &frame, &scratch));
+  return frame;
+}
+
+Result<bool> ExtractFrame(std::string_view buffer, size_t* cursor,
+                          Frame* frame) {
+  if (*cursor > buffer.size()) {
+    return Status::Internal("frame cursor past end of buffer");
+  }
+  const std::string_view rest = buffer.substr(*cursor);
+  if (rest.size() < kFrameHeaderBytes) return false;
+  Decoder decoder(rest);
+  ASSIGN_OR_RETURN(uint32_t length, decoder.GetFixed32());
+  ASSIGN_OR_RETURN(uint8_t type, decoder.GetByte());
+  if (rest.size() < kFrameHeaderBytes + length) return false;
+  frame->type = static_cast<FrameType>(type);
+  ASSIGN_OR_RETURN(frame->trace.trace_id, decoder.GetFixed64());
+  ASSIGN_OR_RETURN(frame->trace.span_id, decoder.GetFixed64());
+  ASSIGN_OR_RETURN(frame->seq, decoder.GetFixed64());
+  frame->payload.assign(rest.data() + kFrameHeaderBytes, length);
+  *cursor += kFrameHeaderBytes + length;
   return true;
+}
+
+Result<bool> ExtractFrame(std::string* buffer, Frame* frame) {
+  size_t cursor = 0;
+  ASSIGN_OR_RETURN(bool extracted, ExtractFrame(*buffer, &cursor, frame));
+  if (extracted) buffer->erase(0, cursor);
+  return extracted;
+}
+
+std::string FrameBufferPool::Acquire() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!buffers_.empty()) {
+      std::string buffer = std::move(buffers_.back());
+      buffers_.pop_back();
+      buffer.clear();
+      WireMetrics::Get().frames_pooled->Increment();
+      return buffer;
+    }
+  }
+  WireMetrics::Get().pool_miss->Increment();
+  return {};
+}
+
+void FrameBufferPool::Release(std::string buffer) {
+  if (buffer.capacity() == 0 || buffer.capacity() > kMaxBufferCapacity) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (buffers_.size() >= kMaxPooled) return;
+  buffers_.push_back(std::move(buffer));
+}
+
+FrameBufferPool* FrameBufferPool::Global() {
+  static FrameBufferPool* const pool = new FrameBufferPool();
+  return pool;
+}
+
+// --- Columnar channel encode/decode -----------------------------------------
+
+namespace {
+
+// Bounds-checked null probe (columns written by kernels may size null_words
+// short when no nulls exist).
+inline bool ColumnIsNull(const Column& col, size_t row) {
+  const size_t word = row >> 6;
+  return word < col.null_words.size() &&
+         ((col.null_words[word] >> (row & 63)) & 1) != 0;
+}
+
+}  // namespace
+
+ColumnarChannelEncoder::ColumnarChannelEncoder(SchemaPtr schema)
+    : schema_(std::move(schema)),
+      dicts_(schema_ != nullptr ? static_cast<size_t>(schema_->num_fields())
+                                : 0) {}
+
+Status ColumnarChannelEncoder::EncodeBatch(const ColumnBatch& batch,
+                                           std::string* payload) {
+  if (batch.num_columns() != dicts_.size()) {
+    return Status::InvalidArgument(
+        "columnar batch width does not match channel schema");
+  }
+  payload->clear();
+  const size_t rows = batch.num_rows();
+  PutVarint64(payload, rows);
+  const size_t null_bytes = (rows + 7) / 8;
+  std::vector<int32_t> remap;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < batch.num_columns(); ++i) {
+    const Column& col = batch.column(i);
+    bool has_nulls = false;
+    for (const uint64_t word : col.null_words) {
+      if (word != 0) {
+        has_nulls = true;
+        break;
+      }
+    }
+    payload->push_back(has_nulls ? 1 : 0);
+    if (has_nulls) {
+      for (size_t b = 0; b < null_bytes; ++b) {
+        const size_t word = b >> 3;
+        const uint64_t bits =
+            word < col.null_words.size() ? col.null_words[word] : 0;
+        payload->push_back(
+            static_cast<char>((bits >> ((b & 7) * 8)) & 0xFF));
+      }
+    }
+    switch (col.type) {
+      case DataType::kBool:
+        payload->append(reinterpret_cast<const char*>(col.bools.data()),
+                        rows);
+        break;
+      case DataType::kInt64:
+        payload->append(reinterpret_cast<const char*>(col.ints.data()),
+                        rows * 8);
+        break;
+      case DataType::kDouble:
+        payload->append(reinterpret_cast<const char*>(col.doubles.data()),
+                        rows * 8);
+        break;
+      case DataType::kString: {
+        // Register the batch's dictionary entries with the channel
+        // dictionary; new entries ride in this frame as a delta.
+        StringDict& channel = dicts_[i];
+        const int32_t before = channel.size();
+        remap.assign(static_cast<size_t>(col.dict.size()), 0);
+        for (int32_t id = 0; id < col.dict.size(); ++id) {
+          remap[static_cast<size_t>(id)] = channel.GetOrAdd(col.dict[id]);
+        }
+        PutVarint64(payload, static_cast<uint64_t>(before));
+        PutVarint64(payload, static_cast<uint64_t>(channel.size() - before));
+        for (int32_t id = before; id < channel.size(); ++id) {
+          PutLengthPrefixed(payload, channel[id]);
+        }
+        const size_t base = payload->size();
+        payload->resize(base + rows * 4);
+        char* out = payload->data() + base;
+        for (size_t r = 0; r < rows; ++r) {
+          int32_t code = 0;
+          if (!ColumnIsNull(col, r)) {
+            code = remap[static_cast<size_t>(col.codes[r])];
+          }
+          std::memcpy(out + r * 4, &code, 4);
+        }
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::string ColumnarChannelEncoder::SnapshotDicts() const {
+  std::string out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < dicts_.size(); ++i) {
+    if (schema_->field(static_cast<int>(i)).type != DataType::kString) {
+      continue;
+    }
+    const StringDict& dict = dicts_[i];
+    PutVarint64(&out, static_cast<uint64_t>(dict.size()));
+    for (int32_t id = 0; id < dict.size(); ++id) {
+      PutLengthPrefixed(&out, dict[id]);
+    }
+  }
+  return out;
+}
+
+Status ColumnarChannelDecoder::ApplySnapshot(std::string_view payload,
+                                             const SchemaPtr& schema) {
+  if (schema == nullptr) {
+    return Status::FailedPrecondition("dictionary page before schema");
+  }
+  dicts_.resize(static_cast<size_t>(schema->num_fields()));
+  Decoder decoder(payload);
+  for (int i = 0; i < schema->num_fields(); ++i) {
+    if (schema->field(i).type != DataType::kString) continue;
+    ASSIGN_OR_RETURN(uint64_t count, decoder.GetVarint64());
+    StringDict& dict = dicts_[static_cast<size_t>(i)];
+    for (uint64_t k = 0; k < count; ++k) {
+      ASSIGN_OR_RETURN(std::string_view entry, decoder.GetLengthPrefixed());
+      // Entries are append-only and ordered, so overlap with what this
+      // channel already decoded is idempotent.
+      if (k < static_cast<uint64_t>(dict.size())) continue;
+      dict.GetOrAdd(entry);
+    }
+  }
+  return Status::OK();
+}
+
+Status ColumnarChannelDecoder::DecodeBatch(std::string_view payload,
+                                           const SchemaPtr& schema,
+                                           ColumnBatch* out) {
+  if (schema == nullptr) {
+    return Status::FailedPrecondition("columnar frame before schema");
+  }
+  dicts_.resize(static_cast<size_t>(schema->num_fields()));
+  out->Reset(schema);
+  Decoder decoder(payload);
+  ASSIGN_OR_RETURN(uint64_t rows64, decoder.GetVarint64());
+  if (rows64 > (uint64_t{1} << 30)) {
+    return Status::DataLoss("implausible columnar row count");
+  }
+  const size_t rows = static_cast<size_t>(rows64);
+  const size_t null_bytes = (rows + 7) / 8;
+  const size_t null_word_count = (rows + 63) / 64;
+  for (size_t i = 0; i < out->num_columns(); ++i) {
+    Column& col = out->column(i);
+    ASSIGN_OR_RETURN(uint8_t has_nulls, decoder.GetByte());
+    col.null_words.assign(null_word_count, 0);
+    if (has_nulls != 0) {
+      ASSIGN_OR_RETURN(std::string_view bits, decoder.GetRaw(null_bytes));
+      for (size_t b = 0; b < null_bytes; ++b) {
+        col.null_words[b >> 3] |=
+            static_cast<uint64_t>(static_cast<uint8_t>(bits[b]))
+            << ((b & 7) * 8);
+      }
+    }
+    switch (col.type) {
+      case DataType::kBool: {
+        ASSIGN_OR_RETURN(std::string_view raw, decoder.GetRaw(rows));
+        col.bools.resize(rows);
+        std::memcpy(col.bools.data(), raw.data(), rows);
+        break;
+      }
+      case DataType::kInt64: {
+        ASSIGN_OR_RETURN(std::string_view raw, decoder.GetRaw(rows * 8));
+        col.ints.resize(rows);
+        std::memcpy(col.ints.data(), raw.data(), rows * 8);
+        break;
+      }
+      case DataType::kDouble: {
+        ASSIGN_OR_RETURN(std::string_view raw, decoder.GetRaw(rows * 8));
+        col.doubles.resize(rows);
+        std::memcpy(col.doubles.data(), raw.data(), rows * 8);
+        break;
+      }
+      case DataType::kString: {
+        ASSIGN_OR_RETURN(uint64_t first, decoder.GetVarint64());
+        ASSIGN_OR_RETURN(uint64_t count, decoder.GetVarint64());
+        StringDict& channel = dicts_[i];
+        if (first > static_cast<uint64_t>(channel.size())) {
+          return Status::DataLoss("columnar dictionary delta gap");
+        }
+        for (uint64_t k = 0; k < count; ++k) {
+          ASSIGN_OR_RETURN(std::string_view entry,
+                           decoder.GetLengthPrefixed());
+          if (first + k < static_cast<uint64_t>(channel.size())) continue;
+          channel.GetOrAdd(entry);
+        }
+        ASSIGN_OR_RETURN(std::string_view raw, decoder.GetRaw(rows * 4));
+        col.codes.resize(rows);
+        std::memcpy(col.codes.data(), raw.data(), rows * 4);
+        for (size_t r = 0; r < rows; ++r) {
+          if (!ColumnIsNull(col, r) &&
+              (col.codes[r] < 0 || col.codes[r] >= channel.size())) {
+            return Status::DataLoss("string code outside channel dictionary");
+          }
+        }
+        col.dict = channel;
+        break;
+      }
+    }
+  }
+  out->SetRowCountForDecode(rows);
+  return Status::OK();
 }
 
 namespace {

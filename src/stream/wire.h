@@ -2,13 +2,16 @@
 #define SQLINK_STREAM_WIRE_H_
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/coding.h"
 #include "common/result.h"
+#include "common/string_dict.h"
 #include "common/trace.h"
 #include "stream/socket.h"
+#include "table/column_batch.h"
 #include "table/schema.h"
 
 namespace sqlink {
@@ -42,6 +45,13 @@ enum class FrameType : uint8_t {
   kDataAck = 22,        ///< Cumulative ack: header seq = last applied frame.
   kResume = 23,         ///< Sink → reader: replay start point after HELLO.
   kAbortQuery = 24,     ///< Broadcast abort; payload = encoded Status.
+
+  // Columnar data plane (SQLINK_COLUMNAR=on). kColData replaces kData with
+  // column-contiguous buffers + per-channel dictionary deltas; kDictPage
+  // re-seeds the channel dictionaries after (re)connect so replayed deltas
+  // tile onto a consistent base.
+  kColData = 25,   ///< Columnar batch; leading varint is the row count.
+  kDictPage = 26,  ///< Per-channel string-dictionary snapshot.
 };
 
 struct Frame {
@@ -70,6 +80,11 @@ Status SendFrame(TcpSocket* socket, FrameType type, std::string_view payload,
                  uint64_t seq);
 Result<Frame> RecvFrame(TcpSocket* socket);
 
+/// Allocation-free variant for receive loops: decodes the header into
+/// `*scratch` (reused across calls) and the payload into `frame->payload`
+/// (whose capacity is likewise reused). `frame` keeps its buffers on error.
+Status RecvFrameInto(TcpSocket* socket, Frame* frame, std::string* scratch);
+
 /// Size in bytes of the fixed frame header.
 inline constexpr size_t kFrameHeaderBytes = 4 + 1 + 8 + 8 + 8;
 
@@ -79,6 +94,89 @@ inline constexpr size_t kFrameHeaderBytes = 4 + 1 + 8 + 8 + 8;
 /// needed. Used by data senders draining cumulative acks between frames
 /// without blocking the send path.
 Result<bool> ExtractFrame(std::string* buffer, Frame* frame);
+
+/// Cursor variant: parses one frame starting at `*cursor` within `buffer`
+/// and advances the cursor past it, without erasing the consumed prefix —
+/// callers drain every buffered frame, then compact once. The payload is
+/// assigned into `frame->payload` reusing its capacity.
+Result<bool> ExtractFrame(std::string_view buffer, size_t* cursor,
+                          Frame* frame);
+
+/// Bounded pool of reusable frame/payload buffers. Steady-state senders
+/// acquire, fill, hand the bytes to the socket and the replay window, and
+/// release — after warm-up no send allocates. Buffers above a capacity cap
+/// are dropped on release instead of pinning memory. Thread-safe.
+/// Counters: stream.wire.frames_pooled (acquire served from the pool),
+/// stream.wire.pool_miss (acquire had to allocate fresh).
+class FrameBufferPool {
+ public:
+  /// An empty string with whatever capacity a released buffer carried.
+  std::string Acquire();
+  void Release(std::string buffer);
+
+  /// Process-wide pool shared by all channels.
+  static FrameBufferPool* Global();
+
+ private:
+  static constexpr size_t kMaxPooled = 64;
+  static constexpr size_t kMaxBufferCapacity = 4 << 20;
+
+  std::mutex mu_;
+  std::vector<std::string> buffers_;
+};
+
+// --- Columnar frame encoding (kColData / kDictPage) -------------------------
+//
+// kColData payload: varint row count, then per column in schema order:
+//   has_nulls byte; when set, ceil(rows/8) LSB-first packed null bits;
+//   kBool   -> rows raw 0/1 bytes
+//   kInt64  -> rows x 8 raw little-endian bytes (straight memcpy)
+//   kDouble -> rows x 8 raw little-endian bytes
+//   kString -> varint first_new_id, varint new_count, the new dictionary
+//              entries length-prefixed (a delta against the channel
+//              dictionary), then rows x 4 raw int32 codes. Null rows carry
+//              code 0; the decoder consults the bitmap first.
+//
+// kDictPage payload: per STRING column in schema order, varint entry count
+// followed by the length-prefixed entries — a full snapshot of the channel
+// dictionaries, sent once after kSchema on every (re)connect. Replayed
+// kColData deltas then tile onto the snapshot: the decoder appends only
+// entries past its current size, so overlap is idempotent.
+
+/// Per-channel encoder state: the string dictionaries shared by every frame
+/// on one sink→reader connection. Thread-safe (the producer encodes batches
+/// while the sender thread snapshots dictionaries on reconnect).
+class ColumnarChannelEncoder {
+ public:
+  explicit ColumnarChannelEncoder(SchemaPtr schema);
+
+  /// Appends `batch` (matching the channel schema) to `*payload` (cleared
+  /// first), registering new dictionary entries as deltas.
+  Status EncodeBatch(const ColumnBatch& batch, std::string* payload);
+
+  /// Full dictionary snapshot for a kDictPage frame.
+  std::string SnapshotDicts() const;
+
+ private:
+  SchemaPtr schema_;
+  mutable std::mutex mu_;
+  std::vector<StringDict> dicts_;  ///< Per column; empty for non-STRING.
+};
+
+/// Per-channel decoder state: accumulates dictionary entries from snapshots
+/// and deltas. Single-reader; not thread-safe.
+class ColumnarChannelDecoder {
+ public:
+  /// Applies a kDictPage snapshot (append-only past current entries).
+  Status ApplySnapshot(std::string_view payload, const SchemaPtr& schema);
+
+  /// Decodes a kColData payload into `*out` (reset to `schema`).
+  Status DecodeBatch(std::string_view payload, const SchemaPtr& schema,
+                     ColumnBatch* out);
+
+ private:
+  std::vector<StringDict> dicts_;
+};
 
 /// Typed-Status payload for kError / kAbortQuery frames: the code survives
 /// the wire, so "aborted" stays IsAborted() on the far side instead of

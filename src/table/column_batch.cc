@@ -1,0 +1,295 @@
+#include "table/column_batch.h"
+
+#include "common/status_macros.h"
+
+namespace sqlink {
+
+void ColumnBatch::Reset(SchemaPtr schema) {
+  schema_ = std::move(schema);
+  const size_t n =
+      schema_ != nullptr ? static_cast<size_t>(schema_->num_fields()) : 0;
+  columns_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    Column& col = columns_[i];
+    col.type = schema_->field(static_cast<int>(i)).type;
+    col.null_words.clear();
+    col.bools.clear();
+    col.ints.clear();
+    col.doubles.clear();
+    col.codes.clear();
+    col.dict.Clear();
+  }
+  num_rows_ = 0;
+}
+
+void ColumnBatch::Reserve(size_t rows) {
+  for (Column& col : columns_) {
+    col.null_words.reserve((rows + 63) / 64);
+    switch (col.type) {
+      case DataType::kBool:
+        col.bools.reserve(rows);
+        break;
+      case DataType::kInt64:
+        col.ints.reserve(rows);
+        break;
+      case DataType::kDouble:
+        col.doubles.reserve(rows);
+        break;
+      case DataType::kString:
+        col.codes.reserve(rows);
+        break;
+    }
+  }
+}
+
+Status ColumnBatch::AppendRow(const Row& row) {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        "row width " + std::to_string(row.size()) +
+        " does not match batch width " + std::to_string(columns_.size()));
+  }
+  const size_t r = num_rows_;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    Column& col = columns_[i];
+    const Value& v = row[i];
+    const bool null = v.is_null();
+    col.AppendNullBit(r, null);
+    switch (col.type) {
+      case DataType::kBool:
+        if (!null && !v.is_bool()) {
+          return Status::InvalidArgument("non-bool value in BOOL column '" +
+                                         schema_->field(static_cast<int>(i))
+                                             .name +
+                                         "'");
+        }
+        col.bools.push_back(!null && v.bool_value() ? 1 : 0);
+        break;
+      case DataType::kInt64:
+        if (!null && !v.is_int64()) {
+          return Status::InvalidArgument("non-integer value in INT64 column '" +
+                                         schema_->field(static_cast<int>(i))
+                                             .name +
+                                         "'");
+        }
+        col.ints.push_back(null ? 0 : v.int64_value());
+        break;
+      case DataType::kDouble: {
+        double d = 0;
+        if (!null) {
+          if (v.is_double()) {
+            d = v.double_value();
+          } else if (v.is_int64()) {
+            d = static_cast<double>(v.int64_value());
+          } else {
+            return Status::InvalidArgument(
+                "non-numeric value in DOUBLE column '" +
+                schema_->field(static_cast<int>(i)).name + "'");
+          }
+        }
+        col.doubles.push_back(d);
+        break;
+      }
+      case DataType::kString:
+        if (!null && !v.is_string()) {
+          return Status::InvalidArgument("non-string value in STRING column '" +
+                                         schema_->field(static_cast<int>(i))
+                                             .name +
+                                         "'");
+        }
+        col.codes.push_back(null ? 0 : col.dict.GetOrAdd(v.string_value()));
+        break;
+    }
+  }
+  ++num_rows_;
+  return Status::OK();
+}
+
+Status ColumnBatch::AppendBatch(const ColumnBatch& other) {
+  if (columns_.size() != other.columns_.size()) {
+    return Status::InvalidArgument("batch width mismatch in AppendBatch");
+  }
+  const size_t base = num_rows_;
+  const size_t added = other.num_rows_;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    Column& dst = columns_[i];
+    const Column& src = other.columns_[i];
+    if (dst.type != src.type) {
+      return Status::InvalidArgument("column type mismatch in AppendBatch");
+    }
+    for (size_t r = 0; r < added; ++r) {
+      dst.AppendNullBit(base + r, src.IsNull(r));
+    }
+    switch (dst.type) {
+      case DataType::kBool:
+        dst.bools.insert(dst.bools.end(), src.bools.begin(), src.bools.end());
+        break;
+      case DataType::kInt64:
+        dst.ints.insert(dst.ints.end(), src.ints.begin(), src.ints.end());
+        break;
+      case DataType::kDouble:
+        dst.doubles.insert(dst.doubles.end(), src.doubles.begin(),
+                           src.doubles.end());
+        break;
+      case DataType::kString: {
+        // Translate per dictionary entry once, then gather per row.
+        std::vector<int32_t> remap(static_cast<size_t>(src.dict.size()));
+        for (int32_t id = 0; id < src.dict.size(); ++id) {
+          remap[static_cast<size_t>(id)] = dst.dict.GetOrAdd(src.dict[id]);
+        }
+        dst.codes.reserve(dst.codes.size() + added);
+        for (size_t r = 0; r < added; ++r) {
+          const int32_t code = src.codes[r];
+          dst.codes.push_back(
+              !src.IsNull(r) && static_cast<size_t>(code) < remap.size()
+                  ? remap[static_cast<size_t>(code)]
+                  : 0);
+        }
+        break;
+      }
+    }
+  }
+  num_rows_ += added;
+  return Status::OK();
+}
+
+void ColumnBatch::Truncate(size_t rows) {
+  if (rows >= num_rows_) return;
+  const size_t words = (rows + 63) / 64;
+  for (Column& col : columns_) {
+    if (col.null_words.size() > words) col.null_words.resize(words);
+    // Clear bits past the new row count so future appends reuse clean words.
+    if (!col.null_words.empty() && (rows & 63) != 0) {
+      col.null_words.back() &= (uint64_t{1} << (rows & 63)) - 1;
+    }
+    switch (col.type) {
+      case DataType::kBool:
+        col.bools.resize(rows);
+        break;
+      case DataType::kInt64:
+        col.ints.resize(rows);
+        break;
+      case DataType::kDouble:
+        col.doubles.resize(rows);
+        break;
+      case DataType::kString:
+        col.codes.resize(rows);
+        break;
+    }
+  }
+  num_rows_ = rows;
+}
+
+void ColumnBatch::Clear() {
+  for (Column& col : columns_) {
+    col.null_words.clear();
+    col.bools.clear();
+    col.ints.clear();
+    col.doubles.clear();
+    col.codes.clear();
+    col.dict.Clear();
+  }
+  num_rows_ = 0;
+}
+
+Value ColumnBatch::ValueAt(size_t row, size_t col) const {
+  const Column& c = columns_[col];
+  if (c.IsNull(row)) return Value::Null();
+  switch (c.type) {
+    case DataType::kBool:
+      return Value::Bool(c.bools[row] != 0);
+    case DataType::kInt64:
+      return Value::Int64(c.ints[row]);
+    case DataType::kDouble:
+      return Value::Double(c.doubles[row]);
+    case DataType::kString:
+      return Value::String(std::string(c.dict[c.codes[row]]));
+  }
+  return Value::Null();
+}
+
+void ColumnBatch::EmitRow(size_t row, Row* out) const {
+  out->clear();
+  out->reserve(columns_.size());
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    out->push_back(ValueAt(row, i));
+  }
+}
+
+ColumnBatch ColumnBatch::Slice(size_t begin) const {
+  ColumnBatch out(schema_);
+  if (begin >= num_rows_) return out;
+  const size_t rows = num_rows_ - begin;
+  out.Reserve(rows);
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    Column& dst = out.columns_[i];
+    const Column& src = columns_[i];
+    for (size_t r = 0; r < rows; ++r) {
+      dst.AppendNullBit(r, src.IsNull(begin + r));
+    }
+    switch (src.type) {
+      case DataType::kBool:
+        dst.bools.assign(src.bools.begin() + static_cast<long>(begin),
+                         src.bools.end());
+        break;
+      case DataType::kInt64:
+        dst.ints.assign(src.ints.begin() + static_cast<long>(begin),
+                        src.ints.end());
+        break;
+      case DataType::kDouble:
+        dst.doubles.assign(src.doubles.begin() + static_cast<long>(begin),
+                           src.doubles.end());
+        break;
+      case DataType::kString:
+        dst.dict = src.dict;
+        dst.codes.assign(src.codes.begin() + static_cast<long>(begin),
+                         src.codes.end());
+        break;
+    }
+  }
+  out.num_rows_ = rows;
+  return out;
+}
+
+size_t ColumnBatch::ByteSize() const {
+  size_t total = 0;
+  for (const Column& col : columns_) {
+    total += col.null_words.size() * 8 + col.bools.size() +
+             col.ints.size() * 8 + col.doubles.size() * 8 +
+             col.codes.size() * 4 + col.dict.heap_bytes();
+  }
+  return total;
+}
+
+Result<ColumnBatch> ColumnBatch::FromRows(SchemaPtr schema,
+                                          const std::vector<Row>& rows) {
+  if (schema == nullptr) {
+    return Status::InvalidArgument("ColumnBatch needs a schema");
+  }
+  ColumnBatch batch(std::move(schema));
+  batch.Reserve(rows.size());
+  for (const Row& row : rows) {
+    RETURN_IF_ERROR(batch.AppendRow(row));
+  }
+  return batch;
+}
+
+std::vector<Row> ColumnBatch::ToRows() const {
+  std::vector<Row> rows;
+  rows.reserve(num_rows_);
+  for (size_t r = 0; r < num_rows_; ++r) {
+    Row row;
+    EmitRow(r, &row);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+Result<ColumnBatch> ColumnBatch::FromRecordBatch(const RecordBatch& batch) {
+  return FromRows(batch.schema(), batch.rows());
+}
+
+RecordBatch ColumnBatch::ToRecordBatch() const {
+  return RecordBatch(schema_, ToRows());
+}
+
+}  // namespace sqlink

@@ -1,0 +1,118 @@
+#ifndef SQLINK_TABLE_COLUMN_BATCH_H_
+#define SQLINK_TABLE_COLUMN_BATCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/string_dict.h"
+#include "table/record_batch.h"
+#include "table/schema.h"
+#include "table/value.h"
+
+namespace sqlink {
+
+/// One column of a ColumnBatch: a typed contiguous vector plus a null
+/// bitmap. Exactly one of the value vectors is populated, chosen by `type`;
+/// string columns are dictionary-encoded (codes index `dict`). Null rows
+/// carry a zero placeholder in the value vector so positions stay aligned.
+struct Column {
+  DataType type = DataType::kString;
+  /// Bit r set => row r is NULL. Sized ceil(rows/64) words; bits past the
+  /// batch's row count are kept zero.
+  std::vector<uint64_t> null_words;
+  std::vector<uint8_t> bools;    ///< kBool: 0/1 per row.
+  std::vector<int64_t> ints;     ///< kInt64.
+  std::vector<double> doubles;   ///< kDouble.
+  std::vector<int32_t> codes;    ///< kString: dictionary id per row.
+  StringDict dict;               ///< kString: distinct values of this column.
+
+  bool IsNull(size_t row) const {
+    return (null_words[row >> 6] >> (row & 63)) & 1;
+  }
+  void AppendNullBit(size_t row, bool is_null) {
+    const size_t word = row >> 6;
+    if (word >= null_words.size()) null_words.resize(word + 1, 0);
+    if (is_null) null_words[word] |= uint64_t{1} << (row & 63);
+  }
+  bool has_nulls() const {
+    for (const uint64_t w : null_words) {
+      if (w != 0) return true;
+    }
+    return false;
+  }
+};
+
+/// Columnar counterpart of RecordBatch: typed per-column vectors instead of
+/// boxed Value rows. This is the unit the vectorized transform kernels, the
+/// columnar wire encoding, and the columnar ML ingest operate on; converters
+/// to/from RecordBatch bridge the row-oriented engine surfaces.
+class ColumnBatch {
+ public:
+  ColumnBatch() = default;
+  explicit ColumnBatch(SchemaPtr schema) { Reset(std::move(schema)); }
+
+  /// Re-initializes to an empty batch of `schema`, keeping allocations of
+  /// matching columns where possible.
+  void Reset(SchemaPtr schema);
+
+  const SchemaPtr& schema() const { return schema_; }
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return columns_.size(); }
+  bool empty() const { return num_rows_ == 0; }
+  Column& column(size_t i) { return columns_[i]; }
+  const Column& column(size_t i) const { return columns_[i]; }
+
+  void Reserve(size_t rows);
+
+  /// Appends one row. Value types must match the schema (int64 widens into
+  /// a double column); NULL is accepted anywhere.
+  Status AppendRow(const Row& row);
+
+  /// Appends every row of `other` (same schema), remapping string codes
+  /// into this batch's dictionaries.
+  Status AppendBatch(const ColumnBatch& other);
+
+  /// Drops rows past `rows` (resume truncation). Dictionaries may retain
+  /// entries only the dropped rows referenced; that is harmless.
+  void Truncate(size_t rows);
+
+  /// Drops all rows and dictionary entries, keeping schema and capacity.
+  void Clear();
+
+  /// Sets the row count directly after filling column vectors in place (wire
+  /// decoding); the caller guarantees every column holds `rows` values.
+  void SetRowCountForDecode(size_t rows) { num_rows_ = rows; }
+
+  /// The value at (row, col), boxed.
+  Value ValueAt(size_t row, size_t col) const;
+
+  /// Materializes row `row` into `*out` (cleared first).
+  void EmitRow(size_t row, Row* out) const;
+
+  /// Rows [begin, num_rows()) as a new batch (same schema; dictionaries
+  /// copied). `begin` past the end yields an empty batch.
+  ColumnBatch Slice(size_t begin) const;
+
+  /// Rough in-memory footprint of the value buffers — the batcher's flush
+  /// threshold proxy.
+  size_t ByteSize() const;
+
+  static Result<ColumnBatch> FromRows(SchemaPtr schema,
+                                      const std::vector<Row>& rows);
+  std::vector<Row> ToRows() const;
+
+  /// RecordBatch interop: FromRecordBatch errors on a schema-less batch or
+  /// on rows whose value types contradict the schema.
+  static Result<ColumnBatch> FromRecordBatch(const RecordBatch& batch);
+  RecordBatch ToRecordBatch() const;
+
+ private:
+  SchemaPtr schema_;
+  std::vector<Column> columns_;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace sqlink
+
+#endif  // SQLINK_TABLE_COLUMN_BATCH_H_

@@ -1,0 +1,117 @@
+#include "transform/kernels.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/metrics.h"
+
+namespace sqlink {
+
+namespace {
+
+// Bounds-checked null test: direct Column construction (kernels, decoders)
+// may leave null_words shorter than ceil(rows/64) when no nulls exist.
+inline bool IsNullAt(const Column& col, size_t row) {
+  const size_t word = row >> 6;
+  return word < col.null_words.size() &&
+         ((col.null_words[word] >> (row & 63)) & 1) != 0;
+}
+
+Histogram* RecodeLookupNs() {
+  static Histogram* const hist =
+      MetricsRegistry::Global().GetHistogram("transform.recode_lookup_ns");
+  return hist;
+}
+
+}  // namespace
+
+Status RecodeColumnKernel(const Column& input, size_t num_rows,
+                          std::string_view column_name,
+                          const RecodeMap::ColumnDict& dict, Column* out) {
+  if (input.type != DataType::kString) {
+    return Status::InvalidArgument("recode kernel input must be STRING");
+  }
+  const auto start = std::chrono::steady_clock::now();
+
+  // Translate once per distinct value, not once per row.
+  std::vector<int> remap(static_cast<size_t>(input.dict.size()));
+  for (int32_t id = 0; id < input.dict.size(); ++id) {
+    remap[static_cast<size_t>(id)] = dict.Lookup(input.dict[id]);
+  }
+
+  out->type = DataType::kInt64;
+  out->null_words = input.null_words;
+  out->bools.clear();
+  out->doubles.clear();
+  out->codes.clear();
+  out->dict.Clear();
+  out->ints.resize(num_rows);
+  for (size_t r = 0; r < num_rows; ++r) {
+    if (IsNullAt(input, r)) {
+      out->ints[r] = 0;
+      continue;
+    }
+    const int code = remap[static_cast<size_t>(input.codes[r])];
+    if (code == 0) {
+      return Status::NotFound(
+          "value not in recode map: " + std::string(column_name) + "/" +
+          std::string(input.dict[input.codes[r]]));
+    }
+    out->ints[r] = code;
+  }
+
+  if (num_rows > 0) {
+    const int64_t total_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    RecodeLookupNs()->Record(total_ns / static_cast<int64_t>(num_rows));
+  }
+  return Status::OK();
+}
+
+Status ApplyCodingKernel(const Column& input, size_t num_rows, int cardinality,
+                         const std::vector<std::vector<double>>& matrix,
+                         DataType generated_type, std::vector<Column>* out) {
+  if (input.type != DataType::kInt64) {
+    return Status::InvalidArgument("coding kernel input must be INT64");
+  }
+  // Validate every level up front so the per-column loops below are pure
+  // gathers.
+  for (size_t r = 0; r < num_rows; ++r) {
+    if (IsNullAt(input, r)) {
+      return Status::InvalidArgument("coded column has non-integer value");
+    }
+    const int64_t level = input.ints[r];
+    if (level < 1 || level > cardinality) {
+      return Status::OutOfRange("recoded value " + std::to_string(level) +
+                                " outside [1, " + std::to_string(cardinality) +
+                                "]");
+    }
+  }
+
+  const size_t width = matrix.empty() ? 0 : matrix[0].size();
+  out->clear();
+  out->resize(width);
+  const size_t null_word_count = (num_rows + 63) / 64;
+  for (size_t j = 0; j < width; ++j) {
+    Column& col = (*out)[j];
+    col.type = generated_type;
+    col.null_words.assign(null_word_count, 0);
+    if (generated_type == DataType::kDouble) {
+      col.doubles.resize(num_rows);
+      for (size_t r = 0; r < num_rows; ++r) {
+        col.doubles[r] = matrix[static_cast<size_t>(input.ints[r] - 1)][j];
+      }
+    } else {
+      col.ints.resize(num_rows);
+      for (size_t r = 0; r < num_rows; ++r) {
+        col.ints[r] = static_cast<int64_t>(
+            matrix[static_cast<size_t>(input.ints[r] - 1)][j]);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace sqlink

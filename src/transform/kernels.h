@@ -1,0 +1,36 @@
+#ifndef SQLINK_TRANSFORM_KERNELS_H_
+#define SQLINK_TRANSFORM_KERNELS_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "table/column_batch.h"
+#include "transform/recode_map.h"
+
+namespace sqlink {
+
+/// Vectorized recode apply (§2.1): dictionary-encoded STRING column →
+/// INT64 code column. The recode-map lookup runs once per *distinct* value
+/// of the batch (a translate table over the input dictionary); rows are then
+/// a plain integer gather — no per-row Value boxing, hashing, or string
+/// copies. NULL rows stay NULL (placeholder 0). A non-NULL value absent
+/// from the map fails with the same NotFound message as RecodeMap::Code.
+/// Per-row lookup cost lands in the `transform.recode_lookup_ns` histogram.
+Status RecodeColumnKernel(const Column& input, size_t num_rows,
+                          std::string_view column_name,
+                          const RecodeMap::ColumnDict& dict, Column* out);
+
+/// Vectorized coding apply (§2.2): INT64 recoded column → the generated
+/// feature columns of `matrix` (one output Column per contrast column),
+/// written straight into typed vectors. `generated_type` is kInt64 for
+/// dummy/effect coding, kDouble for orthogonal. Levels are validated in one
+/// pass (NULL or out-of-range [1, cardinality] fails with the row path's
+/// exact messages), then each output column is a tight gather loop.
+Status ApplyCodingKernel(const Column& input, size_t num_rows, int cardinality,
+                         const std::vector<std::vector<double>>& matrix,
+                         DataType generated_type, std::vector<Column>* out);
+
+}  // namespace sqlink
+
+#endif  // SQLINK_TRANSFORM_KERNELS_H_

@@ -1,11 +1,64 @@
 #include "transform/recode_map.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/status_macros.h"
 #include "common/string_util.h"
 
 namespace sqlink {
+
+namespace {
+// Codes are expected to be small consecutive integers; anything outside this
+// range is stored but marks the column irregular instead of growing the dense
+// code index without bound.
+constexpr int kMaxDenseCode = 1'000'000;
+}  // namespace
+
+Status RecodeMap::ColumnDict::Add(std::string_view value, int code) {
+  const int32_t before = values_.size();
+  const int32_t id = values_.GetOrAdd(value);
+  if (id < before) {
+    return Status::AlreadyExists("duplicate recode entry");
+  }
+  code_by_id_.push_back(code);
+  if (code < 1 || code > kMaxDenseCode) {
+    irregular_ = true;
+  } else {
+    const size_t slot = static_cast<size_t>(code) - 1;
+    if (slot >= id_by_code_.size()) {
+      id_by_code_.resize(slot + 1, -1);
+    }
+    if (id_by_code_[slot] >= 0) {
+      irregular_ = true;  // Two values share a code.
+    } else {
+      id_by_code_[slot] = id;
+    }
+  }
+  return Status::OK();
+}
+
+bool RecodeMap::ColumnDict::CodesConsecutive() const {
+  if (irregular_) return false;
+  if (id_by_code_.size() != static_cast<size_t>(values_.size())) return false;
+  for (const int32_t id : id_by_code_) {
+    if (id < 0) return false;
+  }
+  return true;
+}
+
+bool RecodeMap::ColumnDict::operator==(const ColumnDict& other) const {
+  if (values_.size() != other.values_.size()) return false;
+  for (int32_t id = 0; id < values_.size(); ++id) {
+    const int32_t other_id = other.values_.Find(values_[id]);
+    if (other_id < 0 ||
+        other.code_by_id_[static_cast<size_t>(other_id)] !=
+            code_by_id_[static_cast<size_t>(id)]) {
+      return false;
+    }
+  }
+  return true;
+}
 
 SchemaPtr RecodeMap::TableSchema() {
   return Schema::Make({{"colname", DataType::kString},
@@ -30,17 +83,10 @@ Result<RecodeMap> RecodeMap::FromTable(const Table& table) {
   }
   // Codes must be consecutive integers starting at 1 (SystemML-style
   // requirement the paper calls out).
-  for (const auto& [column, values] : map.columns_) {
-    std::vector<int> codes;
-    codes.reserve(values.size());
-    for (const auto& [value, code] : values) codes.push_back(code);
-    std::sort(codes.begin(), codes.end());
-    for (size_t i = 0; i < codes.size(); ++i) {
-      if (codes[i] != static_cast<int>(i) + 1) {
-        return Status::InvalidArgument(
-            "recode codes for column '" + column +
-            "' are not consecutive from 1");
-      }
+  for (const std::string& column : map.Columns()) {
+    if (!map.FindColumn(column)->CodesConsecutive()) {
+      return Status::InvalidArgument("recode codes for column '" + column +
+                                     "' are not consecutive from 1");
     }
   }
   return map;
@@ -49,9 +95,17 @@ Result<RecodeMap> RecodeMap::FromTable(const Table& table) {
 TablePtr RecodeMap::ToTable(const std::string& name,
                             size_t num_partitions) const {
   auto table = std::make_shared<Table>(name, TableSchema(), num_partitions);
-  for (const auto& [column, values] : columns_) {
-    for (const auto& [value, code] : values) {
-      table->AppendRow(0, Row{Value::String(column), Value::String(value),
+  for (const std::string& column : Columns()) {
+    const ColumnDict& dict = *FindColumn(column);
+    std::vector<std::pair<std::string_view, int>> entries;
+    entries.reserve(static_cast<size_t>(dict.cardinality()));
+    dict.ForEach([&entries](std::string_view value, int code) {
+      entries.emplace_back(value, code);
+    });
+    std::sort(entries.begin(), entries.end());
+    for (const auto& [value, code] : entries) {
+      table->AppendRow(0, Row{Value::String(column),
+                              Value::String(std::string(value)),
                               Value::Int64(code)});
     }
   }
@@ -60,8 +114,8 @@ TablePtr RecodeMap::ToTable(const std::string& name,
 
 Status RecodeMap::Add(const std::string& column, const std::string& value,
                       int code) {
-  auto [it, inserted] = columns_[ToLowerAscii(column)].emplace(value, code);
-  if (!inserted) {
+  ColumnDict* dict = GetOrAddColumn(ToLowerAscii(column));
+  if (!dict->Add(value, code).ok()) {
     return Status::AlreadyExists("duplicate recode entry: " + column + "/" +
                                  value);
   }
@@ -70,41 +124,77 @@ Status RecodeMap::Add(const std::string& column, const std::string& value,
 
 Result<int> RecodeMap::Code(const std::string& column,
                             const std::string& value) const {
-  auto col = columns_.find(ToLowerAscii(column));
-  if (col == columns_.end()) {
+  const ColumnDict* dict = FindColumn(column);
+  if (dict == nullptr) {
     return Status::NotFound("column not in recode map: " + column);
   }
-  auto val = col->second.find(value);
-  if (val == col->second.end()) {
+  int code = 0;
+  if (!dict->Find(value, &code)) {
     return Status::NotFound("value not in recode map: " + column + "/" +
                             value);
   }
-  return val->second;
+  return code;
 }
 
 int RecodeMap::Cardinality(const std::string& column) const {
-  auto col = columns_.find(ToLowerAscii(column));
-  return col == columns_.end() ? 0 : static_cast<int>(col->second.size());
+  const ColumnDict* dict = FindColumn(column);
+  return dict == nullptr ? 0 : dict->cardinality();
 }
 
 Result<std::vector<std::string>> RecodeMap::Labels(
     const std::string& column) const {
-  auto col = columns_.find(ToLowerAscii(column));
-  if (col == columns_.end()) {
+  const ColumnDict* dict = FindColumn(column);
+  if (dict == nullptr) {
     return Status::NotFound("column not in recode map: " + column);
   }
-  std::vector<std::string> labels(col->second.size());
-  for (const auto& [value, code] : col->second) {
-    labels[static_cast<size_t>(code - 1)] = value;
+  if (!dict->CodesConsecutive()) {
+    return Status::InvalidArgument("recode codes for column '" +
+                                   ToLowerAscii(column) +
+                                   "' are not consecutive from 1");
   }
+  std::vector<std::string> labels(static_cast<size_t>(dict->cardinality()));
+  dict->ForEach([&labels](std::string_view value, int code) {
+    labels[static_cast<size_t>(code - 1)] = std::string(value);
+  });
   return labels;
 }
 
 std::vector<std::string> RecodeMap::Columns() const {
   std::vector<std::string> names;
-  names.reserve(columns_.size());
-  for (const auto& [column, values] : columns_) names.push_back(column);
+  names.reserve(static_cast<size_t>(name_index_.size()));
+  for (int32_t i = 0; i < name_index_.size(); ++i) {
+    names.emplace_back(name_index_[i]);
+  }
+  std::sort(names.begin(), names.end());
   return names;
+}
+
+const RecodeMap::ColumnDict* RecodeMap::FindColumn(
+    std::string_view column) const {
+  const int32_t id = name_index_.Find(ToLowerAscii(std::string(column)));
+  return id < 0 ? nullptr : &dicts_[static_cast<size_t>(id)];
+}
+
+RecodeMap::ColumnDict* RecodeMap::GetOrAddColumn(
+    const std::string& lower_name) {
+  const int32_t id = name_index_.GetOrAdd(lower_name);
+  if (static_cast<size_t>(id) == dicts_.size()) {
+    dicts_.emplace_back();
+  }
+  return &dicts_[static_cast<size_t>(id)];
+}
+
+bool RecodeMap::operator==(const RecodeMap& other) const {
+  if (dicts_.size() != other.dicts_.size()) return false;
+  for (int32_t i = 0; i < name_index_.size(); ++i) {
+    const int32_t other_id = other.name_index_.Find(name_index_[i]);
+    if (other_id < 0 ||
+        !(dicts_[static_cast<size_t>(i)] ==
+          other.dicts_[static_cast<size_t>(other_id)])) {
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace sqlink

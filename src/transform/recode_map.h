@@ -1,11 +1,12 @@
 #ifndef SQLINK_TRANSFORM_RECODE_MAP_H_
 #define SQLINK_TRANSFORM_RECODE_MAP_H_
 
-#include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/result.h"
+#include "common/string_dict.h"
 #include "table/schema.h"
 #include "table/table.h"
 
@@ -17,8 +18,65 @@ namespace sqlink {
 /// table (colname, colval, recodeval) — the representation the final
 /// recoding join consumes and the §5.2 cache stores. Column names are
 /// canonicalized to lower case; values are case-sensitive.
+///
+/// Internally each column is a contiguous open-addressing dictionary
+/// (StringDict heap + dense ids), so the hot-path value→code lookup the
+/// batch kernels issue per distinct value is O(1) with no tree walk and no
+/// string allocation.
 class RecodeMap {
  public:
+  /// One column's dictionary: labels stored contiguously in insertion
+  /// order, an open-addressing index for O(1) lookups, and the id↔code
+  /// correspondence (codes may arrive in any order via Add).
+  class ColumnDict {
+   public:
+    /// O(1) code for `value`; 0 when absent (valid codes start at 1).
+    int Lookup(std::string_view value) const {
+      const int32_t id = values_.Find(value);
+      return id < 0 ? 0 : code_by_id_[static_cast<size_t>(id)];
+    }
+
+    /// Like Lookup but distinguishes absence from a (pathological) 0 code.
+    bool Find(std::string_view value, int* code) const {
+      const int32_t id = values_.Find(value);
+      if (id < 0) return false;
+      *code = code_by_id_[static_cast<size_t>(id)];
+      return true;
+    }
+
+    int cardinality() const { return values_.size(); }
+
+    /// Label of 1-based `code`; empty view when the code is unknown.
+    std::string_view LabelOf(int code) const {
+      const size_t i = static_cast<size_t>(code) - 1;
+      if (code < 1 || i >= id_by_code_.size() || id_by_code_[i] < 0) {
+        return {};
+      }
+      return values_[id_by_code_[i]];
+    }
+
+    /// Whether the codes form exactly 1..cardinality().
+    bool CodesConsecutive() const;
+
+    Status Add(std::string_view value, int code);
+
+    /// Visits every (value, code) pair in insertion order.
+    template <typename Fn>
+    void ForEach(Fn&& fn) const {
+      for (int32_t id = 0; id < values_.size(); ++id) {
+        fn(values_[id], code_by_id_[static_cast<size_t>(id)]);
+      }
+    }
+
+    bool operator==(const ColumnDict& other) const;
+
+   private:
+    StringDict values_;             ///< value → dense insertion id.
+    std::vector<int> code_by_id_;   ///< insertion id → code.
+    std::vector<int32_t> id_by_code_;  ///< code-1 → insertion id (-1 unset).
+    bool irregular_ = false;  ///< A code outside the dense-index range seen.
+  };
+
   RecodeMap() = default;
 
   /// Schema of the SQL representation.
@@ -39,7 +97,7 @@ class RecodeMap {
   Result<int> Code(const std::string& column, const std::string& value) const;
 
   bool HasColumn(const std::string& column) const {
-    return columns_.count(column) > 0;
+    return name_index_.Find(column) >= 0;
   }
   /// Distinct-value count of a column (0 when absent).
   int Cardinality(const std::string& column) const;
@@ -49,13 +107,17 @@ class RecodeMap {
 
   std::vector<std::string> Columns() const;
 
-  bool operator==(const RecodeMap& other) const {
-    return columns_ == other.columns_;
-  }
+  /// The dictionary of `column` (name canonicalized to lower case), or null
+  /// when absent — the handle the vectorized kernels hold across a batch.
+  const ColumnDict* FindColumn(std::string_view column) const;
+
+  bool operator==(const RecodeMap& other) const;
 
  private:
-  // column -> (value -> code).
-  std::map<std::string, std::map<std::string, int>> columns_;
+  ColumnDict* GetOrAddColumn(const std::string& lower_name);
+
+  StringDict name_index_;  ///< lower-case column name → index into dicts_.
+  std::vector<ColumnDict> dicts_;
 };
 
 }  // namespace sqlink
