@@ -43,6 +43,13 @@ echo "==> [${BUILD_DIR}] row-path suite (SQLINK_COLUMNAR=off)"
 (cd "${BUILD_DIR}" &&
  SQLINK_COLUMNAR=off ctest -L 'unit|chaos' --output-on-failure -j "${JOBS}")
 
+# Likewise the vectorized SQL engine (SQLINK_VECTORIZED_SQL, default on):
+# the unit suite reruns with the row-at-a-time operators forced, so both
+# engine modes stay green against the same goldens and differential checks.
+echo "==> [${BUILD_DIR}] row-engine suite (SQLINK_VECTORIZED_SQL=off)"
+(cd "${BUILD_DIR}" &&
+ SQLINK_VECTORIZED_SQL=off ctest -L unit --output-on-failure -j "${JOBS}")
+
 # Bench smoke: the default build is Release, so the row-vs-columnar micro
 # benches run here directly. --check fails the stage if the columnar path
 # is ever slower than the row path; the JSON series lands in BENCH_pr4.json.
@@ -52,6 +59,14 @@ BENCH_JSON="$(pwd)/BENCH_pr4.json"
 rm -f "${BENCH_JSON}"
 SQLINK_BENCH_JSON="${BENCH_JSON}" "${BUILD_DIR}/bench/bench_transform" 1000000 --check
 SQLINK_BENCH_JSON="${BENCH_JSON}" "${BUILD_DIR}/bench/bench_ingest" 400000 --check
+
+# SQL engine smoke: the vectorized executor must be >= 2x faster than the
+# row engine on a join+filter+DISTINCT query; series lands in BENCH_pr6.json.
+echo "==> [${BUILD_DIR}] bench smoke (row vs vectorized SQL)"
+cmake --build "${BUILD_DIR}" -j "${JOBS}" --target bench_sql
+SQL_BENCH_JSON="$(pwd)/BENCH_pr6.json"
+rm -f "${SQL_BENCH_JSON}"
+SQLINK_BENCH_JSON="${SQL_BENCH_JSON}" "${BUILD_DIR}/bench/bench_sql" --smoke 300000 --check
 
 if [[ "${SQLINK_SANITIZE}" != "none" ]]; then
   SAN_DIR="${BUILD_DIR}-${SQLINK_SANITIZE}"

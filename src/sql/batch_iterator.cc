@@ -1,0 +1,49 @@
+#include "sql/batch_iterator.h"
+
+#include "common/status_macros.h"
+
+namespace sqlink {
+
+Result<bool> RowVectorBatchIterator::Next(ColumnBatch* out) {
+  const size_t total = rows_->size();
+  if (pos_ >= total) return false;
+  const size_t take = std::min(kSqlBatchRows, total - pos_);
+  out->Reset(schema_);
+  out->Reserve(take);
+  for (size_t i = 0; i < take; ++i) {
+    RETURN_IF_ERROR(out->AppendRow((*rows_)[pos_ + i]));
+  }
+  pos_ += take;
+  return true;
+}
+
+Result<bool> BatchToRowIterator::Next(Row* row) {
+  while (pos_ >= batch_.num_rows()) {
+    if (done_) return false;
+    ASSIGN_OR_RETURN(bool has, child_->Next(&batch_));
+    if (!has) {
+      done_ = true;
+      return false;
+    }
+    pos_ = 0;
+  }
+  batch_.EmitRow(pos_++, row);
+  return true;
+}
+
+Result<bool> RowToBatchIterator::Next(ColumnBatch* out) {
+  if (done_) return false;
+  out->Reset(schema_);
+  Row row;
+  while (out->num_rows() < kSqlBatchRows) {
+    ASSIGN_OR_RETURN(bool has, child_->Next(&row));
+    if (!has) {
+      done_ = true;
+      break;
+    }
+    RETURN_IF_ERROR(out->AppendRow(row));
+  }
+  return out->num_rows() > 0;
+}
+
+}  // namespace sqlink

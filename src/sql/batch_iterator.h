@@ -1,0 +1,81 @@
+#ifndef SQLINK_SQL_BATCH_ITERATOR_H_
+#define SQLINK_SQL_BATCH_ITERATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/row_iterator.h"
+#include "table/column_batch.h"
+#include "table/schema.h"
+
+namespace sqlink {
+
+/// Rows per ColumnBatch in the vectorized SQL pipelines: large enough to
+/// amortize the per-batch virtual dispatch, small enough to stay cache
+/// resident. Also the batch-boundary size the golden-query corpus probes
+/// (sizes 0, 1, kSqlBatchRows-1, kSqlBatchRows, kSqlBatchRows+1).
+inline constexpr size_t kSqlBatchRows = 1024;
+
+/// Pull-based columnar operator interface, the vectorized counterpart of
+/// RowIterator: Next fills `*out` (contents replaced) with the next batch
+/// and returns false at end of stream. Emitted batches are non-empty.
+class BatchIterator {
+ public:
+  virtual ~BatchIterator() = default;
+  virtual Result<bool> Next(ColumnBatch* out) = 0;
+};
+
+using BatchIteratorPtr = std::unique_ptr<BatchIterator>;
+
+/// Scan leaf: slices a materialized row partition into batches. Borrows the
+/// rows — the caller keeps them alive for the iterator's lifetime.
+class RowVectorBatchIterator final : public BatchIterator {
+ public:
+  RowVectorBatchIterator(const std::vector<Row>* rows, SchemaPtr schema)
+      : rows_(rows), schema_(std::move(schema)) {}
+  Result<bool> Next(ColumnBatch* out) override;
+
+ private:
+  const std::vector<Row>* rows_;
+  SchemaPtr schema_;
+  size_t pos_ = 0;
+};
+
+/// A batch stream with no rows.
+class EmptyBatchIterator final : public BatchIterator {
+ public:
+  Result<bool> Next(ColumnBatch*) override { return false; }
+};
+
+/// Adapts a batch pipeline to the row interface (feeds row-only consumers
+/// such as table UDFs without batch support).
+class BatchToRowIterator final : public RowIterator {
+ public:
+  explicit BatchToRowIterator(BatchIterator* child) : child_(child) {}
+  Result<bool> Next(Row* row) override;
+
+ private:
+  BatchIterator* child_;  // Borrowed.
+  ColumnBatch batch_;
+  size_t pos_ = 0;
+  bool done_ = false;
+};
+
+/// Adapts a row stream to the batch interface (re-batches table-UDF output
+/// back into the vectorized pipeline).
+class RowToBatchIterator final : public BatchIterator {
+ public:
+  RowToBatchIterator(RowIteratorPtr child, SchemaPtr schema)
+      : child_(std::move(child)), schema_(std::move(schema)) {}
+  Result<bool> Next(ColumnBatch* out) override;
+
+ private:
+  RowIteratorPtr child_;
+  SchemaPtr schema_;
+  bool done_ = false;
+};
+
+}  // namespace sqlink
+
+#endif  // SQLINK_SQL_BATCH_ITERATOR_H_

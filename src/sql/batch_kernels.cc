@@ -1,0 +1,85 @@
+#include "sql/batch_kernels.h"
+
+#include <functional>
+#include <string_view>
+
+namespace sqlink {
+
+void FilterToSelection(const Column& pred, size_t num_rows,
+                       std::vector<int32_t>* sel) {
+  sel->clear();
+  if (pred.type != DataType::kBool) return;
+  for (size_t i = 0; i < num_rows; ++i) {
+    if (pred.bools[i] != 0 && !pred.IsNull(i)) {
+      sel->push_back(static_cast<int32_t>(i));
+    }
+  }
+}
+
+namespace {
+
+constexpr uint64_t kNullHash = 0x9e3779b97f4a7c15ULL;
+
+inline uint64_t Mix(uint64_t h, uint64_t v) {
+  // boost::hash_combine-style mixing keeps per-column order significant.
+  return h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+}
+
+uint64_t ColumnCellHash(const Column& c, size_t row) {
+  if (c.IsNull(row)) return kNullHash;
+  switch (c.type) {
+    case DataType::kBool:
+      return c.bools[row] != 0 ? 1 : 0;
+    case DataType::kInt64:
+      return std::hash<int64_t>{}(c.ints[row]);
+    case DataType::kDouble: {
+      const double d = c.doubles[row];
+      // +0.0 and -0.0 compare equal, so they must hash equal.
+      return d == 0.0 ? 0 : std::hash<double>{}(d);
+    }
+    case DataType::kString:
+      return std::hash<std::string_view>{}(c.dict[c.codes[row]]);
+  }
+  return 0;
+}
+
+}  // namespace
+
+uint64_t BatchRowHash(const ColumnBatch& batch, size_t row) {
+  uint64_t h = 0;
+  for (size_t c = 0; c < batch.num_columns(); ++c) {
+    h = Mix(h, ColumnCellHash(batch.column(c), row));
+  }
+  return h;
+}
+
+bool BatchRowsEqual(const ColumnBatch& a, size_t ra, const ColumnBatch& b,
+                    size_t rb) {
+  if (a.num_columns() != b.num_columns()) return false;
+  for (size_t c = 0; c < a.num_columns(); ++c) {
+    const Column& ca = a.column(c);
+    const Column& cb = b.column(c);
+    const bool na = ca.IsNull(ra);
+    const bool nb = cb.IsNull(rb);
+    if (na != nb) return false;
+    if (na) continue;
+    if (ca.type != cb.type) return false;
+    switch (ca.type) {
+      case DataType::kBool:
+        if ((ca.bools[ra] != 0) != (cb.bools[rb] != 0)) return false;
+        break;
+      case DataType::kInt64:
+        if (ca.ints[ra] != cb.ints[rb]) return false;
+        break;
+      case DataType::kDouble:
+        if (ca.doubles[ra] != cb.doubles[rb]) return false;
+        break;
+      case DataType::kString:
+        if (ca.dict[ca.codes[ra]] != cb.dict[cb.codes[rb]]) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+}  // namespace sqlink

@@ -1,8 +1,56 @@
 #include "sql/catalog.h"
 
+#include <unordered_set>
+
 #include "common/string_util.h"
 
 namespace sqlink {
+
+namespace {
+
+/// In-memory payload size proxy for one value (cost-model currency, not an
+/// exact allocator accounting).
+double ValueBytes(const Value& v) {
+  if (v.is_string()) return 16.0 + static_cast<double>(v.string_value().size());
+  return 16.0;
+}
+
+TableStatsPtr ComputeStats(const Table& table) {
+  auto stats = std::make_shared<TableStats>();
+  const size_t width =
+      static_cast<size_t>(table.schema()->num_fields());
+  stats->columns.resize(width);
+  std::vector<std::unordered_set<size_t>> hashes(width);
+  std::vector<double> nulls(width, 0);
+  std::vector<double> bytes(width, 0);
+  double rows = 0;
+  for (size_t p = 0; p < table.num_partitions(); ++p) {
+    for (const Row& row : table.partition(p)) {
+      rows += 1;
+      for (size_t c = 0; c < width && c < row.size(); ++c) {
+        const Value& v = row[c];
+        if (v.is_null()) {
+          nulls[c] += 1;
+          continue;
+        }
+        hashes[c].insert(v.Hash());
+        bytes[c] += ValueBytes(v);
+      }
+    }
+  }
+  stats->row_count = rows;
+  for (size_t c = 0; c < width; ++c) {
+    ColumnStats& col = stats->columns[c];
+    col.distinct_values = static_cast<double>(hashes[c].size());
+    col.null_fraction = rows > 0 ? nulls[c] / rows : 0;
+    const double non_null = rows - nulls[c];
+    col.avg_bytes = non_null > 0 ? bytes[c] / non_null : 16.0;
+    stats->avg_row_bytes += col.avg_bytes;
+  }
+  return stats;
+}
+
+}  // namespace
 
 Status Catalog::RegisterTable(TablePtr table) {
   const std::string key = ToLowerAscii(table->name());
@@ -18,6 +66,7 @@ void Catalog::PutTable(TablePtr table) {
   const std::string key = ToLowerAscii(table->name());
   std::lock_guard<std::mutex> lock(mu_);
   tables_[key] = std::move(table);
+  stats_.erase(key);
 }
 
 Result<TablePtr> Catalog::GetTable(const std::string& name) const {
@@ -36,10 +85,33 @@ bool Catalog::HasTable(const std::string& name) const {
 
 Status Catalog::DropTable(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (tables_.erase(ToLowerAscii(name)) == 0) {
+  const std::string key = ToLowerAscii(name);
+  stats_.erase(key);
+  if (tables_.erase(key) == 0) {
     return Status::NotFound("unknown table: " + name);
   }
   return Status::OK();
+}
+
+Result<TableStatsPtr> Catalog::GetStats(const std::string& name) const {
+  const std::string key = ToLowerAscii(name);
+  TablePtr table;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto cached = stats_.find(key);
+    if (cached != stats_.end()) return cached->second;
+    auto it = tables_.find(key);
+    if (it == tables_.end()) {
+      return Status::NotFound("unknown table: " + name);
+    }
+    table = it->second;
+  }
+  // Scan outside the lock (stats computation is O(rows)); last writer wins
+  // if two threads race, which is fine — both computed from live snapshots.
+  TableStatsPtr stats = ComputeStats(*table);
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_[key] = stats;
+  return stats;
 }
 
 std::vector<std::string> Catalog::ListTables() const {

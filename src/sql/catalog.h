@@ -12,6 +12,24 @@
 
 namespace sqlink {
 
+/// Per-column statistics, computed by one full scan of the table.
+struct ColumnStats {
+  double distinct_values = 0;  ///< Hash-based NDV estimate; 0 = unknown.
+  double null_fraction = 0;    ///< Fraction of rows where the value is NULL.
+  double avg_bytes = 16;       ///< Average in-memory payload bytes per value.
+};
+
+/// Table-level statistics feeding the planner's cost model: filter
+/// selectivity (NDV, null fractions), join output cardinality, and the
+/// hash-build memory estimate that picks hash vs sort-merge joins.
+struct TableStats {
+  double row_count = 0;
+  double avg_row_bytes = 0;          ///< Sum of per-column avg_bytes.
+  std::vector<ColumnStats> columns;  ///< Aligned with the table schema.
+};
+
+using TableStatsPtr = std::shared_ptr<const TableStats>;
+
 /// Thread-safe table registry (the engine's "NameNode for tables").
 /// Names are case-insensitive.
 class Catalog {
@@ -29,9 +47,16 @@ class Catalog {
   Status DropTable(const std::string& name);
   std::vector<std::string> ListTables() const;
 
+  /// Statistics for a registered table. Computed on first request by a full
+  /// scan, then cached; PutTable/DropTable invalidate the cached entry, so
+  /// a stats snapshot can only go stale if a caller mutates table
+  /// partitions in place behind the catalog's back.
+  Result<TableStatsPtr> GetStats(const std::string& name) const;
+
  private:
   mutable std::mutex mu_;
-  std::map<std::string, TablePtr> tables_;  // Lower-case key.
+  std::map<std::string, TablePtr> tables_;        // Lower-case key.
+  mutable std::map<std::string, TableStatsPtr> stats_;  // Lower-case key.
 };
 
 }  // namespace sqlink

@@ -22,7 +22,7 @@ Result<PlanPtr> SqlEngine::Plan(const std::string& sql) {
 
 Result<PlanPtr> SqlEngine::PlanStmt(const SelectStmt& stmt) {
   Planner planner(&catalog_, scalar_udfs_.get(), &table_udfs_, num_workers_,
-                  broadcast_threshold_rows_);
+                  planner_options_);
   return planner.PlanSelect(stmt);
 }
 

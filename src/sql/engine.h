@@ -38,9 +38,24 @@ class SqlEngine {
   /// are broadcast; larger ones trigger a repartition (shuffle) join.
   /// Exposed for tests and tuning.
   void set_broadcast_threshold_rows(double rows) {
-    broadcast_threshold_rows_ = rows;
+    planner_options_.broadcast_threshold_rows = rows;
   }
-  double broadcast_threshold_rows() const { return broadcast_threshold_rows_; }
+  double broadcast_threshold_rows() const {
+    return planner_options_.broadcast_threshold_rows;
+  }
+
+  /// Forces (or re-enables cost-based choice of) the physical equi-join
+  /// algorithm. kAuto picks hash unless the estimated build size exceeds
+  /// the hash-build memory budget.
+  void set_join_strategy(JoinStrategy strategy) {
+    planner_options_.join_strategy = strategy;
+  }
+  JoinStrategy join_strategy() const { return planner_options_.join_strategy; }
+
+  /// Hash-build memory budget for the kAuto join choice, in bytes.
+  void set_hash_build_budget_bytes(double bytes) {
+    planner_options_.hash_build_budget_bytes = bytes;
+  }
 
   /// Parses, plans and runs a SELECT; the result table is named
   /// `result_name` (default "result") but not registered in the catalog.
@@ -85,7 +100,7 @@ class SqlEngine {
   Catalog catalog_;
   std::shared_ptr<ScalarFunctionRegistry> scalar_udfs_;
   TableUdfRegistry table_udfs_;
-  double broadcast_threshold_rows_ = 500000;
+  PlannerOptions planner_options_;
 };
 
 using SqlEnginePtr = std::shared_ptr<SqlEngine>;

@@ -9,10 +9,12 @@
 
 #include "common/blocking_queue.h"
 #include "common/logging.h"
+#include "common/runtime_flags.h"
 #include "common/status_macros.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
+#include "sql/batch_kernels.h"
 #include "sql/row_iterator.h"
 
 namespace sqlink {
@@ -78,16 +80,26 @@ class JoinHashTable {
   template <typename Fn>
   void Probe(const Row& probe, const std::vector<int>& probe_keys,
              Fn&& fn) const {
+    ProbeIndices(probe, probe_keys,
+                 [this, &fn](size_t index) { fn(rows_[index]); });
+  }
+
+  /// Index-returning probe for the vectorized join, which gathers matched
+  /// build rows out of a pre-built ColumnBatch instead of boxing them.
+  template <typename Fn>
+  void ProbeIndices(const Row& probe, const std::vector<int>& probe_keys,
+                    Fn&& fn) const {
     if (HasNullKey(probe, probe_keys)) return;
     auto it = buckets_.find(HashRowKey(probe, probe_keys));
     if (it == buckets_.end()) return;
     for (size_t index : it->second) {
       if (RowKeyEquals(probe, probe_keys, rows_[index], keys_)) {
-        fn(rows_[index]);
+        fn(index);
       }
     }
   }
 
+  const std::vector<Row>& rows() const { return rows_; }
   size_t num_rows() const { return rows_.size(); }
 
  private:
@@ -184,6 +196,22 @@ class HashJoinIterator final : public RowIterator {
   size_t match_index_ = 0;
 };
 
+constexpr size_t kUdfQueueCapacity = 4096;
+
+class RowQueueSink final : public RowSink {
+ public:
+  explicit RowQueueSink(BlockingQueue<Row>* queue) : queue_(queue) {}
+  Status Push(Row row) override {
+    if (!queue_->Push(std::move(row))) {
+      return Status::Cancelled("downstream consumer closed");
+    }
+    return Status::OK();
+  }
+
+ private:
+  BlockingQueue<Row>* queue_;
+};
+
 /// Pipelines a table UDF: a pump thread runs ProcessPartition() pushing into
 /// a bounded queue that this iterator drains. Keeps UDFs with side effects
 /// (the streaming-transfer sink) overlapped with upstream query execution.
@@ -194,9 +222,9 @@ class UdfPartitionIterator final : public RowIterator {
       : udf_(std::move(udf)),
         context_(context),
         input_(std::move(input)),
-        queue_(kQueueCapacity) {
+        queue_(kUdfQueueCapacity) {
     pump_ = std::thread([this] {
-      QueueSink sink(&queue_);
+      RowQueueSink sink(&queue_);
       const Status status =
           udf_->ProcessPartition(context_, input_.get(), &sink);
       {
@@ -225,22 +253,6 @@ class UdfPartitionIterator final : public RowIterator {
   }
 
  private:
-  static constexpr size_t kQueueCapacity = 4096;
-
-  class QueueSink final : public RowSink {
-   public:
-    explicit QueueSink(BlockingQueue<Row>* queue) : queue_(queue) {}
-    Status Push(Row row) override {
-      if (!queue_->Push(std::move(row))) {
-        return Status::Cancelled("downstream consumer closed");
-      }
-      return Status::OK();
-    }
-
-   private:
-    BlockingQueue<Row>* queue_;
-  };
-
   TableUdfPtr udf_;
   TableUdfContext context_;
   RowIteratorPtr input_;
@@ -255,6 +267,245 @@ class EmptyIterator final : public RowIterator {
   Result<bool> Next(Row*) override { return false; }
 };
 
+// ---------------------------------------------------------------------------
+// Vectorized operators (BatchIterator pipelines over ColumnBatch)
+
+/// Vectorized filter: evaluates the predicate column-at-a-time, compacts
+/// surviving rows through a selection vector. Batches where every row
+/// passes are moved through untouched.
+class VectorizedFilterIterator final : public BatchIterator {
+ public:
+  VectorizedFilterIterator(BatchIteratorPtr child, BoundExprPtr predicate)
+      : child_(std::move(child)), predicate_(std::move(predicate)) {}
+
+  Result<bool> Next(ColumnBatch* out) override {
+    for (;;) {
+      ASSIGN_OR_RETURN(bool has, child_->Next(&input_));
+      if (!has) return false;
+      Column pred;
+      RETURN_IF_ERROR(predicate_->EvaluateBatch(input_, &pred));
+      sel_.clear();
+      FilterToSelection(pred, input_.num_rows(), &sel_);
+      if (sel_.empty()) continue;
+      if (sel_.size() == input_.num_rows()) {
+        *out = std::move(input_);
+        return true;
+      }
+      out->Reset(input_.schema());
+      RETURN_IF_ERROR(out->AppendGather(input_, sel_.data(), sel_.size()));
+      return true;
+    }
+  }
+
+ private:
+  BatchIteratorPtr child_;
+  BoundExprPtr predicate_;
+  ColumnBatch input_;
+  std::vector<int32_t> sel_;
+};
+
+/// Vectorized project: one EvaluateBatch per output column.
+class VectorizedProjectIterator final : public BatchIterator {
+ public:
+  VectorizedProjectIterator(BatchIteratorPtr child,
+                            const std::vector<BoundExprPtr>* exprs,
+                            SchemaPtr output_schema)
+      : child_(std::move(child)),
+        exprs_(exprs),
+        output_schema_(std::move(output_schema)) {}
+
+  Result<bool> Next(ColumnBatch* out) override {
+    ASSIGN_OR_RETURN(bool has, child_->Next(&input_));
+    if (!has) return false;
+    out->Reset(output_schema_);
+    for (size_t i = 0; i < exprs_->size(); ++i) {
+      Column col;
+      RETURN_IF_ERROR((*exprs_)[i]->EvaluateBatch(input_, &col));
+      out->column(i) = std::move(col);
+    }
+    out->SetRowCountForDecode(input_.num_rows());
+    return true;
+  }
+
+ private:
+  BatchIteratorPtr child_;
+  const std::vector<BoundExprPtr>* exprs_;
+  SchemaPtr output_schema_;
+  ColumnBatch input_;
+};
+
+/// Vectorized probe side of the hash join: per probe row only the key
+/// values are boxed; matched pairs are assembled by gathering probe columns
+/// and build columns (from the Prepare-built build batch), and the residual
+/// runs vectorized over the assembled batch.
+class VectorizedHashJoinIterator final : public BatchIterator {
+ public:
+  VectorizedHashJoinIterator(BatchIteratorPtr probe,
+                             std::shared_ptr<const JoinHashTable> table,
+                             std::shared_ptr<const ColumnBatch> build_batch,
+                             const std::vector<int>* probe_keys,
+                             BoundExprPtr residual, SchemaPtr output_schema)
+      : probe_(std::move(probe)),
+        table_(std::move(table)),
+        build_batch_(std::move(build_batch)),
+        probe_keys_(probe_keys),
+        residual_(std::move(residual)),
+        output_schema_(std::move(output_schema)) {
+    identity_keys_.resize(probe_keys_->size());
+    for (size_t i = 0; i < identity_keys_.size(); ++i) {
+      identity_keys_[i] = static_cast<int>(i);
+    }
+  }
+
+  Result<bool> Next(ColumnBatch* out) override {
+    for (;;) {
+      ASSIGN_OR_RETURN(bool has, probe_->Next(&input_));
+      if (!has) return false;
+      const size_t n = input_.num_rows();
+      probe_sel_.clear();
+      build_sel_.clear();
+      Row key;
+      for (size_t r = 0; r < n; ++r) {
+        key.clear();
+        for (int k : *probe_keys_) {
+          key.push_back(input_.ValueAt(r, static_cast<size_t>(k)));
+        }
+        table_->ProbeIndices(key, identity_keys_, [&](size_t build_index) {
+          probe_sel_.push_back(static_cast<int32_t>(r));
+          build_sel_.push_back(static_cast<int32_t>(build_index));
+        });
+      }
+      if (probe_sel_.empty()) continue;
+      joined_.Reset(output_schema_);
+      const size_t probe_width = input_.num_columns();
+      for (size_t c = 0; c < probe_width; ++c) {
+        AppendColumnGather(&joined_.column(c), 0, input_.column(c),
+                           probe_sel_.data(), probe_sel_.size());
+      }
+      for (size_t c = 0; c < build_batch_->num_columns(); ++c) {
+        AppendColumnGather(&joined_.column(probe_width + c), 0,
+                           build_batch_->column(c), build_sel_.data(),
+                           build_sel_.size());
+      }
+      joined_.SetRowCountForDecode(probe_sel_.size());
+      if (residual_ == nullptr) {
+        *out = std::move(joined_);
+        return true;
+      }
+      Column pred;
+      RETURN_IF_ERROR(residual_->EvaluateBatch(joined_, &pred));
+      sel_.clear();
+      FilterToSelection(pred, joined_.num_rows(), &sel_);
+      if (sel_.empty()) continue;
+      if (sel_.size() == joined_.num_rows()) {
+        *out = std::move(joined_);
+        return true;
+      }
+      out->Reset(output_schema_);
+      RETURN_IF_ERROR(out->AppendGather(joined_, sel_.data(), sel_.size()));
+      return true;
+    }
+  }
+
+ private:
+  BatchIteratorPtr probe_;
+  std::shared_ptr<const JoinHashTable> table_;
+  std::shared_ptr<const ColumnBatch> build_batch_;
+  const std::vector<int>* probe_keys_;
+  std::vector<int> identity_keys_;
+  BoundExprPtr residual_;
+  SchemaPtr output_schema_;
+  ColumnBatch input_;
+  ColumnBatch joined_;
+  std::vector<int32_t> probe_sel_;
+  std::vector<int32_t> build_sel_;
+  std::vector<int32_t> sel_;
+};
+
+/// Batch-mode UDF pump: the pump thread hands the UDF a columnar input via
+/// ProcessPartitionBatches (batch-capable UDFs consume it directly; others
+/// fall back to the row adapter inside the default implementation), and the
+/// emitted rows are re-batched for the downstream vectorized pipeline.
+class UdfBatchPartitionIterator final : public BatchIterator {
+ public:
+  UdfBatchPartitionIterator(TableUdfPtr udf, TableUdfContext context,
+                            BatchIteratorPtr input, SchemaPtr output_schema)
+      : udf_(std::move(udf)),
+        context_(context),
+        input_(std::move(input)),
+        output_schema_(std::move(output_schema)),
+        queue_(kUdfQueueCapacity) {
+    pump_ = std::thread([this] {
+      RowQueueSink sink(&queue_);
+      const Status status =
+          udf_->ProcessPartitionBatches(context_, input_.get(), &sink);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!status.ok() && !status.IsCancelled()) pump_status_ = status;
+      }
+      queue_.Close();
+    });
+  }
+
+  ~UdfBatchPartitionIterator() override {
+    queue_.Close();
+    if (pump_.joinable()) pump_.join();
+  }
+
+  Result<bool> Next(ColumnBatch* out) override {
+    if (done_) return false;
+    out->Reset(output_schema_);
+    while (out->num_rows() < kSqlBatchRows) {
+      std::optional<Row> row = queue_.Pop();
+      if (!row.has_value()) {
+        done_ = true;
+        std::lock_guard<std::mutex> lock(mu_);
+        RETURN_IF_ERROR(pump_status_);
+        break;
+      }
+      RETURN_IF_ERROR(out->AppendRow(*row));
+    }
+    return out->num_rows() > 0;
+  }
+
+ private:
+  TableUdfPtr udf_;
+  TableUdfContext context_;
+  BatchIteratorPtr input_;
+  SchemaPtr output_schema_;
+  BlockingQueue<Row> queue_;
+  std::thread pump_;
+  std::mutex mu_;
+  Status pump_status_;
+  bool done_ = false;
+};
+
+/// Hash-based duplicate elimination over batches: unique rows accumulate in
+/// a ColumnBatch keyed by content hash, without boxing. Used by both phases
+/// of the vectorized DISTINCT.
+struct BatchDedup {
+  explicit BatchDedup(SchemaPtr schema) : acc(std::move(schema)) {}
+
+  ColumnBatch acc;                   ///< Unique rows seen so far.
+  std::vector<uint64_t> row_hashes;  ///< Hash per acc row (shuffle split).
+  std::unordered_map<uint64_t, std::vector<int32_t>> buckets;
+
+  Status Insert(const ColumnBatch& src, size_t row) {
+    const uint64_t h = BatchRowHash(src, row);
+    std::vector<int32_t>& bucket = buckets[h];
+    for (const int32_t idx : bucket) {
+      if (BatchRowsEqual(acc, static_cast<size_t>(idx), src, row)) {
+        return Status::OK();
+      }
+    }
+    const int32_t index = static_cast<int32_t>(row);
+    RETURN_IF_ERROR(acc.AppendGather(src, &index, 1));
+    bucket.push_back(static_cast<int32_t>(acc.num_rows()) - 1);
+    row_hashes.push_back(h);
+    return Status::OK();
+  }
+};
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -267,6 +518,10 @@ struct Executor::PipelineState {
     // Repartition mode: per-worker probe slices and hash tables.
     std::vector<std::vector<Row>> probe_partitions;
     std::vector<std::shared_ptr<const JoinHashTable>> worker_tables;
+    // Vectorized mode: the build rows as ColumnBatches, gathered from
+    // during probe instead of boxing build rows per match.
+    std::shared_ptr<const ColumnBatch> broadcast_batch;
+    std::vector<std::shared_ptr<const ColumnBatch>> worker_batches;
   };
 
   // Keyed by plan node identity.
@@ -280,16 +535,23 @@ struct Executor::PipelineState {
 
 Executor::Executor(int num_workers, ClusterPtr cluster,
                    MetricsRegistry* metrics)
+    : Executor(num_workers, std::move(cluster), metrics,
+               VectorizedSqlEnabled()) {}
+
+Executor::Executor(int num_workers, ClusterPtr cluster,
+                   MetricsRegistry* metrics, bool vectorized)
     : num_workers_(num_workers),
       cluster_(std::move(cluster)),
-      metrics_(metrics != nullptr ? metrics : &MetricsRegistry::Global()) {
+      metrics_(metrics != nullptr ? metrics : &MetricsRegistry::Global()),
+      vectorized_(vectorized) {
   SQLINK_CHECK(num_workers_ > 0);
 }
 
 Result<PartitionedRows> Executor::Execute(const PlanPtr& plan) {
   switch (plan->kind) {
     case PlanKind::kDistinct:
-      return ExecuteDistinct(plan);
+      return vectorized_ ? ExecuteDistinctVectorized(plan)
+                         : ExecuteDistinct(plan);
     case PlanKind::kAggregate:
       return ExecuteAggregate(plan);
     case PlanKind::kSort:
@@ -345,12 +607,28 @@ Status Executor::Prepare(const PlanPtr& plan, PipelineState* state) {
       }
       return Status::OK();
     case PlanKind::kHashJoin: {
+      // Sort-merge choice (cost-based, equi keys only): materialize the
+      // merged result here so both engine modes pipeline over it.
+      if (plan->join_algo == JoinAlgo::kSortMerge && !plan->left_keys.empty()) {
+        ASSIGN_OR_RETURN(PartitionedRows rows, ExecuteMergeJoin(plan));
+        state->materialized.emplace(plan.get(), std::move(rows));
+        return Status::OK();
+      }
       PipelineState::JoinArtifact artifact;
       artifact.broadcast = plan->broadcast_build;
+      const SchemaPtr& build_schema = plan->children[1]->output_schema;
       ASSIGN_OR_RETURN(PartitionedRows build, Execute(plan->children[1]));
       if (plan->broadcast_build) {
         artifact.broadcast_table = std::make_shared<const JoinHashTable>(
             build.Gather(), plan->right_keys);
+        if (vectorized_) {
+          ASSIGN_OR_RETURN(
+              ColumnBatch batch,
+              ColumnBatch::FromRows(build_schema,
+                                    artifact.broadcast_table->rows()));
+          artifact.broadcast_batch =
+              std::make_shared<const ColumnBatch>(std::move(batch));
+        }
         state->joins.emplace(plan.get(), std::move(artifact));
         return Prepare(plan->children[0], state);
       }
@@ -361,10 +639,23 @@ Status Executor::Prepare(const PlanPtr& plan, PipelineState* state) {
       std::vector<std::vector<Row>> build_parts =
           Repartition(std::move(build.partitions), plan->right_keys);
       artifact.worker_tables.resize(static_cast<size_t>(num_workers_));
+      artifact.worker_batches.resize(static_cast<size_t>(num_workers_));
+      std::vector<Status> batch_status(static_cast<size_t>(num_workers_));
       ParallelFor(static_cast<size_t>(num_workers_), [&](size_t w) {
         artifact.worker_tables[w] = std::make_shared<const JoinHashTable>(
             std::move(build_parts[w]), plan->right_keys);
+        if (vectorized_) {
+          auto batch = ColumnBatch::FromRows(build_schema,
+                                             artifact.worker_tables[w]->rows());
+          if (!batch.ok()) {
+            batch_status[w] = batch.status();
+            return;
+          }
+          artifact.worker_batches[w] =
+              std::make_shared<const ColumnBatch>(std::move(batch).value());
+        }
       });
+      for (const Status& s : batch_status) RETURN_IF_ERROR(s);
       state->joins.emplace(plan.get(), std::move(artifact));
       return Status::OK();
     }
@@ -446,6 +737,79 @@ Result<RowIteratorPtr> Executor::BuildPipeline(const PlanPtr& plan, int worker,
   }
 }
 
+Result<BatchIteratorPtr> Executor::BuildBatchPipeline(const PlanPtr& plan,
+                                                      int worker,
+                                                      PipelineState* state) {
+  auto materialized = state->materialized.find(plan.get());
+  if (materialized != state->materialized.end()) {
+    return BatchIteratorPtr(new RowVectorBatchIterator(
+        &materialized->second.partitions[worker], plan->output_schema));
+  }
+  switch (plan->kind) {
+    case PlanKind::kScan:
+    case PlanKind::kMaterialized: {
+      if (static_cast<size_t>(worker) >= plan->table->num_partitions()) {
+        return BatchIteratorPtr(new EmptyBatchIterator());
+      }
+      return BatchIteratorPtr(new RowVectorBatchIterator(
+          &plan->table->partition(static_cast<size_t>(worker)),
+          plan->output_schema));
+    }
+    case PlanKind::kFilter: {
+      ASSIGN_OR_RETURN(BatchIteratorPtr child,
+                       BuildBatchPipeline(plan->children[0], worker, state));
+      return BatchIteratorPtr(
+          new VectorizedFilterIterator(std::move(child), plan->predicate));
+    }
+    case PlanKind::kProject: {
+      ASSIGN_OR_RETURN(BatchIteratorPtr child,
+                       BuildBatchPipeline(plan->children[0], worker, state));
+      return BatchIteratorPtr(new VectorizedProjectIterator(
+          std::move(child), &plan->projections, plan->output_schema));
+    }
+    case PlanKind::kHashJoin: {
+      auto it = state->joins.find(plan.get());
+      if (it == state->joins.end()) {
+        return Status::Internal("join not prepared");
+      }
+      PipelineState::JoinArtifact& artifact = it->second;
+      if (artifact.broadcast) {
+        ASSIGN_OR_RETURN(BatchIteratorPtr probe,
+                         BuildBatchPipeline(plan->children[0], worker, state));
+        return BatchIteratorPtr(new VectorizedHashJoinIterator(
+            std::move(probe), artifact.broadcast_table,
+            artifact.broadcast_batch, &plan->left_keys, plan->residual,
+            plan->output_schema));
+      }
+      BatchIteratorPtr probe(new RowVectorBatchIterator(
+          &artifact.probe_partitions[static_cast<size_t>(worker)],
+          plan->children[0]->output_schema));
+      return BatchIteratorPtr(new VectorizedHashJoinIterator(
+          std::move(probe),
+          artifact.worker_tables[static_cast<size_t>(worker)],
+          artifact.worker_batches[static_cast<size_t>(worker)],
+          &plan->left_keys, plan->residual, plan->output_schema));
+    }
+    case PlanKind::kTableUdf: {
+      BatchIteratorPtr input;
+      if (!plan->children.empty()) {
+        ASSIGN_OR_RETURN(input,
+                         BuildBatchPipeline(plan->children[0], worker, state));
+      }
+      TableUdfContext context;
+      context.worker_id = worker;
+      context.num_workers = num_workers_;
+      context.cluster = cluster_;
+      context.metrics = metrics_;
+      return BatchIteratorPtr(new UdfBatchPartitionIterator(
+          plan->udf, context, std::move(input), plan->output_schema));
+    }
+    default:
+      return Status::Internal("unexpected plan kind in batch pipeline: " +
+                              plan->ToString());
+  }
+}
+
 Result<PartitionedRows> Executor::ExecutePipeline(const PlanPtr& plan) {
   TraceSpan span("sql.execute");
   span.AddAttribute("workers", num_workers_);
@@ -458,7 +822,24 @@ Result<PartitionedRows> Executor::ExecutePipeline(const PlanPtr& plan) {
   output.partitions.resize(static_cast<size_t>(num_workers_));
 
   Status run_status = prepare_status;
-  if (run_status.ok()) {
+  if (run_status.ok() && vectorized_) {
+    run_status = ParallelWorkers(num_workers_, [&](int worker) -> Status {
+      ASSIGN_OR_RETURN(BatchIteratorPtr it,
+                       BuildBatchPipeline(plan, worker, &state));
+      std::vector<Row>& out = output.partitions[static_cast<size_t>(worker)];
+      ColumnBatch batch;
+      Row row;
+      for (;;) {
+        ASSIGN_OR_RETURN(bool has, it->Next(&batch));
+        if (!has) break;
+        for (size_t r = 0; r < batch.num_rows(); ++r) {
+          batch.EmitRow(r, &row);
+          out.push_back(row);
+        }
+      }
+      return Status::OK();
+    });
+  } else if (run_status.ok()) {
     run_status = ParallelWorkers(num_workers_, [&](int worker) -> Status {
       ASSIGN_OR_RETURN(RowIteratorPtr it, BuildPipeline(plan, worker, &state));
       std::vector<Row>& out = output.partitions[static_cast<size_t>(worker)];
@@ -523,6 +904,189 @@ Result<PartitionedRows> Executor::ExecuteDistinct(const PlanPtr& plan) {
       output.partitions[p].push_back(row);
     }
   });
+  return output;
+}
+
+Result<PartitionedRows> Executor::ExecuteDistinctVectorized(
+    const PlanPtr& plan) {
+  // Same two-phase shape as ExecuteDistinct, but the child runs as a batch
+  // pipeline and dedup works on unboxed ColumnBatch rows: local dedup per
+  // worker, shuffle unique rows by content hash, final dedup per target.
+  const PlanPtr& child = plan->children[0];
+  const size_t n = static_cast<size_t>(num_workers_);
+
+  PipelineState state;
+  Status run_status = Prepare(child, &state);
+
+  // shards[worker][target]: locally-unique rows routed to `target`.
+  std::vector<std::vector<ColumnBatch>> shards(n);
+  if (run_status.ok()) {
+    run_status = ParallelWorkers(num_workers_, [&](int worker) -> Status {
+      ASSIGN_OR_RETURN(BatchIteratorPtr it,
+                       BuildBatchPipeline(child, worker, &state));
+      BatchDedup dedup(plan->output_schema);
+      ColumnBatch batch;
+      for (;;) {
+        ASSIGN_OR_RETURN(bool has, it->Next(&batch));
+        if (!has) break;
+        for (size_t r = 0; r < batch.num_rows(); ++r) {
+          RETURN_IF_ERROR(dedup.Insert(batch, r));
+        }
+      }
+      // Split this worker's unique rows by hash into per-target gathers.
+      std::vector<std::vector<int32_t>> routed(n);
+      for (size_t r = 0; r < dedup.acc.num_rows(); ++r) {
+        routed[dedup.row_hashes[r] % n].push_back(static_cast<int32_t>(r));
+      }
+      std::vector<ColumnBatch>& out = shards[static_cast<size_t>(worker)];
+      for (size_t t = 0; t < n; ++t) {
+        ColumnBatch shard(plan->output_schema);
+        if (!routed[t].empty()) {
+          RETURN_IF_ERROR(shard.AppendGather(dedup.acc, routed[t].data(),
+                                             routed[t].size()));
+        }
+        out.push_back(std::move(shard));
+      }
+      return Status::OK();
+    });
+  }
+  for (const TableUdfPtr& udf : state.udfs_to_finish) {
+    const Status finish_status = udf->Finish();
+    if (run_status.ok() && !finish_status.ok()) run_status = finish_status;
+  }
+  RETURN_IF_ERROR(run_status);
+
+  PartitionedRows output;
+  output.schema = plan->output_schema;
+  output.partitions.resize(n);
+  std::vector<Status> target_status(n);
+  ParallelFor(n, [&](size_t t) {
+    BatchDedup dedup(plan->output_schema);
+    for (size_t w = 0; w < n; ++w) {
+      const ColumnBatch& shard = shards[w][t];
+      for (size_t r = 0; r < shard.num_rows(); ++r) {
+        const Status s = dedup.Insert(shard, r);
+        if (!s.ok()) {
+          target_status[t] = s;
+          return;
+        }
+      }
+    }
+    output.partitions[t].reserve(dedup.acc.num_rows());
+    Row row;
+    for (size_t r = 0; r < dedup.acc.num_rows(); ++r) {
+      dedup.acc.EmitRow(r, &row);
+      output.partitions[t].push_back(row);
+    }
+  });
+  for (const Status& s : target_status) RETURN_IF_ERROR(s);
+  return output;
+}
+
+namespace {
+
+/// Lexicographic three-way compare of the key columns of two rows, using
+/// Value's cross-numeric, NULL-first ordering.
+int CompareKeys(const Row& a, const std::vector<int>& a_keys, const Row& b,
+                const std::vector<int>& b_keys) {
+  for (size_t i = 0; i < a_keys.size(); ++i) {
+    const Value& av = a[static_cast<size_t>(a_keys[i])];
+    const Value& bv = b[static_cast<size_t>(b_keys[i])];
+    if (av < bv) return -1;
+    if (bv < av) return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+Result<PartitionedRows> Executor::ExecuteMergeJoin(const PlanPtr& plan) {
+  // Repartition both sides by key so equal keys land on the same worker,
+  // sort each worker's slices, then merge equal-key runs. NULL keys never
+  // match (dropped up front), and emitted pairs are guarded by the exact
+  // RowKeyEquals check so ordering-equal but type-distinct numeric keys
+  // (1 vs 1.0) behave exactly like the hash join.
+  ASSIGN_OR_RETURN(PartitionedRows probe, Execute(plan->children[0]));
+  ASSIGN_OR_RETURN(PartitionedRows build, Execute(plan->children[1]));
+  std::vector<std::vector<Row>> probe_parts =
+      Repartition(std::move(probe.partitions), plan->left_keys);
+  std::vector<std::vector<Row>> build_parts =
+      Repartition(std::move(build.partitions), plan->right_keys);
+
+  PartitionedRows output;
+  output.schema = plan->output_schema;
+  output.partitions.resize(static_cast<size_t>(num_workers_));
+  Status run_status = ParallelWorkers(num_workers_, [&](int w) -> Status {
+    std::vector<Row>& left = probe_parts[static_cast<size_t>(w)];
+    std::vector<Row>& right = build_parts[static_cast<size_t>(w)];
+    auto drop_null_keys = [](std::vector<Row>* rows,
+                             const std::vector<int>& keys) {
+      rows->erase(std::remove_if(rows->begin(), rows->end(),
+                                 [&](const Row& row) {
+                                   return HasNullKey(row, keys);
+                                 }),
+                  rows->end());
+    };
+    drop_null_keys(&left, plan->left_keys);
+    drop_null_keys(&right, plan->right_keys);
+    std::sort(left.begin(), left.end(), [&](const Row& a, const Row& b) {
+      return CompareKeys(a, plan->left_keys, b, plan->left_keys) < 0;
+    });
+    std::sort(right.begin(), right.end(), [&](const Row& a, const Row& b) {
+      return CompareKeys(a, plan->right_keys, b, plan->right_keys) < 0;
+    });
+
+    std::vector<Row>& out = output.partitions[static_cast<size_t>(w)];
+    size_t li = 0;
+    size_t ri = 0;
+    Row joined;
+    while (li < left.size() && ri < right.size()) {
+      const int cmp =
+          CompareKeys(left[li], plan->left_keys, right[ri], plan->right_keys);
+      if (cmp < 0) {
+        ++li;
+        continue;
+      }
+      if (cmp > 0) {
+        ++ri;
+        continue;
+      }
+      // Equal-key runs on both sides; emit the cross product of the runs.
+      size_t lend = li + 1;
+      while (lend < left.size() &&
+             CompareKeys(left[lend], plan->left_keys, left[li],
+                         plan->left_keys) == 0) {
+        ++lend;
+      }
+      size_t rend = ri + 1;
+      while (rend < right.size() &&
+             CompareKeys(right[rend], plan->right_keys, right[ri],
+                         plan->right_keys) == 0) {
+        ++rend;
+      }
+      for (size_t l = li; l < lend; ++l) {
+        for (size_t r = ri; r < rend; ++r) {
+          // Ordering-equal is weaker than join equality: re-check exactly.
+          if (!RowKeyEquals(left[l], plan->left_keys, right[r],
+                            plan->right_keys)) {
+            continue;
+          }
+          joined = left[l];
+          joined.insert(joined.end(), right[r].begin(), right[r].end());
+          if (plan->residual != nullptr) {
+            ASSIGN_OR_RETURN(Value keep, plan->residual->Evaluate(joined));
+            if (!IsTruthy(keep)) continue;
+          }
+          out.push_back(joined);
+        }
+      }
+      li = lend;
+      ri = rend;
+    }
+    return Status::OK();
+  });
+  RETURN_IF_ERROR(run_status);
+  metrics_->GetCounter("sql.executor.merge_joins")->Add(1);
   return output;
 }
 

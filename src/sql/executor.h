@@ -7,6 +7,7 @@
 #include "cluster/cluster.h"
 #include "common/metrics.h"
 #include "common/result.h"
+#include "sql/batch_iterator.h"
 #include "sql/plan.h"
 #include "table/schema.h"
 #include "table/value.h"
@@ -42,27 +43,47 @@ struct PartitionedRows {
 /// pumps its UDF on a dedicated thread through a bounded queue, so a
 /// streaming-transfer UDF overlaps with the upstream query work exactly as
 /// the paper's insql+stream pipeline does.
+///
+/// Two engine modes share the planner and all blocking operators. The row
+/// mode chains RowIterator operators; the vectorized mode (default, gated
+/// by SQLINK_VECTORIZED_SQL) chains BatchIterator operators over
+/// ColumnBatch with selection-vector filters and gather-based joins, and
+/// feeds batch-capable table UDFs columns directly. Both must produce
+/// identical results — tests/sql_differential_test.cc holds them to it.
 class Executor {
  public:
+  /// Engine mode follows the SQLINK_VECTORIZED_SQL runtime flag.
   Executor(int num_workers, ClusterPtr cluster, MetricsRegistry* metrics);
+  /// Engine mode forced by the caller (benchmarks, differential tests).
+  Executor(int num_workers, ClusterPtr cluster, MetricsRegistry* metrics,
+           bool vectorized);
 
   /// Runs the plan and returns its materialized, partitioned result.
   Result<PartitionedRows> Execute(const PlanPtr& plan);
 
   int num_workers() const { return num_workers_; }
+  bool vectorized() const { return vectorized_; }
 
  private:
   struct PipelineState;
 
   Result<PartitionedRows> ExecutePipeline(const PlanPtr& plan);
   Result<PartitionedRows> ExecuteDistinct(const PlanPtr& plan);
+  Result<PartitionedRows> ExecuteDistinctVectorized(const PlanPtr& plan);
   Result<PartitionedRows> ExecuteAggregate(const PlanPtr& plan);
   Result<PartitionedRows> ExecuteSort(const PlanPtr& plan);
   Result<PartitionedRows> ExecuteLimit(const PlanPtr& plan);
 
+  /// Sort-merge equi join: repartition both sides by key, sort each
+  /// worker's slices, merge equal-key runs. Chosen by the planner's cost
+  /// model when the build side would blow the hash-build memory budget.
+  Result<PartitionedRows> ExecuteMergeJoin(const PlanPtr& plan);
+
   Status Prepare(const PlanPtr& plan, PipelineState* state);
   Result<RowIteratorPtr> BuildPipeline(const PlanPtr& plan, int worker,
                                        PipelineState* state);
+  Result<BatchIteratorPtr> BuildBatchPipeline(const PlanPtr& plan, int worker,
+                                              PipelineState* state);
 
   /// Hash-partitions rows by key columns into `num_workers_` slices.
   std::vector<std::vector<Row>> Repartition(std::vector<std::vector<Row>> input,
@@ -71,6 +92,7 @@ class Executor {
   int num_workers_;
   ClusterPtr cluster_;
   MetricsRegistry* metrics_;
+  bool vectorized_;
 };
 
 }  // namespace sqlink

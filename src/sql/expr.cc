@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdlib>
+#include <string_view>
 
 #include "common/logging.h"
 #include "common/status_macros.h"
@@ -64,13 +65,50 @@ SchemaPtr NameScope::FlatSchema() const {
 // ---------------------------------------------------------------------------
 // Bound expression nodes
 
+Status BoundExpr::EvaluateBatch(const ColumnBatch& batch, Column* out) const {
+  *out = Column();
+  out->type = output_type();
+  const size_t n = batch.num_rows();
+  Row row;
+  for (size_t r = 0; r < n; ++r) {
+    batch.EmitRow(r, &row);
+    ASSIGN_OR_RETURN(Value v, Evaluate(row));
+    RETURN_IF_ERROR(AppendColumnValue(out, r, v, "expr"));
+  }
+  return Status::OK();
+}
+
 namespace {
+
+bool IsNumericType(DataType t) {
+  return t == DataType::kInt64 || t == DataType::kDouble;
+}
+
+/// Row `row` of a numeric column as a double (int64 widens).
+inline double NumericAt(const Column& c, size_t row) {
+  return c.type == DataType::kInt64 ? static_cast<double>(c.ints[row])
+                                    : c.doubles[row];
+}
+
+/// Appends a non-null bool / a null to a kBool output column.
+inline void AppendBool(Column* out, size_t row, bool v) {
+  out->AppendNullBit(row, false);
+  out->bools.push_back(v ? 1 : 0);
+}
+inline void AppendBoolNull(Column* out, size_t row) {
+  out->AppendNullBit(row, true);
+  out->bools.push_back(0);
+}
 
 class ColumnExpr final : public BoundExpr {
  public:
   ColumnExpr(int index, DataType type) : BoundExpr(type), index_(index) {}
   Result<Value> Evaluate(const Row& row) const override {
     return row[static_cast<size_t>(index_)];
+  }
+  Status EvaluateBatch(const ColumnBatch& batch, Column* out) const override {
+    *out = batch.column(static_cast<size_t>(index_));
+    return Status::OK();
   }
 
  private:
@@ -83,6 +121,14 @@ class LiteralExpr final : public BoundExpr {
       : BoundExpr(value.is_null() ? DataType::kString : value.type()),
         value_(std::move(value)) {}
   Result<Value> Evaluate(const Row&) const override { return value_; }
+  Status EvaluateBatch(const ColumnBatch& batch, Column* out) const override {
+    *out = Column();
+    out->type = output_type();
+    for (size_t r = 0; r < batch.num_rows(); ++r) {
+      RETURN_IF_ERROR(AppendColumnValue(out, r, value_, "literal"));
+    }
+    return Status::OK();
+  }
 
  private:
   Value value_;
@@ -112,12 +158,17 @@ class ComparisonExpr final : public BoundExpr {
     ASSIGN_OR_RETURN(Value left, lhs_->Evaluate(row));
     ASSIGN_OR_RETURN(Value right, rhs_->Evaluate(row));
     if (left.is_null() || right.is_null()) return Value::Null();
-    // Numeric cross-type comparison goes through doubles; otherwise the
-    // types must match.
+    // Integer pairs compare natively (going through double would lose
+    // precision past 2^53 and diverge from the vectorized kernel); mixed
+    // numeric comparison goes through doubles; otherwise types must match.
     int cmp = 0;
     const bool left_num = left.is_int64() || left.is_double();
     const bool right_num = right.is_int64() || right.is_double();
-    if (left_num && right_num) {
+    if (left.is_int64() && right.is_int64()) {
+      const int64_t l = left.int64_value();
+      const int64_t r = right.int64_value();
+      cmp = (l < r) ? -1 : (l > r ? 1 : 0);
+    } else if (left_num && right_num) {
       const double l = *left.AsDouble();
       const double r = *right.AsDouble();
       cmp = (l < r) ? -1 : (l > r ? 1 : 0);
@@ -132,24 +183,94 @@ class ComparisonExpr final : public BoundExpr {
           "cannot compare " + std::string(DataTypeToString(left.type())) +
           " with " + std::string(DataTypeToString(right.type())));
     }
-    switch (op_) {
-      case CompareOp::kEq:
-        return Value::Bool(cmp == 0);
-      case CompareOp::kNe:
-        return Value::Bool(cmp != 0);
-      case CompareOp::kLt:
-        return Value::Bool(cmp < 0);
-      case CompareOp::kLe:
-        return Value::Bool(cmp <= 0);
-      case CompareOp::kGt:
-        return Value::Bool(cmp > 0);
-      case CompareOp::kGe:
-        return Value::Bool(cmp >= 0);
+    return Value::Bool(ApplyOp(cmp));
+  }
+
+  Status EvaluateBatch(const ColumnBatch& batch, Column* out) const override {
+    Column l;
+    Column r;
+    RETURN_IF_ERROR(lhs_->EvaluateBatch(batch, &l));
+    RETURN_IF_ERROR(rhs_->EvaluateBatch(batch, &r));
+    const size_t n = batch.num_rows();
+    *out = Column();
+    out->type = DataType::kBool;
+    out->bools.reserve(n);
+    if (l.type == DataType::kInt64 && r.type == DataType::kInt64) {
+      for (size_t i = 0; i < n; ++i) {
+        if (l.IsNull(i) || r.IsNull(i)) {
+          AppendBoolNull(out, i);
+          continue;
+        }
+        const int64_t a = l.ints[i];
+        const int64_t b = r.ints[i];
+        AppendBool(out, i, ApplyOp(a < b ? -1 : (a > b ? 1 : 0)));
+      }
+    } else if (IsNumericType(l.type) && IsNumericType(r.type)) {
+      for (size_t i = 0; i < n; ++i) {
+        if (l.IsNull(i) || r.IsNull(i)) {
+          AppendBoolNull(out, i);
+          continue;
+        }
+        const double a = NumericAt(l, i);
+        const double b = NumericAt(r, i);
+        AppendBool(out, i, ApplyOp(a < b ? -1 : (a > b ? 1 : 0)));
+      }
+    } else if (l.type == DataType::kString && r.type == DataType::kString) {
+      for (size_t i = 0; i < n; ++i) {
+        if (l.IsNull(i) || r.IsNull(i)) {
+          AppendBoolNull(out, i);
+          continue;
+        }
+        const std::string_view a = l.dict[l.codes[i]];
+        const std::string_view b = r.dict[r.codes[i]];
+        AppendBool(out, i, ApplyOp(a < b ? -1 : (b < a ? 1 : 0)));
+      }
+    } else if (l.type == DataType::kBool && r.type == DataType::kBool) {
+      for (size_t i = 0; i < n; ++i) {
+        if (l.IsNull(i) || r.IsNull(i)) {
+          AppendBoolNull(out, i);
+          continue;
+        }
+        const int a = l.bools[i] != 0 ? 1 : 0;
+        const int b = r.bools[i] != 0 ? 1 : 0;
+        AppendBool(out, i, ApplyOp(a - b));
+      }
+    } else {
+      // Incompatible column types. The row engine only raises the error on
+      // rows where BOTH sides are non-NULL (NULL wins first), so an all-NULL
+      // operand column never errors.
+      for (size_t i = 0; i < n; ++i) {
+        if (l.IsNull(i) || r.IsNull(i)) {
+          AppendBoolNull(out, i);
+          continue;
+        }
+        return Status::InvalidArgument(
+            "cannot compare " + std::string(DataTypeToString(l.type)) +
+            " with " + std::string(DataTypeToString(r.type)));
+      }
     }
-    return Status::Internal("unhandled comparison");
+    return Status::OK();
   }
 
  private:
+  bool ApplyOp(int cmp) const {
+    switch (op_) {
+      case CompareOp::kEq:
+        return cmp == 0;
+      case CompareOp::kNe:
+        return cmp != 0;
+      case CompareOp::kLt:
+        return cmp < 0;
+      case CompareOp::kLe:
+        return cmp <= 0;
+      case CompareOp::kGt:
+        return cmp > 0;
+      case CompareOp::kGe:
+        return cmp >= 0;
+    }
+    return false;
+  }
+
   CompareOp op_;
   BoundExprPtr lhs_;
   BoundExprPtr rhs_;
@@ -167,6 +288,35 @@ class AndExpr final : public BoundExpr {
     if (right.is_bool() && !right.bool_value()) return Value::Bool(false);
     if (left.is_null() || right.is_null()) return Value::Null();
     return Value::Bool(left.bool_value() && right.bool_value());
+  }
+
+  Status EvaluateBatch(const ColumnBatch& batch, Column* out) const override {
+    Column l;
+    RETURN_IF_ERROR(lhs_->EvaluateBatch(batch, &l));
+    Column r;
+    // The row engine never evaluates the right side for rows where the left
+    // is FALSE; if eager evaluation errors, replay boxed to reproduce the
+    // short-circuit exactly (the error may be confined to dominated rows).
+    if (!rhs_->EvaluateBatch(batch, &r).ok() || l.type != DataType::kBool ||
+        r.type != DataType::kBool) {
+      return BoundExpr::EvaluateBatch(batch, out);
+    }
+    const size_t n = batch.num_rows();
+    *out = Column();
+    out->type = DataType::kBool;
+    out->bools.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      const bool lf = !l.IsNull(i) && l.bools[i] == 0;
+      const bool rf = !r.IsNull(i) && r.bools[i] == 0;
+      if (lf || rf) {
+        AppendBool(out, i, false);
+      } else if (l.IsNull(i) || r.IsNull(i)) {
+        AppendBoolNull(out, i);
+      } else {
+        AppendBool(out, i, true);
+      }
+    }
+    return Status::OK();
   }
 
  private:
@@ -187,6 +337,32 @@ class OrExpr final : public BoundExpr {
     return Value::Bool(left.bool_value() || right.bool_value());
   }
 
+  Status EvaluateBatch(const ColumnBatch& batch, Column* out) const override {
+    Column l;
+    RETURN_IF_ERROR(lhs_->EvaluateBatch(batch, &l));
+    Column r;
+    if (!rhs_->EvaluateBatch(batch, &r).ok() || l.type != DataType::kBool ||
+        r.type != DataType::kBool) {
+      return BoundExpr::EvaluateBatch(batch, out);
+    }
+    const size_t n = batch.num_rows();
+    *out = Column();
+    out->type = DataType::kBool;
+    out->bools.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      const bool lt = !l.IsNull(i) && l.bools[i] != 0;
+      const bool rt = !r.IsNull(i) && r.bools[i] != 0;
+      if (lt || rt) {
+        AppendBool(out, i, true);
+      } else if (l.IsNull(i) || r.IsNull(i)) {
+        AppendBoolNull(out, i);
+      } else {
+        AppendBool(out, i, false);
+      }
+    }
+    return Status::OK();
+  }
+
  private:
   BoundExprPtr lhs_;
   BoundExprPtr rhs_;
@@ -205,6 +381,26 @@ class NotExpr final : public BoundExpr {
     return Value::Bool(!v.bool_value());
   }
 
+  Status EvaluateBatch(const ColumnBatch& batch, Column* out) const override {
+    Column in;
+    RETURN_IF_ERROR(operand_->EvaluateBatch(batch, &in));
+    if (in.type != DataType::kBool) {
+      return BoundExpr::EvaluateBatch(batch, out);
+    }
+    const size_t n = batch.num_rows();
+    *out = Column();
+    out->type = DataType::kBool;
+    out->bools.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      if (in.IsNull(i)) {
+        AppendBoolNull(out, i);
+      } else {
+        AppendBool(out, i, in.bools[i] == 0);
+      }
+    }
+    return Status::OK();
+  }
+
  private:
   BoundExprPtr operand_;
 };
@@ -218,6 +414,19 @@ class IsNullExpr final : public BoundExpr {
   Result<Value> Evaluate(const Row& row) const override {
     ASSIGN_OR_RETURN(Value v, operand_->Evaluate(row));
     return Value::Bool(negated_ ? !v.is_null() : v.is_null());
+  }
+
+  Status EvaluateBatch(const ColumnBatch& batch, Column* out) const override {
+    Column in;
+    RETURN_IF_ERROR(operand_->EvaluateBatch(batch, &in));
+    const size_t n = batch.num_rows();
+    *out = Column();
+    out->type = DataType::kBool;
+    out->bools.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      AppendBool(out, i, negated_ ? !in.IsNull(i) : in.IsNull(i));
+    }
+    return Status::OK();
   }
 
  private:
@@ -266,6 +475,83 @@ class ArithmeticExpr final : public BoundExpr {
     return Status::Internal("unhandled arithmetic operator");
   }
 
+  Status EvaluateBatch(const ColumnBatch& batch, Column* out) const override {
+    Column l;
+    Column r;
+    RETURN_IF_ERROR(lhs_->EvaluateBatch(batch, &l));
+    RETURN_IF_ERROR(rhs_->EvaluateBatch(batch, &r));
+    const size_t n = batch.num_rows();
+    *out = Column();
+    out->type = output_type();
+    if (output_type() == DataType::kInt64) {
+      // The binder only derives kInt64 when both operands are kInt64.
+      if (l.type != DataType::kInt64 || r.type != DataType::kInt64) {
+        return BoundExpr::EvaluateBatch(batch, out);
+      }
+      out->ints.reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        if (l.IsNull(i) || r.IsNull(i)) {
+          out->AppendNullBit(i, true);
+          out->ints.push_back(0);
+          continue;
+        }
+        const int64_t a = l.ints[i];
+        const int64_t b = r.ints[i];
+        int64_t v = 0;
+        switch (op_) {
+          case '+':
+            v = a + b;
+            break;
+          case '-':
+            v = a - b;
+            break;
+          case '*':
+            v = a * b;
+            break;
+          case '/':
+            if (b == 0) return Status::InvalidArgument("division by zero");
+            v = a / b;
+            break;
+        }
+        out->AppendNullBit(i, false);
+        out->ints.push_back(v);
+      }
+    } else {
+      if (!IsNumericType(l.type) || !IsNumericType(r.type)) {
+        return BoundExpr::EvaluateBatch(batch, out);
+      }
+      out->doubles.reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        if (l.IsNull(i) || r.IsNull(i)) {
+          out->AppendNullBit(i, true);
+          out->doubles.push_back(0);
+          continue;
+        }
+        const double a = NumericAt(l, i);
+        const double b = NumericAt(r, i);
+        double v = 0;
+        switch (op_) {
+          case '+':
+            v = a + b;
+            break;
+          case '-':
+            v = a - b;
+            break;
+          case '*':
+            v = a * b;
+            break;
+          case '/':
+            if (b == 0.0) return Status::InvalidArgument("division by zero");
+            v = a / b;
+            break;
+        }
+        out->AppendNullBit(i, false);
+        out->doubles.push_back(v);
+      }
+    }
+    return Status::OK();
+  }
+
  private:
   char op_;
   BoundExprPtr lhs_;
@@ -285,10 +571,43 @@ class CallExpr final : public BoundExpr {
       ASSIGN_OR_RETURN(Value v, arg->Evaluate(row));
       values.push_back(std::move(v));
     }
-    return function_->evaluate(values);
+    ASSIGN_OR_RETURN(Value result, function_->evaluate(values));
+    return Widen(std::move(result));
+  }
+
+  Status EvaluateBatch(const ColumnBatch& batch, Column* out) const override {
+    // Vectorize the arguments, then box only the call itself per row.
+    std::vector<Column> arg_cols(args_.size());
+    for (size_t i = 0; i < args_.size(); ++i) {
+      RETURN_IF_ERROR(args_[i]->EvaluateBatch(batch, &arg_cols[i]));
+    }
+    const size_t n = batch.num_rows();
+    *out = Column();
+    out->type = output_type();
+    std::vector<Value> values(args_.size());
+    for (size_t r = 0; r < n; ++r) {
+      for (size_t i = 0; i < args_.size(); ++i) {
+        values[i] = ColumnValueAt(arg_cols[i], r);
+      }
+      ASSIGN_OR_RETURN(Value v, function_->evaluate(values));
+      RETURN_IF_ERROR(
+          AppendColumnValue(out, r, Widen(std::move(v)), function_->name));
+    }
+    return Status::OK();
   }
 
  private:
+  /// The declared output type wins over the runtime value type for the one
+  /// lossless coercion SQL allows implicitly (e.g. COALESCE(int_col,
+  /// double_col) derives kDouble but may return the int argument). Both
+  /// engines apply it so typed columns and boxed rows agree.
+  Value Widen(Value v) const {
+    if (output_type() == DataType::kDouble && v.is_int64()) {
+      return Value::Double(static_cast<double>(v.int64_value()));
+    }
+    return v;
+  }
+
   const ScalarFunction* function_;
   std::vector<BoundExprPtr> args_;
 };
@@ -400,7 +719,23 @@ std::shared_ptr<ScalarFunctionRegistry> ScalarFunctionRegistry::WithBuiltins() {
       {"coalesce",
        [](const std::vector<DataType>& args) -> Result<DataType> {
          if (args.empty()) return Status::InvalidArgument("COALESCE(...)");
-         return args[0];
+         // Unify the argument types: equal types pass through, mixed
+         // numerics widen to DOUBLE, anything else is a bind error (the
+         // old args[0] answer let the runtime type contradict the derived
+         // type, which typed columns cannot represent).
+         DataType unified = args[0];
+         for (const DataType t : args) {
+           if (t == unified) continue;
+           const bool both_numeric =
+               (t == DataType::kInt64 || t == DataType::kDouble) &&
+               (unified == DataType::kInt64 || unified == DataType::kDouble);
+           if (!both_numeric) {
+             return Status::InvalidArgument(
+                 "COALESCE: argument types must match");
+           }
+           unified = DataType::kDouble;
+         }
+         return unified;
        },
        [](const std::vector<Value>& args) -> Result<Value> {
          for (const Value& v : args) {

@@ -9,6 +9,7 @@
 
 #include "common/result.h"
 #include "sql/ast.h"
+#include "table/column_batch.h"
 #include "table/schema.h"
 #include "table/value.h"
 
@@ -68,6 +69,18 @@ class BoundExpr {
  public:
   virtual ~BoundExpr() = default;
   virtual Result<Value> Evaluate(const Row& row) const = 0;
+
+  /// Vectorized evaluation: computes this expression for every row of
+  /// `batch`, filling `*out` (replaced) with batch.num_rows() values of
+  /// output_type(). Must agree with Evaluate row for row, including which
+  /// rows are NULL and which inputs raise errors; the differential harness
+  /// (tests/sql_differential_test.cc) enforces this. The base implementation
+  /// boxes each row and calls Evaluate — nodes with typed kernels override.
+  /// Nodes whose row semantics short-circuit (AND/OR) fall back to the boxed
+  /// loop when eager evaluation of a branch errors, so an error the row
+  /// engine never reaches is not surfaced by the vectorized one.
+  virtual Status EvaluateBatch(const ColumnBatch& batch, Column* out) const;
+
   DataType output_type() const { return output_type_; }
 
  protected:

@@ -40,7 +40,12 @@ std::string PlanNode::ToString() const {
       if (table != nullptr) out += "(" + table->name() + ")";
       break;
     case PlanKind::kHashJoin:
-      out += broadcast_build ? "[broadcast]" : "[repartition]";
+      if (join_algo == JoinAlgo::kSortMerge) {
+        out = "MergeJoin";
+        out += "[repartition]";
+      } else {
+        out += broadcast_build ? "[broadcast]" : "[repartition]";
+      }
       break;
     case PlanKind::kTableUdf:
       out += "(" + udf_name + ")";

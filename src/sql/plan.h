@@ -26,6 +26,12 @@ enum class PlanKind : int {
 
 enum class AggFunc : int { kCountStar, kCount, kSum, kMin, kMax, kAvg };
 
+/// Physical equi-join algorithm, chosen by the planner's cost model (or
+/// forced via SqlEngine::set_join_strategy). Hash join streams the probe
+/// side against an in-memory build table; sort-merge materializes, sorts
+/// and merges both sides, trading CPU for bounded build memory.
+enum class JoinAlgo : int { kHash, kSortMerge };
+
 struct AggregateSpec {
   AggFunc func = AggFunc::kCountStar;
   BoundExprPtr argument;  // Null for COUNT(*).
@@ -59,6 +65,7 @@ struct PlanNode {
   std::vector<int> left_keys;
   std::vector<int> right_keys;
   bool broadcast_build = true;  // Else repartition both sides by key hash.
+  JoinAlgo join_algo = JoinAlgo::kHash;
   BoundExprPtr residual;        // Over the concatenated row; may be null.
 
   // kAggregate.

@@ -81,8 +81,75 @@ Planner::Planner(const Catalog* catalog, const ScalarFunctionRegistry* scalars,
     : catalog_(catalog),
       scalars_(scalars),
       table_udfs_(table_udfs),
+      num_partitions_(num_partitions) {
+  options_.broadcast_threshold_rows = broadcast_threshold_rows;
+}
+
+Planner::Planner(const Catalog* catalog, const ScalarFunctionRegistry* scalars,
+                 const TableUdfRegistry* table_udfs, int num_partitions,
+                 const PlannerOptions& options)
+    : catalog_(catalog),
+      scalars_(scalars),
+      table_udfs_(table_udfs),
       num_partitions_(num_partitions),
-      broadcast_threshold_rows_(broadcast_threshold_rows) {}
+      options_(options) {}
+
+double Planner::EstimateSelectivity(
+    const Expr& expr, const NameScope& scope,
+    const std::vector<ColumnStats>& stats) const {
+  constexpr double kDefault = 1.0 / 3.0;
+  auto column_stats = [&](const Expr& node) -> const ColumnStats* {
+    if (node.kind != ExprKind::kColumnRef) return nullptr;
+    auto resolved = scope.Resolve(node.qualifier, node.column);
+    if (!resolved.ok() || resolved->index < 0 ||
+        static_cast<size_t>(resolved->index) >= stats.size()) {
+      return nullptr;
+    }
+    return &stats[static_cast<size_t>(resolved->index)];
+  };
+  auto clamp = [](double s) { return std::min(1.0, std::max(0.0, s)); };
+  switch (expr.kind) {
+    case ExprKind::kComparison: {
+      const ColumnStats* left = column_stats(*expr.children[0]);
+      const ColumnStats* right = column_stats(*expr.children[1]);
+      const ColumnStats* col = left != nullptr ? left : right;
+      const bool equality = expr.op == "=";
+      const bool inequality = expr.op == "!=" || expr.op == "<>";
+      if (col == nullptr || col->distinct_values < 1) {
+        return equality ? 0.1 : kDefault;
+      }
+      double ndv = col->distinct_values;
+      if (left != nullptr && right != nullptr) {
+        ndv = std::max(ndv, std::max(1.0, right->distinct_values));
+      }
+      if (equality) return clamp(1.0 / ndv);
+      if (inequality) return clamp(1.0 - 1.0 / ndv);
+      return kDefault;  // Range predicate.
+    }
+    case ExprKind::kIsNull: {
+      const ColumnStats* col = column_stats(*expr.children[0]);
+      if (col == nullptr) return expr.is_not_null ? 1.0 - kDefault : kDefault;
+      return clamp(expr.is_not_null ? 1.0 - col->null_fraction
+                                    : col->null_fraction);
+    }
+    case ExprKind::kAnd:
+      return clamp(EstimateSelectivity(*expr.children[0], scope, stats) *
+                   EstimateSelectivity(*expr.children[1], scope, stats));
+    case ExprKind::kOr: {
+      const double a = EstimateSelectivity(*expr.children[0], scope, stats);
+      const double b = EstimateSelectivity(*expr.children[1], scope, stats);
+      return clamp(a + b - a * b);
+    }
+    case ExprKind::kNot:
+      return clamp(1.0 -
+                   EstimateSelectivity(*expr.children[0], scope, stats));
+    case ExprKind::kLiteral:
+      if (expr.literal.is_bool()) return expr.literal.bool_value() ? 1.0 : 0.0;
+      return kDefault;
+    default:
+      return kDefault;
+  }
+}
 
 Result<Value> Planner::EvaluateConstant(const Expr& expr) {
   if (HasColumnRef(expr)) {
@@ -107,6 +174,8 @@ Result<Planner::RelationPlan> Planner::PlanTableRef(const TableRef& ref) {
       RelationPlan relation;
       relation.plan = std::move(node);
       relation.scope.AddRelation(ref.BindingName(), table->schema());
+      auto stats = catalog_->GetStats(ref.name);
+      if (stats.ok()) relation.column_stats = (*stats)->columns;
       return relation;
     }
     case TableRef::Kind::kSubquery: {
@@ -209,9 +278,15 @@ Result<Planner::RelationPlan> Planner::PlanFromWhere(const SelectStmt& stmt) {
     }
   }
 
-  // Apply pushed filters.
+  // Apply pushed filters, scaling cardinality by estimated selectivity and
+  // capping downstream NDV estimates at the surviving row count.
   for (size_t i = 0; i < relations.size(); ++i) {
     if (pushed[i].empty()) continue;
+    double selectivity = 1.0;
+    for (const ExprPtr& conjunct : pushed[i]) {
+      selectivity *= EstimateSelectivity(*conjunct, relations[i].scope,
+                                         relations[i].column_stats);
+    }
     const ExprPtr combined = CombineConjuncts(pushed[i]);
     ASSIGN_OR_RETURN(BoundExprPtr bound,
                      BindExpression(*combined, relations[i].scope, *scalars_));
@@ -219,9 +294,14 @@ Result<Planner::RelationPlan> Planner::PlanFromWhere(const SelectStmt& stmt) {
     filter->kind = PlanKind::kFilter;
     filter->predicate = std::move(bound);
     filter->output_schema = relations[i].plan->output_schema;
-    filter->estimated_rows = relations[i].plan->estimated_rows / 3.0;
+    filter->estimated_rows =
+        std::max(1.0, relations[i].plan->estimated_rows * selectivity);
     filter->children.push_back(relations[i].plan);
     relations[i].plan = std::move(filter);
+    for (ColumnStats& col : relations[i].column_stats) {
+      col.distinct_values =
+          std::min(col.distinct_values, relations[i].plan->estimated_rows);
+    }
   }
 
   // Left-deep join chain in FROM order.
@@ -274,17 +354,73 @@ Result<Planner::RelationPlan> Planner::PlanFromWhere(const SelectStmt& stmt) {
     join->left_keys = std::move(left_keys);
     join->right_keys = std::move(right_keys);
     join->broadcast_build =
-        right.plan->estimated_rows <= broadcast_threshold_rows_;
+        right.plan->estimated_rows <= options_.broadcast_threshold_rows;
     if (!residuals.empty()) {
       const ExprPtr combined = CombineConjuncts(residuals);
       ASSIGN_OR_RETURN(join->residual,
                        BindExpression(*combined, combined_scope, *scalars_));
     }
     join->output_schema = combined_scope.FlatSchema();
-    join->estimated_rows =
-        std::max(current.plan->estimated_rows, right.plan->estimated_rows);
+
+    // Output cardinality: |L|*|R| / max key NDV when stats know the keys;
+    // the pre-stats heuristic max(|L|, |R|) otherwise.
+    const double left_rows = std::max(1.0, current.plan->estimated_rows);
+    const double right_rows = std::max(1.0, right.plan->estimated_rows);
+    double key_ndv = 0;
+    for (size_t k = 0; k < join->left_keys.size(); ++k) {
+      const size_t li = static_cast<size_t>(join->left_keys[k]);
+      const size_t ri = static_cast<size_t>(join->right_keys[k]);
+      double pair_ndv = 0;
+      if (li < current.column_stats.size()) {
+        pair_ndv = current.column_stats[li].distinct_values;
+      }
+      if (ri < right.column_stats.size()) {
+        pair_ndv = std::max(pair_ndv, right.column_stats[ri].distinct_values);
+      }
+      key_ndv = std::max(key_ndv, pair_ndv);
+    }
+    if (!join->left_keys.empty() && key_ndv >= 1) {
+      join->estimated_rows = std::max(1.0, left_rows * right_rows / key_ndv);
+    } else if (join->left_keys.empty()) {
+      join->estimated_rows = left_rows * right_rows;  // Cross join.
+    } else {
+      join->estimated_rows =
+          std::max(current.plan->estimated_rows, right.plan->estimated_rows);
+    }
+
+    // Hash vs sort-merge: hash unless the build side blows the hash-build
+    // memory budget (or the caller forced a strategy). Keyless joins must
+    // stay hash — partition-wise merging has no key to align on.
+    double build_row_bytes = 0;
+    for (const ColumnStats& col : right.column_stats) {
+      build_row_bytes += col.avg_bytes;
+    }
+    if (build_row_bytes <= 0) {
+      build_row_bytes =
+          16.0 * right.plan->output_schema->num_fields();  // No stats.
+    }
+    const double build_bytes = right_rows * build_row_bytes;
+    if (!join->left_keys.empty() &&
+        (options_.join_strategy == JoinStrategy::kSortMerge ||
+         (options_.join_strategy == JoinStrategy::kAuto &&
+          build_bytes > options_.hash_build_budget_bytes))) {
+      join->join_algo = JoinAlgo::kSortMerge;
+      join->broadcast_build = false;
+    }
+
+    // Flat-schema stats for the joined relation; missing sides padded with
+    // unknown-NDV entries so indices keep lining up.
+    std::vector<ColumnStats> joined_stats = std::move(current.column_stats);
+    joined_stats.resize(
+        static_cast<size_t>(join->children[0]->output_schema->num_fields()));
+    std::vector<ColumnStats> right_stats = std::move(right.column_stats);
+    right_stats.resize(
+        static_cast<size_t>(right.plan->output_schema->num_fields()));
+    joined_stats.insert(joined_stats.end(), right_stats.begin(),
+                        right_stats.end());
     current.plan = std::move(join);
     current.scope = std::move(combined_scope);
+    current.column_stats = std::move(joined_stats);
   }
 
   // Conjuncts that never attached (e.g. constants, ambiguous names).
@@ -292,6 +428,11 @@ Result<Planner::RelationPlan> Planner::PlanFromWhere(const SelectStmt& stmt) {
     if (!used[c]) top_level.push_back(join_level[c]);
   }
   if (!top_level.empty()) {
+    double selectivity = 1.0;
+    for (const ExprPtr& conjunct : top_level) {
+      selectivity *=
+          EstimateSelectivity(*conjunct, current.scope, current.column_stats);
+    }
     const ExprPtr combined = CombineConjuncts(top_level);
     ASSIGN_OR_RETURN(BoundExprPtr bound,
                      BindExpression(*combined, current.scope, *scalars_));
@@ -299,7 +440,8 @@ Result<Planner::RelationPlan> Planner::PlanFromWhere(const SelectStmt& stmt) {
     filter->kind = PlanKind::kFilter;
     filter->predicate = std::move(bound);
     filter->output_schema = current.plan->output_schema;
-    filter->estimated_rows = current.plan->estimated_rows / 3.0;
+    filter->estimated_rows =
+        std::max(1.0, current.plan->estimated_rows * selectivity);
     filter->children.push_back(current.plan);
     current.plan = std::move(filter);
   }

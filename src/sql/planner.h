@@ -14,12 +14,29 @@
 
 namespace sqlink {
 
+/// Physical join choice override (tests, benchmarks, tuning). kAuto lets
+/// the cost model decide: hash unless the build side's estimated bytes
+/// exceed the hash-build memory budget, sort-merge then.
+enum class JoinStrategy : int { kAuto, kHash, kSortMerge };
+
+/// Cost-model knobs for the planner.
+struct PlannerOptions {
+  /// Build sides estimated at or below this many rows are broadcast to
+  /// every worker; larger ones use a repartition (shuffle) join.
+  double broadcast_threshold_rows = 500000;
+  /// Equi joins whose build side is estimated to exceed this many bytes
+  /// in a hash table use sort-merge instead (bounded memory, more CPU).
+  double hash_build_budget_bytes = 256.0 * 1024 * 1024;
+  JoinStrategy join_strategy = JoinStrategy::kAuto;
+};
+
 /// Turns a parsed SELECT into an executable plan:
 ///  - FROM entries become Scan / TableUdf / subquery plans;
 ///  - single-relation WHERE conjuncts are pushed below joins;
-///  - comma joins become left-deep hash joins keyed on the equality
-///    conjuncts that connect the sides (broadcast when the build side is
-///    estimated small, repartition otherwise);
+///  - comma joins become left-deep equi joins keyed on the equality
+///    conjuncts that connect the sides, costed with catalog statistics
+///    (NDV, null fractions, row bytes): broadcast vs repartition by build
+///    cardinality, hash vs sort-merge by build memory;
 ///  - GROUP BY / aggregate select lists become a two-phase Aggregate;
 ///  - DISTINCT / ORDER BY / LIMIT become their operators.
 class Planner {
@@ -27,6 +44,9 @@ class Planner {
   Planner(const Catalog* catalog, const ScalarFunctionRegistry* scalars,
           const TableUdfRegistry* table_udfs, int num_partitions,
           double broadcast_threshold_rows = 500000);
+  Planner(const Catalog* catalog, const ScalarFunctionRegistry* scalars,
+          const TableUdfRegistry* table_udfs, int num_partitions,
+          const PlannerOptions& options);
 
   Result<PlanPtr> PlanSelect(const SelectStmt& stmt);
 
@@ -34,10 +54,19 @@ class Planner {
   struct RelationPlan {
     PlanPtr plan;
     NameScope scope;  // Relations in flat-row column order.
+    /// Per-column stats aligned with the flat schema; empty when the
+    /// source has no catalog stats (UDF outputs, subqueries).
+    std::vector<ColumnStats> column_stats;
   };
 
   Result<RelationPlan> PlanTableRef(const TableRef& ref);
   Result<RelationPlan> PlanFromWhere(const SelectStmt& stmt);
+
+  /// Estimated fraction of rows a WHERE conjunct keeps, from column stats:
+  /// `=` against a literal keeps 1/NDV, IS [NOT] NULL keeps the null
+  /// fraction, ranges keep 1/3, AND multiplies, OR adds minus the overlap.
+  double EstimateSelectivity(const Expr& expr, const NameScope& scope,
+                             const std::vector<ColumnStats>& stats) const;
 
   /// Evaluates a constant scalar expression (UDF literal arguments).
   Result<Value> EvaluateConstant(const Expr& expr);
@@ -46,7 +75,7 @@ class Planner {
   const ScalarFunctionRegistry* scalars_;
   const TableUdfRegistry* table_udfs_;
   int num_partitions_;
-  double broadcast_threshold_rows_;
+  PlannerOptions options_;
 };
 
 }  // namespace sqlink

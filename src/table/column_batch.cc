@@ -4,6 +4,125 @@
 
 namespace sqlink {
 
+Value ColumnValueAt(const Column& col, size_t row) {
+  if (col.IsNull(row)) return Value::Null();
+  switch (col.type) {
+    case DataType::kBool:
+      return Value::Bool(col.bools[row] != 0);
+    case DataType::kInt64:
+      return Value::Int64(col.ints[row]);
+    case DataType::kDouble:
+      return Value::Double(col.doubles[row]);
+    case DataType::kString:
+      return Value::String(std::string(col.dict[col.codes[row]]));
+  }
+  return Value::Null();
+}
+
+Status AppendColumnValue(Column* col, size_t row, const Value& v,
+                         const std::string& column_name) {
+  const bool null = v.is_null();
+  col->AppendNullBit(row, null);
+  switch (col->type) {
+    case DataType::kBool:
+      if (!null && !v.is_bool()) {
+        return Status::InvalidArgument("non-bool value in BOOL column '" +
+                                       column_name + "'");
+      }
+      col->bools.push_back(!null && v.bool_value() ? 1 : 0);
+      break;
+    case DataType::kInt64:
+      if (!null && !v.is_int64()) {
+        return Status::InvalidArgument("non-integer value in INT64 column '" +
+                                       column_name + "'");
+      }
+      col->ints.push_back(null ? 0 : v.int64_value());
+      break;
+    case DataType::kDouble: {
+      double d = 0;
+      if (!null) {
+        if (v.is_double()) {
+          d = v.double_value();
+        } else if (v.is_int64()) {
+          d = static_cast<double>(v.int64_value());
+        } else {
+          return Status::InvalidArgument("non-numeric value in DOUBLE column '" +
+                                         column_name + "'");
+        }
+      }
+      col->doubles.push_back(d);
+      break;
+    }
+    case DataType::kString:
+      if (!null && !v.is_string()) {
+        return Status::InvalidArgument("non-string value in STRING column '" +
+                                       column_name + "'");
+      }
+      col->codes.push_back(null ? 0 : col->dict.GetOrAdd(v.string_value()));
+      break;
+  }
+  return Status::OK();
+}
+
+void AppendColumnGather(Column* dst, size_t dst_rows, const Column& src,
+                        const int32_t* rows, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    dst->AppendNullBit(dst_rows + i, src.IsNull(static_cast<size_t>(rows[i])));
+  }
+  switch (dst->type) {
+    case DataType::kBool:
+      dst->bools.reserve(dst->bools.size() + n);
+      for (size_t i = 0; i < n; ++i) {
+        dst->bools.push_back(src.bools[static_cast<size_t>(rows[i])]);
+      }
+      break;
+    case DataType::kInt64:
+      dst->ints.reserve(dst->ints.size() + n);
+      for (size_t i = 0; i < n; ++i) {
+        dst->ints.push_back(src.ints[static_cast<size_t>(rows[i])]);
+      }
+      break;
+    case DataType::kDouble:
+      dst->doubles.reserve(dst->doubles.size() + n);
+      for (size_t i = 0; i < n; ++i) {
+        dst->doubles.push_back(src.doubles[static_cast<size_t>(rows[i])]);
+      }
+      break;
+    case DataType::kString:
+      dst->codes.reserve(dst->codes.size() + n);
+      if (dst->codes.empty() && dst->dict.size() == 0) {
+        // Fresh destination: share the source dictionary wholesale and
+        // gather codes directly (unreferenced entries are harmless).
+        dst->dict = src.dict;
+        for (size_t i = 0; i < n; ++i) {
+          dst->codes.push_back(src.codes[static_cast<size_t>(rows[i])]);
+        }
+      } else if (n < static_cast<size_t>(src.dict.size())) {
+        // Few rows against a big dictionary (single-row dedup inserts):
+        // remap only the referenced entries instead of the whole dict.
+        for (size_t i = 0; i < n; ++i) {
+          const size_t r = static_cast<size_t>(rows[i]);
+          dst->codes.push_back(
+              src.IsNull(r) ? 0 : dst->dict.GetOrAdd(src.dict[src.codes[r]]));
+        }
+      } else {
+        std::vector<int32_t> remap(static_cast<size_t>(src.dict.size()));
+        for (int32_t id = 0; id < src.dict.size(); ++id) {
+          remap[static_cast<size_t>(id)] = dst->dict.GetOrAdd(src.dict[id]);
+        }
+        for (size_t i = 0; i < n; ++i) {
+          const size_t r = static_cast<size_t>(rows[i]);
+          const int32_t code = src.codes[r];
+          dst->codes.push_back(
+              !src.IsNull(r) && static_cast<size_t>(code) < remap.size()
+                  ? remap[static_cast<size_t>(code)]
+                  : 0);
+        }
+      }
+      break;
+  }
+}
+
 void ColumnBatch::Reset(SchemaPtr schema) {
   schema_ = std::move(schema);
   const size_t n =
@@ -50,57 +169,25 @@ Status ColumnBatch::AppendRow(const Row& row) {
   }
   const size_t r = num_rows_;
   for (size_t i = 0; i < columns_.size(); ++i) {
-    Column& col = columns_[i];
-    const Value& v = row[i];
-    const bool null = v.is_null();
-    col.AppendNullBit(r, null);
-    switch (col.type) {
-      case DataType::kBool:
-        if (!null && !v.is_bool()) {
-          return Status::InvalidArgument("non-bool value in BOOL column '" +
-                                         schema_->field(static_cast<int>(i))
-                                             .name +
-                                         "'");
-        }
-        col.bools.push_back(!null && v.bool_value() ? 1 : 0);
-        break;
-      case DataType::kInt64:
-        if (!null && !v.is_int64()) {
-          return Status::InvalidArgument("non-integer value in INT64 column '" +
-                                         schema_->field(static_cast<int>(i))
-                                             .name +
-                                         "'");
-        }
-        col.ints.push_back(null ? 0 : v.int64_value());
-        break;
-      case DataType::kDouble: {
-        double d = 0;
-        if (!null) {
-          if (v.is_double()) {
-            d = v.double_value();
-          } else if (v.is_int64()) {
-            d = static_cast<double>(v.int64_value());
-          } else {
-            return Status::InvalidArgument(
-                "non-numeric value in DOUBLE column '" +
-                schema_->field(static_cast<int>(i)).name + "'");
-          }
-        }
-        col.doubles.push_back(d);
-        break;
-      }
-      case DataType::kString:
-        if (!null && !v.is_string()) {
-          return Status::InvalidArgument("non-string value in STRING column '" +
-                                         schema_->field(static_cast<int>(i))
-                                             .name +
-                                         "'");
-        }
-        col.codes.push_back(null ? 0 : col.dict.GetOrAdd(v.string_value()));
-        break;
-    }
+    RETURN_IF_ERROR(AppendColumnValue(&columns_[i], r, row[i],
+                                      schema_->field(static_cast<int>(i)).name));
   }
   ++num_rows_;
+  return Status::OK();
+}
+
+Status ColumnBatch::AppendGather(const ColumnBatch& src, const int32_t* rows,
+                                 size_t n) {
+  if (columns_.size() != src.columns_.size()) {
+    return Status::InvalidArgument("batch width mismatch in AppendGather");
+  }
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].type != src.columns_[i].type) {
+      return Status::InvalidArgument("column type mismatch in AppendGather");
+    }
+    AppendColumnGather(&columns_[i], num_rows_, src.columns_[i], rows, n);
+  }
+  num_rows_ += n;
   return Status::OK();
 }
 
@@ -192,19 +279,7 @@ void ColumnBatch::Clear() {
 }
 
 Value ColumnBatch::ValueAt(size_t row, size_t col) const {
-  const Column& c = columns_[col];
-  if (c.IsNull(row)) return Value::Null();
-  switch (c.type) {
-    case DataType::kBool:
-      return Value::Bool(c.bools[row] != 0);
-    case DataType::kInt64:
-      return Value::Int64(c.ints[row]);
-    case DataType::kDouble:
-      return Value::Double(c.doubles[row]);
-    case DataType::kString:
-      return Value::String(std::string(c.dict[c.codes[row]]));
-  }
-  return Value::Null();
+  return ColumnValueAt(columns_[col], row);
 }
 
 void ColumnBatch::EmitRow(size_t row, Row* out) const {

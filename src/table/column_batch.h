@@ -43,6 +43,24 @@ struct Column {
   }
 };
 
+/// The value at `row` of a free-standing column, boxed. Row must be in
+/// range; NULL rows box as Value::Null().
+Value ColumnValueAt(const Column& col, size_t row);
+
+/// Appends one boxed value at position `row` (the column's current row
+/// count) with the same coercion rules as ColumnBatch::AppendRow: int64
+/// widens into a double column, NULL is accepted anywhere, anything else
+/// must match the column type. `column_name` only flavors error messages.
+Status AppendColumnValue(Column* col, size_t row, const Value& v,
+                         const std::string& column_name);
+
+/// Gather-appends `n` rows of `src` (selected by `rows`) onto `dst`, which
+/// already holds `dst_rows` rows of the same type. String codes are carried
+/// over wholesale when `dst` is empty and remapped through a translate
+/// table otherwise.
+void AppendColumnGather(Column* dst, size_t dst_rows, const Column& src,
+                        const int32_t* rows, size_t n);
+
 /// Columnar counterpart of RecordBatch: typed per-column vectors instead of
 /// boxed Value rows. This is the unit the vectorized transform kernels, the
 /// columnar wire encoding, and the columnar ML ingest operate on; converters
@@ -72,6 +90,12 @@ class ColumnBatch {
   /// Appends every row of `other` (same schema), remapping string codes
   /// into this batch's dictionaries.
   Status AppendBatch(const ColumnBatch& other);
+
+  /// Gather-appends the `n` rows of `src` selected by `rows` (src indices,
+  /// duplicates and arbitrary order allowed). Column types must match;
+  /// string codes remap as in AppendBatch. The workhorse of the vectorized
+  /// filter and join operators and of the sink's round-robin split.
+  Status AppendGather(const ColumnBatch& src, const int32_t* rows, size_t n);
 
   /// Drops rows past `rows` (resume truncation). Dictionaries may retain
   /// entries only the dropped rows referenced; that is harmless.

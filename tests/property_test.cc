@@ -15,8 +15,10 @@
 #include "common/fs_util.h"
 #include "common/random.h"
 #include "common/retry_policy.h"
+#include "common/runtime_flags.h"
 #include "ml/sgd.h"
 #include "rewriter/predicate_logic.h"
+#include "sql/batch_kernels.h"
 #include "sql/engine.h"
 #include "sql/parser.h"
 #include "stream/replay_window.h"
@@ -691,6 +693,223 @@ TEST_P(SqlDifferentialTest, GroupByMatchesManualAggregation) {
 INSTANTIATE_TEST_SUITE_P(Seeds, SqlDifferentialTest,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55,
                                            89));
+
+// ---------------------------------------------------------------------------
+// Selection-vector kernels of the vectorized executor: the batch kernels
+// must agree with the boxed row semantics they replace.
+
+class BatchKernelPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BatchKernelPropertyTest, FilterToSelectionMatchesRowTruthiness) {
+  Random rng(GetParam());
+  for (int round = 0; round < 20; ++round) {
+    // A one-column predicate batch; sometimes deliberately non-bool, which
+    // must select nothing (the row engine's IsTruthy rejects non-bools).
+    const DataType type =
+        rng.Bernoulli(0.7) ? DataType::kBool
+                           : static_cast<DataType>(rng.UniformInt(0, 3));
+    auto schema = Schema::Make({{"p", type}});
+    std::vector<Row> rows;
+    const size_t n = rng.Uniform(200);
+    for (size_t i = 0; i < n; ++i) rows.push_back(RandomRow(&rng, *schema));
+    auto batch = ColumnBatch::FromRows(schema, rows);
+    ASSERT_TRUE(batch.ok()) << batch.status();
+
+    std::vector<int32_t> sel;
+    FilterToSelection(batch->column(0), batch->num_rows(), &sel);
+
+    std::vector<int32_t> expected;
+    for (size_t r = 0; r < batch->num_rows(); ++r) {
+      const Value v = batch->ValueAt(r, 0);
+      if (IsTruthy(v)) expected.push_back(static_cast<int32_t>(r));
+    }
+    EXPECT_EQ(sel, expected) << "round " << round;
+  }
+}
+
+TEST_P(BatchKernelPropertyTest, AppendGatherMatchesRowByRowAppend) {
+  Random rng(GetParam() * 31 + 7);
+  for (int round = 0; round < 20; ++round) {
+    SchemaPtr schema = RandomSchema(&rng);
+    std::vector<Row> rows;
+    const size_t n = rng.Uniform(300);
+    for (size_t i = 0; i < n; ++i) rows.push_back(RandomRow(&rng, *schema));
+    auto src = ColumnBatch::FromRows(schema, rows);
+    ASSERT_TRUE(src.ok()) << src.status();
+
+    // A random selection, possibly with repeats and out of order.
+    std::vector<int32_t> sel;
+    const size_t picks = rng.Uniform(n + 1);
+    for (size_t i = 0; i < picks; ++i) {
+      sel.push_back(static_cast<int32_t>(rng.Uniform(n)));
+    }
+
+    ColumnBatch gathered;
+    gathered.Reset(schema);
+    ASSERT_TRUE(gathered.AppendGather(*src, sel.data(), sel.size()).ok());
+
+    ColumnBatch appended;
+    appended.Reset(schema);
+    Row boxed;
+    for (const int32_t r : sel) {
+      src->EmitRow(static_cast<size_t>(r), &boxed);
+      ASSERT_TRUE(appended.AppendRow(boxed).ok());
+    }
+
+    ASSERT_EQ(gathered.num_rows(), appended.num_rows());
+    for (size_t r = 0; r < gathered.num_rows(); ++r) {
+      for (size_t c = 0; c < schema->num_fields(); ++c) {
+        EXPECT_EQ(gathered.ValueAt(r, c), appended.ValueAt(r, c))
+            << "round " << round << " row " << r << " col " << c;
+      }
+    }
+  }
+}
+
+TEST_P(BatchKernelPropertyTest, RowHashConsistentWithRowEquality) {
+  Random rng(GetParam() * 101 + 13);
+  auto schema = Schema::Make({{"k", DataType::kInt64},
+                              {"s", DataType::kString},
+                              {"f", DataType::kBool}});
+  // Low-cardinality values so duplicates are common.
+  auto random_row = [&] {
+    Row row;
+    row.push_back(rng.Bernoulli(0.2) ? Value::Null()
+                                     : Value::Int64(rng.UniformInt(0, 3)));
+    static const char* const kStrings[] = {"a", "b", ""};
+    row.push_back(rng.Bernoulli(0.2)
+                      ? Value::Null()
+                      : Value::String(kStrings[rng.Uniform(3)]));
+    row.push_back(rng.Bernoulli(0.2) ? Value::Null()
+                                     : Value::Bool(rng.Bernoulli(0.5)));
+    return row;
+  };
+  std::vector<Row> rows_a, rows_b;
+  for (int i = 0; i < 60; ++i) rows_a.push_back(random_row());
+  // rows_b holds the same logical rows with a prefix of extra rows, so the
+  // two batches build different string dictionaries.
+  for (int i = 0; i < 10; ++i) rows_b.push_back(random_row());
+  rows_b.insert(rows_b.end(), rows_a.begin(), rows_a.end());
+  auto a = ColumnBatch::FromRows(schema, rows_a);
+  auto b = ColumnBatch::FromRows(schema, rows_b);
+  ASSERT_TRUE(a.ok() && b.ok());
+
+  // Equal rows hash equal within a batch...
+  for (size_t i = 0; i < a->num_rows(); ++i) {
+    for (size_t j = i; j < a->num_rows(); ++j) {
+      if (BatchRowsEqual(*a, i, *a, j)) {
+        EXPECT_EQ(BatchRowHash(*a, i), BatchRowHash(*a, j)) << i << "," << j;
+      }
+    }
+  }
+  // ...and across batches with different dictionaries; row i of `a` is row
+  // 10+i of `b` by construction.
+  for (size_t i = 0; i < a->num_rows(); ++i) {
+    ASSERT_TRUE(BatchRowsEqual(*a, i, *b, 10 + i)) << i;
+    EXPECT_EQ(BatchRowHash(*a, i), BatchRowHash(*b, 10 + i)) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatchKernelPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8));
+
+// ---------------------------------------------------------------------------
+// Costed join choice: whatever strategy the planner picks, the physical
+// join algorithms must be interchangeable. Hash and sort-merge are forced
+// in turn over random tables, in both engine modes, and must agree.
+
+class JoinStrategyPropertyTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override {
+    temp_ = std::make_unique<ScopedTempDir>("join_prop");
+    auto cluster = Cluster::Make(4, temp_->path());
+    ASSERT_TRUE(cluster.ok());
+    engine_ = SqlEngine::Make(*cluster);
+  }
+
+  void TearDown() override { SetVectorizedSqlEnabledForTest(-1); }
+
+  std::multiset<std::string> Render(const std::vector<Row>& rows) {
+    std::multiset<std::string> out;
+    for (const Row& row : rows) {
+      std::string rendered;
+      for (const Value& value : row) {
+        rendered += value.is_null() ? "NULL" : value.ToString();
+        rendered += "|";
+      }
+      out.insert(std::move(rendered));
+    }
+    return out;
+  }
+
+  std::multiset<std::string> Run(const std::string& sql, JoinStrategy strategy,
+                                 int vectorized) {
+    engine_->set_join_strategy(strategy);
+    SetVectorizedSqlEnabledForTest(vectorized);
+    auto result = engine_->ExecuteSql(sql);
+    EXPECT_TRUE(result.ok()) << sql << ": " << result.status();
+    if (!result.ok()) return {};
+    return Render((*result)->GatherRows());
+  }
+
+  std::unique_ptr<ScopedTempDir> temp_;
+  SqlEnginePtr engine_;
+};
+
+TEST_P(JoinStrategyPropertyTest, HashAndSortMergeAgreeOnRandomTables) {
+  Random rng(GetParam() * 17 + 5);
+  // Random fact/dim pair with NULL keys, duplicate keys, and a double key
+  // column so cross-type key comparison (1 vs 1.0) is exercised.
+  auto fact_schema = Schema::Make({{"k", DataType::kInt64},
+                                   {"x", DataType::kDouble},
+                                   {"s", DataType::kString}});
+  auto fact = engine_->MakeTable("fact", fact_schema);
+  const int nf = static_cast<int>(rng.UniformInt(0, 120));
+  for (int i = 0; i < nf; ++i) {
+    fact->AppendRow(static_cast<size_t>(i) % 4,
+                    Row{rng.Bernoulli(0.15)
+                            ? Value::Null()
+                            : Value::Int64(rng.UniformInt(0, 8)),
+                        Value::Double(rng.NextGaussian()),
+                        Value::String(std::string(1, static_cast<char>(
+                                                         'a' + rng.Uniform(3))))});
+  }
+  engine_->catalog()->PutTable(fact);
+
+  auto dim_schema =
+      Schema::Make({{"k", DataType::kInt64}, {"label", DataType::kString}});
+  auto dim = engine_->MakeTable("dim", dim_schema);
+  const int nd = static_cast<int>(rng.UniformInt(0, 30));
+  for (int i = 0; i < nd; ++i) {
+    dim->AppendRow(static_cast<size_t>(i) % 4,
+                   Row{rng.Bernoulli(0.15)
+                           ? Value::Null()
+                           : Value::Int64(rng.UniformInt(0, 8)),
+                       Value::String(std::string(1, static_cast<char>(
+                                                        'p' + rng.Uniform(3))))});
+  }
+  engine_->catalog()->PutTable(dim);
+
+  const std::vector<std::string> queries = {
+      "SELECT f.k, f.s, d.label FROM fact f JOIN dim d ON f.k = d.k",
+      "SELECT f.x, d.label FROM fact f JOIN dim d ON f.k = d.k "
+      "WHERE f.x > 0",
+      "SELECT DISTINCT f.k, d.label FROM fact f JOIN dim d ON f.k = d.k",
+      "SELECT a.k, b.label FROM dim a JOIN dim b ON a.label = b.label",
+  };
+  for (const std::string& sql : queries) {
+    const auto hash_row = Run(sql, JoinStrategy::kHash, 0);
+    const auto hash_vec = Run(sql, JoinStrategy::kHash, 1);
+    const auto merge_row = Run(sql, JoinStrategy::kSortMerge, 0);
+    const auto merge_vec = Run(sql, JoinStrategy::kSortMerge, 1);
+    EXPECT_EQ(hash_row, hash_vec) << sql;
+    EXPECT_EQ(hash_row, merge_row) << sql;
+    EXPECT_EQ(hash_row, merge_vec) << sql;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JoinStrategyPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
 
 }  // namespace
 }  // namespace sqlink

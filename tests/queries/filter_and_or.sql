@@ -1,0 +1,1 @@
+SELECT k, v FROM e1024 WHERE (k > 10 AND v < 5) OR (flag = FALSE AND NOT k = 7)

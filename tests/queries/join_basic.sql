@@ -1,0 +1,1 @@
+SELECT e.k, d.label FROM e1023 e JOIN dims d ON e.k = d.k

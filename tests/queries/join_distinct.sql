@@ -1,0 +1,1 @@
+SELECT DISTINCT e.k, d.label FROM e1024 e JOIN dims d ON e.k = d.k WHERE e.v > 0

@@ -1,0 +1,1 @@
+SELECT DISTINCT e.s, d.label FROM e1025 e JOIN dims d ON e.k = d.k WHERE e.flag = TRUE AND e.v < 20

@@ -1,0 +1,1 @@
+SELECT k, v, s, flag FROM e1

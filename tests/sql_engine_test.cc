@@ -8,6 +8,7 @@
 #include "common/fs_util.h"
 #include "common/status_macros.h"
 #include "sql/engine.h"
+#include "sql_corpus.h"
 
 namespace sqlink {
 namespace {
@@ -535,6 +536,39 @@ TEST_F(SqlEngineTest, CatalogOperations) {
   EXPECT_TRUE(engine_->catalog()->DropTable("carts").ok());
   EXPECT_FALSE(engine_->catalog()->HasTable("carts"));
   EXPECT_TRUE(engine_->catalog()->DropTable("carts").IsNotFound());
+}
+
+/// Golden corpus queries against their committed .expected files, under
+/// whatever engine mode (SQLINK_VECTORIZED_SQL) this test run was launched
+/// with — CI runs both modes, so the goldens pin both engines.
+class CorpusGoldenTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    temp_ = std::make_unique<ScopedTempDir>("sql_corpus");
+    auto cluster = Cluster::Make(4, temp_->path());
+    ASSERT_TRUE(cluster.ok());
+    engine_ = SqlEngine::Make(*cluster);
+    RegisterCorpusTables(engine_.get());
+  }
+
+  std::unique_ptr<ScopedTempDir> temp_;
+  SqlEnginePtr engine_;
+};
+
+TEST_F(CorpusGoldenTest, QueriesMatchCommittedGoldens) {
+  auto corpus = LoadQueryCorpus();
+  ASSERT_GE(corpus.size(), 14u);
+  for (const CorpusQuery& query : corpus) {
+    SCOPED_TRACE(query.name);
+    auto result = engine_->ExecuteSql(query.sql);
+    ASSERT_TRUE(result.ok()) << query.sql << " -> " << result.status();
+    auto golden = ReadFileToString(query.expected_path);
+    ASSERT_TRUE(golden.ok())
+        << query.expected_path
+        << " missing; regenerate via sql_differential_test with "
+           "SQLINK_UPDATE_GOLDENS=1";
+    EXPECT_EQ(CanonicalResult((*result)->GatherRows()), *golden) << query.sql;
+  }
 }
 
 }  // namespace
