@@ -18,6 +18,7 @@
 #include "common/runtime_flags.h"
 #include "common/stopwatch.h"
 #include "sql/engine.h"
+#include "sql/query_registry.h"
 
 namespace sqlink {
 namespace {
@@ -124,12 +125,26 @@ int RunSmoke(int64_t num_carts, bool check) {
               kSmokeQuery);
   std::printf("%-12s %12s %10s\n", "mode", "wall(ms)", "result");
 
+  // Per-operator stats tree (rows/batches/time/q-error per plan node) of
+  // the mode's most recent run, as recorded by the tracked query path.
+  auto last_stats_json = [] {
+    auto finished = QueryRegistry::Global().Finished();
+    if (finished.empty() || finished[0]->stats == nullptr) {
+      return std::string("null");
+    }
+    std::string out;
+    finished[0]->stats->AppendJson(&out);
+    return out;
+  };
+
   size_t row_rows = 0;
   size_t vec_rows = 0;
   SetVectorizedSqlEnabledForTest(0);
   const double row_ms = TimeSmoke(env->engine.get(), &row_rows);
+  const std::string row_stats = last_stats_json();
   SetVectorizedSqlEnabledForTest(1);
   const double vec_ms = TimeSmoke(env->engine.get(), &vec_rows);
+  const std::string vec_stats = last_stats_json();
   SetVectorizedSqlEnabledForTest(-1);
 
   std::printf("%-12s %12.3f %10zu\n", "row", row_ms, row_rows);
@@ -146,12 +161,14 @@ int RunSmoke(int64_t num_carts, bool check) {
       .Param("mode", "row")
       .Param("rows", num_carts)
       .Param("result_rows", static_cast<int64_t>(row_rows))
+      .JsonParam("operator_stats", row_stats)
       .Emit(row_ms);
   sqlink::bench::BenchJsonLine("sql.vectorized_smoke")
       .Param("mode", "vectorized")
       .Param("rows", num_carts)
       .Param("result_rows", static_cast<int64_t>(vec_rows))
       .Param("speedup", speedup)
+      .JsonParam("operator_stats", vec_stats)
       .Emit(vec_ms);
 
   if (check && speedup < 2.0) {

@@ -106,6 +106,12 @@ class BenchJsonLine {
     params_.emplace_back(key, value ? "true" : "false");
     return *this;
   }
+  /// Embeds pre-rendered JSON verbatim (e.g. a query's per-operator stats
+  /// tree from QueryStats::AppendJson). The caller vouches for validity.
+  BenchJsonLine& JsonParam(const std::string& key, std::string raw_json) {
+    params_.emplace_back(key, std::move(raw_json));
+    return *this;
+  }
 
   /// Writes the line (no-op when SQLINK_BENCH_JSON is unset). Call once per
   /// measured configuration, after the run, so the metrics snapshot reflects

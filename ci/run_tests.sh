@@ -68,6 +68,47 @@ SQL_BENCH_JSON="$(pwd)/BENCH_pr6.json"
 rm -f "${SQL_BENCH_JSON}"
 SQLINK_BENCH_JSON="${SQL_BENCH_JSON}" "${BUILD_DIR}/bench/bench_sql" --smoke 300000 --check
 
+# Ops-endpoint smoke: start a workload under SQLINK_OPS_PORT, then curl the
+# live endpoints — /metrics must be Prometheus text carrying the planner
+# q-error feedback, /queries and /tracez must be valid JSON — while
+# streaming transfers are still running.
+echo "==> [${BUILD_DIR}] ops endpoint smoke (live /metrics, /queries, /tracez)"
+cmake --build "${BUILD_DIR}" -j "${JOBS}" --target ops_demo
+OPS_LOG="$(mktemp)"
+SQLINK_OPS_PORT=0 "${BUILD_DIR}/examples/ops_demo" 6 > "${OPS_LOG}" 2>&1 &
+OPS_PID=$!
+OPS_PORT=""
+for _ in $(seq 1 100); do
+  OPS_PORT="$(sed -n 's/^OPS_PORT=//p' "${OPS_LOG}" | head -n1)"
+  [[ -n "${OPS_PORT}" ]] && break
+  sleep 0.1
+done
+if [[ -z "${OPS_PORT}" ]]; then
+  echo "ops_demo never reported its port:"; cat "${OPS_LOG}"; kill "${OPS_PID}" 2>/dev/null || true; exit 1
+fi
+# Give the demo a moment to run its EXPLAIN ANALYZE and first transfer.
+sleep 2
+curl -sf "127.0.0.1:${OPS_PORT}/healthz" | grep -q ok
+curl -sf "127.0.0.1:${OPS_PORT}/metrics" > /tmp/ops_metrics.txt
+grep -q '^# TYPE sqlink_' /tmp/ops_metrics.txt
+grep -q 'sqlink_sql_planner_qerror_x100' /tmp/ops_metrics.txt
+curl -sf "127.0.0.1:${OPS_PORT}/queries" | python3 -c '
+import json, sys
+doc = json.load(sys.stdin)
+assert "active" in doc and "finished" in doc, doc.keys()
+assert doc["finished"], "no finished queries on /queries"
+assert any(q.get("operators") for q in doc["finished"]), "no operator stats"
+'
+curl -sf "127.0.0.1:${OPS_PORT}/tracez" | python3 -c '
+import json, sys
+doc = json.load(sys.stdin)
+assert "traces" in doc, doc.keys()
+'
+wait "${OPS_PID}"
+grep -q '^DONE transfers=' "${OPS_LOG}"
+rm -f "${OPS_LOG}" /tmp/ops_metrics.txt
+echo "    ops endpoint smoke passed (port ${OPS_PORT})"
+
 if [[ "${SQLINK_SANITIZE}" != "none" ]]; then
   SAN_DIR="${BUILD_DIR}-${SQLINK_SANITIZE}"
   echo "==> stage 3: sanitizer pass (-fsanitize=${SQLINK_SANITIZE})"

@@ -1,0 +1,107 @@
+// Live-observability demo: starts the embedded ops server, runs an
+// EXPLAIN ANALYZE over a join+filter+DISTINCT query (populating the
+// planner q-error metrics), then loops streaming transfers until the
+// deadline so /metrics, /queries, and /tracez can be curled while work is
+// genuinely in flight.
+//
+//   SQLINK_OPS_PORT=0 ./ops_demo [seconds]
+//
+// Prints "OPS_PORT=<port>" once the server is up (CI greps for it), e.g.:
+//
+//   curl -s 127.0.0.1:$port/metrics | grep sqlink_sql_planner_qerror
+//   curl -s 127.0.0.1:$port/queries | python3 -m json.tool
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "cluster/cluster.h"
+#include "common/fs_util.h"
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "common/trace.h"
+#include "obs/ops_server.h"
+#include "pipeline/datagen.h"
+#include "sql/engine.h"
+#include "stream/streaming_transfer.h"
+
+namespace {
+
+using namespace sqlink;
+
+int Run(double seconds) {
+  // Tracing on so /tracez serves the transfer spans.
+  Tracer::Global().set_enabled(true);
+
+  ScopedTempDir workspace("ops_demo");
+  auto cluster = Cluster::Make(4, workspace.path());
+  if (!cluster.ok()) return 1;
+  SqlEnginePtr engine = SqlEngine::Make(*cluster);
+
+  CartsWorkloadOptions data;
+  data.num_users = 2000;
+  data.num_carts = 20000;
+  if (!GenerateCartsWorkload(engine.get(), data).ok()) return 1;
+
+  // SQLINK_OPS_PORT when set (0 = ephemeral), else an ephemeral port.
+  auto server = OpsServer::StartFromEnv();
+  if (!server.ok()) {
+    std::fprintf(stderr, "ops server: %s\n",
+                 server.status().ToString().c_str());
+    return 1;
+  }
+  if (*server == nullptr) {
+    OpsServer::Options options;
+    server = OpsServer::Start(options);
+    if (!server.ok()) return 1;
+  }
+  std::printf("OPS_PORT=%d\n", (*server)->port());
+  std::fflush(stdout);
+
+  // One analyzed join+filter+DISTINCT query seeds the q-error metrics and
+  // the /queries finished ring.
+  auto analyzed = engine->ExecuteSql(
+      "EXPLAIN ANALYZE SELECT DISTINCT U.age, U.gender FROM carts C, users U "
+      "WHERE C.userid = U.userid AND C.amount > 50");
+  if (!analyzed.ok()) {
+    std::fprintf(stderr, "explain analyze: %s\n",
+                 analyzed.status().ToString().c_str());
+    return 1;
+  }
+  for (size_t p = 0; p < (*analyzed)->num_partitions(); ++p) {
+    for (const Row& row : (*analyzed)->partition(p)) {
+      std::printf("%s\n", row[0].string_value().c_str());
+    }
+  }
+  std::fflush(stdout);
+
+  // Streaming transfers until the deadline keep live queries (and their
+  // transfer counters) visible on the ops endpoint.
+  const std::string transfer_query =
+      "SELECT cartid, amount, nitems FROM carts WHERE amount > 50";
+  Stopwatch deadline;
+  int transfers = 0;
+  while (deadline.ElapsedSeconds() < seconds) {
+    StreamTransferOptions options;
+    options.splits_per_worker = 2;
+    auto result = StreamingTransfer::Run(engine.get(), transfer_query, options);
+    if (!result.ok()) {
+      std::fprintf(stderr, "transfer: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    ++transfers;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::printf("DONE transfers=%d\n", transfers);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sqlink::SetLogLevel(sqlink::LogLevel::kWarning);
+  const double seconds = argc > 1 ? std::atof(argv[1]) : 5.0;
+  return Run(seconds);
+}

@@ -19,6 +19,7 @@
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
+#include "obs/ops_server.h"
 #include "pipeline/datagen.h"
 #include "sql/engine.h"
 #include "table/pretty_print.h"
@@ -51,19 +52,21 @@ void HandleCommand(SqlEngine* engine, const std::string& line) {
 }
 
 void RunStatement(SqlEngine* engine, const std::string& sql) {
-  if (EqualsIgnoreCase(sql.substr(0, 7), "EXPLAIN")) {
-    auto plan = engine->ExplainSql(sql.substr(7));
-    if (!plan.ok()) {
-      std::printf("%s\n", plan.status().ToString().c_str());
-      return;
-    }
-    std::printf("%s", plan->c_str());
-    return;
-  }
+  // EXPLAIN / EXPLAIN ANALYZE are first-class statements now; their result
+  // is a one-column table of plan-text lines, printed raw.
   Stopwatch watch;
   auto result = engine->ExecuteSql(sql);
   if (!result.ok()) {
     std::printf("%s\n", result.status().ToString().c_str());
+    return;
+  }
+  const SchemaPtr& schema = (*result)->schema();
+  if (schema->num_fields() == 1 && schema->field(0).name == "plan") {
+    for (size_t p = 0; p < (*result)->num_partitions(); ++p) {
+      for (const Row& row : (*result)->partition(p)) {
+        std::printf("%s\n", row[0].string_value().c_str());
+      }
+    }
     return;
   }
   std::printf("%s", PrettyPrintTable(**result).c_str());
@@ -81,6 +84,19 @@ int main(int argc, char** argv) {
   if (!cluster.ok()) return 1;
   SqlEnginePtr engine = SqlEngine::Make(*cluster);
   if (!RegisterTransformUdfs(engine.get()).ok()) return 1;
+
+  // SQLINK_OPS_PORT=<port> exposes /metrics, /queries, /tracez while the
+  // shell runs.
+  auto ops = OpsServer::StartFromEnv();
+  if (!ops.ok()) {
+    std::fprintf(stderr, "ops server: %s\n", ops.status().ToString().c_str());
+    return 1;
+  }
+  if (*ops != nullptr) {
+    std::printf("ops server on http://127.0.0.1:%d (/metrics /queries "
+                "/tracez)\n",
+                (*ops)->port());
+  }
 
   CartsWorkloadOptions data;
   data.num_users = num_carts / 10;

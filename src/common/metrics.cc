@@ -208,6 +208,57 @@ std::string MetricsRegistry::ToText() const {
   return out.str();
 }
 
+namespace {
+
+/// Prometheus metric name: [a-zA-Z_:][a-zA-Z0-9_:]*. Registry names use
+/// dots (`stream.wire.frames_sent`); map every non-alphanumeric rune to an
+/// underscore and prefix the exporter namespace.
+std::string PrometheusName(const std::string& name) {
+  std::string out = "sqlink_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string PrometheusDouble(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%g", value);
+  return buffer;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ToPrometheusText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, counter] : counters_) {
+    const std::string prom = PrometheusName(name);
+    out += "# TYPE " + prom + " counter\n";
+    out += prom + " " + std::to_string(counter->value()) + "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    const std::string prom = PrometheusName(name);
+    out += "# TYPE " + prom + " gauge\n";
+    out += prom + " " + std::to_string(gauge->value()) + "\n";
+    out += "# TYPE " + prom + "_max gauge\n";
+    out += prom + "_max " + std::to_string(gauge->max_value()) + "\n";
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    const Histogram::Snapshot s = histogram->GetSnapshot();
+    const std::string prom = PrometheusName(name);
+    out += "# TYPE " + prom + " summary\n";
+    out += prom + "{quantile=\"0.5\"} " + PrometheusDouble(s.p50) + "\n";
+    out += prom + "{quantile=\"0.95\"} " + PrometheusDouble(s.p95) + "\n";
+    out += prom + "{quantile=\"0.99\"} " + PrometheusDouble(s.p99) + "\n";
+    out += prom + "_sum " + std::to_string(s.sum) + "\n";
+    out += prom + "_count " + std::to_string(s.count) + "\n";
+  }
+  return out;
+}
+
 bool MetricsRegistry::WriteJson(const std::string& path) const {
   std::ofstream out(path, std::ios::trunc);
   if (!out) return false;

@@ -171,6 +171,14 @@ class MetricsRegistry {
   /// Human-readable aligned text table of the same data.
   std::string ToText() const;
 
+  /// Prometheus text exposition (version 0.0.4) of every instrument, for
+  /// the ops server's /metrics route. Names are sanitized to the Prometheus
+  /// charset and prefixed `sqlink_` (`sql.planner.qerror_x100` becomes
+  /// `sqlink_sql_planner_qerror_x100`). Counters expose as `counter`,
+  /// gauges as `gauge` plus a `_max` high-water gauge, histograms as
+  /// `summary` (quantiles 0.5/0.95/0.99 with `_sum` and `_count`).
+  std::string ToPrometheusText() const;
+
   /// Writes ToJson() to the path named by `SQLINK_METRICS_DUMP` (if set).
   /// Returns true when a dump was written.
   bool DumpIfConfigured() const;

@@ -1,5 +1,6 @@
 #include "common/trace.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -66,6 +67,20 @@ Tracer::Tracer() : sample_rng_state_(0x9e3779b97f4a7c15ull) {
       sample_probability_ = p;
     }
   }
+  auto positive_env = [](const char* name, int64_t* out) {
+    const char* value = std::getenv(name);
+    if (value == nullptr || *value == '\0') return;
+    char* end = nullptr;
+    const long long parsed = std::strtoll(value, &end, 10);
+    if (end != value && *end == '\0' && parsed > 0) *out = parsed;
+  };
+  int64_t ring = 0;
+  positive_env("SQLINK_TRACE_RING", &ring);
+  if (ring > 0) ring_capacity_ = static_cast<size_t>(ring);
+  positive_env("SQLINK_TRACE_FLUSH_SPANS", &flush_span_threshold_);
+  int64_t flush_ms = 0;
+  positive_env("SQLINK_TRACE_FLUSH_MS", &flush_ms);
+  if (flush_ms > 0) flush_interval_micros_ = flush_ms * 1000;
   if (!sink_path_.empty()) {
     std::atexit([] { Tracer::Global().FlushToConfiguredSink(); });
   }
@@ -105,13 +120,64 @@ TraceContext Tracer::ambient_context() const {
 }
 
 void Tracer::Record(SpanRecord record) {
-  std::lock_guard<std::mutex> lock(mu_);
-  spans_.push_back(std::move(record));
+  // The flush decision happens under the lock; the flush itself happens
+  // after releasing it (WriteJson re-enters ToJson, which takes mu_).
+  bool flush = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    spans_.push_back(std::move(record));
+    while (spans_.size() > ring_capacity_) spans_.pop_front();
+    if (!sink_path_.empty()) {
+      ++recorded_since_flush_;
+      const int64_t now = NowMicros();
+      if (recorded_since_flush_ >= flush_span_threshold_ ||
+          now - last_flush_micros_ >= flush_interval_micros_) {
+        flush = true;
+        recorded_since_flush_ = 0;
+        last_flush_micros_ = now;
+      }
+    }
+  }
+  if (flush) FlushToConfiguredSink();
 }
 
 std::vector<SpanRecord> Tracer::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return spans_;
+  return std::vector<SpanRecord>(spans_.begin(), spans_.end());
+}
+
+std::vector<SpanRecord> Tracer::Recent(size_t n) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SpanRecord> out;
+  const size_t take = std::min(n, spans_.size());
+  out.reserve(take);
+  for (auto it = spans_.rbegin(); it != spans_.rend() && out.size() < take;
+       ++it) {
+    out.push_back(*it);
+  }
+  return out;
+}
+
+void Tracer::set_ring_capacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_capacity_ = capacity == 0 ? 1 : capacity;
+  while (spans_.size() > ring_capacity_) spans_.pop_front();
+}
+
+size_t Tracer::ring_capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_capacity_;
+}
+
+void Tracer::ConfigureSink(const std::string& path, int64_t flush_spans,
+                           int64_t flush_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sink_path_ = path;
+  if (flush_spans > 0) flush_span_threshold_ = flush_spans;
+  if (flush_ms > 0) flush_interval_micros_ = flush_ms * 1000;
+  recorded_since_flush_ = 0;
+  last_flush_micros_ = NowMicros();
+  if (!path.empty()) enabled_.store(true, std::memory_order_relaxed);
 }
 
 size_t Tracer::span_count() const {

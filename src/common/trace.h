@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <mutex>
 #include <string>
 #include <utility>
@@ -41,11 +42,20 @@ struct SpanRecord {
 /// current-span context. Off by default: an unstarted span costs one relaxed
 /// atomic load. Enable programmatically (tests) or via the environment:
 ///
-///   SQLINK_TRACE=json:<path>   enable + write all finished spans to <path>
-///                              as a JSON array at process exit
+///   SQLINK_TRACE=json:<path>   enable + write retained spans to <path> as a
+///                              JSON array, rewritten periodically and at
+///                              process exit (long-running processes get
+///                              fresh data, not just an exit dump)
 ///   SQLINK_TRACE=on            enable, in-memory only (Snapshot/ToJson)
 ///   SQLINK_TRACE_SAMPLE=<p>    sample only fraction p of new traces
 ///                              (decided once per trace at its root span)
+///   SQLINK_TRACE_RING=<n>      retain only the most recent n spans
+///                              (default 8192; bounds memory forever)
+///   SQLINK_TRACE_FLUSH_SPANS=<n>  rewrite the json: sink every n recorded
+///                              spans (default 512)
+///   SQLINK_TRACE_FLUSH_MS=<ms> also rewrite when the last flush is older
+///                              than ms at the next recorded span
+///                              (default 2000)
 class Tracer {
  public:
   /// The process tracer; first use parses the environment knobs.
@@ -75,8 +85,20 @@ class Tracer {
   void Record(SpanRecord record);
 
   std::vector<SpanRecord> Snapshot() const;
+  /// The most recently recorded `n` spans, newest first (/tracez).
+  std::vector<SpanRecord> Recent(size_t n) const;
   size_t span_count() const;
   void Reset();
+
+  /// Retention bound for finished spans; older spans fall off the ring.
+  void set_ring_capacity(size_t capacity);
+  size_t ring_capacity() const;
+
+  /// Points the json: sink at `path` and enables tracing (tests; the
+  /// environment knob does the same at startup). Empty path disables the
+  /// sink. Thresholds <= 0 keep their current values.
+  void ConfigureSink(const std::string& path, int64_t flush_spans = 0,
+                     int64_t flush_ms = 0);
 
   /// All finished spans as a JSON array (one object per span).
   std::string ToJson() const;
@@ -103,8 +125,13 @@ class Tracer {
   double sample_probability_ = 1.0;
   uint64_t sample_rng_state_;
   TraceContext ambient_;
-  std::vector<SpanRecord> spans_;
+  std::deque<SpanRecord> spans_;  ///< Ring: newest at the back.
+  size_t ring_capacity_ = 8192;
   std::string sink_path_;  ///< From SQLINK_TRACE=json:<path>; may be empty.
+  int64_t flush_span_threshold_ = 512;
+  int64_t flush_interval_micros_ = 2000 * 1000;
+  int64_t recorded_since_flush_ = 0;
+  int64_t last_flush_micros_ = 0;
 };
 
 /// RAII span. On construction picks its parent — explicit remote context if

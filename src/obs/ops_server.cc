@@ -1,0 +1,197 @@
+#include "obs/ops_server.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "common/status_macros.h"
+#include "common/trace.h"
+#include "sql/query_registry.h"
+
+namespace sqlink {
+
+namespace {
+
+constexpr size_t kMaxRequestBytes = 8192;
+
+void AppendJsonString(const std::string& text, std::string* out) {
+  out->push_back('"');
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out->append(buffer);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendSpanJson(const SpanRecord& span, std::string* out) {
+  out->append("{\"name\":");
+  AppendJsonString(span.name, out);
+  // Ids as strings: uint64 does not survive a double-typed JSON reader.
+  out->append(",\"span_id\":\"" + std::to_string(span.span_id) +
+              "\",\"parent_span_id\":\"" + std::to_string(span.parent_span_id) +
+              "\",\"start_micros\":" + std::to_string(span.start_micros) +
+              ",\"duration_micros\":" + std::to_string(span.duration_micros) +
+              ",\"error\":" + (span.error ? "true" : "false"));
+  if (!span.attributes.empty()) {
+    out->append(",\"attributes\":{");
+    bool first = true;
+    for (const auto& [key, value] : span.attributes) {
+      if (!first) out->push_back(',');
+      first = false;
+      AppendJsonString(key, out);
+      out->push_back(':');
+      out->append(std::to_string(value));
+    }
+    out->push_back('}');
+  }
+  out->push_back('}');
+}
+
+/// The most recent spans grouped by trace, most recent trace first:
+/// {"traces":[{"trace_id":"...","spans":[...]}]}.
+std::string TracezJson(size_t max_spans) {
+  const std::vector<SpanRecord> recent = Tracer::Global().Recent(max_spans);
+  std::vector<uint64_t> order;        // Trace ids, most recent first.
+  std::map<uint64_t, std::vector<const SpanRecord*>> by_trace;
+  for (const SpanRecord& span : recent) {
+    auto [it, inserted] = by_trace.try_emplace(span.trace_id);
+    if (inserted) order.push_back(span.trace_id);
+    it->second.push_back(&span);
+  }
+  std::string out = "{\"traces\":[";
+  bool first_trace = true;
+  for (uint64_t trace_id : order) {
+    if (!first_trace) out.push_back(',');
+    first_trace = false;
+    out += "{\"trace_id\":\"" + std::to_string(trace_id) + "\",\"spans\":[";
+    bool first_span = true;
+    for (const SpanRecord* span : by_trace[trace_id]) {
+      if (!first_span) out.push_back(',');
+      first_span = false;
+      AppendSpanJson(*span, &out);
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+Status SendResponse(TcpSocket* socket, const std::string& status_line,
+                    const std::string& content_type, const std::string& body) {
+  std::string head = "HTTP/1.1 " + status_line +
+                     "\r\nContent-Type: " + content_type +
+                     "\r\nContent-Length: " + std::to_string(body.size()) +
+                     "\r\nConnection: close\r\n\r\n";
+  return socket->SendAllV(head, body);
+}
+
+/// Reads until the end of the request head ("\r\n\r\n") and returns the
+/// request target path (query strings stripped). GET requests carry no
+/// body, so nothing else is consumed.
+Result<std::string> ReadRequestPath(TcpSocket* socket) {
+  std::string request;
+  std::string byte;
+  while (request.size() < kMaxRequestBytes) {
+    RETURN_IF_ERROR(socket->RecvExactly(1, &byte));
+    request += byte;
+    if (request.size() >= 4 &&
+        request.compare(request.size() - 4, 4, "\r\n\r\n") == 0) {
+      break;
+    }
+  }
+  // "GET /path HTTP/1.1\r\n..."
+  const size_t first_space = request.find(' ');
+  if (first_space == std::string::npos) {
+    return Status::InvalidArgument("malformed http request line");
+  }
+  const size_t second_space = request.find(' ', first_space + 1);
+  if (second_space == std::string::npos) {
+    return Status::InvalidArgument("malformed http request line");
+  }
+  std::string path =
+      request.substr(first_space + 1, second_space - first_space - 1);
+  const size_t query = path.find('?');
+  if (query != std::string::npos) path.resize(query);
+  return path;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<OpsServer>> OpsServer::Start(const Options& options) {
+  std::unique_ptr<OpsServer> server(new OpsServer(options));
+  ASSIGN_OR_RETURN(server->listener_, TcpListener::Listen(options.port));
+  server->thread_ = std::thread([raw = server.get()] { raw->Serve(); });
+  LOG_INFO() << "ops server listening on 127.0.0.1:"
+             << server->listener_.port();
+  return server;
+}
+
+Result<std::unique_ptr<OpsServer>> OpsServer::StartFromEnv() {
+  const char* env = std::getenv("SQLINK_OPS_PORT");
+  if (env == nullptr || *env == '\0') return std::unique_ptr<OpsServer>();
+  Options options;
+  options.port = std::atoi(env);
+  return Start(options);
+}
+
+OpsServer::~OpsServer() { Stop(); }
+
+void OpsServer::Stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  listener_.Close();
+  if (thread_.joinable()) thread_.join();
+}
+
+void OpsServer::Serve() {
+  for (;;) {
+    Result<TcpSocket> socket = listener_.Accept();
+    if (!socket.ok()) return;  // kCancelled after Close().
+    HandleConnection(std::move(socket).value());
+  }
+}
+
+void OpsServer::HandleConnection(TcpSocket socket) {
+  Result<std::string> path = ReadRequestPath(&socket);
+  if (!path.ok()) return;  // Peer vanished or sent garbage; drop it.
+
+  Status sent;
+  if (*path == "/metrics") {
+    sent = SendResponse(&socket, "200 OK", "text/plain; version=0.0.4",
+                        MetricsRegistry::Global().ToPrometheusText());
+  } else if (*path == "/queries") {
+    sent = SendResponse(&socket, "200 OK", "application/json",
+                        QueryRegistry::Global().ToJson());
+  } else if (*path == "/tracez") {
+    sent = SendResponse(&socket, "200 OK", "application/json",
+                        TracezJson(options_.tracez_spans));
+  } else if (*path == "/healthz") {
+    sent = SendResponse(&socket, "200 OK", "text/plain", "ok\n");
+  } else {
+    sent = SendResponse(&socket, "404 Not Found", "text/plain",
+                        "unknown route; try /metrics /queries /tracez\n");
+  }
+  if (!sent.ok()) {
+    LOG_DEBUG() << "ops response send failed: " << sent;
+  }
+}
+
+}  // namespace sqlink

@@ -127,6 +127,17 @@ struct SelectStmt {
   std::string ToString() const;
 };
 
+/// EXPLAIN prefix of a statement: kPlan renders the chosen plan without
+/// executing; kAnalyze executes and renders estimates next to actuals.
+enum class ExplainMode : int { kNone, kPlan, kAnalyze };
+
+/// A full parsed statement: an optional EXPLAIN [ANALYZE] prefix wrapping a
+/// SELECT. The engine dispatches on `explain`.
+struct SqlStatement {
+  ExplainMode explain = ExplainMode::kNone;
+  SelectStmt select;
+};
+
 /// Splits a conjunction into its AND-ed factors ("a AND b AND c" → [a,b,c]).
 /// A null expression yields an empty list.
 std::vector<ExprPtr> SplitConjuncts(const ExprPtr& expr);

@@ -12,6 +12,8 @@
 #include "sql/parser.h"
 #include "sql/plan.h"
 #include "sql/planner.h"
+#include "sql/query_registry.h"
+#include "sql/query_stats.h"
 #include "sql/table_udf.h"
 #include "table/table.h"
 
@@ -57,8 +59,16 @@ class SqlEngine {
     planner_options_.hash_build_budget_bytes = bytes;
   }
 
-  /// Parses, plans and runs a SELECT; the result table is named
+  /// Parses, plans and runs a statement; the result table is named
   /// `result_name` (default "result") but not registered in the catalog.
+  ///
+  /// `EXPLAIN select` returns a one-column table of plan-text lines
+  /// (estimated rows + cumulative cost per node) without executing;
+  /// `EXPLAIN ANALYZE select` executes the query and returns the plan with
+  /// estimates and actuals side by side. Every executed statement is
+  /// tracked: per-operator stats flow to the QueryRegistry (the /queries
+  /// ops endpoint), per-node q-errors feed the sql.planner.* metrics, and
+  /// queries slower than SQLINK_SLOW_QUERY_MS log a one-line record.
   Result<TablePtr> ExecuteSql(const std::string& sql,
                               const std::string& result_name = "result");
 
@@ -72,7 +82,8 @@ class SqlEngine {
   Result<PlanPtr> Plan(const std::string& sql);
   Result<PlanPtr> PlanStmt(const SelectStmt& stmt);
 
-  /// The plan tree rendered as indented text (EXPLAIN).
+  /// The plan tree rendered as indented text with per-node estimated rows
+  /// and cumulative cost (what `EXPLAIN select` prints).
   Result<std::string> ExplainSql(const std::string& sql);
 
   /// Executes and registers the result as a catalog table (materialized
@@ -93,6 +104,19 @@ class SqlEngine {
 
  private:
   SqlEngine(ClusterPtr cluster, MetricsRegistry* metrics);
+
+  /// The tracked execution path every query goes through: numbers the plan,
+  /// registers a QueryRecord, runs with stats collection, feeds q-error
+  /// metrics and the slow-query log, finalizes the record. `stats_out`
+  /// (optional) receives the filled stats tree (EXPLAIN ANALYZE).
+  Result<TablePtr> RunTracked(const PlanPtr& plan, const std::string& sql,
+                              const std::string& result_name,
+                              std::shared_ptr<QueryStats>* stats_out);
+
+  /// A one-STRING-column table holding `text` split into lines (the result
+  /// shape of EXPLAIN / EXPLAIN ANALYZE).
+  TablePtr MakePlanTextTable(const std::string& text,
+                             const std::string& result_name) const;
 
   ClusterPtr cluster_;
   int num_workers_;

@@ -506,6 +506,77 @@ struct BatchDedup {
   }
 };
 
+// ---------------------------------------------------------------------------
+// Per-operator stats wrappers (EXPLAIN ANALYZE / the /queries endpoint).
+// Counts and time accumulate in locals and flush to the shared atomics once,
+// in the destructor, so the row-at-a-time hot loop pays no atomics per row.
+
+/// Crude in-memory size of `rows` rows of `schema` — the same fixed
+/// per-value width the planner's cost model assumes, so estimate and actual
+/// memory numbers are comparable.
+int64_t ApproxRowsBytes(const SchemaPtr& schema, int64_t rows) {
+  const int64_t width =
+      schema == nullptr ? 1 : std::max(1, schema->num_fields());
+  return rows * width * 16;
+}
+
+class StatsRowIterator final : public RowIterator {
+ public:
+  StatsRowIterator(RowIteratorPtr child, OperatorActuals* actuals)
+      : child_(std::move(child)), actuals_(actuals) {}
+
+  ~StatsRowIterator() override {
+    actuals_->AddRows(rows_);
+    actuals_->AddMicros(micros_);
+    actuals_->AddInvocation();
+  }
+
+  Result<bool> Next(Row* out) override {
+    Stopwatch watch;
+    auto has = child_->Next(out);
+    micros_ += watch.ElapsedMicros();
+    if (has.ok() && *has) ++rows_;
+    return has;
+  }
+
+ private:
+  RowIteratorPtr child_;
+  OperatorActuals* actuals_;
+  int64_t rows_ = 0;
+  int64_t micros_ = 0;
+};
+
+class StatsBatchIterator final : public BatchIterator {
+ public:
+  StatsBatchIterator(BatchIteratorPtr child, OperatorActuals* actuals)
+      : child_(std::move(child)), actuals_(actuals) {}
+
+  ~StatsBatchIterator() override {
+    actuals_->AddRows(rows_);
+    actuals_->AddBatches(batches_);
+    actuals_->AddMicros(micros_);
+    actuals_->AddInvocation();
+  }
+
+  Result<bool> Next(ColumnBatch* out) override {
+    Stopwatch watch;
+    auto has = child_->Next(out);
+    micros_ += watch.ElapsedMicros();
+    if (has.ok() && *has) {
+      ++batches_;
+      rows_ += static_cast<int64_t>(out->num_rows());
+    }
+    return has;
+  }
+
+ private:
+  BatchIteratorPtr child_;
+  OperatorActuals* actuals_;
+  int64_t rows_ = 0;
+  int64_t batches_ = 0;
+  int64_t micros_ = 0;
+};
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -548,6 +619,37 @@ Executor::Executor(int num_workers, ClusterPtr cluster,
 }
 
 Result<PartitionedRows> Executor::Execute(const PlanPtr& plan) {
+  // Blocking operators never flow through the pipeline stats wrappers, so
+  // their actuals are recorded here, around the full (inclusive) execution.
+  OperatorActuals* actuals = nullptr;
+  switch (plan->kind) {
+    case PlanKind::kDistinct:
+    case PlanKind::kAggregate:
+    case PlanKind::kSort:
+    case PlanKind::kLimit:
+      actuals = NodeActuals(plan);
+      break;
+    default:
+      break;
+  }
+  if (actuals == nullptr) return ExecuteNode(plan);
+  Stopwatch watch;
+  Result<PartitionedRows> result = ExecuteNode(plan);
+  actuals->AddMicros(watch.ElapsedMicros());
+  actuals->AddInvocation();
+  if (result.ok()) {
+    const int64_t produced = static_cast<int64_t>(result->TotalRows());
+    actuals->AddRows(produced);
+    if (plan->kind == PlanKind::kDistinct) {
+      // The dedup set peaks at exactly the unique-row count.
+      actuals->AddBuildRows(produced);
+      actuals->MaxPeakBytes(ApproxRowsBytes(plan->output_schema, produced));
+    }
+  }
+  return result;
+}
+
+Result<PartitionedRows> Executor::ExecuteNode(const PlanPtr& plan) {
   switch (plan->kind) {
     case PlanKind::kDistinct:
       return vectorized_ ? ExecuteDistinctVectorized(plan)
@@ -610,7 +712,13 @@ Status Executor::Prepare(const PlanPtr& plan, PipelineState* state) {
       // Sort-merge choice (cost-based, equi keys only): materialize the
       // merged result here so both engine modes pipeline over it.
       if (plan->join_algo == JoinAlgo::kSortMerge && !plan->left_keys.empty()) {
+        Stopwatch merge_watch;
         ASSIGN_OR_RETURN(PartitionedRows rows, ExecuteMergeJoin(plan));
+        if (OperatorActuals* actuals = NodeActuals(plan)) {
+          actuals->AddMicros(merge_watch.ElapsedMicros());
+          actuals->AddRows(static_cast<int64_t>(rows.TotalRows()));
+          actuals->AddInvocation();
+        }
         state->materialized.emplace(plan.get(), std::move(rows));
         return Status::OK();
       }
@@ -621,6 +729,12 @@ Status Executor::Prepare(const PlanPtr& plan, PipelineState* state) {
       if (plan->broadcast_build) {
         artifact.broadcast_table = std::make_shared<const JoinHashTable>(
             build.Gather(), plan->right_keys);
+        if (OperatorActuals* actuals = NodeActuals(plan)) {
+          const int64_t build_rows =
+              static_cast<int64_t>(artifact.broadcast_table->rows().size());
+          actuals->AddBuildRows(build_rows);
+          actuals->MaxPeakBytes(ApproxRowsBytes(build_schema, build_rows));
+        }
         if (vectorized_) {
           ASSIGN_OR_RETURN(
               ColumnBatch batch,
@@ -656,6 +770,14 @@ Status Executor::Prepare(const PlanPtr& plan, PipelineState* state) {
         }
       });
       for (const Status& s : batch_status) RETURN_IF_ERROR(s);
+      if (OperatorActuals* actuals = NodeActuals(plan)) {
+        int64_t build_rows = 0;
+        for (const auto& table : artifact.worker_tables) {
+          build_rows += static_cast<int64_t>(table->rows().size());
+        }
+        actuals->AddBuildRows(build_rows);
+        actuals->MaxPeakBytes(ApproxRowsBytes(build_schema, build_rows));
+      }
       state->joins.emplace(plan.get(), std::move(artifact));
       return Status::OK();
     }
@@ -671,6 +793,19 @@ Status Executor::Prepare(const PlanPtr& plan, PipelineState* state) {
 
 Result<RowIteratorPtr> Executor::BuildPipeline(const PlanPtr& plan, int worker,
                                                PipelineState* state) {
+  ASSIGN_OR_RETURN(RowIteratorPtr it, BuildPipelineNode(plan, worker, state));
+  OperatorActuals* actuals = NodeActuals(plan);
+  // Materialized nodes recorded their actuals on the blocking Execute path;
+  // wrapping the replay iterator would double-count them.
+  if (actuals == nullptr || state->materialized.count(plan.get()) > 0) {
+    return it;
+  }
+  return RowIteratorPtr(new StatsRowIterator(std::move(it), actuals));
+}
+
+Result<RowIteratorPtr> Executor::BuildPipelineNode(const PlanPtr& plan,
+                                                   int worker,
+                                                   PipelineState* state) {
   // A node pre-materialized by Prepare (blocking op inside the pipeline).
   auto materialized = state->materialized.find(plan.get());
   if (materialized != state->materialized.end()) {
@@ -728,6 +863,7 @@ Result<RowIteratorPtr> Executor::BuildPipeline(const PlanPtr& plan, int worker,
       context.num_workers = num_workers_;
       context.cluster = cluster_;
       context.metrics = metrics_;
+      context.query_id = query_id_;
       return RowIteratorPtr(
           new UdfPartitionIterator(plan->udf, context, std::move(input)));
     }
@@ -740,6 +876,17 @@ Result<RowIteratorPtr> Executor::BuildPipeline(const PlanPtr& plan, int worker,
 Result<BatchIteratorPtr> Executor::BuildBatchPipeline(const PlanPtr& plan,
                                                       int worker,
                                                       PipelineState* state) {
+  ASSIGN_OR_RETURN(BatchIteratorPtr it,
+                   BuildBatchPipelineNode(plan, worker, state));
+  OperatorActuals* actuals = NodeActuals(plan);
+  if (actuals == nullptr || state->materialized.count(plan.get()) > 0) {
+    return it;
+  }
+  return BatchIteratorPtr(new StatsBatchIterator(std::move(it), actuals));
+}
+
+Result<BatchIteratorPtr> Executor::BuildBatchPipelineNode(
+    const PlanPtr& plan, int worker, PipelineState* state) {
   auto materialized = state->materialized.find(plan.get());
   if (materialized != state->materialized.end()) {
     return BatchIteratorPtr(new RowVectorBatchIterator(
@@ -801,6 +948,7 @@ Result<BatchIteratorPtr> Executor::BuildBatchPipeline(const PlanPtr& plan,
       context.num_workers = num_workers_;
       context.cluster = cluster_;
       context.metrics = metrics_;
+      context.query_id = query_id_;
       return BatchIteratorPtr(new UdfBatchPartitionIterator(
           plan->udf, context, std::move(input), plan->output_schema));
     }

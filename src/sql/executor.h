@@ -9,6 +9,7 @@
 #include "common/result.h"
 #include "sql/batch_iterator.h"
 #include "sql/plan.h"
+#include "sql/query_stats.h"
 #include "table/schema.h"
 #include "table/value.h"
 
@@ -61,12 +62,26 @@ class Executor {
   /// Runs the plan and returns its materialized, partitioned result.
   Result<PartitionedRows> Execute(const PlanPtr& plan);
 
+  /// Per-operator stats collection target. When set (and the plan carries
+  /// node ids), every operator accumulates rows/batches/time/peak memory
+  /// into the matching slot. Not owned; must outlive Execute().
+  void set_query_stats(QueryStats* stats) { stats_ = stats; }
+  /// Id of the tracked query (flows to table UDFs via TableUdfContext).
+  void set_query_id(uint64_t query_id) { query_id_ = query_id; }
+
   int num_workers() const { return num_workers_; }
   bool vectorized() const { return vectorized_; }
 
  private:
   struct PipelineState;
 
+  /// The stats slot for `plan`, or nullptr when collection is off or the
+  /// plan was never numbered.
+  OperatorActuals* NodeActuals(const PlanPtr& plan) const {
+    return stats_ == nullptr ? nullptr : stats_->actuals(plan->node_id);
+  }
+
+  Result<PartitionedRows> ExecuteNode(const PlanPtr& plan);
   Result<PartitionedRows> ExecutePipeline(const PlanPtr& plan);
   Result<PartitionedRows> ExecuteDistinct(const PlanPtr& plan);
   Result<PartitionedRows> ExecuteDistinctVectorized(const PlanPtr& plan);
@@ -84,6 +99,12 @@ class Executor {
                                        PipelineState* state);
   Result<BatchIteratorPtr> BuildBatchPipeline(const PlanPtr& plan, int worker,
                                               PipelineState* state);
+  /// Operator construction for one node, without the stats wrapper.
+  Result<RowIteratorPtr> BuildPipelineNode(const PlanPtr& plan, int worker,
+                                           PipelineState* state);
+  Result<BatchIteratorPtr> BuildBatchPipelineNode(const PlanPtr& plan,
+                                                  int worker,
+                                                  PipelineState* state);
 
   /// Hash-partitions rows by key columns into `num_workers_` slices.
   std::vector<std::vector<Row>> Repartition(std::vector<std::vector<Row>> input,
@@ -93,6 +114,8 @@ class Executor {
   ClusterPtr cluster_;
   MetricsRegistry* metrics_;
   bool vectorized_;
+  QueryStats* stats_ = nullptr;
+  uint64_t query_id_ = 0;
 };
 
 }  // namespace sqlink

@@ -12,7 +12,7 @@ const char* const kKeywords[] = {
     "SELECT", "DISTINCT", "FROM",  "WHERE", "AND",    "OR",    "NOT",
     "AS",     "GROUP",    "BY",    "ORDER", "ASC",    "DESC",  "LIMIT",
     "JOIN",   "INNER",    "ON",    "TABLE", "NULL",   "TRUE",  "FALSE",
-    "IS",     "IN",       "BETWEEN", "HAVING"};
+    "IS",     "IN",       "BETWEEN", "HAVING", "EXPLAIN", "ANALYZE"};
 
 bool IsIdentStart(char c) {
   return std::isalpha(static_cast<unsigned char>(c)) || c == '_';

@@ -16,6 +16,7 @@ class Parser {
   explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
 
   Result<SelectStmt> ParseSelectStmt();
+  Result<SqlStatement> ParseStatement();
   Result<ExprPtr> ParseExpr();
 
   Status ExpectEnd() {
@@ -420,12 +421,30 @@ Result<ExprPtr> Parser::ParsePrimary() {
   return ErrorHere("expected expression");
 }
 
+Result<SqlStatement> Parser::ParseStatement() {
+  SqlStatement stmt;
+  if (MatchKeyword("EXPLAIN")) {
+    stmt.explain =
+        MatchKeyword("ANALYZE") ? ExplainMode::kAnalyze : ExplainMode::kPlan;
+  }
+  ASSIGN_OR_RETURN(stmt.select, ParseSelectStmt());
+  return stmt;
+}
+
 }  // namespace
 
 Result<SelectStmt> ParseSelect(const std::string& sql) {
   ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
   Parser parser(std::move(tokens));
   ASSIGN_OR_RETURN(SelectStmt stmt, parser.ParseSelectStmt());
+  RETURN_IF_ERROR(parser.ExpectEnd());
+  return stmt;
+}
+
+Result<SqlStatement> ParseStatement(const std::string& sql) {
+  ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  ASSIGN_OR_RETURN(SqlStatement stmt, parser.ParseStatement());
   RETURN_IF_ERROR(parser.ExpectEnd());
   return stmt;
 }

@@ -23,6 +23,10 @@ namespace sqlink {
 ///                additive/multiplicative arithmetic and primaries
 Result<SelectStmt> ParseSelect(const std::string& sql);
 
+/// Parses one statement: `[EXPLAIN [ANALYZE]] select`. ExecuteSql goes
+/// through this so EXPLAIN is a first-class statement, not string surgery.
+Result<SqlStatement> ParseStatement(const std::string& sql);
+
 /// Parses a scalar expression on its own (used by tests and the rewriter).
 Result<ExprPtr> ParseExpression(const std::string& text);
 

@@ -1,5 +1,8 @@
 #include "sql/plan.h"
 
+#include <cmath>
+#include <cstdio>
+
 namespace sqlink {
 
 namespace {
@@ -67,6 +70,36 @@ std::string PlanTreeToString(const PlanPtr& plan, int indent) {
   for (const PlanPtr& child : plan->children) {
     out += PlanTreeToString(child, indent + 1);
   }
+  return out;
+}
+
+namespace {
+
+double SubtreeCost(const PlanPtr& plan) {
+  double cost = plan->estimated_rows;
+  for (const PlanPtr& child : plan->children) cost += SubtreeCost(child);
+  return cost;
+}
+
+void AppendExplainLine(const PlanPtr& plan, int indent, std::string* out) {
+  out->append(static_cast<size_t>(indent) * 2, ' ');
+  *out += plan->ToString();
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "  (est=%lld rows, cost=%lld)",
+                static_cast<long long>(std::llround(plan->estimated_rows)),
+                static_cast<long long>(std::llround(SubtreeCost(plan))));
+  *out += buffer;
+  out->push_back('\n');
+  for (const PlanPtr& child : plan->children) {
+    AppendExplainLine(child, indent + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string ExplainPlanText(const PlanPtr& plan) {
+  std::string out;
+  AppendExplainLine(plan, 0, &out);
   return out;
 }
 

@@ -52,6 +52,10 @@ struct PlanNode {
   /// Crude cardinality estimate used to pick the join strategy.
   double estimated_rows = 0;
 
+  /// Pre-order id stamped by AssignPlanNodeIds (sql/query_stats.h); keys
+  /// this node's slot in the per-query stats tree. -1 = not numbered.
+  int node_id = -1;
+
   // kScan / kMaterialized.
   TablePtr table;
 
@@ -90,6 +94,13 @@ struct PlanNode {
 
 /// Pretty-prints a plan tree with indentation.
 std::string PlanTreeToString(const PlanPtr& plan, int indent = 0);
+
+/// EXPLAIN rendering: the plan tree with, per node, the planner's estimated
+/// cardinality and cumulative cost (C_out: the sum of estimated rows over
+/// the node's subtree — the same quantity the join-order and join-strategy
+/// decisions minimize). Join strategy and broadcast/repartition choice are
+/// part of each node's label.
+std::string ExplainPlanText(const PlanPtr& plan);
 
 }  // namespace sqlink
 

@@ -1,0 +1,207 @@
+#include "sql/query_stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace sqlink {
+
+namespace {
+
+int AssignIds(const PlanPtr& plan, int next) {
+  plan->node_id = next++;
+  for (const PlanPtr& child : plan->children) {
+    next = AssignIds(child, next);
+  }
+  return next;
+}
+
+void AppendJsonEscaped(const std::string& text, std::string* out) {
+  out->push_back('"');
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out->append(buffer);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+double QError(double estimated_rows, double actual_rows) {
+  const double est = estimated_rows < 1.0 ? 1.0 : estimated_rows;
+  const double act = actual_rows < 1.0 ? 1.0 : actual_rows;
+  return est > act ? est / act : act / est;
+}
+
+int AssignPlanNodeIds(const PlanPtr& plan) { return AssignIds(plan, 0); }
+
+QueryStats::QueryStats(const PlanPtr& plan) {
+  Walk(*plan, /*parent=*/-1, /*depth=*/0);
+  actuals_ = std::vector<OperatorActuals>(nodes_.size());
+}
+
+void QueryStats::Walk(const PlanNode& node, int parent, int depth) {
+  NodeInfo info;
+  info.id = node.node_id >= 0 ? node.node_id : static_cast<int>(nodes_.size());
+  info.parent = parent;
+  info.depth = depth;
+  info.label = node.ToString();
+  info.estimated_rows = node.estimated_rows;
+  const int my_id = info.id;
+  nodes_.push_back(std::move(info));
+  for (const PlanPtr& child : node.children) {
+    Walk(*child, my_id, depth + 1);
+  }
+}
+
+OperatorActuals* QueryStats::actuals(int node_id) {
+  if (node_id < 0 || static_cast<size_t>(node_id) >= actuals_.size()) {
+    return nullptr;
+  }
+  return &actuals_[static_cast<size_t>(node_id)];
+}
+
+const OperatorActuals* QueryStats::actuals(int node_id) const {
+  if (node_id < 0 || static_cast<size_t>(node_id) >= actuals_.size()) {
+    return nullptr;
+  }
+  return &actuals_[static_cast<size_t>(node_id)];
+}
+
+int64_t QueryStats::RootActualRows() const {
+  return actuals_.empty()
+             ? 0
+             : actuals_[0].rows.load(std::memory_order_relaxed);
+}
+
+double QueryStats::WorstQError(int* worst_node) const {
+  double worst = 1.0;
+  int worst_id = -1;
+  for (const NodeInfo& node : nodes_) {
+    const OperatorActuals* a = actuals(node.id);
+    if (a == nullptr) continue;
+    const double q =
+        QError(node.estimated_rows,
+               static_cast<double>(a->rows.load(std::memory_order_relaxed)));
+    if (q > worst) {
+      worst = q;
+      worst_id = node.id;
+    }
+  }
+  if (worst_node != nullptr) *worst_node = worst_id;
+  return worst;
+}
+
+std::vector<std::pair<std::string, int64_t>> QueryStats::TopByTime(
+    size_t n) const {
+  std::vector<std::pair<std::string, int64_t>> ranked;
+  ranked.reserve(nodes_.size());
+  for (const NodeInfo& node : nodes_) {
+    const OperatorActuals* a = actuals(node.id);
+    if (a == nullptr) continue;
+    ranked.emplace_back(node.label,
+                        a->wall_micros.load(std::memory_order_relaxed));
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& x, const auto& y) { return x.second > y.second; });
+  if (ranked.size() > n) ranked.resize(n);
+  return ranked;
+}
+
+std::string QueryStats::ToText() const {
+  std::string out;
+  char buffer[160];
+  for (const NodeInfo& node : nodes_) {
+    const OperatorActuals* a = actuals(node.id);
+    out.append(static_cast<size_t>(node.depth) * 2, ' ');
+    out += node.label;
+    if (a == nullptr) {
+      out.push_back('\n');
+      continue;
+    }
+    const int64_t rows = a->rows.load(std::memory_order_relaxed);
+    const double q = QError(node.estimated_rows, static_cast<double>(rows));
+    std::snprintf(buffer, sizeof(buffer),
+                  "  (est=%lld rows, actual=%lld rows, q=%.2f, time=%.2f ms",
+                  static_cast<long long>(std::llround(node.estimated_rows)),
+                  static_cast<long long>(rows), q,
+                  static_cast<double>(
+                      a->wall_micros.load(std::memory_order_relaxed)) /
+                      1000.0);
+    out += buffer;
+    const int64_t batches = a->batches.load(std::memory_order_relaxed);
+    if (batches > 0) {
+      out += ", batches=" + std::to_string(batches);
+    }
+    // Selection-vector selectivity: this node's output over its input (the
+    // child's output), meaningful for filters and joins.
+    if (node.id + 1 < static_cast<int>(nodes_.size()) &&
+        nodes_[static_cast<size_t>(node.id) + 1].parent == node.id) {
+      const OperatorActuals* child = actuals(node.id + 1);
+      const int64_t in =
+          child == nullptr ? 0 : child->rows.load(std::memory_order_relaxed);
+      if (in > 0 && rows <= in) {
+        std::snprintf(buffer, sizeof(buffer), ", sel=%.1f%%",
+                      100.0 * static_cast<double>(rows) /
+                          static_cast<double>(in));
+        out += buffer;
+      }
+    }
+    const int64_t build = a->build_rows.load(std::memory_order_relaxed);
+    if (build > 0) out += ", build=" + std::to_string(build) + " rows";
+    const int64_t peak = a->peak_bytes.load(std::memory_order_relaxed);
+    if (peak > 0) out += ", peak=" + std::to_string(peak) + " B";
+    out += ")\n";
+  }
+  return out;
+}
+
+void QueryStats::AppendJson(std::string* out) const {
+  out->push_back('[');
+  bool first = true;
+  char buffer[32];
+  for (const NodeInfo& node : nodes_) {
+    const OperatorActuals* a = actuals(node.id);
+    if (!first) out->push_back(',');
+    first = false;
+    *out += "{\"id\":" + std::to_string(node.id) +
+            ",\"parent\":" + std::to_string(node.parent) + ",\"label\":";
+    AppendJsonEscaped(node.label, out);
+    *out += ",\"estimated_rows\":" +
+            std::to_string(static_cast<long long>(
+                std::llround(node.estimated_rows)));
+    if (a != nullptr) {
+      const int64_t rows = a->rows.load(std::memory_order_relaxed);
+      std::snprintf(buffer, sizeof(buffer), "%.2f",
+                    QError(node.estimated_rows, static_cast<double>(rows)));
+      *out += ",\"rows\":" + std::to_string(rows) + ",\"batches\":" +
+              std::to_string(a->batches.load(std::memory_order_relaxed)) +
+              ",\"wall_micros\":" +
+              std::to_string(a->wall_micros.load(std::memory_order_relaxed)) +
+              ",\"peak_bytes\":" +
+              std::to_string(a->peak_bytes.load(std::memory_order_relaxed)) +
+              ",\"build_rows\":" +
+              std::to_string(a->build_rows.load(std::memory_order_relaxed)) +
+              ",\"qerror\":";
+      *out += buffer;
+    }
+    out->push_back('}');
+  }
+  out->push_back(']');
+}
+
+}  // namespace sqlink

@@ -1,0 +1,105 @@
+#ifndef SQLINK_SQL_QUERY_STATS_H_
+#define SQLINK_SQL_QUERY_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sql/plan.h"
+
+namespace sqlink {
+
+/// Runtime actuals of one plan node, accumulated across the worker threads
+/// that execute it. All fields are atomics: pipeline iterators on different
+/// workers flush into the same slot, and the ops endpoint reads them while
+/// the query is still running.
+struct OperatorActuals {
+  std::atomic<int64_t> rows{0};          ///< Rows produced (all workers).
+  std::atomic<int64_t> batches{0};       ///< ColumnBatches produced.
+  std::atomic<int64_t> wall_micros{0};   ///< Inclusive time, summed over workers.
+  std::atomic<int64_t> peak_bytes{0};    ///< Max observed state size (build/dedup).
+  std::atomic<int64_t> build_rows{0};    ///< Join build rows / DISTINCT set size.
+  std::atomic<int64_t> invocations{0};   ///< Worker pipelines that ran the node.
+
+  void AddRows(int64_t n) { rows.fetch_add(n, std::memory_order_relaxed); }
+  void AddBatches(int64_t n) { batches.fetch_add(n, std::memory_order_relaxed); }
+  void AddMicros(int64_t n) {
+    wall_micros.fetch_add(n, std::memory_order_relaxed);
+  }
+  void AddBuildRows(int64_t n) {
+    build_rows.fetch_add(n, std::memory_order_relaxed);
+  }
+  void AddInvocation() { invocations.fetch_add(1, std::memory_order_relaxed); }
+  void MaxPeakBytes(int64_t candidate) {
+    int64_t seen = peak_bytes.load(std::memory_order_relaxed);
+    while (candidate > seen &&
+           !peak_bytes.compare_exchange_weak(seen, candidate,
+                                             std::memory_order_relaxed)) {
+    }
+  }
+};
+
+/// Planner-estimate vs runtime-actual cardinality error for one node:
+/// max(est/actual, actual/est), both clamped to >= 1 row so empty results
+/// stay finite. 1.0 is a perfect estimate.
+double QError(double estimated_rows, double actual_rows);
+
+/// Assigns pre-order node ids (root = 0) to every node of a plan tree and
+/// returns the node count. Safe to call repeatedly on the same tree.
+int AssignPlanNodeIds(const PlanPtr& plan);
+
+/// Per-query stats tree: one OperatorActuals per plan node, keyed by the
+/// pre-order node id AssignPlanNodeIds stamped into the plan. Constructed
+/// before execution (snapshotting labels and estimates), filled in by the
+/// executor, rendered by EXPLAIN ANALYZE and the /queries endpoint.
+class QueryStats {
+ public:
+  struct NodeInfo {
+    int id = 0;
+    int parent = -1;  ///< Pre-order id of the parent; -1 for the root.
+    int depth = 0;
+    std::string label;  ///< PlanNode::ToString() at plan time.
+    double estimated_rows = 0;
+  };
+
+  /// Walks the plan (which must already carry node ids) and sizes the tree.
+  explicit QueryStats(const PlanPtr& plan);
+
+  /// The actuals slot for `node_id`; nullptr when out of range (a plan that
+  /// was never numbered reports node_id -1 everywhere).
+  OperatorActuals* actuals(int node_id);
+  const OperatorActuals* actuals(int node_id) const;
+
+  const std::vector<NodeInfo>& nodes() const { return nodes_; }
+  size_t num_nodes() const { return nodes_.size(); }
+
+  /// Total rows the root operator produced (== result cardinality).
+  int64_t RootActualRows() const;
+
+  /// Worst per-node q-error over the tree; `worst_node` (optional) receives
+  /// the offending node id.
+  double WorstQError(int* worst_node = nullptr) const;
+
+  /// The `n` slowest operators by recorded wall time (inclusive), as
+  /// (label, micros) pairs, slowest first. Slow-query log material.
+  std::vector<std::pair<std::string, int64_t>> TopByTime(size_t n) const;
+
+  /// EXPLAIN ANALYZE rendering: the plan tree with estimates and actuals
+  /// side by side, one node per line, indented two spaces per level.
+  std::string ToText() const;
+
+  /// The stats tree as a JSON array of node objects (/queries endpoint).
+  void AppendJson(std::string* out) const;
+
+ private:
+  void Walk(const PlanNode& node, int parent, int depth);
+
+  std::vector<NodeInfo> nodes_;      // Indexed by node id (pre-order).
+  std::vector<OperatorActuals> actuals_;
+};
+
+}  // namespace sqlink
+
+#endif  // SQLINK_SQL_QUERY_STATS_H_

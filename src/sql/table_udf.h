@@ -23,6 +23,10 @@ struct TableUdfContext {
   int num_workers = 1;  ///< Total parallel SQL workers executing the UDF.
   ClusterPtr cluster;   ///< May be null outside a simulated cluster.
   MetricsRegistry* metrics = nullptr;  ///< Never null during execution.
+  /// Id of the tracked query this UDF runs inside (0 = untracked). The
+  /// streaming sink uses it to attach its transfer counters to the query's
+  /// record in the QueryRegistry.
+  uint64_t query_id = 0;
 };
 
 /// A parallel table UDF — the paper's extensibility mechanism (§2, §3).

@@ -17,6 +17,7 @@
 #include "common/runtime_flags.h"
 #include "common/status_macros.h"
 #include "common/trace.h"
+#include "sql/query_registry.h"
 #include "stream/heartbeat.h"
 #include "stream/replay_window.h"
 #include "stream/spill_queue.h"
@@ -755,6 +756,19 @@ Status SqlStreamSinkUdf::RunTransfer(const TableUdfContext& context,
   partition_span.AddAttribute("rows_sent", rows_sent);
   partition_span.AddAttribute("bytes_sent", bytes_sent);
   partition_span.AddAttribute("spilled_frames", spilled_frames);
+  // Attribute the transfer to its owning query so the /queries ops endpoint
+  // shows live transfer progress next to the query's operator stats.
+  if (context.query_id != 0) {
+    partition_span.AddAttribute("query_id",
+                                static_cast<int64_t>(context.query_id));
+    if (QueryRecordPtr record =
+            QueryRegistry::Global().Find(context.query_id)) {
+      record->transfer_rows.fetch_add(rows_sent, std::memory_order_relaxed);
+      record->transfer_bytes.fetch_add(bytes_sent, std::memory_order_relaxed);
+      record->transfer_spilled_frames.fetch_add(spilled_frames,
+                                                std::memory_order_relaxed);
+    }
+  }
   return output->Push(Row{Value::Int64(context.worker_id),
                           Value::Int64(rows_sent), Value::Int64(bytes_sent),
                           Value::Int64(spilled_frames)});

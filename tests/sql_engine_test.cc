@@ -6,7 +6,9 @@
 
 #include "cluster/cluster.h"
 #include "common/fs_util.h"
+#include "common/runtime_flags.h"
 #include "common/status_macros.h"
+#include "common/string_util.h"
 #include "sql/engine.h"
 #include "sql_corpus.h"
 
@@ -515,6 +517,83 @@ TEST_F(SqlEngineTest, ExplainRendersPlanTree) {
   EXPECT_NE(explain->find("HashJoin[broadcast]"), std::string::npos);
 }
 
+/// EXPLAIN as a first-class statement: a one-column plan table with
+/// per-node estimates and cumulative cost, no execution.
+TEST_F(SqlEngineTest, ExplainStatementReturnsPlanRows) {
+  auto result = engine_->ExecuteSql(
+      "EXPLAIN SELECT U.age FROM carts C, users U WHERE C.userid = U.userid "
+      "ORDER BY age LIMIT 3");
+  ASSERT_TRUE(result.ok()) << result.status();
+  const SchemaPtr& schema = (*result)->schema();
+  ASSERT_EQ(schema->num_fields(), 1);
+  EXPECT_EQ(schema->field(0).name, "plan");
+  EXPECT_EQ(schema->field(0).type, DataType::kString);
+  std::string text;
+  for (const Row& row : (*result)->GatherRows()) {
+    text += row[0].string_value();
+    text += "\n";
+  }
+  EXPECT_NE(text.find("Limit(3)"), std::string::npos) << text;
+  EXPECT_NE(text.find("HashJoin[broadcast]"), std::string::npos) << text;
+  EXPECT_NE(text.find("est="), std::string::npos) << text;
+  EXPECT_NE(text.find("cost="), std::string::npos) << text;
+}
+
+TEST_F(SqlEngineTest, ExplainAnalyzeReportsEstimatedVsActualRows) {
+  // Join + filter + DISTINCT, the acceptance query shape, in both engine
+  // modes: the analyzed root's actual row count must equal the executed
+  // result's cardinality.
+  const std::string query =
+      "SELECT DISTINCT U.age, U.gender FROM carts C, users U "
+      "WHERE C.userid = U.userid AND C.amount > 50";
+  for (int vectorized : {0, 1}) {
+    SCOPED_TRACE(vectorized ? "vectorized" : "row");
+    SetVectorizedSqlEnabledForTest(vectorized);
+    auto executed = engine_->ExecuteSql(query);
+    ASSERT_TRUE(executed.ok()) << executed.status();
+    const size_t expected_rows = (*executed)->TotalRows();
+    ASSERT_GT(expected_rows, 0u);
+
+    auto analyzed = engine_->ExecuteSql("EXPLAIN ANALYZE " + query);
+    ASSERT_TRUE(analyzed.ok()) << analyzed.status();
+    std::vector<Row> lines = (*analyzed)->GatherRows();
+    ASSERT_FALSE(lines.empty());
+    // Partition 0 holds the whole rendering in order; the first line is the
+    // root (DISTINCT) node.
+    const std::string& root = (*analyzed)->partition(0)[0][0].string_value();
+    EXPECT_NE(root.find("Distinct"), std::string::npos) << root;
+    EXPECT_NE(root.find("est="), std::string::npos) << root;
+    EXPECT_NE(root.find("actual=" + std::to_string(expected_rows) + " rows"),
+              std::string::npos)
+        << root;
+    // Every node line carries a q-error.
+    for (const Row& row : lines) {
+      EXPECT_NE(row[0].string_value().find("q="), std::string::npos)
+          << row[0].string_value();
+    }
+  }
+  SetVectorizedSqlEnabledForTest(-1);
+}
+
+TEST_F(SqlEngineTest, ExplainAnalyzeTracksQueryInRegistry) {
+  QueryRegistry::Global().Reset();
+  auto analyzed = engine_->ExecuteSql(
+      "EXPLAIN ANALYZE SELECT U.age FROM carts C, users U "
+      "WHERE C.userid = U.userid");
+  ASSERT_TRUE(analyzed.ok()) << analyzed.status();
+  ASSERT_EQ(QueryRegistry::Global().finished_count(), 1u);
+  QueryRecordPtr record = QueryRegistry::Global().Finished()[0];
+  EXPECT_TRUE(record->finished);
+  EXPECT_TRUE(record->ok);
+  EXPECT_GE(record->worst_qerror, 1.0);
+  ASSERT_NE(record->stats, nullptr);
+  EXPECT_EQ(record->stats->RootActualRows(), 5);
+  const std::string json = QueryRegistry::Global().ToJson();
+  EXPECT_NE(json.find("\"finished\""), std::string::npos);
+  EXPECT_NE(json.find("\"operators\""), std::string::npos);
+  QueryRegistry::Global().Reset();
+}
+
 TEST_F(SqlEngineTest, LimitWithoutSortTerminatesEarly) {
   // Early termination: LIMIT over a pipelined scan must not depend on
   // total table size for correctness, and output respects the limit.
@@ -568,6 +647,40 @@ TEST_F(CorpusGoldenTest, QueriesMatchCommittedGoldens) {
         << " missing; regenerate via sql_differential_test with "
            "SQLINK_UPDATE_GOLDENS=1";
     EXPECT_EQ(CanonicalResult((*result)->GatherRows()), *golden) << query.sql;
+  }
+}
+
+/// EXPLAIN goldens: the rendered plan (shape, join strategy, estimates,
+/// costs) for every corpus query is pinned in <name>.explain.expected and
+/// must be byte-identical under both engine modes — the planner is shared,
+/// so a plan that diverges by engine mode is a bug. Regenerate with
+/// SQLINK_UPDATE_GOLDENS=1.
+TEST_F(CorpusGoldenTest, ExplainPlansMatchCommittedGoldens) {
+  auto corpus = LoadQueryCorpus();
+  ASSERT_GE(corpus.size(), 14u);
+  const bool update = EnvInt64("SQLINK_UPDATE_GOLDENS", 0) != 0;
+  for (const CorpusQuery& query : corpus) {
+    SCOPED_TRACE(query.name);
+    SetVectorizedSqlEnabledForTest(0);
+    auto row_plan = engine_->ExplainSql(query.sql);
+    SetVectorizedSqlEnabledForTest(1);
+    auto vec_plan = engine_->ExplainSql(query.sql);
+    SetVectorizedSqlEnabledForTest(-1);
+    ASSERT_TRUE(row_plan.ok()) << query.sql << " -> " << row_plan.status();
+    ASSERT_TRUE(vec_plan.ok()) << query.sql << " -> " << vec_plan.status();
+    EXPECT_EQ(*row_plan, *vec_plan)
+        << query.sql << " plans differ by engine mode";
+
+    const std::string golden_path =
+        std::string(SQLINK_QUERY_DIR) + "/" + query.name + ".explain.expected";
+    if (update) {
+      ASSERT_TRUE(WriteFileAtomic(golden_path, *row_plan).ok());
+      continue;
+    }
+    auto golden = ReadFileToString(golden_path);
+    ASSERT_TRUE(golden.ok())
+        << golden_path << " missing; regenerate with SQLINK_UPDATE_GOLDENS=1";
+    EXPECT_EQ(*row_plan, *golden) << query.sql;
   }
 }
 
