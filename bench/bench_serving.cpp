@@ -1,0 +1,168 @@
+// Serving benchmark (ISSUE 8): throughput and tail latency of the
+// admission-gated query server at 1/4/16/64 concurrent clients, all
+// hammering one shared engine through the wire protocol (one query per
+// connection, exactly what `sql_shell --connect` does).
+//
+// The interesting property is graceful concurrency: with admission control
+// holding max_concurrent at the engine's parallelism, stacking more clients
+// queues them fairly instead of thrashing the engine — aggregate goodput
+// must hold (not collapse) as concurrency climbs past the admitted window.
+//
+// `bench_serving [rows]` prints the table; with SQLINK_BENCH_JSON set, one
+// JSON line per concurrency level is emitted. `--smoke` shrinks the
+// workload for CI; `--check` exits non-zero when goodput at 16 concurrent
+// clients drops below 90% of the single-client baseline or any query fails.
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "serving/admission.h"
+#include "serving/query_server.h"
+
+using namespace sqlink;
+using sqlink::bench::BenchEnv;
+
+namespace {
+
+struct LoadResult {
+  double wall_s = 0;
+  std::vector<double> latencies_ms;
+  int failures = 0;
+
+  double qps() const {
+    return wall_s > 0 ? static_cast<double>(latencies_ms.size()) / wall_s : 0;
+  }
+  double Percentile(double p) const {
+    if (latencies_ms.empty()) return 0;
+    std::vector<double> sorted = latencies_ms;
+    std::sort(sorted.begin(), sorted.end());
+    const size_t index = std::min(
+        sorted.size() - 1,
+        static_cast<size_t>(p * static_cast<double>(sorted.size())));
+    return sorted[index];
+  }
+};
+
+/// `concurrency` client threads drain a shared counter of `total_queries`
+/// one-shot connections against the server.
+LoadResult RunLoad(int port, int concurrency, int total_queries,
+                   const std::string& sql) {
+  LoadResult result;
+  std::mutex mu;
+  std::atomic<int> next{0};
+  std::atomic<int> failures{0};
+  Stopwatch wall;
+  std::vector<std::thread> clients;
+  for (int c = 0; c < concurrency; ++c) {
+    clients.emplace_back([&] {
+      std::vector<double> local;
+      while (next.fetch_add(1) < total_queries) {
+        Stopwatch latency;
+        auto client = QueryClient::Connect("127.0.0.1", port);
+        if (!client.ok()) {
+          ++failures;
+          continue;
+        }
+        auto response = client->Execute(sql, /*tenant=*/"bench");
+        if (!response.ok()) {
+          ++failures;
+          continue;
+        }
+        local.push_back(latency.ElapsedMicros() / 1000.0);
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      result.latencies_ms.insert(result.latencies_ms.end(), local.begin(),
+                                 local.end());
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  result.wall_s = wall.ElapsedSeconds();
+  result.failures = failures.load();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  bool check = false;
+  int64_t rows = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--check") == 0) {
+      check = true;
+    } else {
+      rows = std::atoll(argv[i]);
+    }
+  }
+  if (rows == 0) rows = smoke ? 20000 : 200000;
+
+  auto env = BenchEnv::Make(rows);
+  QueryServer::Options server_options;
+  server_options.port = 0;
+  server_options.admission.max_concurrent = 16;
+  server_options.admission.queue_capacity = 128;
+  server_options.admission.queue_timeout_ms = 120000;
+  auto server = QueryServer::Start(env->engine.get(), server_options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "server: %s\n", server.status().ToString().c_str());
+    return 1;
+  }
+  const int port = (*server)->port();
+  const std::string sql =
+      "SELECT year, COUNT(*), SUM(amount) FROM carts GROUP BY year";
+  const int total_queries = smoke ? 64 : 256;
+
+  std::printf("=== serving: concurrent clients vs goodput ===\n");
+  std::printf("rows: %lld, queries per level: %d, max_concurrent: %d\n\n",
+              static_cast<long long>(rows), total_queries,
+              server_options.admission.max_concurrent);
+  std::printf("%12s %10s %10s %10s %10s %9s\n", "concurrency", "qps",
+              "p50(ms)", "p99(ms)", "wall(s)", "failures");
+
+  double qps_at_1 = 0;
+  double qps_at_16 = 0;
+  for (int concurrency : {1, 4, 16, 64}) {
+    MetricsRegistry::Global().Reset();
+    LoadResult load = RunLoad(port, concurrency, total_queries, sql);
+    if (concurrency == 1) qps_at_1 = load.qps();
+    if (concurrency == 16) qps_at_16 = load.qps();
+    std::printf("%12d %10.1f %10.2f %10.2f %10.3f %9d\n", concurrency,
+                load.qps(), load.Percentile(0.50), load.Percentile(0.99),
+                load.wall_s, load.failures);
+    sqlink::bench::BenchJsonLine("serving")
+        .Param("rows", rows)
+        .Param("concurrency", static_cast<int64_t>(concurrency))
+        .Param("queries", static_cast<int64_t>(total_queries))
+        .Param("qps", load.qps())
+        .Param("p50_ms", load.Percentile(0.50))
+        .Param("p99_ms", load.Percentile(0.99))
+        .Param("failures", static_cast<int64_t>(load.failures))
+        .Param("smoke", smoke)
+        .Emit(load.wall_s * 1000.0);
+    if (check && load.failures > 0) {
+      std::fprintf(stderr, "--check: %d failed queries at concurrency %d\n",
+                   load.failures, concurrency);
+      return 1;
+    }
+  }
+  (*server)->Stop();
+
+  const double goodput_ratio = qps_at_1 > 0 ? qps_at_16 / qps_at_1 : 0;
+  std::printf("\ngoodput at 16 vs 1: %.2fx\n", goodput_ratio);
+  if (check && goodput_ratio < 0.9) {
+    std::fprintf(stderr,
+                 "--check: goodput at 16 concurrent is %.2fx of the "
+                 "single-client baseline (< 0.90x)\n",
+                 goodput_ratio);
+    return 1;
+  }
+  return 0;
+}

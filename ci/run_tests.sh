@@ -68,6 +68,16 @@ SQL_BENCH_JSON="$(pwd)/BENCH_pr6.json"
 rm -f "${SQL_BENCH_JSON}"
 SQLINK_BENCH_JSON="${SQL_BENCH_JSON}" "${BUILD_DIR}/bench/bench_sql" --smoke 300000 --check
 
+# Serving smoke: the admission-gated query server must hold goodput as
+# client concurrency climbs past the admitted window — --check fails if
+# qps at 16 clients drops below 90% of the single-client baseline or any
+# query fails. Series lands in BENCH_pr8.json.
+echo "==> [${BUILD_DIR}] bench smoke (concurrent serving goodput)"
+cmake --build "${BUILD_DIR}" -j "${JOBS}" --target bench_serving
+SERVING_BENCH_JSON="$(pwd)/BENCH_pr8.json"
+rm -f "${SERVING_BENCH_JSON}"
+SQLINK_BENCH_JSON="${SERVING_BENCH_JSON}" "${BUILD_DIR}/bench/bench_serving" --smoke --check
+
 # Ops-endpoint smoke: start a workload under SQLINK_OPS_PORT, then curl the
 # live endpoints — /metrics must be Prometheus text carrying the planner
 # q-error feedback, /queries and /tracez must be valid JSON — while
@@ -108,6 +118,63 @@ wait "${OPS_PID}"
 grep -q '^DONE transfers=' "${OPS_LOG}"
 rm -f "${OPS_LOG}" /tmp/ops_metrics.txt
 echo "    ops endpoint smoke passed (port ${OPS_PORT})"
+
+# Serving concurrency smoke: one long-lived `sql_shell --serve` process,
+# eight parallel `sql_shell --connect` clients each running a real query
+# over the wire. Every client must print the exact COUNT(*), in both
+# engine modes (vectorized and row-at-a-time), proving the server stays
+# correct under concurrent admission. The server stops cleanly on "quit".
+serving_smoke() {
+  local mode_env="$1" mode_name="$2"
+  echo "==> [${BUILD_DIR}] serving concurrency smoke (${mode_name})"
+  local serve_log fifo port
+  serve_log="$(mktemp)"
+  fifo="$(mktemp -u)"
+  mkfifo "${fifo}"
+  env ${mode_env} SQLINK_MAX_CONCURRENT_QUERIES=4 \
+    "${BUILD_DIR}/examples/sql_shell" --serve 0 2000 \
+    < "${fifo}" > "${serve_log}" 2>&1 &
+  local serve_pid=$!
+  exec 9> "${fifo}"  # hold the fifo open so the server's stdin stays live
+  port=""
+  for _ in $(seq 1 200); do
+    port="$(sed -n 's/^SERVE_PORT=//p' "${serve_log}" | head -n1)"
+    [[ -n "${port}" ]] && break
+    sleep 0.1
+  done
+  if [[ -z "${port}" ]]; then
+    echo "sql_shell --serve never reported its port:"; cat "${serve_log}"
+    exec 9>&-; kill "${serve_pid}" 2>/dev/null || true; exit 1
+  fi
+  local client_pids=() client_logs=() i
+  for i in $(seq 1 8); do
+    local log; log="$(mktemp)"
+    "${BUILD_DIR}/examples/sql_shell" --connect "127.0.0.1:${port}" \
+      -e "SELECT COUNT(*) FROM carts" --tenant "t$((i % 2))" \
+      > "${log}" 2>/dev/null &
+    client_pids+=($!)
+    client_logs+=("${log}")
+  done
+  local failed=0
+  for i in $(seq 0 7); do
+    wait "${client_pids[$i]}" || failed=1
+    if [[ "$(cat "${client_logs[$i]}")" != "2000" ]]; then
+      echo "client $i got wrong answer: $(cat "${client_logs[$i]}")"
+      failed=1
+    fi
+    rm -f "${client_logs[$i]}"
+  done
+  echo quit >&9
+  exec 9>&-
+  wait "${serve_pid}" || failed=1
+  rm -f "${serve_log}" "${fifo}"
+  if [[ "${failed}" -ne 0 ]]; then
+    echo "serving concurrency smoke (${mode_name}) FAILED"; exit 1
+  fi
+  echo "    serving concurrency smoke passed (${mode_name}, port ${port})"
+}
+serving_smoke "" "vectorized engine"
+serving_smoke "SQLINK_VECTORIZED_SQL=off" "row engine"
 
 if [[ "${SQLINK_SANITIZE}" != "none" ]]; then
   SAN_DIR="${BUILD_DIR}-${SQLINK_SANITIZE}"

@@ -1,18 +1,28 @@
 // Interactive SQL shell over the engine — handy for exploring the carts
 // warehouse and trying the In-SQL transformation UDFs by hand.
 //
-//   ./sql_shell [num_carts]
+//   ./sql_shell [num_carts]                       interactive local shell
+//   ./sql_shell -e "SELECT ...;" [num_carts]      one-shot local statement
+//   ./sql_shell --serve <port> [num_carts]        long-lived query server
+//   ./sql_shell --connect host:port -e "SELECT ...;" [--tenant t]
+//                                                 remote client (one query)
 //
 //   sqlink> SELECT gender, COUNT(*) FROM users GROUP BY gender;
 //   sqlink> EXPLAIN SELECT U.age FROM carts C JOIN users U ON C.userid = U.userid;
 //   sqlink> SELECT * FROM TABLE(recode_local_distinct((SELECT * FROM carts),
 //           'abandoned')) LIMIT 5;
 //   sqlink> \tables      \schema carts      \quit
+//
+// Server mode gates queries through the AdmissionController (see
+// SQLINK_MAX_CONCURRENT_QUERIES, SQLINK_ADMISSION_MEM_BYTES,
+// SQLINK_TENANT_QUOTA) and, with SQLINK_OPS_PORT set, reports admission
+// saturation through /healthz (503 + JSON reason when the queue is full).
 
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "cluster/cluster.h"
 #include "common/fs_util.h"
@@ -21,6 +31,7 @@
 #include "common/string_util.h"
 #include "obs/ops_server.h"
 #include "pipeline/datagen.h"
+#include "serving/query_server.h"
 #include "sql/engine.h"
 #include "table/pretty_print.h"
 #include "transform/udfs.h"
@@ -73,11 +84,87 @@ void RunStatement(SqlEngine* engine, const std::string& sql) {
   std::printf("%.3fs\n", watch.ElapsedSeconds());
 }
 
+std::string StripTrailingSemicolon(const std::string& sql) {
+  std::string trimmed(TrimWhitespace(sql));
+  if (!trimmed.empty() && trimmed.back() == ';') trimmed.pop_back();
+  return trimmed;
+}
+
+/// Remote client: submit one query over the wire, print rows as TSV.
+/// Typed rejections (kOverloaded) exit with code 2 so scripts can retry.
+int RunClient(const std::string& endpoint, const std::string& sql,
+              const std::string& tenant, int64_t deadline_ms) {
+  const size_t colon = endpoint.rfind(':');
+  if (colon == std::string::npos) {
+    std::fprintf(stderr, "--connect expects host:port, got %s\n",
+                 endpoint.c_str());
+    return 1;
+  }
+  const std::string host = endpoint.substr(0, colon);
+  const int port = std::atoi(endpoint.c_str() + colon + 1);
+  auto client = QueryClient::Connect(host, port);
+  if (!client.ok()) {
+    std::fprintf(stderr, "connect: %s\n", client.status().ToString().c_str());
+    return 1;
+  }
+  auto response =
+      client->Execute(StripTrailingSemicolon(sql), tenant, deadline_ms);
+  if (!response.ok()) {
+    std::fprintf(stderr, "%s\n", response.status().ToString().c_str());
+    return response.status().IsOverloaded() ? 2 : 1;
+  }
+  for (const Row& row : response->rows) {
+    std::string line;
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) line.push_back('\t');
+      line += row[i].ToString();
+    }
+    std::printf("%s\n", line.c_str());
+  }
+  std::fprintf(stderr, "%zu row(s) in %.3fs server-side\n",
+               response->rows.size(), response->elapsed_micros / 1e6);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   SetLogLevel(LogLevel::kWarning);
-  const int64_t num_carts = argc > 1 ? std::atoll(argv[1]) : 20000;
+
+  int serve_port = -1;
+  std::string connect_endpoint;
+  std::string statement;
+  std::string tenant;
+  int64_t deadline_ms = 0;
+  int64_t num_carts = 20000;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--serve" && i + 1 < argc) {
+      serve_port = std::atoi(argv[++i]);
+    } else if (arg == "--connect" && i + 1 < argc) {
+      connect_endpoint = argv[++i];
+    } else if (arg == "-e" && i + 1 < argc) {
+      statement = argv[++i];
+    } else if (arg == "--tenant" && i + 1 < argc) {
+      tenant = argv[++i];
+    } else if (arg == "--deadline-ms" && i + 1 < argc) {
+      deadline_ms = std::atoll(argv[++i]);
+    } else if (!arg.empty() && arg[0] != '-') {
+      num_carts = std::atoll(arg.c_str());
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 1;
+    }
+  }
+
+  // Client mode needs no local engine at all.
+  if (!connect_endpoint.empty()) {
+    if (statement.empty()) {
+      std::fprintf(stderr, "--connect requires -e \"<sql>\"\n");
+      return 1;
+    }
+    return RunClient(connect_endpoint, statement, tenant, deadline_ms);
+  }
 
   ScopedTempDir workspace("sql_shell");
   auto cluster = Cluster::Make(4, workspace.path());
@@ -85,23 +172,84 @@ int main(int argc, char** argv) {
   SqlEnginePtr engine = SqlEngine::Make(*cluster);
   if (!RegisterTransformUdfs(engine.get()).ok()) return 1;
 
+  CartsWorkloadOptions data;
+  data.num_users = num_carts / 10;
+  data.num_carts = num_carts;
+  if (!GenerateCartsWorkload(engine.get(), data).ok()) return 1;
+
+  // Server mode: admission-gated concurrent serving; /healthz flips to 503
+  // when the admission queue saturates.
+  std::unique_ptr<QueryServer> query_server;
+  if (serve_port >= 0) {
+    QueryServer::Options server_options;
+    server_options.port = serve_port;
+    server_options.admission = AdmissionOptions::FromEnv();
+    auto started = QueryServer::Start(engine.get(), server_options);
+    if (!started.ok()) {
+      std::fprintf(stderr, "query server: %s\n",
+                   started.status().ToString().c_str());
+      return 1;
+    }
+    query_server = std::move(*started);
+  }
+
   // SQLINK_OPS_PORT=<port> exposes /metrics, /queries, /tracez while the
-  // shell runs.
-  auto ops = OpsServer::StartFromEnv();
+  // shell runs; in server mode /healthz reflects admission saturation.
+  Result<std::unique_ptr<OpsServer>> ops = std::unique_ptr<OpsServer>();
+  if (const char* env = std::getenv("SQLINK_OPS_PORT");
+      env != nullptr && *env != '\0') {
+    OpsServer::Options ops_options;
+    ops_options.port = std::atoi(env);
+    if (query_server != nullptr) {
+      AdmissionController* admission = query_server->admission();
+      ops_options.health_hook = [admission]() {
+        OpsServer::Health health;
+        if (admission->saturated()) {
+          health.healthy = false;
+          health.reason_json =
+              "{\"reason\":\"admission queue saturated\",\"admission\":" +
+              admission->StatsJson() + "}";
+        }
+        return health;
+      };
+    }
+    ops = OpsServer::Start(ops_options);
+  }
   if (!ops.ok()) {
     std::fprintf(stderr, "ops server: %s\n", ops.status().ToString().c_str());
     return 1;
   }
   if (*ops != nullptr) {
     std::printf("ops server on http://127.0.0.1:%d (/metrics /queries "
-                "/tracez)\n",
+                "/tracez /healthz)\n",
                 (*ops)->port());
   }
 
-  CartsWorkloadOptions data;
-  data.num_users = num_carts / 10;
-  data.num_carts = num_carts;
-  if (!GenerateCartsWorkload(engine.get(), data).ok()) return 1;
+  if (query_server != nullptr) {
+    // Machine-readable first (CI greps it), prose after.
+    std::printf("SERVE_PORT=%d\n", query_server->port());
+    std::printf("query server on 127.0.0.1:%d — tables: carts (%lld rows), "
+                "users (%lld rows)\nmax_concurrent=%d queue_cap=%zu; EOF or "
+                "\"quit\" stops the server.\n",
+                query_server->port(),
+                static_cast<long long>(data.num_carts),
+                static_cast<long long>(data.num_users),
+                query_server->admission()->options().max_concurrent,
+                query_server->admission()->options().queue_capacity);
+    std::fflush(stdout);
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (TrimWhitespace(line) == "quit") break;
+    }
+    query_server->Stop();
+    return 0;
+  }
+
+  if (!statement.empty()) {
+    RunStatement(engine.get(), StripTrailingSemicolon(statement));
+    return 0;
+  }
+
   std::printf("sqlink shell — tables: carts (%lld rows), users (%lld rows)\n"
               "End statements with ';'. \\tables lists tables, \\quit exits.\n",
               static_cast<long long>(data.num_carts),

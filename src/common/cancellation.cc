@@ -1,0 +1,65 @@
+#include "common/cancellation.h"
+
+namespace sqlink {
+
+Status Cancellation::status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return status_;
+}
+
+void Cancellation::Cancel(Status status) {
+  std::vector<std::pair<int64_t, std::function<void()>>> to_run;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (cancelled_.load(std::memory_order_relaxed)) return;
+    status_ = status.ok() ? Status::Cancelled("cancelled") : std::move(status);
+    cancel_thread_ = std::this_thread::get_id();
+    cancelled_.store(true, std::memory_order_release);
+    to_run.swap(callbacks_);
+  }
+  // Run outside the lock so callbacks may take their own locks (queue
+  // Cancel, coordinator Abort) and may re-enter Cancel/status().
+  for (auto& [id, fn] : to_run) {
+    if (fn) fn();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    callbacks_done_ = true;
+  }
+  cv_.notify_all();
+}
+
+int64_t Cancellation::OnCancel(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!cancelled_.load(std::memory_order_relaxed)) {
+      const int64_t id = next_id_++;
+      callbacks_.emplace_back(id, std::move(fn));
+      return id;
+    }
+  }
+  // Already cancelled: run inline on the registering thread. This callback
+  // is not part of the Cancel() pass, so RemoveCallback(0) need not wait.
+  if (fn) fn();
+  return 0;
+}
+
+void Cancellation::RemoveCallback(int64_t id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (auto it = callbacks_.begin(); it != callbacks_.end(); ++it) {
+    if (it->first == id) {
+      callbacks_.erase(it);
+      return;
+    }
+  }
+  // Not found: either never registered (id 0) or swapped out by a concurrent
+  // Cancel() whose callback pass may still be running our captures. Wait for
+  // the pass to finish — unless we ARE the cancelling thread (a caller that
+  // cancels then removes would otherwise deadlock on itself).
+  if (cancelled_.load(std::memory_order_relaxed) && id != 0 &&
+      cancel_thread_ != std::this_thread::get_id()) {
+    cv_.wait(lock, [&] { return callbacks_done_; });
+  }
+}
+
+}  // namespace sqlink

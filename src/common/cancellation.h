@@ -1,0 +1,72 @@
+#ifndef SQLINK_COMMON_CANCELLATION_H_
+#define SQLINK_COMMON_CANCELLATION_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sqlink {
+
+/// Cooperative per-query cancellation. One Cancellation object is owned by
+/// the serving layer for the lifetime of a query; every stage that can block
+/// or loop (executor worker loops, sink senders, streaming transfer) either
+/// polls `cancelled()` / `Check()` or registers an `OnCancel` callback that
+/// wakes its parked threads (queue Cancel, inbox Close, coordinator Abort).
+///
+/// Cancel() is idempotent: the first caller's status wins, callbacks run
+/// exactly once (on the cancelling thread), and a callback registered after
+/// cancellation runs inline. RemoveCallback(id) blocks until any in-flight
+/// callback pass has finished, so once it returns the callback is neither
+/// running nor will ever run — captures may be destroyed. Callbacks must not
+/// themselves call RemoveCallback (they may call Cancel; it is a no-op).
+class Cancellation {
+ public:
+  Cancellation() = default;
+  Cancellation(const Cancellation&) = delete;
+  Cancellation& operator=(const Cancellation&) = delete;
+
+  /// True once Cancel() has been called.
+  bool cancelled() const { return cancelled_.load(std::memory_order_acquire); }
+
+  /// kOk until cancelled, then the status passed to the winning Cancel().
+  Status status() const;
+
+  /// OK until cancelled; the cancellation status afterwards. Poll this from
+  /// loops: `if (auto s = cancel->Check(); !s.ok()) return s;`.
+  Status Check() const { return cancelled() ? status() : Status::OK(); }
+
+  /// Requests cancellation with `status` (must be non-OK; kCancelled and
+  /// kAborted are typical). The first call wins; later calls are no-ops.
+  /// Runs all registered callbacks before returning.
+  void Cancel(Status status);
+
+  /// Registers `fn` to run when Cancel() fires; returns an id for
+  /// RemoveCallback. If already cancelled, runs `fn` inline and returns 0
+  /// (RemoveCallback(0) is safe).
+  int64_t OnCancel(std::function<void()> fn);
+
+  /// Unregisters a callback. Blocks until any in-flight callback pass has
+  /// finished, so captures may be destroyed afterwards.
+  void RemoveCallback(int64_t id);
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  Status status_;               // guarded by mu_
+  bool callbacks_done_ = false;  // guarded by mu_
+  std::thread::id cancel_thread_;  // guarded by mu_
+  int64_t next_id_ = 1;
+  std::vector<std::pair<int64_t, std::function<void()>>> callbacks_;
+};
+
+}  // namespace sqlink
+
+#endif  // SQLINK_COMMON_CANCELLATION_H_

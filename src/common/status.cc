@@ -34,6 +34,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Data loss";
     case StatusCode::kParseError:
       return "Parse error";
+    case StatusCode::kOverloaded:
+      return "Overloaded";
   }
   return "Unknown";
 }

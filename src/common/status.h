@@ -28,6 +28,7 @@ enum class StatusCode : int {
   kUnimplemented = 12,
   kDataLoss = 13,
   kParseError = 14,
+  kOverloaded = 15,
 };
 
 /// Returns the canonical lower-case name of a status code ("Invalid argument").
@@ -94,6 +95,9 @@ class Status {
   static Status ParseError(std::string msg) {
     return Status(StatusCode::kParseError, std::move(msg));
   }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const {
@@ -123,6 +127,7 @@ class Status {
   bool IsUnimplemented() const { return code() == StatusCode::kUnimplemented; }
   bool IsDataLoss() const { return code() == StatusCode::kDataLoss; }
   bool IsParseError() const { return code() == StatusCode::kParseError; }
+  bool IsOverloaded() const { return code() == StatusCode::kOverloaded; }
 
   /// "OK" or "<Code>: <message>".
   std::string ToString() const;

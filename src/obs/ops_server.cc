@@ -184,7 +184,14 @@ void OpsServer::HandleConnection(TcpSocket socket) {
     sent = SendResponse(&socket, "200 OK", "application/json",
                         TracezJson(options_.tracez_spans));
   } else if (*path == "/healthz") {
-    sent = SendResponse(&socket, "200 OK", "text/plain", "ok\n");
+    Health health;
+    if (options_.health_hook) health = options_.health_hook();
+    if (health.healthy) {
+      sent = SendResponse(&socket, "200 OK", "text/plain", "ok\n");
+    } else {
+      sent = SendResponse(&socket, "503 Service Unavailable",
+                          "application/json", health.reason_json + "\n");
+    }
   } else {
     sent = SendResponse(&socket, "404 Not Found", "text/plain",
                         "unknown route; try /metrics /queries /tracez\n");

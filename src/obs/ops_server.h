@@ -1,6 +1,7 @@
 #ifndef SQLINK_OBS_OPS_SERVER_H_
 #define SQLINK_OBS_OPS_SERVER_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <thread>
@@ -19,7 +20,8 @@ namespace sqlink {
 ///              trees and trace ids (JSON, from the QueryRegistry)
 ///   /tracez    the most recent sampled trace spans, grouped by trace id
 ///              (JSON; requires SQLINK_TRACE to be enabled)
-///   /healthz   "ok"
+///   /healthz   "ok" (200) — or, when a health hook reports unhealthy,
+///              503 with a JSON reason (e.g. admission queue saturated)
 ///
 /// One accept thread serves requests sequentially (ops traffic is tiny);
 /// every response closes the connection. Bound to 127.0.0.1 like all other
@@ -27,9 +29,21 @@ namespace sqlink {
 /// (0 = ephemeral) or programmatically with Start().
 class OpsServer {
  public:
+  /// Health verdict from a HealthHook: healthy == true serves the plain
+  /// 200 "ok" body; otherwise /healthz returns 503 with `reason_json`.
+  struct Health {
+    bool healthy = true;
+    std::string reason_json;  ///< JSON body for the 503 response.
+  };
+  using HealthHook = std::function<Health()>;
+
   struct Options {
     int port = 0;              ///< 0 picks an ephemeral port.
     size_t tracez_spans = 256; ///< Most recent spans served by /tracez.
+    /// Optional liveness probe consulted by /healthz (e.g. the query
+    /// server's admission saturation signal). Null = always healthy. Called
+    /// from the serving thread; must be thread-safe and non-blocking.
+    HealthHook health_hook;
   };
 
   /// Binds and starts the serving thread.

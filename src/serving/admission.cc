@@ -1,0 +1,259 @@
+#include "serving/admission.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+
+#include "common/failpoint.h"
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+
+namespace sqlink {
+
+namespace {
+
+/// Per-tenant counter, resolved on demand ("serving.tenant.alice.admitted").
+Counter* TenantCounter(const std::string& tenant, const char* what) {
+  const std::string name =
+      "serving.tenant." + (tenant.empty() ? std::string("default") : tenant) +
+      "." + what;
+  return MetricsRegistry::Global().GetCounter(name);
+}
+
+}  // namespace
+
+AdmissionOptions AdmissionOptions::FromEnv() {
+  AdmissionOptions options;
+  options.max_concurrent = static_cast<int>(
+      EnvInt64("SQLINK_MAX_CONCURRENT_QUERIES", options.max_concurrent));
+  options.memory_budget_bytes =
+      EnvInt64("SQLINK_ADMISSION_MEM_BYTES", options.memory_budget_bytes);
+  options.per_query_mem_bytes =
+      EnvInt64("SQLINK_QUERY_MEM_BYTES", options.per_query_mem_bytes);
+  options.queue_capacity = static_cast<size_t>(EnvInt64(
+      "SQLINK_ADMISSION_QUEUE_CAP", static_cast<int64_t>(options.queue_capacity)));
+  options.queue_timeout_ms = static_cast<int>(
+      EnvInt64("SQLINK_ADMISSION_QUEUE_MS", options.queue_timeout_ms));
+  const char* quota = std::getenv("SQLINK_TENANT_QUOTA");
+  if (quota != nullptr && *quota != '\0') {
+    for (const std::string& entry : SplitString(quota, ',')) {
+      const size_t eq = entry.find('=');
+      if (eq == std::string::npos) continue;
+      const std::string name(TrimWhitespace(entry.substr(0, eq)));
+      const std::string value(TrimWhitespace(entry.substr(eq + 1)));
+      char* end = nullptr;
+      const double weight = std::strtod(value.c_str(), &end);
+      if (name.empty() || end == value.c_str() || weight <= 0.0) {
+        LOG_WARNING() << "ignoring malformed SQLINK_TENANT_QUOTA entry: "
+                      << entry;
+        continue;
+      }
+      options.tenant_weights[name] = weight;
+    }
+  }
+  return options;
+}
+
+AdmissionTicket::~AdmissionTicket() {
+  if (controller_ != nullptr) controller_->Release();
+}
+
+AdmissionController::AdmissionController(AdmissionOptions options)
+    : options_(std::move(options)),
+      admitted_total_(MetricsRegistry::Global().GetCounter("serving.admitted")),
+      rejected_total_(MetricsRegistry::Global().GetCounter("serving.rejected")),
+      queued_total_(MetricsRegistry::Global().GetCounter("serving.queued")),
+      active_gauge_(MetricsRegistry::Global().GetGauge("serving.active")),
+      queue_depth_gauge_(
+          MetricsRegistry::Global().GetGauge("serving.queue_depth")),
+      queue_wait_ms_(
+          MetricsRegistry::Global().GetHistogram("serving.queue_wait_ms")) {
+  if (options_.max_concurrent <= 0) options_.max_concurrent = 1;
+}
+
+AdmissionController::~AdmissionController() { Close(); }
+
+double AdmissionController::WeightOf(const std::string& tenant) const {
+  auto it = options_.tenant_weights.find(tenant);
+  return it == options_.tenant_weights.end() ? 1.0 : it->second;
+}
+
+bool AdmissionController::HasCapacityLocked() const {
+  if (active_ >= options_.max_concurrent) return false;
+  if (options_.memory_budget_bytes > 0 &&
+      memory_used_ + options_.per_query_mem_bytes >
+          options_.memory_budget_bytes) {
+    return false;
+  }
+  return true;
+}
+
+void AdmissionController::TakeCapacityLocked() {
+  ++active_;
+  memory_used_ += options_.per_query_mem_bytes;
+  active_gauge_->Increment();
+}
+
+void AdmissionController::GrantWaitersLocked() {
+  bool granted_any = false;
+  while (!closed_ && !waiters_.empty() && HasCapacityLocked()) {
+    // Stride scheduling: the waiter with the smallest virtual start time is
+    // next, regardless of arrival order. FIFO breaks ties (stable min).
+    auto best = waiters_.begin();
+    for (auto it = std::next(waiters_.begin()); it != waiters_.end(); ++it) {
+      if (it->vstart < best->vstart) best = it;
+    }
+    vtime_ = std::max(vtime_, best->vstart);
+    TakeCapacityLocked();
+    // The grant travels to the waiter via its id: it leaves the queue here
+    // and finds itself in granted_ids_ when it wakes.
+    granted_ids_.insert(best->id);
+    waiters_.erase(best);
+    granted_any = true;
+  }
+  if (granted_any) cv_.notify_all();
+}
+
+Result<AdmissionTicketPtr> AdmissionController::Admit(
+    const std::string& tenant) {
+  // `admission.delay` sleeps inside Evaluate (delay actions report kNone);
+  // `admission.reject` turns this call into an injected overload rejection.
+  (void)SQLINK_FAILPOINT("admission.delay");
+  if (SQLINK_FAILPOINT("admission.reject") != FailpointOutcome::kNone) {
+    rejected_total_->Increment();
+    TenantCounter(tenant, "rejected")->Increment();
+    return Status::Overloaded("failpoint: injected admission rejection");
+  }
+
+  std::unique_lock<std::mutex> lock(mu_);
+  if (closed_) {
+    rejected_total_->Increment();
+    TenantCounter(tenant, "rejected")->Increment();
+    return Status::Overloaded("server shutting down");
+  }
+
+  auto grant = [&](int64_t wait_ms) -> AdmissionTicketPtr {
+    admitted_total_->Increment();
+    TenantCounter(tenant, "admitted")->Increment();
+    queue_wait_ms_->Record(wait_ms);
+    ByteBudgetPtr budget;
+    if (options_.memory_budget_bytes > 0) {
+      budget = std::make_shared<ByteBudget>(options_.per_query_mem_bytes);
+    }
+    return AdmissionTicketPtr(
+        new AdmissionTicket(this, tenant, std::move(budget), wait_ms));
+  };
+
+  // Immediate admission only when nobody is queued — arrivals must not jump
+  // over waiters that stride scheduling would serve first.
+  if (waiters_.empty() && HasCapacityLocked()) {
+    TakeCapacityLocked();
+    return grant(/*wait_ms=*/0);
+  }
+
+  if (waiters_.size() >= options_.queue_capacity) {
+    rejected_total_->Increment();
+    TenantCounter(tenant, "rejected")->Increment();
+    return Status::Overloaded(
+        "admission queue saturated (" + std::to_string(waiters_.size()) +
+        " queued, capacity " + std::to_string(options_.queue_capacity) + ")");
+  }
+
+  // Queue under stride scheduling: this query starts at the tenant's virtual
+  // clock (pulled up to global vtime so an idle tenant cannot bank share),
+  // and the clock advances by the tenant's stride 1/weight.
+  TenantClock& clock = tenants_[tenant];
+  const double vstart = std::max(vtime_, clock.next_start);
+  clock.next_start = vstart + 1.0 / WeightOf(tenant);
+  Waiter waiter;
+  waiter.id = next_waiter_id_++;
+  waiter.tenant = tenant;
+  waiter.vstart = vstart;
+  waiters_.push_back(waiter);
+  queued_total_->Increment();
+  queue_depth_gauge_->Increment();
+  const uint64_t my_id = waiter.id;
+
+  Stopwatch waited;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(options_.queue_timeout_ms);
+  for (;;) {
+    // A grant moves our entry from waiters_ into granted_ids_; check that
+    // first so granted capacity never leaks on a racing timeout wake.
+    if (granted_ids_.erase(my_id) > 0) {
+      queue_depth_gauge_->Decrement();
+      return grant(waited.ElapsedMicros() / 1000);
+    }
+    if (closed_) {
+      queue_depth_gauge_->Decrement();
+      RemoveWaiterLocked(my_id);
+      rejected_total_->Increment();
+      TenantCounter(tenant, "rejected")->Increment();
+      return Status::Overloaded("server shutting down");
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      queue_depth_gauge_->Decrement();
+      RemoveWaiterLocked(my_id);
+      rejected_total_->Increment();
+      TenantCounter(tenant, "rejected")->Increment();
+      return Status::Overloaded(
+          "admission queue timeout after " +
+          std::to_string(options_.queue_timeout_ms) + " ms (" +
+          std::to_string(active_) + " active, " +
+          std::to_string(waiters_.size()) + " queued)");
+    }
+    cv_.wait_until(lock, deadline);
+  }
+}
+
+void AdmissionController::RemoveWaiterLocked(uint64_t id) {
+  for (auto it = waiters_.begin(); it != waiters_.end(); ++it) {
+    if (it->id == id) {
+      waiters_.erase(it);
+      return;
+    }
+  }
+}
+
+void AdmissionController::Release() {
+  std::lock_guard<std::mutex> lock(mu_);
+  --active_;
+  memory_used_ -= options_.per_query_mem_bytes;
+  active_gauge_->Decrement();
+  GrantWaitersLocked();
+}
+
+void AdmissionController::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = true;
+  cv_.notify_all();
+}
+
+int AdmissionController::active() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_;
+}
+
+size_t AdmissionController::queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return waiters_.size();
+}
+
+bool AdmissionController::saturated() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return waiters_.size() >= options_.queue_capacity;
+}
+
+std::string AdmissionController::StatsJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return "{\"active\":" + std::to_string(active_) +
+         ",\"queued\":" + std::to_string(waiters_.size()) +
+         ",\"queue_capacity\":" + std::to_string(options_.queue_capacity) +
+         ",\"max_concurrent\":" + std::to_string(options_.max_concurrent) +
+         ",\"memory_used_bytes\":" + std::to_string(memory_used_) +
+         ",\"memory_budget_bytes\":" +
+         std::to_string(options_.memory_budget_bytes) + "}";
+}
+
+}  // namespace sqlink

@@ -1,0 +1,165 @@
+#ifndef SQLINK_SERVING_ADMISSION_H_
+#define SQLINK_SERVING_ADMISSION_H_
+
+#include <cstdint>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "common/byte_budget.h"
+#include "common/metrics.h"
+#include "common/result.h"
+
+namespace sqlink {
+
+/// Knobs of the admission controller. FromEnv() reads the serving env vars:
+///
+///   SQLINK_MAX_CONCURRENT_QUERIES  max queries running at once (default 8)
+///   SQLINK_ADMISSION_MEM_BYTES     global memory/spill pool every admitted
+///                                  query reserves from (default 256 MiB;
+///                                  0 = unlimited)
+///   SQLINK_QUERY_MEM_BYTES         reservation per admitted query; also the
+///                                  query's spill-budget cap (default 32 MiB)
+///   SQLINK_ADMISSION_QUEUE_CAP     bounded admission queue length
+///                                  (default 64; a full queue rejects)
+///   SQLINK_ADMISSION_QUEUE_MS      max queue wait before a typed
+///                                  kOverloaded rejection (default 5000)
+///   SQLINK_TENANT_QUOTA            per-tenant weights "alice=3,bob=1";
+///                                  unlisted tenants get weight 1
+struct AdmissionOptions {
+  int max_concurrent = 8;
+  int64_t memory_budget_bytes = 256LL << 20;
+  int64_t per_query_mem_bytes = 32LL << 20;
+  size_t queue_capacity = 64;
+  int queue_timeout_ms = 5000;
+  std::map<std::string, double> tenant_weights;
+
+  static AdmissionOptions FromEnv();
+};
+
+class AdmissionController;
+
+/// RAII admission grant: holding a ticket IS being admitted. The destructor
+/// returns the concurrency slot and memory reservation to the controller
+/// and wakes the fairest queued waiter.
+class AdmissionTicket {
+ public:
+  ~AdmissionTicket();
+
+  AdmissionTicket(const AdmissionTicket&) = delete;
+  AdmissionTicket& operator=(const AdmissionTicket&) = delete;
+
+  /// The query's spill quota, carved from the admission memory pool
+  /// (capacity = per_query_mem_bytes; null capacity 0 = unlimited pool).
+  const ByteBudgetPtr& spill_budget() const { return spill_budget_; }
+  const std::string& tenant() const { return tenant_; }
+  /// How long this query waited in the admission queue (0 = immediate).
+  int64_t queue_wait_ms() const { return queue_wait_ms_; }
+
+ private:
+  friend class AdmissionController;
+  AdmissionTicket(AdmissionController* controller, std::string tenant,
+                  ByteBudgetPtr spill_budget, int64_t queue_wait_ms)
+      : controller_(controller),
+        tenant_(std::move(tenant)),
+        spill_budget_(std::move(spill_budget)),
+        queue_wait_ms_(queue_wait_ms) {}
+
+  AdmissionController* controller_;
+  std::string tenant_;
+  ByteBudgetPtr spill_budget_;
+  int64_t queue_wait_ms_ = 0;
+};
+
+using AdmissionTicketPtr = std::unique_ptr<AdmissionTicket>;
+
+/// Gates incoming queries against a max-concurrency knob and a global
+/// memory/spill pool, queueing excess demand in a bounded, tenant-fair
+/// queue. Fairness is stride (virtual-time) scheduling: each waiting tenant
+/// advances a virtual clock by 1/weight per admitted query, and the waiter
+/// with the smallest virtual start time is granted first — a tenant with
+/// weight 3 is admitted three times as often as a tenant with weight 1 when
+/// both keep the queue non-empty, while an idle tenant's unused share never
+/// accumulates (its clock is pulled up to "now" when it returns).
+///
+/// Overload degrades gracefully instead of hanging or OOMing: a full queue
+/// rejects immediately and a queued query that outlives the queue timeout is
+/// rejected, both with a typed kOverloaded status the wire protocol
+/// preserves end-to-end. Failpoints `admission.reject` (reject as if
+/// overloaded) and `admission.delay` (sleep inside Admit) inject overload
+/// behavior for tests.
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionOptions options);
+  ~AdmissionController();
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// Blocks until the query is admitted (a ticket) or rejected (typed
+  /// kOverloaded: full queue, queue timeout, or shutdown). Thread-safe.
+  Result<AdmissionTicketPtr> Admit(const std::string& tenant);
+
+  /// Rejects all current and future waiters (server shutdown).
+  void Close();
+
+  int active() const;
+  size_t queued() const;
+  /// True when the admission queue is at capacity — the /healthz 503 signal.
+  bool saturated() const;
+  /// {"active":N,"queued":N,"queue_capacity":N,...} for /healthz bodies.
+  std::string StatsJson() const;
+
+  const AdmissionOptions& options() const { return options_; }
+
+ private:
+  struct Waiter {
+    uint64_t id = 0;
+    std::string tenant;
+    double vstart = 0.0;
+  };
+  struct TenantClock {
+    double next_start = 0.0;
+  };
+
+  double WeightOf(const std::string& tenant) const;
+  /// True when a new query fits right now (slot + memory). Caller holds mu_.
+  bool HasCapacityLocked() const;
+  /// Grants queued waiters (fairest first) while capacity lasts; notifies.
+  void GrantWaitersLocked();
+  /// Takes one slot + memory reservation. Caller holds mu_.
+  void TakeCapacityLocked();
+  /// Ticket destructor path: frees capacity, grants the next waiter(s).
+  void Release();
+  /// Drops the waiter with `id` from the queue (timeout/shutdown path).
+  void RemoveWaiterLocked(uint64_t id);
+
+  AdmissionOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool closed_ = false;
+  int active_ = 0;
+  int64_t memory_used_ = 0;
+  uint64_t next_waiter_id_ = 1;
+  double vtime_ = 0.0;  ///< Virtual clock: max vstart ever granted.
+  std::deque<Waiter> waiters_;
+  std::set<uint64_t> granted_ids_;  ///< Granted, not yet picked up.
+  std::map<std::string, TenantClock> tenants_;
+
+  Counter* admitted_total_;
+  Counter* rejected_total_;
+  Counter* queued_total_;
+  Gauge* active_gauge_;
+  Gauge* queue_depth_gauge_;
+  Histogram* queue_wait_ms_;
+
+  friend class AdmissionTicket;
+};
+
+}  // namespace sqlink
+
+#endif  // SQLINK_SERVING_ADMISSION_H_

@@ -118,6 +118,12 @@ TablePtr SqlEngine::MakePlanTextTable(const std::string& text,
 
 Result<TablePtr> SqlEngine::ExecuteSql(const std::string& sql,
                                        const std::string& result_name) {
+  return ExecuteSql(sql, result_name, QueryOptions());
+}
+
+Result<TablePtr> SqlEngine::ExecuteSql(const std::string& sql,
+                                       const std::string& result_name,
+                                       const QueryOptions& options) {
   ASSIGN_OR_RETURN(SqlStatement stmt, ParseStatement(sql));
   ASSIGN_OR_RETURN(PlanPtr plan, PlanStmt(stmt.select));
   switch (stmt.explain) {
@@ -126,14 +132,14 @@ Result<TablePtr> SqlEngine::ExecuteSql(const std::string& sql,
     case ExplainMode::kAnalyze: {
       std::shared_ptr<QueryStats> stats;
       ASSIGN_OR_RETURN(TablePtr ignored, RunTracked(plan, sql, "__analyzed",
-                                                    &stats));
+                                                    &stats, options));
       (void)ignored;  // EXPLAIN ANALYZE discards the rows, keeps the stats.
       return MakePlanTextTable(stats->ToText(), result_name);
     }
     case ExplainMode::kNone:
       break;
   }
-  return RunTracked(plan, sql, result_name, nullptr);
+  return RunTracked(plan, sql, result_name, nullptr, options);
 }
 
 Result<TablePtr> SqlEngine::ExecuteStmt(const SelectStmt& stmt,
@@ -150,7 +156,8 @@ Result<TablePtr> SqlEngine::ExecutePlan(const PlanPtr& plan,
 Result<TablePtr> SqlEngine::RunTracked(const PlanPtr& plan,
                                        const std::string& sql,
                                        const std::string& result_name,
-                                       std::shared_ptr<QueryStats>* stats_out) {
+                                       std::shared_ptr<QueryStats>* stats_out,
+                                       const QueryOptions& options) {
   AssignPlanNodeIds(plan);
   auto stats = std::make_shared<QueryStats>(plan);
   if (stats_out != nullptr) *stats_out = stats;
@@ -159,9 +166,15 @@ Result<TablePtr> SqlEngine::RunTracked(const PlanPtr& plan,
   TraceSpan span("sql.query");
   QueryRecordPtr record = QueryRegistry::Global().Begin(
       sql, executor.vectorized() ? "vectorized" : "row", stats,
-      span.context().trace_id);
+      span.context().trace_id, options.tenant);
+  // RAII: any exit path that skips the explicit Finish below (an early
+  // return added later, an abandoned analyze) still retires the record so
+  // /queries never reports phantom active queries.
+  TrackedQuery tracked(&QueryRegistry::Global(), record);
   executor.set_query_stats(stats.get());
   executor.set_query_id(record->query_id);
+  executor.set_cancellation(options.cancellation);
+  executor.set_spill_budget(options.spill_budget);
 
   metrics_->GetCounter("sql.queries")->Add(1);
   Gauge* active = metrics_->GetGauge("sql.queries_active");
@@ -177,8 +190,7 @@ Result<TablePtr> SqlEngine::RunTracked(const PlanPtr& plan,
 
   int worst_node = -1;
   const double worst_qerror = stats->WorstQError(&worst_node);
-  QueryRegistry::Global().Finish(record, rows.status(), duration_micros,
-                                 worst_qerror);
+  tracked.Finish(rows.status(), duration_micros, worst_qerror);
   span.AddAttribute("query_id", static_cast<int64_t>(record->query_id));
   span.AddAttribute("duration_micros", duration_micros);
   if (!rows.ok()) {

@@ -19,6 +19,16 @@
 
 namespace sqlink {
 
+/// Per-query execution options supplied by the serving layer: cooperative
+/// cancellation, the spill quota carved from the admission memory pool, and
+/// the submitting tenant (recorded in the QueryRegistry). Defaults mean
+/// "untracked standalone query" — not cancellable, unlimited spill.
+struct QueryOptions {
+  Cancellation* cancellation = nullptr;  ///< Not owned; outlives the query.
+  ByteBudgetPtr spill_budget;            ///< Null = unlimited.
+  std::string tenant;                    ///< "" = no tenant attribution.
+};
+
 /// The "big SQL system": a partitioned, multi-worker SQL engine with UDF
 /// extensibility. One SQL worker per cluster node, as in the paper's
 /// testbed. This is the substrate the paper's In-SQL transformations and
@@ -72,6 +82,13 @@ class SqlEngine {
   Result<TablePtr> ExecuteSql(const std::string& sql,
                               const std::string& result_name = "result");
 
+  /// ExecuteSql with serving-layer options: cancellation (checked by worker
+  /// loops and blocking operators, propagated to table UDFs), a per-query
+  /// spill budget, and tenant attribution in the QueryRegistry.
+  Result<TablePtr> ExecuteSql(const std::string& sql,
+                              const std::string& result_name,
+                              const QueryOptions& options);
+
   /// Runs a pre-built statement/plan.
   Result<TablePtr> ExecuteStmt(const SelectStmt& stmt,
                                const std::string& result_name = "result");
@@ -111,7 +128,8 @@ class SqlEngine {
   /// (optional) receives the filled stats tree (EXPLAIN ANALYZE).
   Result<TablePtr> RunTracked(const PlanPtr& plan, const std::string& sql,
                               const std::string& result_name,
-                              std::shared_ptr<QueryStats>* stats_out);
+                              std::shared_ptr<QueryStats>* stats_out,
+                              const QueryOptions& options = {});
 
   /// A one-STRING-column table holding `text` split into lines (the result
   /// shape of EXPLAIN / EXPLAIN ANALYZE).

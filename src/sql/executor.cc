@@ -8,6 +8,7 @@
 #include <unordered_map>
 
 #include "common/blocking_queue.h"
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/runtime_flags.h"
 #include "common/status_macros.h"
@@ -650,6 +651,9 @@ Result<PartitionedRows> Executor::Execute(const PlanPtr& plan) {
 }
 
 Result<PartitionedRows> Executor::ExecuteNode(const PlanPtr& plan) {
+  // Blocking operators (join builds, DISTINCT, aggregation, sort, limit)
+  // materialize whole inputs; refuse to start one for a cancelled query.
+  RETURN_IF_ERROR(CheckCancelled());
   switch (plan->kind) {
     case PlanKind::kDistinct:
       return vectorized_ ? ExecuteDistinctVectorized(plan)
@@ -864,6 +868,8 @@ Result<RowIteratorPtr> Executor::BuildPipelineNode(const PlanPtr& plan,
       context.cluster = cluster_;
       context.metrics = metrics_;
       context.query_id = query_id_;
+      context.cancellation = cancellation_;
+      context.spill_budget = spill_budget_;
       return RowIteratorPtr(
           new UdfPartitionIterator(plan->udf, context, std::move(input)));
     }
@@ -949,6 +955,8 @@ Result<BatchIteratorPtr> Executor::BuildBatchPipelineNode(
       context.cluster = cluster_;
       context.metrics = metrics_;
       context.query_id = query_id_;
+      context.cancellation = cancellation_;
+      context.spill_budget = spill_budget_;
       return BatchIteratorPtr(new UdfBatchPartitionIterator(
           plan->udf, context, std::move(input), plan->output_schema));
     }
@@ -978,6 +986,11 @@ Result<PartitionedRows> Executor::ExecutePipeline(const PlanPtr& plan) {
       ColumnBatch batch;
       Row row;
       for (;;) {
+        // `sql.exec.batch` paces the pipeline (delay actions) so tests can
+        // hold a query in-flight deterministically; shares the cancellation
+        // poll cadence.
+        (void)SQLINK_FAILPOINT("sql.exec.batch");
+        RETURN_IF_ERROR(CheckCancelled());
         ASSIGN_OR_RETURN(bool has, it->Next(&batch));
         if (!has) break;
         for (size_t r = 0; r < batch.num_rows(); ++r) {
@@ -992,7 +1005,13 @@ Result<PartitionedRows> Executor::ExecutePipeline(const PlanPtr& plan) {
       ASSIGN_OR_RETURN(RowIteratorPtr it, BuildPipeline(plan, worker, &state));
       std::vector<Row>& out = output.partitions[static_cast<size_t>(worker)];
       Row row;
+      int64_t since_check = 0;
       for (;;) {
+        if (++since_check >= 1024) {  // Row mode: poll every ~1k rows.
+          since_check = 0;
+          (void)SQLINK_FAILPOINT("sql.exec.batch");
+          RETURN_IF_ERROR(CheckCancelled());
+        }
         ASSIGN_OR_RETURN(bool has, it->Next(&row));
         if (!has) break;
         out.push_back(std::move(row));

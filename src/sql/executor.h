@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "common/byte_budget.h"
+#include "common/cancellation.h"
 #include "common/metrics.h"
 #include "common/result.h"
 #include "sql/batch_iterator.h"
@@ -68,6 +70,19 @@ class Executor {
   void set_query_stats(QueryStats* stats) { stats_ = stats; }
   /// Id of the tracked query (flows to table UDFs via TableUdfContext).
   void set_query_id(uint64_t query_id) { query_id_ = query_id; }
+  /// Cooperative cancellation source for this query. Worker loops poll it
+  /// between batches (or every ~1k rows) and blocking operators check it
+  /// up front, so a cancelled query unwinds promptly without disturbing
+  /// neighbors. Not owned; must outlive Execute(). Also flows to table
+  /// UDFs via TableUdfContext.
+  void set_cancellation(Cancellation* cancellation) {
+    cancellation_ = cancellation;
+  }
+  /// Per-query spill quota, handed to table UDFs (the streaming sink wires
+  /// it into its spill queues). May be null (no quota).
+  void set_spill_budget(ByteBudgetPtr budget) {
+    spill_budget_ = std::move(budget);
+  }
 
   int num_workers() const { return num_workers_; }
   bool vectorized() const { return vectorized_; }
@@ -116,6 +131,13 @@ class Executor {
   bool vectorized_;
   QueryStats* stats_ = nullptr;
   uint64_t query_id_ = 0;
+  Cancellation* cancellation_ = nullptr;
+  ByteBudgetPtr spill_budget_;
+
+  /// OK while the query is live; the cancellation status once cancelled.
+  Status CheckCancelled() const {
+    return cancellation_ == nullptr ? Status::OK() : cancellation_->Check();
+  }
 };
 
 }  // namespace sqlink

@@ -44,11 +44,18 @@ void AppendRecordJson(const QueryRecord& record, std::string* out) {
   *out += "{\"query_id\":" + std::to_string(record.query_id) + ",\"sql\":";
   AppendJsonEscaped(record.sql, out);
   *out += ",\"engine_mode\":\"" + record.engine_mode + "\"";
+  if (!record.tenant.empty()) {
+    *out += ",\"tenant\":";
+    AppendJsonEscaped(record.tenant, out);
+  }
   // Trace ids as strings: uint64 does not survive double-typed JSON readers.
   *out += ",\"trace_id\":\"" + std::to_string(record.trace_id) + "\"";
   *out += ",\"start_unix_ms\":" + std::to_string(record.start_unix_ms);
   *out += ",\"state\":\"";
-  *out += record.finished ? (record.ok ? "ok" : "error") : "running";
+  *out += !record.finished ? "running"
+          : record.abandoned ? "abandoned"
+          : record.ok ? "ok"
+                      : "error";
   *out += "\"";
   if (record.finished) {
     *out +=
@@ -89,12 +96,13 @@ QueryRegistry& QueryRegistry::Global() {
 
 QueryRecordPtr QueryRegistry::Begin(std::string sql, std::string engine_mode,
                                     std::shared_ptr<QueryStats> stats,
-                                    uint64_t trace_id) {
+                                    uint64_t trace_id, std::string tenant) {
   auto record = std::make_shared<QueryRecord>();
   record->sql = std::move(sql);
   record->engine_mode = std::move(engine_mode);
   record->stats = std::move(stats);
   record->trace_id = trace_id;
+  record->tenant = std::move(tenant);
   record->start_unix_ms = NowUnixMillis();
   std::lock_guard<std::mutex> lock(mu_);
   record->query_id = next_id_++;
@@ -103,10 +111,13 @@ QueryRecordPtr QueryRegistry::Begin(std::string sql, std::string engine_mode,
 }
 
 void QueryRegistry::Finish(const QueryRecordPtr& record, const Status& status,
-                           int64_t duration_micros, double worst_qerror) {
+                           int64_t duration_micros, double worst_qerror,
+                           bool abandoned) {
   if (record == nullptr) return;
   std::lock_guard<std::mutex> lock(mu_);
+  if (record->finished) return;  // First Finish wins; no duplicate ring entry.
   record->finished = true;
+  record->abandoned = abandoned;
   record->ok = status.ok();
   if (!status.ok()) record->error = status.ToString();
   record->duration_micros = duration_micros;
@@ -179,6 +190,24 @@ void QueryRegistry::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   active_.clear();
   finished_.clear();
+}
+
+TrackedQuery::~TrackedQuery() {
+  if (registry_ != nullptr && record_ != nullptr) {
+    // Abandoned mid-stream (iterator dropped, early return, disconnect):
+    // finish the state transition so the record leaves the active set.
+    registry_->Finish(record_,
+                      Status::Cancelled("query abandoned mid-stream"),
+                      /*duration_micros=*/0, /*worst_qerror=*/1.0,
+                      /*abandoned=*/true);
+  }
+}
+
+void TrackedQuery::Finish(const Status& status, int64_t duration_micros,
+                          double worst_qerror) {
+  if (registry_ != nullptr && record_ != nullptr) {
+    registry_->Finish(record_, status, duration_micros, worst_qerror);
+  }
 }
 
 }  // namespace sqlink

@@ -28,6 +28,7 @@ struct QueryRecord {
   uint64_t query_id = 0;
   std::string sql;          ///< Query text ("<plan>" for direct plan runs).
   std::string engine_mode;  ///< "vectorized" or "row".
+  std::string tenant;       ///< Submitting tenant (serving layer); may be "".
   uint64_t trace_id = 0;    ///< Joins the record to its trace spans; 0 = unsampled.
   int64_t start_unix_ms = 0;
   std::shared_ptr<QueryStats> stats;  ///< May be null (untracked plans).
@@ -41,6 +42,7 @@ struct QueryRecord {
 
   // Completion fields (guarded by the registry mutex until finished).
   bool finished = false;
+  bool abandoned = false;  ///< Finished by the TrackedQuery destructor.
   bool ok = true;
   std::string error;            ///< Status message when !ok.
   int64_t duration_micros = 0;  ///< Total wall time once finished.
@@ -60,13 +62,19 @@ class QueryRegistry {
   QueryRegistry(const QueryRegistry&) = delete;
   QueryRegistry& operator=(const QueryRegistry&) = delete;
 
-  /// Registers a new active query and assigns it a fresh id.
+  /// Registers a new active query and assigns it a fresh id. `tenant` is
+  /// set before the record is published (the /queries endpoint may render
+  /// it concurrently).
   QueryRecordPtr Begin(std::string sql, std::string engine_mode,
-                       std::shared_ptr<QueryStats> stats, uint64_t trace_id);
+                       std::shared_ptr<QueryStats> stats, uint64_t trace_id,
+                       std::string tenant = {});
 
-  /// Moves the record from active to the finished ring.
+  /// Moves the record from active to the finished ring. Idempotent: the
+  /// first call wins; a later call (e.g. the TrackedQuery destructor racing
+  /// an explicit Finish) is a no-op, so the ring never holds duplicates.
   void Finish(const QueryRecordPtr& record, const Status& status,
-              int64_t duration_micros, double worst_qerror);
+              int64_t duration_micros, double worst_qerror,
+              bool abandoned = false);
 
   /// Finds an active or recently finished record; null when unknown.
   QueryRecordPtr Find(uint64_t query_id) const;
@@ -93,6 +101,41 @@ class QueryRegistry {
   size_t finished_capacity_ = 64;
   std::unordered_map<uint64_t, QueryRecordPtr> active_;
   std::deque<QueryRecordPtr> finished_;  ///< Front = most recent.
+};
+
+/// RAII guard around one tracked execution. If the guard is destroyed
+/// before Finish() ran — an abandoned engine iterator, an early return, a
+/// disconnect that unwinds the serving stack — the destructor finishes the
+/// record as "abandoned" so /queries never reports phantom active queries.
+class TrackedQuery {
+ public:
+  TrackedQuery() = default;
+  TrackedQuery(QueryRegistry* registry, QueryRecordPtr record)
+      : registry_(registry), record_(std::move(record)) {}
+  ~TrackedQuery();
+
+  TrackedQuery(TrackedQuery&& other) noexcept { *this = std::move(other); }
+  TrackedQuery& operator=(TrackedQuery&& other) noexcept {
+    if (this != &other) {
+      registry_ = other.registry_;
+      record_ = std::move(other.record_);
+      other.registry_ = nullptr;
+      other.record_ = nullptr;
+    }
+    return *this;
+  }
+  TrackedQuery(const TrackedQuery&) = delete;
+  TrackedQuery& operator=(const TrackedQuery&) = delete;
+
+  /// Finalizes the record normally; the destructor then does nothing.
+  void Finish(const Status& status, int64_t duration_micros,
+              double worst_qerror);
+
+  const QueryRecordPtr& record() const { return record_; }
+
+ private:
+  QueryRegistry* registry_ = nullptr;
+  QueryRecordPtr record_;
 };
 
 }  // namespace sqlink

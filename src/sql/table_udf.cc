@@ -1,5 +1,7 @@
 #include "sql/table_udf.h"
 
+#include <mutex>
+
 #include "common/string_util.h"
 
 namespace sqlink {
@@ -17,6 +19,7 @@ Status TableUdf::ProcessPartitionBatches(const TableUdfContext& context,
 Status TableUdfRegistry::Register(const std::string& name,
                                   TableUdfFactory factory) {
   const std::string key = ToLowerAscii(name);
+  std::lock_guard<std::mutex> lock(mu_);
   if (factories_.count(key) > 0) {
     return Status::AlreadyExists("table UDF exists: " + name);
   }
@@ -25,6 +28,7 @@ Status TableUdfRegistry::Register(const std::string& name,
 }
 
 Result<TableUdfPtr> TableUdfRegistry::Create(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = factories_.find(ToLowerAscii(name));
   if (it == factories_.end()) {
     return Status::NotFound("unknown table UDF: " + name);
@@ -33,6 +37,7 @@ Result<TableUdfPtr> TableUdfRegistry::Create(const std::string& name) const {
 }
 
 bool TableUdfRegistry::Contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   return factories_.count(ToLowerAscii(name)) > 0;
 }
 

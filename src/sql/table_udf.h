@@ -4,10 +4,13 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "common/byte_budget.h"
+#include "common/cancellation.h"
 #include "common/metrics.h"
 #include "common/result.h"
 #include "sql/batch_iterator.h"
@@ -27,6 +30,14 @@ struct TableUdfContext {
   /// streaming sink uses it to attach its transfer counters to the query's
   /// record in the QueryRegistry.
   uint64_t query_id = 0;
+  /// Cooperative per-query cancellation (null = not cancellable). UDFs with
+  /// parked threads register OnCancel callbacks that wake them (the sink
+  /// cancels its queues and closes its inboxes).
+  Cancellation* cancellation = nullptr;
+  /// Per-query spill quota shared by all of the query's spill queues
+  /// (null = unlimited); the serving layer carves it from the global
+  /// admission memory pool.
+  ByteBudgetPtr spill_budget;
 };
 
 /// A parallel table UDF — the paper's extensibility mechanism (§2, §3).
@@ -72,6 +83,8 @@ using TableUdfFactory = std::function<TableUdfPtr()>;
 
 /// Registry of table UDFs, keyed case-insensitively. A fresh UDF instance is
 /// created for every invocation.
+/// Thread-safe: concurrent queries register the stream-sink UDF lazily
+/// from their own threads (StreamingTransfer::Run), racing with lookups.
 class TableUdfRegistry {
  public:
   Status Register(const std::string& name, TableUdfFactory factory);
@@ -79,6 +92,7 @@ class TableUdfRegistry {
   bool Contains(const std::string& name) const;
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, TableUdfFactory> factories_;  // Lower-case key.
 };
 

@@ -1,5 +1,6 @@
 #include "stream/spill_queue.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 
@@ -76,6 +77,8 @@ SpillingByteQueue::SpillingByteQueue(Options options)
           MetricsRegistry::Global().GetCounter("stream.spill.spilled_bytes")),
       drain_frames_total_(
           MetricsRegistry::Global().GetCounter("stream.spill.drained_frames")),
+      budget_parks_total_(
+          MetricsRegistry::Global().GetCounter("stream.spill.budget_parks")),
       spill_write_micros_(
           MetricsRegistry::Global().GetHistogram("stream.spill.write_micros")),
       spill_read_micros_(
@@ -92,6 +95,9 @@ SpillingByteQueue::~SpillingByteQueue() {
                               (spill_written_ - spill_read_);
   if (live_frames > 0) depth_frames_->Add(-live_frames);
   if (memory_bytes_ > 0) depth_bytes_->Add(-static_cast<int64_t>(memory_bytes_));
+  if (options_.spill_budget && budget_outstanding_ > 0) {
+    options_.spill_budget->Release(budget_outstanding_);
+  }
 }
 
 Status SpillingByteQueue::Push(std::string frame) {
@@ -113,16 +119,21 @@ Status SpillingByteQueue::Push(std::string frame) {
       return Status::OK();
     }
     if (options_.spill_enabled &&
-        SQLINK_FAILPOINT("stream.spill.write") == FailpointOutcome::kNone) {
+        SQLINK_FAILPOINT("stream.spill.write") == FailpointOutcome::kNone &&
+        ChargeBudgetLocked(static_cast<int64_t>(frame.size()))) {
       // An injected spill failure is evaluated before any bytes reach disk,
       // so the queue can degrade to backpressure instead of corrupting the
-      // spill file; genuine write failures below still fail hard.
+      // spill file; genuine write failures below still fail hard. The
+      // per-query spill budget is likewise checked up front: when exhausted
+      // this Push degrades to backpressure instead of growing the spill
+      // directory, and the producer retries as the consumer drains.
       spilling_ = true;
       TraceSpan span("spill.write");
       Stopwatch timer;
       auto appended = spill_.Append(frame);
       if (!appended.ok()) {
         span.SetError();
+        ReleaseBudgetLocked(static_cast<int64_t>(frame.size()));
         return appended.status();
       }
       ++spill_written_;
@@ -135,8 +146,33 @@ Status SpillingByteQueue::Push(std::string frame) {
       consumer_cv_.notify_one();
       return Status::OK();
     }
-    // Backpressure: wait for the consumer.
-    producer_cv_.wait(lock);
+    // Backpressure: wait for the consumer. When a spill budget is in play
+    // the wake-up may come from a sibling queue of the same query draining
+    // (it releases shared budget but signals its own condvar), so poll.
+    if (options_.spill_budget && !options_.spill_budget->unlimited()) {
+      producer_cv_.wait_for(lock, std::chrono::milliseconds(1));
+    } else {
+      producer_cv_.wait(lock);
+    }
+  }
+}
+
+bool SpillingByteQueue::ChargeBudgetLocked(int64_t bytes) {
+  if (!options_.spill_budget) return true;
+  if (!options_.spill_budget->TryCharge(bytes)) {
+    budget_parks_total_->Increment();
+    return false;
+  }
+  budget_outstanding_ += bytes;
+  return true;
+}
+
+void SpillingByteQueue::ReleaseBudgetLocked(int64_t bytes) {
+  if (!options_.spill_budget) return;
+  const int64_t release = bytes < budget_outstanding_ ? bytes : budget_outstanding_;
+  if (release > 0) {
+    options_.spill_budget->Release(release);
+    budget_outstanding_ -= release;
   }
 }
 
@@ -175,6 +211,7 @@ Result<std::optional<std::string>> SpillingByteQueue::Pop() {
       spill_read_micros_->Record(timer.ElapsedMicros());
       drain_frames_total_->Increment();
       depth_frames_->Decrement();
+      ReleaseBudgetLocked(static_cast<int64_t>(frame->size()));
       span.AddAttribute("bytes", static_cast<int64_t>(frame->size()));
       if (spill_read_ == spill_written_) {
         // Disk backlog drained; producer may use memory again.
@@ -192,8 +229,10 @@ void SpillingByteQueue::Cancel() {
   std::lock_guard<std::mutex> lock(mu_);
   cancelled_ = true;
   // Drop the disk backlog immediately: an aborted query must not leave
-  // .spill files for the operator to clean up.
+  // .spill files for the operator to clean up, and its budget charge must
+  // return to the pool so neighbor queries can use it.
   spill_.Remove();
+  ReleaseBudgetLocked(budget_outstanding_);
   producer_cv_.notify_all();
   consumer_cv_.notify_all();
 }

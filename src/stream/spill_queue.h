@@ -9,6 +9,7 @@
 #include <optional>
 #include <string>
 
+#include "common/byte_budget.h"
 #include "common/metrics.h"
 #include "common/result.h"
 
@@ -72,6 +73,11 @@ class SpillingByteQueue {
     size_t memory_capacity_bytes = 4096;
     bool spill_enabled = true;
     std::string spill_path;  ///< Required when spill_enabled.
+    /// Optional per-query spill quota shared by every queue of the query.
+    /// When exhausted, Push degrades to backpressure (parking the producer)
+    /// instead of growing the spill directory — the serving layer's
+    /// end-to-end overload defense. Null means no quota.
+    ByteBudgetPtr spill_budget;
   };
 
   explicit SpillingByteQueue(Options options);
@@ -99,6 +105,12 @@ class SpillingByteQueue {
   int64_t spilled_bytes() const;
 
  private:
+  /// Charges `bytes` to the per-query budget (if any); returns false and
+  /// counts a budget park when the quota is exhausted. Caller holds mu_.
+  bool ChargeBudgetLocked(int64_t bytes);
+  /// Returns up to `bytes` of this queue's outstanding charge to the budget.
+  void ReleaseBudgetLocked(int64_t bytes);
+
   Options options_;
   mutable std::mutex mu_;
   std::condition_variable producer_cv_;
@@ -114,6 +126,7 @@ class SpillingByteQueue {
   uint64_t spill_read_offset_ = 0;
   bool producer_closed_ = false;
   bool cancelled_ = false;
+  int64_t budget_outstanding_ = 0;  ///< Spill bytes charged, not yet drained.
 
   // Shared instrument handles (resolved once in the constructor; all
   // SpillingByteQueues aggregate into the same global instruments).
@@ -122,6 +135,7 @@ class SpillingByteQueue {
   Counter* spill_frames_total_;
   Counter* spill_bytes_total_;
   Counter* drain_frames_total_;
+  Counter* budget_parks_total_;
   Histogram* spill_write_micros_;
   Histogram* spill_read_micros_;
 };

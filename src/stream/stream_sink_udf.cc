@@ -455,9 +455,16 @@ Status SqlStreamSinkUdf::RunTransfer(const TableUdfContext& context,
     SpillingByteQueue::Options queue_options;
     queue_options.memory_capacity_bytes = options_.send_buffer_bytes;
     queue_options.spill_enabled = options_.spill_enabled;
-    queue_options.spill_path = scratch_dir + "/stream_spill_w" +
+    // The query id keeps scratch paths distinct when several queries run
+    // concurrently on one engine — without it, two pipelines truncate and
+    // delete each other's spill files.
+    queue_options.spill_path = scratch_dir + "/stream_spill_q" +
+                               std::to_string(context.query_id) + "_w" +
                                std::to_string(context.worker_id) + "_t" +
                                std::to_string(j);
+    // Per-query spill quota (serving layer): when exhausted, Push degrades
+    // to backpressure instead of growing the shared spill directory.
+    queue_options.spill_budget = context.spill_budget;
     queues.push_back(std::make_unique<SpillingByteQueue>(queue_options));
   }
 
@@ -480,6 +487,24 @@ Status SqlStreamSinkUdf::RunTransfer(const TableUdfContext& context,
   HeartbeatSender heartbeat(beat_options);
   heartbeat.Start();
 
+  // Per-query cancellation (client disconnect, deadline): same unwind as a
+  // lease revocation — cancel the queues, wake parked senders. The guard is
+  // declared after the queues so its destructor removes the callback (and
+  // waits out any in-flight cancel pass) BEFORE the queues are destroyed.
+  struct CancelGuard {
+    Cancellation* cancellation;
+    int64_t id = 0;
+    ~CancelGuard() {
+      if (cancellation != nullptr) cancellation->RemoveCallback(id);
+    }
+  } cancel_guard{context.cancellation};
+  if (context.cancellation != nullptr) {
+    cancel_guard.id = context.cancellation->OnCancel([&queues, &inboxes] {
+      for (auto& queue : queues) queue->Cancel();
+      for (auto& inbox : inboxes) inbox->Close();
+    });
+  }
+
   static Counter* const replayed_counter =
       MetricsRegistry::Global().GetCounter("transfer.frames_replayed");
 
@@ -496,7 +521,8 @@ Status SqlStreamSinkUdf::RunTransfer(const TableUdfContext& context,
       ReplayWindow::Options window_options;
       window_options.memory_capacity_bytes = options_.replay_window_bytes;
       window_options.spill_enabled = options_.spill_enabled;
-      window_options.spill_path = scratch_dir + "/stream_replay_w" +
+      window_options.spill_path = scratch_dir + "/stream_replay_q" +
+                                  std::to_string(context.query_id) + "_w" +
                                   std::to_string(context.worker_id) + "_t" +
                                   std::to_string(j);
       window_options.buffer_pool = frame_pool;
@@ -731,6 +757,12 @@ Status SqlStreamSinkUdf::RunTransfer(const TableUdfContext& context,
     }
   }
   if (heartbeat.revoked()) transfer_status = heartbeat.status();
+  if (!transfer_status.ok() && context.cancellation != nullptr &&
+      context.cancellation->cancelled()) {
+    // Surface the typed cancellation status (kCancelled / deadline) instead
+    // of the generic "queue cancelled" the unwind produced.
+    transfer_status = context.cancellation->status();
+  }
   if (!transfer_status.ok()) {
     // The SQL side is done for: broadcast the abort so readers and the
     // runner drain promptly instead of waiting out lease TTLs.
@@ -776,8 +808,11 @@ Status SqlStreamSinkUdf::RunTransfer(const TableUdfContext& context,
 
 Status RegisterStreamSinkUdf(SqlEngine* engine) {
   if (engine->table_udfs()->Contains("sql_stream_sink")) return Status::OK();
-  return engine->table_udfs()->Register(
+  Status registered = engine->table_udfs()->Register(
       "sql_stream_sink", [] { return std::make_shared<SqlStreamSinkUdf>(); });
+  // Concurrent transfers race to register first; losing the race is fine.
+  if (registered.IsAlreadyExists()) return Status::OK();
+  return registered;
 }
 
 }  // namespace sqlink

@@ -84,7 +84,22 @@ Result<TransferResultT> RunTransfer(SqlEngine* engine,
   const std::string sink_sql = StreamingTransfer::BuildSinkSql(
       query_sql, coordinator->host(), coordinator_port, options.command,
       options.sink);
-  auto sql_result = engine->ExecuteSql(sink_sql, "stream_summary");
+
+  // A cancellation must also abort THIS transfer's coordinator: the abort
+  // broadcast drains readers and releases splits/replay state promptly,
+  // while neighbor queries (each with their own coordinator) are untouched.
+  int64_t cancel_id = 0;
+  if (options.query.cancellation != nullptr) {
+    StreamCoordinator* coordinator_raw = coordinator.get();
+    cancel_id = options.query.cancellation->OnCancel([coordinator_raw] {
+      coordinator_raw->Abort(Status::Cancelled("query cancelled"));
+    });
+  }
+  auto sql_result = engine->ExecuteSql(sink_sql, "stream_summary",
+                                       options.query);
+  if (options.query.cancellation != nullptr) {
+    options.query.cancellation->RemoveCallback(cancel_id);
+  }
 
   Result<TransferResultT> outcome = [&]() -> Result<TransferResultT> {
     if (!sql_result.ok()) {

@@ -21,6 +21,11 @@ struct StreamTransferOptions {
   /// Command string passed through the coordinator to the ML launcher (the
   /// paper's "command and arguments to invoke the desired ML algorithm").
   std::string command = "ingest";
+  /// Serving-layer options threaded into the engine run: cooperative
+  /// cancellation (a cancel also aborts the transfer's coordinator so
+  /// readers and replay state unwind promptly), the per-query spill quota,
+  /// and tenant attribution. See QueryOptions.
+  QueryOptions query;
 };
 
 /// Outcome of one end-to-end streaming transfer.

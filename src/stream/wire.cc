@@ -443,7 +443,7 @@ Status DecodeStatusPayload(std::string_view payload) {
   Decoder decoder(payload.substr(1));
   auto code = decoder.GetVarint64();
   if (!code.ok() || *code == 0 ||
-      *code > static_cast<uint64_t>(StatusCode::kParseError)) {
+      *code > static_cast<uint64_t>(StatusCode::kOverloaded)) {
     return fallback();
   }
   auto message = decoder.GetLengthPrefixed();

@@ -52,6 +52,13 @@ enum class FrameType : uint8_t {
   // tile onto a consistent base.
   kColData = 25,   ///< Columnar batch; leading varint is the row count.
   kDictPage = 26,  ///< Per-channel string-dictionary snapshot.
+
+  // Serving plane (src/serving): client ↔ query server. One query per
+  // connection; an overloaded server answers kSubmitQuery with kError
+  // carrying a typed kOverloaded status.
+  kSubmitQuery = 27,  ///< Client → server; payload = SubmitQueryMessage.
+  kQueryResult = 28,  ///< Server → client; payload = schema + rows.
+  kCancelQuery = 29,  ///< Client → server: cancel the in-flight query.
 };
 
 struct Frame {
