@@ -1,0 +1,232 @@
+// Mux fabric benchmark (ISSUE 9): the PR 8 concurrency sweep (1/4/16/64
+// clients) rerun over the sink→reader data plane, with the connection mux
+// on and off. Each client is one full streaming-transfer pipeline (SQL scan
+// → sink UDF → reader ingest), so every client opens real data channels;
+// the GROUP BY serving bench never touches the data plane.
+//
+// The interesting property is socket economy without a latency tax: with
+// SQLINK_MUX on, 64 concurrent pipelines share at most
+// SQLINK_MUX_CONNS_PER_PEER pooled sockets per sink peer (the in-process
+// cluster exposes one shared sink listener, i.e. one peer), while the
+// unmuxed path dials one socket per split per pipeline (~64×splits). Tail
+// latency must not regress: per-channel credit windows stop one slow
+// channel from head-of-line-blocking its socket-mates.
+//
+// `bench_mux [rows]` prints the table; with SQLINK_BENCH_JSON set, one
+// JSON line per (mode, concurrency) cell is emitted. `--smoke` shrinks the
+// workload for CI; `--check` exits non-zero when any transfer fails, when
+// mux mode opens more than 2×SQLINK_MUX_CONNS_PER_PEER×peers sockets at 64
+// clients, or when mux p99 at 64 clients regresses past the unmuxed
+// baseline (with headroom for scheduler noise).
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/runtime_flags.h"
+#include "common/stopwatch.h"
+#include "net/conn_pool.h"
+#include "stream/streaming_transfer.h"
+
+using namespace sqlink;
+
+namespace {
+
+struct LevelResult {
+  double wall_s = 0;
+  std::vector<double> latencies_ms;
+  int failures = 0;
+  std::string first_failure;     // status of the first failed transfer
+  int64_t sockets = 0;           // data dials during the level
+  int64_t coalesced_frames = 0;  // frames that shared a writev
+  int64_t window_stalls = 0;     // sends parked on an empty credit window
+
+  double qps() const {
+    return wall_s > 0 ? static_cast<double>(latencies_ms.size()) / wall_s : 0;
+  }
+  double Percentile(double p) const {
+    if (latencies_ms.empty()) return 0;
+    std::vector<double> sorted = latencies_ms;
+    std::sort(sorted.begin(), sorted.end());
+    const size_t index = std::min(
+        sorted.size() - 1,
+        static_cast<size_t>(p * static_cast<double>(sorted.size())));
+    return sorted[index];
+  }
+};
+
+/// Runs `concurrency` streaming-transfer pipelines at once (one per client
+/// thread) and measures per-pipeline latency plus the data-socket count.
+LevelResult RunLevel(SqlEngine* engine, int concurrency, int64_t rows,
+                     bool mux_on) {
+  SetMuxEnabledForTest(mux_on ? 1 : 0);
+  // Drop pooled connections from the previous cell, then zero the metrics,
+  // so `stream.reader.data_dials` counts exactly this cell's sockets.
+  MuxConnPool::Global().ResetForTest();
+  MetricsRegistry::Global().Reset();
+
+  LevelResult result;
+  std::mutex mu;
+  std::atomic<int> failures{0};
+  Stopwatch wall;
+  std::vector<std::thread> clients;
+  for (int c = 0; c < concurrency; ++c) {
+    clients.emplace_back([&] {
+      Stopwatch latency;
+      auto transfer =
+          StreamingTransfer::Run(engine, "SELECT * FROM points", {});
+      if (!transfer.ok() ||
+          transfer->dataset.TotalRows() != static_cast<size_t>(rows)) {
+        ++failures;
+        std::lock_guard<std::mutex> lock(mu);
+        if (result.first_failure.empty()) {
+          result.first_failure = transfer.ok() ? "incomplete dataset"
+                                               : transfer.status().ToString();
+        }
+        return;
+      }
+      const double ms = latency.ElapsedMicros() / 1000.0;
+      std::lock_guard<std::mutex> lock(mu);
+      result.latencies_ms.push_back(ms);
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  result.wall_s = wall.ElapsedSeconds();
+  result.failures = failures.load();
+  result.sockets = MetricsRegistry::Global().Get("stream.reader.data_dials");
+  result.coalesced_frames =
+      MetricsRegistry::Global().Get("net.mux.coalesced_frames");
+  result.window_stalls =
+      MetricsRegistry::Global().Get("net.mux.window_stalls");
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  bool check = false;
+  int64_t rows = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--check") == 0) {
+      check = true;
+    } else {
+      rows = std::atoll(argv[i]);
+    }
+  }
+  if (rows == 0) rows = smoke ? 500 : 5000;
+
+  SetLogLevel(LogLevel::kError);
+  ScopedTempDir workspace("sqlink_bench_mux");
+  auto cluster = Cluster::Make(4, workspace.path());
+  if (!cluster.ok()) {
+    std::fprintf(stderr, "cluster: %s\n", cluster.status().ToString().c_str());
+    return 1;
+  }
+  auto engine = SqlEngine::Make(*cluster);
+  auto schema = Schema::Make({{"id", DataType::kInt64},
+                              {"feature", DataType::kDouble}});
+  auto table = engine->MakeTable("points", schema);
+  for (int64_t i = 0; i < rows; ++i) {
+    table->AppendRow(static_cast<size_t>(i) % 4,
+                     Row{Value::Int64(i), Value::Double(0.5)});
+  }
+  if (!engine->catalog()->RegisterTable(table).ok()) {
+    std::fprintf(stderr, "register table failed\n");
+    return 1;
+  }
+
+  // All in-process sinks register with the one process-wide MuxSinkServer
+  // listener, so mux mode sees a single peer endpoint. (A real deployment
+  // has one peer per worker host; the per-peer cap is what the formula
+  // checks either way.)
+  const int peers = 1;
+  const int64_t socket_cap =
+      2 * static_cast<int64_t>(MuxConnsPerPeer()) * peers;
+
+  std::printf("=== mux fabric: concurrent pipelines vs sockets + tail ===\n");
+  std::printf("rows per transfer: %lld, conns per peer: %d, peers: %d\n\n",
+              static_cast<long long>(rows), MuxConnsPerPeer(), peers);
+  std::printf("%5s %12s %10s %10s %10s %9s %9s %9s\n", "mux", "concurrency",
+              "qps", "p50(ms)", "p99(ms)", "sockets", "coalesced", "stalls");
+
+  double mux_p99_at_64 = 0;
+  double unmux_p99_at_64 = 0;
+  int64_t mux_sockets_at_64 = 0;
+  int total_failures = 0;
+  for (int concurrency : {1, 4, 16, 64}) {
+    for (bool mux_on : {false, true}) {
+      LevelResult level = RunLevel(engine.get(), concurrency, rows, mux_on);
+      total_failures += level.failures;
+      if (level.failures > 0) {
+        std::fprintf(stderr, "mux=%s concurrency=%d: %d failures (first: %s)\n",
+                     mux_on ? "on" : "off", concurrency, level.failures,
+                     level.first_failure.c_str());
+      }
+      if (concurrency == 64) {
+        (mux_on ? mux_p99_at_64 : unmux_p99_at_64) = level.Percentile(0.99);
+        if (mux_on) mux_sockets_at_64 = level.sockets;
+      }
+      std::printf("%5s %12d %10.1f %10.2f %10.2f %9lld %9lld %9lld\n",
+                  mux_on ? "on" : "off", concurrency, level.qps(),
+                  level.Percentile(0.50), level.Percentile(0.99),
+                  static_cast<long long>(level.sockets),
+                  static_cast<long long>(level.coalesced_frames),
+                  static_cast<long long>(level.window_stalls));
+      sqlink::bench::BenchJsonLine("mux_transfer")
+          .Param("rows", rows)
+          .Param("mux", mux_on)
+          .Param("concurrency", static_cast<int64_t>(concurrency))
+          .Param("qps", level.qps())
+          .Param("p50_ms", level.Percentile(0.50))
+          .Param("p99_ms", level.Percentile(0.99))
+          .Param("sockets", level.sockets)
+          .Param("coalesced_frames", level.coalesced_frames)
+          .Param("window_stalls", level.window_stalls)
+          .Param("failures", static_cast<int64_t>(level.failures))
+          .Param("smoke", smoke)
+          .Emit(level.wall_s * 1000.0);
+    }
+  }
+  SetMuxEnabledForTest(-1);
+  MuxConnPool::Global().ResetForTest();
+
+  std::printf("\nsockets at 64 clients: %lld muxed (cap %lld), "
+              "p99 %0.2fms muxed vs %0.2fms unmuxed\n",
+              static_cast<long long>(mux_sockets_at_64),
+              static_cast<long long>(socket_cap), mux_p99_at_64,
+              unmux_p99_at_64);
+
+  if (check) {
+    if (total_failures > 0) {
+      std::fprintf(stderr, "--check: %d failed transfers\n", total_failures);
+      return 1;
+    }
+    if (mux_sockets_at_64 > socket_cap) {
+      std::fprintf(stderr,
+                   "--check: mux mode dialed %lld data sockets at 64 "
+                   "clients, cap is 2 x %d conns/peer x %d peers = %lld\n",
+                   static_cast<long long>(mux_sockets_at_64),
+                   MuxConnsPerPeer(), peers,
+                   static_cast<long long>(socket_cap));
+      return 1;
+    }
+    // "No worse than unmuxed" with headroom: the suite runs on shared CI
+    // machines, so a hard <= would flake on scheduler noise alone.
+    const double p99_cap = unmux_p99_at_64 * 1.25 + 50.0;
+    if (mux_p99_at_64 > p99_cap) {
+      std::fprintf(stderr,
+                   "--check: mux p99 at 64 clients is %.2fms, unmuxed is "
+                   "%.2fms (allowed %.2fms)\n",
+                   mux_p99_at_64, unmux_p99_at_64, p99_cap);
+      return 1;
+    }
+  }
+  return 0;
+}

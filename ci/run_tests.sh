@@ -43,6 +43,13 @@ echo "==> [${BUILD_DIR}] row-path suite (SQLINK_COLUMNAR=off)"
 (cd "${BUILD_DIR}" &&
  SQLINK_COLUMNAR=off ctest -L 'unit|chaos' --output-on-failure -j "${JOBS}")
 
+# The multiplexed transfer fabric (SQLINK_MUX, default on) must be a pure
+# transport optimization: the whole suite reruns with the legacy
+# one-socket-per-transfer path forced.
+echo "==> [${BUILD_DIR}] legacy-transport suite (SQLINK_MUX=off)"
+(cd "${BUILD_DIR}" &&
+ SQLINK_MUX=off ctest -L 'unit|chaos' --output-on-failure -j "${JOBS}")
+
 # Likewise the vectorized SQL engine (SQLINK_VECTORIZED_SQL, default on):
 # the unit suite reruns with the row-at-a-time operators forced, so both
 # engine modes stay green against the same goldens and differential checks.
@@ -77,6 +84,17 @@ cmake --build "${BUILD_DIR}" -j "${JOBS}" --target bench_serving
 SERVING_BENCH_JSON="$(pwd)/BENCH_pr8.json"
 rm -f "${SERVING_BENCH_JSON}"
 SQLINK_BENCH_JSON="${SERVING_BENCH_JSON}" "${BUILD_DIR}/bench/bench_serving" --smoke --check
+
+# Mux fabric smoke: 1/4/16/64 concurrent streaming pipelines with the
+# shared connection pool on and off — --check fails if mux mode dials more
+# than 2 x SQLINK_MUX_CONNS_PER_PEER x peers data sockets at 64 clients,
+# if p99 regresses past the unmuxed baseline, or if any transfer fails.
+# Series lands in BENCH_pr9.json.
+echo "==> [${BUILD_DIR}] bench smoke (mux fabric sockets + tail latency)"
+cmake --build "${BUILD_DIR}" -j "${JOBS}" --target bench_mux
+MUX_BENCH_JSON="$(pwd)/BENCH_pr9.json"
+rm -f "${MUX_BENCH_JSON}"
+SQLINK_BENCH_JSON="${MUX_BENCH_JSON}" "${BUILD_DIR}/bench/bench_mux" --smoke --check
 
 # Ops-endpoint smoke: start a workload under SQLINK_OPS_PORT, then curl the
 # live endpoints — /metrics must be Prometheus text carrying the planner
@@ -175,6 +193,7 @@ serving_smoke() {
 }
 serving_smoke "" "vectorized engine"
 serving_smoke "SQLINK_VECTORIZED_SQL=off" "row engine"
+serving_smoke "SQLINK_MUX=off" "legacy transport"
 
 if [[ "${SQLINK_SANITIZE}" != "none" ]]; then
   SAN_DIR="${BUILD_DIR}-${SQLINK_SANITIZE}"

@@ -1,0 +1,578 @@
+#include "net/mux.h"
+
+#include <sys/uio.h>
+
+#include <cstdlib>
+#include <thread>
+#include <utility>
+
+#include "common/coding.h"
+#include "common/failpoint.h"
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "common/status_macros.h"
+#include "common/stopwatch.h"
+#include "common/trace.h"
+
+namespace sqlink {
+
+namespace {
+
+struct MuxMetrics {
+  Gauge* open_channels;
+  Gauge* conns;
+  Counter* coalesced_frames;
+  Counter* window_stalls;
+  Counter* slow_channels;
+  Counter* frames_sent;
+  Counter* bytes_sent;
+
+  static const MuxMetrics& Get() {
+    static const MuxMetrics metrics = [] {
+      MetricsRegistry& registry = MetricsRegistry::Global();
+      return MuxMetrics{
+          registry.GetGauge("net.mux.open_channels"),
+          registry.GetGauge("net.mux.conns"),
+          registry.GetCounter("net.mux.coalesced_frames"),
+          registry.GetCounter("net.mux.window_stalls"),
+          registry.GetCounter("net.mux.slow_channels"),
+          // Shared with the direct path: a frame is a frame either way.
+          registry.GetCounter("stream.wire.frames_sent"),
+          registry.GetCounter("stream.wire.bytes_sent")};
+    }();
+    return metrics;
+  }
+};
+
+/// SQLINK_SLOW_QUERY_MS doubles as the slow-channel threshold: a channel
+/// that spent at least this long parked on an empty flow-control window is
+/// worth a log line. Re-read per close so tests can flip it with setenv.
+int64_t SlowChannelThresholdMs() {
+  const char* env = std::getenv("SQLINK_SLOW_QUERY_MS");
+  if (env == nullptr || *env == '\0') return -1;
+  return std::strtoll(env, nullptr, 10);
+}
+
+bool IsDataFrame(FrameType type) {
+  return type == FrameType::kData || type == FrameType::kColData;
+}
+
+Status ChannelClosedByPeer(const Status& close_status) {
+  if (!close_status.ok()) return close_status;
+  return Status::NetworkError("closed");
+}
+
+}  // namespace
+
+// --- SocketFrameChannel -----------------------------------------------------
+
+SocketFrameChannel::SocketFrameChannel(TcpSocket socket)
+    : socket_(std::make_shared<TcpSocket>(std::move(socket))) {}
+
+SocketFrameChannel::SocketFrameChannel(std::shared_ptr<TcpSocket> socket)
+    : socket_(std::move(socket)) {}
+
+Status SocketFrameChannel::Send(FrameType type, std::string_view payload,
+                                uint64_t seq) {
+  return SendFrame(socket_.get(), type, payload, seq);
+}
+
+Result<bool> SocketFrameChannel::ExtractBuffered(Frame* frame) {
+  return ExtractFrame(&buffer_, frame);
+}
+
+Status SocketFrameChannel::Recv(Frame* frame) {
+  if (buffer_.empty() && !peer_closed_) {
+    return RecvFrameInto(socket_.get(), frame, &scratch_);
+  }
+  for (;;) {
+    ASSIGN_OR_RETURN(bool extracted, ExtractBuffered(frame));
+    if (extracted) return Status::OK();
+    if (peer_closed_) {
+      return Status::NetworkError(buffer_.empty() ? "closed"
+                                                  : "closed mid-message");
+    }
+    // Block for at least one byte, then drain whatever else arrived.
+    RETURN_IF_ERROR(socket_->RecvExactly(1, &scratch_));
+    buffer_.append(scratch_);
+    (void)socket_->TryRecv(64 << 10, &buffer_, &peer_closed_);
+  }
+}
+
+Result<bool> SocketFrameChannel::TryRecv(Frame* frame, bool* closed) {
+  if (!peer_closed_) {
+    RETURN_IF_ERROR(
+        socket_->TryRecv(64 << 10, &buffer_, &peer_closed_).status());
+  }
+  ASSIGN_OR_RETURN(bool extracted, ExtractBuffered(frame));
+  if (extracted) return true;
+  if (peer_closed_) {
+    if (!buffer_.empty()) {
+      return Status::NetworkError("closed mid-message");
+    }
+    *closed = true;
+  }
+  return false;
+}
+
+void SocketFrameChannel::Shutdown(const Status& status) {
+  (void)status;
+  socket_->ShutdownBoth();
+}
+
+// --- MuxChannel -------------------------------------------------------------
+
+MuxChannel::MuxChannel(std::shared_ptr<MuxConn> conn, uint32_t id,
+                       int64_t credit)
+    : conn_(std::move(conn)), id_(id), credit_(credit) {
+  MuxMetrics::Get().open_channels->Increment();
+}
+
+MuxChannel::~MuxChannel() { CloseInternal(Status::OK(), /*notify_peer=*/true); }
+
+Status MuxChannel::Send(FrameType type, std::string_view payload,
+                        uint64_t seq) {
+  // Same fault surface as the direct path: chaos tests arm these points and
+  // must keep biting with the mux on.
+  FailpointOutcome outcome = SQLINK_FAILPOINT("stream.wire.send_frame");
+  if (outcome == FailpointOutcome::kNone && IsDataFrame(type)) {
+    outcome = SQLINK_FAILPOINT("stream.wire.send_data");
+  }
+  if (outcome == FailpointOutcome::kError) {
+    return Status::NetworkError("failpoint: injected frame send error");
+  }
+  const bool truncate = outcome == FailpointOutcome::kClose;
+
+  if (IsDataFrame(type) && !truncate) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (credit_ <= 0 && state_.ok() && !remote_closed_) {
+      MuxMetrics::Get().window_stalls->Increment();
+      Stopwatch stall;
+      credit_cv_.wait(lock, [this] {
+        return credit_ > 0 || !state_.ok() || remote_closed_;
+      });
+      stall_micros_ += stall.ElapsedMicros();
+    }
+    if (!state_.ok()) return state_;
+    if (remote_closed_) return ChannelClosedByPeer(close_status_);
+    // Deduct the whole frame even past zero: a frame larger than the window
+    // must still make progress (the balance just goes negative).
+    credit_ -= static_cast<int64_t>(payload.size());
+  } else {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!state_.ok()) return state_;
+    if (remote_closed_) return ChannelClosedByPeer(close_status_);
+  }
+  return conn_->EnqueueWrite(FrameType::kChannelData, id_, seq,
+                             static_cast<int>(type), payload, truncate);
+}
+
+Status MuxChannel::Recv(Frame* frame) {
+  int64_t grant = 0;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    inbox_cv_.wait(lock, [this] {
+      return !inbox_.empty() || !state_.ok() || remote_closed_;
+    });
+    if (inbox_.empty()) {
+      if (!state_.ok()) return state_;
+      return ChannelClosedByPeer(close_status_);
+    }
+    *frame = std::move(inbox_.front());
+    inbox_.pop_front();
+    if (IsDataFrame(frame->type)) {
+      grant = static_cast<int64_t>(frame->payload.size());
+    }
+  }
+  if (grant > 0) {
+    // Replenish the sender's window by what we just consumed. Best effort:
+    // a dead connection surfaces on the next Recv.
+    std::string payload;
+    PutVarint64(&payload, static_cast<uint64_t>(grant));
+    (void)conn_->EnqueueWrite(FrameType::kChannelWindow, id_, /*seq=*/0,
+                              /*inner=*/-1, payload, /*truncate=*/false);
+  }
+  return Status::OK();
+}
+
+Result<bool> MuxChannel::TryRecv(Frame* frame, bool* closed) {
+  int64_t grant = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (inbox_.empty()) {
+      if (!state_.ok()) return state_;
+      if (remote_closed_) *closed = true;
+      return false;
+    }
+    *frame = std::move(inbox_.front());
+    inbox_.pop_front();
+    if (IsDataFrame(frame->type)) {
+      grant = static_cast<int64_t>(frame->payload.size());
+    }
+  }
+  if (grant > 0) {
+    std::string payload;
+    PutVarint64(&payload, static_cast<uint64_t>(grant));
+    (void)conn_->EnqueueWrite(FrameType::kChannelWindow, id_, /*seq=*/0,
+                              /*inner=*/-1, payload, /*truncate=*/false);
+  }
+  return true;
+}
+
+void MuxChannel::Shutdown(const Status& status) {
+  CloseInternal(
+      status.ok() ? Status::NetworkError("channel shut down") : status,
+      /*notify_peer=*/true);
+}
+
+void MuxChannel::OnFrame(Frame&& frame) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (closed_) return;
+  inbox_.push_back(std::move(frame));
+  inbox_cv_.notify_one();
+}
+
+void MuxChannel::AddCredit(int64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  credit_ += bytes;
+  if (credit_ > 0) credit_cv_.notify_all();
+}
+
+void MuxChannel::RemoteClose(const Status& status) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (closed_ || remote_closed_) return;
+  remote_closed_ = true;
+  close_status_ = status;
+  inbox_cv_.notify_all();
+  credit_cv_.notify_all();
+}
+
+void MuxChannel::Fail(const Status& status) {
+  CloseInternal(status.ok() ? Status::NetworkError("mux connection failed")
+                            : status,
+                /*notify_peer=*/false);
+}
+
+void MuxChannel::CloseInternal(const Status& status, bool notify_peer) {
+  int64_t stalled_micros = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return;
+    closed_ = true;
+    state_ = status.ok() ? Status::NetworkError("channel closed") : status;
+    stalled_micros = stall_micros_;
+    inbox_cv_.notify_all();
+    credit_cv_.notify_all();
+  }
+  MuxMetrics::Get().open_channels->Decrement();
+  const int64_t threshold_ms = SlowChannelThresholdMs();
+  if (threshold_ms >= 0 && stalled_micros >= threshold_ms * 1000) {
+    MuxMetrics::Get().slow_channels->Increment();
+    LOG_WARNING() << "slow channel " << id_ << " ("
+                  << static_cast<double>(stalled_micros) / 1000.0
+                  << " ms stalled on flow-control window, threshold "
+                  << threshold_ms << " ms)";
+  }
+  if (notify_peer && !conn_->dead()) {
+    const std::string payload = status.ok() ? "" : EncodeStatus(status);
+    (void)conn_->EnqueueWrite(FrameType::kCloseChannel, id_, /*seq=*/0,
+                              /*inner=*/-1, payload, /*truncate=*/false);
+  }
+  conn_->ReleaseChannel(id_);
+}
+
+// --- MuxConn ----------------------------------------------------------------
+
+std::shared_ptr<MuxConn> MuxConn::Spawn(TcpSocket socket, OpenHandler on_open) {
+  auto conn = std::shared_ptr<MuxConn>(
+      new MuxConn(std::move(socket), std::move(on_open)));
+  // Detached: the thread keeps the connection alive via its own shared_ptr
+  // and exits when the socket dies or is shut down.
+  std::thread([conn] { conn->RecvLoop(); }).detach();
+  return conn;
+}
+
+MuxConn::MuxConn(TcpSocket socket, OpenHandler on_open)
+    : socket_(std::move(socket)), on_open_(std::move(on_open)) {
+  MuxMetrics::Get().conns->Increment();
+}
+
+MuxConn::~MuxConn() {
+  if (!dead_.load(std::memory_order_acquire)) {
+    MuxMetrics::Get().conns->Decrement();
+  }
+  socket_.Close();
+}
+
+Result<FrameChannelPtr> MuxConn::OpenChannel(const OpenChannelMessage& msg) {
+  std::shared_ptr<MuxChannel> channel;
+  uint32_t id = 0;
+  {
+    std::lock_guard<std::mutex> lock(channels_mu_);
+    if (dead()) return Status::NetworkError("mux connection failed");
+    id = next_id_++;
+    channel = std::make_shared<MuxChannel>(
+        shared_from_this(), id, static_cast<int64_t>(msg.window_bytes));
+    channels_[id] = channel;
+  }
+  const Status sent = EnqueueWrite(FrameType::kOpenChannel, id, /*seq=*/0,
+                                   /*inner=*/-1, msg.Encode(),
+                                   /*truncate=*/false);
+  if (!sent.ok()) {
+    channel->Fail(sent);
+    return sent;
+  }
+  return FrameChannelPtr(channel);
+}
+
+void MuxConn::Shutdown(const Status& status) {
+  socket_.ShutdownBoth();  // Wakes the demux thread, which runs Fail().
+  Fail(status.ok() ? Status::NetworkError("mux connection shut down")
+                   : status);
+}
+
+size_t MuxConn::open_channels() const {
+  std::lock_guard<std::mutex> lock(channels_mu_);
+  return channels_.size();
+}
+
+Status MuxConn::EnqueueWrite(FrameType outer, uint32_t channel, uint64_t seq,
+                             int inner, std::string_view payload,
+                             bool truncate) {
+  PendingWrite pending;
+  const size_t inner_bytes = inner >= 0 ? 1 : 0;
+  EncodeFrameHeader(pending.head, outer,
+                    static_cast<uint32_t>(payload.size() + inner_bytes), seq,
+                    channel, Tracer::CurrentContext());
+  if (inner >= 0) pending.head[kFrameHeaderBytes] = static_cast<char>(inner);
+  pending.head_len = kFrameHeaderBytes + inner_bytes;
+  pending.payload = payload;
+  pending.truncate = truncate;
+
+  std::unique_lock<std::mutex> lock(write_mu_);
+  if (dead()) {
+    // death_status_ is written under this mutex; a racing Fail() may have
+    // set dead_ but not the status yet.
+    return death_status_.ok() ? Status::NetworkError("mux connection failed")
+                              : death_status_;
+  }
+  write_queue_.push_back(&pending);
+  // Group commit: whoever finds no active flusher becomes it and drains the
+  // queue — including frames enqueued by other channels meanwhile — with one
+  // scatter-gather send per batch. Everyone else waits for their frame.
+  while (flusher_active_) {
+    if (pending.done) return pending.status;
+    write_cv_.wait(lock);
+  }
+  if (pending.done) return pending.status;
+  flusher_active_ = true;
+  while (!write_queue_.empty()) {
+    std::vector<PendingWrite*> batch(write_queue_.begin(), write_queue_.end());
+    write_queue_.clear();
+    if (dead()) {
+      for (PendingWrite* w : batch) {
+        w->status = death_status_;
+        w->done = true;
+      }
+      break;
+    }
+    lock.unlock();
+
+    Status status;
+    // A truncating write (mid-frame failpoint) must be the last thing on the
+    // wire: flush everything before it, ship half of it, kill the socket.
+    size_t cut = batch.size();
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (batch[i]->truncate) {
+        cut = i;
+        break;
+      }
+    }
+    std::vector<::iovec> iov;
+    iov.reserve(cut * 2);
+    size_t wire_bytes = 0;
+    for (size_t i = 0; i < cut; ++i) {
+      PendingWrite* w = batch[i];
+      iov.push_back({const_cast<char*>(w->head), w->head_len});
+      wire_bytes += w->head_len + w->payload.size();
+      if (!w->payload.empty()) {
+        iov.push_back(
+            {const_cast<char*>(w->payload.data()), w->payload.size()});
+      }
+    }
+    if (!iov.empty()) {
+      status = socket_.SendAllIov(iov.data(), iov.size());
+      if (status.ok()) {
+        const MuxMetrics& metrics = MuxMetrics::Get();
+        if (cut > 1) metrics.coalesced_frames->Add(static_cast<int64_t>(cut));
+        metrics.frames_sent->Add(static_cast<int64_t>(cut));
+        metrics.bytes_sent->Add(static_cast<int64_t>(wire_bytes));
+      }
+    }
+    if (status.ok() && cut < batch.size()) {
+      PendingWrite* w = batch[cut];
+      const size_t total = w->head_len + w->payload.size();
+      const size_t half = total / 2;
+      if (half <= w->head_len) {
+        (void)socket_.SendAll(std::string_view(w->head, half));
+      } else {
+        (void)socket_.SendAllV(std::string_view(w->head, w->head_len),
+                               w->payload.substr(0, half - w->head_len));
+      }
+      // ShutdownBoth, not Close: the conn's RecvLoop may be blocked in
+      // recv() on this fd. close() neither wakes it nor sends a FIN while
+      // the syscall pins the socket, and it frees the fd number for reuse —
+      // a zombie RecvLoop on a recycled fd steals frames from whoever owns
+      // it next. shutdown() wakes the local reader and FINs the peer; the
+      // fd itself is released by the MuxConn destructor.
+      socket_.ShutdownBoth();
+      status = Status::NetworkError("failpoint: connection dropped mid-frame");
+    }
+
+    lock.lock();
+    for (PendingWrite* w : batch) {
+      w->status = status;
+      w->done = true;
+    }
+    write_cv_.notify_all();
+    if (!status.ok()) {
+      lock.unlock();
+      Fail(status);
+      lock.lock();
+      break;
+    }
+  }
+  flusher_active_ = false;
+  write_cv_.notify_all();
+  return pending.status;
+}
+
+void MuxConn::ReleaseChannel(uint32_t id) {
+  std::lock_guard<std::mutex> lock(channels_mu_);
+  channels_.erase(id);
+}
+
+std::shared_ptr<MuxChannel> MuxConn::FindChannel(uint32_t id) {
+  std::lock_guard<std::mutex> lock(channels_mu_);
+  auto it = channels_.find(id);
+  if (it == channels_.end()) return nullptr;
+  std::shared_ptr<MuxChannel> channel = it->second.lock();
+  if (channel == nullptr) channels_.erase(it);
+  return channel;
+}
+
+void MuxConn::RecvLoop() {
+  Frame frame;
+  std::string scratch;
+  for (;;) {
+    // Chaos surface for the shared connection itself: killing it here must
+    // fail every multiplexed channel at once (the recovery the chaos test
+    // asserts on).
+    switch (SQLINK_FAILPOINT("net.mux.recv")) {
+      case FailpointOutcome::kNone:
+        break;
+      case FailpointOutcome::kError:
+      case FailpointOutcome::kClose:
+        // ShutdownBoth (via Fail), not Close: a flusher thread may be
+        // mid-send on this fd, and close() would free the fd number under
+        // it. Fail() shuts the socket down; the destructor closes the fd.
+        Fail(Status::NetworkError("failpoint: mux connection killed"));
+        return;
+    }
+    const Status status = RecvFrameInto(&socket_, &frame, &scratch);
+    if (!status.ok()) {
+      Fail(status);
+      return;
+    }
+    switch (frame.type) {
+      case FrameType::kOpenChannel: {
+        auto decoded = OpenChannelMessage::Decode(frame.payload);
+        if (!decoded.ok()) {
+          Fail(decoded.status());
+          return;
+        }
+        std::shared_ptr<MuxChannel> channel;
+        {
+          std::lock_guard<std::mutex> lock(channels_mu_);
+          channel = std::make_shared<MuxChannel>(
+              shared_from_this(), frame.channel,
+              static_cast<int64_t>(decoded->window_bytes));
+          channels_[frame.channel] = channel;
+        }
+        if (on_open_ != nullptr) {
+          on_open_(channel, *decoded);
+        } else {
+          channel->Shutdown(
+              Status::InvalidArgument("unexpected kOpenChannel on client"));
+        }
+        break;
+      }
+      case FrameType::kChannelData: {
+        if (frame.payload.empty()) {
+          Fail(Status::DataLoss("empty kChannelData frame"));
+          return;
+        }
+        std::shared_ptr<MuxChannel> channel = FindChannel(frame.channel);
+        if (channel == nullptr) break;  // Late frame for a closed channel.
+        Frame inner;
+        inner.type = static_cast<FrameType>(frame.payload[0]);
+        inner.payload.assign(frame.payload, 1, std::string::npos);
+        inner.seq = frame.seq;
+        inner.channel = frame.channel;
+        inner.trace = frame.trace;
+        channel->OnFrame(std::move(inner));
+        break;
+      }
+      case FrameType::kChannelWindow: {
+        std::shared_ptr<MuxChannel> channel = FindChannel(frame.channel);
+        if (channel == nullptr) break;
+        Decoder decoder(frame.payload);
+        auto bytes = decoder.GetVarint64();
+        if (bytes.ok()) channel->AddCredit(static_cast<int64_t>(*bytes));
+        break;
+      }
+      case FrameType::kCloseChannel: {
+        std::shared_ptr<MuxChannel> channel = FindChannel(frame.channel);
+        if (channel == nullptr) break;
+        channel->RemoteClose(frame.payload.empty()
+                                 ? Status::OK()
+                                 : DecodeStatusPayload(frame.payload));
+        ReleaseChannel(frame.channel);
+        break;
+      }
+      default:
+        Fail(Status::DataLoss("unexpected frame type on mux connection"));
+        return;
+    }
+  }
+}
+
+void MuxConn::Fail(const Status& status) {
+  const Status death = status.ok()
+                           ? Status::NetworkError("mux connection failed")
+                           : status;
+  std::vector<std::shared_ptr<MuxChannel>> channels;
+  {
+    std::lock_guard<std::mutex> lock(channels_mu_);
+    if (dead_.exchange(true, std::memory_order_acq_rel)) return;
+    for (auto& [id, weak] : channels_) {
+      if (auto channel = weak.lock()) channels.push_back(std::move(channel));
+    }
+    channels_.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lock(write_mu_);
+    death_status_ = death;
+    for (PendingWrite* w : write_queue_) {
+      w->status = death;
+      w->done = true;
+    }
+    write_queue_.clear();
+    write_cv_.notify_all();
+  }
+  socket_.ShutdownBoth();
+  MuxMetrics::Get().conns->Decrement();
+  for (auto& channel : channels) channel->Fail(death);
+}
+
+}  // namespace sqlink

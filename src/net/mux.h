@@ -1,0 +1,204 @@
+#ifndef SQLINK_NET_MUX_H_
+#define SQLINK_NET_MUX_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "stream/socket.h"
+#include "stream/wire.h"
+
+namespace sqlink {
+
+/// One logical sink→reader transfer stream, independent of how it reaches
+/// the peer: a dedicated socket (SQLINK_MUX=off) or a channel multiplexed
+/// onto a shared connection. The sink's sender and the reader speak the
+/// same §6 frame protocol (kResume/kSchema/kDictPage/kData/kColData/kEnd +
+/// kDataAck/kAck) through this interface, so replay, dedupe, and resume are
+/// transport-agnostic.
+///
+/// Threading: Send and Recv/TryRecv each have one caller at a time (they
+/// may be different threads); Shutdown may race both.
+class FrameChannel {
+ public:
+  virtual ~FrameChannel() = default;
+
+  /// Sends one frame. `seq` = 0 for frames outside the replay protocol.
+  /// Stamps the calling thread's current trace span.
+  virtual Status Send(FrameType type, std::string_view payload,
+                      uint64_t seq) = 0;
+
+  /// Blocks for the next frame. A peer that closed the channel (or a dead
+  /// transport) surfaces as a non-OK status.
+  virtual Status Recv(Frame* frame) = 0;
+
+  /// Non-blocking receive: true = a frame was produced, false = nothing
+  /// pending right now. `*closed` is set when the peer has closed cleanly
+  /// and every buffered frame has been drained (no more will arrive). A
+  /// broken transport is an error only once buffered frames are exhausted.
+  virtual Result<bool> TryRecv(Frame* frame, bool* closed) = 0;
+
+  /// Closes this channel only — never a shared socket — waking any thread
+  /// parked in Send (flow-control credit) or Recv, and telling the peer
+  /// best-effort why. Safe to call from any thread, more than once.
+  virtual void Shutdown(const Status& status) = 0;
+};
+
+using FrameChannelPtr = std::shared_ptr<FrameChannel>;
+
+/// Legacy transport: one dedicated TCP socket per transfer stream. Wraps
+/// either an owned socket (reader side) or a shared accepted socket (sink
+/// side). Receive buffers bytes fetched out-of-band so non-blocking ack
+/// drains and blocking receives interleave on one connection.
+class SocketFrameChannel final : public FrameChannel {
+ public:
+  explicit SocketFrameChannel(TcpSocket socket);
+  explicit SocketFrameChannel(std::shared_ptr<TcpSocket> socket);
+
+  Status Send(FrameType type, std::string_view payload, uint64_t seq) override;
+  Status Recv(Frame* frame) override;
+  Result<bool> TryRecv(Frame* frame, bool* closed) override;
+  void Shutdown(const Status& status) override;
+
+ private:
+  /// Parses one complete frame out of `buffer_`; false = need more bytes.
+  Result<bool> ExtractBuffered(Frame* frame);
+
+  std::shared_ptr<TcpSocket> socket_;
+  std::string buffer_;     ///< Bytes received but not yet parsed.
+  std::string scratch_;    ///< Header scratch for the blocking fast path.
+  bool peer_closed_ = false;
+};
+
+class MuxConn;
+
+/// One multiplexed channel on a shared connection. Frames travel wrapped in
+/// kChannelData with a one-byte inner-type prefix; data frames additionally
+/// consume per-channel credit (kChannelWindow replenishes it), so one slow
+/// reader parks only its own channel, never its socket-mates.
+class MuxChannel final : public FrameChannel,
+                         public std::enable_shared_from_this<MuxChannel> {
+ public:
+  MuxChannel(std::shared_ptr<MuxConn> conn, uint32_t id, int64_t credit);
+  ~MuxChannel() override;
+
+  Status Send(FrameType type, std::string_view payload, uint64_t seq) override;
+  Status Recv(Frame* frame) override;
+  Result<bool> TryRecv(Frame* frame, bool* closed) override;
+  void Shutdown(const Status& status) override;
+
+  uint32_t id() const { return id_; }
+
+  // --- Called by MuxConn's demux thread. ---
+  void OnFrame(Frame&& frame);
+  void AddCredit(int64_t bytes);
+  /// Peer sent kCloseChannel; `status` is OK for a clean close.
+  void RemoteClose(const Status& status);
+  /// The shared connection died; every Send/Recv fails with `status`.
+  void Fail(const Status& status);
+
+ private:
+  /// Marks the channel closed, wakes every waiter, optionally notifies the
+  /// peer (kCloseChannel) and always deregisters from the connection.
+  void CloseInternal(const Status& status, bool notify_peer);
+
+  const std::shared_ptr<MuxConn> conn_;
+  const uint32_t id_;
+
+  std::mutex mu_;
+  std::condition_variable credit_cv_;
+  std::condition_variable inbox_cv_;
+  std::deque<Frame> inbox_;
+  int64_t credit_;             ///< Sender-side; only data frames deduct.
+  bool closed_ = false;        ///< Local close/shutdown or transport death.
+  bool remote_closed_ = false; ///< Peer sent kCloseChannel.
+  Status close_status_;        ///< Why the peer closed (OK = clean close).
+  Status state_;               ///< Why the channel is unusable (OK = alive).
+  int64_t stall_micros_ = 0;   ///< Time spent parked on an empty window.
+};
+
+/// One shared sink→reader TCP connection carrying many channels. Owns the
+/// socket, a demux thread (routes inbound frames to channel inboxes), and a
+/// write-side coalescer: concurrent senders enqueue frames and the first
+/// becomes the flusher, batching everything queued — across channels — into
+/// one scatter-gather sendmsg (net.mux.coalesced_frames counts batched
+/// frames).
+class MuxConn : public std::enable_shared_from_this<MuxConn> {
+ public:
+  /// Invoked on the demux thread for every kOpenChannel (server side).
+  using OpenHandler =
+      std::function<void(FrameChannelPtr, const OpenChannelMessage&)>;
+
+  /// Wraps `socket` and starts the demux thread. `on_open` = nullptr for
+  /// the client (reader) side, which opens channels itself.
+  static std::shared_ptr<MuxConn> Spawn(TcpSocket socket, OpenHandler on_open);
+
+  ~MuxConn();
+
+  /// Client side: allocates a channel id, registers the channel, and sends
+  /// kOpenChannel. The sink's first frame on the channel answers the
+  /// embedded HELLO (kResume), or kCloseChannel rejects it.
+  Result<FrameChannelPtr> OpenChannel(const OpenChannelMessage& msg);
+
+  /// Kills the connection: every channel and queued write fails with
+  /// `status`, and the socket is shut down (waking the demux thread).
+  void Shutdown(const Status& status);
+
+  bool dead() const { return dead_.load(std::memory_order_acquire); }
+  size_t open_channels() const;
+
+  // --- Internal (MuxChannel). ---
+  /// Sends one wrapped frame: inner >= 0 wraps it as kChannelData with that
+  /// inner type byte; inner < 0 sends `outer` verbatim (control frames).
+  /// `truncate` (from a mid-frame failpoint) ships only half the frame and
+  /// kills the connection. Blocks until the frame is on the wire.
+  Status EnqueueWrite(FrameType outer, uint32_t channel, uint64_t seq,
+                      int inner, std::string_view payload, bool truncate);
+  void ReleaseChannel(uint32_t id);
+
+ private:
+  MuxConn(TcpSocket socket, OpenHandler on_open);
+
+  void RecvLoop();
+  void Fail(const Status& status);
+  std::shared_ptr<MuxChannel> FindChannel(uint32_t id);
+
+  /// One frame waiting in the coalescer. `head` holds the encoded wire
+  /// header (+ inner type byte for kChannelData); the payload stays a view
+  /// because the enqueuing thread blocks until the flusher finishes it.
+  struct PendingWrite {
+    char head[kFrameHeaderBytes + 1];
+    size_t head_len = 0;
+    std::string_view payload;
+    bool truncate = false;
+    bool done = false;
+    Status status;
+  };
+
+  TcpSocket socket_;
+  OpenHandler on_open_;
+  std::atomic<bool> dead_{false};
+
+  std::mutex write_mu_;
+  std::condition_variable write_cv_;
+  std::deque<PendingWrite*> write_queue_;
+  bool flusher_active_ = false;
+  Status death_status_;  ///< Valid once dead_.
+
+  mutable std::mutex channels_mu_;
+  std::unordered_map<uint32_t, std::weak_ptr<MuxChannel>> channels_;
+  uint32_t next_id_ = 1;
+};
+
+}  // namespace sqlink
+
+#endif  // SQLINK_NET_MUX_H_

@@ -78,6 +78,9 @@ void AppendRecordJson(const QueryRecord& record, std::string* out) {
             ",\"spilled_frames\":" +
             std::to_string(record.transfer_spilled_frames.load(
                 std::memory_order_relaxed)) +
+            ",\"channels\":" +
+            std::to_string(record.transfer_channels.load(
+                std::memory_order_relaxed)) +
             "}";
   }
   if (record.stats != nullptr) {

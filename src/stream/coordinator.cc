@@ -31,6 +31,8 @@ const char* HandlerSpanName(FrameType type) {
       return "coordinator.acquire_split";
     case FrameType::kCompleteSplit:
       return "coordinator.complete_split";
+    case FrameType::kSplitStatus:
+      return "coordinator.split_status";
     case FrameType::kAbortQuery:
       return "coordinator.abort_query";
     default:
@@ -211,9 +213,19 @@ void StreamCoordinator::HandleConnection(TcpSocket* socket) {
   // A connection carries a sequence of control frames: one-shot clients
   // (registration, split fetch, matchmaking) send a single frame and close;
   // heartbeat senders keep theirs open for the whole transfer.
+  //
+  // The gauge counts connections that carried at least one heartbeat: with
+  // the shared heartbeat bus it stays at one per peer process no matter how
+  // many leases beat over it.
+  Gauge* const heartbeat_conns =
+      MetricsRegistry::Global().GetGauge("coordinator.heartbeat_conns");
+  bool counted_heartbeat_conn = false;
   for (;;) {
     auto frame = RecvFrame(socket);
-    if (!frame.ok()) return;  // Peer closed (or Stop shut us down).
+    if (!frame.ok()) {
+      if (counted_heartbeat_conn) heartbeat_conns->Decrement();
+      return;  // Peer closed (or Stop shut us down).
+    }
     // The handler span continues the trace carried in the frame header: its
     // parent is the remote caller's span, so one query's trace crosses the
     // control plane.
@@ -239,12 +251,19 @@ void StreamCoordinator::HandleConnection(TcpSocket* socket) {
         break;
       case FrameType::kHeartbeat:
         status = HandleHeartbeat(socket, *frame);
+        if (!counted_heartbeat_conn) {
+          counted_heartbeat_conn = true;
+          heartbeat_conns->Increment();
+        }
         break;
       case FrameType::kAcquireSplit:
         status = HandleAcquireSplit(socket, *frame);
         break;
       case FrameType::kCompleteSplit:
         status = HandleCompleteSplit(socket, *frame);
+        break;
+      case FrameType::kSplitStatus:
+        status = HandleSplitStatus(socket, *frame);
         break;
       case FrameType::kAbortQuery:
         status = HandleAbortQuery(socket, *frame);
@@ -355,6 +374,18 @@ Status StreamCoordinator::HandleRegisterSql(TcpSocket* socket,
       return Status::InvalidArgument("inconsistent SQL worker count");
     }
     sql_workers_[msg.worker_id] = msg;
+    if (splits_ready_) {
+      // Re-registration after the split table was built: a restarted worker
+      // comes back on a fresh endpoint and mux routing key, and re-matches
+      // (kReportFailure) must hand readers the current ones.
+      for (StreamSplitInfo& split : splits_.splits) {
+        if (split.sql_worker == msg.worker_id) {
+          split.host = msg.host;
+          split.port = msg.port;
+          split.sink_key = msg.sink_key;
+        }
+      }
+    }
     if (static_cast<int>(sql_workers_.size()) == expected_sql_workers_ &&
         !splits_ready_) {
       // All registered (step 1 complete): build the split table — m = n·k
@@ -366,7 +397,8 @@ Status StreamCoordinator::HandleRegisterSql(TcpSocket* socket,
       for (const auto& [worker_id, worker] : sql_workers_) {
         for (int j = 0; j < k; ++j) {
           splits_.splits.push_back(StreamSplitInfo{
-              split_id++, worker_id, worker.host, worker.port});
+              split_id++, worker_id, worker.host, worker.port, /*epoch=*/1,
+              worker.sink_key});
         }
       }
       split_runtime_.assign(splits_.splits.size(), SplitRuntime{});
@@ -441,6 +473,7 @@ Status StreamCoordinator::HandleRegisterMl(TcpSocket* socket,
         splits_.splits[static_cast<size_t>(msg.split_id)];
     match.host = split.host;
     match.port = split.port;
+    match.sink_key = split.sink_key;
     if (is_failure) {
       ++failures_;
     } else {
@@ -561,6 +594,22 @@ Status StreamCoordinator::HandleCompleteSplit(TcpSocket* socket,
   rt.leased = false;
   rt.applied_seq = std::max(rt.applied_seq, msg.rows);
   return SendFrame(socket, FrameType::kAck, "");
+}
+
+Status StreamCoordinator::HandleSplitStatus(TcpSocket* socket,
+                                            const Frame& frame) {
+  Decoder decoder(frame.payload);
+  ASSIGN_OR_RETURN(uint64_t split_id, decoder.GetVarint64());
+  bool completed = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    completed = splits_ready_ && split_id < split_runtime_.size() &&
+                split_runtime_[static_cast<size_t>(split_id)].state ==
+                    SplitState::kCompleted;
+  }
+  std::string payload;
+  PutVarint64(&payload, completed ? 1 : 0);
+  return SendFrame(socket, FrameType::kAck, payload);
 }
 
 Status StreamCoordinator::HandleAbortQuery(TcpSocket* socket,

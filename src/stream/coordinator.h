@@ -141,6 +141,7 @@ class StreamCoordinator {
   Status HandleHeartbeat(TcpSocket* socket, const Frame& frame);
   Status HandleAcquireSplit(TcpSocket* socket, const Frame& frame);
   Status HandleCompleteSplit(TcpSocket* socket, const Frame& frame);
+  Status HandleSplitStatus(TcpSocket* socket, const Frame& frame);
   Status HandleAbortQuery(TcpSocket* socket, const Frame& frame);
 
   /// Blocks until the split table exists (all SQL workers registered).

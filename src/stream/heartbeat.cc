@@ -4,9 +4,68 @@
 
 #include "common/failpoint.h"
 #include "common/logging.h"
+#include "common/metrics.h"
+#include "common/runtime_flags.h"
 #include "common/status_macros.h"
 
 namespace sqlink {
+
+namespace {
+
+Gauge* HeartbeatConnsGauge() {
+  static Gauge* const gauge =
+      MetricsRegistry::Global().GetGauge("stream.heartbeat.conns");
+  return gauge;
+}
+
+}  // namespace
+
+HeartbeatBus::Conn::Conn(std::string host, int port)
+    : host_(std::move(host)), port_(port) {
+  HeartbeatConnsGauge()->Increment();
+}
+
+HeartbeatBus::Conn::~Conn() {
+  HeartbeatConnsGauge()->Decrement();
+  std::lock_guard<std::mutex> lock(mu_);
+  socket_.Close();
+}
+
+Result<Frame> HeartbeatBus::Conn::Exchange(const HeartbeatMessage& beat) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!socket_.valid()) {
+    ASSIGN_OR_RETURN(socket_, TcpConnect(host_, port_));
+  }
+  const Status sent =
+      SendFrame(&socket_, FrameType::kHeartbeat, beat.Encode());
+  if (!sent.ok()) {
+    socket_.Close();
+    return sent;
+  }
+  auto reply = RecvFrame(&socket_);
+  if (!reply.ok()) socket_.Close();
+  return reply;
+}
+
+void HeartbeatBus::Conn::Invalidate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  socket_.Close();
+}
+
+HeartbeatBus& HeartbeatBus::Global() {
+  static HeartbeatBus* const bus = new HeartbeatBus();
+  return *bus;
+}
+
+std::shared_ptr<HeartbeatBus::Conn> HeartbeatBus::Acquire(
+    const std::string& host, int port) {
+  const std::string key = host + ":" + std::to_string(port);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (auto existing = conns_[key].lock()) return existing;
+  auto conn = std::make_shared<Conn>(host, port);
+  conns_[key] = conn;
+  return conn;
+}
 
 HeartbeatSender::HeartbeatSender(Options options)
     : options_(std::move(options)) {}
@@ -15,6 +74,12 @@ HeartbeatSender::~HeartbeatSender() { Stop(HeartbeatMessage::kAlive); }
 
 void HeartbeatSender::Start() {
   if (!enabled() || thread_.joinable()) return;
+  if (MuxEnabled()) {
+    // Share one control connection with every other lease aimed at this
+    // coordinator instead of holding a socket per lease.
+    bus_ = HeartbeatBus::Global().Acquire(options_.coordinator_host,
+                                          options_.coordinator_port);
+  }
   thread_ = std::thread([this] { Loop(); });
 }
 
@@ -34,34 +99,44 @@ void HeartbeatSender::MarkRevoked(Status status) {
 }
 
 Status HeartbeatSender::BeatOnce(uint8_t bye) {
-  if (!control_.valid()) {
-    ASSIGN_OR_RETURN(
-        control_,
-        TcpConnect(options_.coordinator_host, options_.coordinator_port));
-  }
   HeartbeatMessage beat;
   beat.role = options_.role;
   beat.id = options_.id;
   beat.epoch = options_.epoch;
   beat.applied_seq = applied_seq_.load(std::memory_order_relaxed);
   beat.bye = bye;
-  Status sent = SendFrame(&control_, FrameType::kHeartbeat, beat.Encode());
-  if (!sent.ok()) {
-    control_.Close();
-    return sent;
+  Frame reply;
+  if (bus_ != nullptr) {
+    ASSIGN_OR_RETURN(reply, bus_->Exchange(beat));
+  } else {
+    if (!control_.valid()) {
+      ASSIGN_OR_RETURN(
+          control_,
+          TcpConnect(options_.coordinator_host, options_.coordinator_port));
+    }
+    Status sent = SendFrame(&control_, FrameType::kHeartbeat, beat.Encode());
+    if (!sent.ok()) {
+      control_.Close();
+      return sent;
+    }
+    auto received = RecvFrame(&control_);
+    if (!received.ok()) {
+      control_.Close();
+      return received.status();
+    }
+    reply = std::move(*received);
   }
-  auto reply = RecvFrame(&control_);
-  if (!reply.ok()) {
-    control_.Close();
-    return reply.status();
-  }
-  if (reply->type == FrameType::kError) {
+  if (reply.type == FrameType::kError) {
     // Fenced or aborted: a typed, permanent loss — not a transport blip.
-    MarkRevoked(DecodeStatusPayload(reply->payload));
+    MarkRevoked(DecodeStatusPayload(reply.payload));
     return Status::OK();
   }
-  if (reply->type != FrameType::kAck) {
-    control_.Close();
+  if (reply.type != FrameType::kAck) {
+    if (bus_ != nullptr) {
+      bus_->Invalidate();
+    } else {
+      control_.Close();
+    }
     return Status::NetworkError("unexpected heartbeat reply");
   }
   return Status::OK();
@@ -118,6 +193,7 @@ void HeartbeatSender::Stop(uint8_t bye) {
     }
   }
   control_.Close();
+  bus_.reset();  // Last lease on the peer drops the shared connection.
 }
 
 }  // namespace sqlink

@@ -5,15 +5,63 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 
 #include "common/result.h"
 #include "stream/socket.h"
 #include "stream/wire.h"
 
 namespace sqlink {
+
+/// Process-wide registry of shared heartbeat connections, one per
+/// coordinator endpoint (mux mode). Senders acquire a refcounted handle in
+/// Start() and drop it after the farewell beat; the last drop closes the
+/// socket. Only the *connection* is shared — every lease keeps its own beat
+/// thread and self-fencing clock, so one frozen sender cannot stall its
+/// socket-mates' liveness.
+class HeartbeatBus {
+ public:
+  /// One shared coordinator connection. Exchange() runs the whole
+  /// send+reply round trip under the connection mutex, so concurrent
+  /// senders' beats interleave at exchange granularity (the coordinator
+  /// answers each heartbeat frame statelessly).
+  class Conn {
+   public:
+    Conn(std::string host, int port);
+    ~Conn();
+
+    Conn(const Conn&) = delete;
+    Conn& operator=(const Conn&) = delete;
+
+    /// One beat: dials lazily, sends, and returns the reply frame. A
+    /// transport error closes the socket; the next beat re-dials.
+    Result<Frame> Exchange(const HeartbeatMessage& beat);
+
+    /// Drops the socket (protocol desync); the next beat re-dials.
+    void Invalidate();
+
+   private:
+    const std::string host_;
+    const int port_;
+    std::mutex mu_;
+    TcpSocket socket_;  ///< Lazily dialed, re-dialed after errors.
+  };
+
+  static HeartbeatBus& Global();
+
+  /// Refcounted handle to host:port's shared connection.
+  std::shared_ptr<Conn> Acquire(const std::string& host, int port);
+
+ private:
+  HeartbeatBus() = default;
+
+  std::mutex mu_;
+  std::unordered_map<std::string, std::weak_ptr<Conn>> conns_;
+};
 
 /// The participant half of the coordinator's lease protocol: a background
 /// thread that renews a sink's or reader's lease every interval on a
@@ -86,6 +134,8 @@ class HeartbeatSender {
   bool stop_ = false;
   Status status_;
   TcpSocket control_;  ///< Owned by the beat thread (and final-bye sender).
+  /// Mux mode: the peer's shared connection (control_ stays closed).
+  std::shared_ptr<HeartbeatBus::Conn> bus_;
   std::thread thread_;
 };
 

@@ -9,6 +9,7 @@
 
 #include <csignal>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -120,6 +121,49 @@ Status TcpSocket::SendAllV(std::string_view a, std::string_view b) {
       ++first;
     }
     if (first < 2 && advanced > 0) {
+      iov[first].iov_base = static_cast<char*>(iov[first].iov_base) + advanced;
+      iov[first].iov_len -= advanced;
+    }
+  }
+  return Status::OK();
+}
+
+Status TcpSocket::SendAllIov(::iovec* iov, size_t count) {
+  if (!valid()) return Status::NetworkError("send on closed socket");
+  switch (SQLINK_FAILPOINT("stream.socket.send")) {
+    case FailpointOutcome::kNone:
+      break;
+    case FailpointOutcome::kError:
+      return Status::NetworkError("failpoint: injected send error");
+    case FailpointOutcome::kClose:
+      Close();
+      return Status::NetworkError("failpoint: send socket closed");
+  }
+  IgnoreSigpipeOnce();
+  // Linux caps one sendmsg at IOV_MAX (1024) entries; a coalescer batch of
+  // hundreds of tiny frames still fits in one call.
+  constexpr size_t kMaxPerCall = 1024;
+  size_t first = 0;
+  while (first < count) {
+    if (iov[first].iov_len == 0) {
+      ++first;
+      continue;
+    }
+    msghdr msg{};
+    msg.msg_iov = &iov[first];
+    msg.msg_iovlen = std::min(count - first, kMaxPerCall);
+    const ssize_t n = ::sendmsg(fd_, &msg, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return PeerError("send");
+    }
+    size_t advanced = static_cast<size_t>(n);
+    while (first < count && advanced >= iov[first].iov_len) {
+      advanced -= iov[first].iov_len;
+      iov[first].iov_len = 0;
+      ++first;
+    }
+    if (first < count && advanced > 0) {
       iov[first].iov_base = static_cast<char*>(iov[first].iov_base) + advanced;
       iov[first].iov_len -= advanced;
     }

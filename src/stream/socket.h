@@ -7,6 +7,8 @@
 
 #include "common/result.h"
 
+struct iovec;  // <sys/uio.h>; kept out of this header.
+
 namespace sqlink {
 
 /// Thin RAII wrapper over a connected TCP socket with whole-buffer
@@ -34,6 +36,11 @@ class TcpSocket {
   /// payload) via sendmsg, avoiding the concatenation copy. Same partial
   /// write/EINTR/failpoint semantics as SendAll.
   Status SendAllV(std::string_view a, std::string_view b);
+
+  /// General scatter-gather send of `count` buffers via sendmsg. The mux
+  /// write coalescer batches frames from many channels into one call.
+  /// `iov` is consumed (entries are advanced over partial writes).
+  Status SendAllIov(::iovec* iov, size_t count);
 
   /// Receives exactly `n` bytes into `*out` (resized). A clean remote close
   /// before any byte yields kNetworkError with message "closed".

@@ -12,6 +12,8 @@
 #include "common/runtime_flags.h"
 #include "common/status_macros.h"
 #include "common/trace.h"
+#include "net/conn_pool.h"
+#include "net/mux.h"
 #include "stream/heartbeat.h"
 #include "stream/socket.h"
 #include "table/column_batch.h"
@@ -80,7 +82,8 @@ class StreamRecordReader final : public ml::RecordReader {
 
   ~StreamRecordReader() override {
     CloseStreamSpan(/*error=*/!done_);
-    socket_.Close();
+    CloseChannel(done_ ? Status::OK()
+                       : Status::Cancelled("reader destroyed mid-split"));
     if (heartbeat_ != nullptr) {
       // A reader that dies without completing releases its lease for
       // immediate reassignment instead of waiting out the TTL.
@@ -107,7 +110,7 @@ class StreamRecordReader final : public ml::RecordReader {
       if (heartbeat_ != nullptr && heartbeat_->revoked()) {
         // Fenced or aborted: stop applying *now* — a replacement reader may
         // be about to resume this partition.
-        socket_.Close();
+        CloseChannel(heartbeat_->status());
         connected_ = false;
         return heartbeat_->status();
       }
@@ -140,7 +143,7 @@ class StreamRecordReader final : public ml::RecordReader {
     for (;;) {
       if (done_) return false;
       if (heartbeat_ != nullptr && heartbeat_->revoked()) {
-        socket_.Close();
+        CloseChannel(heartbeat_->status());
         connected_ = false;
         return heartbeat_->status();
       }
@@ -172,7 +175,7 @@ class StreamRecordReader final : public ml::RecordReader {
   /// its split must be reassigned to a survivor.
   Status ProbeDeliveryFailpoints() {
     if (SQLINK_FAILPOINT(kill_failpoint_name_) != FailpointOutcome::kNone) {
-      socket_.Close();
+      CloseChannel(Status::Unavailable("failpoint: reader killed mid-split"));
       connected_ = false;
       if (heartbeat_ != nullptr) {
         heartbeat_->Stop(HeartbeatMessage::kFailed);
@@ -180,7 +183,7 @@ class StreamRecordReader final : public ml::RecordReader {
       return Status::Unavailable("failpoint: reader killed mid-split");
     }
     if (SQLINK_FAILPOINT(row_failpoint_name_) != FailpointOutcome::kNone) {
-      socket_.Close();
+      CloseChannel(Status::NetworkError("injected connection failure"));
       connected_ = false;
       RETURN_IF_ERROR(
           HandleFailure(Status::NetworkError("injected connection failure")));
@@ -196,6 +199,7 @@ class StreamRecordReader final : public ml::RecordReader {
     }
     std::string host = split_.host;
     int port = split_.port;
+    uint64_t sink_key = split_.sink_key;
     if (restart) {
       // §6: report the failure; the coordinator answers with the endpoint
       // of the (restarted) SQL worker to resume from.
@@ -214,9 +218,11 @@ class StreamRecordReader final : public ml::RecordReader {
                        MatchMessage::Decode(match_frame.payload));
       host = match.host;
       port = match.port;
+      // A restarted sink re-registers under a fresh mux routing key; the
+      // re-match carries the current one.
+      sink_key = match.sink_key;
       if (metrics_ != nullptr) metrics_->Increment("stream.reconnects");
     }
-    ASSIGN_OR_RETURN(socket_, TcpConnect(host, port));
     HelloMessage hello;
     hello.split_id = split_.split_id;
     hello.restart = restart;
@@ -225,9 +231,23 @@ class StreamRecordReader final : public ml::RecordReader {
     // reassignment) lets the sink decide from its cumulative ack.
     hello.resume_seq =
         ever_connected_ ? static_cast<int64_t>(last_applied_seq_) : -1;
-    RETURN_IF_ERROR(SendFrame(&socket_, FrameType::kHello, hello.Encode()));
+    if (MuxEnabled() && sink_key != 0) {
+      // The HELLO rides inside kOpenChannel on a pooled shared connection;
+      // the sink's partition handler answers on the channel (kResume first).
+      ASSIGN_OR_RETURN(
+          channel_, MuxConnPool::Global().OpenChannel(
+                        host, port, sink_key,
+                        /*affinity=*/static_cast<uint64_t>(split_.split_id),
+                        hello));
+    } else {
+      ASSIGN_OR_RETURN(TcpSocket socket, TcpConnect(host, port));
+      MetricsRegistry::Global().Increment("stream.reader.data_dials");
+      channel_ = std::make_shared<SocketFrameChannel>(std::move(socket));
+      RETURN_IF_ERROR(channel_->Send(FrameType::kHello, hello.Encode(), 0));
+    }
 
-    ASSIGN_OR_RETURN(Frame resume_frame, RecvFrame(&socket_));
+    Frame resume_frame;
+    RETURN_IF_ERROR(channel_->Recv(&resume_frame));
     if (resume_frame.type != FrameType::kResume) {
       if (resume_frame.type == FrameType::kError) {
         return DecodeStatusPayload(resume_frame.payload);
@@ -250,7 +270,8 @@ class StreamRecordReader final : public ml::RecordReader {
                               std::to_string(last_applied_seq_));
     }
 
-    ASSIGN_OR_RETURN(Frame schema_frame, RecvFrame(&socket_));
+    Frame schema_frame;
+    RETURN_IF_ERROR(channel_->Recv(&schema_frame));
     if (schema_frame.type != FrameType::kSchema) {
       return Status::NetworkError("expected schema frame");
     }
@@ -291,8 +312,8 @@ class StreamRecordReader final : public ml::RecordReader {
   Status FlushAck() {
     if (!pending_ack_) return Status::OK();
     pending_ack_ = false;
-    RETURN_IF_ERROR(SendFrame(&socket_, FrameType::kDataAck, "",
-                              last_applied_seq_));
+    RETURN_IF_ERROR(
+        channel_->Send(FrameType::kDataAck, "", last_applied_seq_));
     if (heartbeat_ != nullptr) heartbeat_->set_applied_seq(last_applied_seq_);
     return Status::OK();
   }
@@ -356,7 +377,7 @@ class StreamRecordReader final : public ml::RecordReader {
     }
     RETURN_IF_ERROR(FlushAck());
     for (;;) {
-      RETURN_IF_ERROR(RecvFrameInto(&socket_, &frame_, &recv_scratch_));
+      RETURN_IF_ERROR(channel_->Recv(&frame_));
       switch (frame_.type) {
         case FrameType::kData:
         case FrameType::kColData: {
@@ -443,8 +464,12 @@ class StreamRecordReader final : public ml::RecordReader {
           }
           // Confirm completion so the sender may release its retained
           // state; a sender tears down only after this acknowledgement.
-          RETURN_IF_ERROR(SendFrame(&socket_, FrameType::kAck, ""));
+          RETURN_IF_ERROR(channel_->Send(FrameType::kAck, "", 0));
           RETURN_IF_ERROR(CompleteSplit());
+          // Clean close: frees the channel's slot on the shared connection
+          // now instead of at reader destruction.
+          CloseChannel(Status::OK());
+          connected_ = false;
           return false;
         }
         case FrameType::kError:
@@ -455,9 +480,12 @@ class StreamRecordReader final : public ml::RecordReader {
     }
   }
 
-  /// Tells the coordinator the split is fully applied (lease bookkeeping).
+  /// Tells the coordinator the split is fully applied. Lease bookkeeping,
+  /// but also the sink's out-of-band final-ack signal: if the kAck died
+  /// with a shared connection, the sink's reconnect wait polls the
+  /// coordinator (kSplitStatus) and finds the completion here — so this
+  /// must run even when heartbeats are disabled.
   Status CompleteSplit() {
-    if (heartbeat_ == nullptr) return Status::OK();
     auto control = TcpConnect(coordinator_host_, coordinator_port_);
     if (!control.ok()) return Status::OK();  // Best-effort.
     CompleteSplitMessage msg;
@@ -478,8 +506,17 @@ class StreamRecordReader final : public ml::RecordReader {
     stream_span_.reset();
   }
 
+  /// Drops the transport. A non-OK status shuts the channel down abortively
+  /// (mux mode: kCloseChannel tells the sink why, the shared socket is
+  /// untouched); releasing a healthy channel closes it cleanly.
+  void CloseChannel(const Status& status) {
+    if (channel_ == nullptr) return;
+    if (!status.ok()) channel_->Shutdown(status);
+    channel_.reset();
+  }
+
   Status HandleFailure(const Status& cause) {
-    socket_.Close();
+    CloseChannel(cause);
     connected_ = false;
     CloseStreamSpan(/*error=*/true);
     if (heartbeat_ != nullptr && heartbeat_->revoked()) {
@@ -513,13 +550,13 @@ class StreamRecordReader final : public ml::RecordReader {
   std::optional<TraceSpan> stream_span_;
   std::unique_ptr<HeartbeatSender> heartbeat_;
 
-  TcpSocket socket_;
+  FrameChannelPtr channel_;        // Transport: pooled mux channel or a
+                                   // dedicated socket (SQLINK_MUX=off).
   bool connected_ = false;
   bool ever_connected_ = false;
   bool done_ = false;
   SchemaPtr schema_;               // Decoded from the kSchema frame.
   Frame frame_;                    // Receive scratch reused across frames.
-  std::string recv_scratch_;       // Header scratch for RecvFrameInto.
   ColumnarChannelDecoder col_decoder_;
   std::optional<ColumnBatch> col_batch_;  // Staged kColData frame (Connect
                                           // creates it with the schema).

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <thread>
@@ -17,6 +18,8 @@
 #include "common/runtime_flags.h"
 #include "common/status_macros.h"
 #include "common/trace.h"
+#include "net/conn_pool.h"
+#include "net/mux.h"
 #include "sql/query_registry.h"
 #include "stream/heartbeat.h"
 #include "stream/replay_window.h"
@@ -122,99 +125,70 @@ Result<uint64_t> FrameRowCount(const std::string& frame) {
   return decoder.GetVarint64();
 }
 
-/// The reader-to-sink half of one data connection: cumulative kDataAck
-/// frames and the final kAck arrive interleaved with (and independent of)
-/// the outbound data stream, so the sender drains them from a byte buffer —
-/// non-blocking between sends, blocking only when waiting for the finale.
+/// The reader-to-sink half of one data channel: cumulative kDataAck frames
+/// and the final kAck arrive interleaved with (and independent of) the
+/// outbound data stream, so the sender drains them non-blockingly between
+/// sends and blocks only when waiting for the finale. Transport-agnostic:
+/// the channel buffers out-of-band bytes (legacy socket) or inbox frames
+/// (mux) behind the same TryRecv/Recv interface.
 class AckChannel {
  public:
-  explicit AckChannel(TcpSocket* socket) : socket_(socket) {}
+  explicit AckChannel(FrameChannel* channel) : channel_(channel) {}
 
   /// Applies every cumulative ack currently readable without blocking.
   /// A kError frame surfaces as its decoded typed status. A clean peer
   /// close is NOT an error here: buffered acks are still applied, and the
-  /// send path discovers the closed connection on its next write.
+  /// send path discovers the closed channel on its next write.
   Status Poll(ReplayWindow* window) {
     for (;;) {
-      RETURN_IF_ERROR(DrainBuffered(window, /*final_ack=*/nullptr));
-      if (peer_closed_) return Status::OK();
-      ASSIGN_OR_RETURN(size_t n,
-                       socket_->TryRecv(64 * 1024, &buffer_, &peer_closed_));
-      if (n == 0 && !peer_closed_) return Status::OK();
+      bool closed = false;
+      ASSIGN_OR_RETURN(bool got, channel_->TryRecv(&frame_, &closed));
+      if (!got) return Status::OK();
+      bool done = false;
+      RETURN_IF_ERROR(Apply(window, /*final_ack=*/nullptr, &done));
+      if (done) return Status::OK();
     }
   }
 
   /// Blocks until the reader's final kAck, applying kDataAcks on the way.
-  /// The reader may close immediately after sending the finale, so EOF only
-  /// fails the wait once everything already received has been parsed.
   Status AwaitFinalAck(ReplayWindow* window) {
     for (;;) {
+      const Status status = channel_->Recv(&frame_);
+      if (!status.ok()) {
+        return Status::NetworkError("connection closed before final ack (" +
+                                    status.message() + ")");
+      }
       bool done = false;
-      RETURN_IF_ERROR(DrainBuffered(window, &done));
+      RETURN_IF_ERROR(Apply(window, &done, &done));
       if (done) return Status::OK();
-      if (peer_closed_) {
-        return Status::NetworkError("connection closed before final ack");
-      }
-      // Need more bytes: block for at least one, then drain the rest.
-      std::string chunk;
-      const Status blocked = socket_->RecvExactly(1, &chunk);
-      if (!blocked.ok()) {
-        peer_closed_ = true;
-        continue;  // Nothing new can land; fail via the check above.
-      }
-      buffer_ += chunk;
-      for (;;) {
-        ASSIGN_OR_RETURN(size_t n,
-                         socket_->TryRecv(64 * 1024, &buffer_, &peer_closed_));
-        if (n == 0) break;
-      }
     }
   }
 
  private:
-  Status DrainBuffered(ReplayWindow* window, bool* final_ack) {
-    // A single erase after the loop: the cursor walks complete frames in
-    // place instead of shifting the buffer once per frame.
-    size_t cursor = 0;
-    Status status = Status::OK();
-    bool done = false;
-    while (!done) {
-      Result<bool> complete = ExtractFrame(buffer_, &cursor, &frame_);
-      if (!complete.ok()) {
-        status = complete.status();
-        break;
-      }
-      if (!*complete) break;
-      switch (frame_.type) {
-        case FrameType::kDataAck:
-          window->Ack(frame_.seq);
-          break;
-        case FrameType::kAck:
-          if (final_ack != nullptr) {
-            *final_ack = true;
-          } else {
-            status = Status::NetworkError("unexpected final ack mid-stream");
-          }
-          done = true;
-          break;
-        case FrameType::kError:
-          status = DecodeStatusPayload(frame_.payload);
-          done = true;
-          break;
-        default:
-          status = Status::NetworkError("unexpected frame on ack channel");
-          done = true;
-          break;
-      }
+  /// Applies the frame in `frame_`. `final_ack` != nullptr means a kAck is
+  /// expected (and sets it); `done` stops the caller's drain loop.
+  Status Apply(ReplayWindow* window, bool* final_ack, bool* done) {
+    switch (frame_.type) {
+      case FrameType::kDataAck:
+        window->Ack(frame_.seq);
+        return Status::OK();
+      case FrameType::kAck:
+        *done = true;
+        if (final_ack == nullptr) {
+          return Status::NetworkError("unexpected final ack mid-stream");
+        }
+        return Status::OK();
+      case FrameType::kError:
+        *done = true;
+        return DecodeStatusPayload(frame_.payload);
+      default:
+        *done = true;
+        return Status::NetworkError("unexpected frame on ack channel");
     }
-    buffer_.erase(0, cursor);
-    return status;
   }
 
-  TcpSocket* socket_;
-  std::string buffer_;
+  FrameChannel* channel_;
   Frame frame_;  ///< Scratch reused across drains.
-  bool peer_closed_ = false;
 };
 
 }  // namespace
@@ -315,7 +289,73 @@ Status SqlStreamSinkUdf::RunTransfer(const TableUdfContext& context,
   const TraceContext partition_ctx = partition_span.context();
 
   // --- Step 1: open the data port and register with the coordinator. ---
-  ASSIGN_OR_RETURN(TcpListener listener, TcpListener::Listen(0));
+  //
+  // Mux mode: every partition in the process shares ONE listener (the
+  // MuxSinkServer) and readers multiplex channels over the pooled
+  // connections to it; the registration advertises the routing key.
+  // Legacy mode keeps the per-transfer ephemeral listener.
+  struct Inbound {
+    FrameChannelPtr channel;
+    int64_t resume_seq = -1;  ///< From HELLO: -1 = "sink decides".
+    int split_id = -1;        ///< From HELLO: the split this channel serves.
+  };
+  /// State shared with the MuxSinkServer handler, which can fire on a
+  /// connection's demux thread even as this transfer tears down — so it
+  /// owns the inboxes jointly and checks `closed` under the lock.
+  struct MuxRouterState {
+    std::mutex mu;
+    bool closed = false;
+    int k = 0;  ///< 0 until registration tells us the fan-in.
+    std::vector<std::shared_ptr<BlockingQueue<Inbound>>> inboxes;
+    /// Channels that opened before registration told us `k`. The legacy
+    /// listener's accept backlog parks early dialers for free; the mux
+    /// handler must do it explicitly, or a reader racing the registration
+    /// ack gets a hard reject it may not retry.
+    std::vector<std::pair<FrameChannelPtr, OpenChannelMessage>> pending;
+  };
+
+  const bool mux = MuxEnabled();
+  TcpListener listener;
+  std::shared_ptr<MuxRouterState> mux_state;
+  uint64_t sink_key = 0;
+  int data_port = 0;
+  if (mux) {
+    ASSIGN_OR_RETURN(data_port, MuxSinkServer::Global().EnsureStarted());
+    mux_state = std::make_shared<MuxRouterState>();
+    sink_key = MuxSinkServer::Global().Register(
+        [mux_state](FrameChannelPtr channel, const OpenChannelMessage& msg) {
+          // Demux-thread context: route without blocking.
+          std::shared_ptr<BlockingQueue<Inbound>> inbox;
+          {
+            std::lock_guard<std::mutex> lock(mux_state->mu);
+            if (!mux_state->closed && mux_state->k == 0) {
+              // Registration has not told us the fan-in yet: park the
+              // channel; setting `k` drains the backlog into the inboxes.
+              mux_state->pending.emplace_back(std::move(channel), msg);
+              return;
+            }
+            if (!mux_state->closed && mux_state->k > 0) {
+              const int slot = msg.hello.split_id % mux_state->k;
+              if (slot >= 0) {
+                inbox = mux_state->inboxes[static_cast<size_t>(slot)];
+              }
+            }
+          }
+          if (inbox == nullptr) {
+            channel->Shutdown(Status::Unavailable("sink not serving"));
+            return;
+          }
+          // A full or closed inbox drops the rejected Inbound, whose channel
+          // destructor closes the channel — the reader backs off and
+          // retries. The shared socket is untouched either way.
+          (void)inbox->TryPush(Inbound{std::move(channel),
+                                       msg.hello.resume_seq,
+                                       msg.hello.split_id});
+        });
+  } else {
+    ASSIGN_OR_RETURN(listener, TcpListener::Listen(0));
+    data_port = listener.port();
+  }
   const std::string my_host =
       context.cluster != nullptr ? context.cluster->HostName(context.worker_id)
                                  : "localhost";
@@ -324,9 +364,10 @@ Status SqlStreamSinkUdf::RunTransfer(const TableUdfContext& context,
   registration.worker_id = context.worker_id;
   registration.num_workers = context.num_workers;
   registration.host = my_host;
-  registration.port = listener.port();
+  registration.port = data_port;
   registration.command = command_;
   registration.schema = input_schema_;
+  registration.sink_key = sink_key;
   int k = 1;
   {
     TraceSpan register_span("sink.register");
@@ -358,56 +399,89 @@ Status SqlStreamSinkUdf::RunTransfer(const TableUdfContext& context,
     k = *splits_per_worker;
   }
 
-  // --- Step 7: a router thread accepts data connections and hands each to
-  // its slot by HELLO split id (slot = split_id mod k within this worker's
-  // group). Reconnects and §6 replacement readers arrive the same way. ---
-  struct Inbound {
-    std::shared_ptr<TcpSocket> socket;
-    int64_t resume_seq = -1;  ///< From HELLO: -1 = "sink decides".
-  };
-  std::vector<std::unique_ptr<BlockingQueue<Inbound>>> inboxes;
+  // --- Step 7: route incoming data connections to their slot by HELLO
+  // split id (slot = split_id mod k within this worker's group).
+  // Reconnects and §6 replacement readers arrive the same way. Mux mode
+  // routes in the MuxSinkServer handler registered above; legacy mode runs
+  // a per-transfer accept/router thread. ---
+  std::vector<std::shared_ptr<BlockingQueue<Inbound>>> inboxes;
   for (int j = 0; j < k; ++j) {
-    inboxes.push_back(std::make_unique<BlockingQueue<Inbound>>(4));
+    inboxes.push_back(std::make_shared<BlockingQueue<Inbound>>(4));
+  }
+  if (mux) {
+    std::lock_guard<std::mutex> lock(mux_state->mu);
+    mux_state->k = k;
+    mux_state->inboxes = inboxes;
+    // Drain channels that beat the registration ack here. A full inbox
+    // drops the parked Inbound just as the live-route path would.
+    for (auto& [channel, msg] : mux_state->pending) {
+      const int slot = msg.hello.split_id % k;
+      (void)inboxes[static_cast<size_t>(slot)]->TryPush(
+          Inbound{std::move(channel), msg.hello.resume_seq,
+                  msg.hello.split_id});
+    }
+    mux_state->pending.clear();
   }
   std::atomic<bool> router_stop{false};
-  std::thread router([&] {
-    while (!router_stop.load()) {
-      auto socket = listener.Accept();
-      if (!socket.ok()) return;  // Listener closed.
-      auto shared = std::make_shared<TcpSocket>(std::move(*socket));
-      auto hello_frame = RecvFrame(shared.get());
-      if (!hello_frame.ok() || hello_frame->type != FrameType::kHello) {
-        continue;
+  std::thread router;
+  if (!mux) {
+    router = std::thread([&] {
+      while (!router_stop.load()) {
+        auto socket = listener.Accept();
+        if (!socket.ok()) return;  // Listener closed.
+        auto shared = std::make_shared<TcpSocket>(std::move(*socket));
+        auto hello_frame = RecvFrame(shared.get());
+        if (!hello_frame.ok() || hello_frame->type != FrameType::kHello) {
+          continue;
+        }
+        auto hello = HelloMessage::Decode(hello_frame->payload);
+        if (!hello.ok()) continue;
+        const int slot = hello->split_id % k;
+        if (slot < 0 || slot >= k) continue;
+        inboxes[static_cast<size_t>(slot)]->Push(
+            Inbound{std::make_shared<SocketFrameChannel>(std::move(shared)),
+                    hello->resume_seq, hello->split_id});
       }
-      auto hello = HelloMessage::Decode(hello_frame->payload);
-      if (!hello.ok()) continue;
-      const int slot = hello->split_id % k;
-      if (slot < 0 || slot >= k) continue;
-      inboxes[static_cast<size_t>(slot)]->Push(
-          Inbound{std::move(shared), hello->resume_seq});
-    }
-  });
+    });
+  }
   // Always unwind the router on exit.
   struct RouterGuard {
     TcpListener* listener;
     std::atomic<bool>* stop;
     std::thread* router;
-    std::vector<std::unique_ptr<BlockingQueue<Inbound>>>* inboxes;
+    std::vector<std::shared_ptr<BlockingQueue<Inbound>>>* inboxes;
+    std::shared_ptr<MuxRouterState> mux_state;
+    uint64_t sink_key;
     ~RouterGuard() {
+      if (mux_state != nullptr) {
+        MuxSinkServer::Global().Unregister(sink_key);
+        std::lock_guard<std::mutex> lock(mux_state->mu);
+        mux_state->closed = true;
+        for (auto& [channel, msg] : mux_state->pending) {
+          channel->Shutdown(Status::Unavailable("sink not serving"));
+        }
+        mux_state->pending.clear();
+      }
       stop->store(true);
       listener->Close();
       if (router->joinable()) router->join();
       for (auto& inbox : *inboxes) inbox->Close();
     }
-  } router_guard{&listener, &router_stop, &router, &inboxes};
+  } router_guard{&listener, &router_stop, &router,
+                 &inboxes,  mux_state,    sink_key};
 
   // Waits for a data connection on `inbox`, pacing the poll with a backoff
   // policy so the total wait across reconnect attempts is deadline-capped
   // rather than one fixed-length block per attempt. Leaves `out` empty when
-  // the inbox closes (shutdown).
+  // the inbox closes (shutdown). Between slices, `acked_out_of_band` checks
+  // whether the split was already reported complete to the coordinator — a
+  // reader whose final ack died with a shared connection finishes that way
+  // and never reconnects; `*completed` signals that success to the caller.
   auto wait_for_inbound = [](BlockingQueue<Inbound>* inbox,
                              RetryPolicy* policy,
-                             std::optional<Inbound>* out) -> Status {
+                             const std::function<bool()>& acked_out_of_band,
+                             std::optional<Inbound>* out,
+                             bool* completed) -> Status {
     for (;;) {
       const auto slice = policy->NextDelay();
       if (!slice.has_value()) {
@@ -416,6 +490,10 @@ Status SqlStreamSinkUdf::RunTransfer(const TableUdfContext& context,
       bool timed_out = false;
       *out = inbox->PopFor(*slice, &timed_out);
       if (!timed_out) return Status::OK();
+      if (acked_out_of_band != nullptr && acked_out_of_band()) {
+        *completed = true;
+        return Status::OK();
+      }
     }
   };
   RetryPolicy::Options inbound_wait_options;
@@ -468,6 +546,26 @@ Status SqlStreamSinkUdf::RunTransfer(const TableUdfContext& context,
     queues.push_back(std::make_unique<SpillingByteQueue>(queue_options));
   }
 
+  // Channels the senders are actively serving, so an abort can shut each
+  // LOGICAL channel down — waking a sender parked on flow-control credit or
+  // a blocking ack wait — without ever touching the shared mux socket the
+  // channel rides on (other queries keep flowing).
+  struct ActiveChannels {
+    std::mutex mu;
+    std::vector<FrameChannelPtr> by_target;
+    void Set(size_t j, FrameChannelPtr channel) {
+      std::lock_guard<std::mutex> lock(mu);
+      by_target[j] = std::move(channel);
+    }
+    void ShutdownAll(const Status& status) {
+      std::lock_guard<std::mutex> lock(mu);
+      for (auto& channel : by_target) {
+        if (channel != nullptr) channel->Shutdown(status);
+      }
+    }
+  } active_channels;
+  active_channels.by_target.resize(static_cast<size_t>(k));
+
   // Sink lease: one heartbeat per SQL worker. Revocation means the
   // coordinator aborted the query (or fenced this sink) — cancel the send
   // queues so producer and senders unwind promptly with a typed status.
@@ -477,12 +575,13 @@ Status SqlStreamSinkUdf::RunTransfer(const TableUdfContext& context,
   beat_options.interval_ms = options_.heartbeat_ms;
   beat_options.role = HeartbeatMessage::kSink;
   beat_options.id = context.worker_id;
-  beat_options.on_revoked = [&queues, &inboxes] {
+  beat_options.on_revoked = [&queues, &inboxes, &active_channels] {
     for (auto& queue : queues) queue->Cancel();
     // A sender parked waiting for a (re)connect must wake too: an aborted
     // query has no replacement reader coming, so sleeping out the full
     // reconnect window would stall the drain.
     for (auto& inbox : inboxes) inbox->Close();
+    active_channels.ShutdownAll(Status::Aborted("sink lease revoked"));
   };
   HeartbeatSender heartbeat(beat_options);
   heartbeat.Start();
@@ -499,15 +598,18 @@ Status SqlStreamSinkUdf::RunTransfer(const TableUdfContext& context,
     }
   } cancel_guard{context.cancellation};
   if (context.cancellation != nullptr) {
-    cancel_guard.id = context.cancellation->OnCancel([&queues, &inboxes] {
-      for (auto& queue : queues) queue->Cancel();
-      for (auto& inbox : inboxes) inbox->Close();
-    });
+    cancel_guard.id =
+        context.cancellation->OnCancel([&queues, &inboxes, &active_channels] {
+          for (auto& queue : queues) queue->Cancel();
+          for (auto& inbox : inboxes) inbox->Close();
+          active_channels.ShutdownAll(Status::Cancelled("query cancelled"));
+        });
   }
 
   static Counter* const replayed_counter =
       MetricsRegistry::Global().GetCounter("transfer.frames_replayed");
 
+  std::atomic<int64_t> channels_served{0};
   std::vector<std::thread> senders;
   std::vector<Status> sender_status(static_cast<size_t>(k));
   for (int j = 0; j < k; ++j) {
@@ -529,12 +631,44 @@ Status SqlStreamSinkUdf::RunTransfer(const TableUdfContext& context,
       ReplayWindow window(window_options);
       bool input_done = false;  ///< The send queue has been fully drained.
 
+      // A reader that applied the whole stream can lose its final ack to a
+      // dying shared connection: it reports kCompleteSplit to the
+      // coordinator and never reconnects. Track the split this sender
+      // serves so the reconnect wait can poll that out-of-band signal.
+      int served_split = -1;
+      auto split_completed = [&]() -> bool {
+        if (served_split < 0) return false;
+        auto control = TcpConnect(coordinator_host_, coordinator_port_);
+        if (!control.ok()) return false;
+        std::string payload;
+        PutVarint64(&payload, static_cast<uint64_t>(served_split));
+        if (!SendFrame(&*control, FrameType::kSplitStatus, payload).ok()) {
+          return false;
+        }
+        auto reply = RecvFrame(&*control);
+        if (!reply.ok() || reply->type != FrameType::kAck) return false;
+        Decoder decoder(reply->payload);
+        auto done = decoder.GetVarint64();
+        return done.ok() && *done == 1;
+      };
+
       // Serves one (re)connection: answer HELLO with the resume point,
       // replay the unacked suffix, then stream live frames until the input
       // is exhausted and the reader's final ack lands.
       auto serve = [&](const Inbound& conn) -> Status {
-        TcpSocket* socket = conn.socket.get();
-        AckChannel acks(socket);
+        FrameChannel* channel = conn.channel.get();
+        if (conn.split_id >= 0) served_split = conn.split_id;
+        AckChannel acks(channel);
+        channels_served.fetch_add(1, std::memory_order_relaxed);
+        // Publish the channel so an abort can wake this sender even while
+        // it is parked inside a credit wait or the final-ack wait; clear it
+        // on every exit path before the Inbound (and channel) dies.
+        active_channels.Set(static_cast<size_t>(j), conn.channel);
+        struct ActiveGuard {
+          ActiveChannels* active;
+          size_t j;
+          ~ActiveGuard() { active->Set(j, nullptr); }
+        } active_guard{&active_channels, static_cast<size_t>(j)};
 
         uint64_t resume = conn.resume_seq < 0
                               ? window.acked_seq()
@@ -547,26 +681,27 @@ Status SqlStreamSinkUdf::RunTransfer(const TableUdfContext& context,
         resume_msg.resume_seq = resume;
         resume_msg.resume_rows = resume_rows;
         RETURN_IF_ERROR(
-            SendFrame(socket, FrameType::kResume, resume_msg.Encode()));
+            channel->Send(FrameType::kResume, resume_msg.Encode(), 0));
 
         std::string schema_payload;
         EncodeSchema(*input_schema_, &schema_payload);
-        RETURN_IF_ERROR(SendFrame(socket, FrameType::kSchema, schema_payload));
+        RETURN_IF_ERROR(channel->Send(FrameType::kSchema, schema_payload, 0));
 
         if (columnar) {
           // Full dictionary snapshot on every (re)connect: replayed delta
           // frames then only re-append entries the reader already has,
           // which the decoder skips, so replay stays idempotent.
           RETURN_IF_ERROR(
-              SendFrame(socket, FrameType::kDictPage,
-                        encoders[static_cast<size_t>(j)]->SnapshotDicts()));
+              channel->Send(FrameType::kDictPage,
+                            encoders[static_cast<size_t>(j)]->SnapshotDicts(),
+                            0));
         }
 
         RETURN_IF_ERROR(window.Replay(
             resume, [&](uint64_t seq, uint64_t rows, const std::string& frame)
                         -> Status {
               (void)rows;
-              RETURN_IF_ERROR(SendFrame(socket, data_frame_type, frame, seq));
+              RETURN_IF_ERROR(channel->Send(data_frame_type, frame, seq));
               replayed_counter->Increment();
               return Status::OK();
             }));
@@ -587,7 +722,7 @@ Status SqlStreamSinkUdf::RunTransfer(const TableUdfContext& context,
           std::string retained = frame_pool->Acquire();
           retained.assign(*frame);
           RETURN_IF_ERROR(window.Append(seq, rows, std::move(retained)));
-          RETURN_IF_ERROR(SendFrame(socket, data_frame_type, *frame, seq));
+          RETURN_IF_ERROR(channel->Send(data_frame_type, *frame, seq));
           frame_pool->Release(std::move(*frame));
         }
 
@@ -597,8 +732,8 @@ Status SqlStreamSinkUdf::RunTransfer(const TableUdfContext& context,
                          window.RowsThrough(window.last_seq()));
         std::string end_payload;
         PutVarint64(&end_payload, total_rows);
-        RETURN_IF_ERROR(SendFrame(socket, FrameType::kEnd, end_payload,
-                                  window.last_seq()));
+        RETURN_IF_ERROR(channel->Send(FrameType::kEnd, end_payload,
+                                      window.last_seq()));
         return acks.AwaitFinalAck(&window);
       };
 
@@ -609,10 +744,21 @@ Status SqlStreamSinkUdf::RunTransfer(const TableUdfContext& context,
         Status status = Status::Cancelled("no ML worker connected");
         for (;;) {
           std::optional<Inbound> conn;
+          bool acked_via_coordinator = false;
           RETURN_IF_ERROR(wait_for_inbound(
-              inboxes[static_cast<size_t>(j)].get(), &wait_policy, &conn));
+              inboxes[static_cast<size_t>(j)].get(), &wait_policy,
+              split_completed, &conn, &acked_via_coordinator));
+          if (acked_via_coordinator) return Status::OK();
           if (!conn.has_value()) {
             return Status::Cancelled("no ML worker connected");
+          }
+          // An abort can race an inbound into the queue; serving it would
+          // stream rows for a query that is already dead, retrying past
+          // the transfer's end instead of honoring its deadline.
+          if (heartbeat.revoked()) return heartbeat.status();
+          if (context.cancellation != nullptr &&
+              context.cancellation->cancelled()) {
+            return context.cancellation->status();
           }
           status = serve(*conn);
           if (status.ok()) return status;
@@ -799,6 +945,9 @@ Status SqlStreamSinkUdf::RunTransfer(const TableUdfContext& context,
       record->transfer_bytes.fetch_add(bytes_sent, std::memory_order_relaxed);
       record->transfer_spilled_frames.fetch_add(spilled_frames,
                                                 std::memory_order_relaxed);
+      record->transfer_channels.fetch_add(
+          channels_served.load(std::memory_order_relaxed),
+          std::memory_order_relaxed);
     }
   }
   return output->Push(Row{Value::Int64(context.worker_id),

@@ -72,11 +72,8 @@ Status SendFrameImpl(TcpSocket* socket, FrameType type,
   // Header on the stack + scatter-gather send: the steady-state data path
   // never concatenates header and payload into a heap buffer.
   char header[kFrameHeaderBytes];
-  EncodeFixed32(header, static_cast<uint32_t>(payload.size()));
-  header[4] = static_cast<char>(type);
-  EncodeFixed64(header + 5, trace.trace_id);
-  EncodeFixed64(header + 13, trace.span_id);
-  EncodeFixed64(header + 21, seq);
+  EncodeFrameHeader(header, type, static_cast<uint32_t>(payload.size()), seq,
+                    /*channel=*/0, trace);
   const std::string_view header_view(header, kFrameHeaderBytes);
   FailpointOutcome outcome = SQLINK_FAILPOINT("stream.wire.send_frame");
   if (outcome == FailpointOutcome::kNone &&
@@ -116,6 +113,17 @@ Status SendFrameImpl(TcpSocket* socket, FrameType type,
 
 }  // namespace
 
+void EncodeFrameHeader(char* out, FrameType type, uint32_t payload_len,
+                       uint64_t seq, uint32_t channel,
+                       const TraceContext& trace) {
+  EncodeFixed32(out, payload_len);
+  out[4] = static_cast<char>(type);
+  EncodeFixed64(out + 5, trace.trace_id);
+  EncodeFixed64(out + 13, trace.span_id);
+  EncodeFixed64(out + 21, seq);
+  EncodeFixed32(out + 29, channel);
+}
+
 Status RecvFrameInto(TcpSocket* socket, Frame* frame, std::string* scratch) {
   switch (SQLINK_FAILPOINT("stream.wire.recv_frame")) {
     case FailpointOutcome::kNone:
@@ -136,6 +144,7 @@ Status RecvFrameInto(TcpSocket* socket, Frame* frame, std::string* scratch) {
   ASSIGN_OR_RETURN(frame->trace.trace_id, decoder.GetFixed64());
   ASSIGN_OR_RETURN(frame->trace.span_id, decoder.GetFixed64());
   ASSIGN_OR_RETURN(frame->seq, decoder.GetFixed64());
+  ASSIGN_OR_RETURN(frame->channel, decoder.GetFixed32());
   frame->payload.clear();
   if (length > 0) {
     RETURN_IF_ERROR(socket->RecvExactly(length, &frame->payload));
@@ -169,6 +178,7 @@ Result<bool> ExtractFrame(std::string_view buffer, size_t* cursor,
   ASSIGN_OR_RETURN(frame->trace.trace_id, decoder.GetFixed64());
   ASSIGN_OR_RETURN(frame->trace.span_id, decoder.GetFixed64());
   ASSIGN_OR_RETURN(frame->seq, decoder.GetFixed64());
+  ASSIGN_OR_RETURN(frame->channel, decoder.GetFixed32());
   frame->payload.assign(rest.data() + kFrameHeaderBytes, length);
   *cursor += kFrameHeaderBytes + length;
   return true;
@@ -484,6 +494,7 @@ std::string RegisterSqlMessage::Encode() const {
   PutVarint64(&out, args.size());
   for (const std::string& arg : args) PutLengthPrefixed(&out, arg);
   EncodeSchema(*schema, &out);
+  PutVarint64(&out, sink_key);
   return out;
 }
 
@@ -507,6 +518,7 @@ Result<RegisterSqlMessage> RegisterSqlMessage::Decode(
     msg.args.push_back(std::string(arg));
   }
   ASSIGN_OR_RETURN(msg.schema, DecodeSchema(&decoder));
+  ASSIGN_OR_RETURN(msg.sink_key, decoder.GetVarint64());
   return msg;
 }
 
@@ -520,6 +532,7 @@ std::string SplitsMessage::Encode() const {
     PutLengthPrefixed(&out, split.host);
     PutVarint64Signed(&out, split.port);
     PutVarint64Signed(&out, split.epoch);
+    PutVarint64(&out, split.sink_key);
   }
   return out;
 }
@@ -540,6 +553,7 @@ Result<SplitsMessage> SplitsMessage::Decode(std::string_view payload) {
     ASSIGN_OR_RETURN(int64_t port, decoder.GetVarint64Signed());
     split.port = static_cast<int>(port);
     ASSIGN_OR_RETURN(split.epoch, decoder.GetVarint64Signed());
+    ASSIGN_OR_RETURN(split.sink_key, decoder.GetVarint64());
     msg.splits.push_back(std::move(split));
   }
   return msg;
@@ -563,6 +577,7 @@ std::string MatchMessage::Encode() const {
   std::string out;
   PutLengthPrefixed(&out, host);
   PutVarint64Signed(&out, port);
+  PutVarint64(&out, sink_key);
   return out;
 }
 
@@ -573,6 +588,7 @@ Result<MatchMessage> MatchMessage::Decode(std::string_view payload) {
   msg.host = std::string(host);
   ASSIGN_OR_RETURN(int64_t port, decoder.GetVarint64Signed());
   msg.port = static_cast<int>(port);
+  ASSIGN_OR_RETURN(msg.sink_key, decoder.GetVarint64());
   return msg;
 }
 
@@ -592,6 +608,25 @@ Result<HelloMessage> HelloMessage::Decode(std::string_view payload) {
   ASSIGN_OR_RETURN(uint8_t restart, decoder.GetByte());
   msg.restart = restart != 0;
   ASSIGN_OR_RETURN(msg.resume_seq, decoder.GetVarint64Signed());
+  return msg;
+}
+
+std::string OpenChannelMessage::Encode() const {
+  std::string out;
+  PutVarint64(&out, sink_key);
+  PutVarint64(&out, window_bytes);
+  PutLengthPrefixed(&out, hello.Encode());
+  return out;
+}
+
+Result<OpenChannelMessage> OpenChannelMessage::Decode(
+    std::string_view payload) {
+  Decoder decoder(payload);
+  OpenChannelMessage msg;
+  ASSIGN_OR_RETURN(msg.sink_key, decoder.GetVarint64());
+  ASSIGN_OR_RETURN(msg.window_bytes, decoder.GetVarint64());
+  ASSIGN_OR_RETURN(std::string_view hello, decoder.GetLengthPrefixed());
+  ASSIGN_OR_RETURN(msg.hello, HelloMessage::Decode(hello));
   return msg;
 }
 
@@ -641,6 +676,7 @@ std::string SplitGrantMessage::Encode() const {
     PutLengthPrefixed(&out, split.host);
     PutVarint64Signed(&out, split.port);
     PutVarint64Signed(&out, split.epoch);
+    PutVarint64(&out, split.sink_key);
   }
   return out;
 }
@@ -660,6 +696,7 @@ Result<SplitGrantMessage> SplitGrantMessage::Decode(std::string_view payload) {
     ASSIGN_OR_RETURN(int64_t port, decoder.GetVarint64Signed());
     msg.split.port = static_cast<int>(port);
     ASSIGN_OR_RETURN(msg.split.epoch, decoder.GetVarint64Signed());
+    ASSIGN_OR_RETURN(msg.split.sink_key, decoder.GetVarint64());
   }
   return msg;
 }

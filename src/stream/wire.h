@@ -59,6 +59,25 @@ enum class FrameType : uint8_t {
   kSubmitQuery = 27,  ///< Client → server; payload = SubmitQueryMessage.
   kQueryResult = 28,  ///< Server → client; payload = schema + rows.
   kCancelQuery = 29,  ///< Client → server: cancel the in-flight query.
+
+  // Mux plane (SQLINK_MUX=on, src/net): many logical transfer channels share
+  // one sink→reader socket. On a mux socket these are the ONLY frame types;
+  // data-plane frames (kResume/kSchema/kDictPage/kData/kColData/kEnd/kError/
+  // kDataAck/kAck) travel wrapped inside kChannelData with a one-byte inner
+  // type prefix, so the per-channel seq/ack + dictionary machinery is
+  // untouched by multiplexing.
+  kOpenChannel = 30,    ///< Reader → sink: payload = OpenChannelMessage.
+  kChannelData = 31,    ///< Wrapped inner frame; payload = [inner type][...].
+  kCloseChannel = 32,   ///< Either side: channel torn down (socket stays up).
+  kChannelWindow = 33,  ///< Credit grant; payload = varint byte count.
+
+  // Completion plane: out-of-band final-ack recovery. A reader's final ack
+  // can die with a shared connection after the whole stream was applied;
+  // the reader then reports completion to the coordinator and never
+  // reconnects, so the sink asks the coordinator instead of waiting out a
+  // reconnect that will never come.
+  kSplitStatus = 34,  ///< Sink → coordinator: varint split id. Reply kAck,
+                      ///< payload = varint(1) completed / varint(0) not.
 };
 
 struct Frame {
@@ -67,6 +86,9 @@ struct Frame {
   /// Per-channel monotonic sequence number (kData/kEnd frames and kDataAck
   /// cumulative acks); zero on frames that don't take part in replay.
   uint64_t seq = 0;
+  /// Logical mux channel id; zero on un-multiplexed sockets and on
+  /// connection-scoped frames (kOpenChannel replies ride channel 0 too).
+  uint32_t channel = 0;
   /// Trace context propagated in the frame header (invalid when the sender
   /// was not tracing). Receivers parent their handler spans here so one
   /// query's trace crosses the wire.
@@ -74,9 +96,9 @@ struct Frame {
 };
 
 /// Wire format: fixed32 payload length, one type byte, fixed64 trace id,
-/// fixed64 span id, fixed64 sequence number, payload bytes. The trace fields
-/// are zero when tracing is off; SendFrame stamps the calling thread's
-/// current span automatically.
+/// fixed64 span id, fixed64 sequence number, fixed32 channel id, payload
+/// bytes. The trace fields are zero when tracing is off; SendFrame stamps
+/// the calling thread's current span automatically and sends channel 0.
 Status SendFrame(TcpSocket* socket, FrameType type, std::string_view payload);
 /// As above with an explicit trace context (senders relaying a span owned by
 /// another thread).
@@ -92,8 +114,16 @@ Result<Frame> RecvFrame(TcpSocket* socket);
 /// (whose capacity is likewise reused). `frame` keeps its buffers on error.
 Status RecvFrameInto(TcpSocket* socket, Frame* frame, std::string* scratch);
 
-/// Size in bytes of the fixed frame header.
-inline constexpr size_t kFrameHeaderBytes = 4 + 1 + 8 + 8 + 8;
+/// Size in bytes of the fixed frame header
+/// (len + type + trace_id + span_id + seq + channel).
+inline constexpr size_t kFrameHeaderBytes = 4 + 1 + 8 + 8 + 8 + 4;
+
+/// Writes the fixed frame header into `out` (at least kFrameHeaderBytes).
+/// Shared by SendFrame and the mux write coalescer, which builds headers
+/// for many channels before one writev.
+void EncodeFrameHeader(char* out, FrameType type, uint32_t payload_len,
+                       uint64_t seq, uint32_t channel,
+                       const TraceContext& trace);
 
 /// Extracts one complete frame from the front of `*buffer` (bytes gathered
 /// out-of-band, e.g. with TcpSocket::TryRecv). Returns true and erases the
@@ -209,6 +239,10 @@ struct RegisterSqlMessage {
   std::string command;
   std::vector<std::string> args;
   SchemaPtr schema;
+  /// Mux mode: routing key of this partition's inbox on the process-wide
+  /// MuxSinkServer (host/port then name the shared listener). Zero = legacy
+  /// direct dial, one ephemeral listener per transfer.
+  uint64_t sink_key = 0;
 
   std::string Encode() const;
   static Result<RegisterSqlMessage> Decode(std::string_view payload);
@@ -224,6 +258,9 @@ struct StreamSplitInfo {
   /// coordinator on every reassignment so a revoked ("zombie") reader is
   /// fenced off by its stale epoch.
   int64_t epoch = 1;
+  /// Sink routing key for mux channels (see RegisterSqlMessage::sink_key);
+  /// zero = dial the sink directly and speak the one-socket protocol.
+  uint64_t sink_key = 0;
 };
 
 /// Response to kGetSplits.
@@ -247,6 +284,10 @@ struct RegisterMlMessage {
 struct MatchMessage {
   std::string host;
   int port = 0;
+  /// Mux routing key of the matched sink partition's worker (see
+  /// RegisterSqlMessage::sink_key); a restarted worker re-registers under a
+  /// fresh key, so re-matches must carry the current one. Zero = legacy.
+  uint64_t sink_key = 0;
 
   std::string Encode() const;
   static Result<MatchMessage> Decode(std::string_view payload);
@@ -264,6 +305,19 @@ struct HelloMessage {
 
   std::string Encode() const;
   static Result<HelloMessage> Decode(std::string_view payload);
+};
+
+/// Reader → sink kOpenChannel payload: routes the new logical channel to a
+/// sink partition registered on the shared MuxSinkServer listener and opens
+/// the stream with the embedded HELLO. `window_bytes` is the initial credit
+/// the reader grants the sink's data frames (kChannelWindow replenishes it).
+struct OpenChannelMessage {
+  uint64_t sink_key = 0;
+  uint64_t window_bytes = 0;
+  HelloMessage hello;
+
+  std::string Encode() const;
+  static Result<OpenChannelMessage> Decode(std::string_view payload);
 };
 
 /// Lease renewal sent on a participant's control connection every
